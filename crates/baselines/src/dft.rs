@@ -1,0 +1,219 @@
+//! DFT feature extraction and GEMINI-style filter-and-refine matching
+//! (the classic subsequence-matching lineage the paper builds on: Agrawal
+//! et al. \[1\] and Faloutsos et al. \[7\]).
+//!
+//! Those systems reduce each window to its first few Discrete Fourier
+//! Transform coefficients and index that low-dimensional feature space;
+//! Parseval's theorem guarantees the truncated-coefficient distance
+//! **lower-bounds** the true Euclidean distance, so filtering by feature
+//! distance admits no false dismissals — candidates passing the filter
+//! are then refined with the exact distance.
+//!
+//! Implemented here as a baseline comparator: it shares the Euclidean
+//! matcher's resampled-window representation and demonstrates (in the
+//! benches) how much the filter prunes, and (in the tests) the
+//! no-false-dismissal guarantee.
+
+use crate::resample::{mean_center, resample_window};
+use tsm_model::Vertex;
+
+/// The first `k` complex DFT coefficients of `values` (as interleaved
+/// `re, im` pairs of length `2k`), normalized by `1/sqrt(n)` so Parseval
+/// holds: `||x - y||² >= Σ |X_i - Y_i|²` over any coefficient subset.
+///
+/// Coefficient 0 (the mean) is *skipped* — windows are mean-centered for
+/// offset insensitivity, so it is always ~0 — and coefficients `1..=k`
+/// are returned instead.
+pub fn dft_features(values: &[f64], k: usize) -> Vec<f64> {
+    let n = values.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let norm = 1.0 / (n as f64).sqrt();
+    let mut out = Vec::with_capacity(2 * k);
+    for fi in 1..=k.min(n / 2) {
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (i, &v) in values.iter().enumerate() {
+            let angle = -2.0 * std::f64::consts::PI * fi as f64 * i as f64 / n as f64;
+            re += v * angle.cos();
+            im += v * angle.sin();
+        }
+        out.push(re * norm);
+        out.push(im * norm);
+    }
+    out
+}
+
+/// Feature-space distance accounting for the conjugate symmetry of real
+/// signals: each retained positive-frequency coefficient stands for
+/// itself *and* its mirror, so its contribution is doubled. Still a lower
+/// bound on the full Euclidean distance (it just tightens it).
+pub fn feature_distance(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    let ss: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    Some((2.0 * ss).sqrt())
+}
+
+/// A window reduced to DFT features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DftWindow {
+    /// Interleaved `re, im` feature pairs.
+    pub features: Vec<f64>,
+    /// The mean-centered resampled values (kept for the refine step).
+    pub values: Vec<f64>,
+}
+
+impl DftWindow {
+    /// Builds the feature representation of a PLR window: resample to `m`
+    /// points, mean-center, take `k` DFT coefficients.
+    pub fn build(vertices: &[Vertex], axis: usize, m: usize, k: usize) -> Option<Self> {
+        let mut values = resample_window(vertices, axis, m);
+        if values.is_empty() {
+            return None;
+        }
+        mean_center(&mut values);
+        let features = dft_features(&values, k);
+        Some(DftWindow { features, values })
+    }
+
+    /// Exact (RMS-free, plain L2) Euclidean distance to another window.
+    pub fn exact_distance(&self, other: &DftWindow) -> Option<f64> {
+        if self.values.len() != other.values.len() {
+            return None;
+        }
+        let ss: f64 = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        Some(ss.sqrt())
+    }
+
+    /// Lower-bound distance via the features.
+    pub fn lower_bound(&self, other: &DftWindow) -> Option<f64> {
+        feature_distance(&self.features, &other.features)
+    }
+}
+
+/// GEMINI filter-and-refine range search: among `candidates`, returns the
+/// indices whose exact distance to `query` is at most `epsilon`, touching
+/// the exact distance only for candidates that survive the feature-space
+/// filter. Also returns how many candidates the filter pruned (for the
+/// benches' pruning-rate reports).
+pub fn filter_and_refine(
+    query: &DftWindow,
+    candidates: &[DftWindow],
+    epsilon: f64,
+) -> (Vec<usize>, usize) {
+    let mut hits = Vec::new();
+    let mut pruned = 0usize;
+    for (ix, c) in candidates.iter().enumerate() {
+        match query.lower_bound(c) {
+            Some(lb) if lb <= epsilon => {
+                if let Some(d) = query.exact_distance(c) {
+                    if d <= epsilon {
+                        hits.push(ix);
+                    }
+                }
+            }
+            Some(_) => pruned += 1,
+            None => {}
+        }
+    }
+    (hits, pruned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_model::BreathState::*;
+
+    fn window(amplitude: f64, period: f64) -> Vec<Vertex> {
+        let mut v = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..3 {
+            v.push(Vertex::new_1d(t, amplitude, Exhale));
+            v.push(Vertex::new_1d(t + period * 0.4, 0.0, EndOfExhale));
+            v.push(Vertex::new_1d(t + period * 0.6, 0.0, Inhale));
+            t += period;
+        }
+        v.push(Vertex::new_1d(t, amplitude, Exhale));
+        v
+    }
+
+    #[test]
+    fn features_capture_shape() {
+        let a = DftWindow::build(&window(10.0, 4.0), 0, 64, 4).unwrap();
+        let same = DftWindow::build(&window(10.0, 4.0), 0, 64, 4).unwrap();
+        let bigger = DftWindow::build(&window(20.0, 4.0), 0, 64, 4).unwrap();
+        assert!(a.lower_bound(&same).unwrap() < 1e-9);
+        assert!(a.lower_bound(&bigger).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_exact() {
+        // The GEMINI guarantee, across assorted window pairs and k.
+        let shapes = [
+            window(10.0, 4.0),
+            window(14.0, 4.0),
+            window(10.0, 5.0),
+            window(6.0, 3.0),
+        ];
+        for k in [1usize, 2, 4, 8] {
+            for a in &shapes {
+                for b in &shapes {
+                    let wa = DftWindow::build(a, 0, 64, k).unwrap();
+                    let wb = DftWindow::build(b, 0, 64, k).unwrap();
+                    let lb = wa.lower_bound(&wb).unwrap();
+                    let exact = wa.exact_distance(&wb).unwrap();
+                    assert!(
+                        lb <= exact + 1e-9,
+                        "k={k}: lower bound {lb} exceeds exact {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_and_refine_finds_exactly_the_range_hits() {
+        let query = DftWindow::build(&window(10.0, 4.0), 0, 64, 3).unwrap();
+        let candidates: Vec<DftWindow> = (0..20)
+            .map(|i| DftWindow::build(&window(6.0 + i as f64, 4.0), 0, 64, 3).unwrap())
+            .collect();
+        let epsilon = 12.0;
+        let (hits, pruned) = filter_and_refine(&query, &candidates, epsilon);
+        // Ground truth by brute force.
+        let truth: Vec<usize> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| query.exact_distance(c).unwrap() <= epsilon)
+            .map(|(ix, _)| ix)
+            .collect();
+        assert_eq!(hits, truth, "filter-and-refine diverged from brute force");
+        assert!(pruned > 0, "filter pruned nothing");
+    }
+
+    #[test]
+    fn more_coefficients_tighten_the_bound() {
+        let a = DftWindow::build(&window(10.0, 4.0), 0, 64, 1).unwrap();
+        let b = DftWindow::build(&window(15.0, 4.5), 0, 64, 1).unwrap();
+        let a8 = DftWindow::build(&window(10.0, 4.0), 0, 64, 8).unwrap();
+        let b8 = DftWindow::build(&window(15.0, 4.5), 0, 64, 8).unwrap();
+        let lb1 = a.lower_bound(&b).unwrap();
+        let lb8 = a8.lower_bound(&b8).unwrap();
+        assert!(lb8 >= lb1 - 1e-9, "k=8 bound {lb8} looser than k=1 {lb1}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(dft_features(&[], 4).is_empty());
+        assert!(dft_features(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(feature_distance(&[1.0], &[1.0, 2.0]), None);
+        assert!(DftWindow::build(&[], 0, 32, 4).is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Dynamic Time Warping (Berndt & Clifford; paper references [22, 27]).
+//!
+//! The paper declines to evaluate against DTW because it carries no
+//! weighting, is "very computationally expensive, which makes it not
+//! suitable for real-time prediction", and "does not create any
+//! meaningful description of the data". We implement it anyway (with an
+//! optional Sakoe–Chiba band) so the bench suite can substantiate the
+//! cost claim and the accuracy comparison.
+
+/// DTW distance between two value vectors with an optional Sakoe–Chiba
+/// band of half-width `band` (in samples). `None` for empty inputs.
+/// The returned value is the warping-path cost normalized by the path
+/// length bound `a.len() + b.len()`, so thresholds transfer across sizes.
+pub fn dtw_distance(a: &[f64], b: &[f64], band: Option<usize>) -> Option<f64> {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return None;
+    }
+    // Band must at least cover the diagonal skew.
+    let w = band.unwrap_or(n.max(m)).max(n.abs_diff(m));
+    let inf = f64::INFINITY;
+    // Two-row DP.
+    let mut prev = vec![inf; m + 1];
+    let mut cur = vec![inf; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        cur[0] = inf;
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(m);
+        for slot in cur.iter_mut().take(lo).skip(1) {
+            *slot = inf;
+        }
+        for j in lo..=hi {
+            let cost = (a[i - 1] - b[j - 1]).abs();
+            let best = prev[j].min(prev[j - 1]).min(cur[j - 1]);
+            cur[j] = cost + best;
+        }
+        for slot in cur.iter_mut().take(m + 1).skip(hi + 1) {
+            *slot = inf;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let total = prev[m];
+    total.is_finite().then(|| total / (n + m) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity() {
+        let a = vec![1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw_distance(&a, &a, None), Some(0.0));
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = vec![1.0, 3.0, 2.0, 5.0];
+        let b = vec![2.0, 3.0, 1.0];
+        assert_eq!(dtw_distance(&a, &b, None), dtw_distance(&b, &a, None));
+    }
+
+    #[test]
+    fn warps_through_time_shifts() {
+        // The same bump shifted in time: DTW should be much smaller than
+        // Euclidean on the raw alignment.
+        let bump = |center: usize| -> Vec<f64> {
+            (0..40)
+                .map(|i| {
+                    let d = i as f64 - center as f64;
+                    (-d * d / 8.0).exp() * 10.0
+                })
+                .collect()
+        };
+        let a = bump(15);
+        let b = bump(22);
+        let dtw = dtw_distance(&a, &b, None).unwrap();
+        let euc: f64 = {
+            let ss: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+            ss / (a.len() + b.len()) as f64
+        };
+        assert!(dtw < euc * 0.5, "dtw {dtw} vs shifted L1 {euc}");
+    }
+
+    #[test]
+    fn band_constrains_warping() {
+        let a: Vec<f64> = (0..30).map(|i| (i as f64 * 0.5).sin()).collect();
+        let b: Vec<f64> = (0..30).map(|i| ((i as f64 - 6.0) * 0.5).sin()).collect();
+        let free = dtw_distance(&a, &b, None).unwrap();
+        let tight = dtw_distance(&a, &b, Some(1)).unwrap();
+        assert!(
+            tight >= free,
+            "band must not reduce cost: {tight} vs {free}"
+        );
+    }
+
+    #[test]
+    fn different_lengths_and_degenerate_band() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = vec![1.0, 5.0];
+        // Band smaller than the length skew is widened internally.
+        assert!(dtw_distance(&a, &b, Some(0)).unwrap().is_finite());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(dtw_distance(&[], &[1.0], None), None);
+        assert_eq!(dtw_distance(&[1.0], &[], None), None);
+    }
+}

@@ -1,0 +1,137 @@
+//! Euclidean and weighted-Euclidean distances on resampled windows.
+
+use crate::resample::{mean_center, resample_window};
+use tsm_model::Vertex;
+
+/// Root-mean-square Euclidean distance between equal-length vectors
+/// (normalized by length so thresholds transfer across window sizes).
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    let ss: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    Some((ss / a.len() as f64).sqrt())
+}
+
+/// Recency-weighted Euclidean distance: element `i` of `n` is weighted by
+/// `base + (1 - base) * i / (n - 1)` — the same linear ramp as the PLR
+/// measure's vertex weights, so the comparison in Figure 6 isolates the
+/// *representation* (raw values vs PLR features), not the weighting idea.
+pub fn weighted_euclidean_distance(a: &[f64], b: &[f64], base: f64) -> Option<f64> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    let n = a.len();
+    let mut num = 0.0;
+    let mut wsum = 0.0;
+    for i in 0..n {
+        let w = if n == 1 {
+            1.0
+        } else {
+            base + (1.0 - base) * i as f64 / (n - 1) as f64
+        };
+        let d = a[i] - b[i];
+        num += w * d * d;
+        wsum += w;
+    }
+    Some((num / wsum).sqrt())
+}
+
+/// Distance between two PLR windows under the Euclidean baseline:
+/// resample both to `m` points, mean-center (offset insensitivity), then
+/// (weighted) RMS Euclidean. `weight_base = 1.0` gives the unweighted
+/// variant.
+pub fn window_euclidean(
+    query: &[Vertex],
+    candidate: &[Vertex],
+    axis: usize,
+    m: usize,
+    weight_base: f64,
+) -> Option<f64> {
+    let mut a = resample_window(query, axis, m);
+    let mut b = resample_window(candidate, axis, m);
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    mean_center(&mut a);
+    mean_center(&mut b);
+    weighted_euclidean_distance(&a, &b, weight_base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_model::BreathState::*;
+
+    #[test]
+    fn identity_and_symmetry() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![2.0, 2.0, 5.0];
+        assert_eq!(euclidean_distance(&a, &a), Some(0.0));
+        assert_eq!(euclidean_distance(&a, &b), euclidean_distance(&b, &a));
+        assert!(euclidean_distance(&a, &b).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn rms_normalization() {
+        // Constant offset 2 everywhere: RMS distance is exactly 2.
+        let a = vec![0.0; 10];
+        let b = vec![2.0; 10];
+        assert!((euclidean_distance(&a, &b).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert_eq!(euclidean_distance(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(euclidean_distance(&[], &[]), None);
+        assert_eq!(weighted_euclidean_distance(&[1.0], &[1.0, 2.0], 0.8), None);
+    }
+
+    #[test]
+    fn weighting_emphasizes_the_tail() {
+        let a = vec![0.0; 8];
+        let mut early = a.clone();
+        early[0] = 4.0;
+        let mut late = a.clone();
+        late[7] = 4.0;
+        let de = weighted_euclidean_distance(&a, &early, 0.5).unwrap();
+        let dl = weighted_euclidean_distance(&a, &late, 0.5).unwrap();
+        assert!(dl > de);
+        // With base 1 both deviations cost the same.
+        let de1 = weighted_euclidean_distance(&a, &early, 1.0).unwrap();
+        let dl1 = weighted_euclidean_distance(&a, &late, 1.0).unwrap();
+        assert!((de1 - dl1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_distance_is_offset_insensitive() {
+        let q = vec![
+            Vertex::new_1d(0.0, 10.0, Exhale),
+            Vertex::new_1d(1.5, 0.0, EndOfExhale),
+            Vertex::new_1d(2.5, 0.0, Inhale),
+            Vertex::new_1d(4.0, 10.0, Exhale),
+        ];
+        let shifted: Vec<Vertex> = q
+            .iter()
+            .map(|v| Vertex::new_1d(v.time, v.position[0] + 30.0, v.state))
+            .collect();
+        let d = window_euclidean(&q, &shifted, 0, 32, 1.0).unwrap();
+        assert!(d < 1e-9, "offset leaked: {d}");
+    }
+
+    #[test]
+    fn window_distance_detects_shape_differences() {
+        let q = vec![
+            Vertex::new_1d(0.0, 10.0, Exhale),
+            Vertex::new_1d(1.5, 0.0, EndOfExhale),
+            Vertex::new_1d(2.5, 0.0, Inhale),
+            Vertex::new_1d(4.0, 10.0, Exhale),
+        ];
+        let bigger: Vec<Vertex> = q
+            .iter()
+            .map(|v| Vertex::new_1d(v.time, v.position[0] * 2.0, v.state))
+            .collect();
+        let d = window_euclidean(&q, &bigger, 0, 32, 1.0).unwrap();
+        assert!(d > 1.0, "shape difference missed: {d}");
+    }
+}

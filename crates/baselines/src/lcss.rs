@@ -1,0 +1,93 @@
+//! Longest Common Subsequence similarity (Vlachos et al.; paper
+//! reference \[5\]).
+//!
+//! The ε-threshold real-valued LCSS: two samples "match" when within ε,
+//! and matches may be at most `warp` positions apart. The paper dismisses
+//! LCSS for tumor motion ("tumor position is continuous"); it is
+//! implemented for the comparison benches.
+
+/// LCSS *similarity* in `[0, 1]`: matched length over the shorter input.
+pub fn lcss_similarity(a: &[f64], b: &[f64], epsilon: f64, warp: Option<usize>) -> Option<f64> {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return None;
+    }
+    let w = warp.unwrap_or(n.max(m)).max(n.abs_diff(m));
+    let mut prev = vec![0usize; m + 1];
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = 0;
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(m);
+        for slot in cur.iter_mut().take(lo).skip(1) {
+            *slot = 0;
+        }
+        for j in lo..=hi {
+            cur[j] = if (a[i - 1] - b[j - 1]).abs() <= epsilon {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(cur[j - 1])
+            };
+        }
+        for j in (hi + 1)..=m {
+            cur[j] = cur[hi];
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    Some(prev[m] as f64 / n.min(m) as f64)
+}
+
+/// LCSS *distance*: `1 - similarity`, in `[0, 1]`.
+pub fn lcss_distance(a: &[f64], b: &[f64], epsilon: f64, warp: Option<usize>) -> Option<f64> {
+    lcss_similarity(a, b, epsilon, warp).map(|s| 1.0 - s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let a = vec![1.0, 2.0, 3.0];
+        assert_eq!(lcss_distance(&a, &a, 0.1, None), Some(0.0));
+    }
+
+    #[test]
+    fn totally_different_sequences_have_distance_one() {
+        let a = vec![0.0, 0.0, 0.0];
+        let b = vec![100.0, 100.0, 100.0];
+        assert_eq!(lcss_distance(&a, &b, 0.5, None), Some(1.0));
+    }
+
+    #[test]
+    fn epsilon_tolerance() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![1.05, 2.05, 3.05, 4.05];
+        assert_eq!(lcss_distance(&a, &b, 0.1, None), Some(0.0));
+        assert_eq!(lcss_distance(&a, &b, 0.01, None), Some(1.0));
+    }
+
+    #[test]
+    fn subsequence_matching_skips_noise() {
+        // b = a with a wild sample inserted: distance stays small.
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = vec![1.0, 2.0, 99.0, 3.0, 4.0, 5.0];
+        let d = lcss_distance(&a, &b, 0.1, None).unwrap();
+        assert!(d < 1e-9, "noise destroyed the match: {d}");
+    }
+
+    #[test]
+    fn symmetry_and_range() {
+        let a = vec![1.0, 3.0, 2.0, 5.0, 4.0];
+        let b = vec![2.0, 3.0, 4.0];
+        let ab = lcss_distance(&a, &b, 0.5, None).unwrap();
+        let ba = lcss_distance(&b, &a, 0.5, None).unwrap();
+        assert_eq!(ab, ba);
+        assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(lcss_distance(&[], &[1.0], 0.1, None), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! # tsm-baselines
+//!
+//! The comparator methods the paper's evaluation measures against (and the
+//! ones it discusses but rejects):
+//!
+//! * **Weighted / plain Euclidean distance** on resampled windows
+//!   ([`euclidean`]) — Section 7.2's direct comparison ("the weighted
+//!   distance function outperforms the corresponding weighted Euclidean
+//!   distance function"), plus a full Euclidean matching pipeline
+//!   ([`matcher::EuclideanMatcher`]).
+//! * **Dynamic Time Warping** ([`dtw`]) — discussed in Section 7.2: no
+//!   weighting, expensive, "does not create any meaningful description of
+//!   the data"; the benches quantify the cost claim.
+//! * **Longest Common Subsequence** ([`lcss`]) — "proposed for string
+//!   matching ... not applicable for tumor motion analysis because tumor
+//!   position is continuous"; implemented in its ε-threshold real-valued
+//!   variant for completeness.
+//! * **Naive predictors** ([`predictors`]) — treating at the last observed
+//!   position (Figure 1's uncompensated latency) and linear
+//!   extrapolation, the floor any matching method must beat.
+//! * **Fixed-length queries** are in `tsm_core::query::fixed_query` (they
+//!   share the pipeline); the Figure 7 experiment sweeps them.
+//! * **DFT filter-and-refine** ([`dft`]) — the GEMINI lineage the paper
+//!   cites as prior art (Agrawal \[1\], Faloutsos \[7\]): truncated-DFT
+//!   features whose distance lower-bounds Euclidean distance, used to
+//!   prune before exact refinement.
+
+pub mod dft;
+pub mod dtw;
+pub mod euclidean;
+pub mod lcss;
+pub mod matcher;
+pub mod predictors;
+pub mod resample;
+pub mod whole_stream;
+
+pub use dft::{dft_features, filter_and_refine, DftWindow};
+pub use dtw::dtw_distance;
+pub use euclidean::{euclidean_distance, weighted_euclidean_distance, window_euclidean};
+pub use lcss::lcss_distance;
+pub use matcher::EuclideanMatcher;
+pub use predictors::{last_position_prediction, linear_extrapolation_prediction};
+pub use resample::resample_window;
+pub use whole_stream::{whole_stream_distance, WholeStreamConfig};

@@ -1,0 +1,68 @@
+//! Naive prediction baselines.
+//!
+//! Figure 1 of the paper shows what happens without prediction: the beam
+//! treats "the tumor at the last observed position", lagging by the system
+//! latency. These two baselines — last observed position and linear
+//! extrapolation of the current segment — are the floor every matching
+//! method must beat in the Figure 6/7 experiments.
+
+use tsm_model::{Position, Segment, Vertex};
+
+/// Predicts the position after `dt` as simply the last vertex's position
+/// (the uncompensated-latency treatment of Figure 1).
+pub fn last_position_prediction(vertices: &[Vertex], _dt: f64) -> Option<Position> {
+    vertices.last().map(|v| v.position)
+}
+
+/// Predicts by extrapolating the most recent segment's velocity for `dt`
+/// seconds.
+pub fn linear_extrapolation_prediction(vertices: &[Vertex], dt: f64) -> Option<Position> {
+    if vertices.len() < 2 {
+        return vertices.last().map(|v| v.position);
+    }
+    let n = vertices.len();
+    let seg = Segment::between(&vertices[n - 2], &vertices[n - 1]);
+    Some(seg.position_at(vertices[n - 1].time + dt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_model::BreathState::*;
+
+    fn window() -> Vec<Vertex> {
+        vec![
+            Vertex::new_1d(0.0, 10.0, Exhale),
+            Vertex::new_1d(2.0, 0.0, EndOfExhale),
+            Vertex::new_1d(3.0, 0.0, Inhale),
+            Vertex::new_1d(4.0, 6.0, Exhale),
+        ]
+    }
+
+    #[test]
+    fn last_position_ignores_dt() {
+        let w = window();
+        let p = last_position_prediction(&w, 0.5).unwrap();
+        assert_eq!(p[0], 6.0);
+        assert_eq!(last_position_prediction(&w, 5.0).unwrap()[0], p[0]);
+    }
+
+    #[test]
+    fn linear_extrapolation_follows_the_last_segment() {
+        let w = window();
+        // Last segment climbs 6 mm in 1 s.
+        let p = linear_extrapolation_prediction(&w, 0.5).unwrap();
+        assert!((p[0] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_windows() {
+        assert!(last_position_prediction(&[], 0.1).is_none());
+        assert!(linear_extrapolation_prediction(&[], 0.1).is_none());
+        let single = vec![Vertex::new_1d(0.0, 5.0, Exhale)];
+        assert_eq!(
+            linear_extrapolation_prediction(&single, 0.1).unwrap()[0],
+            5.0
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Resampling PLR windows to fixed-length vectors.
+//!
+//! Whole-vector distances (Euclidean, DTW, LCSS) need equal-rate value
+//! vectors; PLR windows have variable segment counts and durations. This
+//! module samples a window's piecewise-linear value at `m` equally spaced
+//! time points.
+
+use tsm_model::{Segment, Vertex};
+
+/// Samples the piecewise-linear signal described by `vertices` at `m`
+/// equally spaced times spanning the window, reading the given axis.
+/// Returns an empty vector when the window has fewer than 2 vertices or
+/// `m == 0`.
+pub fn resample_window(vertices: &[Vertex], axis: usize, m: usize) -> Vec<f64> {
+    if vertices.len() < 2 || m == 0 {
+        return Vec::new();
+    }
+    let t0 = vertices[0].time;
+    let t1 = vertices[vertices.len() - 1].time;
+    let span = t1 - t0;
+    let mut out = Vec::with_capacity(m);
+    let mut seg_ix = 0usize;
+    for i in 0..m {
+        let t = if m == 1 {
+            t0
+        } else {
+            t0 + span * i as f64 / (m - 1) as f64
+        };
+        while seg_ix + 2 < vertices.len() && vertices[seg_ix + 1].time <= t {
+            seg_ix += 1;
+        }
+        let seg = Segment::between(&vertices[seg_ix], &vertices[seg_ix + 1]);
+        out.push(seg.position_at(t)[axis]);
+    }
+    out
+}
+
+/// Subtracts the mean — the offset-translation normalization that gives
+/// Euclidean-family baselines a fair shot against the inherently
+/// offset-insensitive PLR-feature distance.
+pub fn mean_center(values: &mut [f64]) {
+    if values.is_empty() {
+        return;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    for v in values {
+        *v -= mean;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_model::BreathState::*;
+
+    fn ramp() -> Vec<Vertex> {
+        vec![
+            Vertex::new_1d(0.0, 0.0, Inhale),
+            Vertex::new_1d(2.0, 10.0, Exhale),
+        ]
+    }
+
+    #[test]
+    fn resamples_linear_ramp_exactly() {
+        let r = resample_window(&ramp(), 0, 5);
+        assert_eq!(r, vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+    }
+
+    #[test]
+    fn endpoint_values_match_vertices() {
+        let v = vec![
+            Vertex::new_1d(0.0, 3.0, Exhale),
+            Vertex::new_1d(1.0, 1.0, EndOfExhale),
+            Vertex::new_1d(4.0, 9.0, Inhale),
+        ];
+        let r = resample_window(&v, 0, 9);
+        assert_eq!(r.len(), 9);
+        assert!((r[0] - 3.0).abs() < 1e-12);
+        assert!((r[8] - 9.0).abs() < 1e-12);
+        // Vertex at t=1.0 is sample index 2 (t = 4.0 * 2/8).
+        assert!((r[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(resample_window(&[], 0, 8).is_empty());
+        assert!(resample_window(&ramp()[..1], 0, 8).is_empty());
+        assert!(resample_window(&ramp(), 0, 0).is_empty());
+        let one = resample_window(&ramp(), 0, 1);
+        assert_eq!(one, vec![0.0]);
+    }
+
+    #[test]
+    fn mean_centering() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        mean_center(&mut v);
+        assert_eq!(v, vec![-1.0, 0.0, 1.0]);
+        let mut empty: Vec<f64> = vec![];
+        mean_center(&mut empty);
+    }
+}

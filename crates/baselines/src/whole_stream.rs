@@ -1,0 +1,184 @@
+//! Whole-sequence stream similarity — the prior art the paper's
+//! Definition 3 departs from.
+//!
+//! "We have developed new definitions for whole stream and patient
+//! similarity based on subsequence similarity, which is a departure from
+//! previous schemes that used whole sequence similarity measures"
+//! (Section 5). The classic scheme (Agrawal et al.) compares two streams
+//! as single vectors: resample the whole stream, mean-center, reduce to
+//! DFT features, Euclidean distance. This module implements it so the
+//! clustering experiments can measure what the departure buys — chiefly
+//! robustness: one irregular episode pollutes a whole-sequence distance
+//! everywhere, while Definition 3 drops the affected windows as outliers.
+
+use crate::dft::dft_features;
+use crate::resample::{mean_center, resample_window};
+use tsm_model::PlrTrajectory;
+
+/// Configuration of the whole-sequence distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WholeStreamConfig {
+    /// Points the whole stream is resampled to.
+    pub resample_points: usize,
+    /// DFT coefficients retained (0 = compare raw resampled vectors).
+    pub dft_coefficients: usize,
+    /// Compare magnitude spectra instead of complex coefficients —
+    /// phase-invariant, so two streams whose cycles merely start at
+    /// different times are not penalized (the strongest version of the
+    /// whole-sequence baseline).
+    pub use_magnitude: bool,
+}
+
+impl Default for WholeStreamConfig {
+    fn default() -> Self {
+        WholeStreamConfig {
+            resample_points: 256,
+            dft_coefficients: 16,
+            use_magnitude: false,
+        }
+    }
+}
+
+/// The feature vector of one whole stream.
+pub fn whole_stream_features(
+    plr: &PlrTrajectory,
+    axis: usize,
+    config: &WholeStreamConfig,
+) -> Vec<f64> {
+    let mut values = resample_window(plr.vertices(), axis, config.resample_points);
+    mean_center(&mut values);
+    if config.dft_coefficients == 0 {
+        return values;
+    }
+    let complex = dft_features(&values, config.dft_coefficients);
+    if !config.use_magnitude {
+        return complex;
+    }
+    complex
+        .chunks_exact(2)
+        .map(|c| (c[0] * c[0] + c[1] * c[1]).sqrt())
+        .collect()
+}
+
+/// Whole-sequence distance between two streams: Euclidean distance of
+/// their feature vectors. Returns `None` for degenerate streams.
+pub fn whole_stream_distance(
+    a: &PlrTrajectory,
+    b: &PlrTrajectory,
+    axis: usize,
+    config: &WholeStreamConfig,
+) -> Option<f64> {
+    let fa = whole_stream_features(a, axis, config);
+    let fb = whole_stream_features(b, axis, config);
+    if fa.is_empty() || fa.len() != fb.len() {
+        return None;
+    }
+    let ss: f64 = fa.iter().zip(&fb).map(|(x, y)| (x - y) * (x - y)).sum();
+    Some(ss.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_model::{BreathState::*, Vertex};
+
+    fn stream(n: usize, amplitude: f64, period: f64) -> PlrTrajectory {
+        let mut v = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..n {
+            v.push(Vertex::new_1d(t, amplitude, Exhale));
+            v.push(Vertex::new_1d(t + period * 0.4, 0.0, EndOfExhale));
+            v.push(Vertex::new_1d(t + period * 0.6, 0.0, Inhale));
+            t += period;
+        }
+        v.push(Vertex::new_1d(t, amplitude, Exhale));
+        PlrTrajectory::from_vertices(v).unwrap()
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        let a = stream(20, 10.0, 4.0);
+        let b = stream(20, 14.0, 5.0);
+        let cfg = WholeStreamConfig::default();
+        assert!(whole_stream_distance(&a, &a, 0, &cfg).unwrap() < 1e-9);
+        let ab = whole_stream_distance(&a, &b, 0, &cfg).unwrap();
+        let ba = whole_stream_distance(&b, &a, 0, &cfg).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab > 0.5);
+    }
+
+    #[test]
+    fn separates_amplitudes_and_periods() {
+        let a = stream(20, 10.0, 4.0);
+        let near = stream(20, 11.0, 4.1);
+        let far = stream(16, 20.0, 5.0);
+        let cfg = WholeStreamConfig::default();
+        let dn = whole_stream_distance(&a, &near, 0, &cfg).unwrap();
+        let df = whole_stream_distance(&a, &far, 0, &cfg).unwrap();
+        assert!(dn < df, "near {dn} vs far {df}");
+    }
+
+    #[test]
+    fn one_episode_pollutes_the_whole_distance() {
+        // Two identical streams, then one gets a mid-stream deep-breath
+        // episode. The whole-sequence distance jumps by far more than the
+        // episode's share of the stream.
+        let clean = stream(20, 10.0, 4.0);
+        let polluted = {
+            let mut v = clean.vertices().to_vec();
+            // Double the amplitude of one mid-stream cycle.
+            for vertex in v.iter_mut().skip(30).take(3) {
+                if vertex.position[0] > 5.0 {
+                    *vertex = Vertex::new_1d(vertex.time, 28.0, vertex.state);
+                }
+            }
+            PlrTrajectory::from_vertices(v).unwrap()
+        };
+        let cfg = WholeStreamConfig::default();
+        let d_self = whole_stream_distance(&clean, &clean, 0, &cfg).unwrap();
+        let d_polluted = whole_stream_distance(&clean, &polluted, 0, &cfg).unwrap();
+        assert!(d_polluted > d_self + 0.5, "episode invisible: {d_polluted}");
+    }
+
+    #[test]
+    fn magnitude_mode_is_phase_invariant() {
+        // The same stream shifted by half a cycle: complex features
+        // differ, magnitudes do not.
+        let a = stream(20, 10.0, 4.0);
+        let shifted = {
+            let mut v: Vec<Vertex> = a.vertices()[1..].to_vec();
+            let t0 = v[0].time;
+            for vertex in &mut v {
+                vertex.time -= t0;
+            }
+            PlrTrajectory::from_vertices(v).unwrap()
+        };
+        let complex_cfg = WholeStreamConfig {
+            resample_points: 256,
+            dft_coefficients: 24,
+            use_magnitude: false,
+        };
+        let mag_cfg = WholeStreamConfig {
+            use_magnitude: true,
+            ..complex_cfg
+        };
+        let d_complex = whole_stream_distance(&a, &shifted, 0, &complex_cfg).unwrap();
+        let d_mag = whole_stream_distance(&a, &shifted, 0, &mag_cfg).unwrap();
+        assert!(
+            d_mag < d_complex * 0.5,
+            "magnitude {d_mag} not phase-robust vs complex {d_complex}"
+        );
+    }
+
+    #[test]
+    fn raw_mode_without_dft() {
+        let a = stream(20, 10.0, 4.0);
+        let b = stream(20, 12.0, 4.0);
+        let cfg = WholeStreamConfig {
+            resample_points: 128,
+            dft_coefficients: 0,
+            use_magnitude: false,
+        };
+        assert!(whole_stream_distance(&a, &b, 0, &cfg).unwrap() > 0.0);
+    }
+}

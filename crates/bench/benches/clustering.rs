@@ -1,0 +1,68 @@
+//! Bench: stream distance, k-medoids and agglomerative clustering costs
+//! (the offline analysis path of Section 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsm_core::cluster::{agglomerative, k_medoids, DistanceMatrix};
+use tsm_core::stream_distance::{stream_distance, StreamDistanceConfig};
+use tsm_core::Params;
+use tsm_db::{PatientAttributes, SourceRelation, StreamStore};
+use tsm_model::{segment_signal, PlrTrajectory, SegmenterConfig};
+use tsm_signal::{BreathingParams, SignalGenerator};
+
+fn stored_stream(store: &StreamStore, seed: u64) -> std::sync::Arc<tsm_db::MotionStream> {
+    let patient = store.add_patient(PatientAttributes::new());
+    let samples = SignalGenerator::new(BreathingParams::default(), seed).generate(120.0);
+    let vertices = segment_signal(&samples, SegmenterConfig::default());
+    let plr = PlrTrajectory::from_vertices(vertices).unwrap();
+    let id = store.add_stream(patient, 0, plr, samples.len());
+    store.stream(id).unwrap()
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let store = StreamStore::new();
+    let a = stored_stream(&store, 1);
+    let b = stored_stream(&store, 2);
+    let params = Params::default();
+
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(20);
+
+    for stride in [1usize, 3] {
+        let cfg = StreamDistanceConfig {
+            len_segments: 9,
+            stride,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("stream_distance_120s", format!("stride{stride}")),
+            &cfg,
+            |bch, cfg| {
+                bch.iter(|| {
+                    black_box(stream_distance(
+                        black_box(&a),
+                        black_box(&b),
+                        SourceRelation::OtherPatient,
+                        &params,
+                        cfg,
+                    ))
+                })
+            },
+        );
+    }
+
+    // Synthetic 42-point distance matrix (the paper's cohort size).
+    let coords: Vec<f64> = (0..42)
+        .map(|i| (i % 4) as f64 * 10.0 + (i as f64 * 0.37).sin())
+        .collect();
+    let dm = DistanceMatrix::from_fn(42, |i, j| (coords[i] - coords[j]).abs());
+    group.bench_function("k_medoids_42x4", |bch| {
+        bch.iter(|| black_box(k_medoids(black_box(&dm), 4, 100)))
+    });
+    group.bench_function("agglomerative_42x4", |bch| {
+        bch.iter(|| black_box(agglomerative(black_box(&dm), 4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Bench: the distance-function zoo on one window pair — the paper's
+//! weighted PLR distance vs weighted Euclidean vs DTW vs LCSS.
+//!
+//! Substantiates the Section 7.2 claim that "the running time of DTW is
+//! very computationally expensive, which makes it not suitable for
+//! real-time prediction": the PLR distance touches ~9 segments, DTW an
+//! O(n·m) table over raw-rate samples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsm_baselines::{dtw_distance, lcss_distance, resample_window, window_euclidean};
+use tsm_core::similarity::online_distance;
+use tsm_core::Params;
+use tsm_db::SourceRelation;
+use tsm_model::{segment_signal, SegmenterConfig, Vertex};
+use tsm_signal::{BreathingParams, SignalGenerator};
+
+fn window(seed: u64) -> Vec<Vertex> {
+    let samples = SignalGenerator::new(BreathingParams::default(), seed).generate(60.0);
+    let vertices = segment_signal(&samples, SegmenterConfig::clean());
+    vertices[..10.min(vertices.len())].to_vec() // 9 segments ≈ 3 cycles
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let a = window(1);
+    let b = window(2);
+    let params = Params::default();
+
+    // Raw-rate vectors for the whole-vector measures (3 cycles at 30 Hz).
+    let av = resample_window(&a, 0, 360);
+    let bv = resample_window(&b, 0, 360);
+
+    let mut group = c.benchmark_group("distances");
+    group.bench_function("plr_weighted", |bch| {
+        bch.iter(|| {
+            black_box(online_distance(
+                black_box(&a),
+                black_box(&b),
+                &params,
+                SourceRelation::SamePatient,
+            ))
+        })
+    });
+    group.bench_function("euclidean_resampled32", |bch| {
+        bch.iter(|| black_box(window_euclidean(black_box(&a), black_box(&b), 0, 32, 0.8)))
+    });
+    group.bench_function("dtw_raw_rate", |bch| {
+        bch.iter(|| black_box(dtw_distance(black_box(&av), black_box(&bv), Some(30))))
+    });
+    group.bench_function("lcss_raw_rate", |bch| {
+        bch.iter(|| black_box(lcss_distance(black_box(&av), black_box(&bv), 1.0, Some(30))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Bench: subsequence matching cost vs store size (Section 7.5 — linear
+//! in stored segments) and the state-order index vs the linear scan
+//! (the paper's "future work" indexing, quantified).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsm_bench::{build_bundle, BundleConfig};
+use tsm_core::matcher::{Matcher, QuerySubseq, SearchOptions};
+use tsm_core::Params;
+use tsm_db::{StateOrderIndex, SubseqRef};
+use tsm_model::SegmenterConfig;
+use tsm_signal::CohortConfig;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(20);
+
+    for n_patients in [6usize, 12, 24] {
+        let bundle = build_bundle(&BundleConfig {
+            cohort: CohortConfig {
+                n_patients,
+                sessions_per_patient: 2,
+                streams_per_session: 2,
+                stream_duration_s: 120.0,
+                dim: 1,
+                seed: 7,
+            },
+            segmenter: SegmenterConfig::default(),
+        });
+        let params = Params::default();
+        let matcher = Matcher::new(bundle.store.clone(), params);
+        // A query cut from the first stored stream.
+        let first = bundle.store.streams()[0].meta.id;
+        let view = bundle
+            .store
+            .resolve(SubseqRef::new(first, 3, 9))
+            .expect("stream long enough");
+        let query = QuerySubseq::from_view(&view);
+
+        group.bench_with_input(
+            BenchmarkId::new("scan", format!("{n_patients}p")),
+            &query,
+            |b, q| b.iter(|| black_box(matcher.find_matches(black_box(q)))),
+        );
+
+        let index = StateOrderIndex::build(&bundle.store, 9);
+        group.bench_with_input(
+            BenchmarkId::new("indexed", format!("{n_patients}p")),
+            &query,
+            |b, q| {
+                b.iter(|| {
+                    black_box(matcher.find_matches_indexed(
+                        black_box(q),
+                        &index,
+                        &SearchOptions::default(),
+                    ))
+                })
+            },
+        );
+
+        let feature_index = tsm_db::FeatureIndex::build(&bundle.store, 9, 0);
+        group.bench_with_input(
+            BenchmarkId::new("pruned", format!("{n_patients}p")),
+            &query,
+            |b, q| {
+                b.iter(|| {
+                    black_box(matcher.find_matches_pruned(
+                        black_box(q),
+                        &feature_index,
+                        &SearchOptions::default(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

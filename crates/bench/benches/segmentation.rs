@@ -1,0 +1,47 @@
+//! Bench: online segmentation throughput (Section 7.5 — constant time per
+//! incoming sample).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tsm_model::{OnlineSegmenter, SegmenterConfig};
+use tsm_signal::{BreathingParams, NoiseParams, SignalGenerator};
+
+fn bench_segmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segmentation");
+    for (name, noise, cardiac_cancel) in [
+        ("clean", NoiseParams::clean(), false),
+        ("noisy", NoiseParams::typical(), false),
+        (
+            "noisy_cardiac_cancel",
+            NoiseParams::cardiac_prominent(),
+            true,
+        ),
+    ] {
+        let samples = SignalGenerator::new(BreathingParams::default(), 42)
+            .with_noise(noise)
+            .generate(60.0);
+        let config = SegmenterConfig {
+            cardiac_cancel,
+            ..SegmenterConfig::default()
+        };
+        group.throughput(Throughput::Elements(samples.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("push_60s", name),
+            &samples,
+            |b, samples| {
+                b.iter(|| {
+                    let mut seg = OnlineSegmenter::new(config.clone());
+                    let mut n = 0usize;
+                    for &s in samples {
+                        n += seg.push(black_box(s)).len();
+                    }
+                    n + seg.finish().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_segmentation);
+criterion_main!(benches);

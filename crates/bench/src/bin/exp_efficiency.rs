@@ -1,0 +1,146 @@
+//! Experiment: **Section 7.5 — Efficiency.**
+//!
+//! The paper's claims:
+//!
+//! * "Our online segmentation runs with constant space and in linear time
+//!   with respect to raw data points. So for each new incoming data point,
+//!   the segmentation runs in constant time."
+//! * "Each subsequence similarity matching runs in linear time with
+//!   respect to segmented line segments."
+//! * "The average time of one prediction is less than 30 millisecond ...
+//!   short enough for image guided dynamic targeting radiation
+//!   treatment."
+//!
+//! This binary measures all three on the current machine. Run with
+//! `--release`; debug numbers are meaningless.
+
+use std::time::Instant;
+use tsm_bench::report::{banner, num, table};
+use tsm_bench::{build_bundle, evaluate_prediction, BundleConfig, PredictionEvalConfig};
+use tsm_core::Params;
+use tsm_model::{OnlineSegmenter, SegmenterConfig};
+use tsm_signal::{BreathingParams, CohortConfig, NoiseParams, SignalGenerator};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // ---- 1. Segmentation: constant time per sample --------------------
+    banner("Segmentation: per-sample cost vs stream length");
+    let mut rows = Vec::new();
+    let durations = if quick {
+        vec![60.0, 120.0]
+    } else {
+        vec![60.0, 300.0, 900.0, 1800.0]
+    };
+    for &duration in &durations {
+        let samples = SignalGenerator::new(BreathingParams::default(), 1)
+            .with_noise(NoiseParams::typical())
+            .generate(duration);
+        let started = Instant::now();
+        let mut seg = OnlineSegmenter::new(SegmenterConfig::default());
+        let mut vertices = 0usize;
+        for &s in &samples {
+            vertices += seg.push(s).len();
+        }
+        vertices += seg.finish().len();
+        let elapsed = started.elapsed();
+        rows.push(vec![
+            format!("{duration:.0} s ({} samples)", samples.len()),
+            format!("{:.1}", elapsed.as_secs_f64() * 1e9 / samples.len() as f64),
+            format!("{vertices}"),
+        ]);
+    }
+    table(
+        &["stream length", "ns per sample", "vertices emitted"],
+        &rows,
+    );
+
+    // ---- 2. Matching: linear in stored segments -----------------------
+    banner("Matching: query cost vs store size");
+    let cohort_sizes = if quick {
+        vec![4, 8]
+    } else {
+        vec![6, 12, 24, 42]
+    };
+    let mut rows = Vec::new();
+    for &n_patients in &cohort_sizes {
+        let bundle = build_bundle(&BundleConfig {
+            cohort: CohortConfig {
+                n_patients,
+                sessions_per_patient: 2,
+                streams_per_session: 2,
+                stream_duration_s: 120.0,
+                dim: 1,
+                seed: 0xEFF,
+            },
+            segmenter: SegmenterConfig::default(),
+        });
+        let total_vertices = bundle.store.total_vertices();
+        let params = Params::default();
+        let stats = evaluate_prediction(
+            &bundle,
+            &params,
+            &SegmenterConfig::default(),
+            &PredictionEvalConfig {
+                dts: vec![0.3],
+                predict_every: 60,
+                ..Default::default()
+            },
+        );
+        let per_prediction = stats.time_per_prediction();
+        rows.push(vec![
+            format!("{n_patients} patients / {} vertices", total_vertices),
+            format!("{:.3}", per_prediction.as_secs_f64() * 1e3),
+            format!(
+                "{:.1}",
+                per_prediction.as_secs_f64() * 1e9 / total_vertices.max(1) as f64
+            ),
+        ]);
+    }
+    table(
+        &["store size", "ms per prediction", "ns per stored vertex"],
+        &rows,
+    );
+
+    // ---- 3. End-to-end: the 30 ms budget ------------------------------
+    banner("End-to-end prediction latency (paper bound: < 30 ms)");
+    let bundle = build_bundle(&BundleConfig {
+        cohort: if quick {
+            CohortConfig {
+                n_patients: 8,
+                sessions_per_patient: 2,
+                streams_per_session: 2,
+                stream_duration_s: 90.0,
+                dim: 1,
+                seed: 0xEFF,
+            }
+        } else {
+            CohortConfig::paper_scale(0xEFF)
+        },
+        segmenter: SegmenterConfig::default(),
+    });
+    let params = Params::default();
+    let stats = evaluate_prediction(
+        &bundle,
+        &params,
+        &SegmenterConfig::default(),
+        &PredictionEvalConfig {
+            dts: vec![0.1, 0.2, 0.3],
+            ..Default::default()
+        },
+    );
+    let ms = stats.time_per_prediction().as_secs_f64() * 1e3;
+    println!(
+        "store: {} streams, {} vertices",
+        bundle.store.num_streams(),
+        bundle.store.total_vertices()
+    );
+    println!(
+        "predictions: {} (coverage {:.0}%), mean error {} mm",
+        stats.predictions,
+        stats.coverage() * 100.0,
+        num(stats.overall_error, 3)
+    );
+    println!("mean time per prediction (query + match + 3 horizons): {ms:.3} ms");
+    println!("VERDICT under the 30 ms budget: {}", ms < 30.0);
+}

@@ -1,0 +1,208 @@
+//! Experiment: **Figure 6 — Prediction results using different weighting
+//! factors for subsequence similarity.**
+//!
+//! * (a) mean prediction error for Δt ∈ [0, 300] ms, per weighting
+//!   configuration;
+//! * (b) error reduction relative to "no weighting";
+//! * (c) averages over all Δt.
+//!
+//! Also includes the Section 7.2 comparison against the corresponding
+//! weighted Euclidean distance, and two naive floors (last observed
+//! position; linear extrapolation).
+//!
+//! Expected shape (paper): *no weighting* worst; *wa, wf only* slightly
+//! better; each extra weighting factor slightly better again; *all
+//! weighting* best; the weighted PLR distance beats weighted Euclidean.
+
+use tsm_baselines::matcher::EuclideanMatcherConfig;
+use tsm_bench::report::{banner, num, table};
+use tsm_bench::{
+    build_bundle, evaluate_prediction, paired_errors, BundleConfig, MatchEngine,
+    PredictionEvalConfig,
+};
+use tsm_model::SegmenterConfig;
+use tsm_signal::CohortConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cohort = if quick {
+        CohortConfig {
+            n_patients: 8,
+            sessions_per_patient: 2,
+            streams_per_session: 2,
+            stream_duration_s: 90.0,
+            dim: 1,
+            seed: 0xF16,
+        }
+    } else {
+        CohortConfig {
+            n_patients: 42,
+            sessions_per_patient: 3,
+            streams_per_session: 2,
+            stream_duration_s: 120.0,
+            dim: 1,
+            seed: 0xF16,
+        }
+    };
+    let bundle_cfg = BundleConfig {
+        cohort,
+        segmenter: SegmenterConfig::default(),
+    };
+    eprintln!(
+        "building cohort: {} patients, {} streams ...",
+        cohort.n_patients,
+        cohort.total_streams()
+    );
+    let bundle = build_bundle(&bundle_cfg);
+
+    let configs: Vec<(&str, tsm_core::Params, MatchEngine)> = vec![
+        (
+            "no weighting",
+            tsm_core::Params::no_weighting(),
+            MatchEngine::Plr,
+        ),
+        (
+            "wa, wf only",
+            tsm_core::Params::amp_freq_only(),
+            MatchEngine::Plr,
+        ),
+        (
+            "+ weighted streams (ws)",
+            tsm_core::Params::with_stream_weights(),
+            MatchEngine::Plr,
+        ),
+        (
+            "+ weighted segments (wi)",
+            tsm_core::Params::with_vertex_weights(),
+            MatchEngine::Plr,
+        ),
+        (
+            "all weighting",
+            tsm_core::Params::all_weighting(),
+            MatchEngine::Plr,
+        ),
+        (
+            "weighted Euclidean",
+            tsm_core::Params::all_weighting(),
+            MatchEngine::Euclidean(EuclideanMatcherConfig::default()),
+        ),
+    ];
+
+    let dts: Vec<f64> = (0..=10).map(|i| i as f64 * 0.03).collect();
+    let mut results = Vec::new();
+    for (name, params, engine) in &configs {
+        eprintln!("evaluating: {name} ...");
+        let cfg = PredictionEvalConfig {
+            dts: dts.clone(),
+            engine: engine.clone(),
+            ..Default::default()
+        };
+        let stats = evaluate_prediction(&bundle, params, &bundle_cfg.segmenter, &cfg);
+        results.push((*name, stats));
+    }
+
+    // Naive floors, computed against the truth PLR directly.
+    let naive_by_dt: Vec<(f64, f64)> = dts
+        .iter()
+        .map(|&dt| {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for e in &bundle.eval {
+                let plr = &e.truth;
+                let mut t = plr.start_time() + 10.0;
+                while t + dt < plr.end_time() {
+                    let now = plr.position_at(t)[0];
+                    let future = plr.position_at(t + dt)[0];
+                    sum += (future - now).abs();
+                    n += 1;
+                    t += 1.0;
+                }
+            }
+            (dt, if n > 0 { sum / n as f64 } else { f64::NAN })
+        })
+        .collect();
+
+    banner("Figure 6a: mean prediction error (mm) vs prediction horizon");
+    let mut headers: Vec<String> = vec!["dt (ms)".into()];
+    headers.extend(results.iter().map(|(n, _)| n.to_string()));
+    headers.push("last position".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for (dix, &dt) in dts.iter().enumerate() {
+        let mut row = vec![format!("{:.0}", dt * 1000.0)];
+        for (_, stats) in &results {
+            row.push(num(stats.by_dt[dix].1, 3));
+        }
+        row.push(num(naive_by_dt[dix].1, 3));
+        rows.push(row);
+    }
+    table(&header_refs, &rows);
+
+    banner("Figure 6b: error reduction vs 'no weighting' (%)");
+    let base = results[0].1.overall_error;
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, stats)| {
+            vec![
+                name.to_string(),
+                num((base - stats.overall_error) / base * 100.0, 1),
+            ]
+        })
+        .collect();
+    table(&["configuration", "error reduction %"], &rows);
+
+    banner("Figure 6c: average prediction error over all horizons (mm)");
+    // Paired over the prediction points every configuration produced,
+    // removing the coverage confound.
+    let refs: Vec<&tsm_bench::PredictionStats> = results.iter().map(|(_, s)| s).collect();
+    let (paired, n_common) = paired_errors(&refs);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .zip(&paired)
+        .map(|((name, stats), &p)| {
+            vec![
+                name.to_string(),
+                num(stats.overall_error, 3),
+                num(p, 3),
+                format!("{}", stats.predictions),
+                format!("{:.0}%", stats.coverage() * 100.0),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "configuration",
+            "raw error (mm)",
+            &format!("paired error (mm, n={n_common})"),
+            "predictions",
+            "coverage",
+        ],
+        &rows,
+    );
+
+    // Machine-checkable verdicts for EXPERIMENTS.md, on the paired
+    // errors.
+    let paired_of = |key: &str| {
+        results
+            .iter()
+            .position(|(n, _)| *n == key)
+            .map(|ix| paired[ix])
+            .expect("config present")
+    };
+    let all = paired_of("all weighting");
+    let none = paired_of("no weighting");
+    let euclid = paired_of("weighted Euclidean");
+    println!();
+    println!(
+        "VERDICT (paired) all-weighting beats no-weighting: {} ({:.3} vs {:.3} mm)",
+        all < none,
+        all,
+        none
+    );
+    println!(
+        "VERDICT (paired) weighted PLR beats weighted Euclidean: {} ({:.3} vs {:.3} mm)",
+        all < euclid,
+        all,
+        euclid
+    );
+}

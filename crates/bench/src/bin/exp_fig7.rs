@@ -1,0 +1,166 @@
+//! Experiment: **Figure 7 — Dynamic and fixed query subsequences.**
+//!
+//! * (a) prediction error for fixed query lengths (2–9 breathing cycles)
+//!   vs the stability-driven dynamic method;
+//! * (b) mean dynamic query length as a function of the stability
+//!   threshold θ (with `L_min = 2`, `L_max = 9` as in the paper).
+//!
+//! Expected shape (paper): the dynamic method matches or beats every
+//! fixed length; query length grows as θ shrinks, settling around 3–5
+//! cycles.
+
+use tsm_bench::report::{banner, num, table};
+use tsm_bench::{
+    build_bundle, evaluate_prediction, paired_errors, BundleConfig, PredictionEvalConfig, QueryMode,
+};
+use tsm_core::Params;
+use tsm_model::SegmenterConfig;
+use tsm_signal::CohortConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cohort = if quick {
+        CohortConfig {
+            n_patients: 8,
+            sessions_per_patient: 2,
+            streams_per_session: 2,
+            stream_duration_s: 90.0,
+            dim: 1,
+            seed: 0xF17,
+        }
+    } else {
+        CohortConfig {
+            n_patients: 42,
+            sessions_per_patient: 3,
+            streams_per_session: 2,
+            stream_duration_s: 120.0,
+            dim: 1,
+            seed: 0xF17,
+        }
+    };
+    let bundle_cfg = BundleConfig {
+        cohort,
+        segmenter: SegmenterConfig::default(),
+    };
+    eprintln!("building cohort ...");
+    let bundle = build_bundle(&bundle_cfg);
+
+    // The Figure 7 bounds: Lmin = 2, Lmax = 9 cycles.
+    let params = Params {
+        lmin_cycles: 2,
+        lmax_cycles: 9,
+        ..Params::default()
+    };
+    let dts: Vec<f64> = vec![0.1, 0.2, 0.3];
+
+    banner("Figure 7a: prediction error, fixed vs dynamic query lengths");
+    let mut all_stats = Vec::new();
+    let mut names = Vec::new();
+    for cycles in 2..=9usize {
+        eprintln!("evaluating: fixed {cycles} cycles ...");
+        let cfg = PredictionEvalConfig {
+            dts: dts.clone(),
+            query_mode: QueryMode::Fixed(cycles * 3),
+            ..Default::default()
+        };
+        all_stats.push(evaluate_prediction(
+            &bundle,
+            &params,
+            &bundle_cfg.segmenter,
+            &cfg,
+        ));
+        names.push(format!("fixed {cycles} cycles"));
+    }
+    eprintln!("evaluating: dynamic ...");
+    let cfg = PredictionEvalConfig {
+        dts: dts.clone(),
+        query_mode: QueryMode::Dynamic,
+        ..Default::default()
+    };
+    let dynamic = evaluate_prediction(&bundle, &params, &bundle_cfg.segmenter, &cfg);
+    all_stats.push(dynamic.clone());
+    names.push("dynamic (stability)".into());
+
+    // Paired on the points every method predicted: without this, a long
+    // fixed query that only matches in easy situations looks spuriously
+    // accurate (low coverage, low error).
+    let refs: Vec<&tsm_bench::PredictionStats> = all_stats.iter().collect();
+    let (paired, n_common) = paired_errors(&refs);
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .zip(all_stats.iter().zip(&paired))
+        .map(|(name, (stats, &p))| {
+            vec![
+                name.clone(),
+                num(stats.overall_error, 3),
+                format!("{:.0}%", stats.coverage() * 100.0),
+                num(p, 3),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "query generation",
+            "raw error (mm)",
+            "coverage",
+            &format!("paired error (mm, n={n_common})"),
+        ],
+        &rows,
+    );
+
+    banner("Figure 7b: mean dynamic query length vs stability threshold");
+    let mut rows = Vec::new();
+    for theta in [0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 6.0, 14.0] {
+        let p = Params {
+            theta,
+            ..params.clone()
+        };
+        let cfg = PredictionEvalConfig {
+            dts: vec![0.3],
+            query_mode: QueryMode::Dynamic,
+            ..Default::default()
+        };
+        let stats = evaluate_prediction(&bundle, &p, &bundle_cfg.segmenter, &cfg);
+        rows.push(vec![
+            format!("{theta}"),
+            num(stats.mean_query_len / 3.0, 2),
+            num(stats.overall_error, 3),
+        ]);
+    }
+    table(
+        &[
+            "theta",
+            "mean query length (cycles)",
+            "error at 300 ms (mm)",
+        ],
+        &rows,
+    );
+
+    let dynamic_paired = *paired.last().expect("dynamic present");
+    let fixed_paired = &paired[..paired.len() - 1];
+    let mean_fixed =
+        fixed_paired.iter().filter(|e| e.is_finite()).sum::<f64>() / fixed_paired.len() as f64;
+    let best_fixed = fixed_paired
+        .iter()
+        .cloned()
+        .filter(|e| e.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    println!();
+    println!(
+        "VERDICT (paired) dynamic beats the average fixed length: {} ({:.3} vs mean fixed {:.3} mm)",
+        dynamic_paired < mean_fixed,
+        dynamic_paired,
+        mean_fixed
+    );
+    println!(
+        "VERDICT (paired) dynamic within 10% of the best fixed length: {} (best fixed {:.3} mm)",
+        dynamic_paired <= best_fixed * 1.10,
+        best_fixed
+    );
+    println!(
+        "VERDICT dynamic coverage beats the longest fixed length: {} ({:.0}% vs {:.0}%)",
+        dynamic.coverage() > all_stats[all_stats.len() - 2].coverage(),
+        dynamic.coverage() * 100.0,
+        all_stats[all_stats.len() - 2].coverage() * 100.0
+    );
+}

@@ -1,0 +1,89 @@
+//! Experiment: **Figure 9 — Effects of the distance threshold δ.**
+//!
+//! "With a smaller threshold, the prediction results are better ... the
+//! drawback is that there will be fewer similar subsequences ... a
+//! smaller δ will result in fewer predictions. There is a tradeoff
+//! between the number of predictions and the prediction accuracy."
+//!
+//! Expected shape: error grows with δ; coverage grows with δ.
+
+use tsm_bench::report::{banner, num, table};
+use tsm_bench::{build_bundle, evaluate_prediction, BundleConfig, PredictionEvalConfig};
+use tsm_core::Params;
+use tsm_model::SegmenterConfig;
+use tsm_signal::CohortConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cohort = if quick {
+        CohortConfig {
+            n_patients: 8,
+            sessions_per_patient: 2,
+            streams_per_session: 2,
+            stream_duration_s: 90.0,
+            dim: 1,
+            seed: 0xF19,
+        }
+    } else {
+        CohortConfig {
+            n_patients: 42,
+            sessions_per_patient: 3,
+            streams_per_session: 2,
+            stream_duration_s: 120.0,
+            dim: 1,
+            seed: 0xF19,
+        }
+    };
+    let bundle_cfg = BundleConfig {
+        cohort,
+        segmenter: SegmenterConfig::default(),
+    };
+    eprintln!("building cohort ...");
+    let bundle = build_bundle(&bundle_cfg);
+    let params = Params::default();
+    let dts: Vec<f64> = vec![0.1, 0.2, 0.3];
+
+    banner("Figure 9: accuracy/coverage tradeoff of the distance threshold");
+    let deltas = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &delta in &deltas {
+        eprintln!("evaluating: delta = {delta} ...");
+        let cfg = PredictionEvalConfig {
+            dts: dts.clone(),
+            delta_override: Some(delta),
+            ..Default::default()
+        };
+        let stats = evaluate_prediction(&bundle, &params, &bundle_cfg.segmenter, &cfg);
+        series.push((delta, stats.overall_error, stats.coverage()));
+        rows.push(vec![
+            format!("{delta}"),
+            num(stats.overall_error, 3),
+            format!("{:.1}%", stats.coverage() * 100.0),
+            format!("{}", stats.predictions),
+        ]);
+    }
+    table(
+        &["delta", "mean error (mm)", "coverage", "predictions"],
+        &rows,
+    );
+
+    // Shape checks: coverage monotone non-decreasing in delta; error at
+    // the tightest delta (among those that predict at all) no worse than
+    // at the loosest.
+    let coverage_monotone = series.windows(2).all(|w| w[0].2 <= w[1].2 + 0.02);
+    let first_active = series.iter().find(|s| s.2 > 0.05);
+    let last = series.last().expect("non-empty");
+    println!();
+    println!("VERDICT coverage grows with delta: {coverage_monotone}");
+    if let Some(first) = first_active {
+        println!(
+            "VERDICT tight delta at least as accurate as loose delta: {} ({:.3} mm @ {} vs {:.3} mm @ {})",
+            first.1 <= last.1 * 1.05,
+            first.1,
+            first.0,
+            last.1,
+            last.0
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Experiment: **Table 1 — Settings of Parameters.**
+//!
+//! Prints the parameter settings this reproduction uses, next to the
+//! values the paper reports. (The similarity scale differs — see
+//! DESIGN.md — so δ/θ are calibrated rather than copied; every other
+//! value matches the paper exactly.)
+
+use tsm_bench::report::{banner, table};
+use tsm_core::params::Params;
+
+fn main() {
+    let p = Params::default();
+    p.validate().expect("default parameters must validate");
+
+    banner("Table 1: Settings of Parameters");
+    let rows = vec![
+        vec![
+            "Weight for amplitude".into(),
+            "wa".into(),
+            format!("{}", p.wa),
+            "1.0".into(),
+        ],
+        vec![
+            "Weight for frequency".into(),
+            "wf".into(),
+            format!("{}", p.wf),
+            "0.25".into(),
+        ],
+        vec![
+            "Weight for vertexes (base)".into(),
+            "wi".into(),
+            format!("{}", p.wi_base),
+            "0.8".into(),
+        ],
+        vec![
+            "Weight for source streams (same session)".into(),
+            "ws".into(),
+            format!("{}", p.ws_same_session),
+            "1.0".into(),
+        ],
+        vec![
+            "Weight for source streams (same patient)".into(),
+            "ws".into(),
+            format!("{}", p.ws_same_patient),
+            "0.9".into(),
+        ],
+        vec![
+            "Weight for source streams (other patient)".into(),
+            "ws".into(),
+            format!("{}", p.ws_other_patient),
+            "0.3".into(),
+        ],
+        vec![
+            "Subsequence distance threshold".into(),
+            "delta".into(),
+            format!("{}", p.delta),
+            "8.0".into(),
+        ],
+        vec![
+            "Stability threshold".into(),
+            "theta".into(),
+            format!("{}", p.theta),
+            "6.0".into(),
+        ],
+        vec![
+            "Query length bounds (cycles)".into(),
+            "Lmin..Lmax".into(),
+            format!("{}..{}", p.lmin_cycles, p.lmax_cycles),
+            "3..8 (Fig 5)".into(),
+        ],
+        vec![
+            "Retrieved per stream-distance query".into(),
+            "k".into(),
+            format!("{}", p.k_retrieve),
+            "10".into(),
+        ],
+    ];
+    table(&["Parameter", "Symbol", "This repo", "Paper"], &rows);
+}

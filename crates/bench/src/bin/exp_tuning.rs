@@ -1,0 +1,132 @@
+//! Extension experiment: **automatic parameter tuning** (paper Section 8's
+//! "ongoing project").
+//!
+//! Replicates the paper's manual Table-1 procedure automatically:
+//! coordinate descent over the parameter grids, with mean prediction
+//! error on a *training* cohort as the objective, then evaluates the
+//! tuned parameters on a held-out *test* cohort (different seed). The
+//! check is that (a) tuning never hurts and usually helps on the test
+//! cohort, and (b) the tuned values land in the same region the paper
+//! chose by hand.
+
+use tsm_bench::report::{banner, num, table};
+use tsm_bench::{build_bundle, evaluate_prediction, BundleConfig, PredictionEvalConfig};
+use tsm_core::tuning::{CoordinateDescentTuner, TuningSpace};
+use tsm_core::Params;
+use tsm_model::SegmenterConfig;
+use tsm_signal::CohortConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mk_cohort = |seed: u64| CohortConfig {
+        n_patients: if quick { 6 } else { 12 },
+        sessions_per_patient: 2,
+        streams_per_session: 2,
+        stream_duration_s: 90.0,
+        dim: 1,
+        seed,
+    };
+    let seg = SegmenterConfig::default();
+    eprintln!("building train/test cohorts ...");
+    let train = build_bundle(&BundleConfig {
+        cohort: mk_cohort(0x7EA1),
+        segmenter: seg.clone(),
+    });
+    let test = build_bundle(&BundleConfig {
+        cohort: mk_cohort(0x7E57),
+        segmenter: seg.clone(),
+    });
+
+    let eval_cfg = PredictionEvalConfig {
+        dts: vec![0.1, 0.3],
+        predict_every: 60,
+        ..Default::default()
+    };
+    // The objective penalizes abstention mildly so the tuner cannot win
+    // by predicting only when trivially easy.
+    let objective = |bundle: &tsm_bench::StoreBundle, p: &Params| {
+        let stats = evaluate_prediction(bundle, p, &seg, &eval_cfg);
+        if !stats.overall_error.is_finite() {
+            return f64::MAX;
+        }
+        stats.overall_error + 0.5 * (1.0 - stats.coverage())
+    };
+
+    banner("Automatic parameter tuning (coordinate descent)");
+    let start = Params::default();
+    let baseline_train = objective(&train, &start);
+    eprintln!("tuning ...");
+    let tuner = CoordinateDescentTuner::new(TuningSpace::default(), if quick { 1 } else { 2 });
+    let mut evals = 0usize;
+    let result = tuner.tune(start.clone(), |p| {
+        evals += 1;
+        eprintln!("  eval {evals} ...");
+        objective(&train, p)
+    });
+
+    let rows = vec![
+        vec!["wf".into(), num(start.wf, 2), num(result.params.wf, 2)],
+        vec![
+            "wi_base".into(),
+            num(start.wi_base, 2),
+            num(result.params.wi_base, 2),
+        ],
+        vec![
+            "ws_same_patient".into(),
+            num(start.ws_same_patient, 2),
+            num(result.params.ws_same_patient, 2),
+        ],
+        vec![
+            "ws_other_patient".into(),
+            num(start.ws_other_patient, 2),
+            num(result.params.ws_other_patient, 2),
+        ],
+        vec![
+            "delta".into(),
+            num(start.delta, 2),
+            num(result.params.delta, 2),
+        ],
+        vec![
+            "theta".into(),
+            num(start.theta, 2),
+            num(result.params.theta, 2),
+        ],
+    ];
+    table(&["parameter", "Table 1", "tuned"], &rows);
+    println!(
+        "\ntraining objective: {:.4} -> {:.4} ({} evaluations)",
+        baseline_train, result.objective, result.evaluations
+    );
+
+    // Held-out evaluation.
+    let base_stats = evaluate_prediction(&test, &start, &seg, &eval_cfg);
+    let tuned_stats = evaluate_prediction(&test, &result.params, &seg, &eval_cfg);
+    banner("Held-out test cohort");
+    table(
+        &["params", "mean error (mm)", "coverage"],
+        &[
+            vec![
+                "Table 1 defaults".into(),
+                num(base_stats.overall_error, 3),
+                format!("{:.0}%", base_stats.coverage() * 100.0),
+            ],
+            vec![
+                "tuned".into(),
+                num(tuned_stats.overall_error, 3),
+                format!("{:.0}%", tuned_stats.coverage() * 100.0),
+            ],
+        ],
+    );
+    let base_obj = base_stats.overall_error + 0.5 * (1.0 - base_stats.coverage());
+    let tuned_obj = tuned_stats.overall_error + 0.5 * (1.0 - tuned_stats.coverage());
+    println!(
+        "\nVERDICT tuning does not hurt the held-out objective: {} ({:.4} vs {:.4})",
+        tuned_obj <= base_obj * 1.02,
+        tuned_obj,
+        base_obj
+    );
+    println!(
+        "VERDICT tuned source weights keep the paper's tier ordering: {}",
+        result.params.ws_other_patient <= result.params.ws_same_patient
+    );
+}

@@ -1,0 +1,27 @@
+//! # tsm-bench
+//!
+//! The experiment harness that regenerates the paper's evaluation
+//! (Section 7). Each `exp_*` binary reproduces one table or figure; this
+//! library holds the shared machinery: cohort → store ingestion, the
+//! prediction replay loop, and result formatting.
+//!
+//! | Binary           | Reproduces |
+//! |------------------|------------|
+//! | `exp_table1`     | Table 1 — parameter settings |
+//! | `exp_fig6`       | Figure 6 — weighting-factor ablations vs prediction error |
+//! | `exp_fig7`       | Figure 7 — dynamic vs fixed query lengths; length vs θ |
+//! | `exp_fig8`       | Figure 8 — clustering, stream and patient distances |
+//! | `exp_fig9`       | Figure 9 — distance threshold δ: accuracy vs coverage |
+//! | `exp_efficiency` | Section 7.5 — per-prediction latency and scaling |
+//!
+//! Criterion microbenchmarks (in `benches/`) cover segmentation
+//! throughput, matching scaling, prediction latency, the distance-function
+//! zoo (PLR vs Euclidean vs DTW vs LCSS) and clustering.
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{
+    build_bundle, cluster_patients, evaluate_prediction, paired_errors, BundleConfig, EvalStream,
+    MatchEngine, PredictionEvalConfig, PredictionRecord, PredictionStats, QueryMode, StoreBundle,
+};

@@ -1,0 +1,95 @@
+//! Plain-text table formatting for the experiment binaries.
+//!
+//! Every `exp_*` binary prints the same rows/series the paper's table or
+//! figure reports, as aligned text tables that EXPERIMENTS.md quotes.
+
+/// Prints a header banner.
+pub fn banner(title: &str) {
+    let line = "=".repeat(title.len().max(20));
+    println!("{line}");
+    println!("{title}");
+    println!("{line}");
+}
+
+/// Prints an aligned two-column table.
+pub fn table2(headers: (&str, &str), rows: &[(String, String)]) {
+    let w0 = rows
+        .iter()
+        .map(|r| r.0.len())
+        .chain([headers.0.len()])
+        .max()
+        .unwrap_or(0);
+    println!("{:<w0$}  {}", headers.0, headers.1);
+    println!("{}  {}", "-".repeat(w0), "-".repeat(headers.1.len().max(8)));
+    for (a, b) in rows {
+        println!("{a:<w0$}  {b}");
+    }
+}
+
+/// Prints an aligned multi-column table. `rows` are row-label +
+/// cell-values.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (c, cell) in cells.iter().enumerate().take(cols) {
+            if c > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<w$}", cell, w = widths[c]));
+        }
+        line
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float with fixed precision, handling NaN as "-".
+pub fn num(x: f64, precision: usize) -> String {
+    if x.is_nan() {
+        "-".into()
+    } else {
+        format!("{x:.precision$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(1.23456, 2), "1.23");
+        assert_eq!(num(f64::NAN, 2), "-");
+    }
+
+    #[test]
+    fn tables_do_not_panic() {
+        banner("test");
+        table2(("a", "b"), &[("x".into(), "y".into())]);
+        table(
+            &["col1", "col2", "col3"],
+            &[vec!["a".into(), "b".into(), "c".into()]],
+        );
+        table(&["only"], &[]);
+    }
+}

@@ -1,0 +1,121 @@
+//! A minimal flag parser (no external dependencies): `--key value` pairs
+//! plus positional arguments.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    /// Positional arguments, in order.
+    pub positional: Vec<String>,
+    /// `--key value` flags (`--key` with no value stores an empty
+    /// string, usable as a boolean).
+    pub flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of raw arguments (without the program name).
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty flag name".into());
+                }
+                // `--key=value` form.
+                if let Some((k, v)) = key.split_once('=') {
+                    args.flags.insert(k.to_string(), v.to_string());
+                    continue;
+                }
+                // `--key value` form; a following token that starts with
+                // `--` means this was a boolean flag.
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
+                args.flags.insert(key.to_string(), value);
+            } else {
+                args.positional.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// A string flag with a default.
+    #[allow(dead_code)] // part of the general-purpose parser surface
+    pub fn str_flag(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .filter(|v| !v.is_empty())
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// A required string flag.
+    pub fn require(&self, key: &str) -> Result<String, String> {
+        self.flags
+            .get(key)
+            .filter(|v| !v.is_empty())
+            .cloned()
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// A numeric flag with a default.
+    pub fn num_flag<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            Some(v) if !v.is_empty() => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+            _ => Ok(default),
+        }
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn bool_flag(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|x| x.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let a = parse(&["cluster", "--store", "x.tsmdb", "--k", "4", "extra"]);
+        assert_eq!(a.positional, vec!["cluster", "extra"]);
+        assert_eq!(a.str_flag("store", ""), "x.tsmdb");
+        assert_eq!(a.num_flag("k", 0usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn equals_form_and_booleans() {
+        let a = parse(&["--seed=42", "--quick", "--out", "--verbose"]);
+        assert_eq!(a.num_flag("seed", 0u64).unwrap(), 42);
+        assert!(a.bool_flag("quick"));
+        // `--out` swallowed no value because `--verbose` follows.
+        assert!(a.bool_flag("out"));
+        assert!(a.bool_flag("verbose"));
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let a = parse(&["--k", "3"]);
+        assert_eq!(a.num_flag("missing", 7i32).unwrap(), 7);
+        assert_eq!(a.str_flag("name", "anon"), "anon");
+        assert!(a.require("store").is_err());
+        assert_eq!(a.require("k").unwrap(), "3");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Args::parse(["--".to_string()]).is_err());
+        let a = parse(&["--k", "x"]);
+        assert!(a.num_flag("k", 0usize).is_err());
+    }
+}

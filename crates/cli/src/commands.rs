@@ -1,0 +1,307 @@
+//! The `tsm` subcommands.
+
+use crate::args::Args;
+use tsm_core::cluster::{k_medoids, silhouette};
+use tsm_core::correlate::discover_correlations;
+use tsm_core::matcher::{Matcher, QuerySubseq};
+use tsm_core::patient_distance::patient_distance_matrix;
+use tsm_core::pipeline::OnlinePredictor;
+use tsm_core::stream_distance::StreamDistanceConfig;
+use tsm_core::Params;
+use tsm_db::{
+    load_store_from_path, save_store_to_path, PatientAttributes, PatientId, StreamId, StreamStore,
+    SubseqRef,
+};
+use tsm_model::{segment_signal, PlrTrajectory, SegmenterConfig};
+use tsm_signal::{CohortConfig, SyntheticCohort};
+
+/// Prints usage.
+pub fn help() {
+    println!(
+        "tsm — subsequence matching on structured time series
+
+USAGE:
+  tsm simulate --patients N --sessions S --streams K --duration SECS \\
+               --seed X --out FILE     build a synthetic cohort store
+  tsm info     --store FILE            store statistics
+  tsm segment  --csv FILE [--axis N]   segment a time,value CSV signal
+  tsm match    --store FILE --stream ID --start I --len L [--delta D]
+  tsm predict  --store FILE --patient ID [--duration SECS] [--dt SECS]
+               [--seed X]              replay a fresh session, report error
+  tsm cluster  --store FILE [--k K]    cluster patients, find correlations
+  tsm help                             this message"
+    );
+}
+
+fn load(args: &Args) -> Result<StreamStore, String> {
+    let path = args.require("store")?;
+    load_store_from_path(&path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `tsm simulate`.
+pub fn simulate(args: &Args) -> Result<(), String> {
+    let config = CohortConfig {
+        n_patients: args.num_flag("patients", 12usize)?,
+        sessions_per_patient: args.num_flag("sessions", 2usize)?,
+        streams_per_session: args.num_flag("streams", 2usize)?,
+        stream_duration_s: args.num_flag("duration", 120.0f64)?,
+        dim: args.num_flag("dim", 1usize)?,
+        seed: args.num_flag("seed", 0xC0FFEEu64)?,
+    };
+    let out = args.require("out")?;
+    eprintln!(
+        "simulating {} patients x {} sessions x {} streams x {:.0}s ...",
+        config.n_patients,
+        config.sessions_per_patient,
+        config.streams_per_session,
+        config.stream_duration_s
+    );
+    let cohort = SyntheticCohort::generate(config);
+    let store = StreamStore::new();
+    let seg = SegmenterConfig::default();
+    for p in &cohort.patients {
+        let mut attrs = PatientAttributes::new();
+        attrs.insert("age".into(), p.profile.age.to_string());
+        attrs.insert("sex".into(), format!("{:?}", p.profile.sex));
+        attrs.insert("tumor_site".into(), format!("{:?}", p.profile.tumor_site));
+        attrs.insert(
+            "tumor_size_mm".into(),
+            format!("{:.1}", p.profile.tumor_size_mm),
+        );
+        let pid = store.add_patient(attrs);
+        for (six, session) in p.sessions.iter().enumerate() {
+            for raw in &session.streams {
+                let vertices = segment_signal(raw, seg.clone());
+                if let Ok(plr) = PlrTrajectory::from_vertices(vertices) {
+                    store.add_stream(pid, six as u32, plr, raw.len());
+                }
+            }
+        }
+    }
+    save_store_to_path(&store, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} patients, {} streams, {} vertices",
+        store.num_patients(),
+        store.num_streams(),
+        store.total_vertices()
+    );
+    Ok(())
+}
+
+/// `tsm info`.
+pub fn info(args: &Args) -> Result<(), String> {
+    let store = load(args)?;
+    let stats = tsm_db::StoreStats::of(&store, 0);
+    println!(
+        "patients: {}\nstreams:  {}\nvertices: {}",
+        stats.patients, stats.streams, stats.vertices
+    );
+    println!(
+        "signal:   {:.0} s total, {} raw samples ({:.1}x compression)",
+        stats.total_duration_s, stats.raw_samples, stats.compression
+    );
+    println!(
+        "segments: EX={} EOE={} IN={} IRR={}",
+        stats.state_counts[0], stats.state_counts[1], stats.state_counts[2], stats.state_counts[3]
+    );
+    if let (Some(p), Some(a)) = (stats.mean_period_s, stats.mean_amplitude_mm) {
+        println!("breathing: mean period {p:.2} s, mean amplitude {a:.1} mm");
+    }
+    if args.bool_flag("verbose") {
+        println!("\nper-stream statistics:");
+        for s in store.streams() {
+            let st = tsm_db::StreamStats::of(&s, 0);
+            println!(
+                "  {} ({}  session {}): {:.0}s, {} cycles, period {}, amplitude {}, IRR {:.0}%",
+                s.meta.id,
+                s.meta.patient,
+                s.meta.session,
+                st.duration_s,
+                st.cycles,
+                st.mean_period_s
+                    .map(|p| format!("{p:.2}s"))
+                    .unwrap_or_else(|| "-".into()),
+                st.mean_amplitude_mm
+                    .map(|a| format!("{a:.1}mm"))
+                    .unwrap_or_else(|| "-".into()),
+                st.irregular_fraction * 100.0
+            );
+        }
+    }
+    for p in store.patients() {
+        let streams = store.streams_of(p);
+        let attrs = store.patient_attributes(p).unwrap_or_default();
+        let site = attrs.get("tumor_site").cloned().unwrap_or_default();
+        let mut sessions: Vec<u32> = streams
+            .iter()
+            .filter_map(|&s| store.stream(s).map(|m| m.meta.session))
+            .collect();
+        sessions.dedup();
+        println!(
+            "  {p}: {} streams in {} sessions {}",
+            streams.len(),
+            sessions.len(),
+            if site.is_empty() {
+                String::new()
+            } else {
+                format!("({site})")
+            }
+        );
+    }
+    Ok(())
+}
+
+/// `tsm segment` — segments a `time,value[,value2[,value3]]` CSV and
+/// prints `time,state,coordinates...` vertex rows.
+pub fn segment(args: &Args) -> Result<(), String> {
+    let path = args.require("csv")?;
+    let axis = args.num_flag("axis", 0usize)?;
+    let file = std::fs::File::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    let samples = tsm_model::csv::read_samples_csv(file).map_err(|e| format!("{path}: {e}"))?;
+    if samples.is_empty() {
+        return Err(format!("{path}: no samples"));
+    }
+    let config = SegmenterConfig {
+        axis,
+        cardiac_cancel: args.bool_flag("cardiac-cancel"),
+        ..SegmenterConfig::default()
+    };
+    let vertices = segment_signal(&samples, config);
+    tsm_model::csv::write_vertices_csv(&vertices, std::io::stdout()).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} samples -> {} vertices ({:.1}x compression)",
+        samples.len(),
+        vertices.len(),
+        samples.len() as f64 / vertices.len().max(1) as f64
+    );
+    Ok(())
+}
+
+/// `tsm match`.
+pub fn match_cmd(args: &Args) -> Result<(), String> {
+    let store = load(args)?;
+    let stream = StreamId(args.num_flag("stream", 0u32)?);
+    let start = args.num_flag("start", 0usize)?;
+    let len = args.num_flag("len", 9usize)?;
+    let mut params = Params::default();
+    params.delta = args.num_flag("delta", params.delta)?;
+    let view = store
+        .resolve(SubseqRef::new(stream, start, len))
+        .ok_or_else(|| format!("stream {stream} has no window [{start}, {start}+{len}]"))?;
+    let query = QuerySubseq::from_view(&view);
+    let matcher = Matcher::new(store.clone(), params);
+    let matches = matcher.find_matches(&query);
+    println!("query: {stream} start {start} len {len}");
+    println!("{} matches within delta:", matches.len());
+    for m in matches.iter().take(args.num_flag("top", 20usize)?) {
+        println!(
+            "  {} start {:>4}  distance {:>8.4}  ws {:.1}  ({:?})",
+            m.subseq.stream, m.subseq.start, m.distance, m.ws, m.relation
+        );
+    }
+    Ok(())
+}
+
+/// `tsm predict` — replays a fresh simulated session for a stored
+/// patient and reports prediction error.
+pub fn predict(args: &Args) -> Result<(), String> {
+    let store = load(args)?;
+    let patient = PatientId(args.num_flag("patient", 0u32)?);
+    if store.streams_of(patient).is_empty() {
+        return Err(format!(
+            "patient {patient} not in store (or has no streams)"
+        ));
+    }
+    let duration = args.num_flag("duration", 60.0f64)?;
+    let dt = args.num_flag("dt", 0.3f64)?;
+    let seed = args.num_flag("seed", 12345u64)?;
+
+    // A fresh session resembling the stored streams: reuse the
+    // default simulator with a new seed (a real deployment would stream
+    // from the tracking system instead).
+    let mut generator =
+        tsm_signal::SignalGenerator::new(tsm_signal::BreathingParams::default(), seed)
+            .with_noise(tsm_signal::NoiseParams::typical());
+    let samples = generator.generate(duration);
+    let seg = SegmenterConfig::default();
+    let truth = PlrTrajectory::from_vertices(segment_signal(&samples, seg.clone()))
+        .map_err(|e| e.to_string())?;
+
+    let session = store
+        .streams_of(patient)
+        .iter()
+        .filter_map(|&s| store.stream(s))
+        .map(|s| s.meta.session)
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let mut predictor =
+        OnlinePredictor::new(store.clone(), Params::default(), seg, patient, session);
+    let mut errors = Vec::new();
+    for (i, &s) in samples.iter().enumerate() {
+        predictor.push(s);
+        if i % 30 == 0 && i > 0 {
+            if let Some(outcome) = predictor.predict(dt) {
+                let t_last = predictor
+                    .live_vertices()
+                    .last()
+                    .map(|v| v.time)
+                    .unwrap_or(0.0);
+                let e = (outcome.position[0] - truth.position_at(t_last + dt)[0]).abs();
+                errors.push(e);
+            }
+        }
+    }
+    if errors.is_empty() {
+        return Err("no predictions produced (stream too short?)".into());
+    }
+    errors.sort_by(f64::total_cmp);
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    println!(
+        "patient {patient}, horizon {:.0} ms, {} predictions",
+        dt * 1000.0,
+        errors.len()
+    );
+    println!(
+        "error: mean {:.3} mm, median {:.3} mm, p95 {:.3} mm",
+        mean,
+        errors[errors.len() / 2],
+        errors[errors.len() * 95 / 100]
+    );
+    Ok(())
+}
+
+/// `tsm cluster`.
+pub fn cluster(args: &Args) -> Result<(), String> {
+    let store = load(args)?;
+    let k = args.num_flag("k", 4usize)?;
+    let params = Params::default();
+    let cfg = StreamDistanceConfig {
+        len_segments: args.num_flag("len", 9usize)?,
+        stride: args.num_flag("stride", 3usize)?,
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    eprintln!("computing patient distances ({threads} threads) ...");
+    let dm = patient_distance_matrix(&store, &params, &cfg, threads);
+    let labels = k_medoids(&dm, k, 100);
+    println!("k = {k}, silhouette = {:.3}", silhouette(&dm, &labels));
+    for (i, p) in store.patients().iter().enumerate() {
+        let site = store
+            .patient_attributes(*p)
+            .and_then(|a| a.get("tumor_site").cloned())
+            .unwrap_or_default();
+        println!("  {p}: cluster {} {site}", labels[i]);
+    }
+    let attrs: Vec<_> = store
+        .patients()
+        .iter()
+        .map(|&p| store.patient_attributes(p).unwrap_or_default())
+        .collect();
+    println!("\nattribute associations (Cramer's V):");
+    for a in discover_correlations(&attrs, &labels) {
+        println!("  {:<16} {:.3}", a.attribute, a.cramers_v);
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! `tsm` — the subsequence-matching toolchain on the command line.
+//!
+//! ```text
+//! tsm simulate --patients 12 --sessions 2 --streams 2 --duration 120 \
+//!              --seed 7 --out cohort.tsmdb        # build & save a store
+//! tsm info     --store cohort.tsmdb               # store statistics
+//! tsm segment  --csv signal.csv [--axis 0]        # segment a CSV signal
+//! tsm match    --store cohort.tsmdb --stream 0 --start 4 --len 9
+//! tsm predict  --store cohort.tsmdb --patient 0 --duration 60 --dt 0.3
+//! tsm cluster  --store cohort.tsmdb --k 4
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Dying quietly on a closed pipe (`tsm info | head`) is correct CLI
+    // behaviour; Rust turns SIGPIPE into a panic by default.
+    let outcome = std::panic::catch_unwind(|| run(raw));
+    let code = match outcome {
+        Ok(Ok(())) => 0,
+        Ok(Err(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `tsm help` for usage");
+            1
+        }
+        Err(payload) => {
+            let is_pipe = payload
+                .downcast_ref::<String>()
+                .map(|s| s.contains("Broken pipe"))
+                .unwrap_or(false);
+            if is_pipe {
+                0
+            } else {
+                std::panic::resume_unwind(payload)
+            }
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let command = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
+    match command {
+        "simulate" => commands::simulate(&args),
+        "info" => commands::info(&args),
+        "segment" => commands::segment(&args),
+        "match" => commands::match_cmd(&args),
+        "predict" => commands::predict(&args),
+        "cluster" => commands::cluster(&args),
+        "help" | "--help" | "-h" => {
+            commands::help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}

@@ -1,0 +1,158 @@
+//! End-to-end tests of the `tsm` binary: every subcommand, driven through
+//! a real process.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tsm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tsm"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tsm_cli_test_{}_{name}", std::process::id()))
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).to_string()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).to_string()
+}
+
+#[test]
+fn help_lists_every_subcommand() {
+    let o = tsm(&["help"]);
+    assert!(o.status.success());
+    let text = stdout(&o);
+    for cmd in ["simulate", "info", "segment", "match", "predict", "cluster"] {
+        assert!(text.contains(cmd), "help missing '{cmd}'");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let o = tsm(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown command"));
+}
+
+#[test]
+fn missing_required_flag_fails() {
+    let o = tsm(&["info"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--store"));
+}
+
+#[test]
+fn simulate_info_match_predict_cluster_roundtrip() {
+    let store_path = tmpfile("roundtrip.tsmdb");
+    let o = tsm(&[
+        "simulate",
+        "--patients",
+        "4",
+        "--sessions",
+        "2",
+        "--streams",
+        "1",
+        "--duration",
+        "60",
+        "--seed",
+        "11",
+        "--out",
+        store_path.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "simulate failed: {}", stderr(&o));
+    assert!(stdout(&o).contains("4 patients"));
+
+    let o = tsm(&["info", "--store", store_path.to_str().unwrap()]);
+    assert!(o.status.success(), "info failed: {}", stderr(&o));
+    let text = stdout(&o);
+    assert!(text.contains("patients: 4"));
+    assert!(text.contains("compression"));
+
+    let o = tsm(&[
+        "match",
+        "--store",
+        store_path.to_str().unwrap(),
+        "--stream",
+        "0",
+        "--start",
+        "2",
+        "--len",
+        "9",
+    ]);
+    assert!(o.status.success(), "match failed: {}", stderr(&o));
+    assert!(stdout(&o).contains("matches within delta"));
+
+    let o = tsm(&[
+        "predict",
+        "--store",
+        store_path.to_str().unwrap(),
+        "--patient",
+        "0",
+        "--duration",
+        "40",
+        "--dt",
+        "0.2",
+    ]);
+    assert!(o.status.success(), "predict failed: {}", stderr(&o));
+    assert!(stdout(&o).contains("error: mean"));
+
+    let o = tsm(&[
+        "cluster",
+        "--store",
+        store_path.to_str().unwrap(),
+        "--k",
+        "2",
+        "--stride",
+        "4",
+    ]);
+    assert!(o.status.success(), "cluster failed: {}", stderr(&o));
+    assert!(stdout(&o).contains("silhouette"));
+
+    std::fs::remove_file(&store_path).ok();
+}
+
+#[test]
+fn segment_reads_and_writes_csv() {
+    let csv_path = tmpfile("signal.csv");
+    let mut content = String::from("time,value\n");
+    for i in 0..1200 {
+        let t = i as f64 / 30.0;
+        let phase = (t / 4.0).fract();
+        let y = if phase < 0.4 {
+            6.0 * (1.0 + (std::f64::consts::PI * phase / 0.4).cos())
+        } else if phase < 0.65 {
+            0.0
+        } else {
+            6.0 * (1.0 - (std::f64::consts::PI * (phase - 0.65) / 0.35).cos())
+        };
+        content.push_str(&format!("{t},{y}\n"));
+    }
+    std::fs::write(&csv_path, content).unwrap();
+
+    let o = tsm(&["segment", "--csv", csv_path.to_str().unwrap()]);
+    assert!(o.status.success(), "segment failed: {}", stderr(&o));
+    let out = stdout(&o);
+    assert!(
+        out.contains(",EX,") || out.contains(",IN,"),
+        "no states in output"
+    );
+    assert!(stderr(&o).contains("compression"));
+
+    std::fs::remove_file(&csv_path).ok();
+}
+
+#[test]
+fn loading_garbage_store_fails_cleanly() {
+    let path = tmpfile("garbage.tsmdb");
+    std::fs::write(&path, b"definitely not a store").unwrap();
+    let o = tsm(&["info", "--store", path.to_str().unwrap()]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("not a tsm-db store"));
+    std::fs::remove_file(&path).ok();
+}

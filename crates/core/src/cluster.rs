@@ -1,0 +1,376 @@
+//! Distance-matrix clustering (paper Section 5.3).
+//!
+//! Stream and patient similarity "provide a convenient way to cluster
+//! patients". Because only pairwise distances exist (no vector space), the
+//! clusterers here are distance-matrix native: **k-medoids** (PAM-style
+//! swap refinement) and **average-linkage agglomerative**. Evaluation
+//! helpers — silhouette width and the adjusted Rand index against ground
+//! truth — support the clustering experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense symmetric distance matrix with a zero diagonal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// An `n × n` zero matrix.
+    pub fn new(n: usize) -> Self {
+        DistanceMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` for `i < j`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sets `d(i, j)` (and `d(j, i)`).
+    pub fn set(&mut self, i: usize, j: usize, d: f64) {
+        assert!(
+            d >= 0.0 && d.is_finite(),
+            "distances must be finite and >= 0"
+        );
+        self.data[i * self.n + j] = d;
+        self.data[j * self.n + i] = d;
+    }
+
+    /// The distance between points `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+}
+
+/// PAM-style k-medoids over a distance matrix.
+///
+/// ```
+/// use tsm_core::cluster::{k_medoids, DistanceMatrix};
+///
+/// // Two blobs on a line: {0, 1, 2} near zero, {10, 11, 12} far away.
+/// let xs: [f64; 6] = [0.0, 1.0, 2.0, 10.0, 11.0, 12.0];
+/// let dm = DistanceMatrix::from_fn(6, |i, j| (xs[i] - xs[j]).abs());
+/// let labels = k_medoids(&dm, 2, 50);
+/// assert_eq!(labels[0], labels[1]);
+/// assert_eq!(labels[3], labels[5]);
+/// assert_ne!(labels[0], labels[3]);
+/// ```
+///
+/// Deterministic: the
+/// initialization is greedy (farthest-point) from the most central point,
+/// and swaps are applied best-first until no swap improves the total cost.
+/// Returns cluster labels in `0..k`.
+pub fn k_medoids(dm: &DistanceMatrix, k: usize, max_iter: usize) -> Vec<usize> {
+    let n = dm.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+
+    // Initialization: most central point first, then farthest-first.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    let central = (0..n)
+        .min_by(|&a, &b| {
+            let ca: f64 = (0..n).map(|j| dm.get(a, j)).sum();
+            let cb: f64 = (0..n).map(|j| dm.get(b, j)).sum();
+            ca.total_cmp(&cb)
+        })
+        .expect("n > 0");
+    medoids.push(central);
+    while medoids.len() < k {
+        let next = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .max_by(|&a, &b| {
+                let da = medoids
+                    .iter()
+                    .map(|&m| dm.get(a, m))
+                    .fold(f64::MAX, f64::min);
+                let db = medoids
+                    .iter()
+                    .map(|&m| dm.get(b, m))
+                    .fold(f64::MAX, f64::min);
+                da.total_cmp(&db)
+            })
+            .expect("points remain");
+        medoids.push(next);
+    }
+
+    let cost = |medoids: &[usize]| -> f64 {
+        (0..n)
+            .map(|i| {
+                medoids
+                    .iter()
+                    .map(|&m| dm.get(i, m))
+                    .fold(f64::MAX, f64::min)
+            })
+            .sum()
+    };
+
+    let mut best_cost = cost(&medoids);
+    for _ in 0..max_iter {
+        let mut improved = false;
+        let mut best_swap: Option<(usize, usize, f64)> = None;
+        for mi in 0..medoids.len() {
+            for candidate in 0..n {
+                if medoids.contains(&candidate) {
+                    continue;
+                }
+                let mut trial = medoids.clone();
+                trial[mi] = candidate;
+                let c = cost(&trial);
+                if c + 1e-12 < best_swap.map(|s| s.2).unwrap_or(best_cost) {
+                    best_swap = Some((mi, candidate, c));
+                }
+            }
+        }
+        if let Some((mi, candidate, c)) = best_swap {
+            medoids[mi] = candidate;
+            best_cost = c;
+            improved = true;
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    (0..n)
+        .map(|i| {
+            medoids
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| dm.get(i, a).total_cmp(&dm.get(i, b)))
+                .map(|(ix, _)| ix)
+                .expect("k > 0")
+        })
+        .collect()
+}
+
+/// Average-linkage agglomerative clustering cut at `k` clusters. Returns
+/// labels in `0..k`.
+pub fn agglomerative(dm: &DistanceMatrix, k: usize) -> Vec<usize> {
+    let n = dm.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    // Active clusters as member lists.
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    while clusters.len() > k {
+        // Find the pair with the smallest average inter-cluster distance.
+        let mut best = (0usize, 1usize, f64::MAX);
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                let mut sum = 0.0;
+                for &i in &clusters[a] {
+                    for &j in &clusters[b] {
+                        sum += dm.get(i, j);
+                    }
+                }
+                let avg = sum / (clusters[a].len() * clusters[b].len()) as f64;
+                if avg < best.2 {
+                    best = (a, b, avg);
+                }
+            }
+        }
+        let merged = clusters.remove(best.1);
+        clusters[best.0].extend(merged);
+    }
+    let mut labels = vec![0usize; n];
+    for (cix, members) in clusters.iter().enumerate() {
+        for &m in members {
+            labels[m] = cix;
+        }
+    }
+    labels
+}
+
+/// Mean silhouette width of a labelling: +1 is perfectly separated, 0 is
+/// boundary, negative is misassigned. Singleton clusters contribute 0.
+pub fn silhouette(dm: &DistanceMatrix, labels: &[usize]) -> f64 {
+    let n = dm.len();
+    assert_eq!(labels.len(), n, "labels must cover every point");
+    if n < 2 {
+        return 0.0;
+    }
+    let k = labels.iter().max().map(|&m| m + 1).unwrap_or(0);
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = labels[i];
+        let own_size = labels.iter().filter(|&&l| l == own).count();
+        if own_size <= 1 {
+            continue; // silhouette of a singleton is defined as 0
+        }
+        // a(i): mean distance within own cluster.
+        let a: f64 = (0..n)
+            .filter(|&j| j != i && labels[j] == own)
+            .map(|j| dm.get(i, j))
+            .sum::<f64>()
+            / (own_size - 1) as f64;
+        // b(i): smallest mean distance to another cluster.
+        let mut b = f64::MAX;
+        for c in 0..k {
+            if c == own {
+                continue;
+            }
+            let size = labels.iter().filter(|&&l| l == c).count();
+            if size == 0 {
+                continue;
+            }
+            let mean = (0..n)
+                .filter(|&j| labels[j] == c)
+                .map(|j| dm.get(i, j))
+                .sum::<f64>()
+                / size as f64;
+            b = b.min(mean);
+        }
+        if b.is_finite() && a.max(b) > 0.0 {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+/// Adjusted Rand index between two labellings: 1 for identical
+/// partitions, ~0 for random agreement.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labellings must cover the same points");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ka = a.iter().max().map(|&m| m + 1).unwrap_or(0);
+    let kb = b.iter().max().map(|&m| m + 1).unwrap_or(0);
+    let mut table = vec![vec![0usize; kb]; ka];
+    for i in 0..n {
+        table[a[i]][b[i]] += 1;
+    }
+    let comb2 = |x: usize| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let sum_ij: f64 = table.iter().flatten().map(|&x| comb2(x)).sum();
+    let sum_a: f64 = (0..ka).map(|i| comb2(table[i].iter().sum::<usize>())).sum();
+    let sum_b: f64 = (0..kb)
+        .map(|j| comb2(table.iter().map(|row| row[j]).sum::<usize>()))
+        .sum();
+    let expected = sum_a * sum_b / comb2(n);
+    let max_index = (sum_a + sum_b) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0;
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated blobs on a line: points 0..4 near 0, 5..9 near 10.
+    fn two_blobs() -> (DistanceMatrix, Vec<usize>) {
+        let coords: Vec<f64> = (0..5)
+            .map(|i| i as f64 * 0.1)
+            .chain((0..5).map(|i| 10.0 + i as f64 * 0.1))
+            .collect();
+        let dm = DistanceMatrix::from_fn(coords.len(), |i, j| (coords[i] - coords[j]).abs());
+        let truth = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        (dm, truth)
+    }
+
+    #[test]
+    fn k_medoids_recovers_blobs() {
+        let (dm, truth) = two_blobs();
+        let labels = k_medoids(&dm, 2, 50);
+        assert_eq!(adjusted_rand_index(&labels, &truth), 1.0);
+    }
+
+    #[test]
+    fn agglomerative_recovers_blobs() {
+        let (dm, truth) = two_blobs();
+        let labels = agglomerative(&dm, 2);
+        assert_eq!(adjusted_rand_index(&labels, &truth), 1.0);
+    }
+
+    #[test]
+    fn silhouette_prefers_the_true_partition() {
+        let (dm, truth) = two_blobs();
+        let good = silhouette(&dm, &truth);
+        let bad = silhouette(&dm, &[0, 1, 0, 1, 0, 1, 0, 1, 0, 1]);
+        assert!(good > 0.9, "good partition silhouette {good}");
+        assert!(bad < good);
+    }
+
+    #[test]
+    fn ari_properties() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        // Permuted labels are the same partition.
+        let permuted = vec![2, 2, 0, 0, 1, 1];
+        assert_eq!(adjusted_rand_index(&a, &permuted), 1.0);
+        // All-one-cluster vs the truth has expected-level agreement.
+        let trivial = vec![0, 0, 0, 0, 0, 0];
+        let ari = adjusted_rand_index(&a, &trivial);
+        assert!(ari.abs() < 1e-9, "ari {ari}");
+    }
+
+    #[test]
+    fn k_medoids_is_deterministic() {
+        let (dm, _) = two_blobs();
+        assert_eq!(k_medoids(&dm, 2, 50), k_medoids(&dm, 2, 50));
+    }
+
+    #[test]
+    fn k_greater_than_n_is_clamped() {
+        let (dm, _) = two_blobs();
+        let labels = k_medoids(&dm, 100, 10);
+        assert_eq!(labels.len(), 10);
+        let labels = agglomerative(&dm, 100);
+        assert_eq!(labels.len(), 10);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let dm = DistanceMatrix::new(0);
+        assert!(k_medoids(&dm, 2, 10).is_empty());
+        assert!(agglomerative(&dm, 2).is_empty());
+        let dm1 = DistanceMatrix::new(1);
+        assert_eq!(k_medoids(&dm1, 1, 10), vec![0]);
+        assert_eq!(silhouette(&dm1, &[0]), 0.0);
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_bad_distances() {
+        let mut dm = DistanceMatrix::new(2);
+        dm.set(0, 1, f64::NAN);
+    }
+
+    #[test]
+    fn four_blob_recovery_with_both_algorithms() {
+        let coords: Vec<f64> = (0..20)
+            .map(|i| (i / 5) as f64 * 8.0 + (i % 5) as f64 * 0.2)
+            .collect();
+        let truth: Vec<usize> = (0..20).map(|i| i / 5).collect();
+        let dm = DistanceMatrix::from_fn(20, |i, j| (coords[i] - coords[j]).abs());
+        assert_eq!(adjusted_rand_index(&k_medoids(&dm, 4, 100), &truth), 1.0);
+        assert_eq!(adjusted_rand_index(&agglomerative(&dm, 4), &truth), 1.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Correlation discovery between clusters and patient attributes
+//! (paper Section 5.3).
+//!
+//! After clustering patients by motion similarity, "one may then identify
+//! patient features (e.g., age, tumor position, historical treatments)
+//! which are correlated with tumor movement". Given the cluster labels and
+//! each patient's attribute map, this module builds the contingency table
+//! of every attribute against the clustering and ranks attributes by
+//! **Cramér's V** (a normalized chi-square association in `[0, 1]`).
+//! Numeric attributes are bucketed into terciles first.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tsm_db::PatientAttributes;
+
+/// Association of one attribute with the clustering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Association {
+    /// Attribute key (e.g. `"tumor_site"`).
+    pub attribute: String,
+    /// Cramér's V in `[0, 1]`; higher means the attribute's values
+    /// concentrate in particular clusters.
+    pub cramers_v: f64,
+    /// Contingency rows: attribute value → per-cluster counts.
+    pub table: Vec<(String, Vec<usize>)>,
+}
+
+/// Buckets numeric-looking values into terciles; leaves categorical values
+/// unchanged.
+fn bucket_values(values: &[String]) -> Vec<String> {
+    let parsed: Option<Vec<f64>> = values.iter().map(|v| v.parse::<f64>().ok()).collect();
+    let Some(nums) = parsed else {
+        return values.to_vec();
+    };
+    // Distinct values <= 4: already categorical enough.
+    let mut distinct = nums.to_vec();
+    distinct.sort_by(f64::total_cmp);
+    distinct.dedup();
+    if distinct.len() <= 4 {
+        return values.to_vec();
+    }
+    let lo = distinct[distinct.len() / 3];
+    let hi = distinct[2 * distinct.len() / 3];
+    nums.iter()
+        .map(|&x| {
+            if x < lo {
+                format!("<{lo:.1}")
+            } else if x < hi {
+                format!("{lo:.1}..{hi:.1}")
+            } else {
+                format!(">={hi:.1}")
+            }
+        })
+        .collect()
+}
+
+/// Cramér's V of a contingency table (rows × clusters).
+fn cramers_v(table: &[Vec<usize>]) -> f64 {
+    let rows = table.len();
+    let cols = table.first().map(Vec::len).unwrap_or(0);
+    if rows < 2 || cols < 2 {
+        return 0.0;
+    }
+    let n: usize = table.iter().flatten().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let row_sums: Vec<f64> = table
+        .iter()
+        .map(|r| r.iter().sum::<usize>() as f64)
+        .collect();
+    let col_sums: Vec<f64> = (0..cols)
+        .map(|c| table.iter().map(|r| r[c]).sum::<usize>() as f64)
+        .collect();
+    let nf = n as f64;
+    let mut chi2 = 0.0;
+    for (r, row) in table.iter().enumerate() {
+        for (c, &obs) in row.iter().enumerate() {
+            let expected = row_sums[r] * col_sums[c] / nf;
+            if expected > 0.0 {
+                let d = obs as f64 - expected;
+                chi2 += d * d / expected;
+            }
+        }
+    }
+    let denom = nf * (rows.min(cols) - 1) as f64;
+    (chi2 / denom).sqrt().min(1.0)
+}
+
+/// Computes the association of every attribute with the cluster labels,
+/// sorted strongest first. `attributes[i]` and `labels[i]` describe
+/// patient `i`.
+pub fn discover_correlations(
+    attributes: &[PatientAttributes],
+    labels: &[usize],
+) -> Vec<Association> {
+    assert_eq!(
+        attributes.len(),
+        labels.len(),
+        "one attribute map per labelled patient"
+    );
+    if attributes.is_empty() {
+        return Vec::new();
+    }
+    let k = labels.iter().max().map(|&m| m + 1).unwrap_or(0);
+
+    // Collect all attribute keys.
+    let mut keys: Vec<String> = attributes.iter().flat_map(|a| a.keys().cloned()).collect();
+    keys.sort();
+    keys.dedup();
+
+    let mut out = Vec::new();
+    for key in keys {
+        let values: Vec<String> = attributes
+            .iter()
+            .map(|a| a.get(&key).cloned().unwrap_or_else(|| "<missing>".into()))
+            .collect();
+        let bucketed = bucket_values(&values);
+        let mut rows: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (v, &l) in bucketed.iter().zip(labels) {
+            rows.entry(v.clone()).or_insert_with(|| vec![0; k])[l] += 1;
+        }
+        let table: Vec<(String, Vec<usize>)> = rows.into_iter().collect();
+        let v = cramers_v(&table.iter().map(|(_, c)| c.clone()).collect::<Vec<_>>());
+        out.push(Association {
+            attribute: key,
+            cramers_v: v,
+            table,
+        });
+    }
+    out.sort_by(|a, b| b.cramers_v.total_cmp(&a.cramers_v));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(pairs: &[(&str, &str)]) -> PatientAttributes {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn perfectly_correlated_attribute_scores_one() {
+        let attributes = vec![
+            attrs(&[("site", "lower"), ("noise", "a")]),
+            attrs(&[("site", "lower"), ("noise", "b")]),
+            attrs(&[("site", "upper"), ("noise", "a")]),
+            attrs(&[("site", "upper"), ("noise", "b")]),
+        ];
+        let labels = vec![0, 0, 1, 1];
+        let assoc = discover_correlations(&attributes, &labels);
+        let site = assoc.iter().find(|a| a.attribute == "site").unwrap();
+        let noise = assoc.iter().find(|a| a.attribute == "noise").unwrap();
+        assert!(
+            (site.cramers_v - 1.0).abs() < 1e-9,
+            "site V {}",
+            site.cramers_v
+        );
+        assert!(noise.cramers_v < 0.2, "noise V {}", noise.cramers_v);
+        // Sorted strongest-first.
+        assert_eq!(assoc[0].attribute, "site");
+    }
+
+    #[test]
+    fn numeric_attributes_are_bucketed() {
+        let ages: Vec<PatientAttributes> = (0..12)
+            .map(|i| attrs(&[("age", &format!("{}", 40 + i * 3))]))
+            .collect();
+        // Labels correlated with age: younger half vs older half.
+        let labels: Vec<usize> = (0..12).map(|i| usize::from(i >= 6)).collect();
+        let assoc = discover_correlations(&ages, &labels);
+        assert_eq!(assoc.len(), 1);
+        assert!(assoc[0].cramers_v > 0.7, "age V {}", assoc[0].cramers_v);
+        // The table has at most 3 buckets, not 12 raw values.
+        assert!(assoc[0].table.len() <= 3, "table {:?}", assoc[0].table);
+    }
+
+    #[test]
+    fn missing_values_become_a_category() {
+        let attributes = vec![
+            attrs(&[("sex", "F")]),
+            attrs(&[]),
+            attrs(&[("sex", "M")]),
+            attrs(&[]),
+        ];
+        let labels = vec![0, 0, 1, 1];
+        let assoc = discover_correlations(&attributes, &labels);
+        let sex = &assoc[0];
+        assert!(sex.table.iter().any(|(v, _)| v == "<missing>"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(discover_correlations(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn contingency_counts_are_complete() {
+        let attributes = vec![
+            attrs(&[("x", "a")]),
+            attrs(&[("x", "b")]),
+            attrs(&[("x", "a")]),
+        ];
+        let labels = vec![0, 1, 1];
+        let assoc = discover_correlations(&attributes, &labels);
+        let total: usize = assoc[0].table.iter().flat_map(|(_, c)| c).sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type of the core crate.
+
+use std::fmt;
+
+/// Errors surfaced by the matching and prediction pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A query with no segments (or too few vertices) was supplied.
+    EmptyQuery,
+    /// Query and candidate subsequences have different lengths.
+    LengthMismatch {
+        /// Query length in segments.
+        query: usize,
+        /// Candidate length in segments.
+        candidate: usize,
+    },
+    /// The spatial dimensionalities of two compared sequences differ.
+    DimensionMismatch,
+    /// A referenced stream does not exist in the store.
+    UnknownStream(tsm_db::StreamId),
+    /// Parameters failed validation.
+    InvalidParams(String),
+    /// Not enough data to perform the requested operation.
+    InsufficientData(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyQuery => write!(f, "empty query subsequence"),
+            CoreError::LengthMismatch { query, candidate } => {
+                write!(f, "length mismatch: query {query} vs candidate {candidate}")
+            }
+            CoreError::DimensionMismatch => write!(f, "spatial dimension mismatch"),
+            CoreError::UnknownStream(id) => write!(f, "unknown stream {id}"),
+            CoreError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            CoreError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(CoreError::EmptyQuery.to_string(), "empty query subsequence");
+        assert!(CoreError::LengthMismatch {
+            query: 3,
+            candidate: 4
+        }
+        .to_string()
+        .contains("3"));
+        assert!(CoreError::UnknownStream(tsm_db::StreamId(7))
+            .to_string()
+            .contains("S7"));
+    }
+}

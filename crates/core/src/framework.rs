@@ -1,0 +1,272 @@
+//! The generalized four-step framework (paper Section 6).
+//!
+//! "Our method is generally suitable for any motion with structured time
+//! series data, which can be described by a finite set of linear states":
+//!
+//! 1. **Motion modeling** — a finite state model with linear states;
+//! 2. **Segmentation** — an online PLR algorithm labelling each segment;
+//! 3. **Subsequence similarity** — a (possibly domain-tuned) measure;
+//! 4. **Result analysis** — application statistics over the matches.
+//!
+//! The four steps are independent; porting the system to a new domain
+//! means swapping configurations, not code. A [`DomainProfile`] bundles
+//! the domain-specific choices: what the four abstract states *mean*, how
+//! the segmenter should be tuned for the signal's scale and rate, and the
+//! matching parameters. Profiles are provided for the domains the paper
+//! sketches: respiratory motion, mechanical actuators / robot arms, tides,
+//! and heartbeat.
+
+use crate::params::Params;
+use serde::{Deserialize, Serialize};
+use tsm_model::{BreathState, SegmenterConfig};
+
+/// A domain instantiation of the four-step framework.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainProfile {
+    /// Human-readable domain name.
+    pub name: String,
+    /// Domain meaning of the four abstract states, indexed by
+    /// [`BreathState::index`]: what "descending", "dwelling low",
+    /// "ascending" and "irregular" are called in this domain.
+    pub state_names: [String; 4],
+    /// Segmenter tuning for the domain's signal scale and sample rate.
+    pub segmenter: SegmenterConfig,
+    /// Matching parameters for the domain.
+    pub params: Params,
+}
+
+impl DomainProfile {
+    /// The domain name of an abstract state.
+    pub fn state_name(&self, state: BreathState) -> &str {
+        &self.state_names[state.index()]
+    }
+
+    /// Respiratory tumor motion — the paper's primary domain.
+    pub fn respiratory() -> Self {
+        DomainProfile {
+            name: "respiratory tumor motion".into(),
+            state_names: [
+                "exhale".into(),
+                "end-of-exhale".into(),
+                "inhale".into(),
+                "irregular".into(),
+            ],
+            segmenter: SegmenterConfig::default(),
+            params: Params::default(),
+        }
+    }
+
+    /// A robot arm / mechanical actuator on an assembly line: retract,
+    /// dwell at the stop, extend; faults are "irregular".
+    pub fn actuator() -> Self {
+        DomainProfile {
+            name: "mechanical actuator".into(),
+            state_names: [
+                "retract".into(),
+                "dwell".into(),
+                "extend".into(),
+                "fault".into(),
+            ],
+            segmenter: SegmenterConfig {
+                // 50 mm strokes at 50 Hz: steeper slopes, bigger swings.
+                window_len: 11,
+                confirm_count: 3,
+                flat_slope: 8.0,
+                min_swing_amplitude: 10.0,
+                max_eoe_duration: 3.0,
+                max_phase_duration: 4.0,
+                smoothing_width: 3,
+                ..SegmenterConfig::default()
+            },
+            params: Params {
+                // Machine cycles are metronomic: frequency deviations are
+                // as diagnostic as amplitude deviations.
+                wf: 1.0,
+                wa: 1.0,
+                delta: 4.0,
+                ..Params::default()
+            },
+        }
+    }
+
+    /// Tidal water level (time unit: hours, ~6 samples/hour): falling
+    /// tide, slack low water, rising tide; storm surges are "irregular".
+    pub fn tide() -> Self {
+        DomainProfile {
+            name: "tidal water level".into(),
+            state_names: [
+                "ebb".into(),
+                "slack low".into(),
+                "flood".into(),
+                "surge".into(),
+            ],
+            segmenter: SegmenterConfig {
+                // Metres over hours instead of millimetres over seconds.
+                window_len: 7,
+                confirm_count: 2,
+                flat_slope: 0.25,
+                min_swing_amplitude: 0.8,
+                min_segment_duration: 0.5,
+                max_eoe_duration: 4.0,
+                max_phase_duration: 9.0,
+                envelope_tau: 30.0,
+                smoothing_width: 3,
+                ..SegmenterConfig::default()
+            },
+            params: Params {
+                delta: 2.0,
+                lmin_cycles: 2,
+                lmax_cycles: 6,
+                ..Params::default()
+            },
+        }
+    }
+
+    /// Cardiac displacement at 100 Hz: systolic decay, diastolic rest,
+    /// systolic upstroke; arrhythmia is "irregular".
+    pub fn heartbeat() -> Self {
+        DomainProfile {
+            name: "heartbeat displacement".into(),
+            state_names: [
+                "systolic decay".into(),
+                "diastole".into(),
+                "systolic upstroke".into(),
+                "arrhythmia".into(),
+            ],
+            segmenter: SegmenterConfig {
+                // ~0.85 s beats sampled at 100 Hz: sub-second phases. The
+                // flat threshold sits above the dicrotic bump's slope
+                // (~8 mm/s) so the bump merges into the diastolic rest
+                // instead of breaking the upstroke/decay/rest cycle.
+                window_len: 7,
+                confirm_count: 2,
+                flat_slope: 10.0,
+                min_segment_duration: 0.03,
+                min_swing_amplitude: 1.0,
+                max_eoe_duration: 1.5,
+                max_phase_duration: 1.0,
+                envelope_tau: 3.0,
+                smoothing_width: 3,
+                ..SegmenterConfig::default()
+            },
+            params: Params {
+                delta: 3.0,
+                lmin_cycles: 4,
+                lmax_cycles: 12,
+                ..Params::default()
+            },
+        }
+    }
+
+    /// All built-in profiles.
+    pub fn all() -> Vec<DomainProfile> {
+        vec![
+            Self::respiratory(),
+            Self::actuator(),
+            Self::tide(),
+            Self::heartbeat(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_have_valid_params() {
+        for p in DomainProfile::all() {
+            p.params
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert!(!p.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn state_names_map_by_index() {
+        let a = DomainProfile::actuator();
+        assert_eq!(a.state_name(BreathState::Exhale), "retract");
+        assert_eq!(a.state_name(BreathState::EndOfExhale), "dwell");
+        assert_eq!(a.state_name(BreathState::Inhale), "extend");
+        assert_eq!(a.state_name(BreathState::Irregular), "fault");
+    }
+
+    #[test]
+    fn profiles_differ_where_domains_differ() {
+        let r = DomainProfile::respiratory();
+        let t = DomainProfile::tide();
+        // Tides move metres over hours; respiration millimetres over
+        // seconds. Thresholds must differ accordingly.
+        assert!(t.segmenter.flat_slope < r.segmenter.flat_slope);
+        assert!(t.segmenter.max_eoe_duration < r.segmenter.max_eoe_duration * 10.0);
+        let a = DomainProfile::actuator();
+        assert!(a.params.wf > r.params.wf, "machines are metronomic");
+    }
+
+    #[test]
+    fn heartbeat_segmenter_recovers_beat_structure() {
+        use tsm_model::segment_signal;
+        use tsm_signal::generalize::{heartbeat_signal, HeartbeatParams};
+        let profile = DomainProfile::heartbeat();
+        let samples = heartbeat_signal(HeartbeatParams::default(), 9, 30.0);
+        let vertices = segment_signal(&samples, profile.segmenter.clone());
+        let mut counts = [0usize; 4];
+        for v in &vertices[..vertices.len().saturating_sub(1)] {
+            counts[v.state.index()] += 1;
+        }
+        // ~35 beats in 30 s at 70 bpm: each regular state should appear
+        // about that often, and arrhythmia labels must be rare.
+        for (k, &c) in counts.iter().take(3).enumerate() {
+            assert!(
+                (25..=45).contains(&c),
+                "state {k} appeared {c} times: {counts:?}"
+            );
+        }
+        assert!(
+            counts[3] * 5 <= counts[0],
+            "too many arrhythmia segments: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn actuator_faults_are_flagged() {
+        use tsm_model::segment_signal;
+        use tsm_signal::generalize::{actuator_signal, ActuatorParams};
+        let profile = DomainProfile::actuator();
+        let params = ActuatorParams {
+            fault_rate: 0.08,
+            ..Default::default()
+        };
+        let samples = actuator_signal(params, 11, 120.0);
+        let vertices = segment_signal(&samples, profile.segmenter.clone());
+        let faults = vertices
+            .iter()
+            .filter(|v| v.state == BreathState::Irregular)
+            .count();
+        assert!(faults >= 2, "no faults flagged despite 8%/cycle injection");
+    }
+
+    #[test]
+    fn actuator_segmenter_parses_actuator_signals() {
+        use tsm_model::segment_signal;
+        use tsm_signal::generalize::{actuator_signal, ActuatorParams};
+        let profile = DomainProfile::actuator();
+        let samples = actuator_signal(ActuatorParams::default(), 3, 30.0);
+        let vertices = segment_signal(&samples, profile.segmenter.clone());
+        assert!(vertices.len() > 20, "only {} vertices", vertices.len());
+        // The three regular states all appear.
+        for want in [
+            BreathState::Exhale,
+            BreathState::EndOfExhale,
+            BreathState::Inhale,
+        ] {
+            assert!(
+                vertices.iter().any(|v| v.state == want),
+                "missing {} ({})",
+                profile.state_name(want),
+                want
+            );
+        }
+    }
+}

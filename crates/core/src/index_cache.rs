@@ -1,0 +1,193 @@
+//! Version-aware index caching for the online deployment.
+//!
+//! Dynamic queries vary in length (`L_min`..`L_max` segments), so a
+//! deployed matcher wants one [`FeatureIndex`] per length it has actually
+//! seen — rebuilt only when the store has grown. The store's monotone
+//! [`tsm_db::StreamStore::version`] counter makes staleness detection
+//! exact: an index built at version `v` is valid while the store is still
+//! at `v`.
+
+use crate::matcher::{MatchResult, Matcher, QuerySubseq, SearchOptions};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tsm_db::{FeatureIndex, StreamStore};
+
+/// A per-length cache of feature indexes over one store.
+#[derive(Debug)]
+pub struct IndexCache {
+    store: StreamStore,
+    axis: usize,
+    inner: Mutex<HashMap<usize, (u64, Arc<FeatureIndex>)>>,
+    rebuilds: Mutex<u64>,
+}
+
+impl IndexCache {
+    /// Creates a cache over `store`, summarizing along `axis` (must match
+    /// the matching parameters' axis).
+    pub fn new(store: StreamStore, axis: usize) -> Self {
+        IndexCache {
+            store,
+            axis,
+            inner: Mutex::new(HashMap::new()),
+            rebuilds: Mutex::new(0),
+        }
+    }
+
+    /// The up-to-date index for windows of `len` segments, rebuilding it
+    /// only if the store has changed since it was last built.
+    pub fn index_for(&self, len: usize) -> Arc<FeatureIndex> {
+        let version = self.store.version();
+        {
+            let g = self.inner.lock();
+            if let Some((v, ix)) = g.get(&len) {
+                if *v == version {
+                    return ix.clone();
+                }
+            }
+        }
+        let built = Arc::new(FeatureIndex::build(&self.store, len, self.axis));
+        // The store may have grown *while* we built; tag with the version
+        // we read before building so a concurrent insert invalidates us.
+        self.inner.lock().insert(len, (version, built.clone()));
+        *self.rebuilds.lock() += 1;
+        built
+    }
+
+    /// How many index builds the cache has performed (for tests and
+    /// diagnostics).
+    pub fn rebuild_count(&self) -> u64 {
+        *self.rebuilds.lock()
+    }
+}
+
+/// A matcher with an attached index cache: every search goes through the
+/// pruned path with an automatically maintained index.
+#[derive(Debug)]
+pub struct CachedMatcher {
+    matcher: Matcher,
+    cache: IndexCache,
+}
+
+impl CachedMatcher {
+    /// Creates a cached matcher.
+    pub fn new(matcher: Matcher) -> Self {
+        let cache = IndexCache::new(matcher.store().clone(), matcher.params().axis);
+        CachedMatcher { matcher, cache }
+    }
+
+    /// The inner matcher.
+    pub fn matcher(&self) -> &Matcher {
+        &self.matcher
+    }
+
+    /// The cache (for diagnostics).
+    pub fn cache(&self) -> &IndexCache {
+        &self.cache
+    }
+
+    /// Pruned search through the cached index; identical results to the
+    /// plain scan.
+    pub fn find_matches(&self, query: &QuerySubseq, options: &SearchOptions) -> Vec<MatchResult> {
+        let len = query.len();
+        if len == 0 || len > 60 {
+            return self.matcher.find_matches_with(query, options);
+        }
+        let index = self.cache.index_for(len);
+        self.matcher.find_matches_pruned(query, &index, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use tsm_db::{PatientAttributes, SubseqRef};
+    use tsm_model::{BreathState::*, PlrTrajectory, Vertex};
+
+    fn plr(n: usize, amplitude: f64) -> PlrTrajectory {
+        let mut v = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..n {
+            v.push(Vertex::new_1d(t, amplitude, Exhale));
+            v.push(Vertex::new_1d(t + 1.5, 0.0, EndOfExhale));
+            v.push(Vertex::new_1d(t + 2.5, 0.0, Inhale));
+            t += 4.0;
+        }
+        v.push(Vertex::new_1d(t, amplitude, Exhale));
+        PlrTrajectory::from_vertices(v).unwrap()
+    }
+
+    #[test]
+    fn cached_results_equal_scan_and_cache_is_reused() {
+        let store = StreamStore::new();
+        let p = store.add_patient(PatientAttributes::new());
+        let id = store.add_stream(p, 0, plr(8, 10.0), 960);
+        store.add_stream(p, 1, plr(8, 10.4), 960);
+
+        let matcher = Matcher::new(store.clone(), Params::default());
+        let cached = CachedMatcher::new(Matcher::new(store.clone(), Params::default()));
+
+        let view = store.resolve(SubseqRef::new(id, 0, 9)).unwrap();
+        let q = QuerySubseq::from_view(&view);
+        let opts = SearchOptions::default();
+        let a = matcher.find_matches_with(&q, &opts);
+        let b = cached.find_matches(&q, &opts);
+        assert_eq!(a, b);
+        assert_eq!(cached.cache().rebuild_count(), 1);
+
+        // Second query of the same length: no rebuild.
+        let view = store.resolve(SubseqRef::new(id, 3, 9)).unwrap();
+        let q2 = QuerySubseq::from_view(&view);
+        assert_eq!(
+            matcher.find_matches_with(&q2, &opts),
+            cached.find_matches(&q2, &opts)
+        );
+        assert_eq!(cached.cache().rebuild_count(), 1);
+
+        // Different length: one more build.
+        let view = store.resolve(SubseqRef::new(id, 0, 6)).unwrap();
+        let q3 = QuerySubseq::from_view(&view);
+        cached.find_matches(&q3, &opts);
+        assert_eq!(cached.cache().rebuild_count(), 2);
+    }
+
+    #[test]
+    fn store_growth_invalidates_the_cache() {
+        let store = StreamStore::new();
+        let p = store.add_patient(PatientAttributes::new());
+        let id = store.add_stream(p, 0, plr(8, 10.0), 960);
+        let cached = CachedMatcher::new(Matcher::new(store.clone(), Params::default()));
+        let view = store.resolve(SubseqRef::new(id, 0, 9)).unwrap();
+        let q = QuerySubseq::from_view(&view);
+        let opts = SearchOptions::default();
+
+        let before = cached.find_matches(&q, &opts).len();
+        assert_eq!(cached.cache().rebuild_count(), 1);
+
+        // New session arrives: the next search must see it.
+        store.add_stream(p, 1, plr(8, 10.1), 960);
+        let after = cached.find_matches(&q, &opts).len();
+        assert_eq!(cached.cache().rebuild_count(), 2);
+        assert!(after > before, "new stream invisible: {before} -> {after}");
+
+        // And results still agree with a fresh scan.
+        let matcher = Matcher::new(store.clone(), Params::default());
+        assert_eq!(
+            matcher.find_matches_with(&q, &opts),
+            cached.find_matches(&q, &opts)
+        );
+    }
+
+    #[test]
+    fn degenerate_queries_fall_back() {
+        let store = StreamStore::new();
+        store.add_patient(PatientAttributes::new());
+        let cached = CachedMatcher::new(Matcher::new(store, Params::default()));
+        let q = QuerySubseq::new(vec![]);
+        assert!(cached
+            .find_matches(&q, &SearchOptions::default())
+            .is_empty());
+        assert_eq!(cached.cache().rebuild_count(), 0);
+    }
+}

@@ -1,0 +1,621 @@
+//! The subsequence search engine: retrieve all stored subsequences similar
+//! to a query (paper Section 4.2).
+
+use crate::params::Params;
+use crate::similarity::online_distance;
+use std::collections::HashSet;
+use std::sync::Arc;
+use tsm_db::{
+    PatientId, SourceRelation, StateOrderIndex, StreamId, StreamStore, SubseqRef, SubseqView,
+};
+use tsm_model::{state_signature, BreathState, Vertex};
+
+/// A query subsequence, detached from the store (online queries come from
+/// the live stream, which may not have been persisted yet).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySubseq {
+    /// The query's vertices (`len + 1` of them for `len` segments).
+    pub vertices: Vec<Vertex>,
+    /// Provenance of the query, if known: `(patient, session)`. Drives the
+    /// source weight of every candidate; `None` treats every candidate as
+    /// coming from another patient.
+    pub origin: Option<(PatientId, u32)>,
+    /// The stream the query was cut from, if any — candidates overlapping
+    /// the query's own window in that stream are excluded (a query always
+    /// matches itself perfectly; that tells us nothing).
+    pub origin_stream: Option<StreamId>,
+}
+
+impl QuerySubseq {
+    /// Builds a query from a detached vertex buffer.
+    pub fn new(vertices: Vec<Vertex>) -> Self {
+        QuerySubseq {
+            vertices,
+            origin: None,
+            origin_stream: None,
+        }
+    }
+
+    /// Builds a query from a stored subsequence view (used by offline
+    /// analysis and the experiments).
+    pub fn from_view(view: &SubseqView) -> Self {
+        let meta = view.stream().meta;
+        QuerySubseq {
+            vertices: view.vertices().to_vec(),
+            origin: Some((meta.patient, meta.session)),
+            origin_stream: Some(meta.id),
+        }
+    }
+
+    /// Attaches provenance.
+    pub fn with_origin(mut self, patient: PatientId, session: u32) -> Self {
+        self.origin = Some((patient, session));
+        self
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.vertices.len().saturating_sub(1)
+    }
+
+    /// Whether the query holds no segments.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The query's state order.
+    pub fn states(&self) -> Vec<BreathState> {
+        if self.vertices.len() < 2 {
+            return Vec::new();
+        }
+        self.vertices[..self.vertices.len() - 1]
+            .iter()
+            .map(|v| v.state)
+            .collect()
+    }
+
+    /// Packed state-order signature.
+    pub fn signature(&self) -> Option<u128> {
+        state_signature(self.states())
+    }
+}
+
+/// One retrieved similar subsequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchResult {
+    /// Reference to the matched subsequence.
+    pub subseq: SubseqRef,
+    /// Weighted distance to the query (Definition 2).
+    pub distance: f64,
+    /// Source weight of this candidate (also the prediction weight of
+    /// Section 4.3).
+    pub ws: f64,
+    /// Provenance tier of this candidate.
+    pub relation: SourceRelation,
+}
+
+/// Search restrictions.
+#[derive(Debug, Clone, Default)]
+pub struct SearchOptions {
+    /// Only consider candidates from these patients (the clustering
+    /// application of Section 5.3: "subsequence similarity matching will
+    /// only retrieve subsequences from the same cluster").
+    pub restrict_patients: Option<HashSet<PatientId>>,
+    /// Keep only the `k` nearest matches (by distance). `None` keeps all
+    /// matches within δ.
+    pub top_k: Option<usize>,
+    /// Override the distance threshold δ for this search.
+    pub delta_override: Option<f64>,
+}
+
+/// The matcher: a store handle plus parameters.
+///
+/// ```
+/// use tsm_core::{Matcher, Params, QuerySubseq};
+/// use tsm_db::{PatientAttributes, StreamStore, SubseqRef};
+/// use tsm_model::{BreathState::*, PlrTrajectory, Vertex};
+///
+/// // Two identical 4-cycle streams for one patient.
+/// let store = StreamStore::new();
+/// let patient = store.add_patient(PatientAttributes::new());
+/// for session in 0..2 {
+///     let mut v = Vec::new();
+///     for c in 0..4 {
+///         let t = c as f64 * 4.0;
+///         v.push(Vertex::new_1d(t, 10.0, Exhale));
+///         v.push(Vertex::new_1d(t + 1.5, 0.0, EndOfExhale));
+///         v.push(Vertex::new_1d(t + 2.5, 0.0, Inhale));
+///     }
+///     v.push(Vertex::new_1d(16.0, 10.0, Exhale));
+///     store.add_stream(patient, session, PlrTrajectory::from_vertices(v).unwrap(), 480);
+/// }
+///
+/// // Query: the first cycle of stream 0.
+/// let view = store.resolve(SubseqRef::new(tsm_db::StreamId(0), 0, 3)).unwrap();
+/// let query = QuerySubseq::from_view(&view);
+/// let matches = Matcher::new(store, Params::default()).find_matches(&query);
+/// assert!(!matches.is_empty());
+/// assert!(matches.iter().all(|m| m.distance <= Params::default().delta));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    store: StreamStore,
+    params: Params,
+}
+
+impl Matcher {
+    /// Creates a matcher over a store.
+    pub fn new(store: StreamStore, params: Params) -> Self {
+        Matcher { store, params }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The underlying store handle.
+    pub fn store(&self) -> &StreamStore {
+        &self.store
+    }
+
+    /// Finds all similar subsequences with default options.
+    pub fn find_matches(&self, query: &QuerySubseq) -> Vec<MatchResult> {
+        self.find_matches_with(query, &SearchOptions::default())
+    }
+
+    /// Finds all similar subsequences: every stored window with the
+    /// query's state order and weighted distance ≤ δ, sorted by distance.
+    pub fn find_matches_with(
+        &self,
+        query: &QuerySubseq,
+        options: &SearchOptions,
+    ) -> Vec<MatchResult> {
+        let n = query.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let delta = options.delta_override.unwrap_or(self.params.delta);
+        let mut out = Vec::new();
+        for stream in self.store.streams() {
+            self.scan_stream(query, &stream, n, delta, options, &mut out);
+        }
+        Self::finish(&mut out, options);
+        out
+    }
+
+    /// Index-accelerated variant: candidate enumeration via a prebuilt
+    /// [`StateOrderIndex`] of the query's length.
+    pub fn find_matches_indexed(
+        &self,
+        query: &QuerySubseq,
+        index: &StateOrderIndex,
+        options: &SearchOptions,
+    ) -> Vec<MatchResult> {
+        let n = query.len();
+        if n == 0 || index.len() != n {
+            return Vec::new();
+        }
+        let Some(sig) = query.signature() else {
+            return self.find_matches_with(query, options);
+        };
+        let delta = options.delta_override.unwrap_or(self.params.delta);
+        let mut out = Vec::new();
+        for r in index.candidates(sig) {
+            let Some(view) = self.store.resolve(*r) else {
+                continue;
+            };
+            if let Some(m) = self.score_candidate(query, &view, delta, options) {
+                out.push(m);
+            }
+        }
+        Self::finish(&mut out, options);
+        out
+    }
+
+    /// Parallel scan: splits the store's streams over `threads` crossbeam
+    /// workers. Results are identical to [`Matcher::find_matches_with`]
+    /// (each worker scans a disjoint chunk; the merged result is sorted
+    /// and truncated exactly as the serial path does). Worth it for
+    /// multi-hundred-stream stores; for small stores the spawn overhead
+    /// dominates — measure with the `matching` bench.
+    pub fn find_matches_parallel(
+        &self,
+        query: &QuerySubseq,
+        options: &SearchOptions,
+        threads: usize,
+    ) -> Vec<MatchResult> {
+        let n = query.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let streams = self.store.streams();
+        let threads = threads.max(1).min(streams.len().max(1));
+        if threads <= 1 {
+            return self.find_matches_with(query, options);
+        }
+        let delta = options.delta_override.unwrap_or(self.params.delta);
+        let chunk = streams.len().div_ceil(threads);
+        let mut out = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk_streams in streams.chunks(chunk) {
+                handles.push(scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    for stream in chunk_streams {
+                        self.scan_stream(query, stream, n, delta, options, &mut local);
+                    }
+                    local
+                }));
+            }
+            let mut merged = Vec::new();
+            for h in handles {
+                merged.extend(h.join().expect("matcher worker panicked"));
+            }
+            merged
+        })
+        .expect("scope failed");
+        Self::finish(&mut out, options);
+        out
+    }
+
+    /// Feature-index search with lower-bound pruning: candidates outside
+    /// the amplitude-summary band provably cannot be within δ and are
+    /// skipped before their vertices are touched. Results are identical
+    /// to [`Matcher::find_matches_with`] (property-tested).
+    ///
+    /// The bound: the per-segment-normalized distance satisfies
+    /// `d ≥ wa · wi_base · |S_q − S_c| / (Σwi · ws)`, so only candidates
+    /// with `|S_q − S_c| ≤ δ · Σwi · ws_max / (wa · wi_base)` need exact
+    /// scoring (`ws_max = 1`; each survivor is then re-checked with its
+    /// actual `ws`).
+    pub fn find_matches_pruned(
+        &self,
+        query: &QuerySubseq,
+        index: &tsm_db::FeatureIndex,
+        options: &SearchOptions,
+    ) -> Vec<MatchResult> {
+        let n = query.len();
+        if n == 0 || index.len() != n || index.axis() != self.params.axis {
+            return Vec::new();
+        }
+        let Some(sig) = query.signature() else {
+            return self.find_matches_with(query, options);
+        };
+        let delta = options.delta_override.unwrap_or(self.params.delta);
+        // Query-side summaries.
+        let axis = self.params.axis;
+        let q_amp_sum: f64 = query
+            .vertices
+            .windows(2)
+            .map(|w| {
+                tsm_model::Segment::between(&w[0], &w[1])
+                    .displacement(axis)
+                    .abs()
+            })
+            .sum();
+        // Σwi for the query length.
+        let wi_sum: f64 = (0..n)
+            .map(|i| crate::similarity::vertex_weight(&self.params, i, n))
+            .sum();
+        let wa = self.params.wa.max(f64::MIN_POSITIVE);
+        let wi_base = self.params.wi_base.max(f64::MIN_POSITIVE);
+        let band = delta * wi_sum / (wa * wi_base); // ws_max = 1
+        let mut out = Vec::new();
+        for e in index.candidates_in_band(sig, q_amp_sum, band) {
+            let Some(view) = self.store.resolve(e.subseq) else {
+                continue;
+            };
+            if let Some(m) = self.score_candidate(query, &view, delta, options) {
+                out.push(m);
+            }
+        }
+        Self::finish(&mut out, options);
+        out
+    }
+
+    fn scan_stream(
+        &self,
+        query: &QuerySubseq,
+        stream: &Arc<tsm_db::MotionStream>,
+        n: usize,
+        delta: f64,
+        options: &SearchOptions,
+        out: &mut Vec<MatchResult>,
+    ) {
+        if let Some(allowed) = &options.restrict_patients {
+            if !allowed.contains(&stream.meta.patient) {
+                return;
+            }
+        }
+        let nseg = stream.plr.num_segments();
+        if nseg < n {
+            return;
+        }
+        for start in 0..=(nseg - n) {
+            let r = SubseqRef::new(stream.meta.id, start, n);
+            let Some(view) = SubseqView::new(stream.clone(), r) else {
+                continue;
+            };
+            if let Some(m) = self.score_candidate(query, &view, delta, options) {
+                out.push(m);
+            }
+        }
+    }
+
+    fn score_candidate(
+        &self,
+        query: &QuerySubseq,
+        view: &SubseqView,
+        delta: f64,
+        options: &SearchOptions,
+    ) -> Option<MatchResult> {
+        let meta = view.stream().meta;
+        if let Some(allowed) = &options.restrict_patients {
+            if !allowed.contains(&meta.patient) {
+                return None;
+            }
+        }
+        // Exclude candidates overlapping the query's own window.
+        if query.origin_stream == Some(meta.id) {
+            let q_first = query.vertices.first()?.time;
+            let q_last = query.vertices.last()?.time;
+            let c_first = view.first_vertex().time;
+            let c_last = view.last_vertex().time;
+            if c_last > q_first && c_first < q_last {
+                return None;
+            }
+        }
+        let relation = match query.origin {
+            Some((patient, session)) => {
+                if patient != meta.patient {
+                    SourceRelation::OtherPatient
+                } else if session != meta.session {
+                    SourceRelation::SamePatient
+                } else {
+                    SourceRelation::SameSession
+                }
+            }
+            None => SourceRelation::OtherPatient,
+        };
+        let d = online_distance(&query.vertices, view.vertices(), &self.params, relation)?;
+        if d > delta {
+            return None;
+        }
+        Some(MatchResult {
+            subseq: view.subseq_ref(),
+            distance: d,
+            ws: self.params.ws(relation),
+            relation,
+        })
+    }
+
+    fn finish(out: &mut Vec<MatchResult>, options: &SearchOptions) {
+        out.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        if let Some(k) = options.top_k {
+            out.truncate(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_db::PatientAttributes;
+    use tsm_model::{PlrTrajectory, Vertex};
+    use BreathState::*;
+
+    /// A PLR stream of `n` cycles with the given amplitude.
+    fn plr(n: usize, amplitude: f64) -> PlrTrajectory {
+        let mut v = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..n {
+            v.push(Vertex::new_1d(t, amplitude, Exhale));
+            v.push(Vertex::new_1d(t + 1.5, 0.0, EndOfExhale));
+            v.push(Vertex::new_1d(t + 2.5, 0.0, Inhale));
+            t += 4.0;
+        }
+        v.push(Vertex::new_1d(t, amplitude, Exhale));
+        PlrTrajectory::from_vertices(v).unwrap()
+    }
+
+    /// Store: patient 0 (sessions 0, 1) breathing at 10 mm; patient 1 at
+    /// 10.5 mm; patient 2 at 25 mm (far).
+    fn setup() -> (StreamStore, Vec<StreamId>) {
+        let store = StreamStore::new();
+        let p0 = store.add_patient(PatientAttributes::new());
+        let p1 = store.add_patient(PatientAttributes::new());
+        let p2 = store.add_patient(PatientAttributes::new());
+        let ids = vec![
+            store.add_stream(p0, 0, plr(8, 10.0), 800),
+            store.add_stream(p0, 1, plr(8, 10.2), 800),
+            store.add_stream(p1, 0, plr(8, 10.5), 800),
+            store.add_stream(p2, 0, plr(8, 25.0), 800),
+        ];
+        (store, ids)
+    }
+
+    fn query_from(store: &StreamStore, id: StreamId, start: usize, len: usize) -> QuerySubseq {
+        let view = store.resolve(SubseqRef::new(id, start, len)).unwrap();
+        QuerySubseq::from_view(&view)
+    }
+
+    #[test]
+    fn retrieves_similar_and_respects_delta() {
+        let (store, ids) = setup();
+        let m = Matcher::new(store.clone(), Params::default());
+        let q = query_from(&store, ids[0], 0, 9);
+        let matches = m.find_matches(&q);
+        assert!(!matches.is_empty());
+        // Sorted by distance.
+        for w in matches.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        // All within delta.
+        assert!(matches.iter().all(|r| r.distance <= m.params().delta));
+        // The far patient's 25 mm breathing must not match a 10 mm query
+        // within delta 8: per-segment amp deviation 15mm / ws 0.3 = 50.
+        assert!(matches.iter().all(|r| r.subseq.stream != ids[3]));
+    }
+
+    #[test]
+    fn self_overlap_excluded_but_own_history_allowed() {
+        let (store, ids) = setup();
+        let m = Matcher::new(store.clone(), Params::default());
+        // Query = the *last* 9 segments of stream 0.
+        let nseg = store.stream(ids[0]).unwrap().plr.num_segments();
+        let q = query_from(&store, ids[0], nseg - 9, 9);
+        let matches = m.find_matches(&q);
+        // The identical window itself must be excluded...
+        assert!(matches
+            .iter()
+            .all(|r| !(r.subseq.stream == ids[0] && r.subseq.start as usize == nseg - 9)));
+        // ...but earlier windows of the same stream are prime candidates.
+        assert!(matches.iter().any(|r| r.subseq.stream == ids[0]));
+    }
+
+    #[test]
+    fn source_relations_assigned_correctly() {
+        let (store, ids) = setup();
+        let m = Matcher::new(store.clone(), Params::default());
+        let q = query_from(&store, ids[0], 0, 9);
+        let matches = m.find_matches(&q);
+        for r in &matches {
+            let expected = if r.subseq.stream == ids[0] {
+                SourceRelation::SameSession
+            } else if r.subseq.stream == ids[1] {
+                SourceRelation::SamePatient
+            } else {
+                SourceRelation::OtherPatient
+            };
+            assert_eq!(r.relation, expected);
+        }
+        // Same-session matches rank first (identical shapes everywhere, so
+        // the ws division decides).
+        assert_eq!(matches[0].relation, SourceRelation::SameSession);
+    }
+
+    #[test]
+    fn patient_restriction() {
+        let (store, ids) = setup();
+        let m = Matcher::new(store.clone(), Params::default());
+        let q = query_from(&store, ids[0], 0, 9);
+        let mut allowed = HashSet::new();
+        allowed.insert(PatientId(1));
+        let opts = SearchOptions {
+            restrict_patients: Some(allowed),
+            ..Default::default()
+        };
+        let matches = m.find_matches_with(&q, &opts);
+        assert!(!matches.is_empty());
+        assert!(matches.iter().all(|r| r.subseq.stream == ids[2]));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let (store, ids) = setup();
+        let m = Matcher::new(store.clone(), Params::default());
+        let q = query_from(&store, ids[0], 0, 9);
+        let opts = SearchOptions {
+            top_k: Some(5),
+            ..Default::default()
+        };
+        let matches = m.find_matches_with(&q, &opts);
+        assert_eq!(matches.len(), 5);
+    }
+
+    #[test]
+    fn delta_override_tightens_the_net() {
+        let (store, ids) = setup();
+        let m = Matcher::new(store.clone(), Params::default());
+        let q = query_from(&store, ids[0], 0, 9);
+        let all = m.find_matches(&q).len();
+        let opts = SearchOptions {
+            delta_override: Some(0.2),
+            ..Default::default()
+        };
+        let tight = m.find_matches_with(&q, &opts).len();
+        assert!(tight < all, "tight {tight} vs all {all}");
+    }
+
+    #[test]
+    fn indexed_equals_scan() {
+        let (store, ids) = setup();
+        let m = Matcher::new(store.clone(), Params::default());
+        let index = StateOrderIndex::build(&store, 9);
+        for start in [0usize, 1, 2, 5] {
+            let q = query_from(&store, ids[0], start, 9);
+            let scan = m.find_matches(&q);
+            let indexed = m.find_matches_indexed(&q, &index, &SearchOptions::default());
+            assert_eq!(scan, indexed, "divergence at start {start}");
+        }
+    }
+
+    #[test]
+    fn parallel_search_equals_scan() {
+        let (store, ids) = setup();
+        let m = Matcher::new(store.clone(), Params::default());
+        for threads in [1usize, 2, 4, 16] {
+            for start in [0usize, 2, 5] {
+                let q = query_from(&store, ids[0], start, 9);
+                let scan = m.find_matches(&q);
+                let par = m.find_matches_parallel(&q, &SearchOptions::default(), threads);
+                assert_eq!(scan, par, "divergence at {threads} threads, start {start}");
+            }
+        }
+        // top_k interacts with merge ordering; verify it too.
+        let q = query_from(&store, ids[0], 0, 9);
+        let opts = SearchOptions {
+            top_k: Some(4),
+            ..Default::default()
+        };
+        assert_eq!(
+            m.find_matches_with(&q, &opts),
+            m.find_matches_parallel(&q, &opts, 3)
+        );
+    }
+
+    #[test]
+    fn pruned_search_equals_scan() {
+        let (store, ids) = setup();
+        let m = Matcher::new(store.clone(), Params::default());
+        let index = tsm_db::FeatureIndex::build(&store, 9, 0);
+        for start in [0usize, 1, 3, 6] {
+            let q = query_from(&store, ids[0], start, 9);
+            let scan = m.find_matches(&q);
+            let pruned = m.find_matches_pruned(&q, &index, &SearchOptions::default());
+            assert_eq!(scan, pruned, "divergence at start {start}");
+        }
+        // Tight delta too.
+        let q = query_from(&store, ids[0], 0, 9);
+        let opts = SearchOptions {
+            delta_override: Some(0.3),
+            ..Default::default()
+        };
+        assert_eq!(
+            m.find_matches_with(&q, &opts),
+            m.find_matches_pruned(&q, &index, &opts)
+        );
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let (store, _) = setup();
+        let m = Matcher::new(store, Params::default());
+        let q = QuerySubseq::new(vec![]);
+        assert!(q.is_empty());
+        assert!(m.find_matches(&q).is_empty());
+    }
+
+    #[test]
+    fn anonymous_queries_treat_everyone_as_other() {
+        let (store, ids) = setup();
+        let m = Matcher::new(store.clone(), Params::default());
+        let view = store.resolve(SubseqRef::new(ids[0], 0, 9)).unwrap();
+        let q = QuerySubseq::new(view.vertices().to_vec());
+        let matches = m.find_matches(&q);
+        assert!(!matches.is_empty());
+        assert!(matches
+            .iter()
+            .all(|r| r.relation == SourceRelation::OtherPatient));
+    }
+}

@@ -1,0 +1,258 @@
+//! The online prediction pipeline: raw samples in, predictions out.
+//!
+//! This is the deployment loop of the paper's Figure 1 scenario: the
+//! tracking system delivers a sample every 33 ms; the signal is segmented
+//! on the fly; when a prediction is requested (to cover system latency
+//! `Δt`), the most recent motion becomes a dynamic query, the store is
+//! searched, and the retrieved futures vote on the tumor's position at
+//! `t + Δt`.
+
+use crate::index_cache::CachedMatcher;
+use crate::matcher::{Matcher, QuerySubseq, SearchOptions};
+use crate::params::Params;
+use crate::predict::{predict_position, AlignMode};
+use crate::query::generate_query;
+use tsm_db::{PatientId, StreamId, StreamStore};
+use tsm_model::{OnlineSegmenter, PlrTrajectory, Position, Sample, SegmenterConfig, Vertex};
+
+/// Outcome of one prediction request (with diagnostics the experiments
+/// record).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionOutcome {
+    /// The predicted position at `t_last_vertex + dt`.
+    pub position: Position,
+    /// Number of matches that voted.
+    pub num_matches: usize,
+    /// Length of the dynamic query, in segments.
+    pub query_len: usize,
+    /// Whether the query's stability strip converged.
+    pub query_stable: bool,
+}
+
+/// The online predictor: segmenter + live buffer + matcher.
+#[derive(Debug)]
+pub struct OnlinePredictor {
+    segmenter: OnlineSegmenter,
+    live: Vec<Vertex>,
+    matcher: CachedMatcher,
+    params: Params,
+    origin: (PatientId, u32),
+    align: AlignMode,
+    options: SearchOptions,
+    samples_seen: usize,
+}
+
+impl OnlinePredictor {
+    /// Creates a predictor for a session of `patient`, searching `store`.
+    pub fn new(
+        store: StreamStore,
+        params: Params,
+        segmenter_config: SegmenterConfig,
+        patient: PatientId,
+        session: u32,
+    ) -> Self {
+        params.validate().expect("invalid matching parameters");
+        OnlinePredictor {
+            segmenter: OnlineSegmenter::new(segmenter_config),
+            live: Vec::new(),
+            matcher: CachedMatcher::new(Matcher::new(store, params.clone())),
+            params,
+            origin: (patient, session),
+            align: AlignMode::default(),
+            options: SearchOptions::default(),
+            samples_seen: 0,
+        }
+    }
+
+    /// Overrides the prediction alignment mode.
+    pub fn with_align(mut self, align: AlignMode) -> Self {
+        self.align = align;
+        self
+    }
+
+    /// Restricts matching (e.g. to the patient's cluster, Section 5.3).
+    pub fn with_search_options(mut self, options: SearchOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Feeds one raw sample; returns any vertices that closed.
+    pub fn push(&mut self, s: Sample) -> &[Vertex] {
+        self.samples_seen += 1;
+        let before = self.live.len();
+        let new = self.segmenter.push(s);
+        self.live.extend(new);
+        &self.live[before..]
+    }
+
+    /// The live PLR buffer accumulated so far.
+    pub fn live_vertices(&self) -> &[Vertex] {
+        &self.live
+    }
+
+    /// Raw samples consumed.
+    pub fn samples_seen(&self) -> usize {
+        self.samples_seen
+    }
+
+    /// Builds the current dynamic query, if the live buffer is long
+    /// enough.
+    pub fn current_query(&self) -> Option<QuerySubseq> {
+        let outcome = generate_query(&self.live, &self.params)?;
+        Some(
+            QuerySubseq::new(outcome.vertices(&self.live).to_vec())
+                .with_origin(self.origin.0, self.origin.1),
+        )
+    }
+
+    /// Predicts the position `dt` seconds after the last closed vertex.
+    ///
+    /// Returns `None` until the live buffer holds at least `L_min`
+    /// segments, or when fewer than `min_matches` similar subsequences are
+    /// found (the paper abstains rather than guess).
+    pub fn predict(&self, dt: f64) -> Option<PredictionOutcome> {
+        let outcome = generate_query(&self.live, &self.params)?;
+        let query = QuerySubseq::new(outcome.vertices(&self.live).to_vec())
+            .with_origin(self.origin.0, self.origin.1);
+        let matches = self.matcher.find_matches(&query, &self.options);
+        let position = predict_position(
+            self.matcher.matcher().store(),
+            &query,
+            &matches,
+            dt,
+            &self.params,
+            self.align,
+        )?;
+        Some(PredictionOutcome {
+            position,
+            num_matches: matches.len(),
+            query_len: outcome.len,
+            query_stable: outcome.stable,
+        })
+    }
+
+    /// Ends the session: flushes the segmenter and persists the live
+    /// stream into the store so future sessions can match against it.
+    /// Returns `None` when the live stream never produced a valid PLR.
+    pub fn finish_into_store(mut self) -> Option<StreamId> {
+        let tail = self.segmenter.finish();
+        self.live.extend(tail);
+        let plr = PlrTrajectory::from_vertices(self.live).ok()?;
+        Some(self.matcher.matcher().store().add_stream(
+            self.origin.0,
+            self.origin.1,
+            plr,
+            self.samples_seen,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_db::PatientAttributes;
+    use tsm_model::segment_signal;
+    use tsm_signal::{BreathingParams, SignalGenerator};
+
+    fn seeded_store(seed: u64) -> (StreamStore, PatientId) {
+        let store = StreamStore::new();
+        let patient = store.add_patient(PatientAttributes::new());
+        // One prior session of the same patient.
+        let samples = SignalGenerator::new(BreathingParams::default(), seed).generate(120.0);
+        let vertices = segment_signal(&samples, SegmenterConfig::clean());
+        let plr = PlrTrajectory::from_vertices(vertices).unwrap();
+        store.add_stream(patient, 0, plr, samples.len());
+        (store, patient)
+    }
+
+    #[test]
+    fn predicts_after_warmup_and_beats_worst_case() {
+        let (store, patient) = seeded_store(11);
+        let params = Params {
+            min_matches: 1,
+            ..Params::default()
+        };
+        let mut predictor = OnlinePredictor::new(
+            store,
+            params,
+            SegmenterConfig::clean(),
+            patient,
+            1, // a new session
+        );
+        // Live breathing, same patient parameters, different seed.
+        let mut generator = SignalGenerator::new(BreathingParams::default(), 12);
+        let samples = generator.generate(90.0);
+
+        let mut errors = Vec::new();
+        let dt = 0.3;
+        let plr_truth = {
+            let vertices = segment_signal(&samples, SegmenterConfig::clean());
+            PlrTrajectory::from_vertices(vertices).unwrap()
+        };
+        for (i, &s) in samples.iter().enumerate() {
+            predictor.push(s);
+            if i % 30 == 0 {
+                if let Some(outcome) = predictor.predict(dt) {
+                    let t_last = predictor.live_vertices().last().unwrap().time;
+                    let truth = plr_truth.position_at(t_last + dt);
+                    errors.push((outcome.position[0] - truth[0]).abs());
+                }
+            }
+        }
+        assert!(errors.len() > 10, "too few predictions: {}", errors.len());
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        // 12 mm amplitude breathing: a useful predictor must do far better
+        // than the ~4-6 mm error of predicting a constant.
+        assert!(mean < 2.5, "mean prediction error {mean} mm");
+    }
+
+    #[test]
+    fn no_prediction_before_warmup() {
+        let (store, patient) = seeded_store(13);
+        let predictor = OnlinePredictor::new(
+            store,
+            Params::default(),
+            SegmenterConfig::clean(),
+            patient,
+            1,
+        );
+        assert!(predictor.predict(0.3).is_none());
+        assert!(predictor.current_query().is_none());
+    }
+
+    #[test]
+    fn finish_persists_the_session() {
+        let (store, patient) = seeded_store(14);
+        let before = store.num_streams();
+        let mut predictor = OnlinePredictor::new(
+            store.clone(),
+            Params::default(),
+            SegmenterConfig::clean(),
+            patient,
+            1,
+        );
+        let mut generator = SignalGenerator::new(BreathingParams::default(), 15);
+        for s in generator.generate(60.0) {
+            predictor.push(s);
+        }
+        let id = predictor.finish_into_store().expect("stream persisted");
+        assert_eq!(store.num_streams(), before + 1);
+        let stored = store.stream(id).unwrap();
+        assert_eq!(stored.meta.patient, patient);
+        assert_eq!(stored.meta.session, 1);
+        assert!(stored.plr.num_segments() > 20);
+    }
+
+    #[test]
+    fn empty_session_does_not_persist() {
+        let (store, patient) = seeded_store(16);
+        let predictor = OnlinePredictor::new(
+            store.clone(),
+            Params::default(),
+            SegmenterConfig::clean(),
+            patient,
+            1,
+        );
+        assert!(predictor.finish_into_store().is_none());
+    }
+}

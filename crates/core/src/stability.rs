@@ -1,0 +1,200 @@
+//! Subsequence stability (paper Definition 1).
+//!
+//! > *Given a subsequence S, S is stable if σ(S) ≤ θ, where θ is a
+//! > predefined parameter and σ(S) is computed per state k = 0, 1, 2, 3
+//! > (EX, EOE, IN, IRR) from the deviations of each segment's amplitude
+//! > and time interval around the per-state averages, with different
+//! > weights for amplitude and frequency changes.*
+//!
+//! The published formula is typographically mangled, so this module
+//! reconstructs it from the prose: for every state `k`, let `Ā_k` and
+//! `T̄_k` be the average amplitude and average time interval of the
+//! state-`k` segments within `S`. The stability statistic is the summed
+//! weighted *relative* deviation
+//!
+//! ```text
+//! σ(S) = Σ_k Σ_{i : state(i)=k}  wa·|A_i − Ā_k| / (Ā_k + ε)
+//!                              + wf·|T_i − T̄_k| / (T̄_k + ε)
+//! ```
+//!
+//! Relative deviations make the statistic scale-free (a 15 mm breather and
+//! a 6 mm breather are judged by the same θ), matching the paper's use of
+//! a single threshold across all patients. **The smaller σ is, the more
+//! stable S is.**
+
+use crate::params::Params;
+use tsm_model::{BreathState, Segment, Vertex};
+
+/// Guards the relative deviations against near-zero per-state means
+/// (e.g. EOE dwell amplitudes, which hover around zero by design).
+const EPSILON_AMPLITUDE: f64 = 0.5; // mm
+const EPSILON_DURATION: f64 = 0.05; // s
+
+/// Computes the stability statistic σ over the segments spanned by
+/// `vertices` (Definition 1). Returns `f64::INFINITY` for windows with
+/// fewer than two vertices (no segments — nothing to be stable about).
+pub fn stability(vertices: &[Vertex], params: &Params) -> f64 {
+    if vertices.len() < 2 {
+        return f64::INFINITY;
+    }
+    let axis = params.axis;
+
+    // Per-state sums for the averages.
+    let mut count = [0usize; BreathState::COUNT];
+    let mut amp_sum = [0.0f64; BreathState::COUNT];
+    let mut dur_sum = [0.0f64; BreathState::COUNT];
+    for w in vertices.windows(2) {
+        let seg = Segment::between(&w[0], &w[1]);
+        let k = seg.state.index();
+        count[k] += 1;
+        amp_sum[k] += seg.amplitude(axis);
+        dur_sum[k] += seg.duration();
+    }
+
+    let mut sigma = 0.0;
+    for w in vertices.windows(2) {
+        let seg = Segment::between(&w[0], &w[1]);
+        let k = seg.state.index();
+        let mean_amp = amp_sum[k] / count[k] as f64;
+        let mean_dur = dur_sum[k] / count[k] as f64;
+        sigma += params.wa * (seg.amplitude(axis) - mean_amp).abs()
+            / (mean_amp + EPSILON_AMPLITUDE)
+            + params.wf * (seg.duration() - mean_dur).abs() / (mean_dur + EPSILON_DURATION);
+    }
+
+    // Any irregular segment is itself evidence of instability beyond its
+    // deviation from other irregular segments: regular breathing has none.
+    let irr = count[BreathState::Irregular.index()] as f64;
+    sigma + irr * params.wa
+}
+
+/// Whether the window is stable at the configured threshold θ
+/// (Definition 1's acceptance test).
+pub fn is_stable(vertices: &[Vertex], params: &Params) -> bool {
+    stability(vertices, params) <= params.theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_model::BreathState::*;
+
+    /// Perfectly repeating cycles: every state's segments identical.
+    fn regular(n_cycles: usize) -> Vec<Vertex> {
+        let mut v = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..n_cycles {
+            v.push(Vertex::new_1d(t, 10.0, Exhale));
+            v.push(Vertex::new_1d(t + 1.5, 0.0, EndOfExhale));
+            v.push(Vertex::new_1d(t + 2.5, 0.0, Inhale));
+            t += 4.0;
+        }
+        v.push(Vertex::new_1d(t, 10.0, Exhale));
+        v
+    }
+
+    /// Cycles whose amplitude alternates between small and large.
+    fn wobbly(n_cycles: usize) -> Vec<Vertex> {
+        let mut v = Vec::new();
+        let mut t = 0.0;
+        for i in 0..n_cycles {
+            let a = if i % 2 == 0 { 5.0 } else { 18.0 };
+            let period = if i % 2 == 0 { 3.0 } else { 5.5 };
+            v.push(Vertex::new_1d(t, a, Exhale));
+            v.push(Vertex::new_1d(t + period * 0.4, 0.0, EndOfExhale));
+            v.push(Vertex::new_1d(t + period * 0.6, 0.0, Inhale));
+            t += period;
+        }
+        v.push(Vertex::new_1d(t, 5.0, Exhale));
+        v
+    }
+
+    #[test]
+    fn perfectly_regular_is_perfectly_stable() {
+        let p = Params::default();
+        let sigma = stability(&regular(4), &p);
+        assert!(sigma < 1e-9, "sigma = {sigma}");
+        assert!(is_stable(&regular(4), &p));
+    }
+
+    #[test]
+    fn wobbly_breathing_is_less_stable() {
+        let p = Params::default();
+        let s_reg = stability(&regular(4), &p);
+        let s_wob = stability(&wobbly(4), &p);
+        assert!(s_wob > s_reg + 1.0, "regular {s_reg} vs wobbly {s_wob}");
+    }
+
+    #[test]
+    fn irregular_segments_penalized() {
+        let p = Params::default();
+        let mut v = regular(3);
+        // Relabel one interior segment as IRR.
+        v[4].state = Irregular;
+        let s_irr = stability(&v, &p);
+        let s_reg = stability(&regular(3), &p);
+        assert!(s_irr > s_reg, "IRR not penalized: {s_irr} vs {s_reg}");
+    }
+
+    #[test]
+    fn stability_is_scale_free() {
+        let p = Params::default();
+        // The same relative wobble at 2x the amplitude and period.
+        let small = wobbly(4);
+        let big: Vec<Vertex> = wobbly(4)
+            .into_iter()
+            .map(|v| Vertex::new_1d(v.time * 2.0, v.position[0] * 2.0, v.state))
+            .collect();
+        let ss = stability(&small, &p);
+        let sb = stability(&big, &p);
+        // Epsilon guards keep them from being exactly equal; they must be
+        // close.
+        assert!((ss - sb).abs() < 0.35 * ss, "not scale free: {ss} vs {sb}");
+    }
+
+    #[test]
+    fn degenerate_windows_are_unstable() {
+        let p = Params::default();
+        assert_eq!(stability(&[], &p), f64::INFINITY);
+        assert_eq!(
+            stability(&[Vertex::new_1d(0.0, 1.0, Exhale)], &p),
+            f64::INFINITY
+        );
+        assert!(!is_stable(&[], &p));
+    }
+
+    #[test]
+    fn amplitude_weight_dominates_frequency_weight() {
+        // Same relative deviation in amplitude vs duration: with
+        // wa=1, wf=0.25, the amplitude wobble must cost more.
+        let p = Params::default();
+        let amp_wobble: Vec<Vertex> = (0..4)
+            .flat_map(|i| {
+                let a = if i % 2 == 0 { 8.0 } else { 12.0 };
+                let t = i as f64 * 4.0;
+                vec![
+                    Vertex::new_1d(t, a, Exhale),
+                    Vertex::new_1d(t + 1.5, 0.0, EndOfExhale),
+                    Vertex::new_1d(t + 2.5, 0.0, Inhale),
+                ]
+            })
+            .chain([Vertex::new_1d(16.0, 8.0, Exhale)])
+            .collect();
+        let dur_wobble: Vec<Vertex> = {
+            let mut v = Vec::new();
+            let mut t = 0.0;
+            for i in 0..4 {
+                let scale = if i % 2 == 0 { 0.8 } else { 1.2 };
+                v.push(Vertex::new_1d(t, 10.0, Exhale));
+                v.push(Vertex::new_1d(t + 1.5 * scale, 0.0, EndOfExhale));
+                v.push(Vertex::new_1d(t + 2.5 * scale, 0.0, Inhale));
+                t += 4.0 * scale;
+            }
+            v.push(Vertex::new_1d(t, 10.0, Exhale));
+            v
+        };
+        let sa = stability(&amp_wobble, &p);
+        let sd = stability(&dur_wobble, &p);
+        assert!(sa > sd, "amplitude wobble {sa} <= duration wobble {sd}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests of the gating and tracking simulations.
+
+use proptest::prelude::*;
+use tsm_core::gating::{
+    last_observed_policy, oracle_policy, simulate_gating, GatingWindow,
+};
+use tsm_core::tracking::{last_observed_aim, oracle_aim, simulate_tracking};
+use tsm_model::{BreathState::*, PlrTrajectory, Vertex};
+
+/// A regular trajectory with the given amplitude/period/dwell level.
+fn trajectory(cycles: usize, amplitude: f64, period: f64, dwell: f64) -> PlrTrajectory {
+    let mut v = Vec::new();
+    let mut t = 0.0;
+    for _ in 0..cycles {
+        v.push(Vertex::new_1d(t, dwell + amplitude, Exhale));
+        v.push(Vertex::new_1d(t + period * 0.4, dwell, EndOfExhale));
+        v.push(Vertex::new_1d(t + period * 0.65, dwell, Inhale));
+        t += period;
+    }
+    v.push(Vertex::new_1d(t, dwell + amplitude, Exhale));
+    PlrTrajectory::from_vertices(v).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The oracle gating policy is always perfect; stats are proper
+    /// probabilities; the F1 is within bounds.
+    #[test]
+    fn oracle_gating_is_perfect(
+        amplitude in 5.0f64..20.0,
+        period in 3.0f64..6.0,
+        dwell in -5.0f64..5.0,
+        width in 2.0f64..6.0,
+    ) {
+        let plr = trajectory(12, amplitude, period, dwell);
+        let w = GatingWindow::at_exhale_end(&plr, 0, width);
+        let stats = simulate_gating(
+            &plr, 0, w, period, plr.end_time() - period, 0.02,
+            oracle_policy(&plr, 0, w),
+        );
+        prop_assert!((stats.precision - 1.0).abs() < 1e-9);
+        prop_assert!((stats.recall - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&stats.duty_cycle));
+        prop_assert!((stats.f1() - 1.0).abs() < 1e-9);
+        // The window center sits at the dwell level.
+        prop_assert!((w.center - dwell).abs() < 0.5);
+    }
+
+    /// More latency never helps the last-observed gating policy (F1 is
+    /// non-increasing, modulo tiny tick-quantization noise).
+    #[test]
+    fn latency_monotonically_degrades_gating(
+        amplitude in 6.0f64..20.0,
+        period in 3.0f64..6.0,
+    ) {
+        let plr = trajectory(12, amplitude, period, 0.0);
+        let w = GatingWindow::at_exhale_end(&plr, 0, 3.0);
+        let f1 = |latency: f64| {
+            simulate_gating(
+                &plr, 0, w, period, plr.end_time() - period, 0.02,
+                last_observed_policy(&plr, 0, w, latency),
+            )
+            .f1()
+        };
+        let mut prev = f1(0.0);
+        prop_assert!((prev - 1.0).abs() < 1e-9);
+        for latency in [0.1, 0.2, 0.3, 0.5] {
+            let cur = f1(latency);
+            prop_assert!(cur <= prev + 0.02, "latency {latency}: F1 {cur} > {prev}");
+            prev = cur;
+        }
+    }
+
+    /// Tracking errors: the oracle is exact; last-observed error scales
+    /// with latency and never exceeds the motion range; the percentile
+    /// ordering mean <= p95 <= max always holds.
+    #[test]
+    fn tracking_error_structure(
+        amplitude in 5.0f64..20.0,
+        period in 3.0f64..6.0,
+        latency in 0.05f64..0.5,
+    ) {
+        let plr = trajectory(12, amplitude, period, 0.0);
+        let (t0, t1) = (period, plr.end_time() - period);
+        let oracle = simulate_tracking(&plr, 0, t0, t1, 0.02, oracle_aim(&plr));
+        prop_assert!(oracle.max_error < 1e-9);
+        let lagged = simulate_tracking(&plr, 0, t0, t1, 0.02, last_observed_aim(&plr, latency));
+        prop_assert!(lagged.mean_error > 0.0);
+        prop_assert!(lagged.mean_error <= lagged.rms_error + 1e-12);
+        prop_assert!(lagged.rms_error <= lagged.p95_error + lagged.mean_error);
+        prop_assert!(lagged.mean_error <= lagged.p95_error + 1e-12);
+        prop_assert!(lagged.p95_error <= lagged.max_error + 1e-12);
+        prop_assert!(lagged.max_error <= amplitude + 1e-9);
+        // Error is bounded by peak speed x latency.
+        let peak_speed = amplitude / (period * 0.25);
+        prop_assert!(
+            lagged.max_error <= peak_speed * latency + 1e-6,
+            "max {} exceeds speed bound {}",
+            lagged.max_error,
+            peak_speed * latency
+        );
+    }
+
+    /// Gating windows behave like intervals: containment is symmetric
+    /// around the center and monotone in width.
+    #[test]
+    fn window_geometry(center in -20.0f64..20.0, width in 0.5f64..10.0, x in -30.0f64..30.0) {
+        let w = GatingWindow { center, width };
+        prop_assert_eq!(w.contains(x), (x - center).abs() <= width * 0.5);
+        let wider = GatingWindow { center, width: width * 2.0 };
+        if w.contains(x) {
+            prop_assert!(wider.contains(x));
+        }
+    }
+}

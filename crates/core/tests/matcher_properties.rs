@@ -1,0 +1,162 @@
+//! Property tests of the matcher and predictor over simulated stores.
+
+use proptest::prelude::*;
+use tsm_core::matcher::{Matcher, QuerySubseq, SearchOptions};
+use tsm_core::predict::{predict_position, AlignMode};
+use tsm_core::Params;
+use tsm_db::{PatientAttributes, StateOrderIndex, StreamStore, SubseqRef};
+use tsm_model::{segment_signal, PlrTrajectory, SegmenterConfig};
+use tsm_signal::{BreathingParams, SignalGenerator};
+
+/// Builds a small store of 2 patients × 2 streams with the given
+/// parameters, returning the store and the first stream's id.
+fn build_store(amp: f64, period: f64, seed: u64) -> (StreamStore, tsm_db::StreamId) {
+    let store = StreamStore::new();
+    let mut first = None;
+    for p in 0..2u64 {
+        let pid = store.add_patient(PatientAttributes::new());
+        for s in 0..2u64 {
+            let params = BreathingParams {
+                amplitude_mm: amp * (1.0 + 0.1 * p as f64),
+                period_s: period,
+                ..Default::default()
+            };
+            let samples = SignalGenerator::new(params, seed * 97 + p * 13 + s).generate(60.0);
+            let vertices = segment_signal(&samples, SegmenterConfig::clean());
+            if let Ok(plr) = PlrTrajectory::from_vertices(vertices) {
+                let id = store.add_stream(pid, s as u32, plr, samples.len());
+                first.get_or_insert(id);
+            }
+        }
+    }
+    (store, first.expect("at least one stream"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Matcher postconditions: sorted by distance, within delta, state
+    /// orders identical to the query, self-overlap excluded.
+    #[test]
+    fn matcher_postconditions(
+        amp in 6.0f64..18.0,
+        period in 3.0f64..5.5,
+        seed in 1u64..500,
+        start in 0usize..10,
+    ) {
+        let (store, id) = build_store(amp, period, seed);
+        let params = Params::default();
+        let matcher = Matcher::new(store.clone(), params.clone());
+        let Some(view) = store.resolve(SubseqRef::new(id, start, 9)) else {
+            return Ok(());
+        };
+        let query = QuerySubseq::from_view(&view);
+        let matches = matcher.find_matches(&query);
+        let q_states: Vec<_> = query.states();
+        let q_first = query.vertices.first().unwrap().time;
+        let q_last = query.vertices.last().unwrap().time;
+        for w in matches.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance);
+        }
+        for m in &matches {
+            prop_assert!(m.distance <= params.delta);
+            prop_assert!(m.distance >= 0.0);
+            let v = store.resolve(m.subseq).unwrap();
+            let c_states: Vec<_> = v.states().collect();
+            prop_assert_eq!(&c_states, &q_states);
+            if m.subseq.stream == id {
+                // No overlap with the query's own window.
+                prop_assert!(
+                    v.last_vertex().time <= q_first || v.first_vertex().time >= q_last
+                );
+            }
+        }
+    }
+
+    /// Both accelerated searches (state-order index and the lower-bound
+    /// pruned feature index) agree with the scan on simulated stores, for
+    /// every query cut and threshold.
+    #[test]
+    fn indexed_and_pruned_searches_equal_scan(
+        amp in 6.0f64..18.0,
+        seed in 1u64..500,
+        start in 0usize..8,
+        len in 3usize..12,
+        delta in 0.2f64..10.0,
+    ) {
+        let (store, id) = build_store(amp, 4.0, seed);
+        let params = Params::default();
+        let matcher = Matcher::new(store.clone(), params);
+        let index = StateOrderIndex::build(&store, len);
+        let feature_index = tsm_db::FeatureIndex::build(&store, len, 0);
+        let Some(view) = store.resolve(SubseqRef::new(id, start, len)) else {
+            return Ok(());
+        };
+        let query = QuerySubseq::from_view(&view);
+        let opts = SearchOptions {
+            delta_override: Some(delta),
+            ..Default::default()
+        };
+        let scan = matcher.find_matches_with(&query, &opts);
+        let indexed = matcher.find_matches_indexed(&query, &index, &opts);
+        let pruned = matcher.find_matches_pruned(&query, &feature_index, &opts);
+        prop_assert_eq!(&scan, &indexed);
+        prop_assert_eq!(&scan, &pruned);
+    }
+
+    /// Predictions are always finite and inside (a generous expansion of)
+    /// the motion envelope.
+    #[test]
+    fn predictions_stay_in_the_envelope(
+        amp in 6.0f64..18.0,
+        seed in 1u64..500,
+        dt in 0.0f64..0.5,
+    ) {
+        let (store, id) = build_store(amp, 4.0, seed);
+        let params = Params { min_matches: 1, ..Params::default() };
+        let matcher = Matcher::new(store.clone(), params.clone());
+        let stream = store.stream(id).unwrap();
+        let nseg = stream.plr.num_segments();
+        prop_assume!(nseg > 15);
+        let view = store.resolve(SubseqRef::new(id, nseg / 2, 9)).unwrap();
+        let query = QuerySubseq::from_view(&view);
+        let matches = matcher.find_matches(&query);
+        if let Some(p) = predict_position(&store, &query, &matches, dt, &params, AlignMode::default()) {
+            prop_assert!(p.is_finite());
+            let lo = stream.plr.vertices().iter().map(|v| v.position[0]).fold(f64::INFINITY, f64::min);
+            let hi = stream.plr.vertices().iter().map(|v| v.position[0]).fold(f64::NEG_INFINITY, f64::max);
+            let slack = (hi - lo) * 0.5 + 1.0;
+            prop_assert!(
+                p[0] >= lo - slack && p[0] <= hi + slack,
+                "prediction {} outside envelope [{lo}, {hi}]",
+                p[0]
+            );
+        }
+    }
+
+    /// Tightening delta only ever shrinks the match set (monotonicity),
+    /// and the shrunken set is a prefix of the larger one.
+    #[test]
+    fn delta_monotonicity(
+        amp in 6.0f64..18.0,
+        seed in 1u64..500,
+    ) {
+        let (store, id) = build_store(amp, 4.0, seed);
+        let params = Params::default();
+        let matcher = Matcher::new(store.clone(), params);
+        let Some(view) = store.resolve(SubseqRef::new(id, 3, 9)) else {
+            return Ok(());
+        };
+        let query = QuerySubseq::from_view(&view);
+        let loose = matcher.find_matches_with(&query, &SearchOptions {
+            delta_override: Some(8.0),
+            ..Default::default()
+        });
+        let tight = matcher.find_matches_with(&query, &SearchOptions {
+            delta_override: Some(1.0),
+            ..Default::default()
+        });
+        prop_assert!(tight.len() <= loose.len());
+        prop_assert_eq!(&loose[..tight.len()], &tight[..]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Feature index: state-order buckets with amplitude/duration summaries
+//! for lower-bound pruning.
+//!
+//! [`crate::StateOrderIndex`] turns Definition 2's state-order gate into a
+//! hash lookup; this index goes further. Each candidate window is stored
+//! with two cheap summaries — the sum of absolute segment displacements
+//! `S` and the window duration `T`. Triangle inequality gives a lower
+//! bound on the weighted distance of any query/candidate pair:
+//!
+//! ```text
+//! Σᵢ |dq_i − dc_i|  ≥  |Σᵢ(|dq_i| − |dc_i|)|  =  |S_q − S_c|
+//! ```
+//!
+//! so candidates whose summary differs too much cannot be within δ and
+//! are skipped without touching their vertices. Entries are sorted by `S`
+//! within each state-order bucket, making the admissible band a binary
+//! search. The matcher re-checks every survivor with the exact distance,
+//! so results are identical to the scan (property-tested in
+//! `tsm-core`).
+
+use crate::ids::StreamId;
+use crate::store::StreamStore;
+use crate::subsequence::SubseqRef;
+use std::collections::HashMap;
+use tsm_model::{state_signature, Segment};
+
+/// One indexed window: its reference plus the prune summaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureEntry {
+    /// The window.
+    pub subseq: SubseqRef,
+    /// Owning stream (duplicated from `subseq` for cheap ws lookup).
+    pub stream: StreamId,
+    /// Sum of absolute segment displacements along the index axis (mm).
+    pub amp_sum: f64,
+    /// Window duration (s).
+    pub duration: f64,
+}
+
+/// The index: state-order signature → entries sorted by `amp_sum`.
+#[derive(Debug, Clone)]
+pub struct FeatureIndex {
+    len: usize,
+    axis: usize,
+    map: HashMap<u128, Vec<FeatureEntry>>,
+    total: usize,
+}
+
+impl FeatureIndex {
+    /// Builds the index for windows of `len` segments, summarizing along
+    /// `axis`.
+    pub fn build(store: &StreamStore, len: usize, axis: usize) -> Self {
+        let mut map: HashMap<u128, Vec<FeatureEntry>> = HashMap::new();
+        let mut total = 0usize;
+        if len == 0 || len > 60 {
+            return FeatureIndex {
+                len,
+                axis,
+                map,
+                total,
+            };
+        }
+        for stream in store.streams() {
+            let vertices = stream.plr.vertices();
+            if vertices.len() < len + 1 {
+                continue;
+            }
+            // Rolling amp-sum over the window.
+            let disp: Vec<f64> = vertices
+                .windows(2)
+                .map(|w| Segment::between(&w[0], &w[1]).displacement(axis).abs())
+                .collect();
+            let mut amp_sum: f64 = disp[..len].iter().sum();
+            for start in 0..=(disp.len() - len) {
+                if start > 0 {
+                    amp_sum += disp[start + len - 1] - disp[start - 1];
+                }
+                let sig = state_signature(vertices[start..start + len].iter().map(|v| v.state))
+                    .expect("len <= 60");
+                map.entry(sig).or_default().push(FeatureEntry {
+                    subseq: SubseqRef::new(stream.meta.id, start, len),
+                    stream: stream.meta.id,
+                    amp_sum,
+                    duration: vertices[start + len].time - vertices[start].time,
+                });
+                total += 1;
+            }
+        }
+        for entries in map.values_mut() {
+            entries.sort_by(|a, b| a.amp_sum.total_cmp(&b.amp_sum));
+        }
+        FeatureIndex {
+            len,
+            axis,
+            map,
+            total,
+        }
+    }
+
+    /// Window length this index covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total indexed windows.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The summary axis.
+    pub fn axis(&self) -> usize {
+        self.axis
+    }
+
+    /// Candidates with the given state order whose amplitude summary lies
+    /// within `[amp_sum - band, amp_sum + band]` — everything outside
+    /// cannot be within the corresponding distance threshold. Returns a
+    /// slice of the sorted bucket.
+    pub fn candidates_in_band(&self, signature: u128, amp_sum: f64, band: f64) -> &[FeatureEntry] {
+        let Some(bucket) = self.map.get(&signature) else {
+            return &[];
+        };
+        let lo = bucket.partition_point(|e| e.amp_sum < amp_sum - band);
+        let hi = bucket.partition_point(|e| e.amp_sum <= amp_sum + band);
+        &bucket[lo..hi]
+    }
+
+    /// All candidates with the given state order (no pruning).
+    pub fn candidates(&self, signature: u128) -> &[FeatureEntry] {
+        self.map.get(&signature).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::PatientAttributes;
+    use tsm_model::{BreathState::*, PlrTrajectory, Vertex};
+
+    fn store() -> StreamStore {
+        let store = StreamStore::new();
+        let p = store.add_patient(PatientAttributes::new());
+        for amp_scale in [1.0f64, 1.5] {
+            let mut v = Vec::new();
+            let mut t = 0.0;
+            for i in 0..6 {
+                let amp = amp_scale * (10.0 + i as f64 * 0.5);
+                v.push(Vertex::new_1d(t, amp, Exhale));
+                v.push(Vertex::new_1d(t + 1.5, 0.0, EndOfExhale));
+                v.push(Vertex::new_1d(t + 2.5, 0.0, Inhale));
+                t += 4.0;
+            }
+            v.push(Vertex::new_1d(t, amp_scale * 10.0, Exhale));
+            store.add_stream(p, 0, PlrTrajectory::from_vertices(v).unwrap(), 720);
+        }
+        store
+    }
+
+    #[test]
+    fn index_counts_match_enumeration() {
+        let store = store();
+        for len in [3usize, 6, 9] {
+            let ix = FeatureIndex::build(&store, len, 0);
+            assert_eq!(ix.total(), store.all_subsequences(len).len());
+        }
+    }
+
+    #[test]
+    fn rolling_summaries_match_direct_computation() {
+        let store = store();
+        let ix = FeatureIndex::build(&store, 6, 0);
+        for bucket_sig in
+            [
+                state_signature([Exhale, EndOfExhale, Inhale, Exhale, EndOfExhale, Inhale])
+                    .unwrap(),
+            ]
+        {
+            for e in ix.candidates(bucket_sig) {
+                let view = store.resolve(e.subseq).unwrap();
+                let direct: f64 = view.segments().map(|s| s.displacement(0).abs()).sum();
+                assert!(
+                    (direct - e.amp_sum).abs() < 1e-9,
+                    "rolling {} vs direct {direct}",
+                    e.amp_sum
+                );
+                assert!((view.duration() - e.duration).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_are_sorted_and_band_queries_are_correct() {
+        let store = store();
+        let ix = FeatureIndex::build(&store, 3, 0);
+        let sig = state_signature([Exhale, EndOfExhale, Inhale]).unwrap();
+        let all = ix.candidates(sig);
+        assert!(!all.is_empty());
+        for w in all.windows(2) {
+            assert!(w[0].amp_sum <= w[1].amp_sum);
+        }
+        let mid = all[all.len() / 2].amp_sum;
+        let band = 2.0;
+        let in_band = ix.candidates_in_band(sig, mid, band);
+        // Band result equals brute-force filter.
+        let brute: Vec<_> = all
+            .iter()
+            .filter(|e| (e.amp_sum - mid).abs() <= band + 1e-12)
+            .copied()
+            .collect();
+        assert_eq!(in_band.to_vec(), brute);
+        // Zero band still contains the window itself.
+        assert!(!ix.candidates_in_band(sig, mid, 1e-9).is_empty());
+        // Unknown signature: empty.
+        let none = state_signature([Irregular, Irregular, Irregular]).unwrap();
+        assert!(ix.candidates_in_band(none, 0.0, 1e9).is_empty());
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        let store = store();
+        assert!(FeatureIndex::build(&store, 0, 0).is_empty());
+        assert!(FeatureIndex::build(&store, 61, 0).is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! Typed identifiers for the store's hierarchy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a patient record within one [`crate::StreamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PatientId(pub u32);
+
+/// Identifier of a motion stream within one [`crate::StreamStore`].
+///
+/// Stream ids are globally unique within a store (not per patient), so a
+/// `StreamId` alone suffices to address a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StreamId(pub u32);
+
+impl fmt::Display for PatientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(PatientId(3).to_string(), "P3");
+        assert_eq!(StreamId(17).to_string(), "S17");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(PatientId(2) < PatientId(10));
+        assert!(StreamId(2) < StreamId(10));
+    }
+}

@@ -1,0 +1,173 @@
+//! State-order index over subsequences.
+//!
+//! Condition 1 of the paper's similarity definition requires a candidate
+//! subsequence to have exactly the query's state order. A linear scan
+//! checks that per candidate; this index precomputes, for a fixed
+//! subsequence length, a hash map from packed state-order signatures to
+//! the references carrying them, turning the gate into one lookup. The
+//! paper lists "incorporating indexing in the search algorithm" as future
+//! work; the `bench` crate quantifies the speedup.
+
+use crate::ids::StreamId;
+use crate::store::StreamStore;
+use crate::subsequence::SubseqRef;
+use std::collections::HashMap;
+use tsm_model::state_signature;
+
+/// An index from state-order signature to the subsequences (of one fixed
+/// length) exhibiting that order.
+#[derive(Debug, Clone)]
+pub struct StateOrderIndex {
+    len: usize,
+    map: HashMap<u128, Vec<SubseqRef>>,
+    total: usize,
+}
+
+impl StateOrderIndex {
+    /// Builds the index for subsequences of `len` segments over every
+    /// stream currently in the store.
+    pub fn build(store: &StreamStore, len: usize) -> Self {
+        let mut map: HashMap<u128, Vec<SubseqRef>> = HashMap::new();
+        let mut total = 0;
+        if len == 0 || len > 60 {
+            return StateOrderIndex { len, map, total };
+        }
+        for stream in store.streams() {
+            let states = stream.plr.states();
+            if states.len() < len {
+                continue;
+            }
+            for start in 0..=(states.len() - len) {
+                let sig =
+                    state_signature(states[start..start + len].iter().copied()).expect("len <= 60");
+                map.entry(sig)
+                    .or_default()
+                    .push(SubseqRef::new(stream.meta.id, start, len));
+                total += 1;
+            }
+        }
+        StateOrderIndex { len, map, total }
+    }
+
+    /// The subsequence length this index covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total indexed subsequences.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of distinct state orders observed.
+    pub fn distinct_orders(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Candidates sharing the given signature.
+    pub fn candidates(&self, signature: u128) -> &[SubseqRef] {
+        self.map.get(&signature).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Candidates sharing the signature, excluding those from `exclude`
+    /// (used to keep a query from matching itself when its own stream is
+    /// in the store).
+    pub fn candidates_excluding<'a>(
+        &'a self,
+        signature: u128,
+        exclude: StreamId,
+    ) -> impl Iterator<Item = SubseqRef> + 'a {
+        self.candidates(signature)
+            .iter()
+            .copied()
+            .filter(move |r| r.stream != exclude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::PatientAttributes;
+    use tsm_model::{BreathState::*, PlrTrajectory, Vertex};
+
+    fn regular_plr(n_cycles: usize) -> PlrTrajectory {
+        let mut v = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..n_cycles {
+            v.push(Vertex::new_1d(t, 10.0, Exhale));
+            v.push(Vertex::new_1d(t + 1.5, 0.0, EndOfExhale));
+            v.push(Vertex::new_1d(t + 2.5, 0.0, Inhale));
+            t += 4.0;
+        }
+        v.push(Vertex::new_1d(t, 10.0, Exhale));
+        PlrTrajectory::from_vertices(v).unwrap()
+    }
+
+    fn store() -> StreamStore {
+        let store = StreamStore::new();
+        let p = store.add_patient(PatientAttributes::new());
+        store.add_stream(p, 0, regular_plr(4), 100);
+        store.add_stream(p, 1, regular_plr(4), 100);
+        store
+    }
+
+    #[test]
+    fn index_counts_match_enumeration() {
+        let store = store();
+        for len in [1usize, 3, 6, 9] {
+            let ix = StateOrderIndex::build(&store, len);
+            assert_eq!(ix.total(), store.all_subsequences(len).len());
+            assert_eq!(ix.len(), len);
+        }
+    }
+
+    #[test]
+    fn regular_breathing_has_three_rotations() {
+        let store = store();
+        let ix = StateOrderIndex::build(&store, 3);
+        // A purely regular PLR has exactly 3 distinct 3-segment orders
+        // (the rotations of EX, EOE, IN).
+        assert_eq!(ix.distinct_orders(), 3);
+    }
+
+    #[test]
+    fn candidates_retrieve_exactly_matching_orders() {
+        let store = store();
+        let ix = StateOrderIndex::build(&store, 3);
+        let sig = tsm_model::state_signature([Exhale, EndOfExhale, Inhale]).unwrap();
+        let c = ix.candidates(sig);
+        assert!(!c.is_empty());
+        for r in c {
+            let v = store.resolve(*r).unwrap();
+            let states: Vec<_> = v.states().collect();
+            assert_eq!(states, vec![Exhale, EndOfExhale, Inhale]);
+        }
+        // A signature that never occurs.
+        let sig = tsm_model::state_signature([Irregular, Irregular, Irregular]).unwrap();
+        assert!(ix.candidates(sig).is_empty());
+    }
+
+    #[test]
+    fn exclusion_filters_stream() {
+        let store = store();
+        let ix = StateOrderIndex::build(&store, 3);
+        let sig = tsm_model::state_signature([Exhale, EndOfExhale, Inhale]).unwrap();
+        let all = ix.candidates(sig).len();
+        let filtered: Vec<_> = ix.candidates_excluding(sig, StreamId(0)).collect();
+        assert!(filtered.len() < all);
+        assert!(filtered.iter().all(|r| r.stream != StreamId(0)));
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        let store = store();
+        assert!(StateOrderIndex::build(&store, 0).is_empty());
+        assert!(StateOrderIndex::build(&store, 61).is_empty());
+        assert!(StateOrderIndex::build(&store, 1000).is_empty());
+    }
+}

@@ -1,0 +1,302 @@
+//! The in-memory stream store.
+
+use crate::ids::{PatientId, StreamId};
+use crate::stream::{MotionStream, StreamMeta};
+use crate::subsequence::{SubseqRef, SubseqView};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tsm_model::PlrTrajectory;
+
+/// Free-form patient attributes ("sex", "age", "tumor_site", ...) used by
+/// the correlation-discovery application. A `BTreeMap` keeps iteration
+/// deterministic.
+pub type PatientAttributes = BTreeMap<String, String>;
+
+/// Relative provenance of two streams — the three tiers of the paper's
+/// source-stream weight `ws`: subsequences from the same session matter
+/// most, those from other sessions of the same patient less, those from a
+/// different patient least.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceRelation {
+    /// Same patient, same treatment session (includes the same stream).
+    SameSession,
+    /// Same patient, different session.
+    SamePatient,
+    /// Different patient.
+    OtherPatient,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    patients: Vec<PatientAttributes>,
+    streams: Vec<Arc<MotionStream>>,
+    by_patient: BTreeMap<PatientId, Vec<StreamId>>,
+    /// Bumped on every mutation; lets index caches detect staleness.
+    version: u64,
+}
+
+/// The hierarchical stream database: patient records, each with a set of
+/// PLR streams (grouped into sessions).
+///
+/// Cloning the store clones a handle to the same shared data.
+#[derive(Debug, Default, Clone)]
+pub struct StreamStore {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl StreamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a patient record and returns its id.
+    pub fn add_patient(&self, attributes: PatientAttributes) -> PatientId {
+        let mut g = self.inner.write();
+        let id = PatientId(g.patients.len() as u32);
+        g.patients.push(attributes);
+        g.by_patient.insert(id, Vec::new());
+        g.version += 1;
+        id
+    }
+
+    /// Adds a segmented stream for `patient`, recorded in `session`.
+    ///
+    /// # Panics
+    /// Panics if `patient` is unknown — streams cannot be orphaned.
+    pub fn add_stream(
+        &self,
+        patient: PatientId,
+        session: u32,
+        plr: PlrTrajectory,
+        raw_len: usize,
+    ) -> StreamId {
+        let mut g = self.inner.write();
+        assert!(
+            (patient.0 as usize) < g.patients.len(),
+            "unknown patient {patient}"
+        );
+        let id = StreamId(g.streams.len() as u32);
+        g.streams.push(Arc::new(MotionStream {
+            meta: StreamMeta {
+                id,
+                patient,
+                session,
+            },
+            plr,
+            raw_len,
+        }));
+        g.by_patient
+            .get_mut(&patient)
+            .expect("patient exists")
+            .push(id);
+        g.version += 1;
+        id
+    }
+
+    /// Monotone mutation counter: any insert bumps it, so an index built
+    /// at version `v` is exactly up to date while `version() == v`.
+    pub fn version(&self) -> u64 {
+        self.inner.read().version
+    }
+
+    /// Number of patients.
+    pub fn num_patients(&self) -> usize {
+        self.inner.read().patients.len()
+    }
+
+    /// Number of streams.
+    pub fn num_streams(&self) -> usize {
+        self.inner.read().streams.len()
+    }
+
+    /// All patient ids.
+    pub fn patients(&self) -> Vec<PatientId> {
+        (0..self.num_patients() as u32).map(PatientId).collect()
+    }
+
+    /// Attributes of a patient.
+    pub fn patient_attributes(&self, id: PatientId) -> Option<PatientAttributes> {
+        self.inner.read().patients.get(id.0 as usize).cloned()
+    }
+
+    /// The stream with the given id.
+    pub fn stream(&self, id: StreamId) -> Option<Arc<MotionStream>> {
+        self.inner.read().streams.get(id.0 as usize).cloned()
+    }
+
+    /// All streams, in insertion order.
+    pub fn streams(&self) -> Vec<Arc<MotionStream>> {
+        self.inner.read().streams.clone()
+    }
+
+    /// Ids of all streams belonging to `patient`.
+    pub fn streams_of(&self, patient: PatientId) -> Vec<StreamId> {
+        self.inner
+            .read()
+            .by_patient
+            .get(&patient)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Resolves a subsequence reference to a view.
+    pub fn resolve(&self, r: SubseqRef) -> Option<SubseqView> {
+        let stream = self.stream(r.stream)?;
+        SubseqView::new(stream, r)
+    }
+
+    /// Provenance relation between two streams.
+    pub fn relation(&self, a: StreamId, b: StreamId) -> Option<SourceRelation> {
+        let g = self.inner.read();
+        let ma = g.streams.get(a.0 as usize)?.meta;
+        let mb = g.streams.get(b.0 as usize)?.meta;
+        Some(if ma.patient != mb.patient {
+            SourceRelation::OtherPatient
+        } else if ma.session != mb.session {
+            SourceRelation::SamePatient
+        } else {
+            SourceRelation::SameSession
+        })
+    }
+
+    /// Every subsequence reference of exactly `len` segments, across all
+    /// streams (for a stream with `m` segments there are `m - len + 1`).
+    pub fn all_subsequences(&self, len: usize) -> Vec<SubseqRef> {
+        let g = self.inner.read();
+        let mut out = Vec::new();
+        for s in &g.streams {
+            let nseg = s.plr.num_segments();
+            if nseg >= len && len > 0 {
+                for start in 0..=(nseg - len) {
+                    out.push(SubseqRef::new(s.meta.id, start, len));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total vertices stored, across all streams.
+    pub fn total_vertices(&self) -> usize {
+        self.inner
+            .read()
+            .streams
+            .iter()
+            .map(|s| s.plr.num_vertices())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_model::{BreathState::*, Vertex};
+
+    fn plr(n_cycles: usize) -> PlrTrajectory {
+        let mut v = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..n_cycles {
+            v.push(Vertex::new_1d(t, 10.0, Exhale));
+            v.push(Vertex::new_1d(t + 1.5, 0.0, EndOfExhale));
+            v.push(Vertex::new_1d(t + 2.5, 0.0, Inhale));
+            t += 4.0;
+        }
+        v.push(Vertex::new_1d(t, 10.0, Exhale));
+        PlrTrajectory::from_vertices(v).unwrap()
+    }
+
+    fn store_with_two_patients() -> (StreamStore, Vec<StreamId>) {
+        let store = StreamStore::new();
+        let p0 = store.add_patient(PatientAttributes::new());
+        let p1 = store.add_patient(PatientAttributes::new());
+        let ids = vec![
+            store.add_stream(p0, 0, plr(5), 500),
+            store.add_stream(p0, 0, plr(5), 500),
+            store.add_stream(p0, 1, plr(5), 500),
+            store.add_stream(p1, 0, plr(5), 500),
+        ];
+        (store, ids)
+    }
+
+    #[test]
+    fn hierarchy_bookkeeping() {
+        let (store, ids) = store_with_two_patients();
+        assert_eq!(store.num_patients(), 2);
+        assert_eq!(store.num_streams(), 4);
+        assert_eq!(store.streams_of(PatientId(0)), ids[..3].to_vec());
+        assert_eq!(store.streams_of(PatientId(1)), ids[3..].to_vec());
+        assert_eq!(store.patients(), vec![PatientId(0), PatientId(1)]);
+    }
+
+    #[test]
+    fn relations() {
+        let (store, ids) = store_with_two_patients();
+        assert_eq!(
+            store.relation(ids[0], ids[0]),
+            Some(SourceRelation::SameSession)
+        );
+        assert_eq!(
+            store.relation(ids[0], ids[1]),
+            Some(SourceRelation::SameSession)
+        );
+        assert_eq!(
+            store.relation(ids[0], ids[2]),
+            Some(SourceRelation::SamePatient)
+        );
+        assert_eq!(
+            store.relation(ids[0], ids[3]),
+            Some(SourceRelation::OtherPatient)
+        );
+        assert_eq!(store.relation(ids[0], StreamId(99)), None);
+    }
+
+    #[test]
+    fn subsequence_enumeration() {
+        let (store, _) = store_with_two_patients();
+        // Each stream: 5 cycles -> 15 segments; len 6 -> 10 windows each.
+        let subs = store.all_subsequences(6);
+        assert_eq!(subs.len(), 4 * 10);
+        // Longer than any stream: none.
+        assert!(store.all_subsequences(16).is_empty());
+        assert!(store.all_subsequences(0).is_empty());
+        // Every reference resolves.
+        for r in subs {
+            assert!(store.resolve(r).is_some());
+        }
+    }
+
+    #[test]
+    fn resolve_rejects_bad_refs() {
+        let (store, ids) = store_with_two_patients();
+        assert!(store.resolve(SubseqRef::new(ids[0], 0, 15)).is_some());
+        assert!(store.resolve(SubseqRef::new(ids[0], 0, 16)).is_none());
+        assert!(store.resolve(SubseqRef::new(StreamId(99), 0, 1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown patient")]
+    fn orphan_streams_rejected() {
+        let store = StreamStore::new();
+        store.add_stream(PatientId(0), 0, plr(1), 10);
+    }
+
+    #[test]
+    fn attributes_roundtrip() {
+        let store = StreamStore::new();
+        let mut attrs = PatientAttributes::new();
+        attrs.insert("tumor_site".into(), "LungLowerLobe".into());
+        let p = store.add_patient(attrs.clone());
+        assert_eq!(store.patient_attributes(p), Some(attrs));
+        assert_eq!(store.patient_attributes(PatientId(9)), None);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let (store, _) = store_with_two_patients();
+        let handle = store.clone();
+        let p = handle.add_patient(PatientAttributes::new());
+        assert_eq!(store.num_patients(), 3);
+        assert_eq!(store.patients().last(), Some(&p));
+    }
+}

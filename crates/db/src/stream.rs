@@ -1,0 +1,69 @@
+//! Motion streams: a PLR trajectory plus its provenance.
+
+use crate::ids::{PatientId, StreamId};
+use serde::{Deserialize, Serialize};
+use tsm_model::PlrTrajectory;
+
+/// Provenance of a stream: which patient and which treatment session it
+/// was recorded in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamMeta {
+    /// The stream's id within the store.
+    pub id: StreamId,
+    /// Owning patient.
+    pub patient: PatientId,
+    /// Session index within the patient's treatment course (0-based).
+    pub session: u32,
+}
+
+/// One stored motion stream: metadata plus the segmented trajectory.
+///
+/// The raw samples are *not* retained — the PLR is the database
+/// representation, exactly as in the paper (the PLR "reduces the size of
+/// the raw data, lowers the dimensionality of a subsequence, and filters
+/// out noise"). `raw_len` records how many raw samples the PLR summarizes,
+/// for compression statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MotionStream {
+    /// Provenance.
+    pub meta: StreamMeta,
+    /// The segmented trajectory.
+    pub plr: PlrTrajectory,
+    /// Number of raw samples the PLR was built from.
+    pub raw_len: usize,
+}
+
+impl MotionStream {
+    /// Compression ratio: raw samples per stored vertex.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.plr.num_vertices() == 0 {
+            return 0.0;
+        }
+        self.raw_len as f64 / self.plr.num_vertices() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_model::{BreathState, Vertex};
+
+    #[test]
+    fn compression_ratio() {
+        let plr = PlrTrajectory::from_vertices(vec![
+            Vertex::new_1d(0.0, 1.0, BreathState::Exhale),
+            Vertex::new_1d(1.0, 0.0, BreathState::EndOfExhale),
+        ])
+        .unwrap();
+        let s = MotionStream {
+            meta: StreamMeta {
+                id: StreamId(0),
+                patient: PatientId(0),
+                session: 0,
+            },
+            plr,
+            raw_len: 60,
+        };
+        assert_eq!(s.compression_ratio(), 30.0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Adaptive cardiac-motion cancellation.
+//!
+//! The paper lists "better cardiac motion modeling to obtain more precise
+//! motion prediction" as future work. Cardiac motion is a narrowband
+//! oscillation (~0.9–2 Hz) superimposed on the much slower breathing
+//! signal; a moving average wide enough to remove it also smears the
+//! breathing phases. This module implements the classical alternative: an
+//! **adaptive noise canceller** — a bank of quadrature sinusoid references
+//! spanning the cardiac band, whose amplitude/phase coefficients are
+//! adapted by LMS against the detrended signal. Elements near the true
+//! cardiac frequency converge to its amplitude and phase (tracking slow
+//! drift); elements elsewhere stay near zero, so subtracting the whole
+//! bank removes the cardiac component while the breathing signal — far
+//! below the band — passes through unsmoothed.
+//!
+//! The canceller is a constant-space streaming operator, so it composes
+//! with the segmenter's O(1)-per-sample guarantee.
+
+use crate::sample::Sample;
+use crate::smoother::StreamFilter;
+use std::collections::VecDeque;
+use std::f64::consts::PI;
+
+/// Configuration of the adaptive canceller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CardiacCancellerConfig {
+    /// Admissible cardiac band (Hz). Defaults cover resting heart rates
+    /// (54–120 bpm); the breathing fundamental stays far below it.
+    pub band_hz: (f64, f64),
+    /// Candidate-frequency grid step within the band (Hz) for the rolling
+    /// spectral estimator.
+    pub grid_step_hz: f64,
+    /// LMS adaptation rate (per sample) of the single tracked quadrature
+    /// pair. Its tracking bandwidth is ~`mu·fs/π`.
+    pub mu: f64,
+    /// Samples of the detrending window (should span ≥ one cardiac
+    /// period; the window also sets the output latency to half its
+    /// width).
+    pub detrend_window: usize,
+    /// Samples of the rolling buffer the spectral estimator sees (longer
+    /// = sharper frequency resolution, slower retune).
+    pub spectrum_window: usize,
+    /// How often (samples) the frequency estimate is refreshed.
+    pub retune_every: usize,
+}
+
+impl Default for CardiacCancellerConfig {
+    fn default() -> Self {
+        CardiacCancellerConfig {
+            band_hz: (0.9, 2.0),
+            grid_step_hz: 0.05,
+            mu: 0.02,
+            detrend_window: 45,   // 1.5 s at 30 Hz
+            spectrum_window: 300, // 10 s at 30 Hz
+            retune_every: 60,     // 2 s at 30 Hz
+        }
+    }
+}
+
+/// The adaptive cardiac canceller. A [`StreamFilter`], usable in front of
+/// the segmenter in place of (or in addition to) heavy moving-average
+/// smoothing.
+///
+/// Two cooperating parts:
+///
+/// * a **rolling spectral estimator**: direct DFT power of the detrended
+///   signal at a grid of candidate frequencies across the cardiac band,
+///   refreshed every couple of seconds — this finds the heart rate;
+/// * a **single LMS quadrature pair** at the estimated frequency whose
+///   amplitude/phase track the cardiac component; the fitted sinusoid is
+///   subtracted from the raw signal, so breathing passes through
+///   unsmoothed.
+#[derive(Debug)]
+pub struct CardiacCanceller {
+    config: CardiacCancellerConfig,
+    buf: VecDeque<Sample>,
+    spectrum_buf: VecDeque<(f64, f64)>,
+    omega: Option<f64>,
+    a: f64,
+    b: f64,
+    samples_since_retune: usize,
+}
+
+impl CardiacCanceller {
+    /// Creates a canceller.
+    pub fn new(config: CardiacCancellerConfig) -> Self {
+        CardiacCanceller {
+            config,
+            buf: VecDeque::new(),
+            spectrum_buf: VecDeque::new(),
+            omega: None,
+            a: 0.0,
+            b: 0.0,
+            samples_since_retune: 0,
+        }
+    }
+
+    /// Current cardiac-frequency estimate (Hz), once locked.
+    pub fn estimated_freq_hz(&self) -> Option<f64> {
+        self.omega.map(|w| w / (2.0 * PI))
+    }
+
+    /// Current cancellation amplitude (mm).
+    pub fn estimated_amplitude(&self) -> f64 {
+        (self.a * self.a + self.b * self.b).sqrt()
+    }
+
+    /// Direct DFT power of the rolling detrended buffer at `freq_hz`.
+    fn band_power(&self, freq_hz: f64) -> f64 {
+        let w = 2.0 * PI * freq_hz;
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for &(t, y) in &self.spectrum_buf {
+            let (s, c) = (w * t).sin_cos();
+            re += y * c;
+            im += y * s;
+        }
+        re * re + im * im
+    }
+
+    fn retune(&mut self) {
+        if self.spectrum_buf.len() < self.config.spectrum_window / 2 {
+            return;
+        }
+        let (lo, hi) = self.config.band_hz;
+        let mut best = (lo, f64::MIN);
+        let mut f = lo;
+        while f <= hi + 1e-9 {
+            let p = self.band_power(f);
+            if p > best.1 {
+                best = (f, p);
+            }
+            f += self.config.grid_step_hz;
+        }
+        let new_omega = 2.0 * PI * best.0;
+        match self.omega {
+            Some(w) if (w - new_omega).abs() < 2.0 * PI * self.config.grid_step_hz * 1.5 => {
+                // Close enough: keep tracking with the existing phase.
+            }
+            _ => {
+                // Retune: the reference phase jumps, so restart the
+                // amplitude estimates.
+                self.omega = Some(new_omega);
+                self.a = 0.0;
+                self.b = 0.0;
+            }
+        }
+    }
+
+    fn cancelled_sample(&self, s: Sample, estimate: f64) -> Sample {
+        let mut coords = [0.0f64; crate::position::MAX_DIM];
+        let dim = s.position.dim();
+        coords[..dim].copy_from_slice(s.position.coords());
+        coords[0] -= estimate;
+        Sample::new(
+            s.time,
+            crate::position::Position::from_slice(&coords[..dim]).expect("dim 1..=3"),
+        )
+    }
+}
+
+impl StreamFilter for CardiacCanceller {
+    fn push(&mut self, s: Sample) -> Option<Sample> {
+        self.buf.push_back(s);
+        if self.buf.len() < self.config.detrend_window {
+            return None;
+        }
+        if self.buf.len() > self.config.detrend_window {
+            self.buf.pop_front();
+        }
+        let mid = self.buf[self.buf.len() / 2];
+        let mean = self.buf.iter().map(|x| x.position[0]).sum::<f64>() / self.buf.len() as f64;
+        let detrended = mid.position[0] - mean;
+
+        self.spectrum_buf.push_back((mid.time, detrended));
+        if self.spectrum_buf.len() > self.config.spectrum_window {
+            self.spectrum_buf.pop_front();
+        }
+        self.samples_since_retune += 1;
+        if self.samples_since_retune >= self.config.retune_every {
+            self.samples_since_retune = 0;
+            self.retune();
+        }
+
+        let Some(w) = self.omega else {
+            // Not locked yet: pass through uncancelled.
+            return Some(mid);
+        };
+        let (sin_t, cos_t) = (w * mid.time).sin_cos();
+        let estimate = self.a * sin_t + self.b * cos_t;
+        let error = detrended - estimate;
+        self.a += self.config.mu * error * sin_t;
+        self.b += self.config.mu * error * cos_t;
+        Some(self.cancelled_sample(mid, estimate))
+    }
+
+    fn finish(&mut self) -> Vec<Sample> {
+        // Pass the tail half-window through with the (frozen) estimate
+        // subtracted, so no samples are lost.
+        let half = self.buf.len() / 2;
+        let tail: Vec<Sample> = self.buf.iter().skip(half + 1).copied().collect();
+        self.buf.clear();
+        let Some(w) = self.omega else {
+            return tail;
+        };
+        tail.into_iter()
+            .map(|s| {
+                let (sn, cs) = (w * s.time).sin_cos();
+                self.cancelled_sample(s, self.a * sn + self.b * cs)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle_value(phase: f64) -> f64 {
+        if phase < 0.40 {
+            6.0 * (1.0 + (PI * phase / 0.40).cos())
+        } else if phase < 0.65 {
+            0.0
+        } else {
+            6.0 * (1.0 - (PI * (phase - 0.65) / 0.35).cos())
+        }
+    }
+
+    /// Breathing with cycle-to-cycle period jitter (as real breathing
+    /// has). Jitter matters here: it decoheres the breathing *harmonics*
+    /// that fall inside the cardiac band, which is exactly what lets an
+    /// adaptive canceller separate them from the phase-stable cardiac
+    /// oscillation. Returns `(times, clean_values)` at 30 Hz.
+    fn jittered_breathing(duration: f64, seed: u64) -> Vec<(f64, f64)> {
+        let hz = 30.0;
+        // Simple LCG for deterministic per-cycle periods in [3.4, 4.6] s.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next_period = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            3.4 + 1.2 * ((state >> 33) as f64 / u32::MAX as f64)
+        };
+        let mut out = Vec::new();
+        let mut cycle_start = 0.0;
+        let mut period = next_period();
+        for i in 0..(duration * hz) as usize {
+            let t = i as f64 / hz;
+            while t >= cycle_start + period {
+                cycle_start += period;
+                period = next_period();
+            }
+            out.push((t, cycle_value((t - cycle_start) / period)));
+        }
+        out
+    }
+
+    fn run(canceller: &mut CardiacCanceller, samples: &[Sample]) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for &s in samples {
+            if let Some(s) = canceller.push(s) {
+                out.push(s);
+            }
+        }
+        out.extend(canceller.finish());
+        out
+    }
+
+    /// `(samples, clean)` pair at 30 Hz: jittered breathing plus a
+    /// phase-stable cardiac oscillation.
+    fn noisy_samples(
+        cardiac_hz: f64,
+        cardiac_amp: f64,
+        duration: f64,
+        seed: u64,
+    ) -> (Vec<Sample>, Vec<f64>) {
+        let clean = jittered_breathing(duration, seed);
+        let samples = clean
+            .iter()
+            .map(|&(t, y)| {
+                Sample::new_1d(t, y + cardiac_amp * (2.0 * PI * cardiac_hz * t + 0.7).sin())
+            })
+            .collect();
+        (samples, clean.into_iter().map(|(_, y)| y).collect())
+    }
+
+    /// RMS of `out` against the clean values (matched by index through
+    /// the shared 30 Hz grid), skipping the first `skip_s` seconds.
+    fn residual_rms(out: &[Sample], clean: &[f64], skip_s: f64) -> f64 {
+        let mut rms = 0.0;
+        let mut n = 0usize;
+        for s in out {
+            let ix = (s.time * 30.0).round() as usize;
+            if s.time < skip_s || ix >= clean.len() {
+                continue;
+            }
+            rms += (s.position[0] - clean[ix]).powi(2);
+            n += 1;
+        }
+        (rms / n.max(1) as f64).sqrt()
+    }
+
+    #[test]
+    fn cancels_cardiac_preserves_breathing() {
+        let cardiac_amp = 0.9;
+        let (samples, clean) = noisy_samples(1.3, cardiac_amp, 60.0, 7);
+        let mut canceller = CardiacCanceller::new(CardiacCancellerConfig::default());
+        let out = run(&mut canceller, &samples);
+        assert!(
+            out.len() + 60 >= samples.len(),
+            "{} of {}",
+            out.len(),
+            samples.len()
+        );
+        let rms_out = residual_rms(&out, &clean, 10.0);
+        let rms_in = cardiac_amp / std::f64::consts::SQRT_2;
+        assert!(
+            rms_out < 0.5 * rms_in,
+            "cancellation too weak: {rms_out:.3} vs input {rms_in:.3}"
+        );
+    }
+
+    #[test]
+    fn off_grid_frequencies_are_tracked() {
+        // 1.42 Hz sits between grid points 1.3 and 1.5.
+        let (samples, clean) = noisy_samples(1.42, 0.8, 60.0, 8);
+        let mut canceller = CardiacCanceller::new(CardiacCancellerConfig::default());
+        let out = run(&mut canceller, &samples);
+        let rms_out = residual_rms(&out, &clean, 15.0);
+        let rms_in = 0.8 / std::f64::consts::SQRT_2;
+        assert!(
+            rms_out < 0.65 * rms_in,
+            "off-grid cancellation too weak: {rms_out:.3} vs {rms_in:.3}"
+        );
+    }
+
+    #[test]
+    fn frequency_estimate_identifies_the_band() {
+        let (samples, _) = noisy_samples(1.5, 0.8, 60.0, 9);
+        let mut canceller = CardiacCanceller::new(CardiacCancellerConfig::default());
+        let _ = run(&mut canceller, &samples);
+        let est = canceller.estimated_freq_hz().expect("adapted");
+        assert!(
+            (est - 1.5).abs() <= 0.21,
+            "frequency estimate {est:.2} Hz vs true 1.5 Hz"
+        );
+        assert!(canceller.estimated_amplitude() > 0.3);
+    }
+
+    #[test]
+    fn clean_signals_pass_nearly_untouched() {
+        // Jittered breathing with no cardiac at all: the bank must stay
+        // quiet (jitter decoheres the in-band breathing harmonics).
+        let clean = jittered_breathing(40.0, 10);
+        let samples: Vec<Sample> = clean.iter().map(|&(t, y)| Sample::new_1d(t, y)).collect();
+        let clean_values: Vec<f64> = clean.iter().map(|&(_, y)| y).collect();
+        let mut canceller = CardiacCanceller::new(CardiacCancellerConfig::default());
+        let out = run(&mut canceller, &samples);
+        let rms = residual_rms(&out, &clean_values, 5.0);
+        assert!(rms < 0.35, "clean signal distorted by {rms:.3} mm RMS");
+    }
+
+    #[test]
+    fn multidimensional_samples_keep_other_axes() {
+        let mut canceller = CardiacCanceller::new(CardiacCancellerConfig::default());
+        let samples: Vec<Sample> = (0..200)
+            .map(|i| {
+                let t = i as f64 / 30.0;
+                Sample::new(
+                    t,
+                    crate::position::Position::new_2d(cycle_value((t / 4.0).fract()), 42.0),
+                )
+            })
+            .collect();
+        let out = run(&mut canceller, &samples);
+        assert!(!out.is_empty());
+        for s in &out {
+            assert_eq!(s.position.dim(), 2);
+            assert_eq!(s.position[1], 42.0);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! CSV import/export for samples and PLR vertices.
+//!
+//! The interchange format the `tsm` CLI and external tools speak:
+//!
+//! * samples: `time,x[,y[,z]]` rows (an optional header line is skipped);
+//! * vertices: `time,state,x[,y[,z]]` rows, with states as their
+//!   mnemonics (`EX`, `EOE`, `IN`, `IRR`).
+
+use crate::position::Position;
+use crate::sample::Sample;
+use crate::state::BreathState;
+use crate::vertex::Vertex;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed row (1-based line number and message).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn parse_f64(field: &str, line: usize) -> Result<f64, CsvError> {
+    field.trim().parse().map_err(|_| CsvError::Parse {
+        line,
+        message: format!("bad number '{}'", field.trim()),
+    })
+}
+
+/// Reads `time,x[,y[,z]]` sample rows. Blank lines and `#` comments are
+/// skipped; a non-numeric first row is treated as a header.
+pub fn read_samples_csv<R: Read>(reader: R) -> Result<Vec<Sample>, CsvError> {
+    let mut out = Vec::new();
+    for (ix, line) in BufReader::new(reader).lines().enumerate() {
+        let lineno = ix + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 2 || fields.len() > 4 {
+            return Err(CsvError::Parse {
+                line: lineno,
+                message: format!("expected 2-4 fields, got {}", fields.len()),
+            });
+        }
+        // Header row: first field not numeric on the first data line.
+        if out.is_empty() && fields[0].trim().parse::<f64>().is_err() {
+            continue;
+        }
+        let time = parse_f64(fields[0], lineno)?;
+        let coords: Result<Vec<f64>, CsvError> =
+            fields[1..].iter().map(|f| parse_f64(f, lineno)).collect();
+        let coords = coords?;
+        let position = Position::from_slice(&coords).ok_or_else(|| CsvError::Parse {
+            line: lineno,
+            message: "positions need 1-3 coordinates".into(),
+        })?;
+        out.push(Sample::new(time, position));
+    }
+    Ok(out)
+}
+
+/// Writes samples as `time,x[,y[,z]]` with a header.
+pub fn write_samples_csv<W: Write>(samples: &[Sample], writer: W) -> io::Result<()> {
+    let mut w = io::BufWriter::new(writer);
+    writeln!(w, "# time,coordinates...")?;
+    for s in samples {
+        write!(w, "{:.6}", s.time)?;
+        for c in s.position.coords() {
+            write!(w, ",{c:.6}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Writes PLR vertices as `time,state,x[,y[,z]]` with a header.
+pub fn write_vertices_csv<W: Write>(vertices: &[Vertex], writer: W) -> io::Result<()> {
+    let mut w = io::BufWriter::new(writer);
+    writeln!(w, "# time,state,coordinates...")?;
+    for v in vertices {
+        write!(w, "{:.6},{}", v.time, v.state)?;
+        for c in v.position.coords() {
+            write!(w, ",{c:.6}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Reads `time,state,x[,y[,z]]` vertex rows (the inverse of
+/// [`write_vertices_csv`]).
+pub fn read_vertices_csv<R: Read>(reader: R) -> Result<Vec<Vertex>, CsvError> {
+    let mut out = Vec::new();
+    for (ix, line) in BufReader::new(reader).lines().enumerate() {
+        let lineno = ix + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 3 || fields.len() > 5 {
+            return Err(CsvError::Parse {
+                line: lineno,
+                message: format!("expected 3-5 fields, got {}", fields.len()),
+            });
+        }
+        if out.is_empty() && fields[0].trim().parse::<f64>().is_err() {
+            continue;
+        }
+        let time = parse_f64(fields[0], lineno)?;
+        let state = match fields[1].trim() {
+            "EX" => BreathState::Exhale,
+            "EOE" => BreathState::EndOfExhale,
+            "IN" => BreathState::Inhale,
+            "IRR" => BreathState::Irregular,
+            other => {
+                return Err(CsvError::Parse {
+                    line: lineno,
+                    message: format!("unknown state '{other}'"),
+                })
+            }
+        };
+        let coords: Result<Vec<f64>, CsvError> =
+            fields[2..].iter().map(|f| parse_f64(f, lineno)).collect();
+        let coords = coords?;
+        let position = Position::from_slice(&coords).ok_or_else(|| CsvError::Parse {
+            line: lineno,
+            message: "positions need 1-3 coordinates".into(),
+        })?;
+        out.push(Vertex::new(time, position, state));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_roundtrip() {
+        let samples = vec![
+            Sample::new(0.0, Position::new_2d(1.0, 2.0)),
+            Sample::new(0.5, Position::new_2d(1.5, 2.5)),
+        ];
+        let mut buf = Vec::new();
+        write_samples_csv(&samples, &mut buf).unwrap();
+        let back = read_samples_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].position.dim(), 2);
+        assert!((back[1].position[1] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vertices_roundtrip() {
+        let vertices = vec![
+            Vertex::new_1d(0.0, 10.0, BreathState::Exhale),
+            Vertex::new_1d(1.5, 0.0, BreathState::EndOfExhale),
+            Vertex::new_1d(2.5, 0.0, BreathState::Irregular),
+        ];
+        let mut buf = Vec::new();
+        write_vertices_csv(&vertices, &mut buf).unwrap();
+        let back = read_vertices_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, vertices);
+    }
+
+    #[test]
+    fn header_and_comments_skipped() {
+        let text = "time,value\n# a comment\n\n0.0,1.0\n0.1,2.0\n";
+        let samples = read_samples_csv(text.as_bytes()).unwrap();
+        assert_eq!(samples.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "0.0,1.0\n0.1,oops\n";
+        let err = read_samples_csv(text.as_bytes()).unwrap_err();
+        match err {
+            CsvError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other}"),
+        }
+        let text = "0.0,1.0,2.0,3.0,4.0\n";
+        assert!(read_samples_csv(text.as_bytes()).is_err());
+        let text = "0.0,WAT,1.0\n";
+        assert!(read_vertices_csv(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(read_samples_csv(&b""[..]).unwrap().is_empty());
+        assert!(read_vertices_csv(&b"# nothing\n"[..]).unwrap().is_empty());
+    }
+}

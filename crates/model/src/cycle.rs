@@ -1,0 +1,188 @@
+//! Breathing-cycle extraction from PLR state sequences.
+//!
+//! Several parts of the paper are phrased in *breathing cycles* rather than
+//! segments: query lengths are "3 to 9 breathing cycles" (Section 4.1,
+//! Figure 7), and per-cycle period/amplitude statistics feed the cohort
+//! experiments. A regular cycle is one `EX, EOE, IN` run of segments.
+
+use crate::plr::PlrTrajectory;
+use crate::state::BreathState;
+use crate::vertex::Vertex;
+use serde::{Deserialize, Serialize};
+
+/// One regular breathing cycle: the vertex indices of its three segments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreathingCycle {
+    /// Index of the vertex starting the exhale segment.
+    pub start_vertex: usize,
+    /// Cycle start time (s).
+    pub start_time: f64,
+    /// Cycle end time (s) — the end of the inhale segment.
+    pub end_time: f64,
+    /// Peak-to-trough amplitude along the classification axis (mm).
+    pub amplitude: f64,
+}
+
+impl BreathingCycle {
+    /// Cycle period in seconds.
+    #[inline]
+    pub fn period(&self) -> f64 {
+        self.end_time - self.start_time
+    }
+}
+
+/// Extracts regular cycles from a trajectory.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CycleExtractor {
+    /// Classification axis (must match the segmenter's).
+    pub axis: usize,
+}
+
+impl CycleExtractor {
+    /// Creates an extractor for the given axis.
+    pub fn new(axis: usize) -> Self {
+        CycleExtractor { axis }
+    }
+
+    /// All regular `EX, EOE, IN` cycles, in time order. Irregular segments
+    /// never participate in a cycle.
+    pub fn cycles(&self, plr: &PlrTrajectory) -> Vec<BreathingCycle> {
+        let v = plr.vertices();
+        let states = plr.states();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i + 2 < states.len() {
+            if states[i] == BreathState::Exhale
+                && states[i + 1] == BreathState::EndOfExhale
+                && states[i + 2] == BreathState::Inhale
+            {
+                let start = &v[i];
+                let end = &v[i + 3];
+                out.push(BreathingCycle {
+                    start_vertex: i,
+                    start_time: start.time,
+                    end_time: end.time,
+                    amplitude: self.cycle_amplitude(&v[i..=i + 3]),
+                });
+                i += 3;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn cycle_amplitude(&self, vertices: &[Vertex]) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in vertices {
+            let y = v.position[self.axis];
+            min = min.min(y);
+            max = max.max(y);
+        }
+        if min.is_finite() && max.is_finite() {
+            max - min
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean cycle period (s), or `None` if no cycles were found.
+    pub fn mean_period(&self, plr: &PlrTrajectory) -> Option<f64> {
+        let cycles = self.cycles(plr);
+        if cycles.is_empty() {
+            return None;
+        }
+        Some(cycles.iter().map(|c| c.period()).sum::<f64>() / cycles.len() as f64)
+    }
+
+    /// Mean cycle amplitude (mm), or `None` if no cycles were found.
+    pub fn mean_amplitude(&self, plr: &PlrTrajectory) -> Option<f64> {
+        let cycles = self.cycles(plr);
+        if cycles.is_empty() {
+            return None;
+        }
+        Some(cycles.iter().map(|c| c.amplitude).sum::<f64>() / cycles.len() as f64)
+    }
+
+    /// Converts a length expressed in breathing cycles to a length in
+    /// segments (3 segments per regular cycle).
+    pub const fn cycles_to_segments(cycles: usize) -> usize {
+        cycles * 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::BreathState::*;
+
+    fn two_cycle_traj() -> PlrTrajectory {
+        PlrTrajectory::from_vertices(vec![
+            Vertex::new_1d(0.0, 10.0, Exhale),
+            Vertex::new_1d(1.5, 0.0, EndOfExhale),
+            Vertex::new_1d(2.5, 0.0, Inhale),
+            Vertex::new_1d(4.0, 10.0, Exhale),
+            Vertex::new_1d(5.5, 0.5, EndOfExhale),
+            Vertex::new_1d(6.5, 0.5, Inhale),
+            Vertex::new_1d(8.2, 11.0, Exhale),
+            Vertex::new_1d(9.0, 5.0, EndOfExhale),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_both_cycles() {
+        let ex = CycleExtractor::new(0);
+        let cycles = ex.cycles(&two_cycle_traj());
+        assert_eq!(cycles.len(), 2);
+        assert_eq!(cycles[0].start_vertex, 0);
+        assert!((cycles[0].period() - 4.0).abs() < 1e-12);
+        assert!((cycles[0].amplitude - 10.0).abs() < 1e-12);
+        assert_eq!(cycles[1].start_vertex, 3);
+        assert!((cycles[1].period() - 4.2).abs() < 1e-12);
+        assert!((cycles[1].amplitude - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn irregular_segments_break_cycles() {
+        let t = PlrTrajectory::from_vertices(vec![
+            Vertex::new_1d(0.0, 10.0, Exhale),
+            Vertex::new_1d(1.5, 0.0, Irregular),
+            Vertex::new_1d(2.5, 0.0, Exhale),
+            Vertex::new_1d(4.0, 10.0, EndOfExhale),
+        ])
+        .unwrap();
+        let ex = CycleExtractor::new(0);
+        assert!(ex.cycles(&t).is_empty());
+    }
+
+    #[test]
+    fn statistics() {
+        let ex = CycleExtractor::new(0);
+        let t = two_cycle_traj();
+        let p = ex.mean_period(&t).unwrap();
+        assert!((p - 4.1).abs() < 1e-9);
+        let a = ex.mean_amplitude(&t).unwrap();
+        assert!((a - 10.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_when_no_cycles() {
+        let t = PlrTrajectory::from_vertices(vec![
+            Vertex::new_1d(0.0, 1.0, Irregular),
+            Vertex::new_1d(1.0, 2.0, Irregular),
+        ])
+        .unwrap();
+        let ex = CycleExtractor::new(0);
+        assert!(ex.cycles(&t).is_empty());
+        assert!(ex.mean_period(&t).is_none());
+        assert!(ex.mean_amplitude(&t).is_none());
+    }
+
+    #[test]
+    fn cycles_to_segments_conversion() {
+        assert_eq!(CycleExtractor::cycles_to_segments(3), 9);
+        assert_eq!(CycleExtractor::cycles_to_segments(0), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The finite state automaton guiding state transitions (paper Figure 4b).
+
+use crate::state::BreathState;
+use serde::{Deserialize, Serialize};
+
+/// The respiratory finite state automaton.
+///
+/// Regular breathing proceeds `EX -> EOE -> IN -> EX -> ...`. The irregular
+/// state `IRR` is entered from any state when the motion stops following the
+/// regular pattern and is left (back to `EX`) when regular breathing
+/// resumes. Self-transitions are not legal for regular states — adjacent
+/// segments with the same regular state would be one segment — but `IRR`
+/// may persist across several segments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fsa;
+
+impl Fsa {
+    /// Whether `from -> to` is a legal transition of the automaton.
+    #[inline]
+    pub fn is_legal(self, from: BreathState, to: BreathState) -> bool {
+        use BreathState::*;
+        match (from, to) {
+            // The regular cycle.
+            (Exhale, EndOfExhale) | (EndOfExhale, Inhale) | (Inhale, Exhale) => true,
+            // Any state may fall into irregularity; IRR may persist.
+            (_, Irregular) => true,
+            // Regular breathing resumes at exhale.
+            (Irregular, Exhale) => true,
+            _ => false,
+        }
+    }
+
+    /// The set of legal successors of `from`, in canonical order.
+    pub fn successors(self, from: BreathState) -> Vec<BreathState> {
+        BreathState::ALL
+            .into_iter()
+            .filter(|&to| self.is_legal(from, to))
+            .collect()
+    }
+
+    /// Resolves the state a new segment should carry, given the previous
+    /// segment's state and the *shape-implied candidate* for the new one.
+    ///
+    /// If the candidate is a legal successor it is kept; otherwise the
+    /// segment is demoted to [`BreathState::Irregular`]. This is the rule
+    /// the online segmenter applies at every breakpoint.
+    #[inline]
+    pub fn resolve(self, prev: Option<BreathState>, candidate: BreathState) -> BreathState {
+        match prev {
+            None => candidate,
+            Some(p) if self.is_legal(p, candidate) => candidate,
+            Some(_) => BreathState::Irregular,
+        }
+    }
+
+    /// Checks that an entire state sequence is legal under the automaton.
+    pub fn validate_sequence(self, states: &[BreathState]) -> Result<(), IllegalTransition> {
+        for (i, w) in states.windows(2).enumerate() {
+            if !self.is_legal(w[0], w[1]) {
+                return Err(IllegalTransition {
+                    position: i,
+                    from: w[0],
+                    to: w[1],
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An illegal transition found by [`Fsa::validate_sequence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IllegalTransition {
+    /// Index of the *source* state within the checked sequence.
+    pub position: usize,
+    /// Source state of the offending transition.
+    pub from: BreathState,
+    /// Target state of the offending transition.
+    pub to: BreathState,
+}
+
+impl std::fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "illegal transition {} -> {} at position {}",
+            self.from, self.to, self.position
+        )
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use BreathState::*;
+
+    #[test]
+    fn regular_cycle_is_legal() {
+        let fsa = Fsa;
+        assert!(fsa.is_legal(Exhale, EndOfExhale));
+        assert!(fsa.is_legal(EndOfExhale, Inhale));
+        assert!(fsa.is_legal(Inhale, Exhale));
+    }
+
+    #[test]
+    fn skipping_states_is_illegal() {
+        let fsa = Fsa;
+        assert!(!fsa.is_legal(Exhale, Inhale));
+        assert!(!fsa.is_legal(EndOfExhale, Exhale));
+        assert!(!fsa.is_legal(Inhale, EndOfExhale));
+    }
+
+    #[test]
+    fn self_loops() {
+        let fsa = Fsa;
+        assert!(!fsa.is_legal(Exhale, Exhale));
+        assert!(!fsa.is_legal(EndOfExhale, EndOfExhale));
+        assert!(!fsa.is_legal(Inhale, Inhale));
+        // IRR may persist.
+        assert!(fsa.is_legal(Irregular, Irregular));
+    }
+
+    #[test]
+    fn irregular_entry_and_exit() {
+        let fsa = Fsa;
+        for s in BreathState::ALL {
+            assert!(fsa.is_legal(s, Irregular), "{s} -> IRR must be legal");
+        }
+        assert!(fsa.is_legal(Irregular, Exhale));
+        assert!(!fsa.is_legal(Irregular, Inhale));
+        assert!(!fsa.is_legal(Irregular, EndOfExhale));
+    }
+
+    #[test]
+    fn resolve_demotes_illegal_candidates() {
+        let fsa = Fsa;
+        assert_eq!(fsa.resolve(None, Inhale), Inhale);
+        assert_eq!(fsa.resolve(Some(Exhale), EndOfExhale), EndOfExhale);
+        assert_eq!(fsa.resolve(Some(Exhale), Inhale), Irregular);
+        assert_eq!(fsa.resolve(Some(Irregular), Exhale), Exhale);
+        assert_eq!(fsa.resolve(Some(Irregular), Inhale), Irregular);
+    }
+
+    #[test]
+    fn validate_sequence_reports_position() {
+        let fsa = Fsa;
+        let good = [Exhale, EndOfExhale, Inhale, Exhale, Irregular, Exhale];
+        assert!(fsa.validate_sequence(&good).is_ok());
+        let bad = [Exhale, EndOfExhale, Exhale];
+        let err = fsa.validate_sequence(&bad).unwrap_err();
+        assert_eq!(err.position, 1);
+        assert_eq!(err.from, EndOfExhale);
+        assert_eq!(err.to, Exhale);
+    }
+
+    #[test]
+    fn successors_match_is_legal() {
+        let fsa = Fsa;
+        assert_eq!(fsa.successors(Exhale), vec![EndOfExhale, Irregular]);
+        assert_eq!(fsa.successors(Irregular), vec![Exhale, Irregular]);
+    }
+}

@@ -1,0 +1,258 @@
+//! N-dimensional spatial positions (paper Section 3.2).
+//!
+//! Tumor motion is tracked in 1-D, 2-D or 3-D space; the data model must
+//! work for any spatial dimensionality. [`Position`] stores up to three
+//! coordinates inline (no heap allocation per vertex) together with the
+//! actual dimensionality.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Index, Mul, Sub};
+
+/// Maximum supported spatial dimensionality.
+pub const MAX_DIM: usize = 3;
+
+/// A point in 1-, 2- or 3-dimensional space, in millimetres.
+///
+/// Spatial dimensionality is a property of the *stream* (all positions in
+/// one stream share it) and is orthogonal to sequence dimensionality
+/// (subsequence length), as the paper is careful to point out.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    coords: [f64; MAX_DIM],
+    dim: u8,
+}
+
+impl Position {
+    /// A 1-D position.
+    #[inline]
+    pub const fn new_1d(x: f64) -> Self {
+        Position {
+            coords: [x, 0.0, 0.0],
+            dim: 1,
+        }
+    }
+
+    /// A 2-D position.
+    #[inline]
+    pub const fn new_2d(x: f64, y: f64) -> Self {
+        Position {
+            coords: [x, y, 0.0],
+            dim: 2,
+        }
+    }
+
+    /// A 3-D position.
+    #[inline]
+    pub const fn new_3d(x: f64, y: f64, z: f64) -> Self {
+        Position {
+            coords: [x, y, z],
+            dim: 3,
+        }
+    }
+
+    /// Builds a position from a slice of 1 to 3 coordinates.
+    ///
+    /// Returns `None` if `coords` is empty or longer than [`MAX_DIM`].
+    pub fn from_slice(coords: &[f64]) -> Option<Self> {
+        if coords.is_empty() || coords.len() > MAX_DIM {
+            return None;
+        }
+        let mut c = [0.0; MAX_DIM];
+        c[..coords.len()].copy_from_slice(coords);
+        Some(Position {
+            coords: c,
+            dim: coords.len() as u8,
+        })
+    }
+
+    /// The origin of `dim`-dimensional space.
+    pub fn zero(dim: usize) -> Self {
+        assert!((1..=MAX_DIM).contains(&dim), "dim must be 1..=3");
+        Position {
+            coords: [0.0; MAX_DIM],
+            dim: dim as u8,
+        }
+    }
+
+    /// Spatial dimensionality (1, 2 or 3).
+    #[inline]
+    pub const fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// The coordinates as a slice of length [`Self::dim`].
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords[..self.dim as usize]
+    }
+
+    /// Euclidean distance to another position of the same dimensionality.
+    #[inline]
+    pub fn distance(&self, other: &Position) -> f64 {
+        debug_assert_eq!(self.dim, other.dim, "dimension mismatch");
+        self.coords()
+            .iter()
+            .zip(other.coords())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Euclidean norm (distance from the origin).
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.coords().iter().map(|c| c * c).sum::<f64>().sqrt()
+    }
+
+    /// Linear interpolation: `self + frac * (other - self)`.
+    ///
+    /// `frac = 0` yields `self`, `frac = 1` yields `other`; values outside
+    /// `[0, 1]` extrapolate along the same line (used when a PLR segment is
+    /// extended into the immediate future).
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // indexing two parallel fixed arrays
+    pub fn lerp(&self, other: &Position, frac: f64) -> Position {
+        debug_assert_eq!(self.dim, other.dim, "dimension mismatch");
+        let mut c = [0.0; MAX_DIM];
+        for i in 0..self.dim as usize {
+            c[i] = self.coords[i] + frac * (other.coords[i] - self.coords[i]);
+        }
+        Position {
+            coords: c,
+            dim: self.dim,
+        }
+    }
+
+    /// Component-wise finite check.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.coords().iter().all(|c| c.is_finite())
+    }
+}
+
+impl Index<usize> for Position {
+    type Output = f64;
+    #[inline]
+    fn index(&self, ix: usize) -> &f64 {
+        &self.coords()[ix]
+    }
+}
+
+impl Add for Position {
+    type Output = Position;
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // indexing two parallel fixed arrays
+    fn add(self, rhs: Position) -> Position {
+        debug_assert_eq!(self.dim, rhs.dim, "dimension mismatch");
+        let mut c = [0.0; MAX_DIM];
+        for i in 0..self.dim as usize {
+            c[i] = self.coords[i] + rhs.coords[i];
+        }
+        Position {
+            coords: c,
+            dim: self.dim,
+        }
+    }
+}
+
+impl Sub for Position {
+    type Output = Position;
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // indexing two parallel fixed arrays
+    fn sub(self, rhs: Position) -> Position {
+        debug_assert_eq!(self.dim, rhs.dim, "dimension mismatch");
+        let mut c = [0.0; MAX_DIM];
+        for i in 0..self.dim as usize {
+            c[i] = self.coords[i] - rhs.coords[i];
+        }
+        Position {
+            coords: c,
+            dim: self.dim,
+        }
+    }
+}
+
+impl Mul<f64> for Position {
+    type Output = Position;
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // indexing a fixed array by dim
+    fn mul(self, k: f64) -> Position {
+        let mut c = [0.0; MAX_DIM];
+        for i in 0..self.dim as usize {
+            c[i] = self.coords[i] * k;
+        }
+        Position {
+            coords: c,
+            dim: self.dim,
+        }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:.3}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_dim() {
+        assert_eq!(Position::new_1d(2.0).dim(), 1);
+        assert_eq!(Position::new_2d(1.0, 2.0).dim(), 2);
+        assert_eq!(Position::new_3d(1.0, 2.0, 3.0).dim(), 3);
+        assert_eq!(Position::from_slice(&[1.0, 2.0]).unwrap().dim(), 2);
+        assert!(Position::from_slice(&[]).is_none());
+        assert!(Position::from_slice(&[1.0; 4]).is_none());
+    }
+
+    #[test]
+    fn distance_and_norm() {
+        let a = Position::new_2d(0.0, 0.0);
+        let b = Position::new_2d(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.norm(), 5.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_extrapolation() {
+        let a = Position::new_1d(10.0);
+        let b = Position::new_1d(20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5)[0], 15.0);
+        assert_eq!(a.lerp(&b, 1.5)[0], 25.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Position::new_3d(1.0, 2.0, 3.0);
+        let b = Position::new_3d(0.5, 0.5, 0.5);
+        assert_eq!((a + b)[2], 3.5);
+        assert_eq!((a - b)[0], 0.5);
+        assert_eq!((a * 2.0)[1], 4.0);
+    }
+
+    #[test]
+    fn display_formats_only_live_dims() {
+        assert_eq!(Position::new_1d(1.0).to_string(), "(1.000)");
+        assert_eq!(Position::new_2d(1.0, 2.0).to_string(), "(1.000, 2.000)");
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Position::new_2d(1.0, 2.0).is_finite());
+        assert!(!Position::new_2d(f64::NAN, 2.0).is_finite());
+        assert!(!Position::new_1d(f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,207 @@
+//! Constant-space incremental least-squares line fitting.
+//!
+//! The online segmenter needs, for each incoming sample, the best-fit line
+//! over the samples accumulated since the last breakpoint, plus a measure of
+//! how badly the newest samples deviate from it. Keeping the five running
+//! sums `n, Σt, Σy, Σt², Σty` (plus `Σy²` for the residual) gives all of
+//! that in O(1) per point and O(1) memory, which is what lets the paper
+//! claim constant-time per-sample segmentation (Section 7.5).
+
+use serde::{Deserialize, Serialize};
+
+/// Incremental simple linear regression `y ≈ a + b·t`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalLineFit {
+    n: u64,
+    sum_t: f64,
+    sum_y: f64,
+    sum_tt: f64,
+    sum_ty: f64,
+    sum_yy: f64,
+    first_t: f64,
+    last_t: f64,
+    last_y: f64,
+}
+
+impl IncrementalLineFit {
+    /// An empty fit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a point. Times are shifted by the first point's time before
+    /// accumulation to keep the normal equations well-conditioned for long
+    /// streams.
+    pub fn push(&mut self, t: f64, y: f64) {
+        if self.n == 0 {
+            self.first_t = t;
+        }
+        let ts = t - self.first_t;
+        self.n += 1;
+        self.sum_t += ts;
+        self.sum_y += y;
+        self.sum_tt += ts * ts;
+        self.sum_ty += ts * y;
+        self.sum_yy += y * y;
+        self.last_t = t;
+        self.last_y = y;
+    }
+
+    /// Number of accumulated points.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no points have been accumulated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Time of the first accumulated point (undefined when empty).
+    #[inline]
+    pub fn first_time(&self) -> f64 {
+        self.first_t
+    }
+
+    /// Time of the most recent point (undefined when empty).
+    #[inline]
+    pub fn last_time(&self) -> f64 {
+        self.last_t
+    }
+
+    /// Value of the most recent point (undefined when empty).
+    #[inline]
+    pub fn last_value(&self) -> f64 {
+        self.last_y
+    }
+
+    /// Least-squares slope in units of y per second.
+    ///
+    /// Returns 0 when fewer than two points (or zero time spread) have been
+    /// seen.
+    pub fn slope(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let denom = n * self.sum_tt - self.sum_t * self.sum_t;
+        if denom.abs() < 1e-12 {
+            return 0.0;
+        }
+        (n * self.sum_ty - self.sum_t * self.sum_y) / denom
+    }
+
+    /// Least-squares intercept at the (shifted) time origin, i.e. the fitted
+    /// value at the *first* accumulated point's time.
+    pub fn intercept(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        (self.sum_y - self.slope() * self.sum_t) / n
+    }
+
+    /// Fitted value at absolute time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        self.intercept() + self.slope() * (t - self.first_t)
+    }
+
+    /// Root-mean-square residual of the accumulated points about the fitted
+    /// line. This is the segmenter's break criterion: once fresh points stop
+    /// lying on a line, a vertex must be emitted.
+    pub fn rms_residual(&self) -> f64 {
+        if self.n < 3 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let b = self.slope();
+        let a = (self.sum_y - b * self.sum_t) / n;
+        // Σ(y - a - b t)² = Σy² - 2aΣy - 2bΣty + n a² + 2ab Σt + b² Σt²
+        let ss = self.sum_yy - 2.0 * a * self.sum_y - 2.0 * b * self.sum_ty
+            + n * a * a
+            + 2.0 * a * b * self.sum_t
+            + b * b * self.sum_tt;
+        (ss.max(0.0) / n).sqrt()
+    }
+
+    /// Mean of the accumulated y values.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum_y / self.n as f64
+        }
+    }
+
+    /// Clears the fit.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let mut f = IncrementalLineFit::new();
+        for i in 0..100 {
+            let t = 10.0 + i as f64 * 0.1;
+            f.push(t, 3.0 - 2.0 * (t - 10.0));
+        }
+        assert!((f.slope() + 2.0).abs() < 1e-9, "slope = {}", f.slope());
+        assert!((f.value_at(10.0) - 3.0).abs() < 1e-9);
+        assert!(f.rms_residual() < 1e-9);
+    }
+
+    #[test]
+    fn residual_detects_curvature() {
+        let mut f = IncrementalLineFit::new();
+        for i in 0..100 {
+            let t = i as f64 * 0.1;
+            f.push(t, (t * t) * 0.5); // parabola
+        }
+        assert!(f.rms_residual() > 0.5);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut f = IncrementalLineFit::new();
+        assert_eq!(f.slope(), 0.0);
+        assert_eq!(f.mean(), 0.0);
+        f.push(1.0, 5.0);
+        assert_eq!(f.slope(), 0.0);
+        assert_eq!(f.mean(), 5.0);
+        assert_eq!(f.rms_residual(), 0.0);
+        // Two identical timestamps: zero denominator handled.
+        f.push(1.0, 6.0);
+        assert_eq!(f.slope(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut f = IncrementalLineFit::new();
+        f.push(0.0, 1.0);
+        f.push(1.0, 2.0);
+        f.reset();
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn conditioning_with_large_time_offsets() {
+        // A stream that has been running for a week (t ~ 6e5 s) must still
+        // produce accurate fits thanks to the first-time shift.
+        let mut f = IncrementalLineFit::new();
+        let t0 = 600_000.0;
+        for i in 0..300 {
+            let t = t0 + i as f64 / 30.0;
+            f.push(t, 1.5 + 0.75 * (t - t0));
+        }
+        assert!((f.slope() - 0.75).abs() < 1e-6);
+        assert!(f.rms_residual() < 1e-6);
+    }
+}

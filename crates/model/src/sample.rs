@@ -1,0 +1,57 @@
+//! Raw samples as they arrive from the tracking system.
+
+use crate::position::Position;
+use serde::{Deserialize, Serialize};
+
+/// One raw measurement: a timestamped n-dimensional position.
+///
+/// In the paper's deployment these arrive at 30 Hz from the fluoroscopic
+/// marker tracker; in this reproduction they come from the `tsm-signal`
+/// simulator. Either way the segmenter consumes them one at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Acquisition time in seconds from the start of the stream.
+    pub time: f64,
+    /// Measured position in millimetres.
+    pub position: Position,
+}
+
+impl Sample {
+    /// A sample with an arbitrary-dimensional position.
+    #[inline]
+    pub const fn new(time: f64, position: Position) -> Self {
+        Sample { time, position }
+    }
+
+    /// Convenience constructor for the common 1-D (superior-inferior) case.
+    #[inline]
+    pub const fn new_1d(time: f64, x: f64) -> Self {
+        Sample {
+            time,
+            position: Position::new_1d(x),
+        }
+    }
+
+    /// The coordinate the segmenter classifies on (by convention the first,
+    /// superior-inferior, axis unless configured otherwise).
+    #[inline]
+    pub fn axis_value(&self, axis: usize) -> f64 {
+        self.position[axis]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let s = Sample::new_1d(0.5, 12.0);
+        assert_eq!(s.time, 0.5);
+        assert_eq!(s.position.dim(), 1);
+        assert_eq!(s.axis_value(0), 12.0);
+
+        let s3 = Sample::new(1.0, Position::new_3d(1.0, 2.0, 3.0));
+        assert_eq!(s3.axis_value(2), 3.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Line segments of the PLR: a view over two adjacent vertices.
+
+use crate::position::Position;
+use crate::state::BreathState;
+use crate::vertex::Vertex;
+use serde::{Deserialize, Serialize};
+
+/// One line segment of a piecewise linear representation.
+///
+/// A segment is fully determined by its two bounding vertices; this type is
+/// a small value describing the segment's derived features — duration,
+/// amplitude and slope — which are exactly the quantities the similarity
+/// measure (Definition 2) and the stability statistic (Definition 1)
+/// consume: the *frequency* component of both formulas is the segment's
+/// time interval, the *amplitude* component is the displacement along the
+/// classification axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start time, seconds.
+    pub start_time: f64,
+    /// End time, seconds.
+    pub end_time: f64,
+    /// Position at the start vertex.
+    pub start_position: Position,
+    /// Position at the end vertex.
+    pub end_position: Position,
+    /// Breathing state of this segment.
+    pub state: BreathState,
+}
+
+impl Segment {
+    /// Builds the segment between two adjacent vertices. The state is the
+    /// one stored on the *starting* vertex, per the data model.
+    #[inline]
+    pub fn between(start: &Vertex, end: &Vertex) -> Self {
+        Segment {
+            start_time: start.time,
+            end_time: end.time,
+            start_position: start.position,
+            end_position: end.position,
+            state: start.state,
+        }
+    }
+
+    /// Segment duration in seconds — the "frequency" feature of the paper's
+    /// distance and stability formulas.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.end_time - self.start_time
+    }
+
+    /// Signed displacement along `axis` — positive for inhale-direction
+    /// motion, negative for exhale-direction motion.
+    #[inline]
+    pub fn displacement(&self, axis: usize) -> f64 {
+        self.end_position[axis] - self.start_position[axis]
+    }
+
+    /// Absolute displacement along `axis` — the "amplitude" feature of the
+    /// paper's distance and stability formulas.
+    #[inline]
+    pub fn amplitude(&self, axis: usize) -> f64 {
+        self.displacement(axis).abs()
+    }
+
+    /// Euclidean length of the spatial displacement (all axes).
+    #[inline]
+    pub fn spatial_length(&self) -> f64 {
+        self.end_position.distance(&self.start_position)
+    }
+
+    /// Slope along `axis` in mm/s. Returns 0 for zero-duration segments.
+    #[inline]
+    pub fn slope(&self, axis: usize) -> f64 {
+        let d = self.duration();
+        if d <= 0.0 {
+            0.0
+        } else {
+            self.displacement(axis) / d
+        }
+    }
+
+    /// Position at time `t`, linearly interpolated (or extrapolated when
+    /// `t` lies outside the segment).
+    #[inline]
+    pub fn position_at(&self, t: f64) -> Position {
+        let d = self.duration();
+        if d <= 0.0 {
+            return self.start_position;
+        }
+        let frac = (t - self.start_time) / d;
+        self.start_position.lerp(&self.end_position, frac)
+    }
+
+    /// Whether `t` falls within `[start_time, end_time)`.
+    #[inline]
+    pub fn contains_time(&self, t: f64) -> bool {
+        t >= self.start_time && t < self.end_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> Segment {
+        let a = Vertex::new_1d(1.0, 10.0, BreathState::Exhale);
+        let b = Vertex::new_1d(3.0, 4.0, BreathState::EndOfExhale);
+        Segment::between(&a, &b)
+    }
+
+    #[test]
+    fn derived_features() {
+        let s = seg();
+        assert_eq!(s.duration(), 2.0);
+        assert_eq!(s.displacement(0), -6.0);
+        assert_eq!(s.amplitude(0), 6.0);
+        assert_eq!(s.slope(0), -3.0);
+        assert_eq!(s.state, BreathState::Exhale);
+        assert_eq!(s.spatial_length(), 6.0);
+    }
+
+    #[test]
+    fn interpolation() {
+        let s = seg();
+        assert_eq!(s.position_at(1.0)[0], 10.0);
+        assert_eq!(s.position_at(2.0)[0], 7.0);
+        assert_eq!(s.position_at(3.0)[0], 4.0);
+        // Extrapolation beyond the end continues the line.
+        assert_eq!(s.position_at(4.0)[0], 1.0);
+    }
+
+    #[test]
+    fn containment_is_half_open() {
+        let s = seg();
+        assert!(s.contains_time(1.0));
+        assert!(s.contains_time(2.999));
+        assert!(!s.contains_time(3.0));
+        assert!(!s.contains_time(0.999));
+    }
+
+    #[test]
+    fn zero_duration_degenerates_gracefully() {
+        let a = Vertex::new_1d(1.0, 10.0, BreathState::Exhale);
+        let s = Segment::between(&a, &a);
+        assert_eq!(s.slope(0), 0.0);
+        assert_eq!(s.position_at(5.0)[0], 10.0);
+    }
+}

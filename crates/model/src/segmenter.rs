@@ -1,0 +1,703 @@
+//! Online PLR segmentation guided by the finite state automaton.
+//!
+//! The paper builds on an online algorithm (its reference \[26\]) that
+//! produces PLR segments "in a streaming way", detecting "the current state
+//! and line segment in real time" with constant space and constant work per
+//! incoming sample. The original algorithm is not restated in the SIGMOD
+//! paper, so this module implements the *contract*:
+//!
+//! * input: one raw sample at a time;
+//! * output: PLR vertices, each carrying the state of the segment starting
+//!   there, obeying the EX→EOE→IN automaton with IRR fallback;
+//! * constant memory, constant time per sample.
+//!
+//! The implementation is a slope-class phase detector. A short sliding
+//! window is fit with least squares; its slope classifies the local motion
+//! as `Down` (exhale-direction), `Flat` or `Up` (inhale-direction). A phase
+//! change that persists for a configurable number of samples emits a vertex
+//! at the point where the new class began. Two refinements make this match
+//! the breathing model:
+//!
+//! * **Flat disambiguation.** `Flat` near the bottom of the motion envelope
+//!   is end-of-exhale; a brief plateau at the *top* of the envelope (end of
+//!   inhale, which the model deliberately has no state for) is absorbed
+//!   into the surrounding phases.
+//! * **Sanity demotion.** Segments that are too short, too small in
+//!   amplitude (for EX/IN) or too long (for EOE — a breath hold) are
+//!   demoted to `Irregular`, as is any segment whose state would violate
+//!   the automaton.
+
+use crate::cardiac::{CardiacCanceller, CardiacCancellerConfig};
+use crate::fsa::Fsa;
+use crate::regression::IncrementalLineFit;
+use crate::sample::Sample;
+use crate::smoother::{PreprocessChain, StreamFilter};
+use crate::state::BreathState;
+use crate::vertex::Vertex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Local slope classification of the sliding window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlopeClass {
+    Down,
+    Flat,
+    Up,
+}
+
+/// Configuration of the online segmenter.
+///
+/// Defaults are tuned for superior-inferior tumor motion: ~5–20 mm
+/// peak-to-peak amplitude, 2.5–6 s breathing period, 30 Hz sampling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmenterConfig {
+    /// Coordinate used for state classification (0 = superior-inferior by
+    /// convention).
+    pub axis: usize,
+    /// Sliding-window length in samples for slope estimation.
+    pub window_len: usize,
+    /// Number of consecutive samples a new slope class must persist before
+    /// a phase change is accepted.
+    pub confirm_count: usize,
+    /// |slope| at or below this (mm/s) is classified `Flat`.
+    pub flat_slope: f64,
+    /// A flat window counts as end-of-exhale only if its level is below
+    /// `env_min + flat_low_fraction * (env_max - env_min)`.
+    pub flat_low_fraction: f64,
+    /// Time constant (s) of the motion-envelope follower.
+    pub envelope_tau: f64,
+    /// Segments shorter than this (s) are demoted to `Irregular`.
+    pub min_segment_duration: f64,
+    /// EX/IN segments with axis amplitude below this (mm) are demoted to
+    /// `Irregular`.
+    pub min_swing_amplitude: f64,
+    /// EOE segments longer than this (s) are demoted to `Irregular`
+    /// (breath hold).
+    pub max_eoe_duration: f64,
+    /// EX/IN segments longer than this (s) are demoted to `Irregular`
+    /// (e.g. a breath hold at full inhale absorbed into the phase).
+    pub max_phase_duration: f64,
+    /// Width of the moving-average prefilter (samples); 0 or 1 disables
+    /// smoothing. The median-of-three spike filter always runs.
+    pub smoothing_width: usize,
+    /// Disables the whole preprocessing chain (for already-clean signals
+    /// and for unit tests).
+    pub preprocess: bool,
+    /// Runs the adaptive cardiac canceller
+    /// ([`crate::cardiac::CardiacCanceller`]) ahead of the smoothing
+    /// chain. Useful for tumors near the heart, where cardiac motion
+    /// rivals the breathing amplitude; off by default because it adds
+    /// ~0.75 s of latency before the first vertex.
+    pub cardiac_cancel: bool,
+}
+
+impl Default for SegmenterConfig {
+    fn default() -> Self {
+        SegmenterConfig {
+            axis: 0,
+            window_len: 15,
+            confirm_count: 5,
+            flat_slope: 2.0,
+            flat_low_fraction: 0.45,
+            envelope_tau: 12.0,
+            min_segment_duration: 0.15,
+            min_swing_amplitude: 1.5,
+            max_eoe_duration: 6.0,
+            max_phase_duration: 8.0,
+            smoothing_width: 19,
+            preprocess: true,
+            cardiac_cancel: false,
+        }
+    }
+}
+
+impl SegmenterConfig {
+    /// A configuration with preprocessing disabled — useful for synthetic
+    /// noise-free signals and in tests.
+    pub fn clean() -> Self {
+        SegmenterConfig {
+            preprocess: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Exponential peak/trough follower of the motion envelope.
+#[derive(Debug, Clone, Copy)]
+struct Envelope {
+    min: f64,
+    max: f64,
+    last_t: f64,
+    initialized: bool,
+    tau: f64,
+}
+
+impl Envelope {
+    fn new(tau: f64) -> Self {
+        Envelope {
+            min: 0.0,
+            max: 0.0,
+            last_t: 0.0,
+            initialized: false,
+            tau,
+        }
+    }
+
+    fn push(&mut self, t: f64, y: f64) {
+        if !self.initialized {
+            self.min = y;
+            self.max = y;
+            self.last_t = t;
+            self.initialized = true;
+            return;
+        }
+        let dt = (t - self.last_t).max(0.0);
+        self.last_t = t;
+        let relax = (dt / self.tau).min(1.0);
+        if y > self.max {
+            self.max = y;
+        } else {
+            self.max += (y - self.max) * relax;
+        }
+        if y < self.min {
+            self.min = y;
+        } else {
+            self.min += (y - self.min) * relax;
+        }
+    }
+
+    fn low_threshold(&self, fraction: f64) -> f64 {
+        self.min + fraction * (self.max - self.min)
+    }
+
+    fn span(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// The online segmenter. Feed samples with [`OnlineSegmenter::push`];
+/// vertices fall out as segments close. Call
+/// [`OnlineSegmenter::finish`] at end of stream to flush the last segment
+/// and the terminal vertex.
+#[derive(Debug)]
+pub struct OnlineSegmenter {
+    config: SegmenterConfig,
+    cardiac: Option<CardiacCanceller>,
+    filter: Option<PreprocessChain>,
+    window: VecDeque<(f64, f64)>,
+    envelope: Envelope,
+    /// Start sample of the currently open segment.
+    seg_start: Option<Sample>,
+    /// Extreme axis values seen within the open segment (for amplitude
+    /// sanity checks on curved phases).
+    seg_min: f64,
+    seg_max: f64,
+    /// Confirmed class of the open segment.
+    current_class: Option<SlopeClass>,
+    /// State of the previously *closed* segment (for FSA resolution).
+    prev_state: Option<BreathState>,
+    /// A tentative new class and how long it has persisted.
+    pending_class: Option<SlopeClass>,
+    pending_count: usize,
+    pending_break: Option<Sample>,
+    /// Most recent (filtered) sample.
+    last_sample: Option<Sample>,
+    /// Vertices ready to be handed out.
+    out: Vec<Vertex>,
+    /// Total filtered samples consumed (for diagnostics).
+    samples_seen: u64,
+}
+
+impl OnlineSegmenter {
+    /// Creates a segmenter with the given configuration.
+    pub fn new(config: SegmenterConfig) -> Self {
+        let filter = config
+            .preprocess
+            .then(|| PreprocessChain::new(config.smoothing_width));
+        let cardiac = config
+            .cardiac_cancel
+            .then(|| CardiacCanceller::new(CardiacCancellerConfig::default()));
+        let envelope = Envelope::new(config.envelope_tau);
+        OnlineSegmenter {
+            config,
+            cardiac,
+            filter,
+            window: VecDeque::new(),
+            envelope,
+            seg_start: None,
+            seg_min: f64::INFINITY,
+            seg_max: f64::NEG_INFINITY,
+            current_class: None,
+            prev_state: None,
+            pending_class: None,
+            pending_count: 0,
+            pending_break: None,
+            last_sample: None,
+            out: Vec::new(),
+            samples_seen: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SegmenterConfig {
+        &self.config
+    }
+
+    /// The breathing state of the segment currently being built, if known.
+    /// This is the "current state detected in real time" of the paper.
+    pub fn current_state(&self) -> Option<BreathState> {
+        let class = self.current_class?;
+        let level = self.window_mean();
+        let candidate = self.candidate_state(class, level);
+        Some(Fsa.resolve(self.prev_state, candidate))
+    }
+
+    /// Number of (post-filter) samples consumed so far.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// Feeds one raw sample. Returns the vertices of any segments that this
+    /// sample closed (usually empty, occasionally one).
+    pub fn push(&mut self, raw: Sample) -> Vec<Vertex> {
+        debug_assert!(raw.time.is_finite() && raw.position.is_finite());
+        match self.cardiac.as_mut() {
+            Some(c) => {
+                if let Some(s) = c.push(raw) {
+                    self.push_filtered(s);
+                }
+            }
+            None => self.push_filtered(raw),
+        }
+        std::mem::take(&mut self.out)
+    }
+
+    fn push_filtered(&mut self, s: Sample) {
+        match self.filter.as_mut() {
+            Some(f) => {
+                if let Some(s) = f.push(s) {
+                    self.ingest(s);
+                }
+            }
+            None => self.ingest(s),
+        }
+    }
+
+    /// Flushes the preprocessing chain and closes the final segment,
+    /// emitting its start vertex plus a terminal vertex at the last sample.
+    pub fn finish(mut self) -> Vec<Vertex> {
+        if let Some(mut c) = self.cardiac.take() {
+            for s in c.finish() {
+                self.push_filtered(s);
+            }
+        }
+        if let Some(mut f) = self.filter.take() {
+            for s in f.finish() {
+                self.ingest(s);
+            }
+        }
+        if let (Some(start), Some(last)) = (self.seg_start, self.last_sample) {
+            if last.time > start.time {
+                let class = self.current_class.unwrap_or(SlopeClass::Flat);
+                let state = self.close_segment(start, last, class);
+                self.out
+                    .push(Vertex::new(start.time, start.position, state));
+                // Terminal vertex: carries the closing segment's state so
+                // slicing by vertex index stays uniform.
+                self.out.push(Vertex::new(last.time, last.position, state));
+            } else {
+                // Degenerate single-point stream.
+                self.out.push(Vertex::new(
+                    start.time,
+                    start.position,
+                    BreathState::Irregular,
+                ));
+            }
+        }
+        self.out
+    }
+
+    fn window_mean(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        self.window.iter().map(|&(_, y)| y).sum::<f64>() / self.window.len() as f64
+    }
+
+    fn window_slope(&self) -> f64 {
+        let mut fit = IncrementalLineFit::new();
+        for &(t, y) in &self.window {
+            fit.push(t, y);
+        }
+        fit.slope()
+    }
+
+    fn classify(&self, slope: f64) -> SlopeClass {
+        if slope > self.config.flat_slope {
+            SlopeClass::Up
+        } else if slope < -self.config.flat_slope {
+            SlopeClass::Down
+        } else {
+            SlopeClass::Flat
+        }
+    }
+
+    /// Maps a slope class (plus the level, for flats) to the candidate
+    /// state the FSA will be asked to accept.
+    fn candidate_state(&self, class: SlopeClass, level: f64) -> BreathState {
+        match class {
+            SlopeClass::Down => BreathState::Exhale,
+            SlopeClass::Up => BreathState::Inhale,
+            SlopeClass::Flat => {
+                if self.envelope.span() < self.config.min_swing_amplitude
+                    || level <= self.envelope.low_threshold(self.config.flat_low_fraction)
+                {
+                    BreathState::EndOfExhale
+                } else {
+                    // A high plateau: the model has no end-of-inhale state;
+                    // treated as irregular if it ever becomes a segment of
+                    // its own (it usually gets absorbed before that).
+                    BreathState::Irregular
+                }
+            }
+        }
+    }
+
+    /// Whether a confirmed `new_class` should actually break the phase, or
+    /// be absorbed into the current one (high plateaus).
+    fn breaks_phase(&self, new_class: SlopeClass, level: f64) -> bool {
+        match new_class {
+            SlopeClass::Down | SlopeClass::Up => true,
+            SlopeClass::Flat => {
+                // Only a *low* flat (end-of-exhale dwell) forms a segment.
+                self.envelope.span() < self.config.min_swing_amplitude
+                    || level <= self.envelope.low_threshold(self.config.flat_low_fraction)
+            }
+        }
+    }
+
+    /// Final state of a segment being closed, after FSA resolution and
+    /// sanity demotion.
+    fn close_segment(&mut self, start: Sample, end: Sample, class: SlopeClass) -> BreathState {
+        let axis = self.config.axis;
+        let duration = end.time - start.time;
+        let amplitude = (end.position[axis] - start.position[axis]).abs();
+        let level = (start.position[axis] + end.position[axis]) * 0.5;
+        let candidate = self.candidate_state(class, level);
+        let mut state = Fsa.resolve(self.prev_state, candidate);
+
+        if duration < self.config.min_segment_duration {
+            state = BreathState::Irregular;
+        }
+        match state {
+            BreathState::Exhale | BreathState::Inhale => {
+                // Use the in-segment extremes, not just the endpoints: a
+                // curved phase can have endpoints closer than its true swing.
+                let swing = (self.seg_max - self.seg_min).max(amplitude);
+                if swing < self.config.min_swing_amplitude
+                    || duration > self.config.max_phase_duration
+                {
+                    state = BreathState::Irregular;
+                }
+            }
+            BreathState::EndOfExhale => {
+                if duration > self.config.max_eoe_duration {
+                    state = BreathState::Irregular;
+                }
+            }
+            BreathState::Irregular => {}
+        }
+        self.prev_state = Some(state);
+        state
+    }
+
+    fn ingest(&mut self, s: Sample) {
+        let axis = self.config.axis;
+        let y = s.position[axis];
+        self.samples_seen += 1;
+        self.envelope.push(s.time, y);
+        self.last_sample = Some(s);
+        if self.seg_start.is_none() {
+            self.seg_start = Some(s);
+            self.seg_min = y;
+            self.seg_max = y;
+        } else {
+            self.seg_min = self.seg_min.min(y);
+            self.seg_max = self.seg_max.max(y);
+        }
+
+        self.window.push_back((s.time, y));
+        if self.window.len() > self.config.window_len {
+            self.window.pop_front();
+        }
+        if self.window.len() < self.config.window_len {
+            return;
+        }
+
+        let class = self.classify(self.window_slope());
+
+        match self.current_class {
+            None => {
+                // First confirmed class opens the first segment.
+                if self.pending_class == Some(class) {
+                    self.pending_count += 1;
+                } else {
+                    self.pending_class = Some(class);
+                    self.pending_count = 1;
+                }
+                if self.pending_count >= self.config.confirm_count {
+                    self.current_class = Some(class);
+                    self.pending_class = None;
+                    self.pending_count = 0;
+                }
+            }
+            Some(cur) if class == cur => {
+                // Back to the current phase: drop any tentative change.
+                self.pending_class = None;
+                self.pending_count = 0;
+                self.pending_break = None;
+            }
+            Some(_) => {
+                if self.pending_class == Some(class) {
+                    self.pending_count += 1;
+                } else {
+                    self.pending_class = Some(class);
+                    self.pending_count = 1;
+                    self.pending_break = Some(s);
+                }
+                if self.pending_count >= self.config.confirm_count {
+                    let level = self.window_mean();
+                    if self.breaks_phase(class, level) {
+                        let brk = self.pending_break.unwrap_or(s);
+                        if let Some(start) = self.seg_start {
+                            if brk.time > start.time {
+                                let cur = self.current_class.expect("checked above");
+                                let state = self.close_segment(start, brk, cur);
+                                self.out
+                                    .push(Vertex::new(start.time, start.position, state));
+                            }
+                        }
+                        self.seg_start = Some(brk);
+                        self.seg_min = brk.position[axis];
+                        self.seg_max = brk.position[axis];
+                        self.current_class = Some(class);
+                    } else {
+                        // High plateau: absorb into the current phase, but
+                        // remember nothing — the next Down/Up confirmation
+                        // will break where that run starts.
+                    }
+                    self.pending_class = None;
+                    self.pending_count = 0;
+                    self.pending_break = None;
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: segments an entire in-memory signal at once.
+///
+/// Equivalent to pushing every sample and calling `finish`; exists for
+/// tests, examples and offline (whole-stream) processing.
+pub fn segment_signal(samples: &[Sample], config: SegmenterConfig) -> Vec<Vertex> {
+    let mut seg = OnlineSegmenter::new(config);
+    let mut vertices = Vec::new();
+    for &s in samples {
+        vertices.extend(seg.push(s));
+    }
+    vertices.extend(seg.finish());
+    vertices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::fsa::Fsa;
+    use std::f64::consts::PI;
+
+    /// A breathing-like waveform: cosine with a flattened trough (EOE dwell).
+    fn breathing_sample(t: f64, period: f64, amplitude: f64) -> f64 {
+        let phase = (t / period).fract();
+        // 40% exhale (down), 25% dwell, 35% inhale (up).
+        if phase < 0.40 {
+            let p = phase / 0.40;
+            amplitude * 0.5 * (1.0 + (PI * p).cos())
+        } else if phase < 0.65 {
+            0.0
+        } else {
+            let p = (phase - 0.65) / 0.35;
+            amplitude * 0.5 * (1.0 - (PI * p).cos())
+        }
+    }
+
+    fn generate(duration: f64, hz: f64, period: f64, amplitude: f64) -> Vec<Sample> {
+        let n = (duration * hz) as usize;
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / hz;
+                Sample::new_1d(t, breathing_sample(t, period, amplitude))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn regular_breathing_segments_into_cycle_states() {
+        let samples = generate(40.0, 30.0, 4.0, 12.0);
+        let vertices = segment_signal(&samples, SegmenterConfig::clean());
+        assert!(vertices.len() >= 20, "too few vertices: {}", vertices.len());
+        let states: Vec<_> = vertices.iter().map(|v| v.state).collect();
+        let n_irr = states
+            .iter()
+            .filter(|s| **s == BreathState::Irregular)
+            .count();
+        assert!(
+            n_irr * 5 <= states.len(),
+            "too many IRR segments in regular breathing: {n_irr}/{} ({states:?})",
+            states.len()
+        );
+        // All three regular states must appear.
+        for want in [
+            BreathState::Exhale,
+            BreathState::EndOfExhale,
+            BreathState::Inhale,
+        ] {
+            assert!(states.contains(&want), "missing state {want}");
+        }
+    }
+
+    #[test]
+    fn emitted_sequence_is_fsa_legal() {
+        let samples = generate(60.0, 30.0, 3.5, 10.0);
+        let vertices = segment_signal(&samples, SegmenterConfig::clean());
+        // Drop the duplicated terminal state before validating.
+        let states: Vec<_> = vertices[..vertices.len() - 1]
+            .iter()
+            .map(|v| v.state)
+            .collect();
+        Fsa.validate_sequence(&states).expect("legal sequence");
+    }
+
+    #[test]
+    fn vertex_times_strictly_increase() {
+        let samples = generate(30.0, 30.0, 4.0, 12.0);
+        let vertices = segment_signal(&samples, SegmenterConfig::clean());
+        for w in vertices.windows(2) {
+            assert!(w[1].time > w[0].time, "non-increasing vertex times");
+        }
+    }
+
+    #[test]
+    fn preprocessing_survives_noise() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut samples = generate(40.0, 30.0, 4.0, 12.0);
+        for s in &mut samples {
+            // Cardiac-like jitter plus occasional spikes.
+            let cardiac = 0.4 * (2.0 * PI * 1.2 * s.time).sin();
+            let spike = if rng.random::<f64>() < 0.01 {
+                rng.random_range(-8.0..8.0)
+            } else {
+                0.0
+            };
+            let y = s.position[0] + cardiac + spike;
+            *s = Sample::new_1d(s.time, y);
+        }
+        let vertices = segment_signal(&samples, SegmenterConfig::default());
+        let states: Vec<_> = vertices.iter().map(|v| v.state).collect();
+        let n_irr = states
+            .iter()
+            .filter(|s| **s == BreathState::Irregular)
+            .count();
+        assert!(
+            n_irr * 3 <= states.len(),
+            "noise broke segmentation: {n_irr}/{} IRR",
+            states.len()
+        );
+    }
+
+    /// Cycles, then a 10 s hold at waveform phase `hold_phase`, then more
+    /// cycles.
+    fn signal_with_hold(hold_phase: f64) -> Vec<Sample> {
+        let hz = 30.0;
+        let mut samples = Vec::new();
+        let mut t = 0.0;
+        let lead = 8.0 + hold_phase * 4.0;
+        for _ in 0..(lead * hz) as usize {
+            samples.push(Sample::new_1d(t, breathing_sample(t, 4.0, 12.0)));
+            t += 1.0 / hz;
+        }
+        let hold_value = breathing_sample(hold_phase * 4.0, 4.0, 12.0);
+        for _ in 0..(10.0 * hz) as usize {
+            samples.push(Sample::new_1d(t, hold_value));
+            t += 1.0 / hz;
+        }
+        let resume = t;
+        for _ in 0..(8.0 * hz) as usize {
+            samples.push(Sample::new_1d(t, breathing_sample(t - resume, 4.0, 12.0)));
+            t += 1.0 / hz;
+        }
+        samples
+    }
+
+    #[test]
+    fn breath_hold_at_exhale_end_is_irregular() {
+        // Hold at the end-of-exhale dwell (phase 0.5 of the test waveform):
+        // the EOE segment exceeds max_eoe_duration.
+        let samples = signal_with_hold(0.5);
+        let vertices = segment_signal(&samples, SegmenterConfig::clean());
+        let has_irr_mid = vertices
+            .iter()
+            .any(|v| v.state == BreathState::Irregular && v.time > 6.0 && v.time < 24.0);
+        assert!(has_irr_mid, "exhale-end hold not flagged: {vertices:?}");
+    }
+
+    #[test]
+    fn breath_hold_at_full_inhale_is_irregular() {
+        // Hold at the top of the breath (phase 0): the high plateau is
+        // absorbed into a phase that then exceeds max_phase_duration.
+        let samples = signal_with_hold(0.0);
+        let vertices = segment_signal(&samples, SegmenterConfig::clean());
+        let has_irr_mid = vertices
+            .iter()
+            .any(|v| v.state == BreathState::Irregular && v.time > 4.0 && v.time < 24.0);
+        assert!(has_irr_mid, "full-inhale hold not flagged: {vertices:?}");
+    }
+
+    #[test]
+    fn streaming_equals_batch() {
+        let samples = generate(20.0, 30.0, 4.0, 10.0);
+        let batch = segment_signal(&samples, SegmenterConfig::clean());
+        let mut seg = OnlineSegmenter::new(SegmenterConfig::clean());
+        let mut streaming = Vec::new();
+        for &s in &samples {
+            streaming.extend(seg.push(s));
+        }
+        streaming.extend(seg.finish());
+        assert_eq!(batch, streaming);
+    }
+
+    #[test]
+    fn current_state_tracks_phase() {
+        let samples = generate(12.0, 30.0, 4.0, 12.0);
+        let mut seg = OnlineSegmenter::new(SegmenterConfig::clean());
+        let mut saw_exhale_live = false;
+        for &s in &samples {
+            let _ = seg.push(s);
+            if seg.current_state() == Some(BreathState::Exhale) {
+                saw_exhale_live = true;
+            }
+        }
+        assert!(saw_exhale_live);
+    }
+
+    #[test]
+    fn empty_and_tiny_streams() {
+        let v = segment_signal(&[], SegmenterConfig::clean());
+        assert!(v.is_empty());
+        let v = segment_signal(&[Sample::new_1d(0.0, 1.0)], SegmenterConfig::clean());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].state, BreathState::Irregular);
+    }
+}

@@ -1,0 +1,304 @@
+//! Streaming noise filters.
+//!
+//! The raw tracking signal carries two kinds of noise (paper Figure 3c/d):
+//! *cardiac motion* — short-period oscillation superimposed on the breathing
+//! signal — and *spike noise* — isolated acquisition artifacts. A short
+//! moving average suppresses the former; a median-of-three spike filter
+//! removes the latter. Both are constant-space streaming operators, so the
+//! whole preprocessing chain preserves the segmenter's O(1)-per-sample
+//! guarantee.
+
+use crate::position::{Position, MAX_DIM};
+use crate::sample::Sample;
+use std::collections::VecDeque;
+
+/// A streaming filter over samples.
+pub trait StreamFilter {
+    /// Feeds one sample; returns the filtered sample that falls out of the
+    /// filter, if any (filters with latency emit nothing for the first few
+    /// inputs).
+    fn push(&mut self, s: Sample) -> Option<Sample>;
+
+    /// Flushes any buffered samples at end of stream.
+    fn finish(&mut self) -> Vec<Sample>;
+}
+
+/// Median-of-three spike filter.
+///
+/// Replaces each sample by the component-wise median of itself and its two
+/// neighbours. A lone spike (one wild sample between two sane ones) is
+/// eliminated entirely; genuine signal edges are preserved because medians
+/// do not smear. Emits with one sample of latency.
+#[derive(Debug, Default)]
+pub struct SpikeFilter {
+    buf: VecDeque<Sample>,
+}
+
+impl SpikeFilter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn median3(a: f64, b: f64, c: f64) -> f64 {
+        a.max(b).min(a.max(c).min(b.max(c)))
+    }
+}
+
+impl StreamFilter for SpikeFilter {
+    fn push(&mut self, s: Sample) -> Option<Sample> {
+        self.buf.push_back(s);
+        match self.buf.len() {
+            // The first raw sample has no median window; pass it through so
+            // stream boundaries lose nothing.
+            1 => return Some(s),
+            2 => return None,
+            _ => {}
+        }
+        if self.buf.len() > 3 {
+            self.buf.pop_front();
+        }
+        let (a, b, c) = (self.buf[0], self.buf[1], self.buf[2]);
+        let dim = b.position.dim();
+        let mut coords = [0.0; MAX_DIM];
+        for (i, slot) in coords.iter_mut().take(dim).enumerate() {
+            *slot = Self::median3(a.position[i], b.position[i], c.position[i]);
+        }
+        Some(Sample::new(
+            b.time,
+            Position::from_slice(&coords[..dim]).expect("dim is 1..=3"),
+        ))
+    }
+
+    fn finish(&mut self) -> Vec<Sample> {
+        // The last raw sample never got a median window; pass it through.
+        let out = if self.buf.len() >= 2 {
+            vec![*self.buf.back().expect("len >= 2")]
+        } else {
+            Vec::new()
+        };
+        self.buf.clear();
+        out
+    }
+}
+
+/// Centered moving average of odd width `w`.
+///
+/// Suppresses cardiac-motion oscillation while tracking the slower
+/// breathing envelope. Emits with `w/2` samples of latency.
+#[derive(Debug)]
+pub struct MovingAverage {
+    width: usize,
+    buf: VecDeque<Sample>,
+}
+
+impl MovingAverage {
+    /// Creates a moving average of the given width (rounded up to odd,
+    /// minimum 1).
+    pub fn new(width: usize) -> Self {
+        let w = width.max(1);
+        let w = if w.is_multiple_of(2) { w + 1 } else { w };
+        MovingAverage {
+            width: w,
+            buf: VecDeque::with_capacity(w),
+        }
+    }
+
+    /// Configured (odd) window width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    fn average(&self) -> Sample {
+        let mid = self.buf[self.buf.len() / 2];
+        let dim = mid.position.dim();
+        let mut coords = [0.0; MAX_DIM];
+        for s in &self.buf {
+            for (i, slot) in coords.iter_mut().take(dim).enumerate() {
+                *slot += s.position[i];
+            }
+        }
+        let n = self.buf.len() as f64;
+        for slot in coords.iter_mut().take(dim) {
+            *slot /= n;
+        }
+        Sample::new(
+            mid.time,
+            Position::from_slice(&coords[..dim]).expect("dim is 1..=3"),
+        )
+    }
+}
+
+impl StreamFilter for MovingAverage {
+    fn push(&mut self, s: Sample) -> Option<Sample> {
+        self.buf.push_back(s);
+        if self.buf.len() > self.width {
+            self.buf.pop_front();
+            return Some(self.average());
+        }
+        // Warmup: emit centered averages over shrunken odd windows so the
+        // first width/2 samples are not lost. Each odd length advances the
+        // emitted center by exactly one sample.
+        if self.buf.len() % 2 == 1 {
+            return Some(self.average());
+        }
+        None
+    }
+
+    fn finish(&mut self) -> Vec<Sample> {
+        // Mirror of the warmup: shrink the window from the front two
+        // samples at a time so each emission advances the center by one,
+        // covering the final width/2 samples.
+        let mut out = Vec::new();
+        if self.buf.is_empty() {
+            return out;
+        }
+        if self.buf.len().is_multiple_of(2) {
+            self.buf.pop_front();
+            out.push(self.average());
+        }
+        while self.buf.len() >= 3 {
+            self.buf.pop_front();
+            self.buf.pop_front();
+            out.push(self.average());
+        }
+        self.buf.clear();
+        out
+    }
+}
+
+/// The standard preprocessing chain: spike removal followed by smoothing.
+#[derive(Debug)]
+pub struct PreprocessChain {
+    spike: SpikeFilter,
+    avg: MovingAverage,
+}
+
+impl PreprocessChain {
+    /// Builds the chain with the given moving-average width. Width 1
+    /// effectively disables smoothing (spike filtering still applies).
+    pub fn new(avg_width: usize) -> Self {
+        PreprocessChain {
+            spike: SpikeFilter::new(),
+            avg: MovingAverage::new(avg_width),
+        }
+    }
+}
+
+impl StreamFilter for PreprocessChain {
+    fn push(&mut self, s: Sample) -> Option<Sample> {
+        self.spike.push(s).and_then(|s| self.avg.push(s))
+    }
+
+    fn finish(&mut self) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for s in self.spike.finish() {
+            if let Some(s) = self.avg.push(s) {
+                out.push(s);
+            }
+        }
+        out.extend(self.avg.finish());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run<F: StreamFilter>(f: &mut F, xs: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if let Some(s) = f.push(Sample::new_1d(i as f64, x)) {
+                out.push(s.position[0]);
+            }
+        }
+        out.extend(f.finish().into_iter().map(|s| s.position[0]));
+        out
+    }
+
+    #[test]
+    fn spike_filter_removes_lone_spikes() {
+        let mut f = SpikeFilter::new();
+        let out = run(&mut f, &[1.0, 1.0, 50.0, 1.0, 1.0]);
+        assert!(
+            out.iter().all(|&x| (x - 1.0).abs() < 1e-12),
+            "spike survived: {out:?}"
+        );
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn spike_filter_preserves_edges() {
+        let mut f = SpikeFilter::new();
+        let out = run(&mut f, &[0.0, 0.0, 0.0, 10.0, 10.0, 10.0]);
+        // A genuine step must survive (possibly shifted by one sample).
+        assert!(out.contains(&0.0));
+        assert!(out.contains(&10.0));
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let mut f = MovingAverage::new(3);
+        let out = run(&mut f, &[0.0, 3.0, 0.0, 3.0, 0.0, 3.0]);
+        // Alternating 0/3 averages towards 1.x–2.x in the interior (the
+        // boundary samples only see shrunken windows).
+        for &x in &out[1..out.len() - 1] {
+            assert!(x > 0.5 && x < 2.5, "not smoothed: {out:?}");
+        }
+    }
+
+    #[test]
+    fn moving_average_width_is_odd() {
+        assert_eq!(MovingAverage::new(4).width(), 5);
+        assert_eq!(MovingAverage::new(0).width(), 1);
+        assert_eq!(MovingAverage::new(7).width(), 7);
+    }
+
+    #[test]
+    fn filters_do_not_lose_samples() {
+        for w in [1usize, 3, 5, 9] {
+            let n = 100;
+            let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+            let mut f = PreprocessChain::new(w);
+            let out = run(&mut f, &xs);
+            // Boundary handling may drop at most a couple of samples, never
+            // a window's worth.
+            assert!(
+                out.len() + 3 >= n,
+                "width {w}: {} of {} samples survived",
+                out.len(),
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn short_streams_flush_cleanly() {
+        let mut f = SpikeFilter::new();
+        assert_eq!(run(&mut f, &[1.0]), vec![1.0]);
+        let mut f = SpikeFilter::new();
+        assert_eq!(run(&mut f, &[1.0, 2.0]), vec![1.0, 2.0]);
+        let mut f = MovingAverage::new(5);
+        let out = run(&mut f, &[1.0, 2.0]);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn multidimensional_filtering() {
+        let mut f = SpikeFilter::new();
+        let mut out = Vec::new();
+        for i in 0..5 {
+            let y = if i == 2 { 99.0 } else { 1.0 };
+            let s = Sample::new(i as f64, Position::new_2d(y, 2.0 * y));
+            if let Some(s) = f.push(s) {
+                out.push(s);
+            }
+        }
+        out.extend(f.finish());
+        for s in &out {
+            assert!((s.position[0] - 1.0).abs() < 1e-12);
+            assert!((s.position[1] - 2.0).abs() < 1e-12);
+        }
+    }
+}

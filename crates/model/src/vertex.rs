@@ -1,0 +1,68 @@
+//! PLR vertices (paper Section 3.2).
+
+use crate::position::Position;
+use crate::state::BreathState;
+use serde::{Deserialize, Serialize};
+
+/// A vertex of the piecewise linear representation.
+///
+/// A vertex is the intersection of two adjacent line segments. Following
+/// the paper's data model it carries three elements:
+///
+/// * `time` — both the start time of the segment *beginning* at this vertex
+///   and the end time of the segment *terminating* here;
+/// * `position` — the n-dimensional spatial position at that time;
+/// * `state` — the breathing state of the line segment **beginning** with
+///   this vertex. The final vertex of a stream also stores the state of the
+///   segment it closes (there is no segment after it; keeping the closing
+///   segment's state makes slicing uniform).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vertex {
+    /// Segment boundary time, seconds from stream start.
+    pub time: f64,
+    /// Position at the boundary, millimetres.
+    pub position: Position,
+    /// State of the segment beginning at this vertex.
+    pub state: BreathState,
+}
+
+impl Vertex {
+    /// Creates a vertex.
+    #[inline]
+    pub const fn new(time: f64, position: Position, state: BreathState) -> Self {
+        Vertex {
+            time,
+            position,
+            state,
+        }
+    }
+
+    /// Convenience constructor for 1-D motion.
+    #[inline]
+    pub const fn new_1d(time: f64, x: f64, state: BreathState) -> Self {
+        Vertex {
+            time,
+            position: Position::new_1d(x),
+            state,
+        }
+    }
+
+    /// Value of the classification axis at this vertex.
+    #[inline]
+    pub fn axis_value(&self, axis: usize) -> f64 {
+        self.position[axis]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let v = Vertex::new_1d(1.5, 7.0, BreathState::Inhale);
+        assert_eq!(v.time, 1.5);
+        assert_eq!(v.axis_value(0), 7.0);
+        assert_eq!(v.state, BreathState::Inhale);
+    }
+}

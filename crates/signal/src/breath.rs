@@ -1,0 +1,499 @@
+//! The parametric breathing waveform generator.
+
+use crate::irregular::{EpisodeKind, EpisodePlan};
+use crate::noise::NoiseParams;
+use crate::rng::normal;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+use tsm_model::{Position, Sample};
+
+/// Parameters of one patient's (or one session's) breathing pattern.
+///
+/// The waveform starts each cycle at full inhale, descends through exhale
+/// (a raised-cosine chord), dwells at end-of-exhale, and ascends through
+/// inhale — the shape Figure 4a of the paper sketches. Per-cycle jitter
+/// produces the amplitude/frequency variation of Figure 3a; a baseline
+/// random walk plus optional trend produces the baseline shift of
+/// Figure 3b.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreathingParams {
+    /// Mean cycle period (s).
+    pub period_s: f64,
+    /// Mean peak-to-trough amplitude (mm).
+    pub amplitude_mm: f64,
+    /// Fraction of the cycle spent exhaling.
+    pub ex_fraction: f64,
+    /// Fraction of the cycle dwelling at end of exhale.
+    pub eoe_fraction: f64,
+    /// Relative standard deviation of per-cycle period jitter.
+    pub period_jitter: f64,
+    /// Relative standard deviation of per-cycle amplitude jitter.
+    pub amplitude_jitter: f64,
+    /// Lag-1 autocorrelation of the cycle-to-cycle jitter (real breathing
+    /// drifts: a long slow breath tends to be followed by another). 0
+    /// gives the memoryless white jitter of a naive simulator.
+    pub jitter_autocorrelation: f64,
+    /// Standard deviation of the per-cycle baseline random walk (mm).
+    pub baseline_walk_mm: f64,
+    /// Deterministic baseline trend (mm per minute).
+    pub baseline_trend_mm_per_min: f64,
+    /// Sampling rate (Hz); the paper's imaging system runs at 30 Hz.
+    pub sample_hz: f64,
+    /// Spatial dimensionality of the generated stream (1–3).
+    pub dim: usize,
+    /// Per-axis coupling of the secondary axes to the primary breathing
+    /// displacement (anterior-posterior and left-right tumor motion are
+    /// roughly proportional to superior-inferior motion).
+    pub coupling: [f64; 3],
+}
+
+impl Default for BreathingParams {
+    fn default() -> Self {
+        BreathingParams {
+            period_s: 4.0,
+            amplitude_mm: 12.0,
+            ex_fraction: 0.40,
+            eoe_fraction: 0.25,
+            period_jitter: 0.06,
+            amplitude_jitter: 0.08,
+            jitter_autocorrelation: 0.55,
+            baseline_walk_mm: 0.15,
+            baseline_trend_mm_per_min: 0.0,
+            sample_hz: 30.0,
+            dim: 1,
+            coupling: [1.0, 0.35, 0.15],
+        }
+    }
+}
+
+impl BreathingParams {
+    /// Fraction of the cycle spent inhaling.
+    pub fn in_fraction(&self) -> f64 {
+        (1.0 - self.ex_fraction - self.eoe_fraction).max(0.05)
+    }
+
+    /// Basic sanity check of the parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.5..=30.0).contains(&self.period_s) {
+            return Err(format!("implausible period {}", self.period_s));
+        }
+        if !(0.5..=60.0).contains(&self.amplitude_mm) {
+            return Err(format!("implausible amplitude {}", self.amplitude_mm));
+        }
+        if !(-0.99..=0.99).contains(&self.jitter_autocorrelation) {
+            return Err(format!(
+                "jitter autocorrelation {} must be in (-1, 1)",
+                self.jitter_autocorrelation
+            ));
+        }
+        if self.ex_fraction <= 0.0
+            || self.eoe_fraction < 0.0
+            || self.ex_fraction + self.eoe_fraction >= 0.95
+        {
+            return Err("phase fractions must leave room for inhale".into());
+        }
+        if !(1..=3).contains(&self.dim) {
+            return Err(format!("dim must be 1..=3, got {}", self.dim));
+        }
+        if self.sample_hz <= 0.0 {
+            return Err("sample rate must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// One rendered cycle's realized parameters.
+#[derive(Debug, Clone, Copy)]
+struct CycleSpec {
+    period: f64,
+    amplitude: f64,
+    baseline: f64,
+    eoe_extra: f64,
+    cough: bool,
+}
+
+/// The streaming signal generator.
+///
+/// Deterministic given its seed: the same `(params, noise, episodes, seed)`
+/// always produces the same samples, which keeps every experiment in the
+/// repository reproducible.
+#[derive(Debug)]
+pub struct SignalGenerator {
+    params: BreathingParams,
+    noise: NoiseParams,
+    episodes: EpisodePlan,
+    rng: StdRng,
+    /// AR(1) state of the period jitter, in standard-normal units.
+    period_dev: f64,
+    /// AR(1) state of the amplitude jitter, in standard-normal units.
+    amplitude_dev: f64,
+}
+
+impl SignalGenerator {
+    /// A generator with no noise and no irregular episodes.
+    pub fn new(params: BreathingParams, seed: u64) -> Self {
+        params.validate().expect("invalid breathing parameters");
+        SignalGenerator {
+            params,
+            noise: NoiseParams::clean(),
+            episodes: EpisodePlan::none(),
+            rng: StdRng::seed_from_u64(seed),
+            period_dev: 0.0,
+            amplitude_dev: 0.0,
+        }
+    }
+
+    /// Adds measurement noise.
+    pub fn with_noise(mut self, noise: NoiseParams) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Adds irregular-breathing episodes.
+    pub fn with_episodes(mut self, episodes: EpisodePlan) -> Self {
+        self.episodes = episodes;
+        self
+    }
+
+    /// The breathing parameters in use.
+    pub fn params(&self) -> &BreathingParams {
+        &self.params
+    }
+
+    /// Renders `duration_s` seconds of signal.
+    pub fn generate(&mut self, duration_s: f64) -> Vec<Sample> {
+        let p = self.params;
+        let hz = p.sample_hz;
+        let n = (duration_s * hz).ceil() as usize;
+        let mut out = Vec::with_capacity(n);
+
+        let mut baseline = 0.0f64;
+        let mut t_cycle_start = 0.0f64;
+        let mut shallow_left = 0usize;
+        let mut spec = self.next_cycle(baseline, 0.0, &mut shallow_left);
+        let cardiac_phase: f64 = self.rng.random::<f64>() * 2.0 * PI;
+
+        for i in 0..n {
+            let t = i as f64 / hz;
+            // Advance to the next cycle when the current one ends.
+            while t >= t_cycle_start + spec.period {
+                t_cycle_start += spec.period;
+                baseline = spec.baseline;
+                baseline += normal(&mut self.rng, 0.0, p.baseline_walk_mm);
+                baseline += p.baseline_trend_mm_per_min * spec.period / 60.0;
+                spec = self.next_cycle(baseline, t_cycle_start, &mut shallow_left);
+            }
+            let phase_t = t - t_cycle_start;
+            let mut y = cycle_value(&p, &spec, phase_t);
+
+            if spec.cough {
+                // A sharp transient one third into the cycle.
+                let ct = phase_t - spec.period * 0.33;
+                if ct.abs() < 0.35 {
+                    y += 6.0 * (1.0 - (ct / 0.35).abs()) * (ct * 40.0).sin().signum();
+                }
+            }
+
+            // Noise overlay.
+            if self.noise.cardiac_amplitude_mm > 0.0 {
+                y += self.noise.cardiac_amplitude_mm
+                    * (2.0 * PI * self.noise.cardiac_freq_hz * t + cardiac_phase).sin();
+            }
+            if self.noise.white_sd_mm > 0.0 {
+                y += normal(&mut self.rng, 0.0, self.noise.white_sd_mm);
+            }
+            if self.noise.spike_rate_hz > 0.0
+                && self.rng.random::<f64>() < self.noise.spike_rate_hz / hz
+            {
+                let m = self.noise.spike_magnitude_mm;
+                y += (self.rng.random::<f64>() * 2.0 - 1.0) * m;
+            }
+
+            out.push(Sample::new(t, self.position(y, baseline)));
+        }
+        out
+    }
+
+    fn position(&self, y: f64, baseline: f64) -> Position {
+        let p = &self.params;
+        let rel = y - baseline;
+        match p.dim {
+            1 => Position::new_1d(y),
+            2 => Position::new_2d(y, baseline * 0.3 + rel * p.coupling[1]),
+            _ => Position::new_3d(
+                y,
+                baseline * 0.3 + rel * p.coupling[1],
+                baseline * 0.1 + rel * p.coupling[2],
+            ),
+        }
+    }
+
+    fn next_cycle(&mut self, baseline: f64, t_start: f64, shallow_left: &mut usize) -> CycleSpec {
+        let p = self.params;
+        // AR(1) jitter: dev_k = rho * dev_{k-1} + sqrt(1 - rho^2) * eps_k,
+        // which keeps the stationary variance at 1 for any rho.
+        let rho = p.jitter_autocorrelation;
+        let innovation = (1.0 - rho * rho).max(0.0).sqrt();
+        self.period_dev =
+            rho * self.period_dev + innovation * crate::rng::standard_normal(&mut self.rng);
+        self.amplitude_dev =
+            rho * self.amplitude_dev + innovation * crate::rng::standard_normal(&mut self.rng);
+        let mut period = (p.period_s * (1.0 + p.period_jitter * self.period_dev))
+            .clamp(p.period_s * 0.6, p.period_s * 1.6);
+        let mut amplitude = (p.amplitude_mm * (1.0 + p.amplitude_jitter * self.amplitude_dev))
+            .clamp(p.amplitude_mm * 0.4, p.amplitude_mm * 1.8);
+        let mut eoe_extra = 0.0;
+        let mut cough = false;
+
+        if *shallow_left > 0 {
+            *shallow_left -= 1;
+            period *= 0.55;
+            amplitude *= 0.35;
+        } else if t_start > 0.0 {
+            let prob = self.episodes.probability_per_cycle(period);
+            if prob > 0.0 && self.rng.random::<f64>() < prob {
+                match self.episodes.draw_kind(&mut self.rng) {
+                    EpisodeKind::Cough => cough = true,
+                    EpisodeKind::DeepBreath => {
+                        amplitude *= 2.0;
+                        period *= 1.3;
+                    }
+                    EpisodeKind::BreathHold { duration_s } => eoe_extra = duration_s,
+                    EpisodeKind::ShallowRapid { cycles } => *shallow_left = cycles,
+                }
+            }
+        }
+
+        CycleSpec {
+            period: period + eoe_extra,
+            amplitude,
+            baseline,
+            eoe_extra,
+            cough,
+        }
+    }
+}
+
+/// Value of the clean waveform `phase_t` seconds into a cycle.
+fn cycle_value(p: &BreathingParams, spec: &CycleSpec, phase_t: f64) -> f64 {
+    // The nominal (pre-hold) period sets the phase boundaries; a breath
+    // hold stretches only the dwell.
+    let nominal = spec.period - spec.eoe_extra;
+    let t_ex = p.ex_fraction * nominal;
+    let t_eoe = p.eoe_fraction * nominal + spec.eoe_extra;
+    let t_in = nominal - p.ex_fraction * nominal - p.eoe_fraction * nominal;
+    let a = spec.amplitude;
+    let b = spec.baseline;
+
+    if phase_t < t_ex {
+        let q = phase_t / t_ex;
+        b + a * 0.5 * (1.0 + (PI * q).cos())
+    } else if phase_t < t_ex + t_eoe {
+        // A gentle sag through the dwell keeps it from being perfectly
+        // flat (real signals never are).
+        let q = (phase_t - t_ex) / t_eoe.max(1e-9);
+        b + a * 0.015 * (PI * q).sin()
+    } else {
+        let q = ((phase_t - t_ex - t_eoe) / t_in.max(1e-9)).min(1.0);
+        b + a * 0.5 * (1.0 - (PI * q).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = BreathingParams::default();
+        let a = SignalGenerator::new(p, 42)
+            .with_noise(NoiseParams::typical())
+            .generate(20.0);
+        let b = SignalGenerator::new(p, 42)
+            .with_noise(NoiseParams::typical())
+            .generate(20.0);
+        assert_eq!(a, b);
+        let c = SignalGenerator::new(p, 43)
+            .with_noise(NoiseParams::typical())
+            .generate(20.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sample_count_and_rate() {
+        let p = BreathingParams::default();
+        let s = SignalGenerator::new(p, 1).generate(10.0);
+        assert_eq!(s.len(), 300);
+        assert!((s[1].time - s[0].time - 1.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_matches_params() {
+        let p = BreathingParams {
+            amplitude_mm: 15.0,
+            amplitude_jitter: 0.0,
+            period_jitter: 0.0,
+            baseline_walk_mm: 0.0,
+            ..Default::default()
+        };
+        let s = SignalGenerator::new(p, 2).generate(30.0);
+        let lo = s
+            .iter()
+            .map(|x| x.position[0])
+            .fold(f64::INFINITY, f64::min);
+        let hi = s
+            .iter()
+            .map(|x| x.position[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((hi - lo - 15.0).abs() < 0.5, "range {}", hi - lo);
+    }
+
+    #[test]
+    fn clean_waveform_has_dwell() {
+        let p = BreathingParams {
+            amplitude_jitter: 0.0,
+            period_jitter: 0.0,
+            baseline_walk_mm: 0.0,
+            ..Default::default()
+        };
+        let s = SignalGenerator::new(p, 3).generate(8.0);
+        // Count samples near the trough: should be roughly the dwell
+        // fraction of all samples.
+        let near_trough = s.iter().filter(|x| x.position[0] < 0.5).count();
+        let frac = near_trough as f64 / s.len() as f64;
+        assert!(
+            (0.15..0.45).contains(&frac),
+            "dwell fraction {frac} out of range"
+        );
+    }
+
+    #[test]
+    fn baseline_trend_shifts_signal() {
+        let p = BreathingParams {
+            baseline_trend_mm_per_min: 30.0,
+            baseline_walk_mm: 0.0,
+            ..Default::default()
+        };
+        let s = SignalGenerator::new(p, 4).generate(60.0);
+        let early: f64 = s[..300].iter().map(|x| x.position[0]).sum::<f64>() / 300.0;
+        let late: f64 = s[s.len() - 300..]
+            .iter()
+            .map(|x| x.position[0])
+            .sum::<f64>()
+            / 300.0;
+        assert!(
+            late - early > 15.0,
+            "baseline trend not visible: {early} -> {late}"
+        );
+    }
+
+    #[test]
+    fn multidimensional_streams_couple_axes() {
+        let p = BreathingParams {
+            dim: 3,
+            ..Default::default()
+        };
+        let s = SignalGenerator::new(p, 5).generate(10.0);
+        assert!(s.iter().all(|x| x.position.dim() == 3));
+        // The secondary axis must move, but less than the primary.
+        let range = |axis: usize| {
+            let lo = s
+                .iter()
+                .map(|x| x.position[axis])
+                .fold(f64::INFINITY, f64::min);
+            let hi = s
+                .iter()
+                .map(|x| x.position[axis])
+                .fold(f64::NEG_INFINITY, f64::max);
+            hi - lo
+        };
+        assert!(range(1) > 1.0);
+        assert!(range(1) < range(0));
+        assert!(range(2) < range(1));
+    }
+
+    #[test]
+    fn episodes_disturb_regularity() {
+        let p = BreathingParams::default();
+        let clean = SignalGenerator::new(p, 6).generate(120.0);
+        let eventful = SignalGenerator::new(p, 6)
+            .with_episodes(EpisodePlan::frequent())
+            .generate(120.0);
+        // With frequent episodes the signals must differ substantially.
+        let diff: f64 = clean
+            .iter()
+            .zip(&eventful)
+            .map(|(a, b)| (a.position[0] - b.position[0]).abs())
+            .sum::<f64>()
+            / clean.len() as f64;
+        assert!(
+            diff > 0.5,
+            "episodes changed nothing (mean abs diff {diff})"
+        );
+    }
+
+    #[test]
+    fn jitter_autocorrelation_is_realized() {
+        use tsm_model::{segment_signal, CycleExtractor, PlrTrajectory, SegmenterConfig};
+        let lag1 = |rho: f64| -> f64 {
+            let p = BreathingParams {
+                period_jitter: 0.10,
+                amplitude_jitter: 0.0,
+                baseline_walk_mm: 0.0,
+                jitter_autocorrelation: rho,
+                ..Default::default()
+            };
+            let samples = SignalGenerator::new(p, 31).generate(600.0);
+            let vertices = segment_signal(&samples, SegmenterConfig::clean());
+            let plr = PlrTrajectory::from_vertices(vertices).unwrap();
+            let periods: Vec<f64> = CycleExtractor::new(0)
+                .cycles(&plr)
+                .iter()
+                .map(|c| c.period())
+                .collect();
+            assert!(periods.len() > 100, "only {} cycles", periods.len());
+            let mean = periods.iter().sum::<f64>() / periods.len() as f64;
+            let var = periods.iter().map(|x| (x - mean).powi(2)).sum::<f64>();
+            let cov = periods
+                .windows(2)
+                .map(|w| (w[0] - mean) * (w[1] - mean))
+                .sum::<f64>();
+            cov / var
+        };
+        let r_high = lag1(0.7);
+        let r_zero = lag1(0.0);
+        assert!(r_high > 0.3, "AR(1) not realized: lag-1 = {r_high:.3}");
+        assert!(
+            r_zero.abs() < 0.25,
+            "white jitter shows spurious autocorrelation: {r_zero:.3}"
+        );
+        assert!(r_high > r_zero + 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid breathing parameters")]
+    fn invalid_params_panic() {
+        let p = BreathingParams {
+            period_s: 0.0,
+            ..Default::default()
+        };
+        let _ = SignalGenerator::new(p, 0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_fractions() {
+        let p = BreathingParams {
+            ex_fraction: 0.9,
+            eoe_fraction: 0.2,
+            ..Default::default()
+        };
+        assert!(p.validate().is_err());
+        let p = BreathingParams {
+            dim: 4,
+            ..Default::default()
+        };
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! Structured signals from other domains (paper Section 6).
+//!
+//! The paper argues its framework applies to "any motion with structured
+//! time series data, which can be described by a finite set of linear
+//! states" and sketches four examples: heartbeat analysis, mechanical
+//! instruments, robot arms on assembly lines, and tides. This module
+//! synthesizes three of those signal families so the generalization
+//! example can run the full pipeline on them.
+
+use crate::rng::normal;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+use tsm_model::Sample;
+
+/// A robot-arm / mechanical-actuator motion profile: extend, dwell,
+/// retract — structurally identical to inhale / end-of-exhale / exhale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActuatorParams {
+    /// Full cycle period (s).
+    pub cycle_s: f64,
+    /// Stroke length (mm).
+    pub stroke_mm: f64,
+    /// Fraction of the cycle spent extending.
+    pub extend_fraction: f64,
+    /// Fraction of the cycle dwelling at the retracted stop.
+    pub dwell_fraction: f64,
+    /// Sampling rate (Hz).
+    pub sample_hz: f64,
+    /// Positioning noise (mm).
+    pub jitter_mm: f64,
+    /// Probability per cycle of a fault (stutter mid-stroke).
+    pub fault_rate: f64,
+}
+
+impl Default for ActuatorParams {
+    fn default() -> Self {
+        ActuatorParams {
+            cycle_s: 2.0,
+            stroke_mm: 50.0,
+            extend_fraction: 0.35,
+            dwell_fraction: 0.3,
+            sample_hz: 50.0,
+            jitter_mm: 0.2,
+            fault_rate: 0.02,
+        }
+    }
+}
+
+/// Renders `duration_s` seconds of actuator motion (trapezoidal profile
+/// with dwell at the retracted stop).
+pub fn actuator_signal(params: ActuatorParams, seed: u64, duration_s: f64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = (duration_s * params.sample_hz) as usize;
+    let mut out = Vec::with_capacity(n);
+    let t_ret = params.cycle_s * (1.0 - params.extend_fraction - params.dwell_fraction);
+    let t_dwell = params.cycle_s * params.dwell_fraction;
+    let t_ext = params.cycle_s * params.extend_fraction;
+    let mut fault_cycle = usize::MAX;
+    for i in 0..n {
+        let t = i as f64 / params.sample_hz;
+        let cycle_ix = (t / params.cycle_s) as usize;
+        let phase = t - cycle_ix as f64 * params.cycle_s;
+        if phase < 1.0 / params.sample_hz && rng.random::<f64>() < params.fault_rate {
+            fault_cycle = cycle_ix;
+        }
+        // Retract (down) -> dwell -> extend (up), starting extended.
+        let mut y = if phase < t_ret {
+            params.stroke_mm * (1.0 - phase / t_ret)
+        } else if phase < t_ret + t_dwell {
+            0.0
+        } else {
+            params.stroke_mm * ((phase - t_ret - t_dwell) / t_ext).min(1.0)
+        };
+        if cycle_ix == fault_cycle && phase < t_ret {
+            // Fault: the arm bounces back mid-stroke (a V-shaped retract) —
+            // an out-of-order motion the state automaton flags as
+            // irregular.
+            let p = phase / t_ret;
+            y = if p < 0.5 {
+                params.stroke_mm * (1.0 - p)
+            } else {
+                params.stroke_mm * p
+            };
+        }
+        y += normal(&mut rng, 0.0, params.jitter_mm);
+        out.push(Sample::new_1d(t, y));
+    }
+    out
+}
+
+/// Tidal water-level parameters: semidiurnal tide with spring/neap
+/// modulation and weather noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TideParams {
+    /// Principal lunar semidiurnal period (hours); M2 is 12.42 h.
+    pub m2_period_h: f64,
+    /// Mean tidal range (m).
+    pub range_m: f64,
+    /// Spring/neap modulation depth (0–1).
+    pub spring_neap_depth: f64,
+    /// Weather-driven level noise (m).
+    pub weather_sd_m: f64,
+    /// Samples per hour.
+    pub samples_per_hour: f64,
+}
+
+impl Default for TideParams {
+    fn default() -> Self {
+        TideParams {
+            m2_period_h: 12.42,
+            range_m: 4.0,
+            spring_neap_depth: 0.4,
+            weather_sd_m: 0.05,
+            samples_per_hour: 6.0,
+        }
+    }
+}
+
+/// Renders `duration_h` hours of tidal water level. Times in the returned
+/// samples are in **hours** (one "second" of model time per hour), so the
+/// same segmentation machinery applies unchanged.
+pub fn tide_signal(params: TideParams, seed: u64, duration_h: f64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = (duration_h * params.samples_per_hour) as usize;
+    let spring_period_h = 14.77 * 24.0; // spring-neap cycle
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / params.samples_per_hour;
+            let envelope = 1.0
+                - params.spring_neap_depth * 0.5 * (1.0 - (2.0 * PI * t / spring_period_h).cos());
+            let level = params.range_m * 0.5 * envelope * (2.0 * PI * t / params.m2_period_h).cos()
+                + normal(&mut rng, 0.0, params.weather_sd_m);
+            Sample::new_1d(t, level)
+        })
+        .collect()
+}
+
+/// Cardiac displacement parameters: a sharp systolic spike, a dicrotic
+/// bump, and diastolic rest.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatParams {
+    /// Heart rate (beats per minute).
+    pub bpm: f64,
+    /// Displacement amplitude (mm).
+    pub amplitude_mm: f64,
+    /// Beat-to-beat interval jitter (relative sd) — heart-rate
+    /// variability.
+    pub hrv: f64,
+    /// Sampling rate (Hz).
+    pub sample_hz: f64,
+    /// Measurement noise (mm).
+    pub noise_mm: f64,
+}
+
+impl Default for HeartbeatParams {
+    fn default() -> Self {
+        HeartbeatParams {
+            bpm: 70.0,
+            amplitude_mm: 3.0,
+            hrv: 0.05,
+            sample_hz: 100.0,
+            noise_mm: 0.05,
+        }
+    }
+}
+
+/// Renders `duration_s` seconds of heartbeat-like displacement.
+pub fn heartbeat_signal(params: HeartbeatParams, seed: u64, duration_s: f64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = (duration_s * params.sample_hz) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut beat_start = 0.0;
+    let mut beat_len = 60.0 / params.bpm;
+    for i in 0..n {
+        let t = i as f64 / params.sample_hz;
+        while t >= beat_start + beat_len {
+            beat_start += beat_len;
+            beat_len = (60.0 / params.bpm) * (1.0 + params.hrv * normal(&mut rng, 0.0, 1.0));
+            beat_len = beat_len.max(0.3);
+        }
+        let p = (t - beat_start) / beat_len;
+        // Systolic upstroke and decay, dicrotic bump, rest.
+        let y = if p < 0.12 {
+            (p / 0.12) * params.amplitude_mm
+        } else if p < 0.35 {
+            params.amplitude_mm * (1.0 - (p - 0.12) / 0.23)
+        } else if p < 0.5 {
+            params.amplitude_mm * 0.18 * ((p - 0.35) / 0.15 * PI).sin()
+        } else {
+            0.0
+        };
+        out.push(Sample::new_1d(
+            t,
+            y + normal(&mut rng, 0.0, params.noise_mm),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actuator_covers_full_stroke() {
+        let p = ActuatorParams::default();
+        let s = actuator_signal(p, 1, 20.0);
+        let hi = s
+            .iter()
+            .map(|x| x.position[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let lo = s
+            .iter()
+            .map(|x| x.position[0])
+            .fold(f64::INFINITY, f64::min);
+        assert!((hi - lo - p.stroke_mm).abs() < 3.0, "stroke {}", hi - lo);
+    }
+
+    #[test]
+    fn actuator_is_deterministic() {
+        let p = ActuatorParams::default();
+        assert_eq!(actuator_signal(p, 5, 10.0), actuator_signal(p, 5, 10.0));
+    }
+
+    #[test]
+    fn tide_period_is_semidiurnal() {
+        let p = TideParams {
+            weather_sd_m: 0.0,
+            spring_neap_depth: 0.0,
+            ..Default::default()
+        };
+        let s = tide_signal(p, 2, 72.0);
+        // Count zero crossings: expect ~2 per 12.42 h.
+        let crossings = s
+            .windows(2)
+            .filter(|w| w[0].position[0].signum() != w[1].position[0].signum())
+            .count();
+        let expected = (72.0 / p.m2_period_h * 2.0).round() as usize;
+        assert!(
+            (crossings as i64 - expected as i64).abs() <= 1,
+            "{crossings} crossings, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn heartbeat_rate_matches_bpm() {
+        let p = HeartbeatParams {
+            hrv: 0.0,
+            noise_mm: 0.0,
+            ..Default::default()
+        };
+        let s = heartbeat_signal(p, 3, 60.0);
+        // Count systolic peaks: samples above 90% amplitude where the
+        // previous sample was below.
+        let th = p.amplitude_mm * 0.9;
+        let peaks = s
+            .windows(2)
+            .filter(|w| w[0].position[0] < th && w[1].position[0] >= th)
+            .count();
+        assert!(
+            (peaks as f64 - p.bpm).abs() <= 2.0,
+            "{peaks} beats in a minute at {} bpm",
+            p.bpm
+        );
+    }
+
+    #[test]
+    fn heartbeat_rests_at_baseline() {
+        let p = HeartbeatParams {
+            noise_mm: 0.0,
+            hrv: 0.0,
+            ..Default::default()
+        };
+        let s = heartbeat_signal(p, 4, 10.0);
+        let at_rest = s.iter().filter(|x| x.position[0].abs() < 1e-9).count();
+        assert!(
+            at_rest as f64 > 0.3 * s.len() as f64,
+            "rest fraction {}",
+            at_rest as f64 / s.len() as f64
+        );
+    }
+}

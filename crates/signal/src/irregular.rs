@@ -1,0 +1,182 @@
+//! Irregular-breathing episode injection.
+//!
+//! Respiratory motion "can include frequency changes, amplitude changes,
+//! base line shifting, or combinations of these effects" and outright
+//! irregular stretches. The simulator injects four archetypal episode
+//! kinds, each of which the online segmenter should flag `IRR` (or at
+//! least detect as a disruption of the regular cycle pattern).
+
+use serde::{Deserialize, Serialize};
+
+/// A kind of irregular-breathing event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EpisodeKind {
+    /// A sharp transient superimposed mid-cycle.
+    Cough,
+    /// One cycle with roughly double amplitude and a longer period.
+    DeepBreath,
+    /// The end-of-exhale dwell extended to `duration_s` seconds.
+    BreathHold {
+        /// Length of the hold in seconds.
+        duration_s: f64,
+    },
+    /// A run of `cycles` shallow, rapid cycles.
+    ShallowRapid {
+        /// Number of affected cycles.
+        cycles: usize,
+    },
+}
+
+/// Stochastic plan controlling how often and which episodes occur.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpisodePlan {
+    /// Mean number of episodes per minute of signal.
+    pub rate_per_min: f64,
+    /// Relative weight of coughs.
+    pub w_cough: f64,
+    /// Relative weight of deep breaths.
+    pub w_deep: f64,
+    /// Relative weight of breath holds.
+    pub w_hold: f64,
+    /// Relative weight of shallow-rapid runs.
+    pub w_shallow: f64,
+}
+
+impl EpisodePlan {
+    /// No episodes at all: perfectly regular breathing.
+    pub const fn none() -> Self {
+        EpisodePlan {
+            rate_per_min: 0.0,
+            w_cough: 1.0,
+            w_deep: 1.0,
+            w_hold: 1.0,
+            w_shallow: 1.0,
+        }
+    }
+
+    /// A typical patient: roughly one episode every two minutes.
+    pub const fn occasional() -> Self {
+        EpisodePlan {
+            rate_per_min: 0.5,
+            w_cough: 1.0,
+            w_deep: 2.0,
+            w_hold: 0.5,
+            w_shallow: 1.0,
+        }
+    }
+
+    /// A restless patient: several episodes per minute.
+    pub const fn frequent() -> Self {
+        EpisodePlan {
+            rate_per_min: 2.5,
+            w_cough: 2.0,
+            w_deep: 2.0,
+            w_hold: 1.0,
+            w_shallow: 2.0,
+        }
+    }
+
+    /// Probability that an episode starts within a cycle of length
+    /// `period_s`.
+    pub fn probability_per_cycle(&self, period_s: f64) -> f64 {
+        (self.rate_per_min * period_s / 60.0).clamp(0.0, 1.0)
+    }
+
+    /// Draws an episode kind according to the weights.
+    pub fn draw_kind<R: rand::RngExt + ?Sized>(&self, rng: &mut R) -> EpisodeKind {
+        let total = self.w_cough + self.w_deep + self.w_hold + self.w_shallow;
+        let mut x: f64 = rng.random::<f64>() * total.max(f64::MIN_POSITIVE);
+        if x < self.w_cough {
+            return EpisodeKind::Cough;
+        }
+        x -= self.w_cough;
+        if x < self.w_deep {
+            return EpisodeKind::DeepBreath;
+        }
+        x -= self.w_deep;
+        if x < self.w_hold {
+            let duration_s = 3.0 + 7.0 * rng.random::<f64>();
+            return EpisodeKind::BreathHold { duration_s };
+        }
+        let cycles = 2 + (rng.random::<f64>() * 3.0) as usize;
+        EpisodeKind::ShallowRapid { cycles }
+    }
+}
+
+impl Default for EpisodePlan {
+    fn default() -> Self {
+        Self::occasional()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_never_fires() {
+        assert_eq!(EpisodePlan::none().probability_per_cycle(4.0), 0.0);
+    }
+
+    #[test]
+    fn probability_scales_with_rate_and_period() {
+        let p = EpisodePlan::occasional();
+        assert!(p.probability_per_cycle(6.0) > p.probability_per_cycle(3.0));
+        let f = EpisodePlan::frequent();
+        assert!(f.probability_per_cycle(4.0) > p.probability_per_cycle(4.0));
+        // Clamped to a probability.
+        let crazy = EpisodePlan {
+            rate_per_min: 1e6,
+            ..EpisodePlan::frequent()
+        };
+        assert_eq!(crazy.probability_per_cycle(60.0), 1.0);
+    }
+
+    #[test]
+    fn draw_respects_zero_weights() {
+        let plan = EpisodePlan {
+            rate_per_min: 1.0,
+            w_cough: 0.0,
+            w_deep: 0.0,
+            w_hold: 0.0,
+            w_shallow: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert!(matches!(
+                plan.draw_kind(&mut rng),
+                EpisodeKind::ShallowRapid { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn draw_produces_all_kinds_with_equal_weights() {
+        let plan = EpisodePlan {
+            rate_per_min: 1.0,
+            w_cough: 1.0,
+            w_deep: 1.0,
+            w_hold: 1.0,
+            w_shallow: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            match plan.draw_kind(&mut rng) {
+                EpisodeKind::Cough => seen[0] = true,
+                EpisodeKind::DeepBreath => seen[1] = true,
+                EpisodeKind::BreathHold { duration_s } => {
+                    assert!((3.0..=10.0).contains(&duration_s));
+                    seen[2] = true;
+                }
+                EpisodeKind::ShallowRapid { cycles } => {
+                    assert!((2..=5).contains(&cycles));
+                    seen[3] = true;
+                }
+            }
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+}

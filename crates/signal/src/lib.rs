@@ -1,0 +1,42 @@
+//! # tsm-signal
+//!
+//! Synthetic structured-time-series generation: the data substrate for the
+//! SIGMOD 2005 subsequence-matching reproduction.
+//!
+//! The original paper evaluates on >2,000,000 raw data points from 42 real
+//! patients (~1200 treatment sessions) imaged at 30 Hz by the Hokkaido
+//! real-time tumor tracking system. That data is not publicly available,
+//! so this crate synthesizes the closest equivalent: a parametric
+//! respiratory-motion model that reproduces every phenomenon the paper's
+//! method must cope with —
+//!
+//! * the three-phase cycle structure (exhale / end-of-exhale dwell /
+//!   inhale) the finite state model captures;
+//! * cycle-to-cycle **amplitude and frequency changes** (paper Figure 3a);
+//! * **baseline shift** of the exhale-end position (Figure 3b);
+//! * **cardiac motion** — short-period oscillation superimposed on the
+//!   breathing signal (Figure 3c);
+//! * **spike noise** from the acquisition process (Figure 3d);
+//! * **irregular breathing** episodes: coughs, deep breaths, breath holds,
+//!   shallow rapid breathing;
+//! * **patient-specific** breathing: patients are drawn from latent
+//!   phenotype classes, giving the clustering and correlation-discovery
+//!   experiments a known ground truth.
+//!
+//! Beyond respiration, [`generalize`] provides the other structured-motion
+//! domains sketched in the paper's Section 6 (mechanical actuators, tides,
+//! heartbeat) for the generalization example.
+
+pub mod breath;
+pub mod cohort;
+pub mod generalize;
+pub mod irregular;
+pub mod noise;
+pub mod patient;
+pub mod rng;
+
+pub use breath::{BreathingParams, SignalGenerator};
+pub use cohort::{CohortConfig, SyntheticCohort, SyntheticPatient, SyntheticSession};
+pub use irregular::{EpisodeKind, EpisodePlan};
+pub use noise::NoiseParams;
+pub use patient::{PatientProfile, Phenotype, Sex, TumorSite};

@@ -1,0 +1,83 @@
+//! Noise models for the raw tracking signal (paper Figure 3c/d).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the three noise processes superimposed on the clean
+/// breathing waveform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseParams {
+    /// Amplitude of the cardiac-motion oscillation (mm). The paper calls
+    /// cardiac motion "a major contributor to noise by adding short-term
+    /// oscillations to long term breathing signals".
+    pub cardiac_amplitude_mm: f64,
+    /// Cardiac frequency (Hz); resting heart rates put this at 1.0–1.5 Hz.
+    pub cardiac_freq_hz: f64,
+    /// Standard deviation of white measurement noise (mm).
+    pub white_sd_mm: f64,
+    /// Poisson rate of spike-noise artifacts (events per second).
+    pub spike_rate_hz: f64,
+    /// Maximum magnitude of a spike (mm); actual spikes are uniform in
+    /// `[-max, max]`.
+    pub spike_magnitude_mm: f64,
+}
+
+impl NoiseParams {
+    /// No noise at all: the clean PLR-able waveform.
+    pub const fn clean() -> Self {
+        NoiseParams {
+            cardiac_amplitude_mm: 0.0,
+            cardiac_freq_hz: 1.2,
+            white_sd_mm: 0.0,
+            spike_rate_hz: 0.0,
+            spike_magnitude_mm: 0.0,
+        }
+    }
+
+    /// Noise levels typical of fluoroscopic marker tracking.
+    pub const fn typical() -> Self {
+        NoiseParams {
+            cardiac_amplitude_mm: 0.4,
+            cardiac_freq_hz: 1.2,
+            white_sd_mm: 0.12,
+            spike_rate_hz: 0.08,
+            spike_magnitude_mm: 6.0,
+        }
+    }
+
+    /// Pronounced cardiac interference (tumors near the heart).
+    pub const fn cardiac_prominent() -> Self {
+        NoiseParams {
+            cardiac_amplitude_mm: 1.0,
+            cardiac_freq_hz: 1.35,
+            white_sd_mm: 0.12,
+            spike_rate_hz: 0.08,
+            spike_magnitude_mm: 6.0,
+        }
+    }
+
+    /// Whether every component is switched off.
+    pub fn is_clean(&self) -> bool {
+        self.cardiac_amplitude_mm == 0.0 && self.white_sd_mm == 0.0 && self.spike_rate_hz == 0.0
+    }
+}
+
+impl Default for NoiseParams {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(NoiseParams::clean().is_clean());
+        assert!(!NoiseParams::typical().is_clean());
+        assert!(
+            NoiseParams::cardiac_prominent().cardiac_amplitude_mm
+                > NoiseParams::typical().cardiac_amplitude_mm
+        );
+    }
+}

@@ -1,0 +1,351 @@
+//! Patient profiles and latent breathing phenotypes.
+//!
+//! The paper's second goal is "to find a correlation between respiratory
+//! motion and patient physiological conditions" — tumor location, patient
+//! characteristics, treatment history. For the synthetic cohort we *build
+//! in* such correlations: every patient is drawn from a latent
+//! [`Phenotype`] that determines both the breathing-parameter
+//! distributions and (stochastically) the recorded physiological
+//! attributes. The clustering and correlation-discovery experiments then
+//! have a known ground truth to recover.
+
+use crate::breath::BreathingParams;
+use crate::irregular::EpisodePlan;
+use crate::noise::NoiseParams;
+use crate::rng::clamped_normal;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Latent breathing phenotype — the ground-truth cluster label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phenotype {
+    /// Large, slow, very regular breathing.
+    DeepSlow,
+    /// Small, quick, regular breathing.
+    ShallowFast,
+    /// Medium breathing with pronounced baseline drift.
+    Drifter,
+    /// Medium breathing with heavy cycle-to-cycle variation and frequent
+    /// irregular episodes.
+    Erratic,
+}
+
+impl Phenotype {
+    /// All phenotypes.
+    pub const ALL: [Phenotype; 4] = [
+        Phenotype::DeepSlow,
+        Phenotype::ShallowFast,
+        Phenotype::Drifter,
+        Phenotype::Erratic,
+    ];
+
+    /// Canonical index (stable across runs; used as the ground-truth label
+    /// in clustering experiments).
+    pub fn index(self) -> usize {
+        match self {
+            Phenotype::DeepSlow => 0,
+            Phenotype::ShallowFast => 1,
+            Phenotype::Drifter => 2,
+            Phenotype::Erratic => 3,
+        }
+    }
+
+    /// Mean breathing parameters of this phenotype.
+    pub fn mean_params(self) -> BreathingParams {
+        match self {
+            Phenotype::DeepSlow => BreathingParams {
+                period_s: 5.4,
+                amplitude_mm: 19.0,
+                eoe_fraction: 0.30,
+                period_jitter: 0.04,
+                amplitude_jitter: 0.05,
+                baseline_walk_mm: 0.10,
+                ..Default::default()
+            },
+            Phenotype::ShallowFast => BreathingParams {
+                period_s: 2.9,
+                amplitude_mm: 6.0,
+                eoe_fraction: 0.20,
+                period_jitter: 0.06,
+                amplitude_jitter: 0.08,
+                baseline_walk_mm: 0.10,
+                ..Default::default()
+            },
+            // Note: the subsequence distance is offset-translation
+            // insensitive by design, so baseline drift alone cannot
+            // separate the Drifter class — each phenotype also differs in
+            // the amplitude/period/dwell *shape* features the distance
+            // does see.
+            Phenotype::Drifter => BreathingParams {
+                period_s: 4.6,
+                amplitude_mm: 10.0,
+                eoe_fraction: 0.33,
+                period_jitter: 0.07,
+                amplitude_jitter: 0.08,
+                baseline_walk_mm: 0.6,
+                baseline_trend_mm_per_min: 1.5,
+                ..Default::default()
+            },
+            Phenotype::Erratic => BreathingParams {
+                period_s: 3.3,
+                amplitude_mm: 14.5,
+                eoe_fraction: 0.16,
+                period_jitter: 0.14,
+                amplitude_jitter: 0.12,
+                baseline_walk_mm: 0.3,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Episode plan of this phenotype.
+    pub fn episode_plan(self) -> EpisodePlan {
+        match self {
+            Phenotype::DeepSlow => EpisodePlan {
+                rate_per_min: 0.1,
+                ..EpisodePlan::occasional()
+            },
+            Phenotype::ShallowFast => EpisodePlan {
+                rate_per_min: 0.3,
+                ..EpisodePlan::occasional()
+            },
+            Phenotype::Drifter => EpisodePlan::occasional(),
+            Phenotype::Erratic => EpisodePlan::frequent(),
+        }
+    }
+
+    /// Noise level of this phenotype.
+    pub fn noise(self) -> NoiseParams {
+        match self {
+            Phenotype::ShallowFast => NoiseParams::cardiac_prominent(),
+            _ => NoiseParams::typical(),
+        }
+    }
+}
+
+/// Biological sex, one of the recorded patient characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sex {
+    /// Female.
+    Female,
+    /// Male.
+    Male,
+}
+
+/// Anatomical site of the tracked tumor. The paper's correlation-discovery
+/// application asks whether motion patterns cluster by site; the synthetic
+/// cohort correlates site with phenotype so the answer is "yes" by
+/// construction (diaphragm-adjacent sites move more).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TumorSite {
+    /// Upper lobe of the lung — far from the diaphragm, small motion.
+    LungUpperLobe,
+    /// Middle lobe / lingula.
+    LungMiddleLobe,
+    /// Lower lobe of the lung — diaphragm-adjacent, large motion.
+    LungLowerLobe,
+    /// Liver.
+    Liver,
+    /// Pancreas.
+    Pancreas,
+}
+
+impl TumorSite {
+    /// All sites.
+    pub const ALL: [TumorSite; 5] = [
+        TumorSite::LungUpperLobe,
+        TumorSite::LungMiddleLobe,
+        TumorSite::LungLowerLobe,
+        TumorSite::Liver,
+        TumorSite::Pancreas,
+    ];
+}
+
+/// A patient's recorded (non-motion) attributes plus the latent phenotype.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatientProfile {
+    /// Patient age in years.
+    pub age: u32,
+    /// Biological sex.
+    pub sex: Sex,
+    /// Tumor site.
+    pub tumor_site: TumorSite,
+    /// Tumor diameter (mm).
+    pub tumor_size_mm: f64,
+    /// Whether the tumor is a recurrence (vs primary).
+    pub recurrent: bool,
+    /// Implanted marker diameter (mm).
+    pub marker_size_mm: f64,
+    /// The latent breathing phenotype (ground truth for clustering; a real
+    /// deployment would not have this column).
+    pub phenotype: Phenotype,
+    /// This patient's personal breathing parameters (drawn around the
+    /// phenotype means).
+    pub base_params: BreathingParams,
+}
+
+impl PatientProfile {
+    /// Samples a patient of the given phenotype.
+    pub fn sample<R: Rng + ?Sized>(phenotype: Phenotype, rng: &mut R) -> Self {
+        let m = phenotype.mean_params();
+        let base_params = BreathingParams {
+            period_s: clamped_normal(rng, m.period_s, 0.15, 2.6, 7.0),
+            amplitude_mm: clamped_normal(rng, m.amplitude_mm, m.amplitude_mm * 0.07, 3.0, 30.0),
+            eoe_fraction: clamped_normal(rng, m.eoe_fraction, 0.02, 0.12, 0.4),
+            ..m
+        };
+        let tumor_site = Self::sample_site(phenotype, rng);
+        PatientProfile {
+            age: 45 + (rng.random::<f64>() * 35.0) as u32,
+            sex: if rng.random::<f64>() < 0.45 {
+                Sex::Female
+            } else {
+                Sex::Male
+            },
+            tumor_site,
+            tumor_size_mm: 8.0 + rng.random::<f64>() * 40.0,
+            recurrent: rng.random::<f64>() < 0.3,
+            marker_size_mm: 1.5 + rng.random::<f64>() * 1.0,
+            phenotype,
+            base_params,
+        }
+    }
+
+    /// Site distribution conditioned on phenotype (the built-in
+    /// correlation: big movers sit near the diaphragm).
+    fn sample_site<R: Rng + ?Sized>(phenotype: Phenotype, rng: &mut R) -> TumorSite {
+        let x: f64 = rng.random();
+        match phenotype {
+            Phenotype::DeepSlow => {
+                if x < 0.55 {
+                    TumorSite::LungLowerLobe
+                } else if x < 0.85 {
+                    TumorSite::Liver
+                } else {
+                    TumorSite::LungMiddleLobe
+                }
+            }
+            Phenotype::ShallowFast => {
+                if x < 0.65 {
+                    TumorSite::LungUpperLobe
+                } else if x < 0.85 {
+                    TumorSite::LungMiddleLobe
+                } else {
+                    TumorSite::Pancreas
+                }
+            }
+            Phenotype::Drifter => {
+                if x < 0.45 {
+                    TumorSite::Liver
+                } else if x < 0.75 {
+                    TumorSite::Pancreas
+                } else {
+                    TumorSite::LungLowerLobe
+                }
+            }
+            Phenotype::Erratic => {
+                // No site preference: erratic breathing is behavioural.
+                TumorSite::ALL[(x * 5.0) as usize % 5]
+            }
+        }
+    }
+
+    /// Per-session breathing parameters: the patient's base pattern with a
+    /// small day-to-day perturbation.
+    pub fn session_params<R: Rng + ?Sized>(&self, rng: &mut R) -> BreathingParams {
+        let b = self.base_params;
+        BreathingParams {
+            period_s: clamped_normal(rng, b.period_s, b.period_s * 0.04, 2.6, 7.5),
+            amplitude_mm: clamped_normal(rng, b.amplitude_mm, b.amplitude_mm * 0.06, 2.5, 32.0),
+            ..b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn phenotype_params_are_valid() {
+        for ph in Phenotype::ALL {
+            ph.mean_params().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn sampled_patients_are_valid_and_phenotype_shaped() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for ph in Phenotype::ALL {
+            for _ in 0..20 {
+                let p = PatientProfile::sample(ph, &mut rng);
+                p.base_params.validate().unwrap();
+                assert_eq!(p.phenotype, ph);
+                assert!((45..=80).contains(&p.age));
+            }
+        }
+    }
+
+    #[test]
+    fn phenotypes_are_separable_in_parameter_space() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let deep: Vec<f64> = (0..30)
+            .map(|_| {
+                PatientProfile::sample(Phenotype::DeepSlow, &mut rng)
+                    .base_params
+                    .amplitude_mm
+            })
+            .collect();
+        let shallow: Vec<f64> = (0..30)
+            .map(|_| {
+                PatientProfile::sample(Phenotype::ShallowFast, &mut rng)
+                    .base_params
+                    .amplitude_mm
+            })
+            .collect();
+        let min_deep = deep.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_shallow = shallow.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            min_deep > max_shallow,
+            "phenotypes overlap: deep >= {min_deep}, shallow <= {max_shallow}"
+        );
+    }
+
+    #[test]
+    fn site_correlates_with_phenotype() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let lower_lobe_deep = (0..200)
+            .filter(|_| {
+                PatientProfile::sample(Phenotype::DeepSlow, &mut rng).tumor_site
+                    == TumorSite::LungLowerLobe
+            })
+            .count();
+        let lower_lobe_shallow = (0..200)
+            .filter(|_| {
+                PatientProfile::sample(Phenotype::ShallowFast, &mut rng).tumor_site
+                    == TumorSite::LungLowerLobe
+            })
+            .count();
+        assert!(
+            lower_lobe_deep > lower_lobe_shallow + 50,
+            "site correlation missing: {lower_lobe_deep} vs {lower_lobe_shallow}"
+        );
+    }
+
+    #[test]
+    fn session_params_stay_close_to_base() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let p = PatientProfile::sample(Phenotype::DeepSlow, &mut rng);
+        for _ in 0..20 {
+            let s = p.session_params(&mut rng);
+            s.validate().unwrap();
+            assert!((s.period_s - p.base_params.period_s).abs() < p.base_params.period_s * 0.25);
+            assert!(
+                (s.amplitude_mm - p.base_params.amplitude_mm).abs()
+                    < p.base_params.amplitude_mm * 0.35
+            );
+        }
+    }
+}

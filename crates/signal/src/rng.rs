@@ -1,0 +1,81 @@
+//! Small random-sampling helpers on top of `rand`.
+//!
+//! The offline crate set does not include `rand_distr`, so the Gaussian and
+//! Poisson-interval samplers the simulator needs are implemented here.
+
+use rand::{Rng, RngExt};
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Normal sample clamped to `[lo, hi]` — used for physical parameters that
+/// must stay in a plausible range (periods, amplitudes).
+pub fn clamped_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    normal(rng, mean, sd).clamp(lo, hi)
+}
+
+/// Exponential sample with the given rate (events per unit) — inter-arrival
+/// times of a Poisson process.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    let u: f64 = rng.random();
+    -(1.0 - u).max(f64::MIN_POSITIVE).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn clamped_normal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = clamped_normal(&mut rng, 0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let rate = 2.5;
+        let mean = (0..n).map(|_| exponential(&mut rng, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_zero_rate_never_fires() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(exponential(&mut rng, 0.0).is_infinite());
+    }
+}

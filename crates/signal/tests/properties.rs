@@ -1,0 +1,97 @@
+//! Property tests of the signal simulator: every generated signal must be
+//! physically plausible and digestible by the downstream pipeline.
+
+use proptest::prelude::*;
+use tsm_model::{segment_signal, PlrTrajectory, SegmenterConfig};
+use tsm_signal::{BreathingParams, EpisodePlan, NoiseParams, SignalGenerator};
+
+fn arb_params() -> impl Strategy<Value = BreathingParams> {
+    (
+        2.8f64..6.0,   // period
+        4.0f64..22.0,  // amplitude
+        0.30f64..0.45, // ex fraction
+        0.15f64..0.35, // eoe fraction
+        0.0f64..0.15,  // period jitter
+        0.0f64..0.15,  // amplitude jitter
+        0.0f64..0.9,   // jitter autocorrelation
+        0.0f64..0.5,   // baseline walk
+        1usize..4,     // dim
+    )
+        .prop_map(
+            |(period, amp, exf, eoef, pj, aj, rho, walk, dim)| BreathingParams {
+                period_s: period,
+                amplitude_mm: amp,
+                ex_fraction: exf,
+                eoe_fraction: eoef,
+                period_jitter: pj,
+                amplitude_jitter: aj,
+                jitter_autocorrelation: rho,
+                baseline_walk_mm: walk,
+                dim,
+                ..Default::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Signals are finite, time-monotone, uniformly sampled and within a
+    /// plausible spatial envelope.
+    #[test]
+    fn signals_are_physically_plausible(params in arb_params(), seed in 0u64..10_000) {
+        let samples = SignalGenerator::new(params, seed)
+            .with_noise(NoiseParams::typical())
+            .with_episodes(EpisodePlan::occasional())
+            .generate(45.0);
+        prop_assert_eq!(samples.len(), (45.0f64 * params.sample_hz).ceil() as usize);
+        let dt = 1.0 / params.sample_hz;
+        for w in samples.windows(2) {
+            prop_assert!(w[0].position.is_finite());
+            prop_assert!((w[1].time - w[0].time - dt).abs() < 1e-9);
+        }
+        // Envelope: baseline walk + episodes can double the range, spikes
+        // add their magnitude on top; beyond that something is broken.
+        let lo = samples.iter().map(|s| s.position[0]).fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().map(|s| s.position[0]).fold(f64::NEG_INFINITY, f64::max);
+        let bound = params.amplitude_mm * 3.0 + 25.0;
+        prop_assert!(hi - lo <= bound, "range {} exceeds bound {bound}", hi - lo);
+        // Dimensionality respected.
+        prop_assert!(samples.iter().all(|s| s.position.dim() == params.dim));
+    }
+
+    /// Determinism: the same configuration and seed always produce the
+    /// same signal; different seeds differ.
+    #[test]
+    fn generation_is_deterministic(params in arb_params(), seed in 0u64..10_000) {
+        let a = SignalGenerator::new(params, seed)
+            .with_noise(NoiseParams::typical())
+            .generate(20.0);
+        let b = SignalGenerator::new(params, seed)
+            .with_noise(NoiseParams::typical())
+            .generate(20.0);
+        prop_assert_eq!(&a, &b);
+        let c = SignalGenerator::new(params, seed.wrapping_add(1))
+            .with_noise(NoiseParams::typical())
+            .generate(20.0);
+        prop_assert_ne!(&a, &c);
+    }
+
+    /// Every generated signal segments into a valid PLR whose cycle count
+    /// is in the right ballpark.
+    #[test]
+    fn signals_are_segmentable(params in arb_params(), seed in 0u64..10_000) {
+        let samples = SignalGenerator::new(params, seed)
+            .with_noise(NoiseParams::typical())
+            .generate(60.0);
+        let vertices = segment_signal(&samples, SegmenterConfig::default());
+        prop_assume!(vertices.len() >= 2);
+        let plr = PlrTrajectory::from_vertices(vertices).expect("valid PLR");
+        let expected_cycles = 60.0 / params.period_s;
+        let segments = plr.num_segments() as f64;
+        prop_assert!(
+            segments <= expected_cycles * 6.0 + 10.0,
+            "{segments} segments for ~{expected_cycles:.0} cycles"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Shared helpers for the example binaries: ASCII plotting and small
+//! store-building utilities.
+
+use tsm_db::{PatientAttributes, PatientId, StreamStore};
+use tsm_model::{segment_signal, PlrTrajectory, Sample, SegmenterConfig, Vertex};
+
+/// Renders a 1-D signal as a rough ASCII plot (`height` rows, one column
+/// per `stride` samples) — enough to eyeball the Figure 3/4 phenomena in
+/// a terminal.
+pub fn ascii_plot(samples: &[Sample], height: usize, width: usize) -> String {
+    if samples.is_empty() || height < 2 || width < 2 {
+        return String::new();
+    }
+    let ys: Vec<f64> = samples.iter().map(|s| s.position[0]).collect();
+    let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let stride = (samples.len() / width).max(1);
+    let cols: Vec<usize> = ys
+        .chunks(stride)
+        .map(|chunk| {
+            let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            (((mean - lo) / span) * (height - 1) as f64).round() as usize
+        })
+        .collect();
+    let mut grid = vec![vec![' '; cols.len()]; height];
+    for (x, &row) in cols.iter().enumerate() {
+        grid[height - 1 - row][x] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{hi:7.1} |")
+        } else if i == height - 1 {
+            format!("{lo:7.1} |")
+        } else {
+            "        |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a PLR's states as a compact strip aligned with the same
+/// horizontal scale as [`ascii_plot`].
+pub fn state_strip(plr: &PlrTrajectory, samples: &[Sample], width: usize) -> String {
+    if samples.is_empty() || width < 2 {
+        return String::new();
+    }
+    let stride = (samples.len() / width).max(1);
+    let mut out = String::from("states  |");
+    for chunk in samples.chunks(stride) {
+        let mid = chunk[chunk.len() / 2].time;
+        let ch = match plr.state_at(mid) {
+            tsm_model::BreathState::Exhale => 'E',
+            tsm_model::BreathState::EndOfExhale => '_',
+            tsm_model::BreathState::Inhale => 'I',
+            tsm_model::BreathState::Irregular => '!',
+        };
+        out.push(ch);
+    }
+    out.push('\n');
+    out
+}
+
+/// Segments `samples` and stores them as a stream of `patient`.
+pub fn store_stream(
+    store: &StreamStore,
+    patient: PatientId,
+    session: u32,
+    samples: &[Sample],
+    config: &SegmenterConfig,
+) -> Option<tsm_db::StreamId> {
+    let vertices = segment_signal(samples, config.clone());
+    let plr = PlrTrajectory::from_vertices(vertices).ok()?;
+    Some(store.add_stream(patient, session, plr, samples.len()))
+}
+
+/// Creates a patient with the given attribute pairs.
+pub fn add_patient(store: &StreamStore, attrs: &[(&str, &str)]) -> PatientId {
+    let attributes: PatientAttributes = attrs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    store.add_patient(attributes)
+}
+
+/// Counts segments per state in a vertex list.
+pub fn state_histogram(vertices: &[Vertex]) -> [usize; 4] {
+    let mut h = [0usize; 4];
+    if vertices.len() < 2 {
+        return h;
+    }
+    for v in &vertices[..vertices.len() - 1] {
+        h[v.state.index()] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_model::BreathState::*;
+
+    #[test]
+    fn ascii_plot_shapes() {
+        let samples: Vec<Sample> = (0..100)
+            .map(|i| Sample::new_1d(i as f64, (i as f64 * 0.2).sin()))
+            .collect();
+        let plot = ascii_plot(&samples, 8, 40);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(plot.contains('*'));
+        // Degenerate requests return nothing rather than panicking.
+        assert!(ascii_plot(&[], 8, 40).is_empty());
+        assert!(ascii_plot(&samples, 1, 40).is_empty());
+        assert!(ascii_plot(&samples, 8, 1).is_empty());
+    }
+
+    #[test]
+    fn state_histogram_counts_segments_not_vertices() {
+        let v = vec![
+            Vertex::new_1d(0.0, 10.0, Exhale),
+            Vertex::new_1d(1.0, 0.0, EndOfExhale),
+            Vertex::new_1d(2.0, 0.0, Inhale),
+            Vertex::new_1d(3.0, 10.0, Exhale), // terminal: not a segment
+        ];
+        assert_eq!(state_histogram(&v), [1, 1, 1, 0]);
+        assert_eq!(state_histogram(&[]), [0, 0, 0, 0]);
+        assert_eq!(state_histogram(&v[..1]), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn state_strip_marks_states() {
+        let plr = tsm_model::PlrTrajectory::from_vertices(vec![
+            Vertex::new_1d(0.0, 10.0, Exhale),
+            Vertex::new_1d(5.0, 0.0, EndOfExhale),
+            Vertex::new_1d(10.0, 0.0, Inhale),
+            Vertex::new_1d(15.0, 10.0, Exhale),
+        ])
+        .unwrap();
+        let samples: Vec<Sample> = (0..150)
+            .map(|i| Sample::new_1d(i as f64 * 0.1, 0.0))
+            .collect();
+        let strip = state_strip(&plr, &samples, 30);
+        assert!(strip.contains('E'));
+        assert!(strip.contains('_'));
+        assert!(strip.contains('I'));
+    }
+}

@@ -1,0 +1,139 @@
+//! Distance zoo: every similarity measure in the repository on the same
+//! pair of breathing windows, with accuracy intuition and timings.
+//!
+//! Shows hands-on why the paper builds its own measure: Euclidean-family
+//! distances need resampling and are phase-brittle; DTW is robust but
+//! three orders of magnitude slower; LCSS needs a discretization
+//! threshold; the weighted PLR distance reads 9 segments, respects the
+//! state order, and knows about provenance.
+//!
+//! Run with: `cargo run --release -p tsm-examples --bin distance_zoo`
+
+use std::time::Instant;
+use tsm_baselines::{dtw_distance, lcss_distance, resample_window, window_euclidean, DftWindow};
+use tsm_core::similarity::online_distance;
+use tsm_core::Params;
+use tsm_db::SourceRelation;
+use tsm_model::{segment_signal, SegmenterConfig, Vertex};
+use tsm_signal::{BreathingParams, NoiseParams, SignalGenerator};
+
+/// A 3-cycle window cut from a fresh simulated stream.
+fn window(seed: u64, amplitude: f64, period: f64) -> Vec<Vertex> {
+    let params = BreathingParams {
+        amplitude_mm: amplitude,
+        period_s: period,
+        ..Default::default()
+    };
+    let samples = SignalGenerator::new(params, seed)
+        .with_noise(NoiseParams::typical())
+        .generate(60.0);
+    let vertices = segment_signal(&samples, SegmenterConfig::default());
+    vertices[3..13.min(vertices.len())].to_vec()
+}
+
+fn timed<T>(f: impl Fn() -> T) -> (T, f64) {
+    // Warm up, then measure a small batch for stable numbers.
+    let _ = f();
+    let started = Instant::now();
+    let reps = 50;
+    let mut last = None;
+    for _ in 0..reps {
+        last = Some(f());
+    }
+    (
+        last.unwrap(),
+        started.elapsed().as_secs_f64() * 1e6 / reps as f64,
+    )
+}
+
+fn main() {
+    let q = window(1, 12.0, 4.0);
+    let similar = window(2, 12.5, 4.1);
+    let different = window(3, 5.0, 2.9);
+    let params = Params::default();
+    let rel = SourceRelation::SamePatient;
+
+    println!("query: 3 breathing cycles (~12 mm, 4.0 s)");
+    println!("candidate A: similar patient (~12.5 mm, 4.1 s)");
+    println!("candidate B: different patient (~5 mm, 2.9 s)\n");
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>12}",
+        "measure", "d(q, A)", "d(q, B)", "time/call"
+    );
+    println!("{}", "-".repeat(64));
+
+    // Weighted PLR (the paper's measure).
+    let (da, t) = timed(|| online_distance(&q, &similar, &params, rel));
+    let (db, _) = timed(|| online_distance(&q, &different, &params, rel));
+    let fmt = |d: Option<f64>| {
+        d.map(|x| format!("{x:.3}"))
+            .unwrap_or_else(|| "gate".into())
+    };
+    println!(
+        "{:<28} {:>10} {:>10} {:>9.1} us",
+        "weighted PLR (paper)",
+        fmt(da),
+        fmt(db),
+        t
+    );
+
+    // Euclidean on resampled windows.
+    let (da, t) = timed(|| window_euclidean(&q, &similar, 0, 32, 0.8));
+    let (db, _) = timed(|| window_euclidean(&q, &different, 0, 32, 0.8));
+    println!(
+        "{:<28} {:>10} {:>10} {:>9.1} us",
+        "weighted Euclidean (32pt)",
+        fmt(da),
+        fmt(db),
+        t
+    );
+
+    // DFT lower bound (the GEMINI filter).
+    let (d, t) = timed(|| {
+        let a = DftWindow::build(&q, 0, 64, 4)?;
+        let b = DftWindow::build(&similar, 0, 64, 4)?;
+        a.lower_bound(&b)
+    });
+    let (d2, _) = timed(|| {
+        let a = DftWindow::build(&q, 0, 64, 4)?;
+        let b = DftWindow::build(&different, 0, 64, 4)?;
+        a.lower_bound(&b)
+    });
+    println!(
+        "{:<28} {:>10} {:>10} {:>9.1} us",
+        "DFT lower bound (4 coeff)",
+        fmt(d),
+        fmt(d2),
+        t
+    );
+
+    // DTW on raw-rate vectors.
+    let qa = resample_window(&q, 0, 360);
+    let sa = resample_window(&similar, 0, 360);
+    let dfa = resample_window(&different, 0, 360);
+    let (d, t) = timed(|| dtw_distance(&qa, &sa, Some(30)));
+    let (d2, _) = timed(|| dtw_distance(&qa, &dfa, Some(30)));
+    println!(
+        "{:<28} {:>10} {:>10} {:>9.1} us",
+        "DTW (raw rate, band 30)",
+        fmt(d),
+        fmt(d2),
+        t
+    );
+
+    // LCSS.
+    let (d, t) = timed(|| lcss_distance(&qa, &sa, 1.0, Some(30)));
+    let (d2, _) = timed(|| lcss_distance(&qa, &dfa, 1.0, Some(30)));
+    println!(
+        "{:<28} {:>10} {:>10} {:>9.1} us",
+        "LCSS (eps 1 mm, band 30)",
+        fmt(d),
+        fmt(d2),
+        t
+    );
+
+    println!("\nEvery measure separates A from B; the differences are cost (the paper");
+    println!("needs thousands of candidate comparisons inside a 33 ms frame budget)");
+    println!("and semantics (only the PLR measure refuses mismatched state orders).");
+}

@@ -1,0 +1,121 @@
+//! Quickstart: the whole pipeline in one screen.
+//!
+//! 1. Simulate a breathing signal (with cardiac + spike noise).
+//! 2. Segment it online into a state-labelled PLR (paper Figure 4c).
+//! 3. Store it, cut a query from the recent motion, match, and predict.
+//!
+//! Run with: `cargo run --release -p tsm-examples --bin quickstart`
+
+use tsm_core::matcher::{Matcher, QuerySubseq};
+use tsm_core::predict::{predict_position, AlignMode};
+use tsm_core::query::generate_query;
+use tsm_core::Params;
+use tsm_db::StreamStore;
+use tsm_examples::{add_patient, ascii_plot, state_histogram, state_strip};
+use tsm_model::{segment_signal, PlrTrajectory, SegmenterConfig};
+use tsm_signal::{BreathingParams, NoiseParams, SignalGenerator};
+
+fn main() {
+    // --- 1. Simulate --------------------------------------------------
+    let params = BreathingParams::default();
+    let mut generator = SignalGenerator::new(params, 2026).with_noise(NoiseParams::typical());
+    let samples = generator.generate(120.0);
+    println!(
+        "simulated {:.0} s of breathing at {} Hz ({} samples)\n",
+        120.0,
+        params.sample_hz,
+        samples.len()
+    );
+    let window = &samples[0..(20.0 * params.sample_hz) as usize];
+    println!("first 20 s of the raw signal:");
+    print!("{}", ascii_plot(window, 10, 72));
+
+    // --- 2. Segment ---------------------------------------------------
+    let seg_config = SegmenterConfig::default();
+    let vertices = segment_signal(&samples, seg_config.clone());
+    let hist = state_histogram(&vertices);
+    let plr = PlrTrajectory::from_vertices(vertices).expect("valid PLR");
+    println!(
+        "\nPLR: {} vertices for {} raw samples ({:.0}x compression)",
+        plr.num_vertices(),
+        samples.len(),
+        samples.len() as f64 / plr.num_vertices() as f64
+    );
+    println!(
+        "segments by state: EX={} EOE={} IN={} IRR={}",
+        hist[0], hist[1], hist[2], hist[3]
+    );
+    println!("\nstate labels under the same 20 s window (E=exhale, _=end-of-exhale, I=inhale, !=irregular):");
+    print!("{}", state_strip(&plr, window, 72));
+
+    // --- 3. Store, query, match, predict --------------------------------
+    let store = StreamStore::new();
+    let patient = add_patient(&store, &[("tumor_site", "LungLowerLobe")]);
+    store.add_stream(patient, 0, plr, samples.len());
+
+    // A new treatment session of the same patient is now running: fresh
+    // signal, same breathing pattern. Keep the last 20 s aside so the
+    // predictions below can be scored against what actually happened.
+    let mut generator2 = SignalGenerator::new(params, 2027).with_noise(NoiseParams::typical());
+    let live_samples = generator2.generate(80.0);
+    let live_plr =
+        PlrTrajectory::from_vertices(segment_signal(&live_samples, seg_config)).expect("valid PLR");
+    let live = &live_plr.vertices()[..live_plr.num_vertices() - 8];
+
+    let match_params = Params {
+        min_matches: 1,
+        ..Params::default()
+    };
+    let outcome = generate_query(live, &match_params).expect("stream long enough for a query");
+    println!(
+        "\ndynamic query: {} segments ({} cycles), stability strip {} (stable = {})",
+        outcome.len,
+        outcome.len / 3,
+        if outcome.strip_stability.is_finite() {
+            format!("{:.2}", outcome.strip_stability)
+        } else {
+            "inf".into()
+        },
+        outcome.stable
+    );
+
+    let query = QuerySubseq::new(outcome.vertices(live).to_vec()).with_origin(patient, 1); // pretend this is a new session
+    let matcher = Matcher::new(store.clone(), match_params.clone());
+    let matches = matcher.find_matches(&query);
+    println!(
+        "retrieved {} similar subsequences (delta = {})",
+        matches.len(),
+        match_params.delta
+    );
+    for m in matches.iter().take(5) {
+        println!(
+            "  {:?} start={} distance={:.3} ws={}",
+            m.subseq.stream, m.subseq.start, m.distance, m.ws
+        );
+    }
+
+    let t_last = query.vertices.last().expect("non-empty").time;
+    println!("\npredictions from the current time t = {t_last:.2} s:");
+    for dt_ms in [100u64, 200, 300] {
+        let dt = dt_ms as f64 / 1000.0;
+        match predict_position(
+            &store,
+            &query,
+            &matches,
+            dt,
+            &match_params,
+            AlignMode::FirstVertex,
+        ) {
+            Some(p) => {
+                let truth = live_plr.position_at(t_last + dt);
+                println!(
+                    "  t+{dt_ms:3} ms: predicted {:7.3} mm, PLR truth {:7.3} mm, error {:.3} mm",
+                    p[0],
+                    truth[0],
+                    (p[0] - truth[0]).abs()
+                );
+            }
+            None => println!("  t+{dt_ms:3} ms: abstained (not enough matches)"),
+        }
+    }
+}

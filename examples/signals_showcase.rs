@@ -1,0 +1,88 @@
+//! Signals showcase: the Figure 3 phenomena, synthesized.
+//!
+//! Renders the complex tumor-motion effects the paper's Figure 3
+//! illustrates — (a) amplitude and frequency changes, (b) baseline
+//! shifts, (c) cardiac motion, (d) cardiac motion plus spike noise — and
+//! an irregular-breathing episode reel, as ASCII plots.
+//!
+//! Run with: `cargo run --release -p tsm-examples --bin signals_showcase`
+
+use tsm_examples::ascii_plot;
+use tsm_signal::{BreathingParams, EpisodePlan, NoiseParams, SignalGenerator};
+
+fn show(
+    title: &str,
+    params: BreathingParams,
+    noise: NoiseParams,
+    episodes: EpisodePlan,
+    seed: u64,
+) {
+    println!("--- {title} ---");
+    let mut generator = SignalGenerator::new(params, seed)
+        .with_noise(noise)
+        .with_episodes(episodes);
+    let samples = generator.generate(40.0);
+    print!("{}", ascii_plot(&samples, 9, 76));
+    println!();
+}
+
+fn main() {
+    show(
+        "Figure 3a: amplitude and frequency changes",
+        BreathingParams {
+            amplitude_jitter: 0.25,
+            period_jitter: 0.18,
+            baseline_walk_mm: 0.0,
+            ..Default::default()
+        },
+        NoiseParams::clean(),
+        EpisodePlan::none(),
+        1,
+    );
+    show(
+        "Figure 3b: baseline shift on top of amplitude/frequency changes",
+        BreathingParams {
+            amplitude_jitter: 0.15,
+            period_jitter: 0.10,
+            baseline_walk_mm: 1.2,
+            baseline_trend_mm_per_min: 6.0,
+            ..Default::default()
+        },
+        NoiseParams::clean(),
+        EpisodePlan::none(),
+        2,
+    );
+    show(
+        "Figure 3c: cardiac motion",
+        BreathingParams::default(),
+        NoiseParams {
+            cardiac_amplitude_mm: 1.2,
+            white_sd_mm: 0.0,
+            spike_rate_hz: 0.0,
+            ..NoiseParams::typical()
+        },
+        EpisodePlan::none(),
+        3,
+    );
+    show(
+        "Figure 3d: cardiac motion + spike noise",
+        BreathingParams::default(),
+        NoiseParams {
+            cardiac_amplitude_mm: 1.2,
+            spike_rate_hz: 0.5,
+            spike_magnitude_mm: 8.0,
+            ..NoiseParams::typical()
+        },
+        EpisodePlan::none(),
+        4,
+    );
+    show(
+        "Irregular breathing: frequent episodes (coughs, holds, deep breaths)",
+        BreathingParams::default(),
+        NoiseParams::typical(),
+        EpisodePlan::frequent(),
+        5,
+    );
+    println!("(the segmenter's job is to produce clean EX/EOE/IN labels from all of the above;");
+    println!(" run the quickstart example to see the resulting PLR)");
+}

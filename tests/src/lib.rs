@@ -1,0 +1,4 @@
+//! Host crate for the workspace-level integration tests (see `tests/`).
+//!
+//! The tests exercise full pipelines across `tsm-model`, `tsm-signal`,
+//! `tsm-db`, `tsm-core`, `tsm-baselines` and the `tsm-bench` harness.

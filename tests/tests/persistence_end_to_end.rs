@@ -1,0 +1,75 @@
+//! Persistence in the full pipeline: a cohort store saved and reloaded
+//! must behave identically for matching, prediction and clustering.
+
+use tsm_bench::{build_bundle, BundleConfig};
+use tsm_core::matcher::{Matcher, QuerySubseq};
+use tsm_core::Params;
+use tsm_db::{load_store, save_store, SubseqRef};
+use tsm_model::SegmenterConfig;
+use tsm_signal::CohortConfig;
+
+#[test]
+fn matching_is_identical_after_save_load() {
+    let bundle = build_bundle(&BundleConfig {
+        cohort: CohortConfig {
+            n_patients: 6,
+            sessions_per_patient: 2,
+            streams_per_session: 2,
+            stream_duration_s: 60.0,
+            dim: 1,
+            seed: 0x5A5E,
+        },
+        segmenter: SegmenterConfig::default(),
+    });
+    let mut buf = Vec::new();
+    save_store(&bundle.store, &mut buf).expect("save");
+    let reloaded = load_store(buf.as_slice()).expect("load");
+
+    let params = Params::default();
+    let matcher_orig = Matcher::new(bundle.store.clone(), params.clone());
+    let matcher_new = Matcher::new(reloaded.clone(), params);
+
+    let mut compared = 0usize;
+    for stream in bundle.store.streams().iter().take(4) {
+        let nseg = stream.plr.num_segments();
+        if nseg < 12 {
+            continue;
+        }
+        for start in [0usize, nseg / 3, nseg / 2] {
+            let Some(view) = bundle
+                .store
+                .resolve(SubseqRef::new(stream.meta.id, start, 9))
+            else {
+                continue;
+            };
+            let q = QuerySubseq::from_view(&view);
+            let a = matcher_orig.find_matches(&q);
+            let b = matcher_new.find_matches(&q);
+            assert_eq!(a, b, "matching diverged after reload");
+            compared += 1;
+        }
+    }
+    assert!(compared >= 8, "only {compared} queries compared");
+}
+
+#[test]
+fn multidimensional_store_roundtrips() {
+    let bundle = build_bundle(&BundleConfig {
+        cohort: CohortConfig {
+            n_patients: 3,
+            sessions_per_patient: 2,
+            streams_per_session: 1,
+            stream_duration_s: 60.0,
+            dim: 3,
+            seed: 0x3D,
+        },
+        segmenter: SegmenterConfig::default(),
+    });
+    let mut buf = Vec::new();
+    save_store(&bundle.store, &mut buf).expect("save");
+    let reloaded = load_store(buf.as_slice()).expect("load");
+    for (a, b) in bundle.store.streams().iter().zip(reloaded.streams().iter()) {
+        assert_eq!(a.plr.dim(), 3);
+        assert_eq!(a.plr, b.plr);
+    }
+}
