@@ -15,7 +15,9 @@ fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching");
     group.sample_size(20);
 
-    for n_patients in [6usize, 12, 24] {
+    // 60 patients × 2 sessions × 2 streams = 240 streams: the
+    // multi-hundred-stream scenario the columnar engine targets.
+    for n_patients in [6usize, 12, 24, 60] {
         let bundle = build_bundle(&BundleConfig {
             cohort: CohortConfig {
                 n_patients,
@@ -72,9 +74,52 @@ fn bench_matching(c: &mut Criterion) {
                 })
             },
         );
+
+        group.bench_with_input(
+            BenchmarkId::new("parallel4", format!("{n_patients}p")),
+            &query,
+            |b, q| {
+                b.iter(|| {
+                    black_box(matcher.find_matches_parallel(
+                        black_box(q),
+                        &SearchOptions::default(),
+                        4,
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_matching);
+/// Index construction cost: the prefix-sum rebuild the columnar engine
+/// promises must stay linear in stored segments.
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+
+    for n_patients in [24usize, 60] {
+        let bundle = build_bundle(&BundleConfig {
+            cohort: CohortConfig {
+                n_patients,
+                sessions_per_patient: 2,
+                streams_per_session: 2,
+                stream_duration_s: 120.0,
+                dim: 1,
+                seed: 7,
+            },
+            segmenter: SegmenterConfig::default(),
+        });
+        group.bench_with_input(
+            BenchmarkId::new("feature_index", format!("{n_patients}p")),
+            &bundle,
+            |b, bundle| {
+                b.iter(|| black_box(tsm_db::FeatureIndex::build(black_box(&bundle.store), 9, 0)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_index_build);
 criterion_main!(benches);

@@ -26,6 +26,7 @@ USAGE:
   tsm info     --store FILE            store statistics
   tsm segment  --csv FILE [--axis N]   segment a time,value CSV signal
   tsm match    --store FILE --stream ID --start I --len L [--delta D]
+               [--threads T]            parallel scan when T > 1
   tsm predict  --store FILE --patient ID [--duration SECS] [--dt SECS]
                [--seed X]              replay a fresh session, report error
   tsm cluster  --store FILE [--k K]    cluster patients, find correlations
@@ -188,9 +189,14 @@ pub fn match_cmd(args: &Args) -> Result<(), String> {
     let view = store
         .resolve(SubseqRef::new(stream, start, len))
         .ok_or_else(|| format!("stream {stream} has no window [{start}, {start}+{len}]"))?;
+    let threads = args.num_flag("threads", 1usize)?;
     let query = QuerySubseq::from_view(&view);
     let matcher = Matcher::new(store.clone(), params);
-    let matches = matcher.find_matches(&query);
+    let matches = if threads > 1 {
+        matcher.find_matches_parallel(&query, &Default::default(), threads)
+    } else {
+        matcher.find_matches(&query)
+    };
     println!("query: {stream} start {start} len {len}");
     println!("{} matches within delta:", matches.len());
     for m in matches.iter().take(args.num_flag("top", 20usize)?) {

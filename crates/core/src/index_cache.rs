@@ -10,8 +10,18 @@
 use crate::matcher::{MatchResult, Matcher, QuerySubseq, SearchOptions};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tsm_db::{FeatureIndex, StreamStore};
+
+/// A point-in-time view of an [`IndexCache`]'s contents (diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexCacheStats {
+    /// How many index builds the cache has performed.
+    pub rebuilds: u64,
+    /// Window lengths with a cached index, ascending.
+    pub cached_lengths: Vec<usize>,
+}
 
 /// A per-length cache of feature indexes over one store.
 #[derive(Debug)]
@@ -19,7 +29,7 @@ pub struct IndexCache {
     store: StreamStore,
     axis: usize,
     inner: Mutex<HashMap<usize, (u64, Arc<FeatureIndex>)>>,
-    rebuilds: Mutex<u64>,
+    rebuilds: AtomicU64,
 }
 
 impl IndexCache {
@@ -30,7 +40,7 @@ impl IndexCache {
             store,
             axis,
             inner: Mutex::new(HashMap::new()),
-            rebuilds: Mutex::new(0),
+            rebuilds: AtomicU64::new(0),
         }
     }
 
@@ -50,14 +60,24 @@ impl IndexCache {
         // The store may have grown *while* we built; tag with the version
         // we read before building so a concurrent insert invalidates us.
         self.inner.lock().insert(len, (version, built.clone()));
-        *self.rebuilds.lock() += 1;
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
         built
     }
 
-    /// How many index builds the cache has performed (for tests and
-    /// diagnostics).
+    /// How many index builds the cache has performed — a lock-free read,
+    /// safe to poll from a hot monitoring loop.
     pub fn rebuild_count(&self) -> u64 {
-        *self.rebuilds.lock()
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the cache's contents.
+    pub fn stats(&self) -> IndexCacheStats {
+        let mut cached_lengths: Vec<usize> = self.inner.lock().keys().copied().collect();
+        cached_lengths.sort_unstable();
+        IndexCacheStats {
+            rebuilds: self.rebuild_count(),
+            cached_lengths,
+        }
     }
 }
 
@@ -150,6 +170,13 @@ mod tests {
         let q3 = QuerySubseq::from_view(&view);
         cached.find_matches(&q3, &opts);
         assert_eq!(cached.cache().rebuild_count(), 2);
+        assert_eq!(
+            cached.cache().stats(),
+            IndexCacheStats {
+                rebuilds: 2,
+                cached_lengths: vec![6, 9],
+            }
+        );
     }
 
     #[test]

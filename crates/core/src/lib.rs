@@ -78,14 +78,16 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::framework::DomainProfile;
     pub use crate::gating::{simulate_gating, GatingStats, GatingWindow};
-    pub use crate::index_cache::{CachedMatcher, IndexCache};
+    pub use crate::index_cache::{CachedMatcher, IndexCache, IndexCacheStats};
     pub use crate::matcher::{MatchResult, Matcher, QuerySubseq, SearchOptions};
     pub use crate::params::Params;
     pub use crate::patient_distance::patient_distance;
     pub use crate::pipeline::OnlinePredictor;
     pub use crate::predict::{predict_position, predict_position_anchored, AlignMode};
     pub use crate::query::{generate_query, QueryOutcome};
-    pub use crate::similarity::{offline_distance, online_distance, vertex_weight};
+    pub use crate::similarity::{
+        offline_distance, online_distance, vertex_weight, QueryCols, WindowCols, WindowScorer,
+    };
     pub use crate::stability::{is_stable, stability};
     pub use crate::stream_distance::{stream_distance, StreamDistanceConfig};
     pub use crate::tracking::{simulate_tracking, TrackingStats};

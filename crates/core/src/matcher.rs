@@ -1,14 +1,40 @@
 //! The subsequence search engine: retrieve all stored subsequences similar
 //! to a query (paper Section 4.2).
+//!
+//! All four search variants — full scan, state-order-indexed,
+//! feature-pruned and parallel — run on one columnar engine: the store's
+//! [`tsm_db::SegmentFeatures`] snapshot supplies flat per-segment columns,
+//! [`crate::similarity::WindowScorer`] scores candidate windows with early
+//! abandoning against the current pruning bound, and a bounded top-k
+//! [`Collector`] keeps only results that can still make the cut. A naive
+//! vertex-walking reference ([`Matcher::find_matches_naive`]) is kept for
+//! the property tests, which assert the engine's results are *identical* —
+//! same windows, bit-identical distances, same order.
+//!
+//! Results are totally ordered by `(distance, stream, start)`; because a
+//! scan visits windows in ascending `(stream, start)` order, this matches
+//! what the historical stable sort by distance produced, while giving the
+//! indexed/pruned/parallel paths (which visit candidates in other orders)
+//! a deterministic tie-break.
 
 use crate::params::Params;
-use crate::similarity::online_distance;
-use std::collections::HashSet;
+use crate::similarity::{online_distance, vertex_weight, QueryCols, WindowCols, WindowScorer};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
 use std::sync::Arc;
 use tsm_db::{
-    PatientId, SourceRelation, StateOrderIndex, StreamId, StreamStore, SubseqRef, SubseqView,
+    FeatureIndex, PatientId, SourceRelation, StateOrderIndex, StreamFeatures, StreamId, StreamMeta,
+    StreamStore, SubseqRef, SubseqView,
 };
 use tsm_model::{state_signature, BreathState, Vertex};
+
+/// Safety factor on the lower-bound pruning bands: query-side summaries
+/// are forward f64 sums while candidate summaries come from prefix-sum
+/// subtractions, so the two can disagree by a few ULPs per term. Inflating
+/// the admissible band by 1e-9 (relative) guarantees no true match is ever
+/// pruned (n ≤ 60 terms keeps the real discrepancy orders of magnitude
+/// smaller).
+const BAND_MARGIN: f64 = 1.0 + 1e-9;
 
 /// A query subsequence, detached from the store (online queries come from
 /// the live stream, which may not have been persisted yet).
@@ -94,6 +120,102 @@ pub struct MatchResult {
     pub relation: SourceRelation,
 }
 
+/// The total result order: by distance, ties broken by `(stream, start)`.
+/// Equal to the historical "stable sort by distance over scan order", and
+/// shared by every search variant.
+fn cmp_results(a: &MatchResult, b: &MatchResult) -> Ordering {
+    a.distance
+        .total_cmp(&b.distance)
+        .then_with(|| a.subseq.stream.0.cmp(&b.subseq.stream.0))
+        .then_with(|| a.subseq.start.cmp(&b.subseq.start))
+}
+
+/// Heap adapter: max-heap by [`cmp_results`], so the *worst* retained
+/// result sits on top and is evicted first.
+#[derive(Debug)]
+struct Ranked(MatchResult);
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        cmp_results(&self.0, &other.0) == Ordering::Equal
+    }
+}
+impl Eq for Ranked {}
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_results(&self.0, &other.0)
+    }
+}
+
+/// Accumulates results under the δ threshold and (optionally) a top-k cap.
+///
+/// With a cap, a bounded max-heap holds the best `k` seen so far and
+/// [`Collector::bound`] exposes the current k-th best distance — feeding it
+/// back into [`WindowScorer::score_window`] lets the scorer abandon any
+/// window that provably cannot enter the heap. Ties at the bound are *not*
+/// abandoned (the scorer's margin guarantees that), so a later candidate
+/// with equal distance but better `(stream, start)` tie-break still gets
+/// compared exactly.
+#[derive(Debug)]
+struct Collector {
+    delta: f64,
+    cap: Option<usize>,
+    heap: BinaryHeap<Ranked>,
+    all: Vec<MatchResult>,
+}
+
+impl Collector {
+    fn new(delta: f64, cap: Option<usize>) -> Self {
+        Collector {
+            delta,
+            cap,
+            heap: BinaryHeap::new(),
+            all: Vec::new(),
+        }
+    }
+
+    /// The current pruning bound: no window with distance provably above
+    /// it can affect the final result set.
+    fn bound(&self) -> f64 {
+        match self.cap {
+            Some(k) if k > 0 && self.heap.len() >= k => self
+                .heap
+                .peek()
+                .map(|w| w.0.distance.min(self.delta))
+                .unwrap_or(self.delta),
+            _ => self.delta,
+        }
+    }
+
+    fn push(&mut self, m: MatchResult) {
+        match self.cap {
+            None => self.all.push(m),
+            Some(0) => {}
+            Some(k) => {
+                if self.heap.len() < k {
+                    self.heap.push(Ranked(m));
+                } else if let Some(worst) = self.heap.peek() {
+                    if cmp_results(&m, &worst.0) == Ordering::Less {
+                        self.heap.pop();
+                        self.heap.push(Ranked(m));
+                    }
+                }
+            }
+        }
+    }
+
+    fn into_vec(self) -> Vec<MatchResult> {
+        let mut v = self.all;
+        v.extend(self.heap.into_iter().map(|r| r.0));
+        v
+    }
+}
+
 /// Search restrictions.
 #[derive(Debug, Clone, Default)]
 pub struct SearchOptions {
@@ -106,6 +228,137 @@ pub struct SearchOptions {
     pub top_k: Option<usize>,
     /// Override the distance threshold δ for this search.
     pub delta_override: Option<f64>,
+}
+
+/// One search's worth of immutable context: the query's columns, the
+/// effective δ, and the provenance/overlap data every candidate is
+/// checked against. Shared by all four search variants (and across the
+/// parallel workers — it is `Sync`).
+struct Engine<'a> {
+    params: &'a Params,
+    query: &'a QuerySubseq,
+    options: &'a SearchOptions,
+    cols: QueryCols,
+    n: usize,
+    delta: f64,
+    q_first: f64,
+    q_last: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        matcher: &'a Matcher,
+        query: &'a QuerySubseq,
+        options: &'a SearchOptions,
+    ) -> Option<Self> {
+        let cols = QueryCols::build(&query.vertices, &matcher.params)?;
+        let n = cols.len();
+        let q_first = query.vertices.first()?.time;
+        let q_last = query.vertices.last()?.time;
+        Some(Engine {
+            params: &matcher.params,
+            query,
+            options,
+            cols,
+            n,
+            delta: options.delta_override.unwrap_or(matcher.params.delta),
+            q_first,
+            q_last,
+        })
+    }
+
+    fn collector(&self) -> Collector {
+        Collector::new(self.delta, self.options.top_k)
+    }
+
+    fn allows(&self, patient: PatientId) -> bool {
+        self.options
+            .restrict_patients
+            .as_ref()
+            .is_none_or(|s| s.contains(&patient))
+    }
+
+    fn relation(&self, meta: &StreamMeta) -> SourceRelation {
+        match self.query.origin {
+            Some((patient, session)) => {
+                if patient != meta.patient {
+                    SourceRelation::OtherPatient
+                } else if session != meta.session {
+                    SourceRelation::SamePatient
+                } else {
+                    SourceRelation::SameSession
+                }
+            }
+            None => SourceRelation::OtherPatient,
+        }
+    }
+
+    /// Whether the window at `start` overlaps the query's own window in
+    /// its origin stream.
+    fn overlaps_query(&self, sf: &StreamFeatures, start: usize) -> bool {
+        if self.query.origin_stream != Some(sf.meta.id) {
+            return false;
+        }
+        let c_first = sf.times[start];
+        let c_last = sf.times[start + self.n];
+        c_last > self.q_first && c_first < self.q_last
+    }
+
+    /// Scores one candidate window and offers it to the collector.
+    fn score_window_at(
+        &self,
+        sf: &StreamFeatures,
+        start: usize,
+        relation: SourceRelation,
+        ws: f64,
+        scorer: &mut WindowScorer,
+        coll: &mut Collector,
+    ) {
+        if self.overlaps_query(sf, start) {
+            return;
+        }
+        let end = start + self.n;
+        let cand = WindowCols {
+            states: &sf.states[start..end],
+            disp: &sf.disp[start..end],
+            dvec: &sf.dvec[start..end],
+            dur: &sf.dur[start..end],
+        };
+        if let Some(d) = scorer.score_window(&self.cols, cand, self.params, ws, coll.bound()) {
+            if d <= self.delta {
+                coll.push(MatchResult {
+                    subseq: SubseqRef::new(sf.meta.id, start, self.n),
+                    distance: d,
+                    ws,
+                    relation,
+                });
+            }
+        }
+    }
+
+    /// Scans every window of the given streams (the per-worker unit of the
+    /// parallel path).
+    fn scan_streams(
+        &self,
+        streams: &[Arc<StreamFeatures>],
+        scorer: &mut WindowScorer,
+        coll: &mut Collector,
+    ) {
+        for sf in streams {
+            if !self.allows(sf.meta.patient) {
+                continue;
+            }
+            let nseg = sf.num_segments();
+            if nseg < self.n {
+                continue;
+            }
+            let relation = self.relation(&sf.meta);
+            let ws = self.params.ws(relation);
+            for start in 0..=(nseg - self.n) {
+                self.score_window_at(sf, start, relation, ws, scorer, coll);
+            }
+        }
+    }
 }
 
 /// The matcher: a store handle plus parameters.
@@ -165,8 +418,34 @@ impl Matcher {
     }
 
     /// Finds all similar subsequences: every stored window with the
-    /// query's state order and weighted distance ≤ δ, sorted by distance.
+    /// query's state order and weighted distance ≤ δ, sorted by distance
+    /// (ties by stream, then start). Runs on the columnar engine; results
+    /// are identical to [`Matcher::find_matches_naive`].
     pub fn find_matches_with(
+        &self,
+        query: &QuerySubseq,
+        options: &SearchOptions,
+    ) -> Vec<MatchResult> {
+        if options.top_k == Some(0) {
+            return Vec::new();
+        }
+        let Some(engine) = Engine::new(self, query, options) else {
+            return Vec::new();
+        };
+        let features = self.store.segment_features(self.params.axis);
+        let mut scorer = WindowScorer::new();
+        let mut coll = engine.collector();
+        engine.scan_streams(features.streams(), &mut scorer, &mut coll);
+        let mut out = coll.into_vec();
+        Self::finish(&mut out, options);
+        out
+    }
+
+    /// Reference implementation: the naive vertex-walking scan over
+    /// [`SubseqView`]s, with no columnar features, no early abandoning and
+    /// no bounded collection. Every other variant is property-tested to
+    /// return exactly its output. Kept simple on purpose — do not optimize.
+    pub fn find_matches_naive(
         &self,
         query: &QuerySubseq,
         options: &SearchOptions,
@@ -178,14 +457,32 @@ impl Matcher {
         let delta = options.delta_override.unwrap_or(self.params.delta);
         let mut out = Vec::new();
         for stream in self.store.streams() {
-            self.scan_stream(query, &stream, n, delta, options, &mut out);
+            if let Some(allowed) = &options.restrict_patients {
+                if !allowed.contains(&stream.meta.patient) {
+                    continue;
+                }
+            }
+            let nseg = stream.plr.num_segments();
+            if nseg < n {
+                continue;
+            }
+            for start in 0..=(nseg - n) {
+                let r = SubseqRef::new(stream.meta.id, start, n);
+                let Some(view) = SubseqView::new(stream.clone(), r) else {
+                    continue;
+                };
+                if let Some(m) = self.score_candidate(query, &view, delta) {
+                    out.push(m);
+                }
+            }
         }
         Self::finish(&mut out, options);
         out
     }
 
     /// Index-accelerated variant: candidate enumeration via a prebuilt
-    /// [`StateOrderIndex`] of the query's length.
+    /// [`StateOrderIndex`] of the query's length; scoring via the columnar
+    /// engine. Results are identical to [`Matcher::find_matches_with`].
     pub fn find_matches_indexed(
         &self,
         query: &QuerySubseq,
@@ -196,165 +493,186 @@ impl Matcher {
         if n == 0 || index.len() != n {
             return Vec::new();
         }
+        if options.top_k == Some(0) {
+            return Vec::new();
+        }
         let Some(sig) = query.signature() else {
             return self.find_matches_with(query, options);
         };
-        let delta = options.delta_override.unwrap_or(self.params.delta);
-        let mut out = Vec::new();
+        let Some(engine) = Engine::new(self, query, options) else {
+            return Vec::new();
+        };
+        let features = self.store.segment_features(self.params.axis);
+        let mut scorer = WindowScorer::new();
+        let mut coll = engine.collector();
         for r in index.candidates(sig) {
-            let Some(view) = self.store.resolve(*r) else {
+            let Some(sf) = features.stream(r.stream) else {
                 continue;
             };
-            if let Some(m) = self.score_candidate(query, &view, delta, options) {
-                out.push(m);
+            if !engine.allows(sf.meta.patient) {
+                continue;
             }
+            let start = r.start as usize;
+            if start + n > sf.num_segments() {
+                continue;
+            }
+            let relation = engine.relation(&sf.meta);
+            let ws = self.params.ws(relation);
+            engine.score_window_at(sf, start, relation, ws, &mut scorer, &mut coll);
         }
+        let mut out = coll.into_vec();
         Self::finish(&mut out, options);
         out
     }
 
-    /// Parallel scan: splits the store's streams over `threads` crossbeam
-    /// workers. Results are identical to [`Matcher::find_matches_with`]
-    /// (each worker scans a disjoint chunk; the merged result is sorted
-    /// and truncated exactly as the serial path does). Worth it for
-    /// multi-hundred-stream stores; for small stores the spawn overhead
-    /// dominates — measure with the `matching` bench.
+    /// Parallel scan: splits the feature snapshot's streams over `threads`
+    /// crossbeam workers, each with its own scorer and bounded top-k
+    /// collector; the locally-collected results are merged with one final
+    /// sort + truncation. Results are identical to
+    /// [`Matcher::find_matches_with`] — a worker's local k-th best is
+    /// always ≥ the global k-th best, so per-worker abandoning never drops
+    /// a global top-k member. A panicked worker is contained: its chunk is
+    /// rescanned serially instead of poisoning the whole search.
     pub fn find_matches_parallel(
         &self,
         query: &QuerySubseq,
         options: &SearchOptions,
         threads: usize,
     ) -> Vec<MatchResult> {
-        let n = query.len();
-        if n == 0 {
+        if options.top_k == Some(0) {
             return Vec::new();
         }
-        let streams = self.store.streams();
+        let Some(engine) = Engine::new(self, query, options) else {
+            return Vec::new();
+        };
+        let features = self.store.segment_features(self.params.axis);
+        let streams = features.streams();
         let threads = threads.max(1).min(streams.len().max(1));
         if threads <= 1 {
             return self.find_matches_with(query, options);
         }
-        let delta = options.delta_override.unwrap_or(self.params.delta);
         let chunk = streams.len().div_ceil(threads);
-        let mut out = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk_streams in streams.chunks(chunk) {
-                handles.push(scope.spawn(move |_| {
-                    let mut local = Vec::new();
-                    for stream in chunk_streams {
-                        self.scan_stream(query, stream, n, delta, options, &mut local);
+        let chunks: Vec<&[Arc<StreamFeatures>]> = streams.chunks(chunk).collect();
+        let engine = &engine;
+        let mut out: Vec<MatchResult> = Vec::new();
+        let merged = &mut out;
+        let scoped = crossbeam::thread::scope(move |scope| {
+            let mut handles = Vec::with_capacity(chunks.len());
+            for c in &chunks {
+                let c = *c;
+                handles.push((
+                    c,
+                    scope.spawn(move |_| {
+                        let mut scorer = WindowScorer::new();
+                        let mut coll = engine.collector();
+                        engine.scan_streams(c, &mut scorer, &mut coll);
+                        coll.into_vec()
+                    }),
+                ));
+            }
+            for (c, h) in handles {
+                match h.join() {
+                    Ok(local) => merged.extend(local),
+                    Err(_) => {
+                        // Contain the panic: redo this chunk serially.
+                        let mut scorer = WindowScorer::new();
+                        let mut coll = engine.collector();
+                        engine.scan_streams(c, &mut scorer, &mut coll);
+                        merged.extend(coll.into_vec());
                     }
-                    local
-                }));
+                }
             }
-            let mut merged = Vec::new();
-            for h in handles {
-                merged.extend(h.join().expect("matcher worker panicked"));
-            }
-            merged
-        })
-        .expect("scope failed");
+        });
+        if scoped.is_err() {
+            // The scope itself failed (a detached panic escaped joining):
+            // fall back to the serial engine for a correct result.
+            out.clear();
+            let mut scorer = WindowScorer::new();
+            let mut coll = engine.collector();
+            engine.scan_streams(streams, &mut scorer, &mut coll);
+            out = coll.into_vec();
+        }
         Self::finish(&mut out, options);
         out
     }
 
     /// Feature-index search with lower-bound pruning: candidates outside
-    /// the amplitude-summary band provably cannot be within δ and are
-    /// skipped before their vertices are touched. Results are identical
-    /// to [`Matcher::find_matches_with`] (property-tested).
+    /// the amplitude-summary *or* duration-summary band provably cannot be
+    /// within δ and are skipped before their features are touched; band
+    /// survivors are scored by the early-abandoning columnar engine.
+    /// Results are identical to [`Matcher::find_matches_with`]
+    /// (property-tested).
     ///
-    /// The bound: the per-segment-normalized distance satisfies
-    /// `d ≥ wa · wi_base · |S_q − S_c| / (Σwi · ws)`, so only candidates
-    /// with `|S_q − S_c| ≤ δ · Σwi · ws_max / (wa · wi_base)` need exact
-    /// scoring (`ws_max = 1`; each survivor is then re-checked with its
-    /// actual `ws`).
+    /// The bounds: the per-segment-normalized distance satisfies
+    /// `d ≥ wa · wi_base · |S_q − S_c| / (Σwi · ws)` and
+    /// `d ≥ wf · wi_base · |T_q − T_c| / (Σwi · ws)`, so only candidates
+    /// with `|S_q − S_c| ≤ δ · Σwi / (wa · wi_base)` **and**
+    /// `|T_q − T_c| ≤ δ · Σwi / (wf · wi_base)` need exact scoring
+    /// (`ws ≤ 1`; each survivor is then scored with its actual `ws`).
     pub fn find_matches_pruned(
         &self,
         query: &QuerySubseq,
-        index: &tsm_db::FeatureIndex,
+        index: &FeatureIndex,
         options: &SearchOptions,
     ) -> Vec<MatchResult> {
         let n = query.len();
         if n == 0 || index.len() != n || index.axis() != self.params.axis {
             return Vec::new();
         }
+        if options.top_k == Some(0) {
+            return Vec::new();
+        }
         let Some(sig) = query.signature() else {
             return self.find_matches_with(query, options);
         };
-        let delta = options.delta_override.unwrap_or(self.params.delta);
-        // Query-side summaries.
-        let axis = self.params.axis;
-        let q_amp_sum: f64 = query
-            .vertices
-            .windows(2)
-            .map(|w| {
-                tsm_model::Segment::between(&w[0], &w[1])
-                    .displacement(axis)
-                    .abs()
-            })
-            .sum();
-        // Σwi for the query length.
-        let wi_sum: f64 = (0..n)
-            .map(|i| crate::similarity::vertex_weight(&self.params, i, n))
-            .sum();
-        let wa = self.params.wa.max(f64::MIN_POSITIVE);
+        let Some(engine) = Engine::new(self, query, options) else {
+            return Vec::new();
+        };
+        let q_amp_sum: f64 = engine.cols.disp.iter().map(|d| d.abs()).sum();
+        let q_duration = engine.q_last - engine.q_first;
         let wi_base = self.params.wi_base.max(f64::MIN_POSITIVE);
-        let band = delta * wi_sum / (wa * wi_base); // ws_max = 1
-        let mut out = Vec::new();
-        for e in index.candidates_in_band(sig, q_amp_sum, band) {
-            let Some(view) = self.store.resolve(e.subseq) else {
+        let amp_band = if self.params.wa > 0.0 {
+            engine.delta * engine.cols.wsum / (self.params.wa * wi_base) * BAND_MARGIN
+        } else {
+            f64::INFINITY
+        };
+        let dur_band = if self.params.wf > 0.0 {
+            engine.delta * engine.cols.wsum / (self.params.wf * wi_base) * BAND_MARGIN
+        } else {
+            f64::INFINITY
+        };
+        let features = self.store.segment_features(self.params.axis);
+        let mut scorer = WindowScorer::new();
+        let mut coll = engine.collector();
+        for e in index.candidates_in_band(sig, q_amp_sum, amp_band, q_duration, dur_band) {
+            let Some(sf) = features.stream(e.stream) else {
                 continue;
             };
-            if let Some(m) = self.score_candidate(query, &view, delta, options) {
-                out.push(m);
+            if !engine.allows(sf.meta.patient) {
+                continue;
             }
+            let start = e.subseq.start as usize;
+            if start + n > sf.num_segments() {
+                continue;
+            }
+            let relation = engine.relation(&sf.meta);
+            let ws = self.params.ws(relation);
+            engine.score_window_at(sf, start, relation, ws, &mut scorer, &mut coll);
         }
+        let mut out = coll.into_vec();
         Self::finish(&mut out, options);
         out
     }
 
-    fn scan_stream(
-        &self,
-        query: &QuerySubseq,
-        stream: &Arc<tsm_db::MotionStream>,
-        n: usize,
-        delta: f64,
-        options: &SearchOptions,
-        out: &mut Vec<MatchResult>,
-    ) {
-        if let Some(allowed) = &options.restrict_patients {
-            if !allowed.contains(&stream.meta.patient) {
-                return;
-            }
-        }
-        let nseg = stream.plr.num_segments();
-        if nseg < n {
-            return;
-        }
-        for start in 0..=(nseg - n) {
-            let r = SubseqRef::new(stream.meta.id, start, n);
-            let Some(view) = SubseqView::new(stream.clone(), r) else {
-                continue;
-            };
-            if let Some(m) = self.score_candidate(query, &view, delta, options) {
-                out.push(m);
-            }
-        }
-    }
-
+    /// Scores one candidate for the naive reference path. Patient
+    /// restriction is applied at the stream level by the caller.
     fn score_candidate(
         &self,
         query: &QuerySubseq,
         view: &SubseqView,
         delta: f64,
-        options: &SearchOptions,
     ) -> Option<MatchResult> {
         let meta = view.stream().meta;
-        if let Some(allowed) = &options.restrict_patients {
-            if !allowed.contains(&meta.patient) {
-                return None;
-            }
-        }
         // Exclude candidates overlapping the query's own window.
         if query.origin_stream == Some(meta.id) {
             let q_first = query.vertices.first()?.time;
@@ -389,8 +707,19 @@ impl Matcher {
         })
     }
 
+    /// The admissible amplitude band half-width for a query (exposed for
+    /// diagnostics/benches): `δ · Σwi / (wa · wi_base)`.
+    pub fn amp_band(&self, query_len: usize, delta: f64) -> f64 {
+        let wi_sum: f64 = (0..query_len)
+            .map(|i| vertex_weight(&self.params, i, query_len))
+            .sum();
+        let wa = self.params.wa.max(f64::MIN_POSITIVE);
+        let wi_base = self.params.wi_base.max(f64::MIN_POSITIVE);
+        delta * wi_sum / (wa * wi_base)
+    }
+
     fn finish(out: &mut Vec<MatchResult>, options: &SearchOptions) {
-        out.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        out.sort_by(cmp_results);
         if let Some(k) = options.top_k {
             out.truncate(k);
         }
@@ -458,6 +787,58 @@ mod tests {
     }
 
     #[test]
+    fn engine_scan_equals_naive_reference() {
+        let (store, ids) = setup();
+        let m = Matcher::new(store.clone(), Params::default());
+        for (start, len) in [(0usize, 9usize), (1, 6), (3, 3), (5, 12)] {
+            let q = query_from(&store, ids[0], start, len);
+            for opts in [
+                SearchOptions::default(),
+                SearchOptions {
+                    top_k: Some(3),
+                    ..Default::default()
+                },
+                SearchOptions {
+                    delta_override: Some(0.4),
+                    ..Default::default()
+                },
+            ] {
+                let naive = m.find_matches_naive(&q, &opts);
+                let engine = m.find_matches_with(&q, &opts);
+                assert_eq!(naive, engine, "divergence at ({start}, {len})");
+            }
+        }
+    }
+
+    #[test]
+    fn tie_breaks_are_deterministic_and_topk_is_a_prefix() {
+        let (store, ids) = setup();
+        let m = Matcher::new(store.clone(), Params::default());
+        // Periodic streams make many candidates with *exactly* equal
+        // distances; the (distance, stream, start) order must hold.
+        let q = query_from(&store, ids[0], 0, 3);
+        let all = m.find_matches(&q);
+        for w in all.windows(2) {
+            assert_ne!(cmp_results(&w[0], &w[1]), Ordering::Greater);
+        }
+        for k in [1usize, 2, 5, all.len(), all.len() + 7] {
+            let opts = SearchOptions {
+                top_k: Some(k),
+                ..Default::default()
+            };
+            let topk = m.find_matches_with(&q, &opts);
+            assert_eq!(topk.as_slice(), &all[..k.min(all.len())], "k = {k}");
+            assert_eq!(topk, m.find_matches_parallel(&q, &opts, 3), "k = {k}");
+        }
+        let opts = SearchOptions {
+            top_k: Some(0),
+            ..Default::default()
+        };
+        assert!(m.find_matches_with(&q, &opts).is_empty());
+        assert!(m.find_matches_parallel(&q, &opts, 2).is_empty());
+    }
+
+    #[test]
     fn self_overlap_excluded_but_own_history_allowed() {
         let (store, ids) = setup();
         let m = Matcher::new(store.clone(), Params::default());
@@ -508,6 +889,13 @@ mod tests {
         let matches = m.find_matches_with(&q, &opts);
         assert!(!matches.is_empty());
         assert!(matches.iter().all(|r| r.subseq.stream == ids[2]));
+        // The restricted search agrees with the naive reference and the
+        // indexed/pruned paths (stream-level filter everywhere).
+        assert_eq!(matches, m.find_matches_naive(&q, &opts));
+        let soi = StateOrderIndex::build(&store, 9);
+        assert_eq!(matches, m.find_matches_indexed(&q, &soi, &opts));
+        let fi = FeatureIndex::build(&store, 9, 0);
+        assert_eq!(matches, m.find_matches_pruned(&q, &fi, &opts));
     }
 
     #[test]
@@ -578,7 +966,7 @@ mod tests {
     fn pruned_search_equals_scan() {
         let (store, ids) = setup();
         let m = Matcher::new(store.clone(), Params::default());
-        let index = tsm_db::FeatureIndex::build(&store, 9, 0);
+        let index = FeatureIndex::build(&store, 9, 0);
         for start in [0usize, 1, 3, 6] {
             let q = query_from(&store, ids[0], start, 9);
             let scan = m.find_matches(&q);

@@ -37,7 +37,7 @@
 
 use crate::params::Params;
 use tsm_db::SourceRelation;
-use tsm_model::{Segment, Vertex};
+use tsm_model::{Position, Segment, Vertex};
 
 /// The per-vertex recency weight `wi` for segment `i` of `n` (0-based).
 ///
@@ -127,6 +127,177 @@ pub fn offline_distance(
     relation: SourceRelation,
 ) -> Option<f64> {
     weighted_distance(query, candidate, params, relation, false)
+}
+
+/// Safety factor for early-abandon thresholds: the reverse-order partial
+/// sums the abandon test sees differ from the canonical forward sums by at
+/// most a few ULPs per term (n ≤ 60 terms), so a 1e-9 relative margin
+/// guarantees a window is abandoned only when its exact forward-computed
+/// distance provably exceeds the bound.
+const ABANDON_MARGIN: f64 = 1.0 + 1e-9;
+
+/// The query side of the columnar scoring engine: per-segment features of
+/// the query laid out as flat arrays, plus the precomputed recency weights.
+///
+/// `wsum` is accumulated in the same forward order as the naive
+/// [`online_distance`] loop, so distances computed through
+/// [`WindowScorer::score_window`] are bit-identical to the vertex-walking
+/// path.
+#[derive(Debug, Clone)]
+pub struct QueryCols {
+    /// Per-segment breathing state, as canonical indices.
+    pub states: Vec<u8>,
+    /// Signed displacement of each segment along the classification axis.
+    pub disp: Vec<f64>,
+    /// Spatial displacement vector of each segment.
+    pub dvec: Vec<Position>,
+    /// Duration of each segment.
+    pub dur: Vec<f64>,
+    /// Recency weight `wi(i)` of each segment.
+    pub wi: Vec<f64>,
+    /// `Σ wi`, accumulated in canonical forward order.
+    pub wsum: f64,
+}
+
+impl QueryCols {
+    /// Extracts the query columns from its vertices. `None` for degenerate
+    /// queries (fewer than two vertices).
+    pub fn build(vertices: &[Vertex], params: &Params) -> Option<Self> {
+        let n = vertices.len().checked_sub(1)?;
+        if n == 0 {
+            return None;
+        }
+        let mut states = Vec::with_capacity(n);
+        let mut disp = Vec::with_capacity(n);
+        let mut dvec = Vec::with_capacity(n);
+        let mut dur = Vec::with_capacity(n);
+        let mut wi = Vec::with_capacity(n);
+        let mut wsum = 0.0f64;
+        for (i, w) in vertices.windows(2).enumerate() {
+            let s = Segment::between(&w[0], &w[1]);
+            states.push(s.state.index() as u8);
+            disp.push(s.displacement(params.axis));
+            dvec.push(s.end_position - s.start_position);
+            dur.push(s.duration());
+            let weight = vertex_weight(params, i, n);
+            wi.push(weight);
+            wsum += weight;
+        }
+        Some(QueryCols {
+            states,
+            disp,
+            dvec,
+            dur,
+            wi,
+            wsum,
+        })
+    }
+
+    /// Number of query segments.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Always false (degenerate queries cannot be constructed).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The candidate side of one columnar scoring call: flat slices covering
+/// exactly the window's segments (borrowed from a
+/// [`tsm_db::StreamFeatures`] column set).
+#[derive(Debug, Clone, Copy)]
+pub struct WindowCols<'a> {
+    /// Per-segment breathing state indices.
+    pub states: &'a [u8],
+    /// Signed per-segment displacement along the classification axis.
+    pub disp: &'a [f64],
+    /// Per-segment spatial displacement vectors.
+    pub dvec: &'a [Position],
+    /// Per-segment durations.
+    pub dur: &'a [f64],
+}
+
+/// A reusable early-abandoning window scorer.
+///
+/// [`WindowScorer::score_window`] visits segments most-recent-first
+/// (highest `wi`, largest expected contribution) accumulating the weighted
+/// numerator, and bails as soon as the partial sum provably exceeds the
+/// caller's bound — typically `min(δ, current k-th best distance)`.
+/// Surviving windows are re-summed in canonical forward order from the
+/// buffered terms, so returned distances are **bit-identical** to
+/// [`online_distance`] (property-tested in `tests/matcher_properties.rs`).
+#[derive(Debug, Default)]
+pub struct WindowScorer {
+    terms: Vec<f64>,
+}
+
+impl WindowScorer {
+    /// A scorer with an empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scores one candidate window against the query columns.
+    ///
+    /// Returns `None` when the state orders differ, or when the partial
+    /// numerator proves the distance exceeds `bound` (early abandon);
+    /// otherwise the exact online distance, which may still exceed `bound`
+    /// marginally — callers must re-check against δ.
+    pub fn score_window(
+        &mut self,
+        query: &QueryCols,
+        cand: WindowCols<'_>,
+        params: &Params,
+        ws: f64,
+        bound: f64,
+    ) -> Option<f64> {
+        if cand.states != query.states.as_slice() {
+            return None;
+        }
+        let n = query.states.len();
+        debug_assert!(cand.disp.len() == n && cand.dur.len() == n && cand.dvec.len() == n);
+        let denom = query.wsum * ws;
+        let limit = bound * denom * ABANDON_MARGIN;
+        self.terms.clear();
+        self.terms.resize(n, 0.0);
+        let mut partial = 0.0f64;
+        match params.amplitude_metric {
+            crate::params::AmplitudeMetric::Axis => {
+                for i in (0..n).rev() {
+                    let amp_diff = (query.disp[i] - cand.disp[i]).abs();
+                    let freq_diff = (query.dur[i] - cand.dur[i]).abs();
+                    let term = query.wi[i] * (params.wa * amp_diff + params.wf * freq_diff);
+                    self.terms[i] = term;
+                    partial += term;
+                    if partial > limit {
+                        return None;
+                    }
+                }
+            }
+            crate::params::AmplitudeMetric::Spatial => {
+                for i in (0..n).rev() {
+                    let amp_diff = (query.dvec[i] - cand.dvec[i]).norm();
+                    let freq_diff = (query.dur[i] - cand.dur[i]).abs();
+                    let term = query.wi[i] * (params.wa * amp_diff + params.wf * freq_diff);
+                    self.terms[i] = term;
+                    partial += term;
+                    if partial > limit {
+                        return None;
+                    }
+                }
+            }
+        }
+        // Re-sum in canonical forward order: each buffered term was
+        // computed with the exact expression of the naive loop, so this
+        // reproduces `online_distance` bit for bit.
+        let mut num = 0.0f64;
+        for &t in &self.terms[..n] {
+            num += t;
+        }
+        Some(num / denom)
+    }
 }
 
 /// Definition 2's acceptance test: same state order *and* distance within
@@ -303,6 +474,86 @@ mod tests {
         let da = online_distance(&a, &c, &axis_params, SourceRelation::SameSession).unwrap();
         let ds = online_distance(&a, &c, &spatial_params, SourceRelation::SameSession).unwrap();
         assert!((da - ds).abs() < 1e-12);
+    }
+
+    fn window_cols(vertices: &[Vertex], params: &Params) -> QueryCols {
+        QueryCols::build(vertices, params).unwrap()
+    }
+
+    #[test]
+    fn columnar_score_is_bit_identical_to_online_distance() {
+        for params in [
+            Params::default(),
+            Params {
+                amplitude_metric: crate::params::AmplitudeMetric::Spatial,
+                ..Params::default()
+            },
+        ] {
+            let q = cycle(0.0, 10.0, 4.0, 0.0);
+            let c = cycle(3.0, 11.5, 4.4, 1.0);
+            let qc = window_cols(&q, &params);
+            let cc = window_cols(&c, &params);
+            let mut scorer = WindowScorer::new();
+            for relation in [
+                SourceRelation::SameSession,
+                SourceRelation::SamePatient,
+                SourceRelation::OtherPatient,
+            ] {
+                let naive = online_distance(&q, &c, &params, relation).unwrap();
+                let ws = params.ws(relation);
+                let cand = WindowCols {
+                    states: &cc.states,
+                    disp: &cc.disp,
+                    dvec: &cc.dvec,
+                    dur: &cc.dur,
+                };
+                let columnar = scorer
+                    .score_window(&qc, cand, &params, ws, f64::INFINITY)
+                    .unwrap();
+                assert_eq!(naive.to_bits(), columnar.to_bits(), "{relation:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_score_gates_state_order_and_abandons() {
+        let params = Params::default();
+        let q = cycle(0.0, 10.0, 4.0, 0.0);
+        let qc = window_cols(&q, &params);
+        let mut scorer = WindowScorer::new();
+        // Different state order: gated.
+        let mut other = cycle(0.0, 10.0, 4.0, 0.0);
+        other[1].state = Irregular;
+        let oc = window_cols(&other, &params);
+        let cand = WindowCols {
+            states: &oc.states,
+            disp: &oc.disp,
+            dvec: &oc.dvec,
+            dur: &oc.dur,
+        };
+        assert_eq!(
+            scorer.score_window(&qc, cand, &params, 1.0, f64::INFINITY),
+            None
+        );
+        // A far candidate is abandoned under a tight bound but scored
+        // exactly under a loose one.
+        let far = cycle(0.0, 40.0, 4.0, 0.0);
+        let fc = window_cols(&far, &params);
+        let cand = WindowCols {
+            states: &fc.states,
+            disp: &fc.disp,
+            dvec: &fc.dvec,
+            dur: &fc.dur,
+        };
+        assert_eq!(scorer.score_window(&qc, cand, &params, 1.0, 0.5), None);
+        let exact = scorer
+            .score_window(&qc, cand, &params, 1.0, f64::INFINITY)
+            .unwrap();
+        let naive = online_distance(&q, &far, &params, SourceRelation::SameSession).unwrap();
+        assert_eq!(exact.to_bits(), naive.to_bits());
+        // A bound exactly at the distance must NOT abandon (ties score).
+        let at_bound = scorer.score_window(&qc, cand, &params, 1.0, exact);
+        assert_eq!(at_bound, Some(exact));
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Property tests of the gating and tracking simulations.
 
 use proptest::prelude::*;
-use tsm_core::gating::{
-    last_observed_policy, oracle_policy, simulate_gating, GatingWindow,
-};
+use tsm_core::gating::{last_observed_policy, oracle_policy, simulate_gating, GatingWindow};
 use tsm_core::tracking::{last_observed_aim, oracle_aim, simulate_tracking};
 use tsm_model::{BreathState::*, PlrTrajectory, Vertex};
 

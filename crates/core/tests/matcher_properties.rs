@@ -97,11 +97,64 @@ proptest! {
             delta_override: Some(delta),
             ..Default::default()
         };
+        let naive = matcher.find_matches_naive(&query, &opts);
         let scan = matcher.find_matches_with(&query, &opts);
         let indexed = matcher.find_matches_indexed(&query, &index, &opts);
         let pruned = matcher.find_matches_pruned(&query, &feature_index, &opts);
+        prop_assert_eq!(&naive, &scan);
         prop_assert_eq!(&scan, &indexed);
         prop_assert_eq!(&scan, &pruned);
+    }
+
+    /// The tentpole invariant: every engine variant — columnar scan,
+    /// state-order indexed, feature-pruned and parallel — returns *exactly*
+    /// the naive vertex-walking reference's ordered top-k: same windows,
+    /// bit-identical distances (MatchResult's `PartialEq` compares f64
+    /// equality), same order. Exercised across query cuts, k, δ and
+    /// patient restrictions.
+    #[test]
+    fn all_variants_return_identical_ordered_topk(
+        amp in 6.0f64..18.0,
+        seed in 1u64..500,
+        start in 0usize..8,
+        len in 3usize..12,
+        k in 1usize..12,
+        delta in 0.3f64..10.0,
+        threads in 2usize..5,
+        restrict in proptest::bool::ANY,
+    ) {
+        let (store, id) = build_store(amp, 4.0, seed);
+        let params = Params::default();
+        let matcher = Matcher::new(store.clone(), params);
+        let index = StateOrderIndex::build(&store, len);
+        let feature_index = tsm_db::FeatureIndex::build(&store, len, 0);
+        let Some(view) = store.resolve(SubseqRef::new(id, start, len)) else {
+            return Ok(());
+        };
+        let query = QuerySubseq::from_view(&view);
+        let opts = SearchOptions {
+            top_k: Some(k),
+            delta_override: Some(delta),
+            restrict_patients: restrict.then(|| {
+                store.patients().into_iter().take(1).collect()
+            }),
+        };
+        let naive = matcher.find_matches_naive(&query, &opts);
+        prop_assert!(naive.len() <= k);
+        let scan = matcher.find_matches_with(&query, &opts);
+        let indexed = matcher.find_matches_indexed(&query, &index, &opts);
+        let pruned = matcher.find_matches_pruned(&query, &feature_index, &opts);
+        let parallel = matcher.find_matches_parallel(&query, &opts, threads);
+        prop_assert_eq!(&naive, &scan);
+        prop_assert_eq!(&naive, &indexed);
+        prop_assert_eq!(&naive, &pruned);
+        prop_assert_eq!(&naive, &parallel);
+        // The top-k is a prefix of the unbounded result.
+        let unbounded = matcher.find_matches_with(&query, &SearchOptions {
+            top_k: None,
+            ..opts.clone()
+        });
+        prop_assert_eq!(&unbounded[..naive.len().min(unbounded.len())], &naive[..]);
     }
 
     /// Predictions are always finite and inside (a generous expansion of)

@@ -4,25 +4,32 @@
 //! [`crate::StateOrderIndex`] turns Definition 2's state-order gate into a
 //! hash lookup; this index goes further. Each candidate window is stored
 //! with two cheap summaries — the sum of absolute segment displacements
-//! `S` and the window duration `T`. Triangle inequality gives a lower
-//! bound on the weighted distance of any query/candidate pair:
+//! `S` and the window duration `T`. Triangle inequality gives lower
+//! bounds on the weighted distance of any query/candidate pair:
 //!
 //! ```text
 //! Σᵢ |dq_i − dc_i|  ≥  |Σᵢ(|dq_i| − |dc_i|)|  =  |S_q − S_c|
+//! Σᵢ |Tq_i − Tc_i|  ≥  |Σᵢ(Tq_i − Tc_i)|      =  |T_q − T_c|
 //! ```
 //!
-//! so candidates whose summary differs too much cannot be within δ and
-//! are skipped without touching their vertices. Entries are sorted by `S`
-//! within each state-order bucket, making the admissible band a binary
-//! search. The matcher re-checks every survivor with the exact distance,
-//! so results are identical to the scan (property-tested in
+//! so candidates whose amplitude *or* duration summary differs too much
+//! cannot be within δ and are skipped without touching their features.
+//! Entries are sorted by `S` within each state-order bucket, making the
+//! amplitude band a binary search; the duration band filters the
+//! surviving slice. The matcher re-checks every survivor with the exact
+//! distance, so results are identical to the scan (property-tested in
 //! `tsm-core`).
+//!
+//! Construction runs on the store's columnar [`SegmentFeatures`]
+//! snapshot: window summaries are prefix-sum subtractions and state
+//! signatures roll forward one shift/mask per window, so a build is
+//! `O(total segments)` instead of the naive `O(windows × len)`.
 
+use crate::features::SegmentFeatures;
 use crate::ids::StreamId;
 use crate::store::StreamStore;
 use crate::subsequence::SubseqRef;
 use std::collections::HashMap;
-use tsm_model::{state_signature, Segment};
 
 /// One indexed window: its reference plus the prune summaries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,8 +55,25 @@ pub struct FeatureIndex {
 
 impl FeatureIndex {
     /// Builds the index for windows of `len` segments, summarizing along
-    /// `axis`.
+    /// `axis`. Uses the store's cached columnar feature snapshot, so
+    /// repeated builds (different lengths, or rebuilt after appends) pay
+    /// feature extraction only for streams not seen before.
     pub fn build(store: &StreamStore, len: usize, axis: usize) -> Self {
+        if len == 0 || len > 60 {
+            return FeatureIndex {
+                len,
+                axis,
+                map: HashMap::new(),
+                total: 0,
+            };
+        }
+        Self::from_features(&store.segment_features(axis), len)
+    }
+
+    /// Builds the index for windows of `len` segments directly from a
+    /// columnar feature snapshot (`1 <= len <= 60`).
+    pub fn from_features(features: &SegmentFeatures, len: usize) -> Self {
+        let axis = features.axis();
         let mut map: HashMap<u128, Vec<FeatureEntry>> = HashMap::new();
         let mut total = 0usize;
         if len == 0 || len > 60 {
@@ -60,32 +84,36 @@ impl FeatureIndex {
                 total,
             };
         }
-        for stream in store.streams() {
-            let vertices = stream.plr.vertices();
-            if vertices.len() < len + 1 {
+        // Rolling signature bookkeeping: a signature is the leading-1
+        // length marker followed by 2 bits per state, oldest state in the
+        // highest bits. Sliding the window drops the oldest state (the top
+        // 2 bits under the marker) and appends the newest.
+        let marker: u128 = 1 << (2 * len);
+        let keep_mask: u128 = (1 << (2 * (len - 1))) - 1;
+        for sf in features.streams() {
+            let nseg = sf.num_segments();
+            if nseg < len {
                 continue;
             }
-            // Rolling amp-sum over the window.
-            let disp: Vec<f64> = vertices
-                .windows(2)
-                .map(|w| Segment::between(&w[0], &w[1]).displacement(axis).abs())
-                .collect();
-            let mut amp_sum: f64 = disp[..len].iter().sum();
-            for start in 0..=(disp.len() - len) {
+            let mut body: u128 = 0;
+            for &s in &sf.states[..len] {
+                body = (body << 2) | s as u128;
+            }
+            for start in 0..=(nseg - len) {
                 if start > 0 {
-                    amp_sum += disp[start + len - 1] - disp[start - 1];
+                    body = ((body & keep_mask) << 2) | sf.states[start + len - 1] as u128;
                 }
-                let sig = state_signature(vertices[start..start + len].iter().map(|v| v.state))
-                    .expect("len <= 60");
-                map.entry(sig).or_default().push(FeatureEntry {
-                    subseq: SubseqRef::new(stream.meta.id, start, len),
-                    stream: stream.meta.id,
-                    amp_sum,
-                    duration: vertices[start + len].time - vertices[start].time,
+                map.entry(marker | body).or_default().push(FeatureEntry {
+                    subseq: SubseqRef::new(sf.meta.id, start, len),
+                    stream: sf.meta.id,
+                    amp_sum: sf.amp_sum(start, len),
+                    duration: sf.times[start + len] - sf.times[start],
                 });
                 total += 1;
             }
         }
+        // Stable sort: amp_sum ties keep (stream, start) insertion order,
+        // so band iteration is deterministic.
         for entries in map.values_mut() {
             entries.sort_by(|a, b| a.amp_sum.total_cmp(&b.amp_sum));
         }
@@ -118,16 +146,25 @@ impl FeatureIndex {
     }
 
     /// Candidates with the given state order whose amplitude summary lies
-    /// within `[amp_sum - band, amp_sum + band]` — everything outside
-    /// cannot be within the corresponding distance threshold. Returns a
-    /// slice of the sorted bucket.
-    pub fn candidates_in_band(&self, signature: u128, amp_sum: f64, band: f64) -> &[FeatureEntry] {
-        let Some(bucket) = self.map.get(&signature) else {
-            return &[];
-        };
-        let lo = bucket.partition_point(|e| e.amp_sum < amp_sum - band);
-        let hi = bucket.partition_point(|e| e.amp_sum <= amp_sum + band);
-        &bucket[lo..hi]
+    /// within `[amp_sum - amp_band, amp_sum + amp_band]` **and** whose
+    /// duration summary lies within `[duration - dur_band, duration +
+    /// dur_band]` — everything outside cannot be within the corresponding
+    /// distance threshold. The amplitude band is a binary search over the
+    /// sorted bucket; the duration band filters the surviving slice.
+    pub fn candidates_in_band(
+        &self,
+        signature: u128,
+        amp_sum: f64,
+        amp_band: f64,
+        duration: f64,
+        dur_band: f64,
+    ) -> impl Iterator<Item = &FeatureEntry> {
+        let bucket = self.candidates(signature);
+        let lo = bucket.partition_point(|e| e.amp_sum < amp_sum - amp_band);
+        let hi = bucket.partition_point(|e| e.amp_sum <= amp_sum + amp_band);
+        bucket[lo..hi]
+            .iter()
+            .filter(move |e| (e.duration - duration).abs() <= dur_band)
     }
 
     /// All candidates with the given state order (no pruning).
@@ -140,7 +177,7 @@ impl FeatureIndex {
 mod tests {
     use super::*;
     use crate::store::PatientAttributes;
-    use tsm_model::{BreathState::*, PlrTrajectory, Vertex};
+    use tsm_model::{state_signature, BreathState::*, PlrTrajectory, Vertex};
 
     fn store() -> StreamStore {
         let store = StreamStore::new();
@@ -164,32 +201,54 @@ mod tests {
     #[test]
     fn index_counts_match_enumeration() {
         let store = store();
-        for len in [3usize, 6, 9] {
+        for len in [1usize, 3, 6, 9] {
             let ix = FeatureIndex::build(&store, len, 0);
             assert_eq!(ix.total(), store.all_subsequences(len).len());
         }
     }
 
     #[test]
-    fn rolling_summaries_match_direct_computation() {
+    fn rolling_signatures_match_direct_recomputation() {
+        let store = store();
+        for len in [1usize, 2, 5, 9] {
+            let ix = FeatureIndex::build(&store, len, 0);
+            let mut seen = 0usize;
+            for stream in store.streams() {
+                let states = stream.plr.states();
+                for start in 0..=(states.len().saturating_sub(len)) {
+                    if start + len > states.len() {
+                        continue;
+                    }
+                    let sig = state_signature(states[start..start + len].iter().copied()).unwrap();
+                    let hit = ix
+                        .candidates(sig)
+                        .iter()
+                        .any(|e| e.stream == stream.meta.id && e.subseq.start as usize == start);
+                    assert!(hit, "window ({}, {start}) missing", stream.meta.id);
+                    seen += 1;
+                }
+            }
+            assert_eq!(seen, ix.total(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn prefix_summaries_match_direct_computation() {
         let store = store();
         let ix = FeatureIndex::build(&store, 6, 0);
-        for bucket_sig in
-            [
-                state_signature([Exhale, EndOfExhale, Inhale, Exhale, EndOfExhale, Inhale])
-                    .unwrap(),
-            ]
-        {
-            for e in ix.candidates(bucket_sig) {
-                let view = store.resolve(e.subseq).unwrap();
-                let direct: f64 = view.segments().map(|s| s.displacement(0).abs()).sum();
-                assert!(
-                    (direct - e.amp_sum).abs() < 1e-9,
-                    "rolling {} vs direct {direct}",
-                    e.amp_sum
-                );
-                assert!((view.duration() - e.duration).abs() < 1e-9);
-            }
+        let sig =
+            state_signature([Exhale, EndOfExhale, Inhale, Exhale, EndOfExhale, Inhale]).unwrap();
+        let entries = ix.candidates(sig);
+        assert!(!entries.is_empty());
+        for e in entries {
+            let view = store.resolve(e.subseq).unwrap();
+            let direct: f64 = view.segments().map(|s| s.displacement(0).abs()).sum();
+            assert!(
+                (direct - e.amp_sum).abs() < 1e-9,
+                "prefix {} vs direct {direct}",
+                e.amp_sum
+            );
+            assert!((view.duration() - e.duration).abs() < 1e-9);
         }
     }
 
@@ -203,21 +262,62 @@ mod tests {
         for w in all.windows(2) {
             assert!(w[0].amp_sum <= w[1].amp_sum);
         }
-        let mid = all[all.len() / 2].amp_sum;
+        let mid = all[all.len() / 2];
         let band = 2.0;
-        let in_band = ix.candidates_in_band(sig, mid, band);
-        // Band result equals brute-force filter.
-        let brute: Vec<_> = all
-            .iter()
-            .filter(|e| (e.amp_sum - mid).abs() <= band + 1e-12)
+        // Infinite duration band: equals the pure amplitude filter.
+        let in_band: Vec<_> = ix
+            .candidates_in_band(sig, mid.amp_sum, band, 0.0, f64::INFINITY)
             .copied()
             .collect();
-        assert_eq!(in_band.to_vec(), brute);
-        // Zero band still contains the window itself.
-        assert!(!ix.candidates_in_band(sig, mid, 1e-9).is_empty());
+        let brute: Vec<_> = all
+            .iter()
+            .filter(|e| (e.amp_sum - mid.amp_sum).abs() <= band + 1e-12)
+            .copied()
+            .collect();
+        assert_eq!(in_band, brute);
+        // A finite duration band prunes further and matches brute force.
+        let dur_band = 0.5;
+        let both: Vec<_> = ix
+            .candidates_in_band(sig, mid.amp_sum, band, mid.duration, dur_band)
+            .copied()
+            .collect();
+        let brute_both: Vec<_> = brute
+            .iter()
+            .filter(|e| (e.duration - mid.duration).abs() <= dur_band)
+            .copied()
+            .collect();
+        assert_eq!(both, brute_both);
+        assert!(both.len() <= in_band.len());
+        // Zero bands still contain the window itself.
+        assert!(ix
+            .candidates_in_band(sig, mid.amp_sum, 1e-9, mid.duration, 1e-9)
+            .next()
+            .is_some());
         // Unknown signature: empty.
         let none = state_signature([Irregular, Irregular, Irregular]).unwrap();
-        assert!(ix.candidates_in_band(none, 0.0, 1e9).is_empty());
+        assert!(ix
+            .candidates_in_band(none, 0.0, 1e9, 0.0, 1e9)
+            .next()
+            .is_none());
+    }
+
+    #[test]
+    fn builds_from_cached_features_match_store_builds() {
+        let store = store();
+        let features = store.segment_features(0);
+        for len in [3usize, 6] {
+            let a = FeatureIndex::build(&store, len, 0);
+            let b = FeatureIndex::from_features(&features, len);
+            assert_eq!(a.total(), b.total());
+            let sig = state_signature(
+                vec![Exhale, EndOfExhale, Inhale]
+                    .into_iter()
+                    .cycle()
+                    .take(len),
+            )
+            .unwrap();
+            assert_eq!(a.candidates(sig), b.candidates(sig));
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //!   `index_vs_scan` bench for its effect).
 
 pub mod feature_index;
+pub mod features;
 pub mod ids;
 pub mod index;
 pub mod persist;
@@ -35,6 +36,7 @@ pub mod stream;
 pub mod subsequence;
 
 pub use feature_index::{FeatureEntry, FeatureIndex};
+pub use features::{SegmentFeatures, StreamFeatures};
 pub use ids::{PatientId, StreamId};
 pub use index::StateOrderIndex;
 pub use persist::{load_store, load_store_from_path, save_store, save_store_to_path, PersistError};

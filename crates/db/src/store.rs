@@ -1,9 +1,10 @@
 //! The in-memory stream store.
 
+use crate::features::SegmentFeatures;
 use crate::ids::{PatientId, StreamId};
 use crate::stream::{MotionStream, StreamMeta};
 use crate::subsequence::{SubseqRef, SubseqView};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use tsm_model::PlrTrajectory;
@@ -43,6 +44,9 @@ struct Inner {
 #[derive(Debug, Default, Clone)]
 pub struct StreamStore {
     inner: Arc<RwLock<Inner>>,
+    /// Lazily built columnar feature snapshot, shared across handles and
+    /// invalidated by the version counter (see [`StreamStore::segment_features`]).
+    features: Arc<Mutex<Option<Arc<SegmentFeatures>>>>,
 }
 
 impl StreamStore {
@@ -99,6 +103,35 @@ impl StreamStore {
     /// at version `v` is exactly up to date while `version() == v`.
     pub fn version(&self) -> u64 {
         self.inner.read().version
+    }
+
+    /// The columnar per-segment feature snapshot for `axis`, building it
+    /// on first use and rebuilding only what changed since: streams are
+    /// immutable once inserted, so a stale snapshot keeps every
+    /// already-extracted stream and only new streams pay extraction cost.
+    /// The result is a consistent view — it reflects exactly the streams
+    /// present at its [`SegmentFeatures::version`].
+    pub fn segment_features(&self, axis: usize) -> Arc<SegmentFeatures> {
+        // Snapshot streams + version under one read guard so the pair is
+        // consistent even while writers insert concurrently.
+        let (streams, version) = {
+            let g = self.inner.read();
+            (g.streams.clone(), g.version)
+        };
+        let mut cache = self.features.lock();
+        if let Some(cached) = cache.as_ref() {
+            if cached.version() == version && cached.axis() == axis {
+                return cached.clone();
+            }
+        }
+        let built = Arc::new(SegmentFeatures::build(
+            &streams,
+            axis,
+            version,
+            cache.as_deref(),
+        ));
+        *cache = Some(built.clone());
+        built
     }
 
     /// Number of patients.

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Snapshot the matcher-critical criterion benches into BENCH_matching.json.
+#
+# Runs the `matching` and `distances` benches on the fixed synthetic
+# cohorts they define (seeded generators — the workload is identical
+# across runs and machines) and collects each benchmark's median ns/op
+# into one JSON document at the repo root:
+#
+#   {
+#     "captured": "<utc timestamp>",
+#     "label": "<arg, e.g. before/after>",
+#     "results": { "matching/scan/60p": 1234.5, ... }
+#   }
+#
+# Usage: scripts/bench_snapshot.sh [label] [output.json]
+# The vendored criterion stand-in appends one JSON line per benchmark to
+# $CRITERION_SNAPSHOT; this script assembles those lines into the map.
+
+set -euo pipefail
+
+label="${1:-snapshot}"
+out="${2:-BENCH_matching.json}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== building benches (release) =="
+cargo build --release -p tsm-bench --benches
+
+echo "== running matching + distances benches =="
+CRITERION_SNAPSHOT="$raw" cargo bench -p tsm-bench --bench matching
+CRITERION_SNAPSHOT="$raw" cargo bench -p tsm-bench --bench distances
+
+python3 - "$raw" "$out" "$label" <<'EOF'
+import json, sys, datetime
+
+raw_path, out_path, label = sys.argv[1], sys.argv[2], sys.argv[3]
+results = {}
+with open(raw_path) as fh:
+    for line in fh:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        results[rec["id"]] = rec["median_ns"]
+
+doc = {
+    "captured": datetime.datetime.now(datetime.timezone.utc)
+    .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "label": label,
+    "results": dict(sorted(results.items())),
+}
+
+# Merge: keep earlier labelled captures (e.g. "before") alongside this one
+# so the file carries the before/after comparison in a single artifact.
+try:
+    with open(out_path) as fh:
+        prior = json.load(fh)
+    captures = prior.get("captures", [])
+    captures = [c for c in captures if c.get("label") != label]
+except (FileNotFoundError, json.JSONDecodeError):
+    captures = []
+captures.append(doc)
+with open(out_path, "w") as fh:
+    json.dump({"captures": captures}, fh, indent=2)
+    fh.write("\n")
+
+print(f"wrote {len(results)} medians to {out_path} (label: {label})")
+EOF

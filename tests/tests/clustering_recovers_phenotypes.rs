@@ -50,7 +50,22 @@ fn k_medoids_recovers_phenotypes() {
 
 #[test]
 fn correlation_discovery_ranks_the_built_in_correlate_high() {
-    let b = bundle();
+    // At 12 patients the contingency tables are too small: a 2-category
+    // attribute like `sex` beats the built-in 5-category `tumor_site`
+    // correlate by chance (observed: sex V 0.87 vs tumor_site V 0.58).
+    // Use a cohort large enough for the constructed correlation to
+    // dominate sampling noise.
+    let b = build_bundle(&BundleConfig {
+        cohort: CohortConfig {
+            n_patients: 24,
+            sessions_per_patient: 2,
+            streams_per_session: 2,
+            stream_duration_s: 100.0,
+            dim: 1,
+            seed: 0xC1u64,
+        },
+        segmenter: SegmenterConfig::default(),
+    });
     let params = Params::default();
     let cfg = StreamDistanceConfig {
         len_segments: 9,

@@ -1,0 +1,238 @@
+//! Offline stand-in for the parts of `criterion` this workspace uses.
+//!
+//! Methodology: each benchmark is calibrated with one timed run, then
+//! executed for `sample_size` samples, each long enough to dampen timer
+//! granularity (~5 ms wall-clock per sample). The reported figure is the
+//! **median** ns/iteration across samples — robust against scheduler
+//! noise, which matters more in a container than the confidence intervals
+//! real criterion computes.
+//!
+//! Results print to stdout. When `CRITERION_SNAPSHOT` names a file, each
+//! result is also appended to it as one JSON line
+//! (`{"id":"group/bench","median_ns":1234.5}`) — the hook
+//! `scripts/bench_snapshot.sh` uses to track perf across commits.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+/// Wall-clock time one sample should roughly cover.
+const TARGET_SAMPLE_NANOS: f64 = 5.0e6;
+
+/// The benchmark context: holds defaults and the snapshot sink.
+pub struct Criterion {
+    default_sample_size: usize,
+    snapshot_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            snapshot_path: std::env::var("CRITERION_SNAPSHOT").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let sample_size = self.default_sample_size;
+        self.run_one(id.to_string(), sample_size, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        let mut bencher = Bencher {
+            sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let median = bencher.median_ns();
+        println!("{id:<60} median {median:>14.1} ns/iter ({sample_size} samples)");
+        if let Some(path) = &self.snapshot_path {
+            let line = format!("{{\"id\":\"{id}\",\"median_ns\":{median:.1}}}\n");
+            let written = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut fh| fh.write_all(line.as_bytes()));
+            if let Err(e) = written {
+                eprintln!("criterion: cannot append snapshot to {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Units processed per iteration; recorded for display parity with real
+/// criterion but not folded into the reported ns/iter.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Records the per-iteration throughput (display-only in this
+    /// stand-in).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let full = format!("{}/{}", self.name, id);
+        let n = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(full, n, f);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus a parameter label.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`: one calibration run sizes the per-sample iteration
+    /// count, then `sample_size` samples are timed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let calibration = Instant::now();
+        black_box(f());
+        let once_ns = (calibration.elapsed().as_nanos() as f64).max(1.0);
+        let iters = (TARGET_SAMPLE_NANOS / once_ns).clamp(1.0, 1.0e9) as u64;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters as f64);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        let mut xs = self.samples_ns.clone();
+        xs.sort_by(f64::total_cmp);
+        let mid = xs.len() / 2;
+        if xs.len() % 2 == 1 {
+            xs[mid]
+        } else {
+            0.5 * (xs[mid - 1] + xs[mid])
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// The benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (`--bench`); this stand-in
+            // runs everything unconditionally and ignores them.
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medians_are_positive_and_stable() {
+        let mut c = Criterion {
+            default_sample_size: 5,
+            snapshot_path: None,
+        };
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(5);
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("spin", "200"), &200u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("scan", "24p").to_string(), "scan/24p");
+    }
+}

@@ -1,0 +1,88 @@
+//! Offline stand-in for the parts of `crossbeam` this workspace uses:
+//! scoped threads. Built directly on `std::thread::scope` (stable since
+//! Rust 1.63), which provides the same borrow-the-stack guarantee.
+//!
+//! Behavioral difference from real crossbeam: if a spawned thread
+//! panics and its handle is never joined, `std::thread::scope` panics
+//! when the scope closes instead of returning `Err`. Every call site in
+//! this workspace joins all handles, so the difference is unobservable
+//! here.
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// The result of joining a thread: `Err` holds the panic payload.
+    pub type Result<T> = std_thread::Result<T>;
+
+    /// A scope for spawning threads that borrow from the caller's stack.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (`Err`
+        /// carries the panic payload if it panicked).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope itself (for nested spawns), matching crossbeam's
+        /// signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope whose threads may borrow non-`'static` data.
+    /// Always returns `Ok` (see the module docs for the panic-handling
+    /// difference from crossbeam).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panics_surface_through_join() {
+        let caught = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| -> i32 { panic!("boom") });
+            h.join()
+        })
+        .unwrap();
+        assert!(caught.is_err());
+    }
+}

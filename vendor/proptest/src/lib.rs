@@ -1,0 +1,823 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses.
+//!
+//! Deterministic case generation without shrinking: every `proptest!` test
+//! derives a seed from its own module path and name, draws `cases` inputs
+//! from its strategies, and runs the body on each. Failures panic with the
+//! generated inputs and the per-case seed so a run is reproducible by
+//! construction (same binary, same inputs, every time). Shrinking is not
+//! implemented — the printed inputs are the un-shrunk failing case.
+//!
+//! Implemented surface (the subset the workspace's property tests use):
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, ...) {} }`
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//! * numeric range strategies (`0.0f64..1.0`, `0usize..4`, `2usize..=4`),
+//!   tuples of strategies up to arity 12, `Just`,
+//!   `proptest::collection::vec`, `proptest::bool::ANY`,
+//!   `proptest::sample::Index`, `any::<T>()` for small ints and `Index`,
+//!   string strategies from simple regex patterns (`"[a-z_]{1,12}"`),
+//! * combinators `prop_map`, `prop_flat_map`, `prop_filter`.
+
+use std::fmt;
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+
+/// The strategy abstraction: a recipe for drawing values from an RNG.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::fmt;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type. `generate` returns `None`
+    /// when the draw was rejected (a `prop_filter` predicate failed); the
+    /// runner retries the whole case with the next seed.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: fmt::Debug;
+
+        /// Draws one value, or `None` on rejection.
+        fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+        /// Transforms generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy it selects.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Rejects generated values failing the predicate.
+        fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                _reason: reason.into(),
+                f,
+            }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> Option<O> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> Option<S2::Value> {
+            let first = self.inner.generate(rng)?;
+            (self.f)(first).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        _reason: String,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            self.inner.generate(rng).filter(|v| (self.f)(v))
+        }
+    }
+
+    /// See [`Strategy::boxed`].
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn DynStrategy<T>>,
+    }
+
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut StdRng) -> Option<T>;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            self.generate(rng)
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> Option<T> {
+            self.inner.dyn_generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                    Some(rng.random_range(self.clone()))
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                    Some(rng.random_range(self.clone()))
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> Option<f64> {
+            Some(rng.random_range(self.clone()))
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.generate(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+    /// String literals are mini-regex strategies: sequences of literal
+    /// characters and character classes (`[a-z0-9_]`, ranges allowed) with
+    /// quantifiers `{n}`, `{m,n}`, `*`, `+`, `?`. This covers the patterns
+    /// the workspace's tests use; anything fancier panics loudly.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> Option<String> {
+            Some(generate_from_pattern(self, rng))
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // Atom: a character class or a single (possibly escaped) char.
+            let choices: Vec<char> = if chars[i] == '[' {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let mut c = chars[i];
+                    if c == '\\' {
+                        i += 1;
+                        c = chars[i];
+                    }
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        assert!(c <= hi, "bad range in pattern {pattern:?}");
+                        set.extend(c..=hi);
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                i += 1; // closing ']'
+                set
+            } else {
+                let mut c = chars[i];
+                if c == '\\' {
+                    i += 1;
+                    c = chars[i];
+                }
+                i += 1;
+                vec![c]
+            };
+            // Quantifier.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated quantifier")
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("bad quantifier"),
+                        n.trim().parse::<usize>().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse::<usize>().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && (chars[i] == '*' || chars[i] == '+' || chars[i] == '?') {
+                let q = chars[i];
+                i += 1;
+                match q {
+                    '*' => (0, 8),
+                    '+' => (1, 8),
+                    _ => (0, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            let n = rng.random_range(lo..=hi);
+            for _ in 0..n {
+                out.push(choices[rng.random_range(0..choices.len())]);
+            }
+        }
+        out
+    }
+
+    /// Full-range draws for types with an `Arbitrary` impl.
+    pub struct AnyStrategy<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+}
+
+/// `any::<T>()` — the canonical strategy of a type.
+pub mod arbitrary {
+    use super::strategy::{AnyStrategy, Strategy};
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngExt};
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized + fmt::Debug {
+        /// Draws one full-range value.
+        fn arbitrary_value(rng: &mut StdRng) -> Self;
+    }
+
+    /// The canonical strategy of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> Option<T> {
+            Some(T::arbitrary_value(rng))
+        }
+    }
+
+    macro_rules! arbitrary_via_random {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut StdRng) -> $t {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+
+    arbitrary_via_random!(u8, u16, u32, u64, usize, bool);
+
+    impl Arbitrary for super::sample::Index {
+        fn arbitrary_value(rng: &mut StdRng) -> Self {
+            super::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element counts for [`vec`]: an exact size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Vectors of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let n = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Uniform coin flip.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The strategy drawing `true`/`false` uniformly.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> Option<bool> {
+            Some(rng.random())
+        }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    /// An abstract index into a collection of yet-unknown size: the test
+    /// draws one up front and projects it onto a concrete `len` later.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn from_raw(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// Projects the abstract index onto `0..len`.
+        ///
+        /// # Panics
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+/// Test-runner plumbing used by the `proptest!` expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// How a single case ended short of success.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case did not apply (`prop_assume!` failed); try another.
+        Reject(String),
+        /// An assertion failed; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (non-applicable) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Drives one `proptest!` test: seeds per-case RNGs, counts accepted
+    /// and rejected cases, and panics with full context on failure.
+    pub struct Runner {
+        name: &'static str,
+        cases: u32,
+        accepted: u32,
+        rejected: u32,
+        max_rejected: u32,
+        case_index: u64,
+        base_seed: u64,
+        current_seed: u64,
+    }
+
+    impl Runner {
+        /// A runner for the named test.
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            // FNV-1a over the test's full path: deterministic per test,
+            // different across tests.
+            let mut seed = 0xcbf29ce484222325u64;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x100000001b3);
+            }
+            Runner {
+                name,
+                cases: config.cases,
+                accepted: 0,
+                rejected: 0,
+                max_rejected: config.cases.saturating_mul(64).saturating_add(1024),
+                case_index: 0,
+                base_seed: seed,
+                current_seed: seed,
+            }
+        }
+
+        /// Whether more accepted cases are needed.
+        pub fn more_cases(&self) -> bool {
+            self.accepted < self.cases
+        }
+
+        /// The RNG for the next case.
+        pub fn case_rng(&mut self) -> StdRng {
+            self.current_seed = self
+                .base_seed
+                .wrapping_add(self.case_index.wrapping_mul(0x9e3779b97f4a7c15));
+            self.case_index += 1;
+            StdRng::seed_from_u64(self.current_seed)
+        }
+
+        /// Records a rejected draw (strategy-level filter failure).
+        pub fn reject(&mut self) {
+            self.rejected += 1;
+            assert!(
+                self.rejected <= self.max_rejected,
+                "{}: too many rejected cases ({} rejected, {} accepted) — \
+                 loosen the filters or assumptions",
+                self.name,
+                self.rejected,
+                self.accepted
+            );
+        }
+
+        /// Records the outcome of one executed case.
+        pub fn finish_case(&mut self, result: Result<(), TestCaseError>, inputs: &str) {
+            match result {
+                Ok(()) => self.accepted += 1,
+                Err(TestCaseError::Reject(_)) => self.reject(),
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "{} failed: {}\n  inputs: {}\n  case seed: {:#x}",
+                    self.name, msg, inputs, self.current_seed
+                ),
+            }
+        }
+    }
+}
+
+/// Everything a property test needs.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+impl fmt::Display for test_runner::TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            test_runner::TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            test_runner::TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Declares property tests: each `fn` runs its body against `cases`
+/// strategy-drawn inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ [$crate::test_runner::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __runner = $crate::test_runner::Runner::new(
+                __config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let __strats = ($($strat,)+);
+            while __runner.more_cases() {
+                let mut __rng = __runner.case_rng();
+                let __values =
+                    match $crate::strategy::Strategy::generate(&__strats, &mut __rng) {
+                        ::std::option::Option::Some(v) => v,
+                        ::std::option::Option::None => {
+                            __runner.reject();
+                            continue;
+                        }
+                    };
+                let __inputs = format!("{:?}", __values);
+                let ($($pat,)+) = __values;
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __runner.finish_case(__result, &__inputs);
+            }
+        }
+        $crate::__proptest_impl!{ [$cfg] $($rest)* }
+    };
+}
+
+/// Asserts inside a property test; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `left == right`: {}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `left != right`\n  both: {:?}",
+            __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `left != right`: {}\n  both: {:?}",
+            format!($($fmt)+),
+            __l
+        );
+    }};
+}
+
+/// Skips cases where the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_vec_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = (0.0f64..1.0, 3usize..6, 1u8..=4);
+        for _ in 0..200 {
+            let (f, n, b) = Strategy::generate(&s, &mut rng).unwrap();
+            assert!((0.0..1.0).contains(&f));
+            assert!((3..6).contains(&n));
+            assert!((1..=4).contains(&b));
+        }
+        let v = crate::collection::vec(0usize..10, 2..5);
+        for _ in 0..100 {
+            let xs = Strategy::generate(&v, &mut rng).unwrap();
+            assert!((2..5).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 10));
+        }
+        let exact = crate::collection::vec(0usize..10, 4);
+        assert_eq!(Strategy::generate(&exact, &mut rng).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn string_patterns_match_their_classes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-z_]{1,12}", &mut rng).unwrap();
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+            let t = Strategy::generate(&"[ -~]{0,20}", &mut rng).unwrap();
+            assert!(t.len() <= 20);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = (1usize..5)
+            .prop_flat_map(|n| crate::collection::vec(0usize..100, n))
+            .prop_map(|v| v.len())
+            .prop_filter("nonzero", |&n| n > 0);
+        for _ in 0..50 {
+            let n = Strategy::generate(&s, &mut rng).unwrap();
+            assert!((1..5).contains(&n));
+        }
+        // A filter that always fails rejects every draw.
+        let never = (0usize..4).prop_filter("never", |_| false);
+        assert!(Strategy::generate(&never, &mut rng).is_none());
+    }
+
+    #[test]
+    fn index_projects_into_len() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let ix = Strategy::generate(&any::<crate::sample::Index>(), &mut rng).unwrap();
+            assert!(ix.index(7) < 7);
+            assert_eq!(ix.index(1), 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, assume, asserts, early Ok returns.
+        #[test]
+        fn macro_machinery_works(x in 0usize..100, (a, b) in (0u8..10, 0u8..10)) {
+            prop_assume!(x != 55);
+            if x > 90 {
+                return Ok(());
+            }
+            prop_assert!(x <= 90, "x was {}", x);
+            prop_assert_eq!(a as u16 + b as u16, b as u16 + a as u16);
+            prop_assert_ne!(x + 1, x);
+        }
+    }
+}

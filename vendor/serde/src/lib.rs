@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in a hermetic container with no crates.io
+//! access, and its persistence layer is a hand-rolled binary codec
+//! (`tsm-db::persist`) — serde is only ever named in `#[derive(...)]`
+//! attributes. This crate supplies just enough surface for those derives
+//! to compile: the two marker traits and (behind the `derive` feature)
+//! no-op derive macros.
+//!
+//! If the workspace ever needs real serialization, swap this for the
+//! actual crates.io `serde` by editing `[workspace.dependencies]` — no
+//! source change is required.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

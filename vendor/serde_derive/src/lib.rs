@@ -1,0 +1,17 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The sibling `serde` crate blanket-implements its marker traits for
+//! every type, so these derives only need to *exist* (and accept the
+//! `#[serde(...)]` helper attribute); they expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
