@@ -12,7 +12,7 @@
 use crate::euclidean::window_euclidean;
 use tsm_core::matcher::{MatchResult, QuerySubseq};
 use tsm_core::params::Params;
-use tsm_db::{SourceRelation, StreamStore, SubseqRef, SubseqView};
+use tsm_db::{SharedStore, SourceRelation, StreamStore, SubseqRef, SubseqView};
 
 /// Configuration of the Euclidean matcher.
 #[derive(Debug, Clone)]
@@ -42,17 +42,23 @@ impl Default for EuclideanMatcherConfig {
 /// The Euclidean baseline matcher.
 #[derive(Debug, Clone)]
 pub struct EuclideanMatcher {
-    store: StreamStore,
+    store: SharedStore,
     params: Params,
     config: EuclideanMatcherConfig,
 }
 
 impl EuclideanMatcher {
     /// Creates the matcher. `params` supplies the axis, source weights and
-    /// `min_matches`; `config` the Euclidean-specific knobs.
-    pub fn new(store: StreamStore, params: Params, config: EuclideanMatcherConfig) -> Self {
+    /// `min_matches`; `config` the Euclidean-specific knobs. The store is
+    /// a shared handle — pass an existing `Arc<StreamStore>` to search the
+    /// same database as the core matchers without another wrapper.
+    pub fn new(
+        store: impl Into<SharedStore>,
+        params: Params,
+        config: EuclideanMatcherConfig,
+    ) -> Self {
         EuclideanMatcher {
-            store,
+            store: store.into(),
             params,
             config,
         }

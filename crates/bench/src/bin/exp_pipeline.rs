@@ -1,0 +1,231 @@
+//! Experiment: **end-to-end online pipeline throughput.**
+//!
+//! Before the session runtime, each online subsystem — position
+//! prediction, beam gating, tumor tracking — ran its own replay loop with
+//! its own predictor: three segmentation passes and three matcher calls
+//! per prediction tick, per session. The `SessionRuntime` makes one pass
+//! and fans the shared prediction tick out to all three consumers, and a
+//! cohort shares one `CachedMatcher` so per-length feature indexes are
+//! built once, not once per session.
+//!
+//! This binary replays the same held-out sessions both ways and reports
+//! aggregate predictions/sec. Run with `--release`; pass
+//! `--json <path>` to also write the numbers as a JSON document (consumed
+//! by `scripts/bench_snapshot.sh` into `BENCH_pipeline.json`).
+
+use std::sync::Arc;
+use std::time::Instant;
+use tsm_bench::report::{banner, table};
+use tsm_bench::{build_bundle, BundleConfig, EvalStream};
+use tsm_core::gating::{GatingAccumulator, GatingWindow};
+use tsm_core::pipeline::OnlinePredictor;
+use tsm_core::session::{
+    GatingController, PredictionLog, SessionConfig, SessionRuntime, TrackingController,
+};
+use tsm_core::{CachedMatcher, Matcher, Params};
+use tsm_db::SharedStore;
+use tsm_model::{Position, SegmenterConfig};
+use tsm_signal::CohortConfig;
+
+const DT: f64 = 0.3;
+const EVERY: usize = 30;
+const WINDOW_MM: f64 = 3.0;
+
+/// The legacy architecture: three disconnected single-purpose loops per
+/// session, each with its own predictor re-segmenting the live signal and
+/// re-matching against the store.
+fn legacy_session(
+    store: &SharedStore,
+    params: &Params,
+    seg: &SegmenterConfig,
+    eval: &EvalStream,
+) -> usize {
+    let axis = params.axis;
+    let window = GatingWindow::at_exhale_end(&eval.truth, axis, WINDOW_MM);
+    let new_predictor = || {
+        OnlinePredictor::new(
+            store.clone(),
+            params.clone(),
+            seg.clone(),
+            eval.patient,
+            eval.session,
+        )
+        .expect("valid parameters")
+    };
+
+    // Loop 1: prediction.
+    let mut predictor = new_predictor();
+    let mut outcomes = 0usize;
+    for (i, &s) in eval.samples.iter().enumerate() {
+        predictor.push(s);
+        if i % EVERY == 0 && i >= EVERY && predictor.predict(DT).is_some() {
+            outcomes += 1;
+        }
+    }
+
+    // Loop 2: gating (full re-replay).
+    let mut predictor = new_predictor();
+    let mut acc = GatingAccumulator::new();
+    for (i, &s) in eval.samples.iter().enumerate() {
+        predictor.push(s);
+        if i % EVERY == 0 && i >= EVERY {
+            let Some(last) = predictor.live_vertices().last() else {
+                continue;
+            };
+            let target = last.time + DT;
+            let beam = predictor
+                .predict(DT)
+                .is_some_and(|o| window.contains(o.position[axis]));
+            acc.record(beam, window.contains(eval.truth.position_at(target)[axis]));
+        }
+    }
+
+    // Loop 3: tracking (another full re-replay).
+    let mut predictor = new_predictor();
+    let mut last_aim: Option<Position> = None;
+    let mut errors = 0usize;
+    for (i, &s) in eval.samples.iter().enumerate() {
+        predictor.push(s);
+        if i % EVERY == 0 && i >= EVERY {
+            if let Some(o) = predictor.predict(DT) {
+                last_aim = Some(o.position);
+            }
+            if predictor.live_vertices().last().is_some() && last_aim.is_some() {
+                errors += 1;
+            }
+        }
+    }
+
+    assert!(acc.ticks() > 0 && errors > 0, "gating/tracking loops idle");
+    outcomes
+}
+
+/// The session runtime: one pass, one prediction per tick, fanned out to
+/// the prediction log, the gating controller and the tracking controller.
+fn runtime_session(engine: &Arc<CachedMatcher>, seg: &SegmenterConfig, eval: &EvalStream) -> usize {
+    let axis = engine.matcher().params().axis;
+    let window = GatingWindow::at_exhale_end(&eval.truth, axis, WINDOW_MM);
+    let config = SessionConfig::new(eval.patient, eval.session)
+        .with_segmenter(seg.clone())
+        .with_horizon(DT)
+        .with_cadence(EVERY);
+    let mut runtime = SessionRuntime::with_engine(engine.clone(), config)
+        .expect("valid parameters")
+        .with_consumer(Box::new(PredictionLog::new()))
+        .with_consumer(Box::new(GatingController::new(
+            window,
+            axis,
+            eval.truth.clone(),
+        )))
+        .with_consumer(Box::new(TrackingController::new(eval.truth.clone(), axis)));
+    for &s in &eval.samples {
+        runtime.push(s);
+    }
+    runtime
+        .consumer::<PredictionLog>()
+        .expect("log attached")
+        .predictions()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let sessions = 4usize;
+    let bundle = build_bundle(&BundleConfig {
+        cohort: CohortConfig {
+            n_patients: sessions,
+            sessions_per_patient: 2,
+            streams_per_session: 2,
+            stream_duration_s: if quick { 45.0 } else { 90.0 },
+            dim: 1,
+            seed: 0x51E55,
+        },
+        segmenter: SegmenterConfig::default(),
+    });
+    let store = bundle.store.into_shared();
+    let params = Params::default();
+    let seg = SegmenterConfig::default();
+    assert_eq!(bundle.eval.len(), sessions, "one held-out stream each");
+
+    banner("Online pipeline: legacy three-loop replay vs session runtime");
+
+    // Legacy: 4 sequential sessions, each running prediction, gating and
+    // tracking as separate full replays with their own predictors.
+    let started = Instant::now();
+    let legacy_predictions: usize = bundle
+        .eval
+        .iter()
+        .map(|e| legacy_session(&store, &params, &seg, e))
+        .sum();
+    let legacy_wall = started.elapsed();
+
+    // Runtime: the same 4 sessions on one shared engine, one pass each,
+    // every prediction tick fanned out to all three consumers.
+    let engine = Arc::new(CachedMatcher::new(Matcher::new(
+        store.clone(),
+        params.clone(),
+    )));
+    let started = Instant::now();
+    let runtime_predictions: usize = bundle
+        .eval
+        .iter()
+        .map(|e| runtime_session(&engine, &seg, e))
+        .sum();
+    let runtime_wall = started.elapsed();
+
+    assert_eq!(
+        legacy_predictions, runtime_predictions,
+        "the runtime must produce exactly the legacy predictions"
+    );
+    assert!(legacy_predictions > 0, "no predictions at all");
+
+    let legacy_pps = legacy_predictions as f64 / legacy_wall.as_secs_f64();
+    let runtime_pps = runtime_predictions as f64 / runtime_wall.as_secs_f64();
+    let speedup = runtime_pps / legacy_pps;
+
+    table(
+        &["architecture", "predictions", "wall (s)", "predictions/s"],
+        &[
+            vec![
+                "legacy 3-loop".into(),
+                legacy_predictions.to_string(),
+                format!("{:.3}", legacy_wall.as_secs_f64()),
+                format!("{legacy_pps:.1}"),
+            ],
+            vec![
+                "session runtime".into(),
+                runtime_predictions.to_string(),
+                format!("{:.3}", runtime_wall.as_secs_f64()),
+                format!("{runtime_pps:.1}"),
+            ],
+        ],
+    );
+    println!();
+    println!(
+        "aggregate speedup at {sessions} sessions: {speedup:.2}x \
+         (index rebuilds on shared engine: {})",
+        engine.cache().rebuild_count()
+    );
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"sessions\": {sessions},\n  \"predictions\": {legacy_predictions},\n  \
+             \"legacy\": {{ \"wall_s\": {:.6}, \"predictions_per_sec\": {:.3} }},\n  \
+             \"runtime\": {{ \"wall_s\": {:.6}, \"predictions_per_sec\": {:.3} }},\n  \
+             \"speedup\": {:.4}\n}}\n",
+            legacy_wall.as_secs_f64(),
+            legacy_pps,
+            runtime_wall.as_secs_f64(),
+            runtime_pps,
+            speedup
+        );
+        std::fs::write(&path, json).expect("write json snapshot");
+        println!("wrote {path}");
+    }
+}

@@ -6,6 +6,7 @@ use tsm_core::correlate::discover_correlations;
 use tsm_core::matcher::{Matcher, QuerySubseq};
 use tsm_core::patient_distance::patient_distance_matrix;
 use tsm_core::pipeline::OnlinePredictor;
+use tsm_core::session::{CohortRuntime, SessionSpec};
 use tsm_core::stream_distance::StreamDistanceConfig;
 use tsm_core::Params;
 use tsm_db::{
@@ -28,7 +29,11 @@ USAGE:
   tsm match    --store FILE --stream ID --start I --len L [--delta D]
                [--threads T]            parallel scan when T > 1
   tsm predict  --store FILE --patient ID [--duration SECS] [--dt SECS]
-               [--seed X]              replay a fresh session, report error
+               [--seed X] [--delta D]  replay a fresh session, report error
+  tsm replay   --store FILE --sessions N [--threads T] [--duration SECS]
+               [--dt SECS] [--every K] [--seed X]
+                                       replay N concurrent sessions against
+                                       one shared store, report throughput
   tsm cluster  --store FILE [--k K]    cluster patients, find correlations
   tsm help                             this message"
     );
@@ -221,6 +226,8 @@ pub fn predict(args: &Args) -> Result<(), String> {
     let duration = args.num_flag("duration", 60.0f64)?;
     let dt = args.num_flag("dt", 0.3f64)?;
     let seed = args.num_flag("seed", 12345u64)?;
+    let mut params = Params::default();
+    params.delta = args.num_flag("delta", params.delta)?;
 
     // A fresh session resembling the stored streams: reuse the
     // default simulator with a new seed (a real deployment would stream
@@ -241,8 +248,8 @@ pub fn predict(args: &Args) -> Result<(), String> {
         .max()
         .unwrap_or(0)
         + 1;
-    let mut predictor =
-        OnlinePredictor::new(store.clone(), Params::default(), seg, patient, session);
+    let mut predictor = OnlinePredictor::new(store.clone(), params, seg, patient, session)
+        .map_err(|e| e.to_string())?;
     let mut errors = Vec::new();
     for (i, &s) in samples.iter().enumerate() {
         predictor.push(s);
@@ -273,6 +280,82 @@ pub fn predict(args: &Args) -> Result<(), String> {
         mean,
         errors[errors.len() / 2],
         errors[errors.len() * 95 / 100]
+    );
+    Ok(())
+}
+
+/// `tsm replay` — drives N concurrent simulated sessions against one
+/// shared store through the cohort runtime and reports per-session and
+/// aggregate prediction throughput.
+pub fn replay(args: &Args) -> Result<(), String> {
+    let store = load(args)?;
+    let sessions = args.num_flag("sessions", 4usize)?;
+    if sessions == 0 {
+        return Err("--sessions must be at least 1".into());
+    }
+    let threads = args.num_flag("threads", sessions.min(8))?;
+    let duration = args.num_flag("duration", 60.0f64)?;
+    let dt = args.num_flag("dt", 0.3f64)?;
+    let every = args.num_flag("every", 30usize)?;
+    let seed = args.num_flag("seed", 12345u64)?;
+    let patients = store.patients();
+    if patients.is_empty() {
+        return Err("store has no patients".into());
+    }
+
+    // One fresh simulated session per slot, round-robin over the stored
+    // patients (a real deployment would stream from N treatment rooms).
+    let specs: Vec<SessionSpec> = (0..sessions)
+        .map(|i| {
+            let patient = patients[i % patients.len()];
+            let next_session = store
+                .streams_of(patient)
+                .iter()
+                .filter_map(|&s| store.stream(s))
+                .map(|s| s.meta.session)
+                .max()
+                .unwrap_or(0)
+                + 1;
+            let mut generator = tsm_signal::SignalGenerator::new(
+                tsm_signal::BreathingParams::default(),
+                seed + i as u64,
+            )
+            .with_noise(tsm_signal::NoiseParams::typical());
+            SessionSpec {
+                patient,
+                session: next_session,
+                samples: generator.generate(duration),
+            }
+        })
+        .collect();
+
+    let shared = store.into_shared();
+    let runtime = CohortRuntime::new(shared, Params::default())
+        .map_err(|e| e.to_string())?
+        .with_horizon(dt)
+        .with_cadence(every)
+        .with_threads(threads);
+    eprintln!(
+        "replaying {sessions} sessions x {duration:.0}s on {threads} threads (one shared store) ..."
+    );
+    let report = runtime.replay(&specs);
+
+    println!("session   patient   predictions   ticks   vertices");
+    for r in &report.sessions {
+        println!(
+            "{:>7}   {:>7}   {:>11}   {:>5}   {:>8}",
+            r.session,
+            r.patient.to_string(),
+            r.predictions(),
+            r.ticks.len(),
+            r.vertices
+        );
+    }
+    println!(
+        "\n{} predictions in {:.2} s wall — {:.1} predictions/sec aggregate",
+        report.total_predictions(),
+        report.wall.as_secs_f64(),
+        report.predictions_per_sec()
     );
     Ok(())
 }

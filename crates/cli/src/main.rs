@@ -7,6 +7,7 @@
 //! tsm segment  --csv signal.csv [--axis 0]        # segment a CSV signal
 //! tsm match    --store cohort.tsmdb --stream 0 --start 4 --len 9
 //! tsm predict  --store cohort.tsmdb --patient 0 --duration 60 --dt 0.3
+//! tsm replay   --store cohort.tsmdb --sessions 4 --threads 4
 //! tsm cluster  --store cohort.tsmdb --k 4
 //! ```
 
@@ -55,6 +56,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "segment" => commands::segment(&args),
         "match" => commands::match_cmd(&args),
         "predict" => commands::predict(&args),
+        "replay" => commands::replay(&args),
         "cluster" => commands::cluster(&args),
         "help" | "--help" | "-h" => {
             commands::help();

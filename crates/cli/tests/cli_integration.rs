@@ -28,7 +28,9 @@ fn help_lists_every_subcommand() {
     let o = tsm(&["help"]);
     assert!(o.status.success());
     let text = stdout(&o);
-    for cmd in ["simulate", "info", "segment", "match", "predict", "cluster"] {
+    for cmd in [
+        "simulate", "info", "segment", "match", "predict", "replay", "cluster",
+    ] {
         assert!(text.contains(cmd), "help missing '{cmd}'");
     }
 }
@@ -101,6 +103,35 @@ fn simulate_info_match_predict_cluster_roundtrip() {
     ]);
     assert!(o.status.success(), "predict failed: {}", stderr(&o));
     assert!(stdout(&o).contains("error: mean"));
+
+    let o = tsm(&[
+        "replay",
+        "--store",
+        store_path.to_str().unwrap(),
+        "--sessions",
+        "3",
+        "--threads",
+        "2",
+        "--duration",
+        "30",
+    ]);
+    assert!(o.status.success(), "replay failed: {}", stderr(&o));
+    let text = stdout(&o);
+    assert!(text.contains("session   patient"), "no replay table");
+    assert!(text.contains("predictions/sec aggregate"));
+
+    // Invalid parameters must surface as a clean CLI error, not a panic.
+    let o = tsm(&[
+        "predict",
+        "--store",
+        store_path.to_str().unwrap(),
+        "--patient",
+        "0",
+        "--delta",
+        "0",
+    ]);
+    assert!(!o.status.success(), "delta=0 must be rejected");
+    assert!(stderr(&o).contains("error:"), "no error message");
 
     let o = tsm(&[
         "cluster",

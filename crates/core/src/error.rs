@@ -41,6 +41,11 @@ impl fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
+/// The crate-level error alias used by fallible constructors (session
+/// runtimes, online predictors): today every such failure is a
+/// [`CoreError`], and the alias keeps signatures stable if that changes.
+pub type TsmError = CoreError;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -84,6 +84,65 @@ impl GatingStats {
     }
 }
 
+/// The streaming core of [`simulate_gating`]: integer precision/recall
+/// counters fed one `(beam_on, truth_inside)` decision at a time.
+///
+/// Extracted so that online consumers (the session runtime's gating
+/// controller) accumulate *exactly* the statistics the offline simulation
+/// produces — same counters, same final arithmetic, bit-identical
+/// [`GatingStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatingAccumulator {
+    on_and_in: usize,
+    on: usize,
+    inside: usize,
+    ticks: usize,
+}
+
+impl GatingAccumulator {
+    /// A fresh accumulator with no decisions recorded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one decision tick.
+    pub fn record(&mut self, beam_on: bool, truth_inside: bool) {
+        self.ticks += 1;
+        if beam_on {
+            self.on += 1;
+            if truth_inside {
+                self.on_and_in += 1;
+            }
+        }
+        if truth_inside {
+            self.inside += 1;
+        }
+    }
+
+    /// Decision ticks recorded so far.
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// The aggregate statistics of the decisions recorded so far.
+    pub fn stats(&self) -> GatingStats {
+        GatingStats {
+            duty_cycle: self.on as f64 / self.ticks.max(1) as f64,
+            precision: if self.on > 0 {
+                self.on_and_in as f64 / self.on as f64
+            } else {
+                0.0
+            },
+            recall: if self.inside > 0 {
+                self.on_and_in as f64 / self.inside as f64
+            } else {
+                0.0
+            },
+            ticks: self.ticks,
+        }
+    }
+}
+
 /// Simulates gated delivery over `[t0, t1]` at `tick` resolution.
 ///
 /// At each tick `t` the policy is asked whether the beam should be on at
@@ -101,40 +160,15 @@ pub fn simulate_gating(
     mut beam_on: impl FnMut(f64) -> bool,
 ) -> GatingStats {
     assert!(tick > 0.0, "tick must be positive");
-    let mut on_and_in = 0usize;
-    let mut on = 0usize;
-    let mut inside = 0usize;
-    let mut ticks = 0usize;
+    let mut acc = GatingAccumulator::new();
     let mut t = t0;
     while t <= t1 {
         let truth_in = window.contains(truth.position_at(t)[axis]);
         let beam = beam_on(t);
-        ticks += 1;
-        if beam {
-            on += 1;
-            if truth_in {
-                on_and_in += 1;
-            }
-        }
-        if truth_in {
-            inside += 1;
-        }
+        acc.record(beam, truth_in);
         t += tick;
     }
-    GatingStats {
-        duty_cycle: on as f64 / ticks.max(1) as f64,
-        precision: if on > 0 {
-            on_and_in as f64 / on as f64
-        } else {
-            0.0
-        },
-        recall: if inside > 0 {
-            on_and_in as f64 / inside as f64
-        } else {
-            0.0
-        },
-        ticks,
-    }
+    acc.stats()
 }
 
 /// The ideal (zero-latency) policy: gate on the true current position.

@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use tsm_db::{FeatureIndex, StreamStore};
+use tsm_db::{FeatureIndex, SharedStore};
 
 /// A point-in-time view of an [`IndexCache`]'s contents (diagnostics).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,7 +26,7 @@ pub struct IndexCacheStats {
 /// A per-length cache of feature indexes over one store.
 #[derive(Debug)]
 pub struct IndexCache {
-    store: StreamStore,
+    store: SharedStore,
     axis: usize,
     inner: Mutex<HashMap<usize, (u64, Arc<FeatureIndex>)>>,
     rebuilds: AtomicU64,
@@ -34,10 +34,11 @@ pub struct IndexCache {
 
 impl IndexCache {
     /// Creates a cache over `store`, summarizing along `axis` (must match
-    /// the matching parameters' axis).
-    pub fn new(store: StreamStore, axis: usize) -> Self {
+    /// the matching parameters' axis). Takes a shared handle so the cache
+    /// observes the same version counter as every other holder.
+    pub fn new(store: impl Into<SharedStore>, axis: usize) -> Self {
         IndexCache {
-            store,
+            store: store.into(),
             axis,
             inner: Mutex::new(HashMap::new()),
             rebuilds: AtomicU64::new(0),
@@ -90,9 +91,10 @@ pub struct CachedMatcher {
 }
 
 impl CachedMatcher {
-    /// Creates a cached matcher.
+    /// Creates a cached matcher. The cache shares the matcher's store
+    /// handle (an `Arc` clone) rather than taking its own copy.
     pub fn new(matcher: Matcher) -> Self {
-        let cache = IndexCache::new(matcher.store().clone(), matcher.params().axis);
+        let cache = IndexCache::new(matcher.shared_store(), matcher.params().axis);
         CachedMatcher { matcher, cache }
     }
 
@@ -122,7 +124,7 @@ impl CachedMatcher {
 mod tests {
     use super::*;
     use crate::params::Params;
-    use tsm_db::{PatientAttributes, SubseqRef};
+    use tsm_db::{PatientAttributes, StreamStore, SubseqRef};
     use tsm_model::{BreathState::*, PlrTrajectory, Vertex};
 
     fn plr(n: usize, amplitude: f64) -> PlrTrajectory {

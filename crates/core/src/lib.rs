@@ -64,6 +64,7 @@ pub mod patient_distance;
 pub mod pipeline;
 pub mod predict;
 pub mod query;
+pub mod session;
 pub mod similarity;
 pub mod stability;
 pub mod stream_distance;
@@ -75,16 +76,21 @@ pub mod prelude {
     pub use crate::cluster::{agglomerative, k_medoids, silhouette, DistanceMatrix};
     pub use crate::correlate::{discover_correlations, Association};
     pub use crate::drift::{DriftConfig, DriftMonitor, DriftReport};
-    pub use crate::error::CoreError;
+    pub use crate::error::{CoreError, TsmError};
     pub use crate::framework::DomainProfile;
-    pub use crate::gating::{simulate_gating, GatingStats, GatingWindow};
+    pub use crate::gating::{simulate_gating, GatingAccumulator, GatingStats, GatingWindow};
     pub use crate::index_cache::{CachedMatcher, IndexCache, IndexCacheStats};
     pub use crate::matcher::{MatchResult, Matcher, QuerySubseq, SearchOptions};
     pub use crate::params::Params;
     pub use crate::patient_distance::patient_distance;
-    pub use crate::pipeline::OnlinePredictor;
+    pub use crate::pipeline::{OnlinePredictor, PredictionOutcome};
     pub use crate::predict::{predict_position, predict_position_anchored, AlignMode};
     pub use crate::query::{generate_query, QueryOutcome};
+    pub use crate::session::{
+        CohortReport, CohortRuntime, GatingController, PredictionLog, PredictionTick,
+        SessionConfig, SessionConsumer, SessionReport, SessionRuntime, SessionSpec,
+        TrackingController,
+    };
     pub use crate::similarity::{
         offline_distance, online_distance, vertex_weight, QueryCols, WindowCols, WindowScorer,
     };

@@ -6,7 +6,7 @@
 //! [`tsm_db::SegmentFeatures`] snapshot supplies flat per-segment columns,
 //! [`crate::similarity::WindowScorer`] scores candidate windows with early
 //! abandoning against the current pruning bound, and a bounded top-k
-//! [`Collector`] keeps only results that can still make the cut. A naive
+//! collector keeps only results that can still make the cut. A naive
 //! vertex-walking reference ([`Matcher::find_matches_naive`]) is kept for
 //! the property tests, which assert the engine's results are *identical* —
 //! same windows, bit-identical distances, same order.
@@ -23,8 +23,8 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::Arc;
 use tsm_db::{
-    FeatureIndex, PatientId, SourceRelation, StateOrderIndex, StreamFeatures, StreamId, StreamMeta,
-    StreamStore, SubseqRef, SubseqView,
+    FeatureIndex, PatientId, SharedStore, SourceRelation, StateOrderIndex, StreamFeatures,
+    StreamId, StreamMeta, StreamStore, SubseqRef, SubseqView,
 };
 use tsm_model::{state_signature, BreathState, Vertex};
 
@@ -392,14 +392,21 @@ impl<'a> Engine<'a> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Matcher {
-    store: StreamStore,
+    store: SharedStore,
     params: Params,
 }
 
 impl Matcher {
-    /// Creates a matcher over a store.
-    pub fn new(store: StreamStore, params: Params) -> Self {
-        Matcher { store, params }
+    /// Creates a matcher over a store. Accepts either a bare
+    /// [`StreamStore`] (wrapped into a [`SharedStore`] once) or an
+    /// existing shared handle — pass `shared.clone()` to let several
+    /// matchers, caches and session runtimes search the same database
+    /// without re-wrapping.
+    pub fn new(store: impl Into<SharedStore>, params: Params) -> Self {
+        Matcher {
+            store: store.into(),
+            params,
+        }
     }
 
     /// The parameters in use.
@@ -410,6 +417,12 @@ impl Matcher {
     /// The underlying store handle.
     pub fn store(&self) -> &StreamStore {
         &self.store
+    }
+
+    /// The shared store handle (an `Arc` clone — never a data copy), for
+    /// threading the same database into another component.
+    pub fn shared_store(&self) -> SharedStore {
+        self.store.clone()
     }
 
     /// Finds all similar subsequences with default options.

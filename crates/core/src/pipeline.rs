@@ -6,14 +6,20 @@
 //! `Δt`), the most recent motion becomes a dynamic query, the store is
 //! searched, and the retrieved futures vote on the tumor's position at
 //! `t + Δt`.
+//!
+//! [`OnlinePredictor`] is the single-consumer convenience wrapper around
+//! [`crate::session::SessionRuntime`] — one session, predictions on
+//! demand. Applications that also gate or track, or that drive several
+//! concurrent sessions, should use the session runtime directly and
+//! attach consumers; see [`crate::session`].
 
-use crate::index_cache::CachedMatcher;
-use crate::matcher::{Matcher, QuerySubseq, SearchOptions};
+use crate::error::TsmError;
+use crate::matcher::{QuerySubseq, SearchOptions};
 use crate::params::Params;
-use crate::predict::{predict_position, AlignMode};
-use crate::query::generate_query;
-use tsm_db::{PatientId, StreamId, StreamStore};
-use tsm_model::{OnlineSegmenter, PlrTrajectory, Position, Sample, SegmenterConfig, Vertex};
+use crate::predict::AlignMode;
+use crate::session::{SessionConfig, SessionRuntime};
+use tsm_db::{PatientId, SharedStore, StreamId};
+use tsm_model::{Position, Sample, SegmenterConfig, Vertex};
 
 /// Outcome of one prediction request (with diagnostics the experiments
 /// record).
@@ -29,80 +35,67 @@ pub struct PredictionOutcome {
     pub query_stable: bool,
 }
 
-/// The online predictor: segmenter + live buffer + matcher.
+/// The online predictor: segmenter + live buffer + matcher, wrapped
+/// around one consumer-less [`SessionRuntime`].
 #[derive(Debug)]
 pub struct OnlinePredictor {
-    segmenter: OnlineSegmenter,
-    live: Vec<Vertex>,
-    matcher: CachedMatcher,
-    params: Params,
-    origin: (PatientId, u32),
-    align: AlignMode,
-    options: SearchOptions,
-    samples_seen: usize,
+    runtime: SessionRuntime,
 }
 
 impl OnlinePredictor {
-    /// Creates a predictor for a session of `patient`, searching `store`.
+    /// Creates a predictor for a session of `patient`, searching `store`
+    /// (a shared handle — pass an existing `Arc<StreamStore>` to share
+    /// the database, or a bare store to wrap one). Invalid parameters are
+    /// an error, not a panic.
     pub fn new(
-        store: StreamStore,
+        store: impl Into<SharedStore>,
         params: Params,
         segmenter_config: SegmenterConfig,
         patient: PatientId,
         session: u32,
-    ) -> Self {
-        params.validate().expect("invalid matching parameters");
-        OnlinePredictor {
-            segmenter: OnlineSegmenter::new(segmenter_config),
-            live: Vec::new(),
-            matcher: CachedMatcher::new(Matcher::new(store, params.clone())),
-            params,
-            origin: (patient, session),
-            align: AlignMode::default(),
-            options: SearchOptions::default(),
-            samples_seen: 0,
-        }
+    ) -> Result<Self, TsmError> {
+        let config = SessionConfig::new(patient, session).with_segmenter(segmenter_config);
+        Ok(OnlinePredictor {
+            runtime: SessionRuntime::new(store, params, config)?,
+        })
     }
 
     /// Overrides the prediction alignment mode.
     pub fn with_align(mut self, align: AlignMode) -> Self {
-        self.align = align;
+        self.runtime.config_mut().align = align;
         self
     }
 
     /// Restricts matching (e.g. to the patient's cluster, Section 5.3).
     pub fn with_search_options(mut self, options: SearchOptions) -> Self {
-        self.options = options;
+        self.runtime.config_mut().options = options;
         self
+    }
+
+    /// The underlying session runtime.
+    pub fn runtime(&self) -> &SessionRuntime {
+        &self.runtime
     }
 
     /// Feeds one raw sample; returns any vertices that closed.
     pub fn push(&mut self, s: Sample) -> &[Vertex] {
-        self.samples_seen += 1;
-        let before = self.live.len();
-        let new = self.segmenter.push(s);
-        self.live.extend(new);
-        &self.live[before..]
+        self.runtime.push(s)
     }
 
     /// The live PLR buffer accumulated so far.
     pub fn live_vertices(&self) -> &[Vertex] {
-        &self.live
+        self.runtime.live_vertices()
     }
 
     /// Raw samples consumed.
     pub fn samples_seen(&self) -> usize {
-        self.samples_seen
+        self.runtime.samples_seen()
     }
 
     /// Builds the current dynamic query, if the live buffer is long
     /// enough.
     pub fn current_query(&self) -> Option<QuerySubseq> {
-        let outcome = generate_query(&self.live, &self.params)?;
-        Some(
-            QuerySubseq::new(outcome.vertices(&self.live).to_vec())
-                .with_origin(self.origin.0, self.origin.1),
-        )
+        self.runtime.current_query()
     }
 
     /// Predicts the position `dt` seconds after the last closed vertex.
@@ -111,47 +104,22 @@ impl OnlinePredictor {
     /// segments, or when fewer than `min_matches` similar subsequences are
     /// found (the paper abstains rather than guess).
     pub fn predict(&self, dt: f64) -> Option<PredictionOutcome> {
-        let outcome = generate_query(&self.live, &self.params)?;
-        let query = QuerySubseq::new(outcome.vertices(&self.live).to_vec())
-            .with_origin(self.origin.0, self.origin.1);
-        let matches = self.matcher.find_matches(&query, &self.options);
-        let position = predict_position(
-            self.matcher.matcher().store(),
-            &query,
-            &matches,
-            dt,
-            &self.params,
-            self.align,
-        )?;
-        Some(PredictionOutcome {
-            position,
-            num_matches: matches.len(),
-            query_len: outcome.len,
-            query_stable: outcome.stable,
-        })
+        self.runtime.predict(dt)
     }
 
     /// Ends the session: flushes the segmenter and persists the live
     /// stream into the store so future sessions can match against it.
     /// Returns `None` when the live stream never produced a valid PLR.
-    pub fn finish_into_store(mut self) -> Option<StreamId> {
-        let tail = self.segmenter.finish();
-        self.live.extend(tail);
-        let plr = PlrTrajectory::from_vertices(self.live).ok()?;
-        Some(self.matcher.matcher().store().add_stream(
-            self.origin.0,
-            self.origin.1,
-            plr,
-            self.samples_seen,
-        ))
+    pub fn finish_into_store(self) -> Option<StreamId> {
+        self.runtime.finish_into_store()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsm_db::PatientAttributes;
-    use tsm_model::segment_signal;
+    use tsm_db::{PatientAttributes, StreamStore};
+    use tsm_model::{segment_signal, PlrTrajectory};
     use tsm_signal::{BreathingParams, SignalGenerator};
 
     fn seeded_store(seed: u64) -> (StreamStore, PatientId) {
@@ -178,7 +146,8 @@ mod tests {
             SegmenterConfig::clean(),
             patient,
             1, // a new session
-        );
+        )
+        .unwrap();
         // Live breathing, same patient parameters, different seed.
         let mut generator = SignalGenerator::new(BreathingParams::default(), 12);
         let samples = generator.generate(90.0);
@@ -215,9 +184,21 @@ mod tests {
             SegmenterConfig::clean(),
             patient,
             1,
-        );
+        )
+        .unwrap();
         assert!(predictor.predict(0.3).is_none());
         assert!(predictor.current_query().is_none());
+    }
+
+    #[test]
+    fn invalid_params_surface_as_an_error() {
+        let (store, patient) = seeded_store(17);
+        let params = Params {
+            delta: -1.0,
+            ..Params::default()
+        };
+        let result = OnlinePredictor::new(store, params, SegmenterConfig::clean(), patient, 1);
+        assert!(matches!(result, Err(TsmError::InvalidParams(_))));
     }
 
     #[test]
@@ -230,7 +211,8 @@ mod tests {
             SegmenterConfig::clean(),
             patient,
             1,
-        );
+        )
+        .unwrap();
         let mut generator = SignalGenerator::new(BreathingParams::default(), 15);
         for s in generator.generate(60.0) {
             predictor.push(s);
@@ -252,7 +234,8 @@ mod tests {
             SegmenterConfig::clean(),
             patient,
             1,
-        );
+        )
+        .unwrap();
         assert!(predictor.finish_into_store().is_none());
     }
 }

@@ -1,0 +1,1061 @@
+//! The session runtime: one streaming engine for prediction, gating and
+//! tracking.
+//!
+//! The paper's deployment scenario (Figure 1, Sections 4.3 and 5) is a
+//! *single* online loop: the tracking system delivers a sample every
+//! 33 ms, the signal is segmented once, and the same evolving PLR drives
+//! motion prediction, respiration gating and beam tracking. A
+//! [`SessionRuntime`] is that loop as a value — it owns one
+//! [`OnlineSegmenter`] pass per live session and fans the resulting
+//! vertex and prediction events out to pluggable [`SessionConsumer`]s,
+//! all searching a shared [`SharedStore`] handle through one
+//! [`CachedMatcher`]. A prediction is computed **once** per tick and
+//! every consumer sees the same outcome; the legacy alternative — one
+//! full replay (segmentation + matching) per application — does the
+//! matching work as many times as there are applications.
+//!
+//! On top of a single session, a [`CohortRuntime`] replays N sessions
+//! against the same store on a small thread pool, streaming each
+//! session's prediction ticks over its own outcome channel. All sessions
+//! share one engine, so an index built for a query length benefits every
+//! session, and the monotone store version observed by any session agrees
+//! with every other.
+//!
+//! ## Ownership rules
+//!
+//! * The store is shared, never copied: every runtime holds the same
+//!   `Arc<StreamStore>` through its engine, and
+//!   [`SessionRuntime::shared_store`] hands the same handle out again.
+//! * Replays never mutate the store — [`CohortRuntime::replay`] is
+//!   read-only, so its results are a pure function of (store contents,
+//!   specs) and serial/parallel schedules cannot diverge.
+//! * Persistence is explicit and terminal:
+//!   [`SessionRuntime::finish_into_store`] appends the live stream once,
+//!   at end of session, bumping the store version for every other holder.
+
+use crate::error::TsmError;
+use crate::gating::{GatingAccumulator, GatingStats, GatingWindow};
+use crate::index_cache::CachedMatcher;
+use crate::matcher::{Matcher, QuerySubseq, SearchOptions};
+use crate::params::Params;
+use crate::pipeline::PredictionOutcome;
+use crate::predict::{predict_position, AlignMode};
+use crate::query::generate_query;
+use crate::tracking::TrackingStats;
+use std::any::Any;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tsm_db::{PatientId, SharedStore, StreamId, StreamStore};
+use tsm_model::{OnlineSegmenter, PlrTrajectory, Position, Sample, SegmenterConfig, Vertex};
+
+/// Static configuration of one live session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The patient this session belongs to (drives source-stream weights).
+    pub patient: PatientId,
+    /// The session number within the patient's record.
+    pub session: u32,
+    /// Segmenter configuration for the live signal.
+    pub segmenter: SegmenterConfig,
+    /// Prediction alignment mode.
+    pub align: AlignMode,
+    /// Search restrictions applied to every query.
+    pub options: SearchOptions,
+    /// Prediction horizon `Δt` in seconds (the latency to cover).
+    pub horizon: f64,
+    /// Fire a prediction tick every this many samples; `0` disables
+    /// automatic ticks (predictions on demand via
+    /// [`SessionRuntime::predict`] only).
+    pub predict_every: usize,
+}
+
+impl SessionConfig {
+    /// A default configuration for a session of `patient`: default
+    /// segmenter, 0.3 s horizon, no automatic prediction ticks.
+    pub fn new(patient: PatientId, session: u32) -> Self {
+        SessionConfig {
+            patient,
+            session,
+            segmenter: SegmenterConfig::default(),
+            align: AlignMode::default(),
+            options: SearchOptions::default(),
+            horizon: 0.3,
+            predict_every: 0,
+        }
+    }
+
+    /// Overrides the segmenter configuration.
+    pub fn with_segmenter(mut self, segmenter: SegmenterConfig) -> Self {
+        self.segmenter = segmenter;
+        self
+    }
+
+    /// Overrides the prediction alignment mode.
+    pub fn with_align(mut self, align: AlignMode) -> Self {
+        self.align = align;
+        self
+    }
+
+    /// Restricts matching (e.g. to the patient's cluster, Section 5.3).
+    pub fn with_options(mut self, options: SearchOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the prediction horizon.
+    pub fn with_horizon(mut self, horizon: f64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Enables automatic prediction ticks every `every` samples (`0`
+    /// disables them).
+    pub fn with_cadence(mut self, every: usize) -> Self {
+        self.predict_every = every;
+        self
+    }
+}
+
+/// One automatic prediction tick, delivered to every consumer of a
+/// session. The outcome is computed once per tick; `None` means the
+/// predictor abstained (warm-up, or fewer than `min_matches` similar
+/// subsequences).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionTick {
+    /// Zero-based index of the raw sample that triggered the tick.
+    pub sample_ix: usize,
+    /// Timestamp of that sample (s).
+    pub time: f64,
+    /// The horizon `Δt` the prediction covers (s).
+    pub horizon: f64,
+    /// The predicted-for instant: last closed vertex time + horizon.
+    /// `None` while the live buffer holds no vertices yet.
+    pub target_time: Option<f64>,
+    /// The shared prediction outcome, if the predictor did not abstain.
+    pub outcome: Option<PredictionOutcome>,
+}
+
+/// A consumer of one session's event stream. All methods default to
+/// no-ops so a consumer implements only what it observes.
+///
+/// Consumers receive `&SessionRuntime` for read-only context (live
+/// buffer, configuration, store) — they must not assume exclusive access
+/// to anything but their own state.
+pub trait SessionConsumer: Send {
+    /// New vertices were appended to the live PLR buffer.
+    fn on_vertices(&mut self, _session: &SessionRuntime, _new: &[Vertex]) {}
+
+    /// An automatic prediction tick fired (see [`SessionConfig::with_cadence`]).
+    fn on_tick(&mut self, _session: &SessionRuntime, _tick: &PredictionTick) {}
+
+    /// The session ended (segmenter flushed; live buffer final).
+    fn on_finish(&mut self, _session: &SessionRuntime) {}
+
+    /// The concrete consumer, for downcasting results out of a finished
+    /// runtime (see [`SessionRuntime::consumer`]).
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl dyn SessionConsumer {
+    /// Downcasts to a concrete consumer type.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.as_any().downcast_ref()
+    }
+}
+
+/// The streaming runtime for one live session: one segmenter pass, one
+/// shared-store engine, many consumers.
+pub struct SessionRuntime {
+    engine: Arc<CachedMatcher>,
+    segmenter: OnlineSegmenter,
+    live: Vec<Vertex>,
+    config: SessionConfig,
+    consumers: Vec<Box<dyn SessionConsumer>>,
+    samples_seen: usize,
+    finished: bool,
+}
+
+impl std::fmt::Debug for SessionRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionRuntime")
+            .field("patient", &self.config.patient)
+            .field("session", &self.config.session)
+            .field("live_vertices", &self.live.len())
+            .field("samples_seen", &self.samples_seen)
+            .field("consumers", &self.consumers.len())
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl SessionRuntime {
+    /// Creates a runtime with its own engine over `store`. The parameters
+    /// are validated — an invalid configuration is an error, not a panic.
+    pub fn new(
+        store: impl Into<SharedStore>,
+        params: Params,
+        config: SessionConfig,
+    ) -> Result<Self, TsmError> {
+        params.validate().map_err(TsmError::InvalidParams)?;
+        let engine = Arc::new(CachedMatcher::new(Matcher::new(store, params)));
+        Self::with_engine(engine, config)
+    }
+
+    /// Creates a runtime over an existing shared engine — the
+    /// multi-session configuration: every session searching through the
+    /// same [`CachedMatcher`] reuses its per-length feature indexes
+    /// instead of rebuilding them per session.
+    pub fn with_engine(
+        engine: Arc<CachedMatcher>,
+        config: SessionConfig,
+    ) -> Result<Self, TsmError> {
+        engine
+            .matcher()
+            .params()
+            .validate()
+            .map_err(TsmError::InvalidParams)?;
+        Ok(SessionRuntime {
+            segmenter: OnlineSegmenter::new(config.segmenter.clone()),
+            live: Vec::new(),
+            engine,
+            config,
+            consumers: Vec::new(),
+            samples_seen: 0,
+            finished: false,
+        })
+    }
+
+    /// Attaches a consumer (builder form).
+    pub fn with_consumer(mut self, consumer: Box<dyn SessionConsumer>) -> Self {
+        self.consumers.push(consumer);
+        self
+    }
+
+    /// Attaches a consumer.
+    pub fn add_consumer(&mut self, consumer: Box<dyn SessionConsumer>) {
+        self.consumers.push(consumer);
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Mutable access to the session configuration (alignment, options,
+    /// cadence can be adjusted between samples).
+    pub fn config_mut(&mut self) -> &mut SessionConfig {
+        &mut self.config
+    }
+
+    /// The shared matching engine.
+    pub fn engine(&self) -> &Arc<CachedMatcher> {
+        &self.engine
+    }
+
+    /// The underlying store handle.
+    pub fn store(&self) -> &StreamStore {
+        self.engine.matcher().store()
+    }
+
+    /// The shared store handle (an `Arc` clone — never a data copy).
+    pub fn shared_store(&self) -> SharedStore {
+        self.engine.matcher().shared_store()
+    }
+
+    /// The matching parameters in use.
+    pub fn params(&self) -> &Params {
+        self.engine.matcher().params()
+    }
+
+    /// The live PLR buffer accumulated so far.
+    pub fn live_vertices(&self) -> &[Vertex] {
+        &self.live
+    }
+
+    /// Raw samples consumed.
+    pub fn samples_seen(&self) -> usize {
+        self.samples_seen
+    }
+
+    /// Feeds one raw sample: segments it, notifies consumers of any
+    /// vertices that closed, and — when a prediction cadence is set —
+    /// computes the shared prediction tick and fans it out. Returns the
+    /// newly closed vertices.
+    pub fn push(&mut self, s: Sample) -> &[Vertex] {
+        let ix = self.samples_seen;
+        self.samples_seen += 1;
+        let before = self.live.len();
+        let new = self.segmenter.push(s);
+        self.live.extend(new);
+        // Take the consumers out so they can borrow `self` read-only.
+        let mut consumers = std::mem::take(&mut self.consumers);
+        if self.live.len() > before {
+            for c in consumers.iter_mut() {
+                c.on_vertices(self, &self.live[before..]);
+            }
+        }
+        let every = self.config.predict_every;
+        if !consumers.is_empty() && every > 0 && ix.is_multiple_of(every) && ix >= every {
+            let tick = PredictionTick {
+                sample_ix: ix,
+                time: s.time,
+                horizon: self.config.horizon,
+                target_time: self.live.last().map(|v| v.time + self.config.horizon),
+                outcome: self.predict(self.config.horizon),
+            };
+            for c in consumers.iter_mut() {
+                c.on_tick(self, &tick);
+            }
+        }
+        self.consumers = consumers;
+        &self.live[before..]
+    }
+
+    /// Builds the current dynamic query, if the live buffer is long
+    /// enough.
+    pub fn current_query(&self) -> Option<QuerySubseq> {
+        let outcome = generate_query(&self.live, self.params())?;
+        Some(
+            QuerySubseq::new(outcome.vertices(&self.live).to_vec())
+                .with_origin(self.config.patient, self.config.session),
+        )
+    }
+
+    /// Predicts the position `dt` seconds after the last closed vertex.
+    ///
+    /// Returns `None` until the live buffer holds at least `L_min`
+    /// segments, or when fewer than `min_matches` similar subsequences
+    /// are found (the paper abstains rather than guess).
+    pub fn predict(&self, dt: f64) -> Option<PredictionOutcome> {
+        let params = self.params();
+        let outcome = generate_query(&self.live, params)?;
+        let query = QuerySubseq::new(outcome.vertices(&self.live).to_vec())
+            .with_origin(self.config.patient, self.config.session);
+        let matches = self.engine.find_matches(&query, &self.config.options);
+        let position = predict_position(
+            self.store(),
+            &query,
+            &matches,
+            dt,
+            params,
+            self.config.align,
+        )?;
+        Some(PredictionOutcome {
+            position,
+            num_matches: matches.len(),
+            query_len: outcome.len,
+            query_stable: outcome.stable,
+        })
+    }
+
+    /// Ends the session: flushes the segmenter tail into the live buffer
+    /// and notifies consumers. Idempotent; does **not** touch the store.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let before = self.live.len();
+        // The segmenter's flush consumes it; swap in an idle replacement.
+        let segmenter = std::mem::replace(
+            &mut self.segmenter,
+            OnlineSegmenter::new(self.config.segmenter.clone()),
+        );
+        self.live.extend(segmenter.finish());
+        let mut consumers = std::mem::take(&mut self.consumers);
+        if self.live.len() > before {
+            for c in consumers.iter_mut() {
+                c.on_vertices(self, &self.live[before..]);
+            }
+        }
+        for c in consumers.iter_mut() {
+            c.on_finish(self);
+        }
+        self.consumers = consumers;
+    }
+
+    /// Ends the session and persists the live stream into the shared
+    /// store so future sessions can match against it (this is the one
+    /// store mutation a session performs; it bumps the store version seen
+    /// by every other holder). Returns `None` when the live stream never
+    /// produced a valid PLR.
+    pub fn finish_into_store(mut self) -> Option<StreamId> {
+        self.finish();
+        let plr = PlrTrajectory::from_vertices(std::mem::take(&mut self.live)).ok()?;
+        Some(self.store().add_stream(
+            self.config.patient,
+            self.config.session,
+            plr,
+            self.samples_seen,
+        ))
+    }
+
+    /// The attached consumers.
+    pub fn consumers(&self) -> &[Box<dyn SessionConsumer>] {
+        &self.consumers
+    }
+
+    /// The first attached consumer of concrete type `T`, for reading
+    /// results back out (e.g. a [`GatingController`]'s statistics).
+    pub fn consumer<T: Any>(&self) -> Option<&T> {
+        self.consumers.iter().find_map(|c| c.downcast_ref::<T>())
+    }
+
+    /// Detaches and returns all consumers.
+    pub fn into_consumers(self) -> Vec<Box<dyn SessionConsumer>> {
+        self.consumers
+    }
+}
+
+/// A consumer that records every prediction tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PredictionLog {
+    /// Every tick, in arrival order (including abstentions).
+    pub ticks: Vec<PredictionTick>,
+}
+
+impl PredictionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The non-abstaining outcomes, in tick order.
+    pub fn outcomes(&self) -> Vec<PredictionOutcome> {
+        self.ticks
+            .iter()
+            .filter_map(|t| t.outcome.clone())
+            .collect()
+    }
+
+    /// Number of ticks with an actual prediction.
+    pub fn predictions(&self) -> usize {
+        self.ticks.iter().filter(|t| t.outcome.is_some()).count()
+    }
+}
+
+impl SessionConsumer for PredictionLog {
+    fn on_tick(&mut self, _session: &SessionRuntime, tick: &PredictionTick) {
+        self.ticks.push(tick.clone());
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A gating controller driven by the shared prediction ticks: the beam is
+/// on iff the predicted position lies in the gating window (abstention
+/// keeps the beam off — the safe default), and each decision is scored
+/// against the ground-truth trajectory at the predicted-for instant with
+/// the same [`GatingAccumulator`] arithmetic as
+/// [`crate::gating::simulate_gating`].
+#[derive(Debug)]
+pub struct GatingController {
+    window: GatingWindow,
+    axis: usize,
+    truth: PlrTrajectory,
+    acc: GatingAccumulator,
+    decisions: Vec<bool>,
+}
+
+impl GatingController {
+    /// Creates a controller gating on `window` along `axis`, scored
+    /// against `truth`.
+    pub fn new(window: GatingWindow, axis: usize, truth: PlrTrajectory) -> Self {
+        GatingController {
+            window,
+            axis,
+            truth,
+            acc: GatingAccumulator::new(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Every beam decision made, in tick order.
+    pub fn decisions(&self) -> &[bool] {
+        &self.decisions
+    }
+
+    /// The accumulated gating statistics.
+    pub fn stats(&self) -> GatingStats {
+        self.acc.stats()
+    }
+}
+
+impl SessionConsumer for GatingController {
+    fn on_tick(&mut self, _session: &SessionRuntime, tick: &PredictionTick) {
+        let Some(target) = tick.target_time else {
+            return;
+        };
+        let beam = tick
+            .outcome
+            .as_ref()
+            .is_some_and(|o| self.window.contains(o.position[self.axis]));
+        let truth_in = self
+            .window
+            .contains(self.truth.position_at(target)[self.axis]);
+        self.acc.record(beam, truth_in);
+        self.decisions.push(beam);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A beam-tracking controller driven by the shared prediction ticks: a
+/// prediction re-aims the beam, an abstention holds the previous aim (a
+/// real MLC cannot vanish), and the instantaneous error against the
+/// ground truth at the predicted-for instant is recorded. Statistics use
+/// the same arithmetic as [`crate::tracking::simulate_tracking`]
+/// ([`TrackingStats::from_errors`]).
+#[derive(Debug)]
+pub struct TrackingController {
+    truth: PlrTrajectory,
+    axis: usize,
+    last_aim: Option<Position>,
+    errors: Vec<f64>,
+}
+
+impl TrackingController {
+    /// Creates a controller scored against `truth` along `axis`.
+    pub fn new(truth: PlrTrajectory, axis: usize) -> Self {
+        TrackingController {
+            truth,
+            axis,
+            last_aim: None,
+            errors: Vec::new(),
+        }
+    }
+
+    /// The recorded instantaneous errors, in tick order.
+    pub fn errors(&self) -> &[f64] {
+        &self.errors
+    }
+
+    /// The accumulated tracking statistics.
+    pub fn stats(&self) -> TrackingStats {
+        TrackingStats::from_errors(self.errors.clone())
+    }
+}
+
+impl SessionConsumer for TrackingController {
+    fn on_tick(&mut self, _session: &SessionRuntime, tick: &PredictionTick) {
+        if let Some(o) = &tick.outcome {
+            self.last_aim = Some(o.position);
+        }
+        let Some(target) = tick.target_time else {
+            return;
+        };
+        if let Some(aim) = self.last_aim {
+            let e = (aim[self.axis] - self.truth.position_at(target)[self.axis]).abs();
+            self.errors.push(e);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// One session's worth of replay input for a [`CohortRuntime`].
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// The patient the session belongs to.
+    pub patient: PatientId,
+    /// The session number.
+    pub session: u32,
+    /// The raw samples to stream through the session.
+    pub samples: Vec<Sample>,
+}
+
+/// What one replayed session produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// The patient the session belonged to.
+    pub patient: PatientId,
+    /// The session number.
+    pub session: u32,
+    /// Every prediction tick the session fired, in order.
+    pub ticks: Vec<PredictionTick>,
+    /// Vertices the live buffer held at the end.
+    pub vertices: usize,
+    /// Raw samples consumed.
+    pub samples: usize,
+    /// Whether the session ran to completion (`false` only if its worker
+    /// died mid-replay; the runtime then re-runs it serially).
+    pub complete: bool,
+}
+
+impl SessionReport {
+    /// Number of ticks with an actual prediction.
+    pub fn predictions(&self) -> usize {
+        self.ticks.iter().filter(|t| t.outcome.is_some()).count()
+    }
+}
+
+/// Aggregate outcome of a cohort replay.
+#[derive(Debug, Clone)]
+pub struct CohortReport {
+    /// Per-session reports, in spec order.
+    pub sessions: Vec<SessionReport>,
+    /// Wall-clock time of the whole replay.
+    pub wall: Duration,
+}
+
+impl CohortReport {
+    /// Total prediction ticks fired across all sessions.
+    pub fn total_ticks(&self) -> usize {
+        self.sessions.iter().map(|s| s.ticks.len()).sum()
+    }
+
+    /// Total actual predictions across all sessions.
+    pub fn total_predictions(&self) -> usize {
+        self.sessions.iter().map(|s| s.predictions()).sum()
+    }
+
+    /// Aggregate prediction throughput (predictions per wall-clock
+    /// second).
+    pub fn predictions_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.total_predictions() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Events a replaying session streams over its per-session channel.
+enum SessionEvent {
+    Tick(PredictionTick),
+    Done { vertices: usize, samples: usize },
+}
+
+/// Streams each prediction tick into a per-session channel as it happens.
+struct ChannelConsumer {
+    tx: Sender<SessionEvent>,
+}
+
+impl SessionConsumer for ChannelConsumer {
+    fn on_tick(&mut self, _session: &SessionRuntime, tick: &PredictionTick) {
+        let _ = self.tx.send(SessionEvent::Tick(tick.clone()));
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Drives N patient sessions against one shared store: every session is a
+/// [`SessionRuntime`] over the *same* engine, so the store is searched
+/// through one set of per-length feature indexes, and each session
+/// streams its outcomes over its own channel. Replays are read-only — the
+/// store is never mutated, so serial and parallel schedules produce
+/// identical reports.
+pub struct CohortRuntime {
+    engine: Arc<CachedMatcher>,
+    segmenter: SegmenterConfig,
+    align: AlignMode,
+    options: SearchOptions,
+    horizon: f64,
+    predict_every: usize,
+    threads: usize,
+}
+
+impl std::fmt::Debug for CohortRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CohortRuntime")
+            .field("horizon", &self.horizon)
+            .field("predict_every", &self.predict_every)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl CohortRuntime {
+    /// Creates a cohort runtime with its own shared engine over `store`.
+    /// Defaults: default segmenter, 0.3 s horizon, a prediction tick
+    /// every 30 samples (~1 Hz at the paper's 30 Hz sampling), one
+    /// thread.
+    pub fn new(store: impl Into<SharedStore>, params: Params) -> Result<Self, TsmError> {
+        params.validate().map_err(TsmError::InvalidParams)?;
+        Ok(Self::with_engine(Arc::new(CachedMatcher::new(
+            Matcher::new(store, params),
+        ))))
+    }
+
+    /// Creates a cohort runtime over an existing shared engine.
+    pub fn with_engine(engine: Arc<CachedMatcher>) -> Self {
+        CohortRuntime {
+            engine,
+            segmenter: SegmenterConfig::default(),
+            align: AlignMode::default(),
+            options: SearchOptions::default(),
+            horizon: 0.3,
+            predict_every: 30,
+            threads: 1,
+        }
+    }
+
+    /// Overrides the segmenter configuration.
+    pub fn with_segmenter(mut self, segmenter: SegmenterConfig) -> Self {
+        self.segmenter = segmenter;
+        self
+    }
+
+    /// Overrides the prediction alignment mode.
+    pub fn with_align(mut self, align: AlignMode) -> Self {
+        self.align = align;
+        self
+    }
+
+    /// Restricts matching for every session.
+    pub fn with_options(mut self, options: SearchOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the prediction horizon.
+    pub fn with_horizon(mut self, horizon: f64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Overrides the prediction cadence (`0` disables ticks).
+    pub fn with_cadence(mut self, every: usize) -> Self {
+        self.predict_every = every;
+        self
+    }
+
+    /// Sets the worker-thread count for [`CohortRuntime::replay`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The shared matching engine.
+    pub fn engine(&self) -> &Arc<CachedMatcher> {
+        &self.engine
+    }
+
+    /// The underlying store handle.
+    pub fn store(&self) -> &StreamStore {
+        self.engine.matcher().store()
+    }
+
+    /// Replays every spec to completion and returns the per-session
+    /// reports in spec order. Sessions are distributed round-robin over
+    /// the worker threads; each streams its ticks over its own channel
+    /// and the calling thread drains them. A worker panic is contained:
+    /// its incomplete sessions are re-run serially.
+    pub fn replay(&self, specs: &[SessionSpec]) -> CohortReport {
+        let start = Instant::now();
+        let threads = self.threads.min(specs.len().max(1));
+        let mut sessions: Vec<SessionReport> = if threads <= 1 {
+            specs.iter().map(|spec| self.run_session(spec)).collect()
+        } else {
+            let mut channels: Vec<(Option<Sender<SessionEvent>>, Receiver<SessionEvent>)> = specs
+                .iter()
+                .map(|_| {
+                    let (tx, rx) = std::sync::mpsc::channel();
+                    (Some(tx), rx)
+                })
+                .collect();
+            let mut batches: Vec<Vec<(usize, Sender<SessionEvent>)>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (i, slot) in channels.iter_mut().enumerate() {
+                batches[i % threads].push((i, slot.0.take().expect("sender unclaimed")));
+            }
+            let _ = crossbeam::thread::scope(|scope| {
+                for batch in batches {
+                    scope.spawn(move |_| {
+                        for (i, tx) in batch {
+                            self.run_session_streaming(&specs[i], tx);
+                        }
+                    });
+                }
+                // Drain on the calling thread while workers stream. A
+                // receiver closes when its sender is dropped — at session
+                // end, or when a panicking worker unwinds.
+            });
+            channels
+                .into_iter()
+                .zip(specs)
+                .map(|((_, rx), spec)| Self::collect(spec, rx))
+                .collect()
+        };
+        // Contain worker panics: re-run any incomplete session serially.
+        for (i, report) in sessions.iter_mut().enumerate() {
+            if !report.complete {
+                *report = self.run_session(&specs[i]);
+            }
+        }
+        CohortReport {
+            sessions,
+            wall: start.elapsed(),
+        }
+    }
+
+    /// Runs one session to completion, collecting locally.
+    fn run_session(&self, spec: &SessionSpec) -> SessionReport {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.run_session_streaming(spec, tx);
+        Self::collect(spec, rx)
+    }
+
+    /// Runs one session, streaming events into `tx` (dropped at return,
+    /// which closes the session's channel).
+    fn run_session_streaming(&self, spec: &SessionSpec, tx: Sender<SessionEvent>) {
+        let config = SessionConfig::new(spec.patient, spec.session)
+            .with_segmenter(self.segmenter.clone())
+            .with_align(self.align)
+            .with_options(self.options.clone())
+            .with_horizon(self.horizon)
+            .with_cadence(self.predict_every);
+        // Parameters were validated when the engine was built.
+        let Ok(mut runtime) = SessionRuntime::with_engine(self.engine.clone(), config) else {
+            return;
+        };
+        runtime.add_consumer(Box::new(ChannelConsumer { tx: tx.clone() }));
+        for &s in &spec.samples {
+            runtime.push(s);
+        }
+        runtime.finish();
+        let _ = tx.send(SessionEvent::Done {
+            vertices: runtime.live_vertices().len(),
+            samples: runtime.samples_seen(),
+        });
+    }
+
+    /// Drains one session's channel into its report.
+    fn collect(spec: &SessionSpec, rx: Receiver<SessionEvent>) -> SessionReport {
+        let mut report = SessionReport {
+            patient: spec.patient,
+            session: spec.session,
+            ticks: Vec::new(),
+            vertices: 0,
+            samples: 0,
+            complete: false,
+        };
+        for event in rx {
+            match event {
+                SessionEvent::Tick(t) => report.ticks.push(t),
+                SessionEvent::Done { vertices, samples } => {
+                    report.vertices = vertices;
+                    report.samples = samples;
+                    report.complete = true;
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_db::PatientAttributes;
+    use tsm_model::segment_signal;
+    use tsm_signal::{BreathingParams, SignalGenerator};
+
+    fn seeded_store(seed: u64) -> (StreamStore, PatientId) {
+        let store = StreamStore::new();
+        let patient = store.add_patient(PatientAttributes::new());
+        let samples = SignalGenerator::new(BreathingParams::default(), seed).generate(120.0);
+        let vertices = segment_signal(&samples, SegmenterConfig::clean());
+        let plr = PlrTrajectory::from_vertices(vertices).unwrap();
+        store.add_stream(patient, 0, plr, samples.len());
+        (store, patient)
+    }
+
+    fn live_samples(seed: u64, duration: f64) -> Vec<Sample> {
+        SignalGenerator::new(BreathingParams::default(), seed).generate(duration)
+    }
+
+    #[test]
+    fn invalid_params_are_an_error_not_a_panic() {
+        let (store, patient) = seeded_store(21);
+        let params = Params {
+            delta: 0.0,
+            ..Params::default()
+        };
+        let err = SessionRuntime::new(
+            store.clone(),
+            params.clone(),
+            SessionConfig::new(patient, 1),
+        );
+        assert!(matches!(err, Err(TsmError::InvalidParams(_))));
+        assert!(matches!(
+            CohortRuntime::new(store, params),
+            Err(TsmError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn ticks_fire_on_cadence_and_share_one_outcome() {
+        let (store, patient) = seeded_store(22);
+        let params = Params {
+            min_matches: 1,
+            ..Params::default()
+        };
+        let config = SessionConfig::new(patient, 1)
+            .with_segmenter(SegmenterConfig::clean())
+            .with_cadence(30);
+        let mut runtime = SessionRuntime::new(store, params, config)
+            .unwrap()
+            .with_consumer(Box::new(PredictionLog::new()))
+            .with_consumer(Box::new(PredictionLog::new()));
+        let samples = live_samples(23, 60.0);
+        for &s in &samples {
+            runtime.push(s);
+        }
+        let logs: Vec<&PredictionLog> = runtime
+            .consumers()
+            .iter()
+            .filter_map(|c| c.downcast_ref::<PredictionLog>())
+            .collect();
+        assert_eq!(logs.len(), 2);
+        // Cadence: one tick per 30 samples, starting at sample 30.
+        let expected = (samples.len() - 1) / 30;
+        assert_eq!(logs[0].ticks.len(), expected);
+        assert!(logs[0].predictions() > 5);
+        // Both consumers saw the *same* outcomes.
+        assert_eq!(logs[0].ticks, logs[1].ticks);
+    }
+
+    #[test]
+    fn runtime_predictions_match_manual_predict_calls() {
+        let (store, patient) = seeded_store(24);
+        let params = Params {
+            min_matches: 1,
+            ..Params::default()
+        };
+        let shared = store.into_shared();
+        let config = SessionConfig::new(patient, 1)
+            .with_segmenter(SegmenterConfig::clean())
+            .with_cadence(30);
+        let mut auto = SessionRuntime::new(shared.clone(), params.clone(), config.clone())
+            .unwrap()
+            .with_consumer(Box::new(PredictionLog::new()));
+        let mut manual =
+            SessionRuntime::new(shared, params, config.clone().with_cadence(0)).unwrap();
+        let mut manual_outcomes = Vec::new();
+        for (i, &s) in live_samples(25, 60.0).iter().enumerate() {
+            auto.push(s);
+            manual.push(s);
+            if i % 30 == 0 && i >= 30 {
+                if let Some(o) = manual.predict(config.horizon) {
+                    manual_outcomes.push(o);
+                }
+            }
+        }
+        let log = auto.consumer::<PredictionLog>().unwrap();
+        assert_eq!(log.outcomes(), manual_outcomes);
+    }
+
+    #[test]
+    fn finish_into_store_bumps_version_for_all_handles() {
+        let (store, patient) = seeded_store(26);
+        let shared = store.into_shared();
+        let params = Params {
+            min_matches: 1,
+            ..Params::default()
+        };
+        let a = SessionRuntime::new(
+            shared.clone(),
+            params.clone(),
+            SessionConfig::new(patient, 1).with_segmenter(SegmenterConfig::clean()),
+        )
+        .unwrap();
+        let mut b = SessionRuntime::new(
+            shared.clone(),
+            params,
+            SessionConfig::new(patient, 2).with_segmenter(SegmenterConfig::clean()),
+        )
+        .unwrap();
+        // Both runtimes observe the same version counter...
+        let v0 = a.store().version();
+        assert_eq!(b.store().version(), v0);
+        // ...and one runtime persisting is visible to the other.
+        for &s in &live_samples(27, 60.0) {
+            b.push(s);
+        }
+        let streams_before = a.store().num_streams();
+        b.finish_into_store().expect("stream persisted");
+        assert_eq!(a.store().num_streams(), streams_before + 1);
+        assert!(a.store().version() > v0);
+        assert_eq!(a.store().version(), shared.version());
+    }
+
+    #[test]
+    fn cohort_replay_reports_per_session_and_never_mutates_the_store() {
+        let (store, patient) = seeded_store(28);
+        let shared = store.into_shared();
+        let params = Params {
+            min_matches: 1,
+            ..Params::default()
+        };
+        let runtime = CohortRuntime::new(shared.clone(), params)
+            .unwrap()
+            .with_segmenter(SegmenterConfig::clean());
+        let specs: Vec<SessionSpec> = (0..3)
+            .map(|i| SessionSpec {
+                patient,
+                session: i + 1,
+                samples: live_samples(29 + i as u64, 40.0),
+            })
+            .collect();
+        let v0 = shared.version();
+        let report = runtime.replay(&specs);
+        assert_eq!(shared.version(), v0, "replay must be read-only");
+        assert_eq!(report.sessions.len(), 3);
+        for (r, spec) in report.sessions.iter().zip(&specs) {
+            assert!(r.complete);
+            assert_eq!(r.session, spec.session);
+            assert_eq!(r.samples, spec.samples.len());
+            assert!(r.vertices > 0);
+            assert!(
+                r.predictions() > 0,
+                "session {} abstained always",
+                r.session
+            );
+        }
+        assert_eq!(
+            report.total_predictions(),
+            report
+                .sessions
+                .iter()
+                .map(|s| s.predictions())
+                .sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn cohort_parallel_matches_serial() {
+        let (store, patient) = seeded_store(30);
+        let params = Params {
+            min_matches: 1,
+            ..Params::default()
+        };
+        let specs: Vec<SessionSpec> = (0..3)
+            .map(|i| SessionSpec {
+                patient,
+                session: i + 1,
+                samples: live_samples(31 + i as u64, 30.0),
+            })
+            .collect();
+        let serial = CohortRuntime::new(store.clone(), params.clone())
+            .unwrap()
+            .with_segmenter(SegmenterConfig::clean())
+            .replay(&specs);
+        let parallel = CohortRuntime::new(store, params)
+            .unwrap()
+            .with_segmenter(SegmenterConfig::clean())
+            .with_threads(3)
+            .replay(&specs);
+        assert_eq!(serial.sessions, parallel.sessions);
+    }
+}

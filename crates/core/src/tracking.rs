@@ -30,6 +30,38 @@ pub struct TrackingStats {
     pub ticks: usize,
 }
 
+impl TrackingStats {
+    /// Summarizes a set of instantaneous absolute errors — the exact
+    /// arithmetic [`simulate_tracking`] applies, exposed so that online
+    /// consumers (the session runtime's tracking controller) produce
+    /// bit-identical statistics from the errors they record live. An
+    /// empty set yields `NaN` statistics with zero ticks.
+    pub fn from_errors(mut errors: Vec<f64>) -> Self {
+        if errors.is_empty() {
+            return TrackingStats {
+                mean_error: f64::NAN,
+                rms_error: f64::NAN,
+                p95_error: f64::NAN,
+                max_error: f64::NAN,
+                ticks: 0,
+            };
+        }
+        let n = errors.len() as f64;
+        let mean = errors.iter().sum::<f64>() / n;
+        let rms = (errors.iter().map(|e| e * e).sum::<f64>() / n).sqrt();
+        errors.sort_by(f64::total_cmp);
+        let p95 = errors[((errors.len() - 1) as f64 * 0.95) as usize];
+        let max = *errors.last().expect("non-empty");
+        TrackingStats {
+            mean_error: mean,
+            rms_error: rms,
+            p95_error: p95,
+            max_error: max,
+            ticks: errors.len(),
+        }
+    }
+}
+
 /// Simulates continuous tracking over `[t0, t1]` at `tick` resolution:
 /// at each tick the policy aims the beam (`None` keeps the previous aim —
 /// a real MLC cannot vanish), and the instantaneous error against the
@@ -54,32 +86,7 @@ pub fn simulate_tracking(
         errors.push(e);
         t += tick;
     }
-    summarize(&mut errors)
-}
-
-fn summarize(errors: &mut [f64]) -> TrackingStats {
-    if errors.is_empty() {
-        return TrackingStats {
-            mean_error: f64::NAN,
-            rms_error: f64::NAN,
-            p95_error: f64::NAN,
-            max_error: f64::NAN,
-            ticks: 0,
-        };
-    }
-    let n = errors.len() as f64;
-    let mean = errors.iter().sum::<f64>() / n;
-    let rms = (errors.iter().map(|e| e * e).sum::<f64>() / n).sqrt();
-    errors.sort_by(f64::total_cmp);
-    let p95 = errors[((errors.len() - 1) as f64 * 0.95) as usize];
-    let max = *errors.last().expect("non-empty");
-    TrackingStats {
-        mean_error: mean,
-        rms_error: rms,
-        p95_error: p95,
-        max_error: max,
-        ticks: errors.len(),
-    }
+    TrackingStats::from_errors(errors)
 }
 
 /// The uncompensated policy: aim at the position observed `latency`

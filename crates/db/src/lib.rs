@@ -41,6 +41,6 @@ pub use ids::{PatientId, StreamId};
 pub use index::StateOrderIndex;
 pub use persist::{load_store, load_store_from_path, save_store, save_store_to_path, PersistError};
 pub use stats::{StoreStats, StreamStats};
-pub use store::{PatientAttributes, SourceRelation, StreamStore};
+pub use store::{PatientAttributes, SharedStore, SourceRelation, StreamStore};
 pub use stream::{MotionStream, StreamMeta};
 pub use subsequence::{SubseqRef, SubseqView};

@@ -37,6 +37,20 @@ struct Inner {
     version: u64,
 }
 
+/// The shared-ownership handle the online path passes around: every
+/// matcher, index cache and session runtime holds one of these, so a
+/// whole cohort of concurrent sessions searches the *same* database —
+/// one mutation through any handle (a persisted session, say) is
+/// immediately visible to every other holder, and the store's
+/// [`StreamStore::version`] counter observed through any handle agrees.
+///
+/// `Arc<StreamStore>` rather than a by-value [`StreamStore`] makes the
+/// sharing explicit in signatures: a constructor taking
+/// `impl Into<SharedStore>` accepts either an existing shared handle
+/// (`shared.clone()` — one atomic increment) or a bare store (wrapped
+/// once). Nothing on the online path ever deep-copies stream data.
+pub type SharedStore = Arc<StreamStore>;
+
 /// The hierarchical stream database: patient records, each with a set of
 /// PLR streams (grouped into sessions).
 ///
@@ -53,6 +67,18 @@ impl StreamStore {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wraps this handle into a [`SharedStore`] for the online path. The
+    /// underlying data is shared either way; this only adds the `Arc`
+    /// that session runtimes and matchers thread between themselves.
+    pub fn into_shared(self) -> SharedStore {
+        Arc::new(self)
+    }
+
+    /// A [`SharedStore`] handle over the same data as `self`.
+    pub fn shared(&self) -> SharedStore {
+        Arc::new(self.clone())
     }
 
     /// Registers a patient record and returns its id.

@@ -62,7 +62,8 @@ fn main() {
         seg_config.clone(),
         our_patient,
         2,
-    );
+    )
+    .expect("default parameters are valid");
     let mut generator = SignalGenerator::new(patient_params, 300)
         .with_noise(NoiseParams::typical())
         .with_episodes(EpisodePlan::occasional());

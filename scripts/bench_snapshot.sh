@@ -69,3 +69,34 @@ with open(out_path, "w") as fh:
 
 print(f"wrote {len(results)} medians to {out_path} (label: {label})")
 EOF
+
+echo "== running end-to-end pipeline throughput bench =="
+pipeline_raw="$(mktemp)"
+trap 'rm -f "$raw" "$pipeline_raw"' EXIT
+cargo run --release -p tsm-bench --bin exp_pipeline -- --json "$pipeline_raw"
+
+python3 - "$pipeline_raw" BENCH_pipeline.json "$label" <<'EOF'
+import json, sys, datetime
+
+raw_path, out_path, label = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(raw_path) as fh:
+    doc = json.load(fh)
+doc["captured"] = datetime.datetime.now(datetime.timezone.utc).strftime(
+    "%Y-%m-%dT%H:%M:%SZ"
+)
+doc["label"] = label
+
+# Same merge discipline as BENCH_matching.json: one capture per label.
+try:
+    with open(out_path) as fh:
+        prior = json.load(fh)
+    captures = [c for c in prior.get("captures", []) if c.get("label") != label]
+except (FileNotFoundError, json.JSONDecodeError):
+    captures = []
+captures.append(doc)
+with open(out_path, "w") as fh:
+    json.dump({"captures": captures}, fh, indent=2)
+    fh.write("\n")
+
+print(f"wrote pipeline throughput (speedup {doc['speedup']}x) to {out_path}")
+EOF

@@ -72,7 +72,8 @@ fn online_predictor_session_full_lifecycle() {
         SegmenterConfig::default(),
         patient,
         9,
-    );
+    )
+    .unwrap();
     let mut generator =
         SignalGenerator::new(BreathingParams::default(), 777).with_noise(NoiseParams::typical());
     let samples = generator.generate(90.0);

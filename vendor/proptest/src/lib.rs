@@ -373,7 +373,7 @@ pub mod collection {
     use rand::RngExt;
     use std::ops::{Range, RangeInclusive};
 
-    /// Element counts for [`vec`]: an exact size or a range.
+    /// Element counts for [`vec()`]: an exact size or a range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -416,7 +416,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
