@@ -33,7 +33,7 @@ fn bench_segmentation(c: &mut Criterion) {
                     let mut seg = OnlineSegmenter::new(config.clone());
                     let mut n = 0usize;
                     for &s in samples {
-                        n += seg.push(black_box(s)).len();
+                        n += seg.push(black_box(s)).unwrap().len();
                     }
                     n + seg.finish().len()
                 })

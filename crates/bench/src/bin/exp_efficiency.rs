@@ -40,7 +40,7 @@ fn main() {
         let mut seg = OnlineSegmenter::new(SegmenterConfig::default());
         let mut vertices = 0usize;
         for &s in &samples {
-            vertices += seg.push(s).len();
+            vertices += seg.push(s).expect("generated samples are finite").len();
         }
         vertices += seg.finish().len();
         let elapsed = started.elapsed();

@@ -22,6 +22,7 @@ use tsm_core::pipeline::OnlinePredictor;
 use tsm_core::session::{
     GatingController, PredictionLog, SessionConfig, SessionRuntime, TrackingController,
 };
+use tsm_core::metrics::MetricsRegistry;
 use tsm_core::{CachedMatcher, Matcher, Params};
 use tsm_db::SharedStore;
 use tsm_model::{Position, SegmenterConfig};
@@ -57,7 +58,7 @@ fn legacy_session(
     let mut predictor = new_predictor();
     let mut outcomes = 0usize;
     for (i, &s) in eval.samples.iter().enumerate() {
-        predictor.push(s);
+        predictor.push(s).expect("finite sample");
         if i % EVERY == 0 && i >= EVERY && predictor.predict(DT).is_some() {
             outcomes += 1;
         }
@@ -67,7 +68,7 @@ fn legacy_session(
     let mut predictor = new_predictor();
     let mut acc = GatingAccumulator::new();
     for (i, &s) in eval.samples.iter().enumerate() {
-        predictor.push(s);
+        predictor.push(s).expect("finite sample");
         if i % EVERY == 0 && i >= EVERY {
             let Some(last) = predictor.live_vertices().last() else {
                 continue;
@@ -85,7 +86,7 @@ fn legacy_session(
     let mut last_aim: Option<Position> = None;
     let mut errors = 0usize;
     for (i, &s) in eval.samples.iter().enumerate() {
-        predictor.push(s);
+        predictor.push(s).expect("finite sample");
         if i % EVERY == 0 && i >= EVERY {
             if let Some(o) = predictor.predict(DT) {
                 last_aim = Some(o.position);
@@ -119,7 +120,7 @@ fn runtime_session(engine: &Arc<CachedMatcher>, seg: &SegmenterConfig, eval: &Ev
         )))
         .with_consumer(Box::new(TrackingController::new(eval.truth.clone(), axis)));
     for &s in &eval.samples {
-        runtime.push(s);
+        runtime.push(s).expect("finite sample");
     }
     runtime
         .consumer::<PredictionLog>()
@@ -185,9 +186,35 @@ fn main() {
     );
     assert!(legacy_predictions > 0, "no predictions at all");
 
+    // Instrumented: the same sessions again on a metrics-enabled engine,
+    // measuring what the observability layer costs when switched on.
+    let metrics = MetricsRegistry::enabled();
+    let instrumented = Arc::new(CachedMatcher::new(
+        Matcher::new(store.clone(), params.clone()).with_metrics(metrics.clone()),
+    ));
+    let started = Instant::now();
+    let instrumented_predictions: usize = bundle
+        .eval
+        .iter()
+        .map(|e| runtime_session(&instrumented, &seg, e))
+        .sum();
+    let instrumented_wall = started.elapsed();
+    assert_eq!(
+        instrumented_predictions, runtime_predictions,
+        "metrics must not change the predictions"
+    );
+    let snapshot = metrics.snapshot();
+    snapshot
+        .check_invariants()
+        .expect("metrics counters reconcile");
+
     let legacy_pps = legacy_predictions as f64 / legacy_wall.as_secs_f64();
     let runtime_pps = runtime_predictions as f64 / runtime_wall.as_secs_f64();
+    let instrumented_pps = instrumented_predictions as f64 / instrumented_wall.as_secs_f64();
     let speedup = runtime_pps / legacy_pps;
+    // >1.0 would mean metrics made the replay *faster* (noise); <1.0 is
+    // the fractional throughput kept with instrumentation on.
+    let metrics_overhead = instrumented_pps / runtime_pps;
 
     table(
         &["architecture", "predictions", "wall (s)", "predictions/s"],
@@ -204,6 +231,12 @@ fn main() {
                 format!("{:.3}", runtime_wall.as_secs_f64()),
                 format!("{runtime_pps:.1}"),
             ],
+            vec![
+                "runtime + metrics".into(),
+                instrumented_predictions.to_string(),
+                format!("{:.3}", instrumented_wall.as_secs_f64()),
+                format!("{instrumented_pps:.1}"),
+            ],
         ],
     );
     println!();
@@ -212,18 +245,29 @@ fn main() {
          (index rebuilds on shared engine: {})",
         engine.cache().rebuild_count()
     );
+    println!(
+        "metrics-on throughput ratio: {metrics_overhead:.3} \
+         ({} windows scored, {} searches)",
+        snapshot.counter("match.windows_scored"),
+        snapshot.counter("match.searches"),
+    );
 
     if let Some(path) = json_path {
         let json = format!(
             "{{\n  \"sessions\": {sessions},\n  \"predictions\": {legacy_predictions},\n  \
              \"legacy\": {{ \"wall_s\": {:.6}, \"predictions_per_sec\": {:.3} }},\n  \
              \"runtime\": {{ \"wall_s\": {:.6}, \"predictions_per_sec\": {:.3} }},\n  \
-             \"speedup\": {:.4}\n}}\n",
+             \"runtime_metrics\": {{ \"wall_s\": {:.6}, \"predictions_per_sec\": {:.3} }},\n  \
+             \"speedup\": {:.4},\n  \"metrics_overhead\": {:.4},\n  \"metrics\": {}\n}}\n",
             legacy_wall.as_secs_f64(),
             legacy_pps,
             runtime_wall.as_secs_f64(),
             runtime_pps,
-            speedup
+            instrumented_wall.as_secs_f64(),
+            instrumented_pps,
+            speedup,
+            metrics_overhead,
+            snapshot.to_json(),
         );
         std::fs::write(&path, json).expect("write json snapshot");
         println!("wrote {path}");

@@ -282,7 +282,7 @@ pub fn evaluate_prediction(
             delta_override: config.delta_override,
         };
         for (i, &s) in eval.samples.iter().enumerate() {
-            live.extend(seg.push(s));
+            live.extend(seg.push(s).expect("generated samples are finite"));
             if i % config.predict_every != 0 || i < config.predict_every {
                 continue;
             }

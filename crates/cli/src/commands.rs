@@ -1,9 +1,12 @@
 //! The `tsm` subcommands.
 
 use crate::args::Args;
+use std::sync::Arc;
 use tsm_core::cluster::{k_medoids, silhouette};
 use tsm_core::correlate::discover_correlations;
-use tsm_core::matcher::{Matcher, QuerySubseq};
+use tsm_core::index_cache::CachedMatcher;
+use tsm_core::matcher::{Matcher, QuerySubseq, SearchOptions};
+use tsm_core::metrics::MetricsRegistry;
 use tsm_core::patient_distance::patient_distance_matrix;
 use tsm_core::pipeline::OnlinePredictor;
 use tsm_core::session::{CohortRuntime, SessionSpec};
@@ -27,13 +30,17 @@ USAGE:
   tsm info     --store FILE            store statistics
   tsm segment  --csv FILE [--axis N]   segment a time,value CSV signal
   tsm match    --store FILE --stream ID --start I --len L [--delta D]
-               [--threads T]            parallel scan when T > 1
+               [--threads T] [--k K] [--metrics [FILE]]
+                                       parallel scan when T > 1; --k keeps
+                                       only the K best matches
   tsm predict  --store FILE --patient ID [--duration SECS] [--dt SECS]
                [--seed X] [--delta D]  replay a fresh session, report error
   tsm replay   --store FILE --sessions N [--threads T] [--duration SECS]
-               [--dt SECS] [--every K] [--seed X]
+               [--dt SECS] [--every K] [--seed X] [--metrics [FILE]]
                                        replay N concurrent sessions against
                                        one shared store, report throughput
+                                       (--metrics dumps an instrumentation
+                                       snapshot to FILE, or stdout)
   tsm cluster  --store FILE [--k K]    cluster patients, find correlations
   tsm help                             this message"
     );
@@ -42,6 +49,38 @@ USAGE:
 fn load(args: &Args) -> Result<StreamStore, String> {
     let path = args.require("store")?;
     load_store_from_path(&path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The metrics registry a command should record into: enabled iff
+/// `--metrics` was passed (with or without a destination file).
+fn metrics_registry(args: &Args) -> MetricsRegistry {
+    if args.bool_flag("metrics") {
+        MetricsRegistry::enabled()
+    } else {
+        MetricsRegistry::disabled()
+    }
+}
+
+/// Emits the collected metrics to the `--metrics` destination: a file
+/// when one was given, stdout otherwise. Refuses to emit a snapshot whose
+/// counters do not reconcile — that would mean the instrumentation
+/// itself is broken.
+fn emit_metrics(args: &Args, metrics: &MetricsRegistry) -> Result<(), String> {
+    let Some(dest) = args.flags.get("metrics") else {
+        return Ok(());
+    };
+    let snapshot = metrics.snapshot();
+    snapshot
+        .check_invariants()
+        .map_err(|msg| format!("metrics counters do not reconcile: {msg}"))?;
+    let json = snapshot.to_json();
+    if dest.is_empty() {
+        println!("{json}");
+    } else {
+        std::fs::write(dest, json).map_err(|e| format!("{dest}: {e}"))?;
+        eprintln!("metrics written to {dest}");
+    }
+    Ok(())
 }
 
 /// `tsm simulate`.
@@ -195,12 +234,29 @@ pub fn match_cmd(args: &Args) -> Result<(), String> {
         .resolve(SubseqRef::new(stream, start, len))
         .ok_or_else(|| format!("stream {stream} has no window [{start}, {start}+{len}]"))?;
     let threads = args.num_flag("threads", 1usize)?;
-    let query = QuerySubseq::from_view(&view);
-    let matcher = Matcher::new(store.clone(), params);
-    let matches = if threads > 1 {
-        matcher.find_matches_parallel(&query, &Default::default(), threads)
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let top_k = if args.flags.contains_key("k") {
+        let k = args.num_flag("k", 0usize)?;
+        if k == 0 {
+            return Err("--k must be at least 1".into());
+        }
+        Some(k)
     } else {
-        matcher.find_matches(&query)
+        None
+    };
+    let options = SearchOptions {
+        top_k,
+        ..Default::default()
+    };
+    let metrics = metrics_registry(args);
+    let query = QuerySubseq::from_view(&view);
+    let matcher = Matcher::new(store.clone(), params).with_metrics(metrics.clone());
+    let matches = if threads > 1 {
+        matcher.find_matches_parallel(&query, &options, threads)
+    } else {
+        matcher.find_matches_with(&query, &options)
     };
     println!("query: {stream} start {start} len {len}");
     println!("{} matches within delta:", matches.len());
@@ -210,6 +266,7 @@ pub fn match_cmd(args: &Args) -> Result<(), String> {
             m.subseq.stream, m.subseq.start, m.distance, m.ws, m.relation
         );
     }
+    emit_metrics(args, &metrics)?;
     Ok(())
 }
 
@@ -252,7 +309,7 @@ pub fn predict(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let mut errors = Vec::new();
     for (i, &s) in samples.iter().enumerate() {
-        predictor.push(s);
+        predictor.push(s).map_err(|e| e.to_string())?;
         if i % 30 == 0 && i > 0 {
             if let Some(outcome) = predictor.predict(dt) {
                 let t_last = predictor
@@ -294,6 +351,9 @@ pub fn replay(args: &Args) -> Result<(), String> {
         return Err("--sessions must be at least 1".into());
     }
     let threads = args.num_flag("threads", sessions.min(8))?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
     let duration = args.num_flag("duration", 60.0f64)?;
     let dt = args.num_flag("dt", 0.3f64)?;
     let every = args.num_flag("every", 30usize)?;
@@ -330,8 +390,11 @@ pub fn replay(args: &Args) -> Result<(), String> {
         .collect();
 
     let shared = store.into_shared();
-    let runtime = CohortRuntime::new(shared, Params::default())
-        .map_err(|e| e.to_string())?
+    let metrics = metrics_registry(args);
+    let engine = Arc::new(CachedMatcher::new(
+        Matcher::new(shared, Params::default()).with_metrics(metrics.clone()),
+    ));
+    let runtime = CohortRuntime::with_engine(engine)
         .with_horizon(dt)
         .with_cadence(every)
         .with_threads(threads);
@@ -351,12 +414,18 @@ pub fn replay(args: &Args) -> Result<(), String> {
             r.vertices
         );
     }
+    for r in &report.sessions {
+        if let Some(err) = &r.error {
+            eprintln!("warning: session {} failed: {err}", r.session);
+        }
+    }
     println!(
         "\n{} predictions in {:.2} s wall — {:.1} predictions/sec aggregate",
         report.total_predictions(),
         report.wall.as_secs_f64(),
         report.predictions_per_sec()
     );
+    emit_metrics(args, &metrics)?;
     Ok(())
 }
 

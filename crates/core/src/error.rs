@@ -22,6 +22,8 @@ pub enum CoreError {
     InvalidParams(String),
     /// Not enough data to perform the requested operation.
     InsufficientData(String),
+    /// Malformed input data (e.g. a non-finite sample at ingest).
+    InvalidInput(String),
 }
 
 impl fmt::Display for CoreError {
@@ -35,6 +37,7 @@ impl fmt::Display for CoreError {
             CoreError::UnknownStream(id) => write!(f, "unknown stream {id}"),
             CoreError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
             CoreError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
         }
     }
 }

@@ -8,6 +8,7 @@
 //! at `v`.
 
 use crate::matcher::{MatchResult, Matcher, QuerySubseq, SearchOptions};
+use crate::metrics::{Counter, Hist, MetricsRegistry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,6 +31,7 @@ pub struct IndexCache {
     axis: usize,
     inner: Mutex<HashMap<usize, (u64, Arc<FeatureIndex>)>>,
     rebuilds: AtomicU64,
+    metrics: MetricsRegistry,
 }
 
 impl IndexCache {
@@ -42,26 +44,38 @@ impl IndexCache {
             axis,
             inner: Mutex::new(HashMap::new()),
             rebuilds: AtomicU64::new(0),
+            metrics: MetricsRegistry::disabled(),
         }
+    }
+
+    /// Attaches a metrics registry (records lookups, hits, misses and
+    /// rebuilds when enabled).
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// The up-to-date index for windows of `len` segments, rebuilding it
     /// only if the store has changed since it was last built.
     pub fn index_for(&self, len: usize) -> Arc<FeatureIndex> {
+        self.metrics.incr(Counter::CacheLookups);
         let version = self.store.version();
         {
             let g = self.inner.lock();
             if let Some((v, ix)) = g.get(&len) {
                 if *v == version {
+                    self.metrics.incr(Counter::CacheHits);
                     return ix.clone();
                 }
             }
         }
+        self.metrics.incr(Counter::CacheMisses);
         let built = Arc::new(FeatureIndex::build(&self.store, len, self.axis));
         // The store may have grown *while* we built; tag with the version
         // we read before building so a concurrent insert invalidates us.
         self.inner.lock().insert(len, (version, built.clone()));
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        self.metrics.incr(Counter::CacheRebuilds);
         built
     }
 
@@ -92,15 +106,22 @@ pub struct CachedMatcher {
 
 impl CachedMatcher {
     /// Creates a cached matcher. The cache shares the matcher's store
-    /// handle (an `Arc` clone) rather than taking its own copy.
+    /// handle (an `Arc` clone) rather than taking its own copy, and
+    /// records into the matcher's metrics registry.
     pub fn new(matcher: Matcher) -> Self {
-        let cache = IndexCache::new(matcher.shared_store(), matcher.params().axis);
+        let cache = IndexCache::new(matcher.shared_store(), matcher.params().axis)
+            .with_metrics(matcher.metrics().clone());
         CachedMatcher { matcher, cache }
     }
 
     /// The inner matcher.
     pub fn matcher(&self) -> &Matcher {
         &self.matcher
+    }
+
+    /// The metrics registry shared by the matcher and the cache.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.matcher.metrics()
     }
 
     /// The cache (for diagnostics).
@@ -111,6 +132,18 @@ impl CachedMatcher {
     /// Pruned search through the cached index; identical results to the
     /// plain scan.
     pub fn find_matches(&self, query: &QuerySubseq, options: &SearchOptions) -> Vec<MatchResult> {
+        let metrics = self.metrics();
+        let started = metrics.start();
+        let results = self.find_matches_inner(query, options);
+        metrics.observe_since(Hist::SearchLatency, started);
+        results
+    }
+
+    fn find_matches_inner(
+        &self,
+        query: &QuerySubseq,
+        options: &SearchOptions,
+    ) -> Vec<MatchResult> {
         let len = query.len();
         if len == 0 || len > 60 {
             return self.matcher.find_matches_with(query, options);

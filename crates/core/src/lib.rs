@@ -59,6 +59,7 @@ pub mod framework;
 pub mod gating;
 pub mod index_cache;
 pub mod matcher;
+pub mod metrics;
 pub mod params;
 pub mod patient_distance;
 pub mod pipeline;
@@ -81,6 +82,9 @@ pub mod prelude {
     pub use crate::gating::{simulate_gating, GatingAccumulator, GatingStats, GatingWindow};
     pub use crate::index_cache::{CachedMatcher, IndexCache, IndexCacheStats};
     pub use crate::matcher::{MatchResult, Matcher, QuerySubseq, SearchOptions};
+    pub use crate::metrics::{
+        Counter, Hist, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SearchTally,
+    };
     pub use crate::params::Params;
     pub use crate::patient_distance::patient_distance;
     pub use crate::pipeline::{OnlinePredictor, PredictionOutcome};

@@ -17,8 +17,11 @@
 //! indexed/pruned/parallel paths (which visit candidates in other orders)
 //! a deterministic tie-break.
 
+use crate::metrics::{Counter, MetricsRegistry, SearchTally};
 use crate::params::Params;
-use crate::similarity::{online_distance, vertex_weight, QueryCols, WindowCols, WindowScorer};
+use crate::similarity::{
+    online_distance, vertex_weight, QueryCols, ScoreOutcome, WindowCols, WindowScorer,
+};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::Arc;
@@ -304,7 +307,10 @@ impl<'a> Engine<'a> {
         c_last > self.q_first && c_first < self.q_last
     }
 
-    /// Scores one candidate window and offers it to the collector.
+    /// Scores one candidate window and offers it to the collector. The
+    /// tally is plain per-search scratch (flushed to the metrics registry
+    /// once per search), so the hot loop never touches an atomic.
+    #[allow(clippy::too_many_arguments)]
     fn score_window_at(
         &self,
         sf: &StreamFeatures,
@@ -313,6 +319,7 @@ impl<'a> Engine<'a> {
         ws: f64,
         scorer: &mut WindowScorer,
         coll: &mut Collector,
+        tally: &mut SearchTally,
     ) {
         if self.overlaps_query(sf, start) {
             return;
@@ -324,14 +331,25 @@ impl<'a> Engine<'a> {
             dvec: &sf.dvec[start..end],
             dur: &sf.dur[start..end],
         };
-        if let Some(d) = scorer.score_window(&self.cols, cand, self.params, ws, coll.bound()) {
-            if d <= self.delta {
-                coll.push(MatchResult {
-                    subseq: SubseqRef::new(sf.meta.id, start, self.n),
-                    distance: d,
-                    ws,
-                    relation,
-                });
+        match scorer.score_window_outcome(&self.cols, cand, self.params, ws, coll.bound()) {
+            ScoreOutcome::StateMismatch => {
+                tally.windows_state_mismatch += 1;
+            }
+            ScoreOutcome::Abandoned => {
+                tally.windows_scored += 1;
+                tally.windows_abandoned += 1;
+            }
+            ScoreOutcome::Scored(d) => {
+                tally.windows_scored += 1;
+                tally.windows_completed += 1;
+                if d <= self.delta {
+                    coll.push(MatchResult {
+                        subseq: SubseqRef::new(sf.meta.id, start, self.n),
+                        distance: d,
+                        ws,
+                        relation,
+                    });
+                }
             }
         }
     }
@@ -343,6 +361,7 @@ impl<'a> Engine<'a> {
         streams: &[Arc<StreamFeatures>],
         scorer: &mut WindowScorer,
         coll: &mut Collector,
+        tally: &mut SearchTally,
     ) {
         for sf in streams {
             if !self.allows(sf.meta.patient) {
@@ -355,7 +374,7 @@ impl<'a> Engine<'a> {
             let relation = self.relation(&sf.meta);
             let ws = self.params.ws(relation);
             for start in 0..=(nseg - self.n) {
-                self.score_window_at(sf, start, relation, ws, scorer, coll);
+                self.score_window_at(sf, start, relation, ws, scorer, coll, tally);
             }
         }
     }
@@ -394,6 +413,7 @@ impl<'a> Engine<'a> {
 pub struct Matcher {
     store: SharedStore,
     params: Params,
+    metrics: MetricsRegistry,
 }
 
 impl Matcher {
@@ -406,7 +426,21 @@ impl Matcher {
         Matcher {
             store: store.into(),
             params,
+            metrics: MetricsRegistry::disabled(),
         }
+    }
+
+    /// Attaches a metrics registry: every search accounts its work there.
+    /// The default is a disabled registry, which costs nothing.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The attached metrics registry (disabled unless
+    /// [`Matcher::with_metrics`] was used).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The parameters in use.
@@ -448,7 +482,10 @@ impl Matcher {
         let features = self.store.segment_features(self.params.axis);
         let mut scorer = WindowScorer::new();
         let mut coll = engine.collector();
-        engine.scan_streams(features.streams(), &mut scorer, &mut coll);
+        let mut tally = SearchTally::default();
+        engine.scan_streams(features.streams(), &mut scorer, &mut coll, &mut tally);
+        self.metrics.incr(Counter::Searches);
+        self.metrics.record_search(&tally);
         let mut out = coll.into_vec();
         Self::finish(&mut out, options);
         out
@@ -518,7 +555,9 @@ impl Matcher {
         let features = self.store.segment_features(self.params.axis);
         let mut scorer = WindowScorer::new();
         let mut coll = engine.collector();
+        let mut tally = SearchTally::default();
         for r in index.candidates(sig) {
+            tally.bucket_candidates += 1;
             let Some(sf) = features.stream(r.stream) else {
                 continue;
             };
@@ -531,8 +570,10 @@ impl Matcher {
             }
             let relation = engine.relation(&sf.meta);
             let ws = self.params.ws(relation);
-            engine.score_window_at(sf, start, relation, ws, &mut scorer, &mut coll);
+            engine.score_window_at(sf, start, relation, ws, &mut scorer, &mut coll, &mut tally);
         }
+        self.metrics.incr(Counter::Searches);
+        self.metrics.record_search(&tally);
         let mut out = coll.into_vec();
         Self::finish(&mut out, options);
         out
@@ -567,6 +608,7 @@ impl Matcher {
         let chunk = streams.len().div_ceil(threads);
         let chunks: Vec<&[Arc<StreamFeatures>]> = streams.chunks(chunk).collect();
         let engine = &engine;
+        let metrics = &self.metrics;
         let mut out: Vec<MatchResult> = Vec::new();
         let merged = &mut out;
         let scoped = crossbeam::thread::scope(move |scope| {
@@ -578,23 +620,33 @@ impl Matcher {
                     scope.spawn(move |_| {
                         let mut scorer = WindowScorer::new();
                         let mut coll = engine.collector();
-                        engine.scan_streams(c, &mut scorer, &mut coll);
-                        coll.into_vec()
+                        let mut tally = SearchTally::default();
+                        engine.scan_streams(c, &mut scorer, &mut coll, &mut tally);
+                        (coll.into_vec(), tally)
                     }),
                 ));
             }
+            let mut tally = SearchTally::default();
             for (c, h) in handles {
                 match h.join() {
-                    Ok(local) => merged.extend(local),
+                    Ok((local, t)) => {
+                        merged.extend(local);
+                        tally.merge(&t);
+                    }
                     Err(_) => {
                         // Contain the panic: redo this chunk serially.
+                        // The dead worker's partial tally is lost with it,
+                        // so only this rescan is accounted.
                         let mut scorer = WindowScorer::new();
                         let mut coll = engine.collector();
-                        engine.scan_streams(c, &mut scorer, &mut coll);
+                        let mut t = SearchTally::default();
+                        engine.scan_streams(c, &mut scorer, &mut coll, &mut t);
                         merged.extend(coll.into_vec());
+                        tally.merge(&t);
                     }
                 }
             }
+            metrics.record_search(&tally);
         });
         if scoped.is_err() {
             // The scope itself failed (a detached panic escaped joining):
@@ -602,9 +654,12 @@ impl Matcher {
             out.clear();
             let mut scorer = WindowScorer::new();
             let mut coll = engine.collector();
-            engine.scan_streams(streams, &mut scorer, &mut coll);
+            let mut tally = SearchTally::default();
+            engine.scan_streams(streams, &mut scorer, &mut coll, &mut tally);
+            self.metrics.record_search(&tally);
             out = coll.into_vec();
         }
+        self.metrics.incr(Counter::Searches);
         Self::finish(&mut out, options);
         out
     }
@@ -657,7 +712,13 @@ impl Matcher {
         let features = self.store.segment_features(self.params.axis);
         let mut scorer = WindowScorer::new();
         let mut coll = engine.collector();
-        for e in index.candidates_in_band(sig, q_amp_sum, amp_band, q_duration, dur_band) {
+        let mut tally = SearchTally::default();
+        let (band, counts) =
+            index.candidates_in_band_counted(sig, q_amp_sum, amp_band, q_duration, dur_band);
+        tally.bucket_candidates += counts.bucket as u64;
+        tally.amp_band_candidates += counts.amp_band as u64;
+        for e in band {
+            tally.dur_band_candidates += 1;
             let Some(sf) = features.stream(e.stream) else {
                 continue;
             };
@@ -670,8 +731,10 @@ impl Matcher {
             }
             let relation = engine.relation(&sf.meta);
             let ws = self.params.ws(relation);
-            engine.score_window_at(sf, start, relation, ws, &mut scorer, &mut coll);
+            engine.score_window_at(sf, start, relation, ws, &mut scorer, &mut coll, &mut tally);
         }
+        self.metrics.incr(Counter::Searches);
+        self.metrics.record_search(&tally);
         let mut out = coll.into_vec();
         Self::finish(&mut out, options);
         out

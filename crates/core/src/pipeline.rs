@@ -77,8 +77,9 @@ impl OnlinePredictor {
         &self.runtime
     }
 
-    /// Feeds one raw sample; returns any vertices that closed.
-    pub fn push(&mut self, s: Sample) -> &[Vertex] {
+    /// Feeds one raw sample; returns any vertices that closed. Non-finite
+    /// samples are rejected with [`TsmError::InvalidInput`].
+    pub fn push(&mut self, s: Sample) -> Result<&[Vertex], TsmError> {
         self.runtime.push(s)
     }
 
@@ -159,7 +160,7 @@ mod tests {
             PlrTrajectory::from_vertices(vertices).unwrap()
         };
         for (i, &s) in samples.iter().enumerate() {
-            predictor.push(s);
+            predictor.push(s).unwrap();
             if i % 30 == 0 {
                 if let Some(outcome) = predictor.predict(dt) {
                     let t_last = predictor.live_vertices().last().unwrap().time;
@@ -215,7 +216,7 @@ mod tests {
         .unwrap();
         let mut generator = SignalGenerator::new(BreathingParams::default(), 15);
         for s in generator.generate(60.0) {
-            predictor.push(s);
+            predictor.push(s).unwrap();
         }
         let id = predictor.finish_into_store().expect("stream persisted");
         assert_eq!(store.num_streams(), before + 1);

@@ -37,6 +37,7 @@ use crate::error::TsmError;
 use crate::gating::{GatingAccumulator, GatingStats, GatingWindow};
 use crate::index_cache::CachedMatcher;
 use crate::matcher::{Matcher, QuerySubseq, SearchOptions};
+use crate::metrics::{Counter, Hist, MetricsRegistry};
 use crate::params::Params;
 use crate::pipeline::PredictionOutcome;
 use crate::predict::{predict_position, AlignMode};
@@ -174,6 +175,8 @@ pub struct SessionRuntime {
     consumers: Vec<Box<dyn SessionConsumer>>,
     samples_seen: usize,
     finished: bool,
+    /// Smoother resets already flushed to the metrics registry.
+    seg_resets_seen: u64,
 }
 
 impl std::fmt::Debug for SessionRuntime {
@@ -223,7 +226,14 @@ impl SessionRuntime {
             consumers: Vec::new(),
             samples_seen: 0,
             finished: false,
+            seg_resets_seen: 0,
         })
+    }
+
+    /// The metrics registry the session records into (the engine's —
+    /// disabled unless the engine's matcher was built with one).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.engine.metrics()
     }
 
     /// Attaches a consumer (builder form).
@@ -282,12 +292,38 @@ impl SessionRuntime {
     /// vertices that closed, and — when a prediction cadence is set —
     /// computes the shared prediction tick and fans it out. Returns the
     /// newly closed vertices.
-    pub fn push(&mut self, s: Sample) -> &[Vertex] {
+    ///
+    /// Non-finite samples (NaN / ±inf) are rejected *before* they can
+    /// reach the segmenter, so a corrupt tick never damages the live PLR
+    /// or the shared store.
+    pub fn push(&mut self, s: Sample) -> Result<&[Vertex], TsmError> {
+        let metrics = self.engine.metrics().clone();
         let ix = self.samples_seen;
         self.samples_seen += 1;
         let before = self.live.len();
-        let new = self.segmenter.push(s);
+        let new = self.segmenter.push(s).map_err(|e| {
+            metrics.incr(Counter::SamplesRejected);
+            TsmError::InvalidInput(e.to_string())
+        })?;
         self.live.extend(new);
+        metrics.incr(Counter::SegmenterSamples);
+        let emitted = (self.live.len() - before) as u64;
+        if emitted > 0 {
+            metrics.add(Counter::VerticesEmitted, emitted);
+            // A state transition is a pair of consecutive vertices whose
+            // states differ; count the pairs the new vertices completed.
+            let start = before.saturating_sub(1);
+            let transitions = self.live[start..]
+                .windows(2)
+                .filter(|w| w[0].state != w[1].state)
+                .count() as u64;
+            metrics.add(Counter::StateTransitions, transitions);
+        }
+        let resets = self.segmenter.smoother_resets();
+        if resets > self.seg_resets_seen {
+            metrics.add(Counter::SmootherResets, resets - self.seg_resets_seen);
+            self.seg_resets_seen = resets;
+        }
         // Take the consumers out so they can borrow `self` read-only.
         let mut consumers = std::mem::take(&mut self.consumers);
         if self.live.len() > before {
@@ -297,19 +333,30 @@ impl SessionRuntime {
         }
         let every = self.config.predict_every;
         if !consumers.is_empty() && every > 0 && ix.is_multiple_of(every) && ix >= every {
+            metrics.incr(Counter::SessionTicks);
+            let tick_start = metrics.start();
+            let outcome = self.predict(self.config.horizon);
+            metrics.observe_since(Hist::TickLatency, tick_start);
+            metrics.incr(if outcome.is_some() {
+                Counter::PredictionsServed
+            } else {
+                Counter::PredictionsAbstained
+            });
             let tick = PredictionTick {
                 sample_ix: ix,
                 time: s.time,
                 horizon: self.config.horizon,
                 target_time: self.live.last().map(|v| v.time + self.config.horizon),
-                outcome: self.predict(self.config.horizon),
+                outcome,
             };
             for c in consumers.iter_mut() {
+                let dispatch_start = metrics.start();
                 c.on_tick(self, &tick);
+                metrics.observe_since(Hist::ConsumerDispatch, dispatch_start);
             }
         }
         self.consumers = consumers;
-        &self.live[before..]
+        Ok(&self.live[before..])
     }
 
     /// Builds the current dynamic query, if the live buffer is long
@@ -363,6 +410,12 @@ impl SessionRuntime {
             OnlineSegmenter::new(self.config.segmenter.clone()),
         );
         self.live.extend(segmenter.finish());
+        let emitted = (self.live.len() - before) as u64;
+        if emitted > 0 {
+            self.engine
+                .metrics()
+                .add(Counter::VerticesEmitted, emitted);
+        }
         let mut consumers = std::mem::take(&mut self.consumers);
         if self.live.len() > before {
             for c in consumers.iter_mut() {
@@ -383,12 +436,14 @@ impl SessionRuntime {
     pub fn finish_into_store(mut self) -> Option<StreamId> {
         self.finish();
         let plr = PlrTrajectory::from_vertices(std::mem::take(&mut self.live)).ok()?;
-        Some(self.store().add_stream(
-            self.config.patient,
-            self.config.session,
-            plr,
-            self.samples_seen,
-        ))
+        self.store()
+            .try_add_stream(
+                self.config.patient,
+                self.config.session,
+                plr,
+                self.samples_seen,
+            )
+            .ok()
     }
 
     /// The attached consumers.
@@ -587,6 +642,10 @@ pub struct SessionReport {
     /// Whether the session ran to completion (`false` only if its worker
     /// died mid-replay; the runtime then re-runs it serially).
     pub complete: bool,
+    /// Why the session terminated early, if it did (e.g. a non-finite
+    /// sample in its input). A failed session is *not* re-run — replaying
+    /// the same poisoned input would fail identically.
+    pub error: Option<String>,
 }
 
 impl SessionReport {
@@ -632,6 +691,7 @@ impl CohortReport {
 enum SessionEvent {
     Tick(PredictionTick),
     Done { vertices: usize, samples: usize },
+    Failed(String),
 }
 
 /// Streams each prediction tick into a per-session channel as it happens.
@@ -757,17 +817,16 @@ impl CohortRuntime {
         let mut sessions: Vec<SessionReport> = if threads <= 1 {
             specs.iter().map(|spec| self.run_session(spec)).collect()
         } else {
-            let mut channels: Vec<(Option<Sender<SessionEvent>>, Receiver<SessionEvent>)> = specs
-                .iter()
-                .map(|_| {
-                    let (tx, rx) = std::sync::mpsc::channel();
-                    (Some(tx), rx)
-                })
-                .collect();
+            // Hand each sender straight to its batch as the channel is
+            // created, keeping only the receivers — no claimed/unclaimed
+            // bookkeeping to get wrong.
+            let mut receivers: Vec<Receiver<SessionEvent>> = Vec::with_capacity(specs.len());
             let mut batches: Vec<Vec<(usize, Sender<SessionEvent>)>> =
                 (0..threads).map(|_| Vec::new()).collect();
-            for (i, slot) in channels.iter_mut().enumerate() {
-                batches[i % threads].push((i, slot.0.take().expect("sender unclaimed")));
+            for i in 0..specs.len() {
+                let (tx, rx) = std::sync::mpsc::channel();
+                receivers.push(rx);
+                batches[i % threads].push((i, tx));
             }
             let _ = crossbeam::thread::scope(|scope| {
                 for batch in batches {
@@ -781,17 +840,30 @@ impl CohortRuntime {
                 // receiver closes when its sender is dropped — at session
                 // end, or when a panicking worker unwinds.
             });
-            channels
+            receivers
                 .into_iter()
                 .zip(specs)
-                .map(|((_, rx), spec)| Self::collect(spec, rx))
+                .map(|(rx, spec)| Self::collect(spec, rx))
                 .collect()
         };
         // Contain worker panics: re-run any incomplete session serially.
+        // Sessions that *failed* (bad input) are left as-is — their error
+        // is deterministic and already recorded.
         for (i, report) in sessions.iter_mut().enumerate() {
-            if !report.complete {
+            if !report.complete && report.error.is_none() {
                 *report = self.run_session(&specs[i]);
             }
+        }
+        let metrics = self.engine.metrics();
+        metrics.add(Counter::CohortSessions, sessions.len() as u64);
+        metrics.add(
+            Counter::CohortSessionsFailed,
+            sessions.iter().filter(|s| s.error.is_some()).count() as u64,
+        );
+        // Each session's channel can hold at most its ticks plus the
+        // terminal event before the calling thread drains it.
+        if let Some(hwm) = sessions.iter().map(|s| s.ticks.len() as u64 + 1).max() {
+            metrics.record_max(Counter::CohortBacklogHwm, hwm);
         }
         CohortReport {
             sessions,
@@ -821,7 +893,10 @@ impl CohortRuntime {
         };
         runtime.add_consumer(Box::new(ChannelConsumer { tx: tx.clone() }));
         for &s in &spec.samples {
-            runtime.push(s);
+            if let Err(e) = runtime.push(s) {
+                let _ = tx.send(SessionEvent::Failed(e.to_string()));
+                return;
+            }
         }
         runtime.finish();
         let _ = tx.send(SessionEvent::Done {
@@ -839,6 +914,7 @@ impl CohortRuntime {
             vertices: 0,
             samples: 0,
             complete: false,
+            error: None,
         };
         for event in rx {
             match event {
@@ -848,6 +924,7 @@ impl CohortRuntime {
                     report.samples = samples;
                     report.complete = true;
                 }
+                SessionEvent::Failed(msg) => report.error = Some(msg),
             }
         }
         report
@@ -910,7 +987,7 @@ mod tests {
             .with_consumer(Box::new(PredictionLog::new()));
         let samples = live_samples(23, 60.0);
         for &s in &samples {
-            runtime.push(s);
+            runtime.push(s).unwrap();
         }
         let logs: Vec<&PredictionLog> = runtime
             .consumers()
@@ -944,8 +1021,8 @@ mod tests {
             SessionRuntime::new(shared, params, config.clone().with_cadence(0)).unwrap();
         let mut manual_outcomes = Vec::new();
         for (i, &s) in live_samples(25, 60.0).iter().enumerate() {
-            auto.push(s);
-            manual.push(s);
+            auto.push(s).unwrap();
+            manual.push(s).unwrap();
             if i % 30 == 0 && i >= 30 {
                 if let Some(o) = manual.predict(config.horizon) {
                     manual_outcomes.push(o);
@@ -981,7 +1058,7 @@ mod tests {
         assert_eq!(b.store().version(), v0);
         // ...and one runtime persisting is visible to the other.
         for &s in &live_samples(27, 60.0) {
-            b.push(s);
+            b.push(s).unwrap();
         }
         let streams_before = a.store().num_streams();
         b.finish_into_store().expect("stream persisted");
@@ -1057,5 +1134,74 @@ mod tests {
             .with_threads(3)
             .replay(&specs);
         assert_eq!(serial.sessions, parallel.sessions);
+    }
+
+    #[test]
+    fn non_finite_tick_is_rejected_without_damaging_the_session() {
+        let (store, patient) = seeded_store(32);
+        let config = SessionConfig::new(patient, 1).with_segmenter(SegmenterConfig::clean());
+        let mut runtime = SessionRuntime::new(store, Params::default(), config).unwrap();
+        let samples = live_samples(33, 30.0);
+        for &s in &samples[..samples.len() / 2] {
+            runtime.push(s).unwrap();
+        }
+        let vertices_before = runtime.live_vertices().len();
+        let seen_before = runtime.samples_seen();
+        let err = runtime
+            .push(Sample::new_1d(1e9, f64::NAN))
+            .expect_err("NaN tick must be rejected");
+        assert!(matches!(err, TsmError::InvalidInput(_)), "{err:?}");
+        let err = runtime
+            .push(Sample::new_1d(f64::INFINITY, 1.0))
+            .expect_err("non-finite timestamp must be rejected");
+        assert!(matches!(err, TsmError::InvalidInput(_)), "{err:?}");
+        // The poisoned ticks left no trace in the live buffer and the
+        // session keeps accepting good samples afterwards.
+        assert_eq!(runtime.live_vertices().len(), vertices_before);
+        assert_eq!(runtime.samples_seen(), seen_before + 2);
+        for &s in &samples[samples.len() / 2..] {
+            runtime.push(s).unwrap();
+        }
+        runtime.finish();
+        assert!(runtime.live_vertices().len() >= vertices_before);
+    }
+
+    #[test]
+    fn one_poisoned_session_does_not_abort_cohort_replay() {
+        let (store, patient) = seeded_store(34);
+        let params = Params {
+            min_matches: 1,
+            ..Params::default()
+        };
+        let mut specs: Vec<SessionSpec> = (0..3)
+            .map(|i| SessionSpec {
+                patient,
+                session: i + 1,
+                samples: live_samples(35 + i as u64, 30.0),
+            })
+            .collect();
+        // Poison the middle session with a NaN partway through.
+        let mid = specs[1].samples.len() / 2;
+        specs[1].samples[mid] = Sample::new_1d(specs[1].samples[mid].time, f64::NAN);
+        for threads in [1, 3] {
+            let report = CohortRuntime::new(store.clone(), params.clone())
+                .unwrap()
+                .with_segmenter(SegmenterConfig::clean())
+                .with_threads(threads)
+                .replay(&specs);
+            assert_eq!(report.sessions.len(), 3);
+            let bad = &report.sessions[1];
+            assert!(!bad.complete, "threads={threads}");
+            assert!(
+                bad.error.as_deref().unwrap_or("").contains("non-finite"),
+                "threads={threads}: {:?}",
+                bad.error
+            );
+            for r in [&report.sessions[0], &report.sessions[2]] {
+                assert!(r.complete, "threads={threads}");
+                assert!(r.error.is_none());
+                assert!(r.vertices > 0);
+            }
+        }
     }
 }

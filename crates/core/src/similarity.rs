@@ -233,6 +233,21 @@ pub struct WindowScorer {
     terms: Vec<f64>,
 }
 
+/// How one candidate window fared against the scorer — instrumentation
+/// needs the `None` of [`WindowScorer::score_window`] split into its two
+/// causes so `windows_scored == abandoned + completed` reconciles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoreOutcome {
+    /// State orders differ; the window was never scored.
+    StateMismatch,
+    /// Scoring started but the partial sum proved the distance exceeds
+    /// the bound (early abandon).
+    Abandoned,
+    /// The exact online distance (which may still marginally exceed the
+    /// bound — callers re-check against δ).
+    Scored(f64),
+}
+
 impl WindowScorer {
     /// A scorer with an empty scratch buffer.
     pub fn new() -> Self {
@@ -253,8 +268,24 @@ impl WindowScorer {
         ws: f64,
         bound: f64,
     ) -> Option<f64> {
+        match self.score_window_outcome(query, cand, params, ws, bound) {
+            ScoreOutcome::Scored(d) => Some(d),
+            ScoreOutcome::StateMismatch | ScoreOutcome::Abandoned => None,
+        }
+    }
+
+    /// Like [`WindowScorer::score_window`] but distinguishes the two
+    /// rejection causes (for the metrics layer).
+    pub fn score_window_outcome(
+        &mut self,
+        query: &QueryCols,
+        cand: WindowCols<'_>,
+        params: &Params,
+        ws: f64,
+        bound: f64,
+    ) -> ScoreOutcome {
         if cand.states != query.states.as_slice() {
-            return None;
+            return ScoreOutcome::StateMismatch;
         }
         let n = query.states.len();
         debug_assert!(cand.disp.len() == n && cand.dur.len() == n && cand.dvec.len() == n);
@@ -272,7 +303,7 @@ impl WindowScorer {
                     self.terms[i] = term;
                     partial += term;
                     if partial > limit {
-                        return None;
+                        return ScoreOutcome::Abandoned;
                     }
                 }
             }
@@ -284,7 +315,7 @@ impl WindowScorer {
                     self.terms[i] = term;
                     partial += term;
                     if partial > limit {
-                        return None;
+                        return ScoreOutcome::Abandoned;
                     }
                 }
             }
@@ -296,7 +327,7 @@ impl WindowScorer {
         for &t in &self.terms[..n] {
             num += t;
         }
-        Some(num / denom)
+        ScoreOutcome::Scored(num / denom)
     }
 }
 

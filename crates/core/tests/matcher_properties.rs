@@ -1,7 +1,9 @@
 //! Property tests of the matcher and predictor over simulated stores.
 
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 use tsm_core::matcher::{Matcher, QuerySubseq, SearchOptions};
+use tsm_core::metrics::{MetricsRegistry, MetricsSnapshot};
 use tsm_core::predict::{predict_position, AlignMode};
 use tsm_core::Params;
 use tsm_db::{PatientAttributes, StateOrderIndex, StreamStore, SubseqRef};
@@ -149,6 +151,18 @@ proptest! {
         prop_assert_eq!(&naive, &indexed);
         prop_assert_eq!(&naive, &pruned);
         prop_assert_eq!(&naive, &parallel);
+        // Instrumentation must be pure observation: a metrics-enabled
+        // matcher returns the bit-identical ordered top-k on every
+        // variant, and its counters reconcile.
+        let metrics = MetricsRegistry::enabled();
+        let instrumented = Matcher::new(store.clone(), Params::default())
+            .with_metrics(metrics.clone());
+        prop_assert_eq!(&naive, &instrumented.find_matches_with(&query, &opts));
+        prop_assert_eq!(&naive, &instrumented.find_matches_pruned(&query, &feature_index, &opts));
+        prop_assert_eq!(&naive, &instrumented.find_matches_parallel(&query, &opts, threads));
+        let snap = metrics.snapshot();
+        prop_assert!(snap.check_invariants().is_ok(), "{:?}", snap.check_invariants());
+        prop_assert_eq!(snap.counter("match.searches"), 3);
         // The top-k is a prefix of the unbounded result.
         let unbounded = matcher.find_matches_with(&query, &SearchOptions {
             top_k: None,
@@ -211,5 +225,92 @@ proptest! {
         });
         prop_assert!(tight.len() <= loose.len());
         prop_assert_eq!(&loose[..tight.len()], &tight[..]);
+    }
+}
+
+/// An arbitrary snapshot mixing additive counters, `_hwm` gauges and a
+/// histogram — the algebra must hold for any combination of present and
+/// absent keys.
+fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
+    const KEYS: [&str; 6] = [
+        "match.searches",
+        "match.windows_scored",
+        "cache.lookups",
+        "session.ticks",
+        "cohort.backlog_hwm",
+        "queue.depth_hwm",
+    ];
+    (
+        proptest::collection::vec(proptest::bool::ANY, 6),
+        proptest::collection::vec(0u64..1_000_000_000, 6),
+        proptest::bool::ANY,
+        0u64..1000,
+        0u64..1_000_000,
+        proptest::collection::vec(0u64..1000, 0..4),
+    )
+        .prop_map(|(present, vals, has_hist, count, sum, buckets)| {
+            let mut counters = BTreeMap::new();
+            for i in 0..KEYS.len() {
+                if present[i] {
+                    counters.insert(KEYS[i].to_string(), vals[i]);
+                }
+            }
+            let mut histograms = BTreeMap::new();
+            if has_hist {
+                histograms.insert(
+                    "session.tick_latency_ns".to_string(),
+                    tsm_core::metrics::HistogramSnapshot { count, sum, buckets },
+                );
+            }
+            MetricsSnapshot {
+                counters,
+                histograms,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Snapshot merge is a commutative, associative monoid operation (the
+    /// `_hwm` gauges use max, which is too), so per-worker snapshots can
+    /// be combined in any grouping and order.
+    #[test]
+    fn snapshot_merge_is_associative_and_commutative(
+        a in snapshot_strategy(),
+        b in snapshot_strategy(),
+        c in snapshot_strategy(),
+    ) {
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        // The empty snapshot is the identity.
+        let empty = MetricsSnapshot::default();
+        prop_assert_eq!(a.merge(&empty), a.clone());
+    }
+
+    /// Diffing a merge against one operand recovers the other operand on
+    /// every additive key; `_hwm` gauges keep the merged maximum (an
+    /// interval has no meaningful high-water delta).
+    #[test]
+    fn snapshot_diff_undoes_merge_on_additive_keys(
+        a in snapshot_strategy(),
+        b in snapshot_strategy(),
+    ) {
+        let merged = a.merge(&b);
+        let round = merged.diff(&a);
+        for k in merged.counters.keys() {
+            if k.ends_with("_hwm") {
+                prop_assert_eq!(round.counter(k), a.counter(k).max(b.counter(k)));
+            } else {
+                prop_assert_eq!(round.counter(k), b.counter(k), "additive key {}", k);
+            }
+        }
+        for (k, h) in &merged.histograms {
+            let rh = round.histograms.get(k).expect("diff keeps keys");
+            let bh = b.histograms.get(k).cloned().unwrap_or_default();
+            prop_assert_eq!(rh.count, bh.count, "histogram {} count", k);
+            prop_assert_eq!(rh.sum, bh.sum, "histogram {} sum", k);
+            prop_assert!(h.count >= rh.count);
+        }
     }
 }

@@ -1,0 +1,151 @@
+//! End-to-end reconciliation of the metrics layer: drive real searches
+//! and a real cohort replay through an *enabled* registry and prove the
+//! counters add up —
+//!
+//! * `match.windows_scored == match.windows_abandoned + match.windows_completed`
+//! * `cache.hits + cache.misses == cache.lookups`
+//! * served + abstained predictions == ticks
+//!
+//! and that snapshots diff cleanly across an interval.
+
+use std::sync::Arc;
+use tsm_core::metrics::MetricsRegistry;
+use tsm_core::session::{CohortRuntime, SessionSpec};
+use tsm_core::{CachedMatcher, Matcher, Params, QuerySubseq, SearchOptions};
+use tsm_db::{PatientAttributes, PatientId, StreamStore, SubseqRef};
+use tsm_model::{segment_signal, PlrTrajectory, Sample, SegmenterConfig};
+use tsm_signal::{BreathingParams, SignalGenerator};
+
+fn seeded_store(seed: u64) -> (StreamStore, PatientId) {
+    let store = StreamStore::new();
+    let patient = store.add_patient(PatientAttributes::new());
+    let samples = SignalGenerator::new(BreathingParams::default(), seed).generate(120.0);
+    let vertices = segment_signal(&samples, SegmenterConfig::clean());
+    let plr = PlrTrajectory::from_vertices(vertices).unwrap();
+    store.add_stream(patient, 0, plr, samples.len());
+    (store, patient)
+}
+
+fn live_samples(seed: u64, duration: f64) -> Vec<Sample> {
+    SignalGenerator::new(BreathingParams::default(), seed).generate(duration)
+}
+
+#[test]
+fn matcher_counters_reconcile_across_all_variants() {
+    let (store, _) = seeded_store(61);
+    let metrics = MetricsRegistry::enabled();
+    let cached = CachedMatcher::new(
+        Matcher::new(store.clone(), Params::default()).with_metrics(metrics.clone()),
+    );
+    let view = store.resolve(SubseqRef::new(tsm_db::StreamId(0), 0, 9)).unwrap();
+    let query = QuerySubseq::from_view(&view);
+    let opts = SearchOptions::default();
+
+    // Exercise the cached/pruned path, the plain scan and the parallel
+    // scan against the same registry.
+    cached.find_matches(&query, &opts);
+    cached.find_matches(&query, &opts);
+    cached.matcher().find_matches_with(&query, &opts);
+    cached.matcher().find_matches_parallel(&query, &opts, 3);
+
+    let snap = metrics.snapshot();
+    snap.check_invariants().expect("counters reconcile");
+    assert_eq!(snap.counter("match.searches"), 4);
+    assert!(snap.counter("match.windows_scored") > 0);
+    assert_eq!(
+        snap.counter("match.windows_scored"),
+        snap.counter("match.windows_abandoned") + snap.counter("match.windows_completed")
+    );
+    // Two cached searches of the same length: one miss, one hit.
+    assert_eq!(snap.counter("cache.lookups"), 2);
+    assert_eq!(snap.counter("cache.hits"), 1);
+    assert_eq!(snap.counter("cache.misses"), 1);
+    assert_eq!(
+        snap.counter("cache.hits") + snap.counter("cache.misses"),
+        snap.counter("cache.lookups")
+    );
+    assert_eq!(snap.counter("cache.rebuilds"), 1);
+    // The pruned path reported its band funnel.
+    assert!(snap.counter("index.bucket_candidates") >= snap.counter("index.amp_band_candidates"));
+    assert!(
+        snap.counter("index.amp_band_candidates") >= snap.counter("index.dur_band_candidates")
+    );
+    // Search latency histogram observed exactly the cached searches.
+    assert_eq!(
+        snap.histograms
+            .get("match.search_latency_ns")
+            .map(|h| h.count)
+            .unwrap_or(0),
+        2
+    );
+}
+
+#[test]
+fn session_replay_counters_reconcile_and_diff() {
+    let (store, patient) = seeded_store(62);
+    let params = Params {
+        min_matches: 1,
+        ..Params::default()
+    };
+    let metrics = MetricsRegistry::enabled();
+    let engine = Arc::new(CachedMatcher::new(
+        Matcher::new(store.into_shared(), params).with_metrics(metrics.clone()),
+    ));
+    let runtime = CohortRuntime::with_engine(engine)
+        .with_segmenter(SegmenterConfig::clean())
+        .with_threads(2);
+    let specs: Vec<SessionSpec> = (0..2)
+        .map(|i| SessionSpec {
+            patient,
+            session: i + 1,
+            samples: live_samples(63 + i as u64, 40.0),
+        })
+        .collect();
+
+    let before = metrics.snapshot();
+    let report = runtime.replay(&specs);
+    let after = metrics.snapshot();
+    let interval = after.diff(&before);
+
+    after.check_invariants().expect("counters reconcile");
+    interval.check_invariants().expect("diffed counters reconcile");
+
+    let total_samples: u64 = specs.iter().map(|s| s.samples.len() as u64).sum();
+    assert_eq!(interval.counter("segment.samples"), total_samples);
+    assert_eq!(interval.counter("segment.samples_rejected"), 0);
+    assert_eq!(interval.counter("cohort.sessions"), 2);
+    assert_eq!(interval.counter("cohort.sessions_failed"), 0);
+    assert_eq!(
+        interval.counter("session.ticks"),
+        report.total_ticks() as u64
+    );
+    assert_eq!(
+        interval.counter("session.predictions_served"),
+        report.total_predictions() as u64
+    );
+    assert_eq!(
+        interval.counter("session.predictions_served")
+            + interval.counter("session.predictions_abstained"),
+        interval.counter("session.ticks")
+    );
+    // Every session emitted vertices, and the backlog high-water mark is
+    // bounded by the busiest session's event count.
+    assert!(interval.counter("segment.vertices_emitted") > 0);
+    assert!(interval.counter("segment.state_transitions") > 0);
+    let max_events = report
+        .sessions
+        .iter()
+        .map(|s| s.ticks.len() as u64 + 1)
+        .max()
+        .unwrap();
+    assert_eq!(interval.counter("cohort.backlog_hwm"), max_events);
+    // The tick latency histogram saw exactly the ticks.
+    assert_eq!(
+        interval
+            .histograms
+            .get("session.tick_latency_ns")
+            .map(|h| h.count)
+            .unwrap_or(0),
+        report.total_ticks() as u64
+    );
+}

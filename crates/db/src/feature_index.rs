@@ -44,6 +44,16 @@ pub struct FeatureEntry {
     pub duration: f64,
 }
 
+/// How many entries each pruning tier of one banded lookup saw (the
+/// matcher's metrics layer records these per search).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BandCounts {
+    /// Entries in the signature bucket (first tier, before any band).
+    pub bucket: usize,
+    /// Entries surviving the amplitude band (second tier).
+    pub amp_band: usize,
+}
+
 /// The index: state-order signature → entries sorted by `amp_sum`.
 #[derive(Debug, Clone)]
 pub struct FeatureIndex {
@@ -159,12 +169,33 @@ impl FeatureIndex {
         duration: f64,
         dur_band: f64,
     ) -> impl Iterator<Item = &FeatureEntry> {
+        self.candidates_in_band_counted(signature, amp_sum, amp_band, duration, dur_band)
+            .0
+    }
+
+    /// Like [`FeatureIndex::candidates_in_band`], but also reports how
+    /// many entries each pruning tier saw (for instrumentation): the whole
+    /// signature bucket, then the amplitude-band survivors. Duration-band
+    /// survivors are whatever the returned iterator yields.
+    pub fn candidates_in_band_counted(
+        &self,
+        signature: u128,
+        amp_sum: f64,
+        amp_band: f64,
+        duration: f64,
+        dur_band: f64,
+    ) -> (impl Iterator<Item = &FeatureEntry>, BandCounts) {
         let bucket = self.candidates(signature);
         let lo = bucket.partition_point(|e| e.amp_sum < amp_sum - amp_band);
         let hi = bucket.partition_point(|e| e.amp_sum <= amp_sum + amp_band);
-        bucket[lo..hi]
+        let counts = BandCounts {
+            bucket: bucket.len(),
+            amp_band: hi - lo,
+        };
+        let iter = bucket[lo..hi]
             .iter()
-            .filter(move |e| (e.duration - duration).abs() <= dur_band)
+            .filter(move |e| (e.duration - duration).abs() <= dur_band);
+        (iter, counts)
     }
 
     /// All candidates with the given state order (no pruning).

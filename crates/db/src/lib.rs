@@ -35,12 +35,12 @@ pub mod store;
 pub mod stream;
 pub mod subsequence;
 
-pub use feature_index::{FeatureEntry, FeatureIndex};
+pub use feature_index::{BandCounts, FeatureEntry, FeatureIndex};
 pub use features::{SegmentFeatures, StreamFeatures};
 pub use ids::{PatientId, StreamId};
 pub use index::StateOrderIndex;
 pub use persist::{load_store, load_store_from_path, save_store, save_store_to_path, PersistError};
 pub use stats::{StoreStats, StreamStats};
-pub use store::{PatientAttributes, SharedStore, SourceRelation, StreamStore};
+pub use store::{PatientAttributes, SharedStore, SourceRelation, StoreError, StreamStore};
 pub use stream::{MotionStream, StreamMeta};
 pub use subsequence::{SubseqRef, SubseqView};

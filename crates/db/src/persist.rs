@@ -295,7 +295,9 @@ pub fn load_store<R: Read>(reader: R) -> Result<StreamStore, PersistError> {
         }
         let plr = PlrTrajectory::from_vertices(vertices)
             .map_err(|e| PersistError::Corrupt(format!("invalid trajectory: {e}")))?;
-        store.add_stream(patient, session, plr, raw_len);
+        store
+            .try_add_stream(patient, session, plr, raw_len)
+            .map_err(|e| PersistError::Corrupt(format!("invalid stream: {e}")))?;
     }
 
     let computed = r.fnv.0;
@@ -311,10 +313,34 @@ pub fn load_store<R: Read>(reader: R) -> Result<StreamStore, PersistError> {
     Ok(store)
 }
 
-/// Saves the store to a file.
+/// The sibling temporary path an atomic save writes through: the target
+/// file name with `.tmp` appended, in the same directory (a rename is
+/// only atomic within one filesystem).
+fn sibling_tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Saves the store to a file, atomically: bytes go to a sibling `.tmp`
+/// file, which is fsynced and then renamed over the target. A crash or
+/// write error mid-save can never leave a truncated/corrupt store at
+/// `path` — the target either keeps its previous contents or holds the
+/// complete new ones. On error the temp file is removed (best effort).
 pub fn save_store_to_path(store: &StreamStore, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    let f = std::fs::File::create(path)?;
-    save_store(store, f)
+    let path = path.as_ref();
+    let tmp = sibling_tmp_path(path);
+    let write_and_sync = || -> Result<(), PersistError> {
+        let f = std::fs::File::create(&tmp)?;
+        save_store(store, &f)?;
+        f.sync_all()?;
+        Ok(())
+    };
+    let result = write_and_sync().and_then(|()| Ok(std::fs::rename(&tmp, path)?));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Loads a store from a file.
@@ -394,6 +420,54 @@ mod tests {
         let loaded = load_store_from_path(&path).unwrap();
         assert_eq!(loaded.num_streams(), store.num_streams());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_residue() {
+        let store = sample_store();
+        let dir = std::env::temp_dir().join("tsm_db_atomic_save_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.tsmdb");
+
+        save_store_to_path(&store, &path).unwrap();
+        assert!(!sibling_tmp_path(&path).exists(), "temp file left behind");
+        let loaded = load_store_from_path(&path).unwrap();
+        assert_eq!(loaded.num_streams(), store.num_streams());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_save_preserves_the_previous_store() {
+        let store = sample_store();
+        let dir = std::env::temp_dir().join("tsm_db_failed_save_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.tsmdb");
+
+        // A valid store is already on disk.
+        save_store_to_path(&store, &path).unwrap();
+        let original = std::fs::read(&path).unwrap();
+
+        // Inject a write failure: a directory squats on the temp path, so
+        // the save cannot even create its temp file.
+        let tmp = sibling_tmp_path(&path);
+        std::fs::create_dir(&tmp).unwrap();
+        let bigger = {
+            let s = sample_store();
+            let p = s.patients()[0];
+            let plr = s.streams()[0].plr.clone();
+            s.add_stream(p, 7, plr, 720);
+            s
+        };
+        assert!(save_store_to_path(&bigger, &path).is_err());
+
+        // The previous store file is byte-for-byte intact and loadable —
+        // no partial/truncated file replaced it.
+        assert_eq!(std::fs::read(&path).unwrap(), original);
+        assert!(load_store_from_path(&path).is_ok());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -14,6 +14,33 @@ use tsm_model::PlrTrajectory;
 /// deterministic.
 pub type PatientAttributes = BTreeMap<String, String>;
 
+/// Errors from checked store mutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The referenced patient does not exist — streams cannot be orphaned.
+    UnknownPatient(PatientId),
+    /// The stream's PLR contains a NaN or infinite value. Letting one in
+    /// would silently poison every `total_cmp`-ordered top-k downstream,
+    /// so it is rejected at the door.
+    NonFiniteData {
+        /// Index of the first offending vertex.
+        vertex: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownPatient(p) => write!(f, "unknown patient {p}"),
+            StoreError::NonFiniteData { vertex } => {
+                write!(f, "non-finite value at vertex {vertex}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
 /// Relative provenance of two streams — the three tiers of the paper's
 /// source-stream weight `ws`: subsequences from the same session matter
 /// most, those from other sessions of the same patient less, those from a
@@ -94,7 +121,9 @@ impl StreamStore {
     /// Adds a segmented stream for `patient`, recorded in `session`.
     ///
     /// # Panics
-    /// Panics if `patient` is unknown — streams cannot be orphaned.
+    /// Panics if `patient` is unknown (streams cannot be orphaned) or the
+    /// PLR contains non-finite values. Fallible callers should use
+    /// [`StreamStore::try_add_stream`].
     pub fn add_stream(
         &self,
         patient: PatientId,
@@ -102,11 +131,31 @@ impl StreamStore {
         plr: PlrTrajectory,
         raw_len: usize,
     ) -> StreamId {
+        self.try_add_stream(patient, session, plr, raw_len)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked variant of [`StreamStore::add_stream`]: rejects unknown
+    /// patients and non-finite vertex data instead of panicking, leaving
+    /// the store untouched on error.
+    pub fn try_add_stream(
+        &self,
+        patient: PatientId,
+        session: u32,
+        plr: PlrTrajectory,
+        raw_len: usize,
+    ) -> Result<StreamId, StoreError> {
+        if let Some(vertex) = plr
+            .vertices()
+            .iter()
+            .position(|v| !v.time.is_finite() || !v.position.is_finite())
+        {
+            return Err(StoreError::NonFiniteData { vertex });
+        }
         let mut g = self.inner.write();
-        assert!(
-            (patient.0 as usize) < g.patients.len(),
-            "unknown patient {patient}"
-        );
+        if (patient.0 as usize) >= g.patients.len() {
+            return Err(StoreError::UnknownPatient(patient));
+        }
         let id = StreamId(g.streams.len() as u32);
         g.streams.push(Arc::new(MotionStream {
             meta: StreamMeta {
@@ -122,7 +171,7 @@ impl StreamStore {
             .expect("patient exists")
             .push(id);
         g.version += 1;
-        id
+        Ok(id)
     }
 
     /// Monotone mutation counter: any insert bumps it, so an index built
@@ -338,6 +387,32 @@ mod tests {
     fn orphan_streams_rejected() {
         let store = StreamStore::new();
         store.add_stream(PatientId(0), 0, plr(1), 10);
+    }
+
+    #[test]
+    fn non_finite_data_cannot_enter_the_store() {
+        // The PLR constructor is the only way to build a trajectory and it
+        // rejects non-finite values, so the store's own NonFiniteData
+        // check is defense in depth — assert the front gate holds.
+        let bad = PlrTrajectory::from_vertices(vec![
+            Vertex::new_1d(0.0, 1.0, Exhale),
+            Vertex::new_1d(1.0, f64::NAN, EndOfExhale),
+            Vertex::new_1d(2.0, 0.0, Inhale),
+        ]);
+        assert!(bad.is_err(), "NaN trajectory must not construct");
+
+        // Unknown patients surface as an error through the checked path,
+        // leaving the store untouched.
+        let store = StreamStore::new();
+        let p = store.add_patient(PatientAttributes::new());
+        assert_eq!(
+            store.try_add_stream(PatientId(9), 0, plr(1), 10),
+            Err(StoreError::UnknownPatient(PatientId(9)))
+        );
+        assert_eq!(store.num_streams(), 0);
+        let v0 = store.version();
+        assert!(store.try_add_stream(p, 0, plr(1), 10).is_ok());
+        assert_eq!(store.version(), v0 + 1);
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //!     let t = i as f64 / hz;
 //!     // 4 s period, 10 mm amplitude, exhale-down/inhale-up.
 //!     let y = 5.0 * (1.0 + (2.0 * std::f64::consts::PI * t / 4.0).cos());
-//!     vertices.extend(segmenter.push(Sample::new_1d(t, y)));
+//!     vertices.extend(segmenter.push(Sample::new_1d(t, y)).unwrap());
 //! }
 //! vertices.extend(segmenter.finish());
 //! let plr = PlrTrajectory::from_vertices(vertices).unwrap();
@@ -64,7 +64,7 @@ pub mod prelude {
     pub use crate::regression::IncrementalLineFit;
     pub use crate::sample::Sample;
     pub use crate::segment::Segment;
-    pub use crate::segmenter::{segment_signal, OnlineSegmenter, SegmenterConfig};
+    pub use crate::segmenter::{segment_signal, NonFiniteSample, OnlineSegmenter, SegmenterConfig};
     pub use crate::smoother::{MovingAverage, SpikeFilter, StreamFilter};
     pub use crate::state::{state_signature, BreathState};
     pub use crate::vertex::Vertex;

@@ -206,7 +206,30 @@ pub struct OnlineSegmenter {
     out: Vec<Vertex>,
     /// Total filtered samples consumed (for diagnostics).
     samples_seen: u64,
+    /// Acquisition time of the last *raw* sample (for regression checks).
+    last_raw_time: Option<f64>,
+    /// Times the preprocessing chain was reset after a timestamp
+    /// regression (for diagnostics).
+    smoother_resets: u64,
 }
+
+/// A raw sample carried a NaN or infinite time/position and was rejected
+/// at ingest — one such value would otherwise flow into segment features
+/// and silently poison every `total_cmp`-ordered top-k downstream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFiniteSample {
+    /// Acquisition time of the rejected sample (may itself be the
+    /// non-finite value).
+    pub time: f64,
+}
+
+impl std::fmt::Display for NonFiniteSample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "non-finite sample at t={}", self.time)
+    }
+}
+
+impl std::error::Error for NonFiniteSample {}
 
 impl OnlineSegmenter {
     /// Creates a segmenter with the given configuration.
@@ -235,6 +258,8 @@ impl OnlineSegmenter {
             last_sample: None,
             out: Vec::new(),
             samples_seen: 0,
+            last_raw_time: None,
+            smoother_resets: 0,
         }
     }
 
@@ -257,10 +282,28 @@ impl OnlineSegmenter {
         self.samples_seen
     }
 
+    /// Times the preprocessing (smoothing) chain was reset after a
+    /// timestamp regression.
+    pub fn smoother_resets(&self) -> u64 {
+        self.smoother_resets
+    }
+
     /// Feeds one raw sample. Returns the vertices of any segments that this
     /// sample closed (usually empty, occasionally one).
-    pub fn push(&mut self, raw: Sample) -> Vec<Vertex> {
-        debug_assert!(raw.time.is_finite() && raw.position.is_finite());
+    ///
+    /// Non-finite samples (NaN/±inf time or position) are rejected with an
+    /// error and leave the segmenter state untouched. A sample whose time
+    /// runs *backwards* resets the preprocessing chain first — the
+    /// smoothing filters assume monotone time and would otherwise average
+    /// across the discontinuity.
+    pub fn push(&mut self, raw: Sample) -> Result<Vec<Vertex>, NonFiniteSample> {
+        if !raw.time.is_finite() || !raw.position.is_finite() {
+            return Err(NonFiniteSample { time: raw.time });
+        }
+        if self.last_raw_time.is_some_and(|last| raw.time < last) {
+            self.reset_preprocessing();
+        }
+        self.last_raw_time = Some(raw.time);
         match self.cardiac.as_mut() {
             Some(c) => {
                 if let Some(s) = c.push(raw) {
@@ -269,7 +312,19 @@ impl OnlineSegmenter {
             }
             None => self.push_filtered(raw),
         }
-        std::mem::take(&mut self.out)
+        Ok(std::mem::take(&mut self.out))
+    }
+
+    /// Rebuilds the smoothing/cardiac filters from the configuration,
+    /// dropping any partially filled windows.
+    fn reset_preprocessing(&mut self) {
+        if self.filter.is_some() {
+            self.filter = Some(PreprocessChain::new(self.config.smoothing_width));
+        }
+        if self.cardiac.is_some() {
+            self.cardiac = Some(CardiacCanceller::new(CardiacCancellerConfig::default()));
+        }
+        self.smoother_resets += 1;
     }
 
     fn push_filtered(&mut self, s: Sample) {
@@ -498,12 +553,16 @@ impl OnlineSegmenter {
 /// Convenience: segments an entire in-memory signal at once.
 ///
 /// Equivalent to pushing every sample and calling `finish`; exists for
-/// tests, examples and offline (whole-stream) processing.
+/// tests, examples and offline (whole-stream) processing. Non-finite
+/// samples are skipped — offline callers that need to know should use
+/// [`OnlineSegmenter::push`] directly.
 pub fn segment_signal(samples: &[Sample], config: SegmenterConfig) -> Vec<Vertex> {
     let mut seg = OnlineSegmenter::new(config);
     let mut vertices = Vec::new();
     for &s in samples {
-        vertices.extend(seg.push(s));
+        if let Ok(closed) = seg.push(s) {
+            vertices.extend(closed);
+        }
     }
     vertices.extend(seg.finish());
     vertices
@@ -672,10 +731,48 @@ mod tests {
         let mut seg = OnlineSegmenter::new(SegmenterConfig::clean());
         let mut streaming = Vec::new();
         for &s in &samples {
-            streaming.extend(seg.push(s));
+            streaming.extend(seg.push(s).unwrap());
         }
         streaming.extend(seg.finish());
         assert_eq!(batch, streaming);
+    }
+
+    #[test]
+    fn non_finite_samples_rejected_without_state_damage() {
+        let samples = generate(12.0, 30.0, 4.0, 10.0);
+        let clean = segment_signal(&samples, SegmenterConfig::clean());
+
+        let mut seg = OnlineSegmenter::new(SegmenterConfig::clean());
+        let mut vertices = Vec::new();
+        for (i, &s) in samples.iter().enumerate() {
+            if i == 100 {
+                for bad in [
+                    Sample::new_1d(f64::NAN, 1.0),
+                    Sample::new_1d(s.time, f64::NAN),
+                    Sample::new_1d(f64::INFINITY, f64::NEG_INFINITY),
+                ] {
+                    let err = seg.push(bad).unwrap_err();
+                    assert!(err.to_string().contains("non-finite"));
+                }
+            }
+            vertices.extend(seg.push(s).unwrap());
+        }
+        vertices.extend(seg.finish());
+        // Rejected samples left no trace: output identical to the clean run.
+        assert_eq!(vertices, clean);
+    }
+
+    #[test]
+    fn timestamp_regression_resets_the_smoother() {
+        let mut seg = OnlineSegmenter::new(SegmenterConfig::default());
+        for i in 0..30 {
+            seg.push(Sample::new_1d(i as f64 / 30.0, i as f64)).unwrap();
+        }
+        assert_eq!(seg.smoother_resets(), 0);
+        // The clock jumps backwards: the smoothing chain must restart
+        // rather than average across the discontinuity.
+        seg.push(Sample::new_1d(0.1, 3.0)).unwrap();
+        assert_eq!(seg.smoother_resets(), 1);
     }
 
     #[test]
@@ -684,7 +781,7 @@ mod tests {
         let mut seg = OnlineSegmenter::new(SegmenterConfig::clean());
         let mut saw_exhale_live = false;
         for &s in &samples {
-            let _ = seg.push(s);
+            let _ = seg.push(s).unwrap();
             if seg.current_state() == Some(BreathState::Exhale) {
                 saw_exhale_live = true;
             }

@@ -135,7 +135,7 @@ proptest! {
         let mut seg = OnlineSegmenter::new(SegmenterConfig::default());
         let mut streaming = Vec::new();
         for &s in &samples {
-            streaming.extend(seg.push(s));
+            streaming.extend(seg.push(s).unwrap());
         }
         streaming.extend(seg.finish());
         prop_assert_eq!(batch, streaming);

@@ -25,7 +25,7 @@ fn run_session(name: &str, params: BreathingParams, seed: u64) {
     let mut monitor = DriftMonitor::new(DriftConfig::default(), 0);
     let mut alarm_at: Option<f64> = None;
     for &s in &samples {
-        for v in segmenter.push(s) {
+        for v in segmenter.push(s).expect("finite sample") {
             monitor.push(&v);
             if alarm_at.is_none() {
                 if let Some(r) = monitor.report() {

@@ -79,7 +79,7 @@ fn main() {
     let mut n = [0usize; 3];
     let mut abstained = 0usize;
     for (i, &s) in live_samples.iter().enumerate() {
-        predictor.push(s);
+        predictor.push(s).expect("finite sample");
         if i % 30 != 0 || i < 300 {
             continue;
         }

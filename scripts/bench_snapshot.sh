@@ -100,3 +100,26 @@ with open(out_path, "w") as fh:
 
 print(f"wrote pipeline throughput (speedup {doc['speedup']}x) to {out_path}")
 EOF
+
+echo "== checking metrics overhead =="
+# The exp_pipeline JSON carries `metrics_overhead`: the metrics-enabled
+# replay's throughput as a fraction of the disabled baseline. The
+# observability layer's contract is <= 5% overhead; fail the snapshot if
+# instrumentation has become more expensive than that. Override the
+# tolerance (e.g. on noisy shared runners) with METRICS_OVERHEAD_MIN.
+min_ratio="${METRICS_OVERHEAD_MIN:-0.95}"
+python3 - BENCH_pipeline.json "$label" "$min_ratio" <<'EOF2'
+import json, sys
+
+out_path, label, min_ratio = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(out_path) as fh:
+    captures = json.load(fh)["captures"]
+doc = next(c for c in captures if c.get("label") == label)
+ratio = doc["metrics_overhead"]
+if ratio < min_ratio:
+    sys.exit(
+        f"metrics-enabled replay kept only {ratio:.3f} of baseline "
+        f"throughput (floor {min_ratio}): instrumentation too expensive"
+    )
+print(f"metrics overhead OK: ratio {ratio:.3f} >= {min_ratio}")
+EOF2

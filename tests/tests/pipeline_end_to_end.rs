@@ -82,7 +82,7 @@ fn online_predictor_session_full_lifecycle() {
 
     let mut errors = Vec::new();
     for (i, &s) in samples.iter().enumerate() {
-        predictor.push(s);
+        predictor.push(s).unwrap();
         if i % 60 == 0 && i > 900 {
             if let Some(outcome) = predictor.predict(0.2) {
                 let t_last = predictor.live_vertices().last().unwrap().time;

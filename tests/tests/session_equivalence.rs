@@ -85,7 +85,7 @@ fn session_runtime_is_bit_identical_to_three_legacy_loops() {
         let mut predictor = legacy_predictor(&store, patient);
         let mut legacy_outcomes = Vec::new();
         for (i, &s) in samples.iter().enumerate() {
-            predictor.push(s);
+            predictor.push(s).unwrap();
             if i % EVERY == 0 && i >= EVERY {
                 if let Some(o) = predictor.predict(DT) {
                     legacy_outcomes.push(o);
@@ -98,7 +98,7 @@ fn session_runtime_is_bit_identical_to_three_legacy_loops() {
         let mut legacy_acc = GatingAccumulator::new();
         let mut legacy_decisions = Vec::new();
         for (i, &s) in samples.iter().enumerate() {
-            predictor.push(s);
+            predictor.push(s).unwrap();
             if i % EVERY == 0 && i >= EVERY {
                 let Some(last) = predictor.live_vertices().last() else {
                     continue;
@@ -118,7 +118,7 @@ fn session_runtime_is_bit_identical_to_three_legacy_loops() {
         let mut last_aim: Option<Position> = None;
         let mut legacy_errors = Vec::new();
         for (i, &s) in samples.iter().enumerate() {
-            predictor.push(s);
+            predictor.push(s).unwrap();
             if i % EVERY == 0 && i >= EVERY {
                 if let Some(o) = predictor.predict(DT) {
                     last_aim = Some(o.position);
@@ -143,7 +143,7 @@ fn session_runtime_is_bit_identical_to_three_legacy_loops() {
             .with_consumer(Box::new(GatingController::new(window, AXIS, truth.clone())))
             .with_consumer(Box::new(TrackingController::new(truth.clone(), AXIS)));
         for &s in &samples {
-            runtime.push(s);
+            runtime.push(s).unwrap();
         }
 
         let log = runtime.consumer::<PredictionLog>().unwrap();
@@ -203,7 +203,7 @@ fn consumers_see_every_live_vertex_exactly_once() {
         .unwrap()
         .with_consumer(Box::new(VertexCounter { seen: Vec::new() }));
     for &s in &samples {
-        runtime.push(s);
+        runtime.push(s).unwrap();
     }
     runtime.finish();
     let counter = runtime.consumer::<VertexCounter>().unwrap();

@@ -64,7 +64,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn scoped_threads_borrow_and_join() {
-        let data = vec![1, 2, 3, 4];
+        let data = [1, 2, 3, 4];
         let total = crate::thread::scope(|scope| {
             let handles: Vec<_> = data
                 .chunks(2)
