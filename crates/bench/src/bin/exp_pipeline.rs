@@ -18,11 +18,11 @@ use std::time::Instant;
 use tsm_bench::report::{banner, table};
 use tsm_bench::{build_bundle, BundleConfig, EvalStream};
 use tsm_core::gating::{GatingAccumulator, GatingWindow};
+use tsm_core::metrics::MetricsRegistry;
 use tsm_core::pipeline::OnlinePredictor;
 use tsm_core::session::{
     GatingController, PredictionLog, SessionConfig, SessionRuntime, TrackingController,
 };
-use tsm_core::metrics::MetricsRegistry;
 use tsm_core::{CachedMatcher, Matcher, Params};
 use tsm_db::SharedStore;
 use tsm_model::{Position, SegmenterConfig};

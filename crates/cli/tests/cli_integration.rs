@@ -179,7 +179,15 @@ fn zero_valued_flags_are_rejected_cleanly() {
     assert!(!o.status.success(), "--sessions 0 must be rejected");
     assert!(stderr(&o).contains("--sessions"), "{}", stderr(&o));
 
-    let o = tsm(&["replay", "--store", store, "--sessions", "2", "--threads", "0"]);
+    let o = tsm(&[
+        "replay",
+        "--store",
+        store,
+        "--sessions",
+        "2",
+        "--threads",
+        "0",
+    ]);
     assert!(!o.status.success(), "--threads 0 must be rejected");
     assert!(stderr(&o).contains("--threads"), "{}", stderr(&o));
 
@@ -190,7 +198,16 @@ fn zero_valued_flags_are_rejected_cleanly() {
     assert!(stderr(&o).contains("--k"), "{}", stderr(&o));
 
     let o = tsm(&[
-        "match", "--store", store, "--stream", "0", "--start", "2", "--len", "9", "--threads",
+        "match",
+        "--store",
+        store,
+        "--stream",
+        "0",
+        "--start",
+        "2",
+        "--len",
+        "9",
+        "--threads",
         "0",
     ]);
     assert!(!o.status.success(), "match --threads 0 must be rejected");
@@ -222,7 +239,11 @@ fn replay_with_metrics_writes_a_reconciling_snapshot() {
         "--metrics",
         metrics_path.to_str().unwrap(),
     ]);
-    assert!(o.status.success(), "replay --metrics failed: {}", stderr(&o));
+    assert!(
+        o.status.success(),
+        "replay --metrics failed: {}",
+        stderr(&o)
+    );
     let json = std::fs::read_to_string(&metrics_path).expect("metrics file written");
     // The command itself refuses to emit a non-reconciling snapshot, so
     // the file existing already proves the invariants; spot-check the

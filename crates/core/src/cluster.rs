@@ -90,30 +90,31 @@ pub fn k_medoids(dm: &DistanceMatrix, k: usize, max_iter: usize) -> Vec<usize> {
 
     // Initialization: most central point first, then farthest-first.
     let mut medoids: Vec<usize> = Vec::with_capacity(k);
-    let central = (0..n)
-        .min_by(|&a, &b| {
-            let ca: f64 = (0..n).map(|j| dm.get(a, j)).sum();
-            let cb: f64 = (0..n).map(|j| dm.get(b, j)).sum();
-            ca.total_cmp(&cb)
-        })
-        .expect("n > 0");
+    let Some(central) = (0..n).min_by(|&a, &b| {
+        let ca: f64 = (0..n).map(|j| dm.get(a, j)).sum();
+        let cb: f64 = (0..n).map(|j| dm.get(b, j)).sum();
+        ca.total_cmp(&cb)
+    }) else {
+        return Vec::new(); // unreachable: n > 0 checked above
+    };
     medoids.push(central);
     while medoids.len() < k {
-        let next = (0..n)
-            .filter(|i| !medoids.contains(i))
-            .max_by(|&a, &b| {
-                let da = medoids
-                    .iter()
-                    .map(|&m| dm.get(a, m))
-                    .fold(f64::MAX, f64::min);
-                let db = medoids
-                    .iter()
-                    .map(|&m| dm.get(b, m))
-                    .fold(f64::MAX, f64::min);
-                da.total_cmp(&db)
-            })
-            .expect("points remain");
-        medoids.push(next);
+        let next = (0..n).filter(|i| !medoids.contains(i)).max_by(|&a, &b| {
+            let da = medoids
+                .iter()
+                .map(|&m| dm.get(a, m))
+                .fold(f64::MAX, f64::min);
+            let db = medoids
+                .iter()
+                .map(|&m| dm.get(b, m))
+                .fold(f64::MAX, f64::min);
+            da.total_cmp(&db)
+        });
+        match next {
+            Some(next) => medoids.push(next),
+            // unreachable: k <= n guarantees unchosen points remain.
+            None => break,
+        }
     }
 
     let cost = |medoids: &[usize]| -> f64 {
@@ -161,7 +162,7 @@ pub fn k_medoids(dm: &DistanceMatrix, k: usize, max_iter: usize) -> Vec<usize> {
                 .enumerate()
                 .min_by(|(_, &a), (_, &b)| dm.get(i, a).total_cmp(&dm.get(i, b)))
                 .map(|(ix, _)| ix)
-                .expect("k > 0")
+                .unwrap_or(0) // unreachable: medoids is non-empty (k >= 1)
         })
         .collect()
 }

@@ -76,6 +76,8 @@ pub struct GatingStats {
 impl GatingStats {
     /// Harmonic mean of precision and recall.
     pub fn f1(&self) -> f64 {
+        // lint:allow(no-float-eq): exact-zero guard against 0/0; both
+        // ratios are non-negative, so the sum is zero iff both are.
         if self.precision + self.recall == 0.0 {
             0.0
         } else {

@@ -74,6 +74,8 @@ impl IndexCache {
         // The store may have grown *while* we built; tag with the version
         // we read before building so a concurrent insert invalidates us.
         self.inner.lock().insert(len, (version, built.clone()));
+        // Relaxed: monotone statistics counter; readers only need an
+        // eventually-consistent count, never ordering with the cache map.
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
         self.metrics.incr(Counter::CacheRebuilds);
         built
@@ -82,6 +84,7 @@ impl IndexCache {
     /// How many index builds the cache has performed — a lock-free read,
     /// safe to poll from a hot monitoring loop.
     pub fn rebuild_count(&self) -> u64 {
+        // Relaxed: statistics read; may trail a concurrent rebuild.
         self.rebuilds.load(Ordering::Relaxed)
     }
 
@@ -139,11 +142,7 @@ impl CachedMatcher {
         results
     }
 
-    fn find_matches_inner(
-        &self,
-        query: &QuerySubseq,
-        options: &SearchOptions,
-    ) -> Vec<MatchResult> {
+    fn find_matches_inner(&self, query: &QuerySubseq, options: &SearchOptions) -> Vec<MatchResult> {
         let len = query.len();
         if len == 0 || len > 60 {
             return self.matcher.find_matches_with(query, options);

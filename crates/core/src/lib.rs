@@ -58,6 +58,7 @@ pub mod error;
 pub mod framework;
 pub mod gating;
 pub mod index_cache;
+pub mod invariants;
 pub mod matcher;
 pub mod metrics;
 pub mod params;

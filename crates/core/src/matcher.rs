@@ -17,6 +17,7 @@
 //! indexed/pruned/parallel paths (which visit candidates in other orders)
 //! a deterministic tie-break.
 
+use crate::invariants;
 use crate::metrics::{Counter, MetricsRegistry, SearchTally};
 use crate::params::Params;
 use crate::similarity::{
@@ -210,6 +211,7 @@ impl Collector {
                 }
             }
         }
+        invariants::heap_bounded(self.heap.len(), self.cap);
     }
 
     fn into_vec(self) -> Vec<MatchResult> {
@@ -480,6 +482,7 @@ impl Matcher {
             return Vec::new();
         };
         let features = self.store.segment_features(self.params.axis);
+        invariants::features_snapshot_coherent(&features);
         let mut scorer = WindowScorer::new();
         let mut coll = engine.collector();
         let mut tally = SearchTally::default();
@@ -553,6 +556,7 @@ impl Matcher {
             return Vec::new();
         };
         let features = self.store.segment_features(self.params.axis);
+        invariants::features_snapshot_coherent(&features);
         let mut scorer = WindowScorer::new();
         let mut coll = engine.collector();
         let mut tally = SearchTally::default();
@@ -600,6 +604,7 @@ impl Matcher {
             return Vec::new();
         };
         let features = self.store.segment_features(self.params.axis);
+        invariants::features_snapshot_coherent(&features);
         let streams = features.streams();
         let threads = threads.max(1).min(streams.len().max(1));
         if threads <= 1 {
@@ -710,6 +715,7 @@ impl Matcher {
             f64::INFINITY
         };
         let features = self.store.segment_features(self.params.axis);
+        invariants::features_snapshot_coherent(&features);
         let mut scorer = WindowScorer::new();
         let mut coll = engine.collector();
         let mut tally = SearchTally::default();
@@ -729,6 +735,9 @@ impl Matcher {
             if start + n > sf.num_segments() {
                 continue;
             }
+            invariants::band_candidate_admissible(
+                e, sf, start, n, q_amp_sum, amp_band, q_duration, dur_band,
+            );
             let relation = engine.relation(&sf.meta);
             let ws = self.params.ws(relation);
             engine.score_window_at(sf, start, relation, ws, &mut scorer, &mut coll, &mut tally);

@@ -179,9 +179,11 @@ impl HistInner {
     }
 
     fn observe(&self, v: u64) {
+        // Relaxed throughout: monotone statistics counters; snapshots
+        // tolerate a count/sum/bucket skew of in-flight observations.
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed); // Relaxed: see above.
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed); // Relaxed: see above.
     }
 }
 
@@ -214,8 +216,12 @@ pub struct SearchTally {
 }
 
 impl SearchTally {
-    /// Folds another tally (e.g. a parallel worker's) into this one.
+    /// Folds another tally (e.g. a parallel worker's) into this one. In
+    /// debug builds the incoming tally and the merged result are both
+    /// checked for reconciliation, so a lost or double-counted worker
+    /// tally is caught at the join point.
     pub fn merge(&mut self, other: &SearchTally) {
+        crate::invariants::tally_reconciled(other);
         self.windows_scored += other.windows_scored;
         self.windows_abandoned += other.windows_abandoned;
         self.windows_completed += other.windows_completed;
@@ -223,6 +229,7 @@ impl SearchTally {
         self.bucket_candidates += other.bucket_candidates;
         self.amp_band_candidates += other.amp_band_candidates;
         self.dur_band_candidates += other.dur_band_candidates;
+        crate::invariants::tally_reconciled(self);
     }
 }
 
@@ -261,6 +268,7 @@ impl MetricsRegistry {
     pub fn add(&self, c: Counter, n: u64) {
         if let Some(inner) = &self.inner {
             if n != 0 {
+                // Relaxed: monotone counter; never orders other memory.
                 inner.counters[c as usize].fetch_add(n, Ordering::Relaxed);
             }
         }
@@ -270,6 +278,7 @@ impl MetricsRegistry {
     #[inline]
     pub fn incr(&self, c: Counter) {
         if let Some(inner) = &self.inner {
+            // Relaxed: monotone counter; never orders other memory.
             inner.counters[c as usize].fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -278,6 +287,7 @@ impl MetricsRegistry {
     #[inline]
     pub fn record_max(&self, c: Counter, v: u64) {
         if let Some(inner) = &self.inner {
+            // Relaxed: max-merge gauge; commutative, order-insensitive.
             inner.counters[c as usize].fetch_max(v, Ordering::Relaxed);
         }
     }
@@ -294,6 +304,8 @@ impl MetricsRegistry {
     /// reads the clock.
     #[inline]
     pub fn start(&self) -> Option<Instant> {
+        // lint:allow(no-instant-now-in-hot-path): this *is* the metrics
+        // timing layer every other module is required to route through.
         self.inner.as_ref().map(|_| Instant::now())
     }
 
@@ -305,8 +317,11 @@ impl MetricsRegistry {
         }
     }
 
-    /// Flushes a per-search tally into the counters.
+    /// Flushes a per-search tally into the counters. Debug builds check
+    /// the tally reconciles (scored = abandoned + completed, narrowing
+    /// candidate funnel) before it is folded into the registry.
     pub fn record_search(&self, t: &SearchTally) {
+        crate::invariants::tally_reconciled(t);
         if self.inner.is_none() {
             return;
         }
@@ -325,8 +340,12 @@ impl MetricsRegistry {
         let Some(inner) = &self.inner else {
             return MetricsSnapshot::default();
         };
+        // Relaxed throughout: snapshots are advisory statistics taken
+        // while writers run; cross-counter consistency is reconciled at
+        // quiescence (see MetricsSnapshot::check_invariants), not here.
         let mut counters = BTreeMap::new();
         for (i, a) in inner.counters.iter().enumerate() {
+            // Relaxed: advisory snapshot (see above).
             counters.insert(COUNTER_NAMES[i].to_string(), a.load(Ordering::Relaxed));
         }
         let mut histograms = BTreeMap::new();
@@ -334,11 +353,13 @@ impl MetricsRegistry {
             histograms.insert(
                 HIST_NAMES[i].to_string(),
                 HistogramSnapshot {
+                    // Relaxed: same advisory-snapshot contract as above.
                     count: h.count.load(Ordering::Relaxed),
-                    sum: h.sum.load(Ordering::Relaxed),
+                    sum: h.sum.load(Ordering::Relaxed), // Relaxed: see above.
                     buckets: h
                         .buckets
                         .iter()
+                        // Relaxed: advisory snapshot (see above).
                         .map(|b| b.load(Ordering::Relaxed))
                         .collect(),
                 },
@@ -415,8 +436,7 @@ impl MetricsSnapshot {
     /// True when nothing was recorded (also the disabled-registry
     /// snapshot).
     pub fn is_empty(&self) -> bool {
-        self.counters.values().all(|&v| v == 0)
-            && self.histograms.values().all(|h| h.count == 0)
+        self.counters.values().all(|&v| v == 0) && self.histograms.values().all(|h| h.count == 0)
     }
 
     /// A counter by name (0 when absent).
@@ -453,7 +473,11 @@ impl MetricsSnapshot {
                 .iter()
                 .map(|(k, &v)| {
                     let before = earlier.counter(k);
-                    let d = if is_hwm(k) { v } else { v.saturating_sub(before) };
+                    let d = if is_hwm(k) {
+                        v
+                    } else {
+                        v.saturating_sub(before)
+                    };
                     (k.clone(), d)
                 })
                 .collect(),
@@ -598,14 +622,8 @@ mod tests {
         assert!(json.contains("\"session.tick_latency_ns\""));
         assert!(json.contains("\"buckets\": ["));
         // Balanced braces/brackets (cheap well-formedness check).
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count()
-        );
-        assert_eq!(
-            json.matches('[').count(),
-            json.matches(']').count()
-        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -65,13 +65,14 @@ pub fn patient_distance_matrix(
     let chunk = pairs.len().div_ceil(threads);
     let mut results: Vec<Option<f64>> = vec![None; pairs.len()];
 
-    crossbeam::thread::scope(|scope| {
+    let scope_result = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (t, chunk_pairs) in pairs.chunks(chunk).enumerate() {
             let store = store.clone();
             let patients = &patients;
             handles.push((
                 t,
+                chunk_pairs,
                 scope.spawn(move |_| {
                     chunk_pairs
                         .iter()
@@ -82,13 +83,25 @@ pub fn patient_distance_matrix(
                 }),
             ));
         }
-        for (t, h) in handles {
-            let chunk_results = h.join().expect("worker panicked");
+        for (t, chunk_pairs, h) in handles {
+            // A panicked worker loses only its chunk: recompute it here.
+            let chunk_results = h.join().unwrap_or_else(|_| {
+                chunk_pairs
+                    .iter()
+                    .map(|&(i, j)| patient_distance(store, patients[i], patients[j], params, cfg))
+                    .collect()
+            });
             let base = t * chunk;
             results[base..base + chunk_results.len()].copy_from_slice(&chunk_results);
         }
-    })
-    .expect("scope failed");
+    });
+    if scope_result.is_err() {
+        // Scoped-thread machinery itself failed: fall back to computing
+        // every pair on this thread.
+        for (slot, &(i, j)) in results.iter_mut().zip(&pairs) {
+            *slot = patient_distance(store, patients[i], patients[j], params, cfg);
+        }
+    }
 
     let max_seen = results
         .iter()

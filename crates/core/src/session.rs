@@ -44,7 +44,7 @@ use crate::predict::{predict_position, AlignMode};
 use crate::query::generate_query;
 use crate::tracking::TrackingStats;
 use std::any::Any;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tsm_db::{PatientId, SharedStore, StreamId, StreamStore};
@@ -412,9 +412,7 @@ impl SessionRuntime {
         self.live.extend(segmenter.finish());
         let emitted = (self.live.len() - before) as u64;
         if emitted > 0 {
-            self.engine
-                .metrics()
-                .add(Counter::VerticesEmitted, emitted);
+            self.engine.metrics().add(Counter::VerticesEmitted, emitted);
         }
         let mut consumers = std::mem::take(&mut self.consumers);
         if self.live.len() > before {
@@ -696,7 +694,7 @@ enum SessionEvent {
 
 /// Streams each prediction tick into a per-session channel as it happens.
 struct ChannelConsumer {
-    tx: Sender<SessionEvent>,
+    tx: SyncSender<SessionEvent>,
 }
 
 impl SessionConsumer for ChannelConsumer {
@@ -812,6 +810,8 @@ impl CohortRuntime {
     /// and the calling thread drains them. A worker panic is contained:
     /// its incomplete sessions are re-run serially.
     pub fn replay(&self, specs: &[SessionSpec]) -> CohortReport {
+        // lint:allow(no-instant-now-in-hot-path): cohort wall-clock for
+        // the report, taken once per replay — not a per-window hot path.
         let start = Instant::now();
         let threads = self.threads.min(specs.len().max(1));
         let mut sessions: Vec<SessionReport> = if threads <= 1 {
@@ -821,10 +821,10 @@ impl CohortRuntime {
             // created, keeping only the receivers — no claimed/unclaimed
             // bookkeeping to get wrong.
             let mut receivers: Vec<Receiver<SessionEvent>> = Vec::with_capacity(specs.len());
-            let mut batches: Vec<Vec<(usize, Sender<SessionEvent>)>> =
+            let mut batches: Vec<Vec<(usize, SyncSender<SessionEvent>)>> =
                 (0..threads).map(|_| Vec::new()).collect();
-            for i in 0..specs.len() {
-                let (tx, rx) = std::sync::mpsc::channel();
+            for (i, spec) in specs.iter().enumerate() {
+                let (tx, rx) = Self::session_channel(spec);
                 receivers.push(rx);
                 batches[i % threads].push((i, tx));
             }
@@ -871,16 +871,25 @@ impl CohortRuntime {
         }
     }
 
+    /// A bounded per-session channel that can never block its worker:
+    /// each sample push emits at most one tick, and the session sends
+    /// exactly one terminal event (`Done` or `Failed`), so the event
+    /// count is bounded by `samples + 1` even though the calling thread
+    /// only drains after the workers have joined.
+    fn session_channel(spec: &SessionSpec) -> (SyncSender<SessionEvent>, Receiver<SessionEvent>) {
+        std::sync::mpsc::sync_channel(spec.samples.len() + 1)
+    }
+
     /// Runs one session to completion, collecting locally.
     fn run_session(&self, spec: &SessionSpec) -> SessionReport {
-        let (tx, rx) = std::sync::mpsc::channel();
+        let (tx, rx) = Self::session_channel(spec);
         self.run_session_streaming(spec, tx);
         Self::collect(spec, rx)
     }
 
     /// Runs one session, streaming events into `tx` (dropped at return,
     /// which closes the session's channel).
-    fn run_session_streaming(&self, spec: &SessionSpec, tx: Sender<SessionEvent>) {
+    fn run_session_streaming(&self, spec: &SessionSpec, tx: SyncSender<SessionEvent>) {
         let config = SessionConfig::new(spec.patient, spec.session)
             .with_segmenter(self.segmenter.clone())
             .with_align(self.align)

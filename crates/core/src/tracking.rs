@@ -51,7 +51,9 @@ impl TrackingStats {
         let rms = (errors.iter().map(|e| e * e).sum::<f64>() / n).sqrt();
         errors.sort_by(f64::total_cmp);
         let p95 = errors[((errors.len() - 1) as f64 * 0.95) as usize];
-        let max = *errors.last().expect("non-empty");
+        // errors is non-empty (checked above); NaN is the documented
+        // degenerate value either way.
+        let max = errors.last().copied().unwrap_or(f64::NAN);
         TrackingStats {
             mean_error: mean,
             rms_error: rms,

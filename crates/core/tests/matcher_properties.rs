@@ -259,7 +259,11 @@ fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
             if has_hist {
                 histograms.insert(
                     "session.tick_latency_ns".to_string(),
-                    tsm_core::metrics::HistogramSnapshot { count, sum, buckets },
+                    tsm_core::metrics::HistogramSnapshot {
+                        count,
+                        sum,
+                        buckets,
+                    },
                 );
             }
             MetricsSnapshot {

@@ -37,7 +37,9 @@ fn matcher_counters_reconcile_across_all_variants() {
     let cached = CachedMatcher::new(
         Matcher::new(store.clone(), Params::default()).with_metrics(metrics.clone()),
     );
-    let view = store.resolve(SubseqRef::new(tsm_db::StreamId(0), 0, 9)).unwrap();
+    let view = store
+        .resolve(SubseqRef::new(tsm_db::StreamId(0), 0, 9))
+        .unwrap();
     let query = QuerySubseq::from_view(&view);
     let opts = SearchOptions::default();
 
@@ -67,9 +69,7 @@ fn matcher_counters_reconcile_across_all_variants() {
     assert_eq!(snap.counter("cache.rebuilds"), 1);
     // The pruned path reported its band funnel.
     assert!(snap.counter("index.bucket_candidates") >= snap.counter("index.amp_band_candidates"));
-    assert!(
-        snap.counter("index.amp_band_candidates") >= snap.counter("index.dur_band_candidates")
-    );
+    assert!(snap.counter("index.amp_band_candidates") >= snap.counter("index.dur_band_candidates"));
     // Search latency histogram observed exactly the cached searches.
     assert_eq!(
         snap.histograms
@@ -108,7 +108,9 @@ fn session_replay_counters_reconcile_and_diff() {
     let interval = after.diff(&before);
 
     after.check_invariants().expect("counters reconcile");
-    interval.check_invariants().expect("diffed counters reconcile");
+    interval
+        .check_invariants()
+        .expect("diffed counters reconcile");
 
     let total_samples: u64 = specs.iter().map(|s| s.samples.len() as u64).sum();
     assert_eq!(interval.counter("segment.samples"), total_samples);

@@ -38,8 +38,9 @@ impl StateOrderIndex {
                 continue;
             }
             for start in 0..=(states.len() - len) {
-                let sig =
-                    state_signature(states[start..start + len].iter().copied()).expect("len <= 60");
+                let Some(sig) = state_signature(states[start..start + len].iter().copied()) else {
+                    continue; // unreachable: len <= 60 checked on entry
+                };
                 map.entry(sig)
                     .or_default()
                     .push(SubseqRef::new(stream.meta.id, start, len));

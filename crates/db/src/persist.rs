@@ -317,7 +317,10 @@ pub fn load_store<R: Read>(reader: R) -> Result<StreamStore, PersistError> {
 /// file name with `.tmp` appended, in the same directory (a rename is
 /// only atomic within one filesystem).
 fn sibling_tmp_path(path: &Path) -> std::path::PathBuf {
-    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
     name.push(".tmp");
     path.with_file_name(name)
 }

@@ -6,6 +6,7 @@ use crate::stream::{MotionStream, StreamMeta};
 use crate::subsequence::{SubseqRef, SubseqView};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tsm_model::PlrTrajectory;
 
@@ -60,8 +61,6 @@ struct Inner {
     patients: Vec<PatientAttributes>,
     streams: Vec<Arc<MotionStream>>,
     by_patient: BTreeMap<PatientId, Vec<StreamId>>,
-    /// Bumped on every mutation; lets index caches detect staleness.
-    version: u64,
 }
 
 /// The shared-ownership handle the online path passes around: every
@@ -85,6 +84,12 @@ pub type SharedStore = Arc<StreamStore>;
 #[derive(Debug, Default, Clone)]
 pub struct StreamStore {
     inner: Arc<RwLock<Inner>>,
+    /// Mutation counter, bumped with `Release` by writers *while still
+    /// holding the write lock* and read lock-free with `Acquire` by
+    /// [`StreamStore::version`]. The pairing guarantees that a version
+    /// observed through any handle covers every mutation up to it —
+    /// the protocol the `schedcheck` version-protocol model proves.
+    version: Arc<AtomicU64>,
     /// Lazily built columnar feature snapshot, shared across handles and
     /// invalidated by the version counter (see [`StreamStore::segment_features`]).
     features: Arc<Mutex<Option<Arc<SegmentFeatures>>>>,
@@ -114,7 +119,9 @@ impl StreamStore {
         let id = PatientId(g.patients.len() as u32);
         g.patients.push(attributes);
         g.by_patient.insert(id, Vec::new());
-        g.version += 1;
+        // Release-publish under the write lock: a lock-free version()
+        // read that observes this bump also observes the insert above.
+        self.version.fetch_add(1, Ordering::Release);
         id
     }
 
@@ -132,6 +139,8 @@ impl StreamStore {
         raw_len: usize,
     ) -> StreamId {
         self.try_add_stream(patient, session, plr, raw_len)
+            // lint:allow(no-unwrap-in-lib): documented panicking API; the
+            // fallible path is try_add_stream.
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -166,18 +175,25 @@ impl StreamStore {
             plr,
             raw_len,
         }));
-        g.by_patient
-            .get_mut(&patient)
-            .expect("patient exists")
-            .push(id);
-        g.version += 1;
+        // The patient was bounds-checked above; `or_default` only keeps
+        // this branch panic-free, it can never create a new entry.
+        g.by_patient.entry(patient).or_default().push(id);
+        // Release-publish under the write lock: a lock-free version()
+        // read that observes this bump also observes the insert above.
+        self.version.fetch_add(1, Ordering::Release);
         Ok(id)
     }
 
     /// Monotone mutation counter: any insert bumps it, so an index built
     /// at version `v` is exactly up to date while `version() == v`.
+    ///
+    /// Lock-free: this is the `Acquire` consume side of the publish
+    /// protocol (writers bump with `Release` while holding the write
+    /// lock), so hot paths can poll it without contending with writers.
+    /// A read here may trail an in-flight insert — callers that tag
+    /// caches with a pre-build version then merely rebuild once more.
     pub fn version(&self) -> u64 {
-        self.inner.read().version
+        self.version.load(Ordering::Acquire)
     }
 
     /// The columnar per-segment feature snapshot for `axis`, building it
@@ -188,10 +204,12 @@ impl StreamStore {
     /// present at its [`SegmentFeatures::version`].
     pub fn segment_features(&self, axis: usize) -> Arc<SegmentFeatures> {
         // Snapshot streams + version under one read guard so the pair is
-        // consistent even while writers insert concurrently.
+        // consistent even while writers insert concurrently: writers
+        // bump the counter while holding the write lock, so no bump can
+        // interleave with this read-locked section.
         let (streams, version) = {
             let g = self.inner.read();
-            (g.streams.clone(), g.version)
+            (g.streams.clone(), self.version.load(Ordering::Acquire))
         };
         let mut cache = self.features.lock();
         if let Some(cached) = cache.as_ref() {
@@ -432,5 +450,33 @@ mod tests {
         let p = handle.add_patient(PatientAttributes::new());
         assert_eq!(store.num_patients(), 3);
         assert_eq!(store.patients().last(), Some(&p));
+    }
+
+    /// The lock-free version counter agrees across handles and counts
+    /// every mutation exactly once under concurrent writers, and any
+    /// version observed covers at least that many streams.
+    #[test]
+    fn version_counts_concurrent_mutations_exactly() {
+        let store = StreamStore::new();
+        let p = store.add_patient(PatientAttributes::new());
+        let v_base = store.version();
+        let writers = 4;
+        let inserts = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..writers {
+                let handle = store.clone();
+                scope.spawn(move || {
+                    for _ in 0..inserts {
+                        handle.add_stream(p, 0, plr(1), 10);
+                        // Publish/consume pair: an observed version bump
+                        // implies the stream that caused it is visible.
+                        let seen = handle.version();
+                        assert!(handle.num_streams() as u64 >= seen - v_base);
+                    }
+                });
+            }
+        });
+        assert_eq!(store.version(), v_base + writers * inserts);
+        assert_eq!(store.num_streams(), (writers * inserts) as usize);
     }
 }

@@ -152,9 +152,11 @@ impl CardiacCanceller {
         let dim = s.position.dim();
         coords[..dim].copy_from_slice(s.position.coords());
         coords[0] -= estimate;
+        // `dim` comes from a valid Position, so from_slice cannot fail;
+        // the fallback passes the sample through uncancelled.
         Sample::new(
             s.time,
-            crate::position::Position::from_slice(&coords[..dim]).expect("dim 1..=3"),
+            crate::position::Position::from_slice(&coords[..dim]).unwrap_or(s.position),
         )
     }
 }

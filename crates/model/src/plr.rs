@@ -185,8 +185,8 @@ impl PlrTrajectory {
     /// prediction needs when asked about the immediate future of the most
     /// recent segment.
     pub fn position_at(&self, t: f64) -> crate::position::Position {
-        match self.segment_index_at(t) {
-            Some(i) => self.segment(i).expect("valid index").position_at(t),
+        match self.segment_index_at(t).and_then(|i| self.segment(i)) {
+            Some(seg) => seg.position_at(t),
             None => self.vertices[0].position,
         }
     }

@@ -512,7 +512,7 @@ impl OnlineSegmenter {
                 self.pending_count = 0;
                 self.pending_break = None;
             }
-            Some(_) => {
+            Some(cur_class) => {
                 if self.pending_class == Some(class) {
                     self.pending_count += 1;
                 } else {
@@ -526,8 +526,7 @@ impl OnlineSegmenter {
                         let brk = self.pending_break.unwrap_or(s);
                         if let Some(start) = self.seg_start {
                             if brk.time > start.time {
-                                let cur = self.current_class.expect("checked above");
-                                let state = self.close_segment(start, brk, cur);
+                                let state = self.close_segment(start, brk, cur_class);
                                 self.out
                                     .push(Vertex::new(start.time, start.position, state));
                             }

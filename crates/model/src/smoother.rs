@@ -64,16 +64,18 @@ impl StreamFilter for SpikeFilter {
         for (i, slot) in coords.iter_mut().take(dim).enumerate() {
             *slot = Self::median3(a.position[i], b.position[i], c.position[i]);
         }
+        // `dim` comes from a valid Position, so from_slice cannot fail;
+        // the fallback passes the center sample through unsmoothed.
         Some(Sample::new(
             b.time,
-            Position::from_slice(&coords[..dim]).expect("dim is 1..=3"),
+            Position::from_slice(&coords[..dim]).unwrap_or(b.position),
         ))
     }
 
     fn finish(&mut self) -> Vec<Sample> {
         // The last raw sample never got a median window; pass it through.
         let out = if self.buf.len() >= 2 {
-            vec![*self.buf.back().expect("len >= 2")]
+            self.buf.back().map(|s| vec![*s]).unwrap_or_default()
         } else {
             Vec::new()
         };
@@ -122,9 +124,11 @@ impl MovingAverage {
         for slot in coords.iter_mut().take(dim) {
             *slot /= n;
         }
+        // `dim` comes from a valid Position, so from_slice cannot fail;
+        // the fallback passes the center sample through unsmoothed.
         Sample::new(
             mid.time,
-            Position::from_slice(&coords[..dim]).expect("dim is 1..=3"),
+            Position::from_slice(&coords[..dim]).unwrap_or(mid.position),
         )
     }
 }

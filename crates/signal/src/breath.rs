@@ -133,7 +133,13 @@ pub struct SignalGenerator {
 
 impl SignalGenerator {
     /// A generator with no noise and no irregular episodes.
+    ///
+    /// # Panics
+    /// Panics if `params` fails [`BreathingParams::validate`]: generator
+    /// parameters are experiment configuration, so an invalid set is a
+    /// programming error, not a runtime condition.
     pub fn new(params: BreathingParams, seed: u64) -> Self {
+        // lint:allow(no-unwrap-in-lib): documented panicking constructor.
         params.validate().expect("invalid breathing parameters");
         SignalGenerator {
             params,

@@ -57,6 +57,8 @@ impl NoiseParams {
 
     /// Whether every component is switched off.
     pub fn is_clean(&self) -> bool {
+        // lint:allow(no-float-eq): exact zero is the configured-off
+        // sentinel, never the result of arithmetic.
         self.cardiac_amplitude_mm == 0.0 && self.white_sd_mm == 0.0 && self.spike_rate_hz == 0.0
     }
 }

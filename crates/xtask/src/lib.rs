@@ -1,0 +1,213 @@
+//! # xtask — workspace static analysis
+//!
+//! In-repo lint engine invoked as `cargo xtask lint` (see the alias in
+//! `.cargo/config.toml`). The engine is deliberately self-contained —
+//! no proc-macro parsing, no network, no external crates — so it runs
+//! in the offline build image and in CI as a hard gate.
+//!
+//! Three pieces:
+//!
+//! * [`scanner`] — comment/string-aware masking of Rust source, the
+//!   precision layer every rule builds on.
+//! * [`rules`] — the rule registry: `no-unwrap-in-lib`,
+//!   `explicit-atomic-ordering`, `no-float-eq`,
+//!   `no-instant-now-in-hot-path`, `bounded-channel-only`.
+//! * [`lint_workspace`] / [`lint_file`] — the drivers, walking every
+//!   `.rs` file outside `vendor/`, `target/`, and the lint's own test
+//!   fixtures.
+//!
+//! Suppressions are per line: `// lint:allow(rule-name): reason` on
+//! the offending line or the line above. See DESIGN.md §"Static
+//! analysis & invariants" for the policy.
+
+pub mod rules;
+pub mod scanner;
+
+use rules::{check_file, FileClass, Finding};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A finding tied to the file it was found in.
+#[derive(Clone, Debug)]
+pub struct FileFinding {
+    /// Path as reported (relative to the workspace root when walking).
+    pub file: PathBuf,
+    /// The underlying rule finding.
+    pub finding: Finding,
+}
+
+impl std::fmt::Display for FileFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.file.display(),
+            self.finding.line,
+            self.finding.col,
+            self.finding.rule,
+            self.finding.message
+        )
+    }
+}
+
+/// Classifies a workspace-relative path for rule applicability.
+///
+/// Returns `None` for paths the lint never scans (vendored stand-ins,
+/// build output, and the lint engine's own fixture corpus).
+pub fn classify(rel: &Path) -> Option<FileClass> {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    if s.starts_with("vendor/") || s.contains("/target/") || s.starts_with("target/") {
+        return None;
+    }
+    if s.starts_with("crates/xtask/tests/fixtures/") {
+        return None;
+    }
+    if s.contains("/tests/")
+        || s.contains("/benches/")
+        || s.starts_with("tests/")
+        || s.starts_with("examples/")
+    {
+        return Some(FileClass::TestCode);
+    }
+    for lib in [
+        "crates/core/src/",
+        "crates/db/src/",
+        "crates/model/src/",
+        "crates/signal/src/",
+    ] {
+        if s.starts_with(lib) {
+            return Some(FileClass::CoreLib);
+        }
+    }
+    Some(FileClass::Tooling)
+}
+
+/// Lints one file, classifying it relative to `root` when possible.
+pub fn lint_file(root: &Path, path: &Path) -> io::Result<Vec<FileFinding>> {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let Some(class) = classify(rel) else {
+        return Ok(Vec::new());
+    };
+    lint_source_at(rel, &fs::read_to_string(path)?, class)
+}
+
+/// Lints in-memory source under an explicit classification.
+pub fn lint_source_at(
+    reported_path: &Path,
+    source: &str,
+    class: FileClass,
+) -> io::Result<Vec<FileFinding>> {
+    let scanned = scanner::scan(source);
+    Ok(check_file(&scanned, class)
+        .into_iter()
+        .map(|finding| FileFinding {
+            file: reported_path.to_path_buf(),
+            finding,
+        })
+        .collect())
+}
+
+/// Walks the workspace at `root` and lints every eligible `.rs` file.
+///
+/// Findings are sorted by path, then line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<FileFinding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for file in files {
+        findings.extend(lint_file(root, &file)?);
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            // Prune whole subtrees the lint never reads.
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            if path
+                .strip_prefix(root)
+                .map(|r| r.starts_with("vendor"))
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root from the current directory by walking up
+/// to the first `Cargo.toml` containing `[workspace]`.
+pub fn workspace_root() -> io::Result<PathBuf> {
+    let mut dir = std::env::current_dir()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() && fs::read_to_string(&manifest)?.contains("[workspace]") {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "no workspace Cargo.toml above the current directory",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_map() {
+        assert_eq!(
+            classify(Path::new("crates/core/src/matcher.rs")),
+            Some(FileClass::CoreLib)
+        );
+        assert_eq!(
+            classify(Path::new("crates/db/src/store.rs")),
+            Some(FileClass::CoreLib)
+        );
+        assert_eq!(
+            classify(Path::new("crates/cli/src/main.rs")),
+            Some(FileClass::Tooling)
+        );
+        assert_eq!(
+            classify(Path::new("crates/xtask/src/lib.rs")),
+            Some(FileClass::Tooling)
+        );
+        assert_eq!(
+            classify(Path::new("crates/core/tests/integration.rs")),
+            Some(FileClass::TestCode)
+        );
+        assert_eq!(
+            classify(Path::new("crates/core/benches/matching.rs")),
+            Some(FileClass::TestCode)
+        );
+        assert_eq!(
+            classify(Path::new("examples/src/main.rs")),
+            Some(FileClass::TestCode)
+        );
+        assert_eq!(
+            classify(Path::new("tests/src/lib.rs")),
+            Some(FileClass::TestCode)
+        );
+        assert_eq!(classify(Path::new("vendor/rand/src/lib.rs")), None);
+        assert_eq!(
+            classify(Path::new("crates/xtask/tests/fixtures/unwrap.rs")),
+            None
+        );
+    }
+}

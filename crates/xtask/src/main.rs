@@ -1,0 +1,117 @@
+//! `cargo xtask <command>` — workspace task runner.
+//!
+//! Commands:
+//!
+//! * `lint [PATH...]` — run the static-analysis pass over the whole
+//!   workspace (default) or just the named files/directories. Exits
+//!   non-zero when any finding survives suppression, so CI can use it
+//!   as a hard gate.
+//! * `lint --rules` — print the rule table.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`");
+            eprintln!("usage: cargo xtask lint [--rules] [PATH...]");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [--rules] [PATH...]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--rules") {
+        for rule in xtask::rules::all_rules() {
+            println!("{:<28} {}", rule.name, rule.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match xtask::workspace_root() {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = if args.is_empty() {
+        xtask::lint_workspace(&root)
+    } else {
+        let mut findings = Vec::new();
+        let mut err = None;
+        for arg in args {
+            let path = PathBuf::from(arg);
+            let path = if path.is_absolute() {
+                path
+            } else {
+                root.join(&path)
+            };
+            let r = if path.is_dir() {
+                // Reuse the workspace walker rooted at the directory,
+                // but classify against the workspace root.
+                walk_dir(&root, &path)
+            } else {
+                xtask::lint_file(&root, &path)
+            };
+            match r {
+                Ok(f) => findings.extend(f),
+                Err(e) => {
+                    err = Some(std::io::Error::new(
+                        e.kind(),
+                        format!("{}: {e}", path.display()),
+                    ));
+                    break;
+                }
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(findings),
+        }
+    };
+    match result {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("xtask lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn walk_dir(
+    root: &std::path::Path,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<xtask::FileFinding>> {
+    let mut findings = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let entry = entry?;
+            let path = entry.path();
+            if entry.file_type()?.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                findings.extend(xtask::lint_file(root, &path)?);
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.finding.line).cmp(&(&b.file, b.finding.line)));
+    Ok(findings)
+}

@@ -1,0 +1,501 @@
+//! The lint rule registry.
+//!
+//! Every rule is a pure function from a [`ScannedFile`] plus a
+//! [`FileClass`] to a list of findings. Rules search the *code mask*
+//! only, so comments and string literals can never produce false
+//! positives; suppression comments are read from the *comment mask*,
+//! so a `lint:allow` inside a string literal suppresses nothing.
+//!
+//! # Suppression policy
+//!
+//! A finding on line `L` is suppressed when a comment of the form
+//! `// lint:allow(rule-name): justification` appears on line `L`
+//! itself, on line `L - 1`, or anywhere in the contiguous block of
+//! comment-only lines ending at `L - 1` (multi-line justifications are
+//! encouraged). The justification text is mandatory by convention
+//! (reviewers enforce it); the scanner only requires the rule name to
+//! match.
+
+use crate::scanner::ScannedFile;
+
+/// Where a file sits in the workspace, which decides rule applicability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source of `tsm-core` / `tsm-db` / `tsm-model` /
+    /// `tsm-signal` — the crates whose hot paths must never panic.
+    CoreLib,
+    /// Other first-party non-test code: CLI, baselines, bench harness,
+    /// xtask itself.
+    Tooling,
+    /// Tests, benches, examples, and lint fixtures: exempt from the
+    /// panic and timing rules.
+    TestCode,
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule identifier, e.g. `no-unwrap-in-lib`.
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// A rule: identifier, one-line description, and checker.
+pub struct Rule {
+    /// Stable identifier used in output and `lint:allow(...)`.
+    pub name: &'static str,
+    /// One-line description for `cargo xtask lint --rules`.
+    pub description: &'static str,
+    check: fn(&ScannedFile, FileClass, &mut Vec<Finding>),
+}
+
+/// The registry of all rules, in reporting order.
+pub fn all_rules() -> &'static [Rule] {
+    &[
+        Rule {
+            name: "no-unwrap-in-lib",
+            description: "no unwrap()/expect()/panic!/todo! in tsm-* library code",
+            check: no_unwrap_in_lib,
+        },
+        Rule {
+            name: "explicit-atomic-ordering",
+            description: "atomic ops name an Ordering; Relaxed needs a justification comment",
+            check: explicit_atomic_ordering,
+        },
+        Rule {
+            name: "no-float-eq",
+            description: "no ==/!= against float literals or float constants",
+            check: no_float_eq,
+        },
+        Rule {
+            name: "no-instant-now-in-hot-path",
+            description: "wall-clock reads only via the metrics layer",
+            check: no_instant_now,
+        },
+        Rule {
+            name: "bounded-channel-only",
+            description: "no unbounded channel constructors in library code",
+            check: bounded_channel_only,
+        },
+    ]
+}
+
+/// Runs every applicable rule over one scanned file, honouring
+/// suppressions, and returns the surviving findings.
+pub fn check_file(scanned: &ScannedFile, class: FileClass) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rule in all_rules() {
+        let mut raw = Vec::new();
+        (rule.check)(scanned, class, &mut raw);
+        for f in raw {
+            if !scanned.is_test_line(f.line) && !is_suppressed(scanned, rule.name, f.line) {
+                findings.push(f);
+            }
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.col));
+    findings
+}
+
+/// Lines whose comments may justify or suppress a finding on `line`:
+/// the line itself, the line above, and the contiguous run of
+/// comment-only lines ending at `line - 1`.
+fn comment_scope(scanned: &ScannedFile, line: usize) -> Vec<usize> {
+    let mut scope = vec![line];
+    if line > 1 {
+        scope.push(line - 1);
+        // Walk up through pure-comment lines (no code on them).
+        let mut l = line - 1;
+        while l > 1
+            && scanned.code_line(l).trim().is_empty()
+            && !scanned.comment_line(l).trim().is_empty()
+        {
+            scope.push(l - 1);
+            l -= 1;
+        }
+    }
+    scope
+}
+
+/// True when the comment scope of `line` carries `lint:allow(rule)`.
+fn is_suppressed(scanned: &ScannedFile, rule: &str, line: usize) -> bool {
+    comment_scope(scanned, line).into_iter().any(|l| {
+        if l == 0 || l > scanned.line_count() {
+            return false;
+        }
+        let comment = scanned.comment_line(l);
+        let Some(pos) = comment.find("lint:allow(") else {
+            return false;
+        };
+        let rest = &comment[pos + "lint:allow(".len()..];
+        let Some(end) = rest.find(')') else {
+            return false;
+        };
+        rest[..end].split(',').any(|r| r.trim() == rule)
+    })
+}
+
+/// Emits a finding at a byte offset of the code mask.
+fn emit(
+    scanned: &ScannedFile,
+    out: &mut Vec<Finding>,
+    rule: &'static str,
+    offset: usize,
+    message: String,
+) {
+    out.push(Finding {
+        rule,
+        line: scanned.line_of(offset),
+        col: scanned.col_of(offset),
+        message,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// no-unwrap-in-lib
+// ---------------------------------------------------------------------------
+
+fn no_unwrap_in_lib(scanned: &ScannedFile, class: FileClass, out: &mut Vec<Finding>) {
+    if class != FileClass::CoreLib {
+        return;
+    }
+    for (needle, what) in [
+        (".unwrap()", "unwrap() can panic"),
+        (".expect(", "expect() can panic"),
+        ("panic!(", "explicit panic! in library code"),
+        ("todo!(", "todo! in library code"),
+        ("unimplemented!(", "unimplemented! in library code"),
+    ] {
+        for (off, _) in scanned.code.match_indices(needle) {
+            // `.expect(` must not match `.expect_err(`-style names —
+            // match_indices already guarantees the exact needle, and
+            // `panic!(`/`todo!(` cannot be identifier suffixes because
+            // `!` breaks the identifier; only guard word boundaries on
+            // the left for the macro needles.
+            if (needle == "panic!(" || needle == "todo!(") && off > 0 {
+                let prev = scanned.code.as_bytes()[off - 1];
+                if prev.is_ascii_alphanumeric() || prev == b'_' {
+                    continue; // e.g. `debug_assert_panic!` or `catch_todo!`
+                }
+            }
+            emit(
+                scanned,
+                out,
+                "no-unwrap-in-lib",
+                off,
+                format!("{what}; propagate a TsmError or justify with lint:allow"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// explicit-atomic-ordering
+// ---------------------------------------------------------------------------
+
+const ATOMIC_METHODS: &[&str] = &[
+    ".load(",
+    ".store(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_max(",
+    ".fetch_min(",
+    ".fetch_or(",
+    ".fetch_and(",
+    ".swap(",
+    ".compare_exchange(",
+    ".compare_exchange_weak(",
+];
+
+fn uses_atomics(scanned: &ScannedFile) -> bool {
+    scanned.code.contains("std::sync::atomic") || scanned.code.contains("Atomic")
+}
+
+fn explicit_atomic_ordering(scanned: &ScannedFile, class: FileClass, out: &mut Vec<Finding>) {
+    if class == FileClass::TestCode || !uses_atomics(scanned) {
+        return;
+    }
+    // Every atomic method call must spell its Ordering in the argument
+    // list. The argument span runs to the matching close paren, so
+    // multi-line calls are handled.
+    for needle in ATOMIC_METHODS {
+        for (off, _) in scanned.code.match_indices(needle) {
+            let open = off + needle.len() - 1;
+            let Some(close) = matching_paren(&scanned.code, open) else {
+                continue;
+            };
+            let args = &scanned.code[open + 1..close];
+            if args.trim().is_empty() {
+                // Not an atomic op: e.g. `runtime.store()` accessors.
+                continue;
+            }
+            if !args.contains("Ordering::")
+                && !args.contains("Relaxed")
+                && !args.contains("Acquire")
+                && !args.contains("Release")
+                && !args.contains("SeqCst")
+            {
+                emit(
+                    scanned,
+                    out,
+                    "explicit-atomic-ordering",
+                    off + 1,
+                    format!(
+                        "atomic {} without an explicit memory Ordering",
+                        &needle[1..needle.len() - 1]
+                    ),
+                );
+            }
+        }
+    }
+    // Relaxed is permitted, but only alongside a justification comment
+    // on the same line or in the comment block directly above.
+    for (off, _) in scanned.code.match_indices("Ordering::Relaxed") {
+        let line = scanned.line_of(off);
+        let justified = comment_scope(scanned, line)
+            .into_iter()
+            .any(|l| l >= 1 && !scanned.comment_line(l).trim().is_empty());
+        if !justified {
+            emit(
+                scanned,
+                out,
+                "explicit-atomic-ordering",
+                off,
+                "Ordering::Relaxed without a justification comment on this or the \
+                 preceding line"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Byte offset of the `)` matching the `(` at `open`, if any.
+fn matching_paren(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    debug_assert_eq!(bytes[open], b'(');
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// no-float-eq
+// ---------------------------------------------------------------------------
+
+fn no_float_eq(scanned: &ScannedFile, class: FileClass, out: &mut Vec<Finding>) {
+    if class == FileClass::TestCode {
+        return;
+    }
+    let bytes = scanned.code.as_bytes();
+    for (off, pat) in scanned
+        .code
+        .match_indices("==")
+        .chain(scanned.code.match_indices("!="))
+    {
+        // Skip `===`/`<=`/`>=`/`..=`-adjacent matches: the operator
+        // must stand alone.
+        let before = off.checked_sub(1).map(|i| bytes[i]);
+        let after = bytes.get(off + pat.len()).copied();
+        if matches!(before, Some(b'=') | Some(b'<') | Some(b'>') | Some(b'!'))
+            || after == Some(b'=')
+        {
+            continue;
+        }
+        let line = scanned.line_of(off);
+        let line_str = scanned.code_line(line);
+        let col = scanned.col_of(off) - 1; // 0-based within line_str
+        let lhs = line_str[..col].trim_end();
+        let rhs = line_str[col + pat.len()..].trim_start();
+        if is_floaty(last_token(lhs)) || is_floaty(first_token(rhs)) {
+            emit(
+                scanned,
+                out,
+                "no-float-eq",
+                off,
+                format!(
+                    "`{pat}` on a float expression; compare with a tolerance or justify \
+                     with lint:allow"
+                ),
+            );
+        }
+    }
+}
+
+fn last_token(s: &str) -> &str {
+    let end = s.len();
+    let start = s
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == ':'))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    &s[start..end]
+}
+
+fn first_token(s: &str) -> &str {
+    let end = s
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == ':'))
+        .unwrap_or(s.len());
+    &s[..end]
+}
+
+/// Does a token syntactically look like a float expression?
+fn is_floaty(token: &str) -> bool {
+    if token.is_empty() {
+        return false;
+    }
+    // Float literal: digits on both sides of a dot (`1.0`, `0.5`), or a
+    // typed literal / constant path (`1f64`, `f64::NAN`, `x.0` is a
+    // tuple index and digits-dot-digits is required).
+    let lit = token.find('.').is_some_and(|dot| {
+        token[..dot].chars().all(|c| c.is_ascii_digit())
+            && !token[..dot].is_empty()
+            && token[dot + 1..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit())
+    });
+    lit || token.contains("f64::")
+        || token.contains("f32::")
+        || token.ends_with("f64")
+        || token.ends_with("f32")
+}
+
+// ---------------------------------------------------------------------------
+// no-instant-now-in-hot-path
+// ---------------------------------------------------------------------------
+
+fn no_instant_now(scanned: &ScannedFile, class: FileClass, out: &mut Vec<Finding>) {
+    if class != FileClass::CoreLib {
+        return;
+    }
+    for needle in ["Instant::now()", "SystemTime::now()"] {
+        for (off, _) in scanned.code.match_indices(needle) {
+            emit(
+                scanned,
+                out,
+                "no-instant-now-in-hot-path",
+                off,
+                format!("{needle} in library code; route timing through tsm_core::metrics"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bounded-channel-only
+// ---------------------------------------------------------------------------
+
+fn bounded_channel_only(scanned: &ScannedFile, class: FileClass, out: &mut Vec<Finding>) {
+    if class != FileClass::CoreLib {
+        return;
+    }
+    for needle in ["mpsc::channel()", "mpsc::channel::<", "channel::unbounded("] {
+        for (off, _) in scanned.code.match_indices(needle) {
+            emit(
+                scanned,
+                out,
+                "bounded-channel-only",
+                off,
+                "unbounded channel constructor; use a sync_channel with a derived \
+                 capacity bound"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn findings(src: &str, class: FileClass) -> Vec<Finding> {
+        check_file(&scan(src), class)
+    }
+
+    #[test]
+    fn unwrap_fires_only_in_core_lib() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(findings(src, FileClass::CoreLib).len(), 1);
+        assert!(findings(src, FileClass::Tooling).is_empty());
+        assert!(findings(src, FileClass::TestCode).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 0); z.unwrap_or_default(); }\n";
+        assert!(findings(src, FileClass::CoreLib).is_empty());
+    }
+
+    #[test]
+    fn suppression_on_same_and_preceding_line() {
+        let same = "fn f() { x.unwrap(); } // lint:allow(no-unwrap-in-lib): invariant\n";
+        assert!(findings(same, FileClass::CoreLib).is_empty());
+        let above = "// lint:allow(no-unwrap-in-lib): invariant\nfn f() { x.unwrap(); }\n";
+        assert!(findings(above, FileClass::CoreLib).is_empty());
+        let wrong_rule = "// lint:allow(no-float-eq): nope\nfn f() { x.unwrap(); }\n";
+        assert_eq!(findings(wrong_rule, FileClass::CoreLib).len(), 1);
+    }
+
+    #[test]
+    fn relaxed_requires_comment() {
+        let bare =
+            "use std::sync::atomic::*;\nfn f(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n";
+        let hits = findings(bare, FileClass::CoreLib);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        let justified = "use std::sync::atomic::*;\n// monotone counter, no ordering needed\nfn f(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n";
+        assert!(findings(justified, FileClass::CoreLib).is_empty());
+    }
+
+    #[test]
+    fn atomic_op_must_name_ordering() {
+        let src = "use std::sync::atomic::*;\nfn f(c: &AtomicU64) { c.store(7); }\n";
+        let hits = findings(src, FileClass::CoreLib);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "explicit-atomic-ordering");
+        // Accessors with no arguments are not atomic ops.
+        let accessor = "use std::sync::atomic::*;\nfn g(r: &Runtime) { r.store(); }\n";
+        assert!(findings(accessor, FileClass::CoreLib).is_empty());
+    }
+
+    #[test]
+    fn float_eq_detected_and_cmp_ordering_ignored() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }\n";
+        assert_eq!(findings(src, FileClass::CoreLib).len(), 1);
+        let ord = "fn g(o: std::cmp::Ordering) -> bool { o == std::cmp::Ordering::Less }\n";
+        assert!(findings(ord, FileClass::CoreLib).is_empty());
+        let ints = "fn h(n: usize) -> bool { n == 0 }\n";
+        assert!(findings(ints, FileClass::CoreLib).is_empty());
+    }
+
+    #[test]
+    fn instant_now_and_unbounded_channel() {
+        let src = "fn f() { let t = Instant::now(); let (tx, rx) = mpsc::channel(); }\n";
+        let hits = findings(src, FileClass::CoreLib);
+        let rules: Vec<_> = hits.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"no-instant-now-in-hot-path"), "{hits:?}");
+        assert!(rules.contains(&"bounded-channel-only"), "{hits:?}");
+        assert!(findings(src, FileClass::Tooling).is_empty());
+    }
+
+    #[test]
+    fn string_and_comment_traps() {
+        let src = "fn f() { let s = \"x.unwrap()\"; } // x.unwrap() would panic!\n";
+        assert!(findings(src, FileClass::CoreLib).is_empty());
+    }
+}

@@ -1,0 +1,370 @@
+//! Comment- and string-aware source scanning.
+//!
+//! The lint rules in [`crate::rules`] are substring searches, so their
+//! precision comes entirely from this module: [`scan`] splits a Rust
+//! source file into a *code mask* and a *comment mask* of identical
+//! byte length. Comment and string-literal interiors are blanked to
+//! spaces in the code mask (so `"unwrap()"` in a string can never trip
+//! `no-unwrap-in-lib`), and everything that is not a comment is blanked
+//! in the comment mask (so a `lint:allow` spelled inside a string
+//! suppresses nothing). Newlines are preserved in both masks, which
+//! keeps line and column numbers identical to the original source.
+//!
+//! The scanner understands line comments, nested block comments,
+//! string / raw-string / byte-string literals, character literals, and
+//! the `'lifetime` ambiguity. It also tracks `#[cfg(test)]` regions by
+//! brace depth so rules can exempt inline test modules.
+
+/// A scanned source file: parallel masks plus line geometry.
+pub struct ScannedFile {
+    /// Source with comment and string interiors blanked to spaces.
+    pub code: String,
+    /// Source with everything *except* comment text blanked to spaces.
+    pub comments: String,
+    /// Byte offset of the start of each (0-based) line.
+    line_starts: Vec<usize>,
+    /// Per line (0-based): does the line start inside `#[cfg(test)]`?
+    test_lines: Vec<bool>,
+}
+
+impl ScannedFile {
+    /// 1-based line number of a byte offset into the masks.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    /// 1-based column of a byte offset into the masks.
+    pub fn col_of(&self, offset: usize) -> usize {
+        let line = self.line_of(offset);
+        offset - self.line_starts[line - 1] + 1
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// The code mask of a 1-based line (without the newline).
+    pub fn code_line(&self, line: usize) -> &str {
+        self.slice_line(&self.code, line)
+    }
+
+    /// The comment mask of a 1-based line (without the newline).
+    pub fn comment_line(&self, line: usize) -> &str {
+        self.slice_line(&self.comments, line)
+    }
+
+    /// True when the 1-based line begins inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line - 1).copied().unwrap_or(false)
+    }
+
+    fn slice_line<'a>(&self, mask: &'a str, line: usize) -> &'a str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&next| next - 1)
+            .unwrap_or(mask.len());
+        mask[start..end.max(start)].trim_end_matches('\n')
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(usize),
+    CharLit,
+}
+
+/// Scans `source` into code/comment masks and line metadata.
+pub fn scan(source: &str) -> ScannedFile {
+    let bytes = source.as_bytes();
+    let n = bytes.len();
+    let mut code = vec![b' '; n];
+    let mut comments = vec![b' '; n];
+    let mut state = State::Normal;
+    let mut i = 0;
+    while i < n {
+        let b = bytes[i];
+        if b == b'\n' {
+            // Newlines survive in both masks regardless of state, and
+            // terminate line comments.
+            code[i] = b'\n';
+            comments[i] = b'\n';
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    comments[i] = b'/';
+                    comments[i + 1] = b'/';
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    comments[i] = b'/';
+                    comments[i + 1] = b'*';
+                    i += 2;
+                } else if b == b'"' {
+                    code[i] = b'"';
+                    state = State::Str;
+                    i += 1;
+                } else if (b == b'r' || b == b'b') && !prev_is_ident(bytes, i) {
+                    // Possible raw / byte / raw-byte string prefix.
+                    let mut j = i + 1;
+                    if b == b'b' && bytes.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let hash_start = j;
+                    while bytes.get(j) == Some(&b'#') {
+                        j += 1;
+                    }
+                    let hashes = j - hash_start;
+                    let is_raw = b == b'r' || bytes.get(i + 1) == Some(&b'r');
+                    match bytes.get(j) {
+                        Some(&b'"') if is_raw || hashes == 0 => {
+                            // `r"`, `r#"`, `br"`, or plain `b"`.
+                            code[i..=j].copy_from_slice(&bytes[i..=j]);
+                            state = if is_raw {
+                                State::RawStr(hashes)
+                            } else {
+                                State::Str
+                            };
+                            i = j + 1;
+                        }
+                        _ => {
+                            code[i] = b;
+                            i += 1;
+                        }
+                    }
+                } else if b == b'\'' {
+                    // Char literal vs lifetime.
+                    if bytes.get(i + 1) == Some(&b'\\') {
+                        code[i] = b'\'';
+                        state = State::CharLit;
+                        i += 2; // skip the backslash and its target below
+                        if i < n && bytes[i] != b'\n' {
+                            i += 1;
+                        }
+                    } else if bytes.get(i + 2) == Some(&b'\'') && bytes.get(i + 1) != Some(&b'\'') {
+                        // 'x' — a one-byte char literal.
+                        code[i] = b'\'';
+                        code[i + 2] = b'\'';
+                        i += 3;
+                    } else {
+                        // A lifetime (or a multibyte char literal, which
+                        // this workspace does not use).
+                        code[i] = b'\'';
+                        i += 1;
+                    }
+                } else {
+                    code[i] = b;
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comments[i] = b;
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    comments[i] = b'*';
+                    comments[i + 1] = b'/';
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    comments[i] = b'/';
+                    comments[i + 1] = b'*';
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comments[i] = b;
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' {
+                    i += 2; // escaped byte can never close the string
+                } else if b == b'"' {
+                    code[i] = b'"';
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    let closed = (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'));
+                    if closed {
+                        code[i] = b'"';
+                        for k in 1..=hashes {
+                            code[i + k] = b'#';
+                        }
+                        state = State::Normal;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if b == b'\'' {
+                    code[i] = b'\'';
+                    state = State::Normal;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    let code = String::from_utf8(code).expect("mask preserves UTF-8 via ASCII-only writes");
+    let comments = String::from_utf8(comments).expect("mask preserves UTF-8 via ASCII-only writes");
+
+    let mut line_starts = vec![0];
+    for (off, b) in code.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(off + 1);
+        }
+    }
+    if line_starts.last() == Some(&code.len()) && !code.is_empty() {
+        line_starts.pop();
+    }
+
+    let test_lines = mark_test_lines(&code, &line_starts);
+    ScannedFile {
+        code,
+        comments,
+        line_starts,
+        test_lines,
+    }
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// Marks lines inside `#[cfg(test)] { .. }` regions by brace depth.
+fn mark_test_lines(code: &str, line_starts: &[usize]) -> Vec<bool> {
+    let bytes = code.as_bytes();
+    let mut test_lines = vec![false; line_starts.len()];
+    let mut depth = 0usize;
+    let mut armed = false;
+    let mut region_depths: Vec<usize> = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+                if line < test_lines.len() {
+                    test_lines[line] = !region_depths.is_empty();
+                }
+            }
+            b'#' if code[i..].starts_with("#[cfg(test)]") => {
+                armed = true;
+                // The attribute line itself counts as test code.
+                test_lines[line] = true;
+                i += "#[cfg(test)]".len();
+                continue;
+            }
+            b'{' => {
+                depth += 1;
+                if armed {
+                    region_depths.push(depth);
+                    armed = false;
+                }
+            }
+            b'}' => {
+                if region_depths.last() == Some(&depth) {
+                    region_depths.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            // An item ends without braces: `#[cfg(test)] use ...;`
+            b';' if armed && region_depths.is_empty() => {
+                armed = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    test_lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"unwrap()\"; // unwrap() here\nx.unwrap();\n";
+        let s = scan(src);
+        assert!(!s.code.contains("unwrap()\""));
+        assert!(s.code_line(2).contains(".unwrap()"));
+        assert!(!s.code_line(1).contains("unwrap"));
+        assert!(s.comment_line(1).contains("unwrap() here"));
+        assert!(!s.comment_line(1).contains("let x"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let y = r#\"panic!(\"no\")\"#;\npanic!(\"yes\");\n";
+        let s = scan(src);
+        assert!(!s.code_line(1).contains("panic!"));
+        assert!(s.code_line(2).contains("panic!"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ still comment */ code()\n";
+        let s = scan(src);
+        assert!(s.code_line(1).contains("code()"));
+        assert!(!s.code_line(1).contains("still"));
+        assert!(s.comment_line(1).contains("still comment"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\nlet q = '\\'';\n";
+        let s = scan(src);
+        assert!(s.code_line(1).contains("&'a str"));
+        assert!(s.code_line(2).contains("let c ="));
+        assert!(s.code_line(3).contains("let q ="));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let s = scan(src);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(2));
+        assert!(s.is_test_line(4));
+        assert!(!s.is_test_line(6));
+    }
+
+    #[test]
+    fn line_geometry() {
+        let src = "abc\ndef\n";
+        let s = scan(src);
+        assert_eq!(s.line_count(), 2);
+        assert_eq!(s.line_of(0), 1);
+        assert_eq!(s.line_of(4), 2);
+        assert_eq!(s.col_of(5), 2);
+        assert_eq!(s.code_line(2), "def");
+    }
+}

@@ -1,0 +1,25 @@
+//! `explicit-atomic-ordering` fixture.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn missing_ordering(c: &AtomicU64, order: Ordering) {
+    let _ = c.load(order);
+}
+
+fn bare_relaxed(c: &AtomicU64) {
+    let _ = c.load(Ordering::Relaxed);
+}
+
+fn justified_relaxed(c: &AtomicU64) {
+    // monotone statistics counter; readers tolerate staleness
+    let _ = c.load(Ordering::Relaxed);
+}
+
+fn explicit(c: &AtomicU64) {
+    c.store(1, Ordering::Release);
+    let _ = c.load(Ordering::Acquire);
+}
+
+fn accessor_not_atomic(s: &Store) {
+    let _ = s.store();
+}

@@ -1,0 +1,20 @@
+//! `bounded-channel-only` fixture.
+
+use std::sync::mpsc;
+
+fn fires() {
+    let (_tx, _rx) = mpsc::channel::<u32>();
+}
+
+fn fires_unit() {
+    let (_tx, _rx): (mpsc::Sender<()>, mpsc::Receiver<()>) = mpsc::channel();
+}
+
+fn bounded_is_fine(cap: usize) {
+    let (_tx, _rx) = mpsc::sync_channel::<u32>(cap);
+}
+
+fn suppressed() {
+    // lint:allow(bounded-channel-only): fixture demonstrates suppression
+    let (_tx, _rx) = mpsc::channel::<u8>();
+}

@@ -1,0 +1,22 @@
+//! `no-float-eq` fixture.
+
+fn fires(x: f64) -> bool {
+    x == 0.5
+}
+
+fn fires_constant(x: f64) -> bool {
+    x != f64::NAN
+}
+
+fn suppressed(x: f64) -> bool {
+    // lint:allow(no-float-eq): exact sentinel comparison
+    x == 0.0
+}
+
+fn integers_are_fine(n: usize) -> bool {
+    n == 0 && n != 3
+}
+
+fn ranges_are_fine(n: usize) -> bool {
+    matches!(n, 0..=9)
+}

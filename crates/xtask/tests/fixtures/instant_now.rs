@@ -1,0 +1,16 @@
+//! `no-instant-now-in-hot-path` fixture.
+
+use std::time::Instant;
+
+fn fires() -> Instant {
+    Instant::now()
+}
+
+fn suppressed() -> Instant {
+    // lint:allow(no-instant-now-in-hot-path): fixture timing layer
+    Instant::now()
+}
+
+fn trap() {
+    let _doc = "Instant::now() in a string";
+}

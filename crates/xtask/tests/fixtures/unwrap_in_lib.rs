@@ -1,0 +1,25 @@
+//! `no-unwrap-in-lib` fixture: firing sites, a suppression, and traps.
+
+fn fires() {
+    let v: Option<u32> = None;
+    let _a = v.unwrap();
+    let _b = v.expect("boom");
+    panic!("kaboom");
+}
+
+fn suppressed() {
+    // lint:allow(no-unwrap-in-lib): fixture demonstrates a justified site
+    let _ = Some(1).unwrap();
+}
+
+fn traps() {
+    let _s = "calling .unwrap() inside a string literal";
+    // .unwrap() inside a comment
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_code_is_exempt() {
+        let _ = Some(2).unwrap();
+    }
+}

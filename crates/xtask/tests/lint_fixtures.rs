@@ -1,0 +1,121 @@
+//! Integration tests of the lint engine over the fixture corpus in
+//! `tests/fixtures/`, plus the workspace self-lint gate.
+//!
+//! The fixtures are plain text to the engine — they are never compiled
+//! (files in a `tests/` subdirectory are not test targets) and
+//! [`xtask::classify`] excludes them from workspace walks, so each one
+//! can freely contain the exact constructs the rules reject.
+
+use std::path::{Path, PathBuf};
+use xtask::rules::FileClass;
+use xtask::{classify, lint_source_at, lint_workspace};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lints one fixture under `class`, returning `(line, rule)` pairs.
+fn lint_fixture(name: &str, class: FileClass) -> Vec<(usize, String)> {
+    let path = fixture_dir().join(name);
+    let source = std::fs::read_to_string(&path).unwrap();
+    lint_source_at(Path::new(name), &source, class)
+        .unwrap()
+        .into_iter()
+        .map(|f| (f.finding.line, f.finding.rule.to_string()))
+        .collect()
+}
+
+fn all(rule: &str, lines: &[usize]) -> Vec<(usize, String)> {
+    lines.iter().map(|&l| (l, rule.to_string())).collect()
+}
+
+#[test]
+fn unwrap_fixture() {
+    // Three firing sites; the suppressed call, both traps (string and
+    // comment), and the `#[cfg(test)]` module stay silent.
+    assert_eq!(
+        lint_fixture("unwrap_in_lib.rs", FileClass::CoreLib),
+        all("no-unwrap-in-lib", &[5, 6, 7])
+    );
+    // The rule only applies to library code.
+    assert!(lint_fixture("unwrap_in_lib.rs", FileClass::Tooling).is_empty());
+    assert!(lint_fixture("unwrap_in_lib.rs", FileClass::TestCode).is_empty());
+}
+
+#[test]
+fn atomic_ordering_fixture() {
+    // Line 6: atomic op whose arguments never name an Ordering.
+    // Line 10: bare `Ordering::Relaxed` with no justification comment.
+    // The justified Relaxed, the explicit Release/Acquire pair, and the
+    // argument-less `.store()` accessor stay silent.
+    assert_eq!(
+        lint_fixture("atomic_ordering.rs", FileClass::CoreLib),
+        all("explicit-atomic-ordering", &[6, 10])
+    );
+    // Tooling code is held to the same standard (only tests are exempt).
+    assert_eq!(
+        lint_fixture("atomic_ordering.rs", FileClass::Tooling),
+        all("explicit-atomic-ordering", &[6, 10])
+    );
+    assert!(lint_fixture("atomic_ordering.rs", FileClass::TestCode).is_empty());
+}
+
+#[test]
+fn float_eq_fixture() {
+    // Line 4: `== 0.5` literal. Line 8: `!= f64::NAN` constant path.
+    // The suppressed comparison, integer comparisons, and `..=` ranges
+    // stay silent.
+    assert_eq!(
+        lint_fixture("float_eq.rs", FileClass::CoreLib),
+        all("no-float-eq", &[4, 8])
+    );
+    assert!(lint_fixture("float_eq.rs", FileClass::TestCode).is_empty());
+}
+
+#[test]
+fn instant_now_fixture() {
+    assert_eq!(
+        lint_fixture("instant_now.rs", FileClass::CoreLib),
+        all("no-instant-now-in-hot-path", &[6])
+    );
+    // Timing restrictions only bind the library crates.
+    assert!(lint_fixture("instant_now.rs", FileClass::Tooling).is_empty());
+}
+
+#[test]
+fn channels_fixture() {
+    // Turbofish and plain unbounded constructors fire; `sync_channel`
+    // and the suppressed call stay silent.
+    assert_eq!(
+        lint_fixture("channels.rs", FileClass::CoreLib),
+        all("bounded-channel-only", &[6, 10])
+    );
+    assert!(lint_fixture("channels.rs", FileClass::Tooling).is_empty());
+}
+
+#[test]
+fn fixtures_are_excluded_from_workspace_walks() {
+    assert_eq!(
+        classify(Path::new("crates/xtask/tests/fixtures/unwrap_in_lib.rs")),
+        None
+    );
+}
+
+/// The workspace itself must lint clean — the same gate CI enforces via
+/// `cargo xtask lint`.
+#[test]
+fn workspace_self_lint_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").is_file(), "bad root {root:?}");
+    let findings = lint_workspace(&root).unwrap();
+    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -23,6 +23,22 @@ out="${2:-BENCH_matching.json}"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 
+# A snapshot is only comparable if it describes a committed tree: refuse
+# to run with uncommitted changes so a capture can always be traced back
+# to one commit. ALLOW_DIRTY=1 overrides for local experimentation (the
+# capture is then marked dirty in the JSON label line below).
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if [[ -n "$(git status --porcelain 2>/dev/null)" ]]; then
+    if [[ "${ALLOW_DIRTY:-0}" != "1" ]]; then
+        echo "error: working tree is dirty; commit first so the snapshot is" >&2
+        echo "       attributable to one commit, or rerun with ALLOW_DIRTY=1" >&2
+        git status --porcelain >&2
+        exit 1
+    fi
+    commit="$commit-dirty"
+fi
+echo "== snapshotting at commit $commit (label: $label) =="
+
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -33,10 +49,10 @@ echo "== running matching + distances benches =="
 CRITERION_SNAPSHOT="$raw" cargo bench -p tsm-bench --bench matching
 CRITERION_SNAPSHOT="$raw" cargo bench -p tsm-bench --bench distances
 
-python3 - "$raw" "$out" "$label" <<'EOF'
+python3 - "$raw" "$out" "$label" "$commit" <<'EOF'
 import json, sys, datetime
 
-raw_path, out_path, label = sys.argv[1], sys.argv[2], sys.argv[3]
+raw_path, out_path, label, commit = sys.argv[1:5]
 results = {}
 with open(raw_path) as fh:
     for line in fh:
@@ -50,6 +66,7 @@ doc = {
     "captured": datetime.datetime.now(datetime.timezone.utc)
     .strftime("%Y-%m-%dT%H:%M:%SZ"),
     "label": label,
+    "commit": commit,
     "results": dict(sorted(results.items())),
 }
 
@@ -75,16 +92,17 @@ pipeline_raw="$(mktemp)"
 trap 'rm -f "$raw" "$pipeline_raw"' EXIT
 cargo run --release -p tsm-bench --bin exp_pipeline -- --json "$pipeline_raw"
 
-python3 - "$pipeline_raw" BENCH_pipeline.json "$label" <<'EOF'
+python3 - "$pipeline_raw" BENCH_pipeline.json "$label" "$commit" <<'EOF'
 import json, sys, datetime
 
-raw_path, out_path, label = sys.argv[1], sys.argv[2], sys.argv[3]
+raw_path, out_path, label, commit = sys.argv[1:5]
 with open(raw_path) as fh:
     doc = json.load(fh)
 doc["captured"] = datetime.datetime.now(datetime.timezone.utc).strftime(
     "%Y-%m-%dT%H:%M:%SZ"
 )
 doc["label"] = label
+doc["commit"] = commit
 
 # Same merge discipline as BENCH_matching.json: one capture per label.
 try:

@@ -1,0 +1,691 @@
+//! Deterministic schedule checker for small concurrent protocols.
+//!
+//! Offline stand-in for [`loom`](https://crates.io/crates/loom), shaped
+//! for this workspace's needs: a model is a handful of threads, each a
+//! straight-line (optionally branching) program over shared atomic
+//! locations and thread-local registers. [`Model::check`] exhaustively
+//! enumerates every interleaving of the threads' atomic operations *and*
+//! every value each relaxed load is allowed to observe under a
+//! C11-style release/acquire memory model, evaluating embedded
+//! assertions in each execution.
+//!
+//! Unlike loom, no real threads run: the checker is a depth-first search
+//! over explicit program states, so results are bit-for-bit
+//! deterministic and exhaustive for the modelled schedules.
+//!
+//! # Memory model
+//!
+//! Each shared location carries its full *modification order* — the
+//! sequence of stores executed against it, oldest first. Each thread
+//! carries a *view*: for every location, the index of the latest store
+//! in that location's modification order which the thread is aware of
+//! (via program order or acquired synchronisation).
+//!
+//! * A **store** appends to the modification order. A `Release` store
+//!   additionally attaches a snapshot of the storing thread's view.
+//! * A **load** may observe *any* store at or after the loading
+//!   thread's view of that location (coherence: it can never read a
+//!   store it already knows to be overwritten). An `Acquire` load that
+//!   observes a `Release` store joins the attached view into its own —
+//!   this is the happens-before edge.
+//! * A **read-modify-write** (`fetch_add`) always observes the *latest*
+//!   store (C11 atomicity), and continues a release sequence: if the
+//!   store it replaces carried a release view, the new store carries it
+//!   too (joined with the RMW thread's own view when the RMW is itself
+//!   `Release`).
+//!
+//! This is a sound under-approximation of C11 for the patterns the
+//! workspace uses (message passing, version counters, counter flushes):
+//! every interleaving explored corresponds to a real execution, and the
+//! classic stale-read bugs (publish with `Relaxed`, consume without
+//! `Acquire`) are all representable and caught.
+//!
+//! # Example: the message-passing litmus test
+//!
+//! ```
+//! use schedcheck::{Model, Ordering, Thread};
+//!
+//! let mut m = Model::new();
+//! let data = m.loc("DATA");
+//! let flag = m.loc("FLAG");
+//!
+//! let mut writer = Thread::new("writer");
+//! writer.store(data, Ordering::Relaxed, |_| 1);
+//! writer.store(flag, Ordering::Release, |_| 1);
+//! m.add(writer);
+//!
+//! let mut reader = Thread::new("reader");
+//! reader.load(flag, Ordering::Acquire, 0);
+//! reader.load(data, Ordering::Relaxed, 1);
+//! reader.assert_that("flag=1 implies data=1", |r| r[0] == 0 || r[1] == 1);
+//! m.add(reader);
+//!
+//! let report = m.check();
+//! assert!(report.violation.is_none());
+//! assert!(report.executions > 1);
+//! ```
+//!
+//! Demote the `Release`/`Acquire` pair to `Relaxed` and the same model
+//! reports a violation with the offending schedule.
+
+/// Memory orderings understood by the checker.
+///
+/// `SeqCst` is intentionally absent: the workspace's protocols are
+/// specified in terms of release/acquire pairs, and modelling them at
+/// that strength keeps the checker honest about what the code relies on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ordering {
+    /// No synchronisation; only coherence is guaranteed.
+    Relaxed,
+    /// Load half of a synchronises-with edge.
+    Acquire,
+    /// Store half of a synchronises-with edge.
+    Release,
+    /// Both halves, for read-modify-write operations.
+    AcqRel,
+}
+
+impl Ordering {
+    fn acquires(self) -> bool {
+        matches!(self, Ordering::Acquire | Ordering::AcqRel)
+    }
+    fn releases(self) -> bool {
+        matches!(self, Ordering::Release | Ordering::AcqRel)
+    }
+}
+
+/// Number of thread-local registers available to each thread.
+pub const REGS: usize = 8;
+
+/// Values stored in locations and registers.
+pub type Val = u64;
+
+/// Register file of one modelled thread.
+pub type Regs = [Val; REGS];
+
+/// A shared atomic location, created by [`Model::loc`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Loc(usize);
+
+type Expr = Box<dyn Fn(&Regs) -> Val>;
+type Pred = Box<dyn Fn(&Regs) -> bool>;
+
+enum Step {
+    Load {
+        loc: Loc,
+        ord: Ordering,
+        dst: usize,
+    },
+    Store {
+        loc: Loc,
+        ord: Ordering,
+        val: Expr,
+    },
+    FetchAdd {
+        loc: Loc,
+        ord: Ordering,
+        add: Expr,
+        dst: usize,
+    },
+    Local(Box<dyn Fn(&mut Regs)>),
+    Assert {
+        name: String,
+        pred: Pred,
+    },
+    IfElse {
+        pred: Pred,
+        then_branch: Vec<Step>,
+        else_branch: Vec<Step>,
+    },
+}
+
+/// A straight-line (optionally branching) program over shared locations
+/// and [`REGS`] thread-local registers, all initially zero.
+pub struct Thread {
+    name: String,
+    steps: Vec<Step>,
+}
+
+impl Thread {
+    /// Creates an empty thread program named `name` (used in traces).
+    pub fn new(name: &str) -> Self {
+        Thread {
+            name: name.to_string(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Atomic load of `loc` into register `dst`.
+    pub fn load(&mut self, loc: Loc, ord: Ordering, dst: usize) -> &mut Self {
+        self.steps.push(Step::Load { loc, ord, dst });
+        self
+    }
+
+    /// Atomic store to `loc` of the value computed from the registers.
+    pub fn store(
+        &mut self,
+        loc: Loc,
+        ord: Ordering,
+        val: impl Fn(&Regs) -> Val + 'static,
+    ) -> &mut Self {
+        self.steps.push(Step::Store {
+            loc,
+            ord,
+            val: Box::new(val),
+        });
+        self
+    }
+
+    /// Atomic `fetch_add`; the *previous* value lands in register `dst`.
+    pub fn fetch_add(
+        &mut self,
+        loc: Loc,
+        ord: Ordering,
+        dst: usize,
+        add: impl Fn(&Regs) -> Val + 'static,
+    ) -> &mut Self {
+        self.steps.push(Step::FetchAdd {
+            loc,
+            ord,
+            add: Box::new(add),
+            dst,
+        });
+        self
+    }
+
+    /// Arbitrary register-only computation; never a scheduling point.
+    pub fn local(&mut self, f: impl Fn(&mut Regs) + 'static) -> &mut Self {
+        self.steps.push(Step::Local(Box::new(f)));
+        self
+    }
+
+    /// Asserts `pred` over the registers; a `false` result in any
+    /// execution is reported as a [`Violation`].
+    pub fn assert_that(&mut self, name: &str, pred: impl Fn(&Regs) -> bool + 'static) -> &mut Self {
+        self.steps.push(Step::Assert {
+            name: name.to_string(),
+            pred: Box::new(pred),
+        });
+        self
+    }
+
+    /// Branches on a register predicate. Build the two arms with the
+    /// provided closures; either may be left empty.
+    pub fn if_else(
+        &mut self,
+        pred: impl Fn(&Regs) -> bool + 'static,
+        then_build: impl FnOnce(&mut Thread),
+        else_build: impl FnOnce(&mut Thread),
+    ) -> &mut Self {
+        let mut then_t = Thread::new("");
+        then_build(&mut then_t);
+        let mut else_t = Thread::new("");
+        else_build(&mut else_t);
+        self.steps.push(Step::IfElse {
+            pred: Box::new(pred),
+            then_branch: then_t.steps,
+            else_branch: else_t.steps,
+        });
+        self
+    }
+}
+
+/// One store in a location's modification order.
+#[derive(Clone)]
+struct StoreEvt {
+    value: Val,
+    /// View attached by a releasing store (or inherited along a release
+    /// sequence); acquired by acquire loads that observe this store.
+    rel: Option<Vec<usize>>,
+}
+
+#[derive(Clone)]
+struct ThreadState {
+    regs: Regs,
+    view: Vec<usize>,
+    /// Stack of executing step slices as (base pointer, len, pc):
+    /// the thread's top-level program plus any entered branch arms.
+    /// Raw pointers keep the state cheaply `Clone`; they are stable
+    /// because `Model::check` borrows the step storage immutably for
+    /// its whole run.
+    frames: Vec<(*const Step, usize, usize)>,
+}
+
+/// A failed assertion, with the interleaving that produced it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Name of the failed assertion.
+    pub assertion: String,
+    /// Human-readable schedule: one line per atomic operation, in
+    /// execution order.
+    pub trace: Vec<String>,
+}
+
+/// Result of [`Model::check`].
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Number of complete executions explored.
+    pub executions: u64,
+    /// First assertion failure found, if any.
+    pub violation: Option<Violation>,
+    /// True if the search stopped early at [`Model::max_executions`];
+    /// a passing report with `capped == true` is *not* exhaustive.
+    pub capped: bool,
+}
+
+/// A checkable model: shared locations plus thread programs.
+pub struct Model {
+    loc_names: Vec<String>,
+    threads: Vec<Thread>,
+    max_executions: u64,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Model {
+            loc_names: Vec::new(),
+            threads: Vec::new(),
+            max_executions: 5_000_000,
+        }
+    }
+
+    /// Declares a shared atomic location, initial value `0`.
+    pub fn loc(&mut self, name: &str) -> Loc {
+        self.loc_names.push(name.to_string());
+        Loc(self.loc_names.len() - 1)
+    }
+
+    /// Adds a thread program to the model.
+    pub fn add(&mut self, thread: Thread) {
+        self.threads.push(thread);
+    }
+
+    /// Caps the number of executions explored (default five million).
+    pub fn max_executions(&mut self, cap: u64) -> &mut Self {
+        self.max_executions = cap;
+        self
+    }
+
+    /// Exhaustively explores every interleaving and every permitted
+    /// relaxed-read, returning the first violation found (if any).
+    pub fn check(&self) -> Report {
+        let nlocs = self.loc_names.len();
+        let mut state = State {
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadState {
+                    regs: [0; REGS],
+                    view: vec![0; nlocs],
+                    frames: vec![(t.steps.as_ptr(), t.steps.len(), 0)],
+                })
+                .collect(),
+            mem: vec![
+                vec![StoreEvt {
+                    value: 0,
+                    rel: None
+                }];
+                nlocs
+            ],
+        };
+        let mut report = Report::default();
+        let mut trace = Vec::new();
+        self.explore(&mut state, &mut trace, &mut report);
+        report
+    }
+
+    fn explore(&self, state: &mut State, trace: &mut Vec<String>, report: &mut Report) {
+        if report.violation.is_some() || report.capped {
+            return;
+        }
+        // Run every thread's local/branch/assert steps to quiescence:
+        // they touch only registers, so they commute with every other
+        // thread and are not scheduling points.
+        if let Err(v) = self.settle(state, trace) {
+            report.violation = Some(v);
+            return;
+        }
+        let runnable: Vec<usize> = (0..state.threads.len())
+            .filter(|&t| next_step(&state.threads[t]).is_some())
+            .collect();
+        if runnable.is_empty() {
+            report.executions += 1;
+            if report.executions >= self.max_executions {
+                report.capped = true;
+            }
+            return;
+        }
+        for t in runnable {
+            // SAFETY of the raw pointer scheme: `self.threads` is
+            // borrowed immutably for the whole `check` call, so the
+            // step storage never moves.
+            let step = next_step(&state.threads[t]).expect("runnable thread has a next step");
+            match step {
+                Step::Load { loc, ord, dst } => {
+                    let lo = state.threads[t].view[loc.0];
+                    let hi = state.mem[loc.0].len();
+                    for i in lo..hi {
+                        let mut s = state.clone();
+                        let evt = s.mem[loc.0][i].clone();
+                        let ts = &mut s.threads[t];
+                        ts.regs[*dst] = evt.value;
+                        ts.view[loc.0] = i;
+                        if ord.acquires() {
+                            if let Some(rel) = &evt.rel {
+                                join(&mut ts.view, rel);
+                            }
+                        }
+                        advance(ts);
+                        trace.push(format!(
+                            "{}: r{} = {}.load({:?}) -> {} [store #{i}]",
+                            self.threads[t].name, dst, self.loc_names[loc.0], ord, evt.value
+                        ));
+                        self.explore(&mut s, trace, report);
+                        trace.pop();
+                        if report.violation.is_some() || report.capped {
+                            return;
+                        }
+                    }
+                }
+                Step::Store { loc, ord, val } => {
+                    let mut s = state.clone();
+                    let v = val(&s.threads[t].regs);
+                    let idx = s.mem[loc.0].len();
+                    let ts = &mut s.threads[t];
+                    ts.view[loc.0] = idx;
+                    let rel = if ord.releases() {
+                        Some(ts.view.clone())
+                    } else {
+                        None
+                    };
+                    s.mem[loc.0].push(StoreEvt { value: v, rel });
+                    advance(&mut s.threads[t]);
+                    trace.push(format!(
+                        "{}: {}.store({v}, {:?})",
+                        self.threads[t].name, self.loc_names[loc.0], ord
+                    ));
+                    self.explore(&mut s, trace, report);
+                    trace.pop();
+                    if report.violation.is_some() || report.capped {
+                        return;
+                    }
+                }
+                Step::FetchAdd { loc, ord, add, dst } => {
+                    let mut s = state.clone();
+                    let idx = s.mem[loc.0].len() - 1;
+                    let evt = s.mem[loc.0][idx].clone();
+                    let ts = &mut s.threads[t];
+                    ts.regs[*dst] = evt.value;
+                    ts.view[loc.0] = idx;
+                    if ord.acquires() {
+                        if let Some(rel) = &evt.rel {
+                            join(&mut ts.view, rel);
+                        }
+                    }
+                    let new_val = evt.value.wrapping_add(add(&ts.regs));
+                    let new_idx = idx + 1;
+                    ts.view[loc.0] = new_idx;
+                    // Release sequence: an RMW inherits the release view
+                    // of the store it replaces, and contributes its own
+                    // view when it is itself releasing.
+                    let rel = match (&evt.rel, ord.releases()) {
+                        (Some(prev), true) => {
+                            let mut merged = ts.view.clone();
+                            join(&mut merged, prev);
+                            Some(merged)
+                        }
+                        (Some(prev), false) => Some(prev.clone()),
+                        (None, true) => Some(ts.view.clone()),
+                        (None, false) => None,
+                    };
+                    s.mem[loc.0].push(StoreEvt {
+                        value: new_val,
+                        rel,
+                    });
+                    advance(&mut s.threads[t]);
+                    trace.push(format!(
+                        "{}: r{} = {}.fetch_add(.., {:?}) -> {} (now {})",
+                        self.threads[t].name, dst, self.loc_names[loc.0], ord, evt.value, new_val
+                    ));
+                    self.explore(&mut s, trace, report);
+                    trace.pop();
+                    if report.violation.is_some() || report.capped {
+                        return;
+                    }
+                }
+                // `settle` consumed these already.
+                Step::Local(_) | Step::Assert { .. } | Step::IfElse { .. } => {
+                    unreachable!("non-atomic step survived settle")
+                }
+            }
+        }
+    }
+
+    /// Executes every pending non-atomic step in every thread.
+    fn settle(&self, state: &mut State, trace: &[String]) -> Result<(), Violation> {
+        loop {
+            let mut progressed = false;
+            for t in 0..state.threads.len() {
+                while let Some(step) = next_step(&state.threads[t]) {
+                    match step {
+                        Step::Local(f) => {
+                            f(&mut state.threads[t].regs);
+                            advance(&mut state.threads[t]);
+                        }
+                        Step::Assert { name, pred } => {
+                            if !pred(&state.threads[t].regs) {
+                                return Err(Violation {
+                                    assertion: format!("{} [{}]", name, self.threads[t].name),
+                                    trace: trace.to_vec(),
+                                });
+                            }
+                            advance(&mut state.threads[t]);
+                        }
+                        Step::IfElse {
+                            pred,
+                            then_branch,
+                            else_branch,
+                        } => {
+                            let arm = if pred(&state.threads[t].regs) {
+                                then_branch
+                            } else {
+                                else_branch
+                            };
+                            let (ptr, len) = (arm.as_ptr(), arm.len());
+                            advance(&mut state.threads[t]);
+                            if len > 0 {
+                                state.threads[t].frames.push((ptr, len, 0));
+                            }
+                        }
+                        _ => break,
+                    }
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[derive(Clone)]
+struct State {
+    threads: Vec<ThreadState>,
+    mem: Vec<Vec<StoreEvt>>,
+}
+
+/// Returns the step the thread would execute next, popping exhausted
+/// frames. `None` means the thread has finished.
+fn next_step(ts: &ThreadState) -> Option<&'static Step> {
+    for &(ptr, len, pc) in ts.frames.iter().rev() {
+        if pc < len {
+            // SAFETY: `ptr` points into the `Model`'s step storage,
+            // immutably borrowed for the duration of `check`; the
+            // 'static lifetime is a private fiction bounded by that
+            // borrow (this function is not exported).
+            return Some(unsafe { &*ptr.add(pc) });
+        }
+    }
+    None
+}
+
+/// Advances the thread's program counter past the step just executed.
+fn advance(ts: &mut ThreadState) {
+    while let Some(&(_, len, pc)) = ts.frames.last() {
+        if pc < len {
+            let last = ts.frames.last_mut().expect("frame just observed");
+            last.2 += 1;
+            return;
+        }
+        ts.frames.pop();
+    }
+}
+
+fn join(view: &mut [usize], other: &[usize]) {
+    for (v, o) in view.iter_mut().zip(other) {
+        if *o > *v {
+            *v = *o;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Message passing with release/acquire: no stale read possible.
+    #[test]
+    fn mp_release_acquire_passes() {
+        let mut m = Model::new();
+        let data = m.loc("DATA");
+        let flag = m.loc("FLAG");
+        let mut w = Thread::new("writer");
+        w.store(data, Ordering::Relaxed, |_| 1);
+        w.store(flag, Ordering::Release, |_| 1);
+        m.add(w);
+        let mut r = Thread::new("reader");
+        r.load(flag, Ordering::Acquire, 0);
+        r.load(data, Ordering::Relaxed, 1);
+        r.assert_that("flag=1 implies data=1", |r| r[0] == 0 || r[1] == 1);
+        m.add(r);
+        let rep = m.check();
+        assert!(rep.violation.is_none(), "{:?}", rep.violation);
+        assert!(!rep.capped);
+        assert!(rep.executions >= 3);
+    }
+
+    /// The same test with a relaxed publish is caught.
+    #[test]
+    fn mp_relaxed_fails() {
+        let mut m = Model::new();
+        let data = m.loc("DATA");
+        let flag = m.loc("FLAG");
+        let mut w = Thread::new("writer");
+        w.store(data, Ordering::Relaxed, |_| 1);
+        w.store(flag, Ordering::Relaxed, |_| 1);
+        m.add(w);
+        let mut r = Thread::new("reader");
+        r.load(flag, Ordering::Acquire, 0);
+        r.load(data, Ordering::Relaxed, 1);
+        r.assert_that("flag=1 implies data=1", |r| r[0] == 0 || r[1] == 1);
+        m.add(r);
+        let rep = m.check();
+        let v = rep.violation.expect("relaxed MP must fail");
+        assert!(v.assertion.contains("flag=1 implies data=1"));
+        assert!(!v.trace.is_empty());
+    }
+
+    /// fetch_add observes the latest store and sums are exact.
+    #[test]
+    fn fetch_add_is_atomic() {
+        let mut m = Model::new();
+        let ctr = m.loc("CTR");
+        for name in ["a", "b", "c"] {
+            let mut t = Thread::new(name);
+            t.fetch_add(ctr, Ordering::Relaxed, 0, |_| 1);
+            m.add(t);
+        }
+        let mut obs = Thread::new("obs");
+        obs.fetch_add(ctr, Ordering::Relaxed, 0, |_| 0);
+        // After its own RMW the observer has seen the latest value,
+        // which can be anywhere from 0 to 3 depending on schedule.
+        obs.assert_that("count within bounds", |r| r[0] <= 3);
+        m.add(obs);
+        let rep = m.check();
+        assert!(rep.violation.is_none(), "{:?}", rep.violation);
+    }
+
+    /// Release sequence: a relaxed RMW between the release store and the
+    /// acquire load still transfers the release view.
+    #[test]
+    fn release_sequence_through_rmw() {
+        let mut m = Model::new();
+        let data = m.loc("DATA");
+        let flag = m.loc("FLAG");
+        let mut w = Thread::new("writer");
+        w.store(data, Ordering::Relaxed, |_| 7);
+        w.store(flag, Ordering::Release, |_| 1);
+        m.add(w);
+        let mut bump = Thread::new("bump");
+        bump.fetch_add(flag, Ordering::Relaxed, 0, |_| 1);
+        m.add(bump);
+        // flag reaches 2 only when the RMW lands on top of the release
+        // store, so reading 2 must transfer the writer's view; reading
+        // 1 may be the pre-release RMW and promises nothing.
+        let mut r = Thread::new("reader");
+        r.load(flag, Ordering::Acquire, 0);
+        r.load(data, Ordering::Relaxed, 1);
+        r.assert_that("flag=2 implies data=7", |r| r[0] != 2 || r[1] == 7);
+        m.add(r);
+        let rep = m.check();
+        assert!(rep.violation.is_none(), "{:?}", rep.violation);
+    }
+
+    /// Branching: only the taken arm executes.
+    #[test]
+    fn if_else_branches() {
+        let mut m = Model::new();
+        let x = m.loc("X");
+        let mut t = Thread::new("t");
+        t.load(x, Ordering::Relaxed, 0);
+        t.if_else(
+            |r| r[0] == 0,
+            |then| {
+                then.local(|r| r[1] = 10);
+            },
+            |els| {
+                els.local(|r| r[1] = 20);
+            },
+        );
+        t.assert_that("took then-arm", |r| r[1] == 10);
+        m.add(t);
+        let rep = m.check();
+        assert!(rep.violation.is_none(), "{:?}", rep.violation);
+        assert_eq!(rep.executions, 1);
+    }
+
+    /// The execution cap is honoured and reported.
+    #[test]
+    fn cap_is_reported() {
+        let mut m = Model::new();
+        let x = m.loc("X");
+        for name in ["a", "b", "c"] {
+            let mut t = Thread::new(name);
+            t.store(x, Ordering::Relaxed, |_| 1);
+            t.store(x, Ordering::Relaxed, |_| 2);
+            m.add(t);
+        }
+        m.max_executions(2);
+        let rep = m.check();
+        assert!(rep.capped);
+        assert!(rep.executions <= 2);
+    }
+}
