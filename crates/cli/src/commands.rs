@@ -6,18 +6,18 @@ use tsm_core::cluster::{k_medoids, silhouette};
 use tsm_core::correlate::discover_correlations;
 use tsm_core::index_cache::CachedMatcher;
 use tsm_core::matcher::{Matcher, QuerySubseq, SearchOptions};
-use tsm_core::metrics::MetricsRegistry;
+use tsm_core::metrics::{Counter, MetricsRegistry};
 use tsm_core::patient_distance::patient_distance_matrix;
 use tsm_core::pipeline::OnlinePredictor;
-use tsm_core::session::{CohortRuntime, SessionSpec};
+use tsm_core::session::{CohortRuntime, SessionHealth, SessionSpec};
 use tsm_core::stream_distance::StreamDistanceConfig;
 use tsm_core::Params;
 use tsm_db::{
-    load_store_from_path, save_store_to_path, PatientAttributes, PatientId, StreamId, StreamStore,
-    SubseqRef,
+    load_store_from_path, salvage_store_from_path, save_store_to_path, PatientAttributes,
+    PatientId, StreamId, StreamStore, SubseqRef,
 };
 use tsm_model::{segment_signal, PlrTrajectory, SegmenterConfig};
-use tsm_signal::{CohortConfig, SyntheticCohort};
+use tsm_signal::{CohortConfig, FaultInjector, FaultPlan, SyntheticCohort};
 
 /// Prints usage.
 pub fn help() {
@@ -37,18 +37,48 @@ USAGE:
                [--seed X] [--delta D]  replay a fresh session, report error
   tsm replay   --store FILE --sessions N [--threads T] [--duration SECS]
                [--dt SECS] [--every K] [--seed X] [--metrics [FILE]]
+               [--faults SEED|PLANFILE]
                                        replay N concurrent sessions against
                                        one shared store, report throughput
                                        (--metrics dumps an instrumentation
-                                       snapshot to FILE, or stdout)
+                                       snapshot to FILE, or stdout;
+                                       --faults runs each session through
+                                       the deterministic fault injector)
+  tsm chaos    [--plans N] [--seed X] [--duration SECS] [--threads T]
+                                       robustness soak: N fault-injected
+                                       sessions must degrade gracefully,
+                                       recover, and reconcile metrics
   tsm cluster  --store FILE [--k K]    cluster patients, find correlations
-  tsm help                             this message"
+  tsm help                             this message
+
+Store-reading commands accept --salvage to recover the valid prefix of a
+truncated or corrupted store file instead of refusing to load it."
     );
 }
 
 fn load(args: &Args) -> Result<StreamStore, String> {
+    load_with_metrics(args, &MetricsRegistry::disabled())
+}
+
+/// Loads `--store`, strictly by default. With `--salvage`, a damaged
+/// file yields its valid prefix instead of an error, the recovery report
+/// goes to stderr, and the salvage counters are recorded.
+fn load_with_metrics(args: &Args, metrics: &MetricsRegistry) -> Result<StreamStore, String> {
     let path = args.require("store")?;
-    load_store_from_path(&path).map_err(|e| format!("{path}: {e}"))
+    if args.bool_flag("salvage") {
+        let (store, report) = salvage_store_from_path(&path).map_err(|e| format!("{path}: {e}"))?;
+        metrics.incr(Counter::SalvageLoads);
+        metrics.add(
+            Counter::SalvageStreamsRecovered,
+            report.streams_recovered as u64,
+        );
+        metrics.add(Counter::SalvageStreamsLost, report.streams_lost() as u64);
+        eprintln!("{path}: {report}");
+        Ok(store)
+    } else {
+        load_store_from_path(&path)
+            .map_err(|e| format!("{path}: {e} (--salvage recovers the valid prefix)"))
+    }
 }
 
 /// The metrics registry a command should record into: enabled iff
@@ -344,8 +374,25 @@ pub fn predict(args: &Args) -> Result<(), String> {
 /// `tsm replay` — drives N concurrent simulated sessions against one
 /// shared store through the cohort runtime and reports per-session and
 /// aggregate prediction throughput.
+/// The fault schedule `--faults` asked for, for session slot `i`:
+/// a number seeds a fresh random plan per session (`seed + i`), anything
+/// else is a plan file applied identically to every session.
+fn fault_plan(spec: &str, i: usize) -> Result<FaultPlan, String> {
+    if let Ok(seed) = spec.parse::<u64>() {
+        return Ok(FaultPlan::random(seed + i as u64));
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| format!("--faults {spec}: {e}"))?;
+    FaultPlan::parse(&text).map_err(|e| format!("--faults {spec}: {e}"))
+}
+
+/// `tsm replay` — drives N concurrent simulated sessions against one
+/// shared store through the cohort runtime and reports per-session and
+/// aggregate prediction throughput. With `--faults SEED|PLANFILE` each
+/// session's sample stream runs through the deterministic fault injector
+/// first, exercising the degradation path end to end.
 pub fn replay(args: &Args) -> Result<(), String> {
-    let store = load(args)?;
+    let metrics = metrics_registry(args);
+    let store = load_with_metrics(args, &metrics)?;
     let sessions = args.num_flag("sessions", 4usize)?;
     if sessions == 0 {
         return Err("--sessions must be at least 1".into());
@@ -358,6 +405,7 @@ pub fn replay(args: &Args) -> Result<(), String> {
     let dt = args.num_flag("dt", 0.3f64)?;
     let every = args.num_flag("every", 30usize)?;
     let seed = args.num_flag("seed", 12345u64)?;
+    let faults = args.flags.get("faults").filter(|v| !v.is_empty());
     let patients = store.patients();
     if patients.is_empty() {
         return Err("store has no patients".into());
@@ -381,16 +429,22 @@ pub fn replay(args: &Args) -> Result<(), String> {
                 seed + i as u64,
             )
             .with_noise(tsm_signal::NoiseParams::typical());
-            SessionSpec {
+            let mut samples = generator.generate(duration);
+            if let Some(spec) = faults {
+                samples = match fault_plan(spec, i) {
+                    Ok(plan) => FaultInjector::new(&plan).apply(&samples),
+                    Err(e) => return Err(e),
+                };
+            }
+            Ok(SessionSpec {
                 patient,
                 session: next_session,
-                samples: generator.generate(duration),
-            }
+                samples,
+            })
         })
-        .collect();
+        .collect::<Result<_, String>>()?;
 
     let shared = store.into_shared();
-    let metrics = metrics_registry(args);
     let engine = Arc::new(CachedMatcher::new(
         Matcher::new(shared, Params::default()).with_metrics(metrics.clone()),
     ));
@@ -399,19 +453,25 @@ pub fn replay(args: &Args) -> Result<(), String> {
         .with_cadence(every)
         .with_threads(threads);
     eprintln!(
-        "replaying {sessions} sessions x {duration:.0}s on {threads} threads (one shared store) ..."
+        "replaying {sessions} sessions x {duration:.0}s on {threads} threads (one shared store){} ...",
+        if faults.is_some() { " with fault injection" } else { "" }
     );
     let report = runtime.replay(&specs);
 
-    println!("session   patient   predictions   ticks   vertices");
+    println!(
+        "session   patient   predictions   ticks   vertices   health       resyncs   absorbed"
+    );
     for r in &report.sessions {
         println!(
-            "{:>7}   {:>7}   {:>11}   {:>5}   {:>8}",
+            "{:>7}   {:>7}   {:>11}   {:>5}   {:>8}   {:<10}   {:>7}   {:>8}",
             r.session,
             r.patient.to_string(),
             r.predictions(),
             r.ticks.len(),
-            r.vertices
+            r.vertices,
+            format!("{:?}", r.health),
+            r.resyncs,
+            r.recovered_faults
         );
     }
     for r in &report.sessions {
@@ -425,8 +485,121 @@ pub fn replay(args: &Args) -> Result<(), String> {
         report.wall.as_secs_f64(),
         report.predictions_per_sec()
     );
+    if report.total_recovered_faults() > 0 || report.fatal_sessions() > 0 {
+        println!(
+            "faults: {} absorbed, {} degraded-but-complete sessions, {} fatal",
+            report.total_recovered_faults(),
+            report.degraded_sessions(),
+            report.fatal_sessions()
+        );
+    }
     emit_metrics(args, &metrics)?;
     Ok(())
+}
+
+/// `tsm chaos` — a self-contained robustness soak: builds a synthetic
+/// store, replays N sessions each corrupted by a distinct seeded
+/// [`FaultPlan`], and verifies end-to-end graceful degradation — no
+/// panic, no fatal error from a recoverable fault, every faulted session
+/// back to Healthy, and the metrics ledger reconciling.
+pub fn chaos(args: &Args) -> Result<(), String> {
+    let plans = args.num_flag("plans", 8usize)?;
+    if plans == 0 {
+        return Err("--plans must be at least 1".into());
+    }
+    let seed = args.num_flag("seed", 0xC4A05u64)?;
+    let duration = args.num_flag("duration", 60.0f64)?;
+    let threads = args.num_flag("threads", plans.min(8))?;
+
+    // A small in-memory reference store for the sessions to match
+    // against (the soak needs no file on disk).
+    let store = StreamStore::new();
+    let seg = SegmenterConfig::default();
+    for p in 0..4u64 {
+        let pid = store.add_patient(PatientAttributes::new());
+        let mut generator =
+            tsm_signal::SignalGenerator::new(tsm_signal::BreathingParams::default(), seed ^ p)
+                .with_noise(tsm_signal::NoiseParams::typical());
+        let raw = generator.generate(120.0);
+        let vertices = segment_signal(&raw, seg.clone());
+        if let Ok(plr) = PlrTrajectory::from_vertices(vertices) {
+            store.add_stream(pid, 0, plr, raw.len());
+        }
+    }
+    let patients = store.patients();
+
+    let specs: Vec<SessionSpec> = (0..plans)
+        .map(|i| {
+            let plan = FaultPlan::random(seed + i as u64);
+            eprintln!("plan {i}: {} events", plan.events.len());
+            let mut generator = tsm_signal::SignalGenerator::new(
+                tsm_signal::BreathingParams::default(),
+                seed + 1000 + i as u64,
+            )
+            .with_noise(tsm_signal::NoiseParams::typical());
+            let clean = generator.generate(duration);
+            SessionSpec {
+                patient: patients[i % patients.len()],
+                session: 1,
+                samples: FaultInjector::new(&plan).apply(&clean),
+            }
+        })
+        .collect();
+
+    let metrics = MetricsRegistry::enabled();
+    let params = Params {
+        min_matches: 1,
+        ..Params::default()
+    };
+    let engine = Arc::new(CachedMatcher::new(
+        Matcher::new(store, params).with_metrics(metrics.clone()),
+    ));
+    let runtime = CohortRuntime::with_engine(engine).with_threads(threads.max(1));
+    eprintln!("soaking {plans} faulted sessions x {duration:.0}s on {threads} threads ...");
+    let report = runtime.replay(&specs);
+
+    let mut failures = Vec::new();
+    for (i, r) in report.sessions.iter().enumerate() {
+        let faulted = r.recovered_faults > 0 || r.resyncs > 0;
+        println!(
+            "plan {i}: {:?}, {} resyncs, {} absorbed, {} predictions{}",
+            r.health,
+            r.resyncs,
+            r.recovered_faults,
+            r.predictions(),
+            match &r.error {
+                Some(e) => format!(", error: {e}"),
+                None => String::new(),
+            }
+        );
+        if let Some(e) = &r.error {
+            failures.push(format!("plan {i}: fatal error from injected faults: {e}"));
+        } else if !r.complete {
+            failures.push(format!("plan {i}: session did not complete"));
+        } else if faulted && r.health != SessionHealth::Healthy {
+            failures.push(format!(
+                "plan {i}: session ended {:?} without recovering",
+                r.health
+            ));
+        }
+    }
+    let snapshot = metrics.snapshot();
+    if let Err(msg) = snapshot.check_invariants() {
+        failures.push(format!("metrics do not reconcile: {msg}"));
+    }
+    println!(
+        "\n{} sessions, {} degraded-but-complete, {} faults absorbed, {} predictions",
+        report.sessions.len(),
+        report.degraded_sessions(),
+        report.total_recovered_faults(),
+        report.total_predictions()
+    );
+    if failures.is_empty() {
+        println!("chaos soak passed");
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
 }
 
 /// `tsm cluster`.

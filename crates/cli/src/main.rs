@@ -8,6 +8,7 @@
 //! tsm match    --store cohort.tsmdb --stream 0 --start 4 --len 9
 //! tsm predict  --store cohort.tsmdb --patient 0 --duration 60 --dt 0.3
 //! tsm replay   --store cohort.tsmdb --sessions 4 --threads 4
+//! tsm chaos    --plans 8 --seed 99                 # fault-injection soak
 //! tsm cluster  --store cohort.tsmdb --k 4
 //! ```
 
@@ -57,6 +58,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "match" => commands::match_cmd(&args),
         "predict" => commands::predict(&args),
         "replay" => commands::replay(&args),
+        "chaos" => commands::chaos(&args),
         "cluster" => commands::cluster(&args),
         "help" | "--help" | "-h" => {
             commands::help();

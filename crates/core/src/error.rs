@@ -24,6 +24,25 @@ pub enum CoreError {
     InsufficientData(String),
     /// Malformed input data (e.g. a non-finite sample at ingest).
     InvalidInput(String),
+    /// A session absorbed more recoverable input faults than its
+    /// degradation policy allows and gave up.
+    FaultBudgetExhausted {
+        /// Recoverable faults absorbed before the budget ran out.
+        absorbed: usize,
+    },
+}
+
+impl CoreError {
+    /// True for faults a session supervisor may absorb and keep
+    /// streaming through (bad input data that degrades one session),
+    /// false for structural errors (bad parameters, missing streams,
+    /// exhausted fault budgets) that retrying cannot fix.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            CoreError::InvalidInput(_) | CoreError::InsufficientData(_)
+        )
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +57,12 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
             CoreError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
             CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CoreError::FaultBudgetExhausted { absorbed } => {
+                write!(
+                    f,
+                    "fault budget exhausted after absorbing {absorbed} recoverable faults"
+                )
+            }
         }
     }
 }
@@ -65,5 +90,17 @@ mod tests {
         assert!(CoreError::UnknownStream(tsm_db::StreamId(7))
             .to_string()
             .contains("S7"));
+        assert!(CoreError::FaultBudgetExhausted { absorbed: 9 }
+            .to_string()
+            .contains('9'));
+    }
+
+    #[test]
+    fn recoverability_classification() {
+        assert!(CoreError::InvalidInput("nan".into()).is_recoverable());
+        assert!(CoreError::InsufficientData("short".into()).is_recoverable());
+        assert!(!CoreError::EmptyQuery.is_recoverable());
+        assert!(!CoreError::InvalidParams("k=0".into()).is_recoverable());
+        assert!(!CoreError::FaultBudgetExhausted { absorbed: 1 }.is_recoverable());
     }
 }

@@ -92,9 +92,9 @@ pub mod prelude {
     pub use crate::predict::{predict_position, predict_position_anchored, AlignMode};
     pub use crate::query::{generate_query, QueryOutcome};
     pub use crate::session::{
-        CohortReport, CohortRuntime, GatingController, PredictionLog, PredictionTick,
-        SessionConfig, SessionConsumer, SessionReport, SessionRuntime, SessionSpec,
-        TrackingController,
+        CohortReport, CohortRuntime, DegradationPolicy, GatingController, PredictionLog,
+        PredictionTick, SessionConfig, SessionConsumer, SessionHealth, SessionReport,
+        SessionRuntime, SessionSpec, TrackingController,
     };
     pub use crate::similarity::{
         offline_distance, online_distance, vertex_weight, QueryCols, WindowCols, WindowScorer,

@@ -10,11 +10,16 @@
 //! loops accumulate into a plain [`SearchTally`] and flush once per
 //! search.
 //!
-//! Two invariants tie the counters together (checked by
+//! Several invariants tie the counters together (checked by
 //! [`MetricsSnapshot::check_invariants`] and the test suite):
 //!
 //! * `match.windows_scored == match.windows_abandoned + match.windows_completed`
 //! * `cache.hits + cache.misses == cache.lookups`
+//! * `session.predictions_served + session.predictions_abstained == session.ticks`
+//! * `session.abstained_unhealthy <= session.predictions_abstained`
+//! * `session.health_recovered <= session.health_recovering <= session.health_degraded`
+//! * `segment.resyncs <= segment.smoother_resets`
+//! * salvage stream counters imply `store.salvage_loads > 0`
 //!
 //! [`MetricsSnapshot`] is a point-in-time copy: diffable (`later.diff
 //! (&earlier)` yields the work done in between) and mergeable across
@@ -84,9 +89,35 @@ pub enum Counter {
     /// High-water mark of events pending in any session channel
     /// (max-merged gauge, see the module docs).
     CohortBacklogHwm,
+    /// Segmenter resyncs triggered by the ingest guard (gap or
+    /// backwards time). Every resync also resets the smoother, so
+    /// `segment.resyncs <= segment.smoother_resets`.
+    SegmenterResyncs,
+    /// Duplicate-timestamp samples dropped by the ingest guard.
+    DuplicatesDropped,
+    /// Distinct stuck-sensor runs detected by the ingest guard.
+    StuckRuns,
+    /// Transitions into `SessionHealth::Degraded`.
+    HealthDegraded,
+    /// Transitions into `SessionHealth::Recovering`.
+    HealthRecovering,
+    /// Transitions back to `SessionHealth::Healthy` after recovery.
+    HealthRecovered,
+    /// Abstentions forced by session health (a subset of
+    /// `session.predictions_abstained`).
+    AbstainedUnhealthy,
+    /// Recoverable per-sample faults the cohort supervisor absorbed
+    /// instead of failing the session.
+    CohortFaultsAbsorbed,
+    /// Store loads that went through the salvage path.
+    SalvageLoads,
+    /// Streams recovered across all salvage loads.
+    SalvageStreamsRecovered,
+    /// Streams lost (expected minus recovered) across salvage loads.
+    SalvageStreamsLost,
 }
 
-const COUNTER_COUNT: usize = Counter::CohortBacklogHwm as usize + 1;
+const COUNTER_COUNT: usize = Counter::SalvageStreamsLost as usize + 1;
 
 const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
     "match.searches",
@@ -112,6 +143,17 @@ const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
     "cohort.sessions",
     "cohort.sessions_failed",
     "cohort.backlog_hwm",
+    "segment.resyncs",
+    "segment.duplicates_dropped",
+    "segment.stuck_runs",
+    "session.health_degraded",
+    "session.health_recovering",
+    "session.health_recovered",
+    "session.abstained_unhealthy",
+    "cohort.faults_absorbed",
+    "store.salvage_loads",
+    "store.salvage_streams_recovered",
+    "store.salvage_streams_lost",
 ];
 
 impl Counter {
@@ -509,6 +551,48 @@ impl MetricsSnapshot {
         if hits + misses != lookups {
             return Err(format!(
                 "cache hits ({hits}) + misses ({misses}) != lookups ({lookups})"
+            ));
+        }
+        let ticks = self.counter("session.ticks");
+        let served = self.counter("session.predictions_served");
+        let abstained = self.counter("session.predictions_abstained");
+        if served + abstained != ticks {
+            return Err(format!(
+                "predictions served ({served}) + abstained ({abstained}) != ticks ({ticks})"
+            ));
+        }
+        let unhealthy = self.counter("session.abstained_unhealthy");
+        if unhealthy > abstained {
+            return Err(format!(
+                "abstained_unhealthy ({unhealthy}) > predictions_abstained ({abstained})"
+            ));
+        }
+        let degraded = self.counter("session.health_degraded");
+        let recovering = self.counter("session.health_recovering");
+        let recovered = self.counter("session.health_recovered");
+        if recovering > degraded {
+            return Err(format!(
+                "health_recovering ({recovering}) > health_degraded ({degraded})"
+            ));
+        }
+        if recovered > recovering {
+            return Err(format!(
+                "health_recovered ({recovered}) > health_recovering ({recovering})"
+            ));
+        }
+        let resyncs = self.counter("segment.resyncs");
+        let smoother_resets = self.counter("segment.smoother_resets");
+        if resyncs > smoother_resets {
+            return Err(format!(
+                "segment resyncs ({resyncs}) > smoother_resets ({smoother_resets})"
+            ));
+        }
+        let salvage_loads = self.counter("store.salvage_loads");
+        let salvaged = self.counter("store.salvage_streams_recovered");
+        let lost = self.counter("store.salvage_streams_lost");
+        if salvage_loads == 0 && salvaged + lost > 0 {
+            return Err(format!(
+                "salvage streams recorded ({salvaged} + {lost}) without a salvage load"
             ));
         }
         Ok(())

@@ -5,8 +5,8 @@
 //! *single* online loop: the tracking system delivers a sample every
 //! 33 ms, the signal is segmented once, and the same evolving PLR drives
 //! motion prediction, respiration gating and beam tracking. A
-//! [`SessionRuntime`] is that loop as a value — it owns one
-//! [`OnlineSegmenter`] pass per live session and fans the resulting
+//! [`SessionRuntime`] is that loop as a value — it owns one guarded
+//! segmenter pass ([`GuardedSegmenter`]) per live session and fans the resulting
 //! vertex and prediction events out to pluggable [`SessionConsumer`]s,
 //! all searching a shared [`SharedStore`] handle through one
 //! [`CachedMatcher`]. A prediction is computed **once** per tick and
@@ -48,7 +48,84 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tsm_db::{PatientId, SharedStore, StreamId, StreamStore};
-use tsm_model::{OnlineSegmenter, PlrTrajectory, Position, Sample, SegmenterConfig, Vertex};
+use tsm_model::{
+    GuardedSegmenter, IngestFlag, IngestGuardConfig, PlrTrajectory, Position, Sample,
+    SegmenterConfig, Vertex,
+};
+
+/// Health of one live session, driven by the ingest guard's flags and
+/// the [`DegradationPolicy`].
+///
+/// ```text
+///           fault (gap, backwards time, duplicate burst,
+///                  stuck run, rejected sample)
+///  Healthy ────────────────────────────────────────▶ Degraded
+///     ▲                                                  │
+///     │ `recovery_predictions` served                    │ `recovery_vertices`
+///     │ predictions                                      │ fresh vertices
+///     └────────────────────────── Recovering ◀───────────┘
+/// ```
+///
+/// While **Degraded**, prediction ticks abstain outright — the
+/// post-discontinuity query is either stale (old epoch) or too short
+/// (new epoch) to trust. While **Recovering**, predictions are computed
+/// and reported, but safety consumers ([`GatingController`]) still fail
+/// safe to beam-hold until the session is Healthy again. Any new fault
+/// drops the session straight back to Degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionHealth {
+    /// Clean stream; predictions served, gating live.
+    Healthy,
+    /// A fault was observed recently; predictions abstain.
+    Degraded,
+    /// Enough fresh data accumulated; predictions serve again but
+    /// gating still holds the beam until recovery completes.
+    Recovering,
+}
+
+/// Thresholds driving the [`SessionHealth`] state machine and the
+/// ingest guard in front of the segmenter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Largest tolerated inter-sample gap (s) before a resync.
+    pub max_gap_s: f64,
+    /// Per-axis position tolerance (mm) for stuck-sensor detection.
+    pub stuck_epsilon_mm: f64,
+    /// Consecutive unchanged samples before a stuck run is flagged.
+    pub stuck_limit: usize,
+    /// Fresh post-fault vertices required to move Degraded → Recovering.
+    pub recovery_vertices: usize,
+    /// Served predictions required to move Recovering → Healthy.
+    pub recovery_predictions: usize,
+    /// Recoverable per-sample faults a cohort supervisor absorbs before
+    /// failing the session with
+    /// [`TsmError::FaultBudgetExhausted`](crate::error::CoreError::FaultBudgetExhausted).
+    pub fault_budget: usize,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            max_gap_s: 1.0,
+            stuck_epsilon_mm: 0.0,
+            stuck_limit: 90,
+            recovery_vertices: 6,
+            recovery_predictions: 3,
+            fault_budget: 64,
+        }
+    }
+}
+
+impl DegradationPolicy {
+    /// The ingest-guard thresholds this policy implies.
+    pub fn ingest_guard(&self) -> IngestGuardConfig {
+        IngestGuardConfig {
+            max_gap_s: self.max_gap_s,
+            stuck_epsilon_mm: self.stuck_epsilon_mm,
+            stuck_limit: self.stuck_limit,
+        }
+    }
+}
 
 /// Static configuration of one live session.
 #[derive(Debug, Clone)]
@@ -69,6 +146,8 @@ pub struct SessionConfig {
     /// automatic ticks (predictions on demand via
     /// [`SessionRuntime::predict`] only).
     pub predict_every: usize,
+    /// Fault-tolerance thresholds (ingest guard + health machine).
+    pub policy: DegradationPolicy,
 }
 
 impl SessionConfig {
@@ -83,6 +162,7 @@ impl SessionConfig {
             options: SearchOptions::default(),
             horizon: 0.3,
             predict_every: 0,
+            policy: DegradationPolicy::default(),
         }
     }
 
@@ -114,6 +194,12 @@ impl SessionConfig {
     /// disables them).
     pub fn with_cadence(mut self, every: usize) -> Self {
         self.predict_every = every;
+        self
+    }
+
+    /// Overrides the fault-tolerance policy.
+    pub fn with_policy(mut self, policy: DegradationPolicy) -> Self {
+        self.policy = policy;
         self
     }
 }
@@ -169,7 +255,7 @@ impl dyn SessionConsumer {
 /// shared-store engine, many consumers.
 pub struct SessionRuntime {
     engine: Arc<CachedMatcher>,
-    segmenter: OnlineSegmenter,
+    segmenter: GuardedSegmenter,
     live: Vec<Vertex>,
     config: SessionConfig,
     consumers: Vec<Box<dyn SessionConsumer>>,
@@ -177,6 +263,19 @@ pub struct SessionRuntime {
     finished: bool,
     /// Smoother resets already flushed to the metrics registry.
     seg_resets_seen: u64,
+    /// Guard resyncs already flushed to the metrics registry.
+    seg_resyncs_seen: u64,
+    /// Current health (see [`SessionHealth`]).
+    health: SessionHealth,
+    /// Index into `live` where the current epoch begins: queries are
+    /// generated only from vertices after the last discontinuity, so a
+    /// resync never leaks old-epoch (differently-clocked) vertices into
+    /// a prediction. Zero on a clean stream.
+    epoch_start: usize,
+    /// Fresh vertices accumulated since the last fault (recovery gate).
+    vertices_since_fault: usize,
+    /// Predictions served while Recovering (recovery gate).
+    served_in_recovery: usize,
 }
 
 impl std::fmt::Debug for SessionRuntime {
@@ -219,7 +318,10 @@ impl SessionRuntime {
             .validate()
             .map_err(TsmError::InvalidParams)?;
         Ok(SessionRuntime {
-            segmenter: OnlineSegmenter::new(config.segmenter.clone()),
+            segmenter: GuardedSegmenter::new(
+                config.segmenter.clone(),
+                config.policy.ingest_guard(),
+            ),
             live: Vec::new(),
             engine,
             config,
@@ -227,6 +329,11 @@ impl SessionRuntime {
             samples_seen: 0,
             finished: false,
             seg_resets_seen: 0,
+            seg_resyncs_seen: 0,
+            health: SessionHealth::Healthy,
+            epoch_start: 0,
+            vertices_since_fault: 0,
+            served_in_recovery: 0,
         })
     }
 
@@ -288,6 +395,35 @@ impl SessionRuntime {
         self.samples_seen
     }
 
+    /// Current session health.
+    pub fn health(&self) -> SessionHealth {
+        self.health
+    }
+
+    /// Segmenter resyncs the ingest guard has triggered so far.
+    pub fn resyncs(&self) -> u64 {
+        // `seg_resyncs_seen` mirrors the segmenter's counter after every
+        // push and — unlike the segmenter, which `finish` swaps out for
+        // a fresh one — survives the end of the session.
+        self.seg_resyncs_seen
+    }
+
+    /// The vertices of the current epoch (since the last stream
+    /// discontinuity) — the only vertices queries are built from.
+    pub fn epoch_vertices(&self) -> &[Vertex] {
+        &self.live[self.epoch_start.min(self.live.len())..]
+    }
+
+    /// Drops the session to Degraded and restarts the recovery gates.
+    fn degrade(&mut self, metrics: &MetricsRegistry) {
+        if self.health != SessionHealth::Degraded {
+            metrics.incr(Counter::HealthDegraded);
+        }
+        self.health = SessionHealth::Degraded;
+        self.vertices_since_fault = 0;
+        self.served_in_recovery = 0;
+    }
+
     /// Feeds one raw sample: segments it, notifies consumers of any
     /// vertices that closed, and — when a prediction cadence is set —
     /// computes the shared prediction tick and fans it out. Returns the
@@ -295,18 +431,47 @@ impl SessionRuntime {
     ///
     /// Non-finite samples (NaN / ±inf) are rejected *before* they can
     /// reach the segmenter, so a corrupt tick never damages the live PLR
-    /// or the shared store.
+    /// or the shared store. Stream faults the ingest guard observes
+    /// (gaps, backwards time, duplicates, stuck runs) degrade the
+    /// session's [`SessionHealth`] instead of erroring: ticks abstain
+    /// until enough fresh data has accumulated, then predictions resume
+    /// and finally gating re-arms. On a clean stream the guard and the
+    /// health machine are inert and the output is bit-identical to the
+    /// unguarded runtime.
     pub fn push(&mut self, s: Sample) -> Result<&[Vertex], TsmError> {
         let metrics = self.engine.metrics().clone();
         let ix = self.samples_seen;
         self.samples_seen += 1;
         let before = self.live.len();
-        let new = self.segmenter.push(s).map_err(|e| {
-            metrics.incr(Counter::SamplesRejected);
-            TsmError::InvalidInput(e.to_string())
-        })?;
-        self.live.extend(new);
-        metrics.incr(Counter::SegmenterSamples);
+        let pushed = match self.segmenter.push(s) {
+            Ok(p) => p,
+            Err(e) => {
+                metrics.incr(Counter::SamplesRejected);
+                self.degrade(&metrics);
+                return Err(TsmError::InvalidInput(e.to_string()));
+            }
+        };
+        let mut duplicate = false;
+        for flag in &pushed.flags {
+            match flag {
+                IngestFlag::DuplicateDropped { .. } => {
+                    duplicate = true;
+                    metrics.incr(Counter::DuplicatesDropped);
+                }
+                IngestFlag::StuckRun { len } if *len == self.config.policy.stuck_limit => {
+                    metrics.incr(Counter::StuckRuns);
+                }
+                _ => {}
+            }
+        }
+        let resynced = pushed.resynced();
+        if !pushed.flags.is_empty() {
+            self.degrade(&metrics);
+        }
+        self.live.extend(pushed.vertices);
+        if !duplicate {
+            metrics.incr(Counter::SegmenterSamples);
+        }
         let emitted = (self.live.len() - before) as u64;
         if emitted > 0 {
             metrics.add(Counter::VerticesEmitted, emitted);
@@ -324,6 +489,25 @@ impl SessionRuntime {
             metrics.add(Counter::SmootherResets, resets - self.seg_resets_seen);
             self.seg_resets_seen = resets;
         }
+        let resyncs = self.segmenter.resyncs();
+        if resyncs > self.seg_resyncs_seen {
+            metrics.add(Counter::SegmenterResyncs, resyncs - self.seg_resyncs_seen);
+            self.seg_resyncs_seen = resyncs;
+        }
+        if resynced {
+            // Vertices flushed by the resync belong to the old epoch;
+            // everything after this point is the new one.
+            self.epoch_start = self.live.len();
+        }
+        if self.health == SessionHealth::Degraded {
+            // Only vertices of the *new* epoch count toward recovery.
+            self.vertices_since_fault += self.live.len() - self.epoch_start.max(before);
+            if self.vertices_since_fault >= self.config.policy.recovery_vertices {
+                self.health = SessionHealth::Recovering;
+                self.served_in_recovery = 0;
+                metrics.incr(Counter::HealthRecovering);
+            }
+        }
         // Take the consumers out so they can borrow `self` read-only.
         let mut consumers = std::mem::take(&mut self.consumers);
         if self.live.len() > before {
@@ -334,9 +518,17 @@ impl SessionRuntime {
         let every = self.config.predict_every;
         if !consumers.is_empty() && every > 0 && ix.is_multiple_of(every) && ix >= every {
             metrics.incr(Counter::SessionTicks);
-            let tick_start = metrics.start();
-            let outcome = self.predict(self.config.horizon);
-            metrics.observe_since(Hist::TickLatency, tick_start);
+            let outcome = if self.health == SessionHealth::Degraded {
+                // The post-fault query is stale or too short to trust:
+                // abstain without searching.
+                metrics.incr(Counter::AbstainedUnhealthy);
+                None
+            } else {
+                let tick_start = metrics.start();
+                let outcome = self.predict(self.config.horizon);
+                metrics.observe_since(Hist::TickLatency, tick_start);
+                outcome
+            };
             metrics.incr(if outcome.is_some() {
                 Counter::PredictionsServed
             } else {
@@ -354,30 +546,43 @@ impl SessionRuntime {
                 c.on_tick(self, &tick);
                 metrics.observe_since(Hist::ConsumerDispatch, dispatch_start);
             }
+            if self.health == SessionHealth::Recovering && tick.outcome.is_some() {
+                self.served_in_recovery += 1;
+                if self.served_in_recovery >= self.config.policy.recovery_predictions {
+                    // Transition *after* dispatch: gating held the beam
+                    // through the tick that completed recovery.
+                    self.health = SessionHealth::Healthy;
+                    metrics.incr(Counter::HealthRecovered);
+                }
+            }
         }
         self.consumers = consumers;
         Ok(&self.live[before..])
     }
 
-    /// Builds the current dynamic query, if the live buffer is long
-    /// enough.
+    /// Builds the current dynamic query, if the current epoch of the
+    /// live buffer is long enough.
     pub fn current_query(&self) -> Option<QuerySubseq> {
-        let outcome = generate_query(&self.live, self.params())?;
+        let epoch = self.epoch_vertices();
+        let outcome = generate_query(epoch, self.params())?;
         Some(
-            QuerySubseq::new(outcome.vertices(&self.live).to_vec())
+            QuerySubseq::new(outcome.vertices(epoch).to_vec())
                 .with_origin(self.config.patient, self.config.session),
         )
     }
 
     /// Predicts the position `dt` seconds after the last closed vertex.
     ///
-    /// Returns `None` until the live buffer holds at least `L_min`
+    /// Returns `None` until the current epoch holds at least `L_min`
     /// segments, or when fewer than `min_matches` similar subsequences
-    /// are found (the paper abstains rather than guess).
+    /// are found (the paper abstains rather than guess). Queries never
+    /// span a stream discontinuity: only vertices after the last resync
+    /// are considered (on a clean stream that is the whole buffer).
     pub fn predict(&self, dt: f64) -> Option<PredictionOutcome> {
         let params = self.params();
-        let outcome = generate_query(&self.live, params)?;
-        let query = QuerySubseq::new(outcome.vertices(&self.live).to_vec())
+        let epoch = self.epoch_vertices();
+        let outcome = generate_query(epoch, params)?;
+        let query = QuerySubseq::new(outcome.vertices(epoch).to_vec())
             .with_origin(self.config.patient, self.config.session);
         let matches = self.engine.find_matches(&query, &self.config.options);
         let position = predict_position(
@@ -407,7 +612,10 @@ impl SessionRuntime {
         // The segmenter's flush consumes it; swap in an idle replacement.
         let segmenter = std::mem::replace(
             &mut self.segmenter,
-            OnlineSegmenter::new(self.config.segmenter.clone()),
+            GuardedSegmenter::new(
+                self.config.segmenter.clone(),
+                self.config.policy.ingest_guard(),
+            ),
         );
         self.live.extend(segmenter.finish());
         let emitted = (self.live.len() - before) as u64;
@@ -499,8 +707,11 @@ impl SessionConsumer for PredictionLog {
 }
 
 /// A gating controller driven by the shared prediction ticks: the beam is
-/// on iff the predicted position lies in the gating window (abstention
-/// keeps the beam off — the safe default), and each decision is scored
+/// on iff the session is [`SessionHealth::Healthy`] *and* the predicted
+/// position lies in the gating window. Abstention keeps the beam off,
+/// and any degraded or still-recovering session fails safe to
+/// beam-hold — a prediction computed across a sensor fault must never
+/// turn the beam on. Each decision is scored
 /// against the ground-truth trajectory at the predicted-for instant with
 /// the same [`GatingAccumulator`] arithmetic as
 /// [`crate::gating::simulate_gating`].
@@ -538,14 +749,16 @@ impl GatingController {
 }
 
 impl SessionConsumer for GatingController {
-    fn on_tick(&mut self, _session: &SessionRuntime, tick: &PredictionTick) {
+    fn on_tick(&mut self, session: &SessionRuntime, tick: &PredictionTick) {
         let Some(target) = tick.target_time else {
             return;
         };
-        let beam = tick
-            .outcome
-            .as_ref()
-            .is_some_and(|o| self.window.contains(o.position[self.axis]));
+        // Fail safe: only a Healthy session may turn the beam on.
+        let beam = session.health() == SessionHealth::Healthy
+            && tick
+                .outcome
+                .as_ref()
+                .is_some_and(|o| self.window.contains(o.position[self.axis]));
         let truth_in = self
             .window
             .contains(self.truth.position_at(target)[self.axis]);
@@ -640,16 +853,30 @@ pub struct SessionReport {
     /// Whether the session ran to completion (`false` only if its worker
     /// died mid-replay; the runtime then re-runs it serially).
     pub complete: bool,
-    /// Why the session terminated early, if it did (e.g. a non-finite
-    /// sample in its input). A failed session is *not* re-run — replaying
-    /// the same poisoned input would fail identically.
-    pub error: Option<String>,
+    /// Why the session terminated early, if it did — a *structured*
+    /// error, so callers can distinguish recoverable input faults
+    /// ([`TsmError::is_recoverable`](crate::error::CoreError::is_recoverable))
+    /// from fatal ones. A failed session is *not* re-run — replaying the
+    /// same poisoned input would fail identically.
+    pub error: Option<TsmError>,
+    /// Final health of the session (Degraded for failed sessions).
+    pub health: SessionHealth,
+    /// Segmenter resyncs the session's ingest guard performed.
+    pub resyncs: u64,
+    /// Recoverable per-sample faults the supervisor absorbed.
+    pub recovered_faults: usize,
 }
 
 impl SessionReport {
     /// Number of ticks with an actual prediction.
     pub fn predictions(&self) -> usize {
         self.ticks.iter().filter(|t| t.outcome.is_some()).count()
+    }
+
+    /// True when the session saw faults (absorbed samples or resyncs)
+    /// yet still ran to completion.
+    pub fn degraded_but_complete(&self) -> bool {
+        self.complete && (self.recovered_faults > 0 || self.resyncs > 0)
     }
 }
 
@@ -683,13 +910,38 @@ impl CohortReport {
             0.0
         }
     }
+
+    /// Sessions that terminated with an error (always fatal — the
+    /// supervisor absorbs recoverable faults).
+    pub fn fatal_sessions(&self) -> usize {
+        self.sessions.iter().filter(|s| s.error.is_some()).count()
+    }
+
+    /// Sessions that hit faults yet completed.
+    pub fn degraded_sessions(&self) -> usize {
+        self.sessions
+            .iter()
+            .filter(|s| s.degraded_but_complete())
+            .count()
+    }
+
+    /// Total recoverable faults absorbed across all sessions.
+    pub fn total_recovered_faults(&self) -> usize {
+        self.sessions.iter().map(|s| s.recovered_faults).sum()
+    }
 }
 
 /// Events a replaying session streams over its per-session channel.
 enum SessionEvent {
     Tick(PredictionTick),
-    Done { vertices: usize, samples: usize },
-    Failed(String),
+    Done {
+        vertices: usize,
+        samples: usize,
+        health: SessionHealth,
+        resyncs: u64,
+        recovered: usize,
+    },
+    Failed(TsmError),
 }
 
 /// Streams each prediction tick into a per-session channel as it happens.
@@ -699,6 +951,9 @@ struct ChannelConsumer {
 
 impl SessionConsumer for ChannelConsumer {
     fn on_tick(&mut self, _session: &SessionRuntime, tick: &PredictionTick) {
+        // lint:allow(no-silent-result-drop): a send fails only when the
+        // collector hung up, and then the whole session report is being
+        // discarded with it — there is nowhere to surface the error.
         let _ = self.tx.send(SessionEvent::Tick(tick.clone()));
     }
 
@@ -721,6 +976,7 @@ pub struct CohortRuntime {
     horizon: f64,
     predict_every: usize,
     threads: usize,
+    policy: DegradationPolicy,
 }
 
 impl std::fmt::Debug for CohortRuntime {
@@ -755,6 +1011,7 @@ impl CohortRuntime {
             horizon: 0.3,
             predict_every: 30,
             threads: 1,
+            policy: DegradationPolicy::default(),
         }
     }
 
@@ -794,6 +1051,12 @@ impl CohortRuntime {
         self
     }
 
+    /// Overrides the degradation policy every session runs under.
+    pub fn with_policy(mut self, policy: DegradationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// The shared matching engine.
     pub fn engine(&self) -> &Arc<CachedMatcher> {
         &self.engine
@@ -828,6 +1091,9 @@ impl CohortRuntime {
                 receivers.push(rx);
                 batches[i % threads].push((i, tx));
             }
+            // lint:allow(no-silent-result-drop): the scope result is Err
+            // only when a worker panicked; incomplete sessions are
+            // detected and re-run serially right below.
             let _ = crossbeam::thread::scope(|scope| {
                 for batch in batches {
                     scope.spawn(move |_| {
@@ -895,22 +1161,49 @@ impl CohortRuntime {
             .with_align(self.align)
             .with_options(self.options.clone())
             .with_horizon(self.horizon)
-            .with_cadence(self.predict_every);
+            .with_cadence(self.predict_every)
+            .with_policy(self.policy);
         // Parameters were validated when the engine was built.
         let Ok(mut runtime) = SessionRuntime::with_engine(self.engine.clone(), config) else {
             return;
         };
         runtime.add_consumer(Box::new(ChannelConsumer { tx: tx.clone() }));
+        // Per-session supervisor: recoverable faults (bad samples) are
+        // absorbed up to the policy's budget — the session degrades and
+        // keeps streaming instead of dying. Fatal errors, and a blown
+        // budget, still terminate the session with a structured error.
+        let mut recovered = 0usize;
         for &s in &spec.samples {
-            if let Err(e) = runtime.push(s) {
-                let _ = tx.send(SessionEvent::Failed(e.to_string()));
-                return;
+            match runtime.push(s) {
+                Ok(_) => {}
+                Err(e) if e.is_recoverable() && recovered < self.policy.fault_budget => {
+                    recovered += 1;
+                    self.engine.metrics().incr(Counter::CohortFaultsAbsorbed);
+                }
+                Err(e) => {
+                    let err = if e.is_recoverable() {
+                        TsmError::FaultBudgetExhausted {
+                            absorbed: recovered,
+                        }
+                    } else {
+                        e
+                    };
+                    // lint:allow(no-silent-result-drop): send fails only
+                    // when the collector hung up — nothing to report to.
+                    let _ = tx.send(SessionEvent::Failed(err));
+                    return;
+                }
             }
         }
         runtime.finish();
+        // lint:allow(no-silent-result-drop): send fails only when the
+        // collector hung up — nothing to report to.
         let _ = tx.send(SessionEvent::Done {
             vertices: runtime.live_vertices().len(),
             samples: runtime.samples_seen(),
+            health: runtime.health(),
+            resyncs: runtime.resyncs(),
+            recovered,
         });
     }
 
@@ -924,16 +1217,31 @@ impl CohortRuntime {
             samples: 0,
             complete: false,
             error: None,
+            health: SessionHealth::Healthy,
+            resyncs: 0,
+            recovered_faults: 0,
         };
         for event in rx {
             match event {
                 SessionEvent::Tick(t) => report.ticks.push(t),
-                SessionEvent::Done { vertices, samples } => {
+                SessionEvent::Done {
+                    vertices,
+                    samples,
+                    health,
+                    resyncs,
+                    recovered,
+                } => {
                     report.vertices = vertices;
                     report.samples = samples;
+                    report.health = health;
+                    report.resyncs = resyncs;
+                    report.recovered_faults = recovered;
                     report.complete = true;
                 }
-                SessionEvent::Failed(msg) => report.error = Some(msg),
+                SessionEvent::Failed(err) => {
+                    report.error = Some(err);
+                    report.health = SessionHealth::Degraded;
+                }
             }
         }
         report
@@ -1176,7 +1484,7 @@ mod tests {
     }
 
     #[test]
-    fn one_poisoned_session_does_not_abort_cohort_replay() {
+    fn one_poisoned_session_is_absorbed_by_the_supervisor() {
         let (store, patient) = seeded_store(34);
         let params = Params {
             min_matches: 1,
@@ -1199,18 +1507,183 @@ mod tests {
                 .with_threads(threads)
                 .replay(&specs);
             assert_eq!(report.sessions.len(), 3);
+            // The bad sample is a *recoverable* fault: the supervisor
+            // absorbs it and the session still runs to completion.
             let bad = &report.sessions[1];
-            assert!(!bad.complete, "threads={threads}");
-            assert!(
-                bad.error.as_deref().unwrap_or("").contains("non-finite"),
-                "threads={threads}: {:?}",
-                bad.error
-            );
+            assert!(bad.complete, "threads={threads}");
+            assert!(bad.error.is_none(), "threads={threads}: {:?}", bad.error);
+            assert_eq!(bad.recovered_faults, 1, "threads={threads}");
+            assert!(bad.degraded_but_complete());
             for r in [&report.sessions[0], &report.sessions[2]] {
                 assert!(r.complete, "threads={threads}");
                 assert!(r.error.is_none());
+                assert_eq!(r.recovered_faults, 0);
                 assert!(r.vertices > 0);
             }
+            assert_eq!(report.fatal_sessions(), 0);
+            assert_eq!(report.degraded_sessions(), 1);
+            assert_eq!(report.total_recovered_faults(), 1);
         }
+    }
+
+    #[test]
+    fn exhausted_fault_budget_fails_with_a_structured_error() {
+        let (store, patient) = seeded_store(36);
+        let params = Params {
+            min_matches: 1,
+            ..Params::default()
+        };
+        let mut samples = live_samples(37, 30.0);
+        let mid = samples.len() / 2;
+        samples[mid] = Sample::new_1d(samples[mid].time, f64::NAN);
+        let specs = [SessionSpec {
+            patient,
+            session: 1,
+            samples,
+        }];
+        let report = CohortRuntime::new(store, params)
+            .unwrap()
+            .with_segmenter(SegmenterConfig::clean())
+            .with_policy(DegradationPolicy {
+                fault_budget: 0,
+                ..DegradationPolicy::default()
+            })
+            .replay(&specs);
+        let bad = &report.sessions[0];
+        assert!(!bad.complete);
+        assert_eq!(
+            bad.error,
+            Some(TsmError::FaultBudgetExhausted { absorbed: 0 })
+        );
+        assert_eq!(bad.health, SessionHealth::Degraded);
+        assert_eq!(report.fatal_sessions(), 1);
+    }
+
+    #[test]
+    fn health_machine_degrades_abstains_and_recovers() {
+        let (store, patient) = seeded_store(38);
+        let params = Params {
+            min_matches: 1,
+            ..Params::default()
+        };
+        let config = SessionConfig::new(patient, 1)
+            .with_segmenter(SegmenterConfig::clean())
+            .with_cadence(30);
+        let mut runtime = SessionRuntime::new(store, params, config)
+            .unwrap()
+            .with_consumer(Box::new(PredictionLog::new()));
+        let samples = live_samples(39, 120.0);
+        let mid = samples.len() / 2;
+        for &s in &samples[..mid] {
+            runtime.push(s).unwrap();
+        }
+        assert_eq!(runtime.health(), SessionHealth::Healthy);
+        let healthy_predictions = runtime.consumer::<PredictionLog>().unwrap().predictions();
+        assert!(healthy_predictions > 0, "warm-up produced no predictions");
+        // A 5 s acquisition dropout: the guard resyncs the segmenter and
+        // the session degrades.
+        let gap = 5.0;
+        let t_resume = samples[mid].time + gap;
+        let mut ticks_while_degraded = 0usize;
+        let mut saw_recovering = false;
+        for (i, &s) in samples[mid..].iter().enumerate() {
+            let shifted = Sample::new_1d(s.time + gap, s.position[0]);
+            runtime.push(shifted).unwrap();
+            match runtime.health() {
+                SessionHealth::Degraded => {
+                    if (mid + i).is_multiple_of(30) {
+                        ticks_while_degraded += 1;
+                    }
+                }
+                SessionHealth::Recovering => saw_recovering = true,
+                SessionHealth::Healthy => {}
+            }
+        }
+        assert_eq!(runtime.resyncs(), 1, "gap must resync exactly once");
+        assert!(saw_recovering, "session never entered Recovering");
+        assert_eq!(
+            runtime.health(),
+            SessionHealth::Healthy,
+            "session did not recover from a transient gap"
+        );
+        assert!(ticks_while_degraded > 0, "gap produced no degraded ticks");
+        // Degraded ticks abstained: outcome is None on each of them.
+        let log = runtime.consumer::<PredictionLog>().unwrap();
+        let degraded_ticks: Vec<_> = log
+            .ticks
+            .iter()
+            .filter(|t| t.time >= t_resume && t.outcome.is_none())
+            .collect();
+        assert!(
+            degraded_ticks.len() >= ticks_while_degraded,
+            "expected >= {ticks_while_degraded} abstaining ticks, got {}",
+            degraded_ticks.len()
+        );
+        // And predictions resumed after recovery.
+        assert!(log.predictions() > healthy_predictions);
+    }
+
+    #[test]
+    fn gating_fails_safe_while_unhealthy() {
+        let (store, patient) = seeded_store(40);
+        let params = Params {
+            min_matches: 1,
+            ..Params::default()
+        };
+        let config = SessionConfig::new(patient, 1)
+            .with_segmenter(SegmenterConfig::clean())
+            .with_cadence(30);
+        let samples = live_samples(41, 120.0);
+        let truth =
+            PlrTrajectory::from_vertices(segment_signal(&samples, SegmenterConfig::clean()))
+                .unwrap();
+        // A window so wide every prediction falls inside it: any beam-off
+        // tick below is the health gate, not the window.
+        let window = GatingWindow {
+            center: 0.0,
+            width: 1e9,
+        };
+        let mut runtime = SessionRuntime::new(store, params, config)
+            .unwrap()
+            .with_consumer(Box::new(GatingController::new(window, 0, truth)));
+        let beam_on = |rt: &SessionRuntime| {
+            rt.consumer::<GatingController>()
+                .unwrap()
+                .decisions()
+                .iter()
+                .filter(|&&b| b)
+                .count()
+        };
+        let ticks_seen =
+            |rt: &SessionRuntime| rt.consumer::<GatingController>().unwrap().decisions().len();
+        let mid = samples.len() / 2;
+        for &s in &samples[..mid] {
+            runtime.push(s).unwrap();
+        }
+        let on_mid = beam_on(&runtime);
+        let ticks_mid = ticks_seen(&runtime);
+        assert!(on_mid > 0, "no beam-on during warm-up");
+        let gap = 5.0;
+        let mut checked_degraded_tick = false;
+        for &s in &samples[mid..] {
+            let shifted = Sample::new_1d(s.time + gap, s.position[0]);
+            runtime.push(shifted).unwrap();
+            if runtime.health() != SessionHealth::Healthy && ticks_seen(&runtime) > ticks_mid {
+                // Every tick since the fault must have held the beam.
+                checked_degraded_tick = true;
+                assert_eq!(
+                    beam_on(&runtime),
+                    on_mid,
+                    "beam fired while session was {:?}",
+                    runtime.health()
+                );
+            }
+        }
+        assert!(
+            checked_degraded_tick,
+            "fault window produced no ticks to check"
+        );
+        // After recovery the beam re-arms.
+        assert!(beam_on(&runtime) > on_mid);
     }
 }

@@ -39,7 +39,10 @@ pub use feature_index::{BandCounts, FeatureEntry, FeatureIndex};
 pub use features::{SegmentFeatures, StreamFeatures};
 pub use ids::{PatientId, StreamId};
 pub use index::StateOrderIndex;
-pub use persist::{load_store, load_store_from_path, save_store, save_store_to_path, PersistError};
+pub use persist::{
+    load_store, load_store_from_path, salvage_store, salvage_store_from_path, save_store,
+    save_store_to_path, PersistError, RecoveryReport,
+};
 pub use stats::{StoreStats, StreamStats};
 pub use store::{PatientAttributes, SharedStore, SourceRelation, StoreError, StreamStore};
 pub use stream::{MotionStream, StreamMeta};

@@ -227,20 +227,73 @@ pub fn save_store<W: Write>(store: &StreamStore, writer: W) -> Result<(), Persis
     Ok(())
 }
 
-/// Deserializes a store from a reader.
-pub fn load_store<R: Read>(reader: R) -> Result<StreamStore, PersistError> {
-    let mut r = CheckedReader::new(BufReader::new(reader));
-    let mut magic = [0u8; 8];
-    r.read(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(PersistError::BadMagic);
-    }
-    let version = r.u32()?;
-    if version != VERSION {
-        return Err(PersistError::UnsupportedVersion(version));
-    }
+/// What a salvage pass ([`salvage_store`]) managed to recover from a
+/// (possibly damaged) store file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// True when the whole file parsed and the checksum verified — the
+    /// salvage was a plain load.
+    pub complete: bool,
+    /// True when the trailing checksum was present and matched.
+    pub checksum_verified: bool,
+    /// Patients recovered.
+    pub patients: usize,
+    /// Streams the file header promised (0 when parsing died before the
+    /// stream count was read).
+    pub streams_expected: usize,
+    /// Streams recovered intact. A stream only counts once *all* of its
+    /// vertices parsed and validated.
+    pub streams_recovered: usize,
+    /// Rendering of the error that stopped parsing, if any.
+    pub failure: Option<String>,
+}
 
-    let store = StreamStore::new();
+impl RecoveryReport {
+    /// Streams the header promised that could not be recovered.
+    pub fn streams_lost(&self) -> usize {
+        self.streams_expected.saturating_sub(self.streams_recovered)
+    }
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.complete {
+            write!(
+                f,
+                "store intact: {} patients, {} streams, checksum verified",
+                self.patients, self.streams_recovered
+            )
+        } else {
+            write!(
+                f,
+                "salvaged {} of {} streams ({} patients, checksum {}){}",
+                self.streams_recovered,
+                self.streams_expected,
+                self.patients,
+                if self.checksum_verified {
+                    "verified"
+                } else {
+                    "unverified"
+                },
+                match &self.failure {
+                    Some(e) => format!("; stopped at: {e}"),
+                    None => String::new(),
+                }
+            )
+        }
+    }
+}
+
+/// The body parse shared by [`load_store`] (strict) and
+/// [`salvage_store`] (best-effort): every fully-validated patient and
+/// stream lands in `store` and is counted in `report` *before* the next
+/// one is attempted, so when this returns an error the store already
+/// holds the recoverable prefix.
+fn parse_body<R: Read>(
+    r: &mut CheckedReader<R>,
+    store: &StreamStore,
+    report: &mut RecoveryReport,
+) -> Result<(), PersistError> {
     let n_patients = r.u32()?;
     if n_patients > 1_000_000 {
         return Err(PersistError::Corrupt(format!(
@@ -259,12 +312,14 @@ pub fn load_store<R: Read>(reader: R) -> Result<StreamStore, PersistError> {
             attrs.insert(k, v);
         }
         store.add_patient(attrs);
+        report.patients += 1;
     }
 
     let n_streams = r.u32()?;
     if n_streams > 100_000_000 {
         return Err(PersistError::Corrupt("implausible stream count".into()));
     }
+    report.streams_expected = n_streams as usize;
     for _ in 0..n_streams {
         let patient = crate::ids::PatientId(r.u32()?);
         if patient.0 as usize >= store.num_patients() {
@@ -298,6 +353,7 @@ pub fn load_store<R: Read>(reader: R) -> Result<StreamStore, PersistError> {
         store
             .try_add_stream(patient, session, plr, raw_len)
             .map_err(|e| PersistError::Corrupt(format!("invalid stream: {e}")))?;
+        report.streams_recovered += 1;
     }
 
     let computed = r.fnv.0;
@@ -310,7 +366,69 @@ pub fn load_store<R: Read>(reader: R) -> Result<StreamStore, PersistError> {
     if computed != stored {
         return Err(PersistError::ChecksumMismatch);
     }
-    Ok(store)
+    report.checksum_verified = true;
+    Ok(())
+}
+
+/// Shared loader core. An unrecognizable header (wrong magic, unknown
+/// version, or an I/O error before the body starts) is a hard error —
+/// there is nothing to salvage. Past the header, a parse failure stops
+/// the body early and is returned alongside the valid prefix.
+#[allow(clippy::type_complexity)]
+fn load_inner<R: Read>(
+    reader: R,
+) -> Result<(StreamStore, RecoveryReport, Option<PersistError>), PersistError> {
+    let mut r = CheckedReader::new(BufReader::new(reader));
+    let mut magic = [0u8; 8];
+    r.read(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let store = StreamStore::new();
+    let mut report = RecoveryReport::default();
+    let failure = parse_body(&mut r, &store, &mut report).err();
+    report.complete = failure.is_none();
+    report.failure = failure.as_ref().map(|e| e.to_string());
+    Ok((store, report, failure))
+}
+
+/// Deserializes a store from a reader, strictly: any truncation,
+/// corruption, or checksum mismatch is an error and no store is
+/// returned. Use [`salvage_store`] to recover what a damaged file still
+/// holds.
+pub fn load_store<R: Read>(reader: R) -> Result<StreamStore, PersistError> {
+    let (store, _report, failure) = load_inner(reader)?;
+    match failure {
+        None => Ok(store),
+        Some(e) => Err(e),
+    }
+}
+
+/// Best-effort load of a (possibly damaged) store file: the valid prefix
+/// of patients and fully-parsed streams is recovered, and the
+/// [`RecoveryReport`] says what was lost and why. Only an unrecognizable
+/// header (wrong magic or unsupported version — nothing to salvage) is
+/// still an error.
+///
+/// The save path is atomic ([`save_store_to_path`]), so a damaged file
+/// normally means external interference (disk fault, partial copy,
+/// manual truncation) — salvage turns "the patient database is gone"
+/// into "the sessions written after the damage point are gone".
+pub fn salvage_store<R: Read>(reader: R) -> Result<(StreamStore, RecoveryReport), PersistError> {
+    let (store, report, _failure) = load_inner(reader)?;
+    Ok((store, report))
+}
+
+/// [`salvage_store`] over a file path.
+pub fn salvage_store_from_path(
+    path: impl AsRef<Path>,
+) -> Result<(StreamStore, RecoveryReport), PersistError> {
+    let f = std::fs::File::open(path)?;
+    salvage_store(f)
 }
 
 /// The sibling temporary path an atomic save writes through: the target
@@ -341,6 +459,8 @@ pub fn save_store_to_path(store: &StreamStore, path: impl AsRef<Path>) -> Result
     };
     let result = write_and_sync().and_then(|()| Ok(std::fs::rename(&tmp, path)?));
     if result.is_err() {
+        // lint:allow(no-silent-result-drop): best-effort cleanup; the
+        // write error already on its way out is the one that matters.
         let _ = std::fs::remove_file(&tmp);
     }
     result

@@ -1,0 +1,400 @@
+//! Gap- and ordering-aware ingest guard in front of [`OnlineSegmenter`].
+//!
+//! The segmenter itself assumes a clean, (near-)monotone 30 Hz stream;
+//! real acquisition hardware delivers gaps, duplicate and out-of-order
+//! timestamps, clock steps, and frozen sensors. [`GuardedSegmenter`]
+//! wraps the segmenter with the stream-hygiene policy:
+//!
+//! * **Exact-duplicate timestamps are dropped** before they reach the
+//!   segmenter — re-delivered packets must not perturb the slope
+//!   window. This makes segmentation *invariant* under duplicate
+//!   delivery (enforced by property test).
+//! * **Backwards time and over-threshold gaps trigger a resync**
+//!   ([`OnlineSegmenter::resync`]): the open segment is flushed, a
+//!   discontinuity is recorded, and the detector restarts on the new
+//!   epoch instead of fitting one garbage segment across the break.
+//! * **Stuck-sensor runs are flagged** once the same position repeats
+//!   beyond a limit chosen to clear the longest natural end-of-exhale
+//!   dwell, so a frozen tracker is reported instead of being mistaken
+//!   for a breath hold.
+//!
+//! Every intervention is reported as an [`IngestFlag`] so the session
+//! layer can drive its health state machine; on a clean stream the
+//! guard is an exact passthrough and the inner segmenter's output is
+//! bit-identical to an unguarded run.
+
+use crate::sample::Sample;
+use crate::segmenter::{NonFiniteSample, OnlineSegmenter, SegmenterConfig};
+use crate::state::BreathState;
+use crate::vertex::Vertex;
+use crate::Position;
+
+/// Thresholds for the ingest guard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestGuardConfig {
+    /// Largest tolerated inter-sample gap in seconds; anything larger
+    /// resyncs the segmenter. At 30 Hz the nominal spacing is ~33 ms,
+    /// so 1 s means ~30 consecutive lost samples.
+    pub max_gap_s: f64,
+    /// Two positions within this distance (per axis, mm) count as "the
+    /// sensor did not move" for stuck detection. Zero means exact
+    /// bit-level repeats only — synthetic and real signals carry noise
+    /// and never repeat exactly, so zero is a safe default.
+    pub stuck_epsilon_mm: f64,
+    /// Consecutive unchanged samples before a stuck run is flagged.
+    /// The default (90 samples = 3 s at 30 Hz) comfortably exceeds the
+    /// longest natural end-of-exhale dwell in the test corpus (~1 s).
+    pub stuck_limit: usize,
+}
+
+impl Default for IngestGuardConfig {
+    fn default() -> Self {
+        IngestGuardConfig {
+            max_gap_s: 1.0,
+            stuck_epsilon_mm: 0.0,
+            stuck_limit: 90,
+        }
+    }
+}
+
+/// One intervention or observation the guard made on the stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestFlag {
+    /// An inter-sample gap exceeded [`IngestGuardConfig::max_gap_s`];
+    /// the segmenter was resynced.
+    GapResync {
+        /// Size of the gap in seconds.
+        gap_s: f64,
+    },
+    /// A sample's time ran backwards; the segmenter was resynced.
+    BackwardsResync {
+        /// How far time regressed, in seconds.
+        delta_s: f64,
+    },
+    /// A sample repeated the previous timestamp exactly and was
+    /// dropped without reaching the segmenter.
+    DuplicateDropped {
+        /// The duplicated timestamp.
+        time: f64,
+    },
+    /// The position has not moved for at least
+    /// [`IngestGuardConfig::stuck_limit`] samples. Emitted on every
+    /// sample while the run persists; `len == stuck_limit` marks the
+    /// start of the run.
+    StuckRun {
+        /// Current length of the unchanged run.
+        len: usize,
+    },
+}
+
+/// The result of pushing one sample through the guard.
+#[derive(Debug, Clone, Default)]
+pub struct GuardedPush {
+    /// Vertices emitted this push — both resync flushes of the old
+    /// epoch and ordinary segment closures.
+    pub vertices: Vec<Vertex>,
+    /// Interventions the guard made (empty on a clean sample).
+    pub flags: Vec<IngestFlag>,
+}
+
+impl GuardedPush {
+    /// True when any flag is a segmenter resync (gap or backwards time).
+    pub fn resynced(&self) -> bool {
+        self.flags.iter().any(|f| {
+            matches!(
+                f,
+                IngestFlag::GapResync { .. } | IngestFlag::BackwardsResync { .. }
+            )
+        })
+    }
+}
+
+/// [`OnlineSegmenter`] behind the stream-hygiene guard.
+#[derive(Debug)]
+pub struct GuardedSegmenter {
+    inner: OnlineSegmenter,
+    guard: IngestGuardConfig,
+    /// Time of the last *accepted* sample.
+    last_time: Option<f64>,
+    /// Position of the last accepted sample (for stuck detection).
+    last_pos: Option<Position>,
+    /// Consecutive accepted samples whose position did not move.
+    stuck_len: usize,
+    /// Timestamps at which an epoch boundary (resync) was recorded.
+    discontinuities: Vec<f64>,
+    duplicates_dropped: u64,
+    stuck_runs: u64,
+}
+
+/// Per-axis closeness test used for stuck detection. `<=` keeps the
+/// zero-epsilon default meaning "bit-exact repeat" without a float
+/// equality.
+fn within(a: Position, b: Position, eps: f64) -> bool {
+    if a.dim() != b.dim() {
+        return false;
+    }
+    (0..a.dim()).all(|k| (a[k] - b[k]).abs() <= eps)
+}
+
+impl GuardedSegmenter {
+    /// Wraps a fresh segmenter built from `config` behind `guard`.
+    pub fn new(config: SegmenterConfig, guard: IngestGuardConfig) -> Self {
+        GuardedSegmenter::wrap(OnlineSegmenter::new(config), guard)
+    }
+
+    /// Wraps an existing segmenter behind `guard`.
+    pub fn wrap(inner: OnlineSegmenter, guard: IngestGuardConfig) -> Self {
+        GuardedSegmenter {
+            inner,
+            guard,
+            last_time: None,
+            last_pos: None,
+            stuck_len: 0,
+            discontinuities: Vec::new(),
+            duplicates_dropped: 0,
+            stuck_runs: 0,
+        }
+    }
+
+    /// Feeds one raw sample through the guard and (usually) on into the
+    /// segmenter. Non-finite samples are rejected exactly as the bare
+    /// segmenter rejects them, leaving all state untouched.
+    pub fn push(&mut self, raw: Sample) -> Result<GuardedPush, NonFiniteSample> {
+        if !raw.time.is_finite() || !raw.position.is_finite() {
+            return Err(NonFiniteSample { time: raw.time });
+        }
+        let mut out = GuardedPush::default();
+        if let Some(last) = self.last_time {
+            if raw.time.total_cmp(&last).is_eq() {
+                // Re-delivered packet: drop before the slope window
+                // sees it. Deliberately not a resync.
+                self.duplicates_dropped += 1;
+                out.flags
+                    .push(IngestFlag::DuplicateDropped { time: raw.time });
+                return Ok(out);
+            }
+            if raw.time < last {
+                out.vertices.extend(self.inner.resync());
+                self.discontinuities.push(raw.time);
+                out.flags.push(IngestFlag::BackwardsResync {
+                    delta_s: last - raw.time,
+                });
+                self.stuck_len = 0;
+            } else if raw.time - last > self.guard.max_gap_s {
+                out.vertices.extend(self.inner.resync());
+                self.discontinuities.push(raw.time);
+                out.flags.push(IngestFlag::GapResync {
+                    gap_s: raw.time - last,
+                });
+                self.stuck_len = 0;
+            }
+        }
+        match self.last_pos {
+            Some(prev) if within(prev, raw.position, self.guard.stuck_epsilon_mm) => {
+                self.stuck_len += 1;
+                if self.stuck_len >= self.guard.stuck_limit && self.guard.stuck_limit > 0 {
+                    if self.stuck_len == self.guard.stuck_limit {
+                        self.stuck_runs += 1;
+                    }
+                    out.flags.push(IngestFlag::StuckRun {
+                        len: self.stuck_len,
+                    });
+                }
+            }
+            _ => self.stuck_len = 0,
+        }
+        self.last_time = Some(raw.time);
+        self.last_pos = Some(raw.position);
+        out.vertices.extend(self.inner.push(raw)?);
+        Ok(out)
+    }
+
+    /// Flushes the inner segmenter at end of stream.
+    pub fn finish(self) -> Vec<Vertex> {
+        self.inner.finish()
+    }
+
+    /// The guard thresholds in use.
+    pub fn guard_config(&self) -> &IngestGuardConfig {
+        &self.guard
+    }
+
+    /// The wrapped segmenter's configuration.
+    pub fn config(&self) -> &SegmenterConfig {
+        self.inner.config()
+    }
+
+    /// Current breathing state of the open segment (see
+    /// [`OnlineSegmenter::current_state`]).
+    pub fn current_state(&self) -> Option<BreathState> {
+        self.inner.current_state()
+    }
+
+    /// Samples the inner segmenter has consumed (duplicates excluded).
+    pub fn samples_seen(&self) -> u64 {
+        self.inner.samples_seen()
+    }
+
+    /// Smoothing-chain resets of the inner segmenter (resyncs included).
+    pub fn smoother_resets(&self) -> u64 {
+        self.inner.smoother_resets()
+    }
+
+    /// Guard-triggered segmenter resyncs.
+    pub fn resyncs(&self) -> u64 {
+        self.inner.resyncs()
+    }
+
+    /// Duplicate-timestamp samples dropped so far.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
+    }
+
+    /// Distinct stuck runs detected so far.
+    pub fn stuck_runs(&self) -> u64 {
+        self.stuck_runs
+    }
+
+    /// Timestamps at which epoch boundaries were recorded.
+    pub fn discontinuities(&self) -> &[f64] {
+        &self.discontinuities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(n: usize, t0: f64) -> Vec<Sample> {
+        (0..n)
+            .map(|i| {
+                let t = t0 + i as f64 / 30.0;
+                Sample::new_1d(t, 6.0 * (2.0 * std::f64::consts::PI * t / 4.0).cos())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_stream_is_bit_identical_to_bare_segmenter() {
+        let samples = wave(900, 0.0);
+        let mut bare = OnlineSegmenter::new(SegmenterConfig::default());
+        let mut guarded =
+            GuardedSegmenter::new(SegmenterConfig::default(), IngestGuardConfig::default());
+        let mut vb = Vec::new();
+        let mut vg = Vec::new();
+        for &s in &samples {
+            vb.extend(bare.push(s).unwrap());
+            let p = guarded.push(s).unwrap();
+            assert!(p.flags.is_empty(), "clean stream raised {:?}", p.flags);
+            vg.extend(p.vertices);
+        }
+        vb.extend(bare.finish());
+        vg.extend(guarded.finish());
+        assert_eq!(vb.len(), vg.len());
+        for (a, b) in vb.iter().zip(&vg) {
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.position[0].to_bits(), b.position[0].to_bits());
+            assert_eq!(a.state, b.state);
+        }
+    }
+
+    #[test]
+    fn duplicates_are_dropped_without_touching_the_segmenter() {
+        let samples = wave(600, 0.0);
+        let cfg = SegmenterConfig::default();
+        let mut clean = GuardedSegmenter::new(cfg.clone(), IngestGuardConfig::default());
+        let mut dirty = GuardedSegmenter::new(cfg, IngestGuardConfig::default());
+        let mut vc = Vec::new();
+        let mut vd = Vec::new();
+        for (i, &s) in samples.iter().enumerate() {
+            vc.extend(clean.push(s).unwrap().vertices);
+            vd.extend(dirty.push(s).unwrap().vertices);
+            if i % 97 == 0 {
+                // Re-deliver the same packet up to twice.
+                let p = dirty.push(s).unwrap();
+                assert!(matches!(p.flags[0], IngestFlag::DuplicateDropped { .. }));
+                assert!(p.vertices.is_empty());
+                vd.extend(dirty.push(s).unwrap().vertices);
+            }
+        }
+        assert!(dirty.duplicates_dropped() > 0);
+        assert_eq!(clean.samples_seen(), dirty.samples_seen());
+        vc.extend(clean.finish());
+        vd.extend(dirty.finish());
+        assert_eq!(vc.len(), vd.len());
+        for (a, b) in vc.iter().zip(&vd) {
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.position[0].to_bits(), b.position[0].to_bits());
+        }
+    }
+
+    #[test]
+    fn gap_triggers_resync_and_records_discontinuity() {
+        let mut g = GuardedSegmenter::new(SegmenterConfig::default(), IngestGuardConfig::default());
+        let mut flagged = None;
+        for &s in wave(300, 0.0).iter().chain(wave(300, 60.0).iter()) {
+            let p = g.push(s).unwrap();
+            if let Some(IngestFlag::GapResync { gap_s }) = p.flags.first() {
+                flagged = Some(*gap_s);
+            }
+        }
+        let gap = flagged.expect("gap was not flagged");
+        assert!(gap > 49.0, "gap {gap}");
+        assert_eq!(g.resyncs(), 1);
+        assert_eq!(g.discontinuities().len(), 1);
+        // The resync also reset the smoothing chain.
+        assert!(g.smoother_resets() >= g.resyncs());
+    }
+
+    #[test]
+    fn backwards_time_triggers_resync() {
+        let mut g = GuardedSegmenter::new(SegmenterConfig::default(), IngestGuardConfig::default());
+        for &s in &wave(300, 0.0) {
+            g.push(s).unwrap();
+        }
+        let p = g.push(Sample::new_1d(2.0, 1.0)).unwrap();
+        assert!(matches!(
+            p.flags.first(),
+            Some(IngestFlag::BackwardsResync { .. })
+        ));
+        assert_eq!(g.resyncs(), 1);
+        // The flush closed the open segment: start + terminal vertex.
+        assert!(!p.vertices.is_empty());
+    }
+
+    #[test]
+    fn stuck_run_is_flagged_once_past_the_limit() {
+        let guard = IngestGuardConfig {
+            stuck_limit: 10,
+            ..IngestGuardConfig::default()
+        };
+        let mut g = GuardedSegmenter::new(SegmenterConfig::default(), guard);
+        for &s in &wave(100, 0.0) {
+            g.push(s).unwrap();
+        }
+        let t0 = 100.0 / 30.0;
+        let mut first_flag_len = None;
+        for i in 0..20 {
+            let p = g.push(Sample::new_1d(t0 + i as f64 / 30.0, 3.25)).unwrap();
+            if let Some(IngestFlag::StuckRun { len }) = p.flags.first() {
+                first_flag_len.get_or_insert(*len);
+            }
+        }
+        assert_eq!(first_flag_len, Some(10));
+        assert_eq!(g.stuck_runs(), 1);
+        // Motion resumes: the run ends and a fresh one can be counted.
+        g.push(Sample::new_1d(t0 + 21.0 / 30.0, 9.0)).unwrap();
+        assert_eq!(g.stuck_runs(), 1);
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_like_the_bare_segmenter() {
+        let mut g = GuardedSegmenter::new(SegmenterConfig::default(), IngestGuardConfig::default());
+        g.push(Sample::new_1d(0.0, 1.0)).unwrap();
+        assert!(g.push(Sample::new_1d(0.5, f64::NAN)).is_err());
+        // The rejected sample did not advance guard state: the next
+        // good sample is not a duplicate and not a gap.
+        let p = g.push(Sample::new_1d(0.6, 1.1)).unwrap();
+        assert!(p.flags.is_empty());
+    }
+}

@@ -44,6 +44,7 @@ pub mod cardiac;
 pub mod csv;
 pub mod cycle;
 pub mod fsa;
+pub mod ingest;
 pub mod plr;
 pub mod position;
 pub mod regression;
@@ -59,6 +60,7 @@ pub mod prelude {
     pub use crate::cardiac::{CardiacCanceller, CardiacCancellerConfig};
     pub use crate::cycle::{BreathingCycle, CycleExtractor};
     pub use crate::fsa::Fsa;
+    pub use crate::ingest::{GuardedPush, GuardedSegmenter, IngestFlag, IngestGuardConfig};
     pub use crate::plr::PlrTrajectory;
     pub use crate::position::Position;
     pub use crate::regression::IncrementalLineFit;

@@ -211,6 +211,9 @@ pub struct OnlineSegmenter {
     /// Times the preprocessing chain was reset after a timestamp
     /// regression (for diagnostics).
     smoother_resets: u64,
+    /// Times [`OnlineSegmenter::resync`] restarted the detector after a
+    /// stream discontinuity.
+    resyncs: u64,
 }
 
 /// A raw sample carried a NaN or infinite time/position and was rejected
@@ -260,6 +263,7 @@ impl OnlineSegmenter {
             samples_seen: 0,
             last_raw_time: None,
             smoother_resets: 0,
+            resyncs: 0,
         }
     }
 
@@ -286,6 +290,54 @@ impl OnlineSegmenter {
     /// timestamp regression.
     pub fn smoother_resets(&self) -> u64 {
         self.smoother_resets
+    }
+
+    /// Times [`OnlineSegmenter::resync`] restarted the detector after a
+    /// stream discontinuity. Every resync also resets the smoothing
+    /// chain, so `resyncs() <= smoother_resets()` always holds.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Restarts segmentation at a stream discontinuity.
+    ///
+    /// Closes the currently open segment exactly as [`finish`] would —
+    /// emitting its start vertex plus a terminal vertex at the last
+    /// sample of the old epoch — then drops every piece of detector
+    /// state (slope window, envelope, FSA context, smoothing chain) so
+    /// the next sample starts a fresh epoch. Without this, a gap or a
+    /// backwards clock step would be averaged across by the smoothing
+    /// filters and fitted into one garbage segment spanning the
+    /// discontinuity.
+    ///
+    /// Returns the flushed vertices (empty when no segment was open).
+    ///
+    /// [`finish`]: OnlineSegmenter::finish
+    pub fn resync(&mut self) -> Vec<Vertex> {
+        if let (Some(start), Some(last)) = (self.seg_start, self.last_sample) {
+            if last.time > start.time {
+                let class = self.current_class.unwrap_or(SlopeClass::Flat);
+                let state = self.close_segment(start, last, class);
+                self.out
+                    .push(Vertex::new(start.time, start.position, state));
+                self.out.push(Vertex::new(last.time, last.position, state));
+            }
+        }
+        self.reset_preprocessing();
+        self.window.clear();
+        self.envelope = Envelope::new(self.config.envelope_tau);
+        self.seg_start = None;
+        self.seg_min = f64::INFINITY;
+        self.seg_max = f64::NEG_INFINITY;
+        self.current_class = None;
+        self.prev_state = None;
+        self.pending_class = None;
+        self.pending_count = 0;
+        self.pending_break = None;
+        self.last_sample = None;
+        self.last_raw_time = None;
+        self.resyncs += 1;
+        std::mem::take(&mut self.out)
     }
 
     /// Feeds one raw sample. Returns the vertices of any segments that this

@@ -265,3 +265,62 @@ proptest! {
         }
     }
 }
+
+fn bit_identical(a: &[Vertex], b: &[Vertex]) -> Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!("vertex counts differ: {} vs {}", a.len(), b.len()));
+    }
+    for (i, (va, vb)) in a.iter().zip(b).enumerate() {
+        if va.time.to_bits() != vb.time.to_bits() || va.state != vb.state {
+            return Err(format!("vertex {i} differs: {va:?} vs {vb:?}"));
+        }
+        for (ca, cb) in va.position.coords().iter().zip(vb.position.coords()) {
+            if ca.to_bits() != cb.to_bits() {
+                return Err(format!("vertex {i} position differs: {va:?} vs {vb:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Exact-duplicate samples are dropped by the ingest guard before they
+    /// reach the smoothing chain, so segmentation through a
+    /// `GuardedSegmenter` is **bit-identical** with and without them —
+    /// whatever the waveform and wherever the duplicates land.
+    #[test]
+    fn guarded_segmentation_is_invariant_under_duplicate_samples(
+        (period, amplitude, duration, seed) in waveform_params(),
+        dup_idx in proptest::collection::vec(0usize..1200, 1..12),
+    ) {
+        let samples = generate(period, amplitude, duration, seed);
+        let dup_at: std::collections::BTreeSet<usize> = dup_idx.into_iter().collect();
+        let mut dupped = Vec::with_capacity(samples.len() + dup_at.len());
+        for (i, &s) in samples.iter().enumerate() {
+            dupped.push(s);
+            if dup_at.contains(&i) {
+                dupped.push(s); // exact copy: same time, same position
+            }
+        }
+        let run = |input: &[Sample]| {
+            let mut seg =
+                GuardedSegmenter::new(SegmenterConfig::clean(), IngestGuardConfig::default());
+            let mut flags = 0usize;
+            for &s in input {
+                flags += seg.push(s).unwrap().flags.len();
+            }
+            (seg.duplicates_dropped(), flags, seg.finish())
+        };
+        let (_, clean_flags, clean) = run(&samples);
+        let (dropped, _, with_dups) = run(&dupped);
+        prop_assert_eq!(clean_flags, 0, "clean input must not raise flags");
+        let n_dups = dupped.len() - samples.len();
+        prop_assert_eq!(dropped as usize, n_dups);
+        if let Err(msg) = bit_identical(&clean, &with_dups) {
+            return Err(TestCaseError::fail(msg));
+        }
+    }
+
+}

@@ -1,0 +1,680 @@
+//! Deterministic fault injection for sample streams.
+//!
+//! Real acquisition hardware never delivers the clean 30 Hz stream the
+//! online pipeline is derived from: trackers drop frames, buffers
+//! re-deliver or reorder packets, clocks step and drift, sensors freeze
+//! or spike, and DMA glitches surface as NaN. This module turns those
+//! failure modes into a *scheduled, reproducible* [`FaultPlan`] that a
+//! [`FaultInjector`] replays over any [`Sample`] source — either as an
+//! iterator adapter ([`FaultInjector::stream`]) or over a batch
+//! ([`FaultInjector::apply`]).
+//!
+//! Two properties are load-bearing for the test suite:
+//!
+//! * **Determinism** — a plan is plain data; the same plan over the same
+//!   input always yields the same output, and [`FaultPlan::random`] is a
+//!   pure function of its `u64` seed.
+//! * **Empty-plan transparency** — an injector built from
+//!   [`FaultPlan::empty`] is an *exact* passthrough: every emitted
+//!   sample is bit-identical to its input (no time arithmetic is
+//!   applied on the no-fault path), so the faulted pipeline can be
+//!   checked for bit-equality against the clean one.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+use tsm_model::{Position, Sample};
+
+/// One scheduled fault, applied when the input stream reaches a given
+/// sample index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Drop the next `samples` input samples entirely (a gap: time keeps
+    /// advancing in the input, so the next delivered sample is late).
+    Dropout {
+        /// Number of consecutive samples to drop.
+        samples: usize,
+    },
+    /// Re-deliver the faulted sample `copies` extra times with an
+    /// identical timestamp (duplicate delivery).
+    Duplicate {
+        /// Extra copies delivered after the original.
+        copies: usize,
+    },
+    /// Delay one sample by `distance` delivery slots, so it arrives
+    /// with a timestamp older than its neighbours.
+    OutOfOrder {
+        /// How many later samples overtake the delayed one.
+        distance: usize,
+    },
+    /// Step the acquisition clock by `offset_s` seconds (positive =
+    /// forward gap, negative = backwards time). The offset persists for
+    /// the rest of the stream.
+    ClockJump {
+        /// Clock step in seconds.
+        offset_s: f64,
+    },
+    /// Scale inter-sample spacing by `factor` for `samples` samples
+    /// (clock drift); any accumulated offset persists afterwards.
+    ClockSkew {
+        /// Spacing multiplier while the skew is active.
+        factor: f64,
+        /// Number of samples the skew lasts.
+        samples: usize,
+    },
+    /// Freeze the reported position at its last value for `samples`
+    /// samples (a stuck sensor).
+    StuckSensor {
+        /// Length of the frozen run.
+        samples: usize,
+    },
+    /// Add `magnitude_mm` to the primary axis for `samples` samples
+    /// (acquisition spikes, paper Figure 3d).
+    SpikeBurst {
+        /// Spike amplitude in millimetres.
+        magnitude_mm: f64,
+        /// Number of consecutive spiked samples.
+        samples: usize,
+    },
+    /// Replace the primary-axis position with NaN for `samples` samples.
+    NanBurst {
+        /// Length of the NaN run.
+        samples: usize,
+    },
+}
+
+impl FaultKind {
+    /// True for zero-duration events that can never alter the stream.
+    fn is_noop(&self) -> bool {
+        match *self {
+            FaultKind::Dropout { samples }
+            | FaultKind::ClockSkew { samples, .. }
+            | FaultKind::StuckSensor { samples }
+            | FaultKind::SpikeBurst { samples, .. }
+            | FaultKind::NanBurst { samples } => samples == 0,
+            FaultKind::Duplicate { copies } => copies == 0,
+            FaultKind::OutOfOrder { distance } => distance == 0,
+            FaultKind::ClockJump { .. } => false,
+        }
+    }
+}
+
+/// A [`FaultKind`] bound to the input-sample index that triggers it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// 0-based index into the *input* stream at which the fault fires.
+    pub at: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A reproducible schedule of faults over a sample stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Scheduled events; [`FaultInjector::new`] sorts them by index.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults — the injector becomes an exact passthrough.
+    pub fn empty() -> Self {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds an event (builder style).
+    pub fn with(mut self, at: usize, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// A randomized but fully seed-determined plan of 3–5 faults.
+    ///
+    /// Events land in input samples 120–900 (4–30 s at 30 Hz) so a
+    /// session of 45 s or more has room to recover before it ends —
+    /// the shape the chaos soak asserts on. Fault magnitudes are drawn
+    /// to *exceed* the default degradation thresholds (gaps > 1 s,
+    /// stuck runs > 3 s) so every plan exercises the resync path.
+    pub fn random(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17_0FA1_7000_0000);
+        let n = rng.random_range(3..=5usize);
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = rng.random_range(120..=900usize);
+            let kind = match rng.random_range(0..8u32) {
+                0 => FaultKind::Dropout {
+                    samples: rng.random_range(35..=90usize),
+                },
+                1 => FaultKind::Duplicate {
+                    copies: rng.random_range(1..=3usize),
+                },
+                2 => FaultKind::OutOfOrder {
+                    distance: rng.random_range(2..=6usize),
+                },
+                3 => {
+                    let magnitude = rng.random_range(1.5..4.0);
+                    FaultKind::ClockJump {
+                        offset_s: if rng.random_bool(0.5) {
+                            magnitude
+                        } else {
+                            -magnitude
+                        },
+                    }
+                }
+                4 => FaultKind::ClockSkew {
+                    factor: rng.random_range(0.6..1.8),
+                    samples: rng.random_range(30..=120usize),
+                },
+                5 => FaultKind::StuckSensor {
+                    samples: rng.random_range(95..=150usize),
+                },
+                6 => FaultKind::SpikeBurst {
+                    magnitude_mm: rng.random_range(5.0..15.0),
+                    samples: rng.random_range(1..=4usize),
+                },
+                _ => FaultKind::NanBurst {
+                    samples: rng.random_range(1..=5usize),
+                },
+            };
+            events.push(FaultEvent { at, kind });
+        }
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events }
+    }
+
+    /// Renders the plan in the line format [`FaultPlan::parse`] reads.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let line = match &e.kind {
+                FaultKind::Dropout { samples } => format!("{} dropout {samples}", e.at),
+                FaultKind::Duplicate { copies } => format!("{} duplicate {copies}", e.at),
+                FaultKind::OutOfOrder { distance } => format!("{} out-of-order {distance}", e.at),
+                FaultKind::ClockJump { offset_s } => format!("{} clock-jump {offset_s}", e.at),
+                FaultKind::ClockSkew { factor, samples } => {
+                    format!("{} clock-skew {factor} {samples}", e.at)
+                }
+                FaultKind::StuckSensor { samples } => format!("{} stuck {samples}", e.at),
+                FaultKind::SpikeBurst {
+                    magnitude_mm,
+                    samples,
+                } => format!("{} spike {magnitude_mm} {samples}", e.at),
+                FaultKind::NanBurst { samples } => format!("{} nan {samples}", e.at),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the plan text format: one event per line,
+    /// `<sample-index> <kind> <args...>`, with `#` comments and blank
+    /// lines ignored. Kinds and arguments mirror [`FaultPlan::render`].
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for (ln, raw_line) in text.lines().enumerate() {
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut tok = line.split_whitespace();
+            let err = |what: &str| format!("fault plan line {}: {what}: {line:?}", ln + 1);
+            let at: usize = tok
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("expected a sample index"))?;
+            let kind_name = tok.next().ok_or_else(|| err("expected a fault kind"))?;
+            let mut num = |what: &str| -> Result<f64, String> {
+                tok.next()
+                    .and_then(|t| t.parse::<f64>().ok())
+                    .filter(|v| v.is_finite())
+                    .ok_or_else(|| err(what))
+            };
+            let count = |v: f64| v.max(0.0) as usize;
+            let kind = match kind_name {
+                "dropout" => FaultKind::Dropout {
+                    samples: count(num("expected a sample count")?),
+                },
+                "duplicate" => FaultKind::Duplicate {
+                    copies: count(num("expected a copy count")?),
+                },
+                "out-of-order" => FaultKind::OutOfOrder {
+                    distance: count(num("expected a distance")?),
+                },
+                "clock-jump" => FaultKind::ClockJump {
+                    offset_s: num("expected an offset in seconds")?,
+                },
+                "clock-skew" => FaultKind::ClockSkew {
+                    factor: num("expected a factor")?,
+                    samples: count(num("expected a sample count")?),
+                },
+                "stuck" => FaultKind::StuckSensor {
+                    samples: count(num("expected a sample count")?),
+                },
+                "spike" => FaultKind::SpikeBurst {
+                    magnitude_mm: num("expected a magnitude in mm")?,
+                    samples: count(num("expected a sample count")?),
+                },
+                "nan" => FaultKind::NanBurst {
+                    samples: count(num("expected a sample count")?),
+                },
+                other => return Err(err(&format!("unknown fault kind {other:?}"))),
+            };
+            if tok.next().is_some() {
+                return Err(err("trailing tokens"));
+            }
+            events.push(FaultEvent { at, kind });
+        }
+        events.sort_by_key(|e| e.at);
+        Ok(FaultPlan { events })
+    }
+}
+
+/// Active clock-skew region: output time is reconstructed from the
+/// anchor so the skew composes with any prior offset.
+#[derive(Debug, Clone)]
+struct SkewState {
+    factor: f64,
+    remaining: usize,
+    anchor_raw: f64,
+    anchor_out: f64,
+}
+
+/// Replays a [`FaultPlan`] over a sample stream.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// Builds an injector; events are sorted by trigger index (stable,
+    /// so same-index events apply in plan order).
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut events: Vec<FaultEvent> = plan
+            .events
+            .iter()
+            .filter(|e| !e.kind.is_noop())
+            .cloned()
+            .collect();
+        events.sort_by_key(|e| e.at);
+        FaultInjector { events }
+    }
+
+    /// Wraps an iterator of samples, injecting the plan's faults.
+    pub fn stream<I: Iterator<Item = Sample>>(&self, inner: I) -> Faulted<I> {
+        Faulted {
+            inner: Some(inner),
+            events: self.events.clone(),
+            next_event: 0,
+            in_ix: 0,
+            out: VecDeque::new(),
+            held: Vec::new(),
+            drop_remaining: 0,
+            dup_pending: 0,
+            hold_distance: None,
+            stuck_remaining: 0,
+            stuck_pos: None,
+            spike_remaining: 0,
+            spike_mm: 0.0,
+            nan_remaining: 0,
+            time_warp: false,
+            offset: 0.0,
+            skew: None,
+            last_pos: None,
+        }
+    }
+
+    /// Applies the plan to a batch of samples.
+    pub fn apply(&self, samples: &[Sample]) -> Vec<Sample> {
+        self.stream(samples.iter().copied()).collect()
+    }
+}
+
+/// Iterator adapter produced by [`FaultInjector::stream`].
+#[derive(Debug)]
+pub struct Faulted<I> {
+    /// Taken once exhausted so held samples flush exactly once.
+    inner: Option<I>,
+    events: Vec<FaultEvent>,
+    next_event: usize,
+    in_ix: usize,
+    out: VecDeque<Sample>,
+    /// Delayed samples, as `(release_after_input_index, sample)`.
+    held: Vec<(usize, Sample)>,
+    drop_remaining: usize,
+    dup_pending: usize,
+    hold_distance: Option<usize>,
+    stuck_remaining: usize,
+    stuck_pos: Option<Position>,
+    spike_remaining: usize,
+    spike_mm: f64,
+    nan_remaining: usize,
+    /// True once any clock fault has fired. Gates *all* time
+    /// arithmetic: while false, output times are the input `f64`s
+    /// untouched, preserving empty-plan bit-identity.
+    time_warp: bool,
+    offset: f64,
+    skew: Option<SkewState>,
+    last_pos: Option<Position>,
+}
+
+/// Returns `p` with `delta` added to its primary axis, preserving
+/// dimensionality.
+fn bump_axis0(p: Position, delta: f64) -> Position {
+    let dim = p.dim();
+    let mut coords = [0.0f64; tsm_model::position::MAX_DIM];
+    for (k, c) in coords.iter_mut().enumerate().take(dim) {
+        *c = p[k];
+    }
+    coords[0] += delta;
+    Position::from_slice(&coords[..dim]).unwrap_or(p)
+}
+
+impl<I: Iterator<Item = Sample>> Faulted<I> {
+    fn activate(&mut self, kind: FaultKind, raw_time: f64) {
+        match kind {
+            FaultKind::Dropout { samples } => self.drop_remaining += samples,
+            FaultKind::Duplicate { copies } => self.dup_pending += copies,
+            FaultKind::OutOfOrder { distance } => self.hold_distance = Some(distance),
+            FaultKind::ClockJump { offset_s } => {
+                match self.skew.as_mut() {
+                    Some(sk) => sk.anchor_out += offset_s,
+                    None => self.offset += offset_s,
+                }
+                self.time_warp = true;
+            }
+            FaultKind::ClockSkew { factor, samples } => {
+                let anchor_out = if self.time_warp {
+                    raw_time + self.offset
+                } else {
+                    raw_time
+                };
+                self.skew = Some(SkewState {
+                    factor,
+                    remaining: samples,
+                    anchor_raw: raw_time,
+                    anchor_out,
+                });
+                self.time_warp = true;
+            }
+            FaultKind::StuckSensor { samples } => {
+                self.stuck_remaining = self.stuck_remaining.max(samples);
+            }
+            FaultKind::SpikeBurst {
+                magnitude_mm,
+                samples,
+            } => {
+                self.spike_mm = magnitude_mm;
+                self.spike_remaining = self.spike_remaining.max(samples);
+            }
+            FaultKind::NanBurst { samples } => {
+                self.nan_remaining = self.nan_remaining.max(samples);
+            }
+        }
+    }
+
+    /// Moves held samples whose release slot has passed into the output
+    /// queue, preserving release order.
+    fn release_held(&mut self, ix: usize) {
+        let mut k = 0;
+        while k < self.held.len() {
+            if self.held[k].0 <= ix {
+                let (_, s) = self.held.remove(k);
+                self.out.push_back(s);
+            } else {
+                k += 1;
+            }
+        }
+    }
+
+    /// Consumes one input sample, queueing zero or more outputs.
+    fn feed(&mut self, raw: Sample) {
+        let ix = self.in_ix;
+        self.in_ix += 1;
+        while self.events.get(self.next_event).is_some_and(|e| e.at <= ix) {
+            let kind = self.events[self.next_event].kind.clone();
+            self.next_event += 1;
+            self.activate(kind, raw.time);
+        }
+        if self.drop_remaining > 0 {
+            self.drop_remaining -= 1;
+            self.release_held(ix);
+            return;
+        }
+        let time = match self.skew.as_mut() {
+            Some(sk) => {
+                let t = sk.anchor_out + (raw.time - sk.anchor_raw) * sk.factor;
+                sk.remaining = sk.remaining.saturating_sub(1);
+                if sk.remaining == 0 {
+                    // The drift's accumulated offset persists.
+                    self.offset = t - raw.time;
+                    self.skew = None;
+                }
+                t
+            }
+            None if self.time_warp => raw.time + self.offset,
+            None => raw.time,
+        };
+        let mut pos = raw.position;
+        if self.stuck_remaining > 0 {
+            let held = *self.stuck_pos.get_or_insert(self.last_pos.unwrap_or(pos));
+            pos = held;
+            self.stuck_remaining -= 1;
+            if self.stuck_remaining == 0 {
+                self.stuck_pos = None;
+            }
+        }
+        if self.spike_remaining > 0 {
+            pos = bump_axis0(pos, self.spike_mm);
+            self.spike_remaining -= 1;
+        }
+        if self.nan_remaining > 0 {
+            pos = bump_axis0(pos, f64::NAN);
+            self.nan_remaining -= 1;
+        }
+        self.last_pos = Some(pos);
+        let sample = Sample {
+            time,
+            position: pos,
+        };
+        match self.hold_distance.take() {
+            Some(distance) => self.held.push((ix + distance, sample)),
+            None => {
+                self.out.push_back(sample);
+                for _ in 0..self.dup_pending {
+                    self.out.push_back(sample);
+                }
+                self.dup_pending = 0;
+            }
+        }
+        self.release_held(ix);
+    }
+}
+
+impl<I: Iterator<Item = Sample>> Iterator for Faulted<I> {
+    type Item = Sample;
+
+    fn next(&mut self) -> Option<Sample> {
+        loop {
+            if let Some(s) = self.out.pop_front() {
+                return Some(s);
+            }
+            let inner = self.inner.as_mut()?;
+            match inner.next() {
+                Some(raw) => self.feed(raw),
+                None => {
+                    // End of input: flush delayed samples in release order.
+                    self.inner = None;
+                    self.held.sort_by_key(|&(release, _)| release);
+                    for (_, s) in self.held.drain(..) {
+                        self.out.push_back(s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<Sample> {
+        (0..n)
+            .map(|i| Sample::new_1d(i as f64 / 30.0, (i as f64 * 0.1).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_passthrough() {
+        let samples = ramp(500);
+        let out = FaultInjector::new(&FaultPlan::empty()).apply(&samples);
+        assert_eq!(out.len(), samples.len());
+        for (a, b) in samples.iter().zip(&out) {
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.position[0].to_bits(), b.position[0].to_bits());
+        }
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let a = FaultPlan::random(42);
+        let b = FaultPlan::random(42);
+        let c = FaultPlan::random(43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!((3..=5).contains(&a.events.len()));
+        let samples = ramp(1200);
+        let inj = FaultInjector::new(&a);
+        assert_eq!(inj.apply(&samples), inj.apply(&samples));
+    }
+
+    #[test]
+    fn dropout_removes_samples_and_leaves_a_gap() {
+        let samples = ramp(100);
+        let plan = FaultPlan::empty().with(10, FaultKind::Dropout { samples: 40 });
+        let out = FaultInjector::new(&plan).apply(&samples);
+        assert_eq!(out.len(), 60);
+        // The sample after the gap is 41 frames later than its neighbour.
+        let gap = out[10].time - out[9].time;
+        assert!(gap > 1.0, "gap was {gap}");
+    }
+
+    #[test]
+    fn duplicate_redelivers_with_identical_timestamp() {
+        let samples = ramp(20);
+        let plan = FaultPlan::empty().with(5, FaultKind::Duplicate { copies: 2 });
+        let out = FaultInjector::new(&plan).apply(&samples);
+        assert_eq!(out.len(), 22);
+        assert_eq!(out[5].time.to_bits(), out[6].time.to_bits());
+        assert_eq!(out[5].time.to_bits(), out[7].time.to_bits());
+    }
+
+    #[test]
+    fn out_of_order_delays_one_sample() {
+        let samples = ramp(20);
+        let plan = FaultPlan::empty().with(5, FaultKind::OutOfOrder { distance: 3 });
+        let out = FaultInjector::new(&plan).apply(&samples);
+        assert_eq!(out.len(), 20);
+        // Sample 5 now arrives after sample 8: backwards time at that slot.
+        let regressions = out.windows(2).filter(|w| w[1].time < w[0].time).count();
+        assert_eq!(regressions, 1);
+    }
+
+    #[test]
+    fn clock_jump_shifts_all_later_timestamps() {
+        let samples = ramp(20);
+        let plan = FaultPlan::empty().with(10, FaultKind::ClockJump { offset_s: -2.5 });
+        let out = FaultInjector::new(&plan).apply(&samples);
+        assert!(out[10].time < out[9].time);
+        assert!((out[19].time - (samples[19].time - 2.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_skew_stretches_spacing_then_offset_persists() {
+        let samples = ramp(100);
+        let plan = FaultPlan::empty().with(
+            10,
+            FaultKind::ClockSkew {
+                factor: 2.0,
+                samples: 30,
+            },
+        );
+        let out = FaultInjector::new(&plan).apply(&samples);
+        let dt_in = samples[12].time - samples[11].time;
+        let dt_skew = out[12].time - out[11].time;
+        assert!((dt_skew - 2.0 * dt_in).abs() < 1e-12);
+        // After the region the spacing returns to normal but the
+        // accumulated offset remains.
+        let dt_after = out[60].time - out[59].time;
+        assert!((dt_after - dt_in).abs() < 1e-12);
+        assert!(out[60].time > samples[60].time);
+    }
+
+    #[test]
+    fn stuck_sensor_freezes_position() {
+        let samples = ramp(40);
+        let plan = FaultPlan::empty().with(10, FaultKind::StuckSensor { samples: 15 });
+        let out = FaultInjector::new(&plan).apply(&samples);
+        // Frozen at the last delivered (pre-fault) position.
+        for s in &out[10..25] {
+            assert_eq!(s.position[0].to_bits(), out[9].position[0].to_bits());
+        }
+        assert_ne!(out[25].position[0].to_bits(), out[9].position[0].to_bits());
+    }
+
+    #[test]
+    fn nan_burst_poisons_positions() {
+        let samples = ramp(20);
+        let plan = FaultPlan::empty().with(5, FaultKind::NanBurst { samples: 3 });
+        let out = FaultInjector::new(&plan).apply(&samples);
+        assert!(out[5].position[0].is_nan());
+        assert!(out[7].position[0].is_nan());
+        assert!(out[8].position[0].is_finite());
+    }
+
+    #[test]
+    fn spike_burst_offsets_axis0() {
+        let samples = ramp(20);
+        let plan = FaultPlan::empty().with(
+            5,
+            FaultKind::SpikeBurst {
+                magnitude_mm: 8.0,
+                samples: 2,
+            },
+        );
+        let out = FaultInjector::new(&plan).apply(&samples);
+        assert!((out[5].position[0] - samples[5].position[0] - 8.0).abs() < 1e-12);
+        assert!((out[7].position[0] - samples[7].position[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let plan = FaultPlan::random(7);
+        let text = plan.render();
+        let back = FaultPlan::parse(&text).unwrap();
+        assert_eq!(plan, back);
+        assert!(FaultPlan::parse("5 dropout").is_err());
+        assert!(FaultPlan::parse("5 wobble 3").is_err());
+        assert!(FaultPlan::parse("# comment\n\n3 dropout 4\n").is_ok());
+    }
+
+    #[test]
+    fn stream_adapter_matches_batch_apply() {
+        let samples = ramp(300);
+        let plan = FaultPlan::random(99);
+        let inj = FaultInjector::new(&plan);
+        let streamed: Vec<Sample> = inj.stream(samples.iter().copied()).collect();
+        let batch = inj.apply(&samples);
+        // Bitwise comparison: NaN bursts make `==` vacuously false.
+        assert_eq!(streamed.len(), batch.len());
+        for (a, b) in streamed.iter().zip(&batch) {
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.position[0].to_bits(), b.position[0].to_bits());
+        }
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod breath;
 pub mod cohort;
+pub mod faults;
 pub mod generalize;
 pub mod irregular;
 pub mod noise;
@@ -37,6 +38,7 @@ pub mod rng;
 
 pub use breath::{BreathingParams, SignalGenerator};
 pub use cohort::{CohortConfig, SyntheticCohort, SyntheticPatient, SyntheticSession};
+pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use irregular::{EpisodeKind, EpisodePlan};
 pub use noise::NoiseParams;
 pub use patient::{PatientProfile, Phenotype, Sex, TumorSite};

@@ -95,3 +95,45 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// An empty `FaultPlan` through the injector is an exact passthrough:
+    /// every sample — and therefore the segmentation downstream — is
+    /// bit-identical to the clean path.
+    #[test]
+    fn empty_fault_plan_is_bit_identical_passthrough(
+        seed in 0u64..10_000,
+        period in 2.6f64..6.0,
+        amplitude in 4.0f64..25.0,
+    ) {
+        let params = BreathingParams {
+            period_s: period,
+            amplitude_mm: amplitude,
+            ..Default::default()
+        };
+        let samples = SignalGenerator::new(params, seed)
+            .with_noise(NoiseParams::typical())
+            .generate(40.0);
+        let injected = tsm_signal::FaultInjector::new(&tsm_signal::FaultPlan::empty())
+            .apply(&samples);
+        prop_assert_eq!(samples.len(), injected.len());
+        for (a, b) in samples.iter().zip(&injected) {
+            prop_assert_eq!(a.time.to_bits(), b.time.to_bits());
+            for (ca, cb) in a.position.coords().iter().zip(b.position.coords()) {
+                prop_assert_eq!(ca.to_bits(), cb.to_bits());
+            }
+        }
+        let clean = segment_signal(&samples, SegmenterConfig::clean());
+        let faulted = segment_signal(&injected, SegmenterConfig::clean());
+        prop_assert_eq!(clean.len(), faulted.len());
+        for (va, vb) in clean.iter().zip(&faulted) {
+            prop_assert_eq!(va.time.to_bits(), vb.time.to_bits());
+            prop_assert_eq!(va.state, vb.state);
+            for (ca, cb) in va.position.coords().iter().zip(vb.position.coords()) {
+                prop_assert_eq!(ca.to_bits(), cb.to_bits());
+            }
+        }
+    }
+}

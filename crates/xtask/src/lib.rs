@@ -11,7 +11,8 @@
 //!   precision layer every rule builds on.
 //! * [`rules`] — the rule registry: `no-unwrap-in-lib`,
 //!   `explicit-atomic-ordering`, `no-float-eq`,
-//!   `no-instant-now-in-hot-path`, `bounded-channel-only`.
+//!   `no-instant-now-in-hot-path`, `bounded-channel-only`,
+//!   `no-silent-result-drop`.
 //! * [`lint_workspace`] / [`lint_file`] — the drivers, walking every
 //!   `.rs` file outside `vendor/`, `target/`, and the lint's own test
 //!   fixtures.

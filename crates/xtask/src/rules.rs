@@ -82,6 +82,11 @@ pub fn all_rules() -> &'static [Rule] {
             description: "no unbounded channel constructors in library code",
             check: bounded_channel_only,
         },
+        Rule {
+            name: "no-silent-result-drop",
+            description: "no `let _ = ...` in library code; handle the value or justify",
+            check: no_silent_result_drop,
+        },
     ]
 }
 
@@ -419,6 +424,41 @@ fn bounded_channel_only(scanned: &ScannedFile, class: FileClass, out: &mut Vec<F
     }
 }
 
+// ---------------------------------------------------------------------------
+// no-silent-result-drop
+// ---------------------------------------------------------------------------
+
+/// `let _ = expr` compiles away a `#[must_use]` warning without a trace
+/// — which is exactly why it must carry a written reason in library
+/// code. An error silently dropped on a fault path is how degradation
+/// stops being graceful.
+fn no_silent_result_drop(scanned: &ScannedFile, class: FileClass, out: &mut Vec<Finding>) {
+    if class != FileClass::CoreLib {
+        return;
+    }
+    for needle in ["let _ =", "let _="] {
+        for (off, _) in scanned.code.match_indices(needle) {
+            // `let` must start a token: don't fire inside identifiers
+            // like `outlet _ =` (contrived, but cheap to rule out).
+            if off > 0 {
+                let prev = scanned.code.as_bytes()[off - 1];
+                if prev.is_ascii_alphanumeric() || prev == b'_' {
+                    continue;
+                }
+            }
+            emit(
+                scanned,
+                out,
+                "no-silent-result-drop",
+                off,
+                "`let _ = ...` silently discards a value in library code; handle it or \
+                 justify with lint:allow"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,5 +537,31 @@ mod tests {
     fn string_and_comment_traps() {
         let src = "fn f() { let s = \"x.unwrap()\"; } // x.unwrap() would panic!\n";
         assert!(findings(src, FileClass::CoreLib).is_empty());
+    }
+
+    #[test]
+    fn silent_result_drop_fires_in_core_lib_only() {
+        let src = "fn f() { let _ = send(); }\n";
+        let hits = findings(src, FileClass::CoreLib);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "no-silent-result-drop");
+        assert!(findings(src, FileClass::Tooling).is_empty());
+        assert!(findings(src, FileClass::TestCode).is_empty());
+    }
+
+    #[test]
+    fn silent_result_drop_variants() {
+        // No-space form fires too; named and typed placeholders do not.
+        assert_eq!(
+            findings("fn f() { let _= g(); }\n", FileClass::CoreLib).len(),
+            1
+        );
+        assert!(findings("fn f() { let _unused = g(); }\n", FileClass::CoreLib).is_empty());
+        assert!(findings("fn f() { let x = g(); }\n", FileClass::CoreLib).is_empty());
+        let suppressed =
+            "fn f() {\n    // lint:allow(no-silent-result-drop): fire-and-forget\n    let _ = send();\n}\n";
+        assert!(findings(suppressed, FileClass::CoreLib).is_empty());
+        let in_string = "fn f() { let s = \"let _ = x\"; }\n";
+        assert!(findings(in_string, FileClass::CoreLib).is_empty());
     }
 }

@@ -3,23 +3,23 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn missing_ordering(c: &AtomicU64, order: Ordering) {
-    let _ = c.load(order);
+    let _v = c.load(order);
 }
 
 fn bare_relaxed(c: &AtomicU64) {
-    let _ = c.load(Ordering::Relaxed);
+    let _v = c.load(Ordering::Relaxed);
 }
 
 fn justified_relaxed(c: &AtomicU64) {
     // monotone statistics counter; readers tolerate staleness
-    let _ = c.load(Ordering::Relaxed);
+    let _v = c.load(Ordering::Relaxed);
 }
 
 fn explicit(c: &AtomicU64) {
     c.store(1, Ordering::Release);
-    let _ = c.load(Ordering::Acquire);
+    let _v = c.load(Ordering::Acquire);
 }
 
 fn accessor_not_atomic(s: &Store) {
-    let _ = s.store();
+    let _v = s.store();
 }

@@ -1,0 +1,30 @@
+//! `no-silent-result-drop` fixture.
+
+fn fires(tx: std::sync::mpsc::SyncSender<u32>) {
+    let _ = tx.send(1);
+}
+
+fn fires_no_space(tx: std::sync::mpsc::SyncSender<u32>) {
+    let _= tx.send(2);
+}
+
+fn named_placeholder_is_fine(tx: std::sync::mpsc::SyncSender<u32>) {
+    let _result = tx.send(3);
+    drop(_result);
+}
+
+fn suppressed(tx: std::sync::mpsc::SyncSender<u32>) {
+    // lint:allow(no-silent-result-drop): fixture demonstrates suppression
+    let _ = tx.send(4);
+}
+
+fn string_trap() {
+    let _s = "let _ = inside a string";
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_code_is_exempt(tx: std::sync::mpsc::SyncSender<u32>) {
+        let _ = tx.send(5);
+    }
+}

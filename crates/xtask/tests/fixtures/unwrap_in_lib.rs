@@ -9,7 +9,7 @@ fn fires() {
 
 fn suppressed() {
     // lint:allow(no-unwrap-in-lib): fixture demonstrates a justified site
-    let _ = Some(1).unwrap();
+    let _one = Some(1).unwrap();
 }
 
 fn traps() {

@@ -94,6 +94,18 @@ fn channels_fixture() {
 }
 
 #[test]
+fn silent_result_drop_fixture() {
+    // Both placeholder forms fire; the named placeholder, the suppressed
+    // drop, the string trap, and the `#[cfg(test)]` module stay silent.
+    assert_eq!(
+        lint_fixture("silent_result_drop.rs", FileClass::CoreLib),
+        all("no-silent-result-drop", &[4, 8])
+    );
+    assert!(lint_fixture("silent_result_drop.rs", FileClass::Tooling).is_empty());
+    assert!(lint_fixture("silent_result_drop.rs", FileClass::TestCode).is_empty());
+}
+
+#[test]
 fn fixtures_are_excluded_from_workspace_walks() {
     assert_eq!(
         classify(Path::new("crates/xtask/tests/fixtures/unwrap_in_lib.rs")),
