@@ -2,6 +2,7 @@
 
 use crate::args::Args;
 use std::sync::Arc;
+use tsm_core::batch::ScoringMode;
 use tsm_core::cluster::{k_medoids, silhouette};
 use tsm_core::correlate::discover_correlations;
 use tsm_core::index_cache::CachedMatcher;
@@ -30,9 +31,12 @@ USAGE:
   tsm info     --store FILE            store statistics
   tsm segment  --csv FILE [--axis N]   segment a time,value CSV signal
   tsm match    --store FILE --stream ID --start I --len L [--delta D]
-               [--threads T] [--k K] [--metrics [FILE]]
+               [--threads T] [--k K] [--scoring auto|scalar|batched]
+               [--metrics [FILE]]
                                        parallel scan when T > 1; --k keeps
-                                       only the K best matches
+                                       only the K best matches; --scoring
+                                       picks the window-scoring tier
+                                       (auto probes once and chooses)
   tsm predict  --store FILE --patient ID [--duration SECS] [--dt SECS]
                [--seed X] [--delta D]  replay a fresh session, report error
   tsm replay   --store FILE --sessions N [--threads T] [--duration SECS]
@@ -276,8 +280,14 @@ pub fn match_cmd(args: &Args) -> Result<(), String> {
     } else {
         None
     };
+    let scoring = match args.flags.get("scoring") {
+        None => ScoringMode::Auto,
+        Some(v) => ScoringMode::parse(v)
+            .ok_or_else(|| format!("--scoring must be auto, scalar or batched (got {v:?})"))?,
+    };
     let options = SearchOptions {
         top_k,
+        scoring,
         ..Default::default()
     };
     let metrics = metrics_registry(args);

@@ -1,0 +1,943 @@
+//! The batched (8-lane) f32 pruning tier of the columnar matcher.
+//!
+//! [`WindowScorer`](crate::similarity::WindowScorer) walks one candidate
+//! window at a time in f64. This module splits that work into two
+//! vectorizable passes over the [`tsm_db::Mirror32`] columns, using
+//! hand-rolled [`F32x8`] lane structs (plain `[f32; 8]` operations the
+//! autovectorizer lowers to SIMD on stable Rust — no `std::simd`, no
+//! `unsafe`):
+//!
+//! * [`BatchScorer::match_mask`] runs the state-order gate over the
+//!   **whole stream** at once (one query state against every window
+//!   offset per pass — the classic transposed substring filter), so the
+//!   two thirds of windows that fail the gate never reach any per-window
+//!   code at all;
+//! * [`BatchScorer::score_starts`] scores up to eight gate-passing
+//!   windows per pass in f32, with early abandoning lifted to the *lane
+//!   group*: the accumulation loop exits only when **every** lane's
+//!   partial sum proves its distance exceeds the caller's bound;
+//! * a lane whose full f32 sum stays at or below its inflated limit is a
+//!   **survivor** and must be re-scored by the exact f64 scorer — so the
+//!   final result set stays bit-identical to the scalar engine.
+//!
+//! # Admissibility
+//!
+//! A lane may be classified `Pruned` only if its exact f64 numerator
+//! provably exceeds `bound · Σwi · ws`. The f32 partial sum differs from
+//! that numerator by (a) narrowing error of the query and candidate
+//! columns — bounded *absolutely* by the per-window conversion slack
+//! assembled from the query-side weighted error sum and the mirror's
+//! error-prefix sums — and (b) f32 arithmetic rounding, bounded
+//! *relatively* by `(1 + u)^k` with `u = 2^-24` and `k ≤ 2n + 16`
+//! rounded operations affecting any term. The lane limit is therefore
+//!
+//! ```text
+//! limit32 = f32_above((bound · Σwi · ws + slack) · rel),   rel ≥ (1+u)^(2n+16)
+//! ```
+//!
+//! so `partial32 > limit32` implies the exact numerator exceeds
+//! `bound · Σwi · ws` (see `tests/matcher_properties.rs` for the
+//! property-level proof obligation). One limit is shared by **every**
+//! window of a stream, computed with the whole stream's conversion
+//! slack — the error-prefix sums are monotone, so the stream slack
+//! dominates each window's own and the shared limit stays admissible per
+//! lane while the engine hoists it out of the per-group loop. Whenever
+//! the limit would overflow f32 it saturates to `+∞` and the lane simply
+//! never prunes. A lane whose partial goes NaN (only possible via
+//! `0 · ∞` under zero weights with overflowing diffs) compares false
+//! against any limit and falls back to `Survivor` — the exact rescan
+//! keeps it correct.
+
+use crate::params::{AmplitudeMetric, Params};
+use crate::similarity::QueryCols;
+use std::sync::OnceLock;
+use tsm_db::{f32_above, Mirror32, StreamFeatures};
+
+/// Candidate windows scored per batched pass.
+pub const LANES: usize = 8;
+
+/// Group-abandon cadence: the all-lanes-over check runs every this many
+/// accumulated 8-position chunks (i.e. every `8 · CHECK_EVERY` query
+/// segments — short queries just run straight through).
+const CHECK_EVERY: usize = 4;
+
+/// Lane limits at or above this saturate to `+∞` (the lane never prunes):
+/// close enough to `f32::MAX` that a representable inflated limit is not
+/// guaranteed, far enough that everything practical stays exact.
+const LIMIT_CEIL: f64 = (f32::MAX / 2.0) as f64;
+
+/// Eight f32 lanes as a plain array. Every op is a straight-line loop
+/// over the lanes with no early exit, which LLVM reliably lowers to
+/// vector instructions in release builds.
+#[derive(Debug, Clone, Copy)]
+struct F32x8([f32; LANES]);
+
+impl F32x8 {
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        F32x8([v; LANES])
+    }
+
+    /// The first eight entries of `s` as a vector (one bounds check,
+    /// then a straight contiguous copy LLVM turns into a vector load).
+    #[inline(always)]
+    fn load(s: &[f32]) -> Self {
+        let mut a = [0f32; LANES];
+        a.copy_from_slice(&s[..LANES]);
+        F32x8(a)
+    }
+
+    /// `|self - o|` per lane.
+    #[inline(always)]
+    fn abs_diff(self, o: F32x8) -> Self {
+        let mut a = self.0;
+        for (x, &y) in a.iter_mut().zip(&o.0) {
+            *x = (*x - y).abs();
+        }
+        F32x8(a)
+    }
+
+    /// `acc += w * self` per lane.
+    #[inline(always)]
+    fn mul_add_into(self, w: F32x8, acc: &mut F32x8) {
+        for l in 0..LANES {
+            acc.0[l] += w.0[l] * self.0[l];
+        }
+    }
+
+    /// Whether every lane strictly exceeds the other's (branchless
+    /// reduction; NaN lanes compare false).
+    #[inline(always)]
+    fn all_gt(self, o: F32x8) -> bool {
+        let mut over = true;
+        for l in 0..LANES {
+            over &= self.0[l] > o.0[l];
+        }
+        over
+    }
+}
+
+/// Which scoring tier a search uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// Resolve once per process: the `TSM_SCORING` environment variable
+    /// (`scalar` or `batched`) wins, otherwise a one-shot timing probe
+    /// picks whichever tier is faster on this machine.
+    #[default]
+    Auto,
+    /// Always the exact one-window-at-a-time f64 scorer.
+    Scalar,
+    /// Route through the 8-lane f32 pruning kernel (exact f64 rescans
+    /// keep results bit-identical to `Scalar`).
+    Batched,
+}
+
+impl ScoringMode {
+    /// Parses a CLI/env spelling of the mode.
+    pub fn parse(s: &str) -> Option<ScoringMode> {
+        match s {
+            "auto" => Some(ScoringMode::Auto),
+            "scalar" => Some(ScoringMode::Scalar),
+            "batched" => Some(ScoringMode::Batched),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling of the mode.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScoringMode::Auto => "auto",
+            ScoringMode::Scalar => "scalar",
+            ScoringMode::Batched => "batched",
+        }
+    }
+
+    /// Whether searches under this mode route through the batched kernel.
+    pub fn use_batched(self) -> bool {
+        match self {
+            ScoringMode::Scalar => false,
+            ScoringMode::Batched => true,
+            ScoringMode::Auto => *AUTO_BATCHED.get_or_init(resolve_auto),
+        }
+    }
+}
+
+static AUTO_BATCHED: OnceLock<bool> = OnceLock::new();
+
+fn resolve_auto() -> bool {
+    if let Ok(v) = std::env::var("TSM_SCORING") {
+        match ScoringMode::parse(v.trim()) {
+            Some(ScoringMode::Scalar) => return false,
+            Some(ScoringMode::Batched) => return true,
+            _ => {}
+        }
+    }
+    probe_prefers_batched()
+}
+
+/// One-shot calibration probe for [`ScoringMode::Auto`]: times the scalar
+/// scorer against the batched kernel on a fixed synthetic workload shaped
+/// like the matching benches (a 9-segment query over a periodic stream —
+/// two thirds of the windows state-mismatch, the rest split between far
+/// and near amplitudes) and returns whether batched won. Falls back to
+/// batched if the fixture cannot be built (results are identical either
+/// way; only throughput differs).
+fn probe_prefers_batched() -> bool {
+    use crate::similarity::{WindowCols, WindowScorer};
+    let params = Params::default();
+    let Some((sf, cols)) = probe_fixture(&params) else {
+        return true;
+    };
+    let Some(bq) = BatchQuery::build(&cols, &params) else {
+        return true;
+    };
+    let n = cols.len();
+    let total = sf.num_segments() - n + 1;
+    let bound = 2.0; // mid-range: some windows abandon, some complete
+    let mut scorer = WindowScorer::new();
+    let mut batcher = BatchScorer::new();
+    let mut starts: Vec<usize> = Vec::with_capacity(total);
+
+    let time = |f: &mut dyn FnMut()| {
+        let mut best = u64::MAX;
+        for _ in 0..3 {
+            // lint:allow(no-instant-now-in-hot-path): one-shot calibration
+            // probe, executed at most once per process by the OnceLock.
+            let t0 = std::time::Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_nanos() as u64);
+        }
+        best
+    };
+
+    let scalar_ns = time(&mut || {
+        for start in 0..total {
+            let end = start + n;
+            let cand = WindowCols {
+                states: &sf.states[start..end],
+                disp: &sf.disp[start..end],
+                dvec: &sf.dvec[start..end],
+                dur: &sf.dur[start..end],
+            };
+            std::hint::black_box(scorer.score_window_outcome(&cols, cand, &params, 1.0, bound));
+        }
+    });
+
+    let batched_ns = time(&mut || {
+        let mask = batcher.match_mask(&bq, &sf);
+        starts.clear();
+        starts.extend((0..total).filter(|&j| mask[j] == 0));
+        for chunk in starts.chunks(LANES) {
+            let g = batcher.score_starts(&bq, &sf, chunk, 1.0, bound);
+            for (l, &start) in chunk.iter().enumerate() {
+                if g.lanes[l] == LaneOutcome::Survivor {
+                    let end = start + n;
+                    let cand = WindowCols {
+                        states: &sf.states[start..end],
+                        disp: &sf.disp[start..end],
+                        dvec: &sf.dvec[start..end],
+                        dur: &sf.dur[start..end],
+                    };
+                    std::hint::black_box(
+                        scorer.score_window_outcome(&cols, cand, &params, 1.0, bound),
+                    );
+                }
+            }
+            std::hint::black_box(&g);
+        }
+    });
+
+    batched_ns < scalar_ns
+}
+
+/// Builds the probe's synthetic stream and query columns.
+fn probe_fixture(params: &Params) -> Option<(StreamFeatures, QueryCols)> {
+    use tsm_db::{MotionStream, PatientId, StreamId, StreamMeta};
+    use tsm_model::{BreathState, PlrTrajectory, Vertex};
+    let states = [
+        BreathState::Exhale,
+        BreathState::EndOfExhale,
+        BreathState::Inhale,
+    ];
+    let nseg = 255usize;
+    let mut verts = Vec::with_capacity(nseg + 1);
+    for i in 0..=nseg {
+        // Deterministic pseudo-amplitudes: mostly near 8 mm (near the
+        // query), every 11th cycle far off so the prune tier has work.
+        let h = (i as u32).wrapping_mul(2_654_435_761) >> 22;
+        let amp = if i % 11 == 0 {
+            25.0 + (h % 97) as f64 * 0.1
+        } else {
+            8.0 + (h % 97) as f64 * 0.01
+        };
+        let level = if i % 2 == 0 { amp } else { 0.0 };
+        verts.push(Vertex::new_1d(i as f64, level, states[i % 3]));
+    }
+    let plr = PlrTrajectory::from_vertices(verts).ok()?;
+    let stream = MotionStream {
+        meta: StreamMeta {
+            id: StreamId(0),
+            patient: PatientId(0),
+            session: 0,
+        },
+        plr,
+        raw_len: 0,
+    };
+    let sf = StreamFeatures::build(&stream, params.axis);
+    let qverts: Vec<Vertex> = (0..=9)
+        .map(|j| {
+            let level = if j % 2 == 0 { 8.3 } else { 0.1 };
+            Vertex::new_1d(j as f64, level, states[j % 3])
+        })
+        .collect();
+    let cols = QueryCols::build(&qverts, params)?;
+    Some((sf, cols))
+}
+
+/// How one lane of an exact-rescoring group fared (see
+/// [`BatchScorer::rescore_exact`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RescanOutcome {
+    /// Padding lane (group had fewer than [`LANES`] candidates).
+    Inactive,
+    /// Early-abandoned at the caller's bound — the identical decision the
+    /// scalar [`WindowScorer`](crate::similarity::WindowScorer) makes.
+    Abandoned,
+    /// Completed with the exact distance, bit-identical to the scalar
+    /// scorer's (which may still marginally exceed the bound — callers
+    /// re-check against δ).
+    Scored(f64),
+}
+
+/// How one lane of a batched group fared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneOutcome {
+    /// Padding lane (group had fewer than [`LANES`] candidates).
+    Inactive,
+    /// The f32 partial sum proved the exact distance exceeds the bound —
+    /// the window is dismissed without ever touching f64.
+    Pruned,
+    /// The f32 tier could not dismiss the window: re-score it with the
+    /// exact f64 scorer.
+    Survivor,
+}
+
+/// Result of scoring one lane group.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupResult {
+    /// Per-lane outcomes (lanes past the candidate count are
+    /// [`LaneOutcome::Inactive`]).
+    pub lanes: [LaneOutcome; LANES],
+}
+
+/// The query side of the batched kernel: narrowed columns, premultiplied
+/// f32 weights, and the constants of the admissibility argument. `None`
+/// from [`BatchQuery::build`] means the query cannot use the f32 tier
+/// (spatial amplitude metric, non-finite narrowed values, or negative
+/// weights) and the engine must stay scalar.
+#[derive(Debug, Clone)]
+pub struct BatchQuery {
+    n: usize,
+    states: Vec<u8>,
+    disp32: Vec<f32>,
+    dur32: Vec<f32>,
+    /// `wa · wi(i)` narrowed to f32 (the amplitude-term coefficient).
+    wa_wi32: Vec<f32>,
+    /// `wf · wi(i)` narrowed to f32 (the frequency-term coefficient).
+    wf_wi32: Vec<f32>,
+    wsum: f64,
+    wa: f64,
+    wf: f64,
+    /// `max_i wi(i)` — scales the candidate-side conversion-error sums
+    /// (which the mirror stores unweighted) up to a weighted bound.
+    wmax: f64,
+    /// Query-side weighted conversion slack:
+    /// `Σ wi(i)·(wa·|disp[i]−disp32[i]| + wf·|dur[i]−dur32[i]|)`.
+    q_slack: f64,
+    /// Multiplicative rounding margin `≥ (1+2^-24)^(2n+16)`.
+    rel: f64,
+}
+
+impl BatchQuery {
+    /// Narrows the query columns for the f32 tier.
+    pub fn build(cols: &QueryCols, params: &Params) -> Option<Self> {
+        if params.amplitude_metric != AmplitudeMetric::Axis {
+            return None; // spatial terms need Position vectors
+        }
+        if !(params.wa >= 0.0 && params.wf >= 0.0) {
+            return None; // negative weights break term monotonicity
+        }
+        let n = cols.len();
+        let mut q = BatchQuery {
+            n,
+            states: cols.states.clone(),
+            disp32: Vec::with_capacity(n),
+            dur32: Vec::with_capacity(n),
+            wa_wi32: Vec::with_capacity(n),
+            wf_wi32: Vec::with_capacity(n),
+            wsum: cols.wsum,
+            wa: params.wa,
+            wf: params.wf,
+            wmax: 0.0,
+            q_slack: 0.0,
+            rel: 1.0 + (2 * n + 16) as f64 * 7e-8 + 1e-9,
+        };
+        let mut finite = true;
+        for i in 0..n {
+            let d32 = cols.disp[i] as f32;
+            let t32 = cols.dur[i] as f32;
+            let wa_wi = (params.wa * cols.wi[i]) as f32;
+            let wf_wi = (params.wf * cols.wi[i]) as f32;
+            finite &= d32.is_finite()
+                && t32.is_finite()
+                && wa_wi.is_finite()
+                && wf_wi.is_finite()
+                && cols.wi[i] >= 0.0;
+            q.q_slack += cols.wi[i]
+                * (params.wa * (cols.disp[i] - d32 as f64).abs()
+                    + params.wf * (cols.dur[i] - t32 as f64).abs());
+            q.wmax = q.wmax.max(cols.wi[i]);
+            q.disp32.push(d32);
+            q.dur32.push(t32);
+            q.wa_wi32.push(wa_wi);
+            q.wf_wi32.push(wf_wi);
+        }
+        if !finite {
+            return None;
+        }
+        Some(q)
+    }
+
+    /// Number of query segments.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (built from a non-degenerate [`QueryCols`]).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The admissible f32 abandon limit for one window (or the whole
+    /// span of a lane group): the exact numerator bound plus the span's
+    /// conversion slack, inflated by the rounding margin and rounded *up*
+    /// into f32. Saturates to `+∞` (never prune) when it would leave the
+    /// exactly-representable range.
+    #[inline]
+    fn lane_limit(&self, m: &Mirror32, start: usize, len: usize, limit_exact: f64) -> f32 {
+        let slack = self.q_slack
+            + self.wmax
+                * (self.wa * m.amp_err_sum(start, len) + self.wf * m.dur_err_sum(start, len));
+        let v = ((limit_exact + slack) * self.rel).max(0.0);
+        if v < LIMIT_CEIL {
+            f32_above(v)
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// An admissible f32 abandon limit shared by **every** window of one
+    /// stream: the slack over the whole stream dominates any window's own
+    /// (the error-prefix sums are monotone), so one limit per
+    /// `(stream, ws, bound)` stays admissible everywhere and the engine
+    /// can hoist it out of the per-group loop. The conversion-error sums
+    /// are microscopic next to any practical bound, so the extra slack
+    /// does not measurably weaken pruning.
+    pub fn stream_limit(&self, sf: &StreamFeatures, ws: f64, bound: f64) -> f32 {
+        self.lane_limit(&sf.mirror32, 0, sf.num_segments(), bound * self.wsum * ws)
+    }
+}
+
+/// The batched scorer: the state-gate scratch column plus the lane
+/// kernel. The engine threads one per worker (mirroring
+/// [`WindowScorer`]'s shape) so the scratch allocation is reused across
+/// every stream of a search.
+///
+/// [`WindowScorer`]: crate::similarity::WindowScorer
+#[derive(Debug, Default)]
+pub struct BatchScorer {
+    /// Per-window-start gate verdicts for the stream most recently passed
+    /// to [`BatchScorer::match_mask`] (`0` = states match the query).
+    mask: Vec<u8>,
+    /// Lane-major f64 term buffer for [`BatchScorer::rescore_exact`]
+    /// (entry `[i][l]` holds term `i` of lane `l`), the batched analogue
+    /// of [`WindowScorer`](crate::similarity::WindowScorer)'s scratch.
+    terms64: Vec<[f64; LANES]>,
+}
+
+impl BatchScorer {
+    /// A fresh scorer.
+    pub fn new() -> Self {
+        BatchScorer::default()
+    }
+
+    /// The transposed state-order gate over one whole stream: entry `j`
+    /// of the returned mask is `0` iff the window starting at segment `j`
+    /// has exactly the query's state sequence. Window starts are walked
+    /// in blocks of 16; within a block the query positions run in a
+    /// fixed-width inner loop (a compare-and-OR over a `[u8; 16]`
+    /// register block, the autovectorizer's favorite shape), so the gate
+    /// costs `n · nseg` byte ops for the *entire stream* with the
+    /// per-loop setup paid once per block instead of once per query
+    /// position. Requires `sf.num_segments() >= q.len()`.
+    pub fn match_mask(&mut self, q: &BatchQuery, sf: &StreamFeatures) -> &[u8] {
+        const BLOCK: usize = 16;
+        let total = sf.num_segments() + 1 - q.n;
+        self.mask.clear();
+        self.mask.resize(total, 0);
+        let states = &sf.states;
+        let mut j = 0;
+        while j + BLOCK <= total {
+            let mut acc = [0u8; BLOCK];
+            for (i, &qs) in q.states.iter().enumerate() {
+                let col = &states[j + i..j + i + BLOCK];
+                for (a, &s) in acc.iter_mut().zip(col) {
+                    *a |= (s != qs) as u8;
+                }
+            }
+            self.mask[j..j + BLOCK].copy_from_slice(&acc);
+            j += BLOCK;
+        }
+        for (jj, mj) in self.mask.iter_mut().enumerate().skip(j) {
+            for (i, &qs) in q.states.iter().enumerate() {
+                if states[jj + i] != qs {
+                    *mj = 1;
+                    break;
+                }
+            }
+        }
+        &self.mask
+    }
+
+    /// Scores up to [`LANES`] gate-passing windows at arbitrary starts
+    /// within one stream, deriving the shared limit from the stream span
+    /// (see [`BatchQuery::stream_limit`]). Convenience wrapper around
+    /// [`BatchScorer::score_starts_with_limit`] for callers scoring few
+    /// groups per stream.
+    pub fn score_starts(
+        &mut self,
+        q: &BatchQuery,
+        sf: &StreamFeatures,
+        starts: &[usize],
+        ws: f64,
+        bound: f64,
+    ) -> GroupResult {
+        self.score_starts_with_limit(q, sf, starts, q.stream_limit(sf, ws, bound))
+    }
+
+    /// Scores up to [`LANES`] gate-passing windows at arbitrary starts
+    /// within one stream against a precomputed shared limit (from
+    /// [`BatchQuery::stream_limit`] for the same stream — hoist it when
+    /// scoring many groups under an unchanged collector bound). `starts`
+    /// must be non-empty, hold at most [`LANES`] entries, every
+    /// `start + n` must be in range, and every window must already have
+    /// passed the state gate (via [`BatchScorer::match_mask`] or an index
+    /// keyed by state signature).
+    pub fn score_starts_with_limit(
+        &mut self,
+        q: &BatchQuery,
+        sf: &StreamFeatures,
+        starts: &[usize],
+        shared: f32,
+    ) -> GroupResult {
+        let n = q.n;
+        let m = &sf.mirror32;
+        debug_assert!(m.finite, "batched scoring over a non-finite mirror");
+        debug_assert!(!starts.is_empty() && starts.len() <= LANES);
+        let used = starts.len();
+        let mut pad = [starts[0]; LANES];
+        pad[..used].copy_from_slice(starts);
+        for &s in starts {
+            debug_assert!(s + n <= sf.num_segments());
+            debug_assert!(
+                sf.states[s..s + n] == q.states[..],
+                "score_starts on a window that fails the state gate"
+            );
+        }
+        let mut lanes = [LaneOutcome::Inactive; LANES];
+        // Padding lanes get limit −∞ so they count as "already over" in
+        // the group-abandon reduction without special-casing.
+        let mut lim = F32x8::splat(f32::NEG_INFINITY);
+        lanes[..used].fill(LaneOutcome::Survivor);
+        lim.0[..used].fill(shared);
+        let partial = Self::accumulate(q, m, &pad, lim);
+        for ((lane, &p), &lm) in lanes.iter_mut().zip(&partial.0).zip(&lim.0).take(used) {
+            if p > lm {
+                *lane = LaneOutcome::Pruned;
+            }
+        }
+        GroupResult { lanes }
+    }
+
+    /// Runs the f32 lane kernel over a whole stream's gate-passing
+    /// starts: chunks of up to [`LANES`] are scored against one shared
+    /// limit, survivors are appended to `surv`, and the pruned-window
+    /// count is returned. Semantically identical to calling
+    /// [`BatchScorer::score_starts_with_limit`] per chunk and collecting
+    /// `Survivor` lanes, but the limit vector, classification, and call
+    /// overhead are hoisted out of the per-group loop, and the classify
+    /// step is branchless. Same preconditions as the per-group entry
+    /// point (in-range, state-gated starts; finite mirror).
+    pub fn collect_survivors(
+        &mut self,
+        q: &BatchQuery,
+        sf: &StreamFeatures,
+        starts: &[usize],
+        shared: f32,
+        surv: &mut Vec<usize>,
+    ) -> u64 {
+        let n = q.n;
+        let m = &sf.mirror32;
+        debug_assert!(m.finite, "batched scoring over a non-finite mirror");
+        let mut pruned = 0u64;
+        surv.reserve(starts.len());
+        let full_lim = F32x8::splat(shared);
+        for chunk in starts.chunks(LANES) {
+            for &s in chunk {
+                debug_assert!(s + n <= sf.num_segments());
+                debug_assert!(
+                    sf.states[s..s + n] == q.states[..],
+                    "collect_survivors on a window that fails the state gate"
+                );
+            }
+            let used = chunk.len();
+            let mut pad = [chunk[0]; LANES];
+            pad[..used].copy_from_slice(chunk);
+            let lim = if used == LANES {
+                full_lim
+            } else {
+                let mut lim = F32x8::splat(f32::NEG_INFINITY);
+                lim.0[..used].copy_from_slice(&full_lim.0[..used]);
+                lim
+            };
+            let partial = Self::accumulate(q, m, &pad, lim);
+            for (l, &s) in chunk.iter().enumerate() {
+                let over = partial.0[l] > lim.0[l];
+                pruned += over as u64;
+                if !over {
+                    surv.push(s);
+                }
+            }
+        }
+        pruned
+    }
+
+    /// Exact f64 scoring of up to eight gate-passing survivor windows in
+    /// one pass — the batched analogue of
+    /// [`WindowScorer::score_window_outcome`].
+    ///
+    /// Each lane runs the scalar scorer's exact operation sequence: terms
+    /// are accumulated newest-first into a per-lane partial (abandoning
+    /// when it exceeds `bound · Σwi · ws · ABANDON_MARGIN`), buffered, and
+    /// re-summed in canonical forward order, so `Scored` distances are
+    /// bit-identical to the scalar path. Batching merely amortizes the
+    /// per-window call, bounds-check, and scratch-reset overhead across
+    /// the group. Abandonment is tracked by flag rather than early return:
+    /// the scalar loop abandons iff *some* running prefix exceeds the
+    /// limit, which is exactly what the flag records.
+    ///
+    /// Callers must have state-gated the windows already (the mask pass
+    /// does); only the [`AmplitudeMetric::Axis`] metric is supported —
+    /// the engine never routes spatial-metric searches here.
+    ///
+    /// [`WindowScorer::score_window_outcome`]:
+    ///     crate::similarity::WindowScorer::score_window_outcome
+    #[inline]
+    pub fn rescore_exact(
+        &mut self,
+        cols: &QueryCols,
+        params: &Params,
+        sf: &StreamFeatures,
+        starts: &[usize],
+        ws: f64,
+        bound: f64,
+    ) -> [RescanOutcome; LANES] {
+        debug_assert!(matches!(params.amplitude_metric, AmplitudeMetric::Axis));
+        debug_assert!(!starts.is_empty() && starts.len() <= LANES);
+        let n = cols.states.len();
+        let active = starts.len();
+        let mut pad = [starts[0]; LANES];
+        pad[..active].copy_from_slice(starts);
+        for &s in starts {
+            debug_assert!(s + n <= sf.num_segments());
+            debug_assert!(
+                sf.states[s..s + n] == cols.states[..],
+                "rescore_exact on a window that fails the state gate"
+            );
+        }
+        let denom = cols.wsum * ws;
+        let limit = bound * denom * crate::similarity::ABANDON_MARGIN;
+        self.terms64.clear();
+        self.terms64.resize(n, [0.0; LANES]);
+        let mut partial = [0.0f64; LANES];
+        let mut abandoned = [false; LANES];
+        for i in (0..n).rev() {
+            let qd = cols.disp[i];
+            let qt = cols.dur[i];
+            let wi = cols.wi[i];
+            let row = &mut self.terms64[i];
+            for l in 0..active {
+                let j = pad[l] + i;
+                let amp_diff = (qd - sf.disp[j]).abs();
+                let freq_diff = (qt - sf.dur[j]).abs();
+                let term = wi * (params.wa * amp_diff + params.wf * freq_diff);
+                row[l] = term;
+                partial[l] += term;
+                abandoned[l] |= partial[l] > limit;
+            }
+        }
+        let mut out = [RescanOutcome::Inactive; LANES];
+        for (l, o) in out.iter_mut().enumerate().take(active) {
+            *o = if abandoned[l] {
+                RescanOutcome::Abandoned
+            } else {
+                let mut num = 0.0f64;
+                for row in self.terms64.iter() {
+                    num += row[l];
+                }
+                RescanOutcome::Scored(num / denom)
+            };
+        }
+        out
+    }
+
+    /// Accumulation in two phases over the query positions:
+    ///
+    /// 1. the **full chunks** — the newest `8 · (n / 8)` positions,
+    ///    aligned to the query's newest end and accumulated lane-major:
+    ///    every load is a contiguous 8-wide slice of the mirror or query
+    ///    columns, which LLVM lowers to straight vector loads and
+    ///    arithmetic, and each lane keeps a vector accumulator
+    ///    (`vacc[l]`);
+    /// 2. the **head** — the oldest `n mod 8` positions, accumulated
+    ///    position-major with per-lane gathered loads.
+    ///
+    /// Under the decaying per-position weights the head carries the least
+    /// mass, so when it is also a small fraction of the query the kernel
+    /// skips it outright: every term is non-negative, so a partial sum
+    /// missing a few positions still admissibly proves `exact > bound`
+    /// whenever it exceeds the limit, and the rare window whose mass sits
+    /// in the skipped positions just falls through to the exact rescan.
+    /// The gathered loads cost more than the slight loss of prune power.
+    ///
+    /// The group-abandon check compares the combined partial sums against
+    /// the limits every [`CHECK_EVERY`] chunks; exiting early is sound
+    /// because f32 partial sums of non-negative terms are monotone.
+    /// Returns the per-lane partials at exit (NaN partials compare false
+    /// and leave lanes survivors).
+    #[inline]
+    fn accumulate(q: &BatchQuery, m: &Mirror32, pad: &[usize; LANES], lim: F32x8) -> F32x8 {
+        let head = q.n % LANES;
+        let head_from = if head * 4 > q.n { 0 } else { head };
+        let mut tail = F32x8::splat(0.0);
+        for i in (head_from..head).rev() {
+            let mut dv = [0f32; LANES];
+            let mut tv = [0f32; LANES];
+            for l in 0..LANES {
+                dv[l] = m.disp[pad[l] + i];
+                tv[l] = m.dur[pad[l] + i];
+            }
+            F32x8(dv)
+                .abs_diff(F32x8::splat(q.disp32[i]))
+                .mul_add_into(F32x8::splat(q.wa_wi32[i]), &mut tail);
+            F32x8(tv)
+                .abs_diff(F32x8::splat(q.dur32[i]))
+                .mul_add_into(F32x8::splat(q.wf_wi32[i]), &mut tail);
+        }
+        let mut vacc = [F32x8::splat(0.0); LANES];
+        let mut hi = q.n;
+        let mut chunks = 0usize;
+        while hi > head {
+            let lo = hi - LANES;
+            let qd = F32x8::load(&q.disp32[lo..hi]);
+            let qt = F32x8::load(&q.dur32[lo..hi]);
+            let wa = F32x8::load(&q.wa_wi32[lo..hi]);
+            let wf = F32x8::load(&q.wf_wi32[lo..hi]);
+            for (l, acc) in vacc.iter_mut().enumerate() {
+                let base = pad[l] + lo;
+                F32x8::load(&m.disp[base..base + LANES])
+                    .abs_diff(qd)
+                    .mul_add_into(wa, acc);
+                F32x8::load(&m.dur[base..base + LANES])
+                    .abs_diff(qt)
+                    .mul_add_into(wf, acc);
+            }
+            hi = lo;
+            chunks += 1;
+            if chunks.is_multiple_of(CHECK_EVERY)
+                && hi > head
+                && Self::partials(&vacc, tail).all_gt(lim)
+            {
+                break;
+            }
+        }
+        Self::partials(&vacc, tail)
+    }
+
+    /// Per-lane partial sums: the tail plus a pairwise (fixed-order, so
+    /// deterministic) horizontal reduction of each lane's chunk
+    /// accumulator.
+    #[inline(always)]
+    fn partials(vacc: &[F32x8; LANES], tail: F32x8) -> F32x8 {
+        let mut out = tail.0;
+        for (o, acc) in out.iter_mut().zip(vacc) {
+            let a = acc.0;
+            *o += ((a[0] + a[1]) + (a[2] + a[3])) + ((a[4] + a[5]) + (a[6] + a[7]));
+        }
+        F32x8(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{ScoreOutcome, WindowCols, WindowScorer};
+
+    fn fixture() -> (StreamFeatures, QueryCols, Params) {
+        let params = Params::default();
+        let (sf, cols) = probe_fixture(&params).unwrap();
+        (sf, cols, params)
+    }
+
+    /// The whole-stream gate agrees with a direct per-window compare.
+    #[test]
+    fn match_mask_equals_per_window_compare() {
+        let (sf, cols, params) = fixture();
+        let bq = BatchQuery::build(&cols, &params).unwrap();
+        let n = cols.len();
+        let total = sf.num_segments() - n + 1;
+        let mut batcher = BatchScorer::new();
+        let mask = batcher.match_mask(&bq, &sf);
+        assert_eq!(mask.len(), total);
+        for (j, &m) in mask.iter().enumerate().take(total) {
+            let direct = sf.states[j..j + n] == cols.states[..];
+            assert_eq!(m == 0, direct, "gate disagreement at start {j}");
+        }
+        // Starts at offset 1 mod 3 misalign the fixture's 3-state cycle:
+        // the gate must reject every one of them.
+        assert!((0..total).filter(|j| j % 3 == 1).all(|j| mask[j] != 0));
+    }
+
+    /// Exhaustively checks one stream: every lane the kernel prunes must
+    /// be a window the exact scorer also rejects at that bound.
+    #[test]
+    fn pruned_lanes_are_exactly_refutable() {
+        let (sf, cols, params) = fixture();
+        let bq = BatchQuery::build(&cols, &params).unwrap();
+        let n = cols.len();
+        let total = sf.num_segments() - n + 1;
+        let mut scorer = WindowScorer::new();
+        let mut batcher = BatchScorer::new();
+        let starts: Vec<usize> = {
+            let mask = batcher.match_mask(&bq, &sf);
+            (0..total).filter(|&j| mask[j] == 0).collect()
+        };
+        assert!(!starts.is_empty(), "fixture has no gate-passing windows");
+        for &bound in &[0.1, 0.5, 2.0, 8.0, f64::INFINITY] {
+            for chunk in starts.chunks(LANES) {
+                let g = batcher.score_starts(&bq, &sf, chunk, 1.0, bound);
+                for (l, &start) in chunk.iter().enumerate() {
+                    let end = start + n;
+                    let cand = WindowCols {
+                        states: &sf.states[start..end],
+                        disp: &sf.disp[start..end],
+                        dvec: &sf.dvec[start..end],
+                        dur: &sf.dur[start..end],
+                    };
+                    let exact =
+                        scorer.score_window_outcome(&cols, cand, &params, 1.0, f64::INFINITY);
+                    match g.lanes[l] {
+                        LaneOutcome::Pruned => {
+                            let ScoreOutcome::Scored(d) = exact else {
+                                panic!("pruned lane with non-scored exact outcome at {start}");
+                            };
+                            assert!(
+                                d > bound,
+                                "inadmissible prune at start {start}: d = {d} <= bound {bound}"
+                            );
+                        }
+                        LaneOutcome::Survivor => {
+                            assert!(
+                                !matches!(exact, ScoreOutcome::StateMismatch),
+                                "survivor lane with mismatched states at {start}"
+                            );
+                        }
+                        LaneOutcome::Inactive => panic!("inactive lane within count"),
+                    }
+                }
+            }
+        }
+        // At a tight bound the tier actually prunes something on this
+        // fixture (otherwise the admissibility loop above proves nothing).
+        let g = batcher.score_starts(&bq, &sf, &starts[..LANES.min(starts.len())], 1.0, 0.1);
+        assert!(
+            g.lanes.contains(&LaneOutcome::Pruned),
+            "tight bound pruned nothing"
+        );
+    }
+
+    /// Padding lanes come back `Inactive` and never panic on short tails.
+    #[test]
+    fn short_groups_pad_safely() {
+        let (sf, cols, params) = fixture();
+        let bq = BatchQuery::build(&cols, &params).unwrap();
+        let mut batcher = BatchScorer::new();
+        let matched: Vec<usize> = {
+            let mask = batcher.match_mask(&bq, &sf);
+            (0..mask.len()).filter(|&j| mask[j] == 0).collect()
+        };
+        for cnt in 1..LANES {
+            let g = batcher.score_starts(&bq, &sf, &matched[..cnt], 1.0, 2.0);
+            for l in 0..cnt {
+                assert_ne!(g.lanes[l], LaneOutcome::Inactive, "cnt {cnt} lane {l}");
+            }
+            for l in cnt..LANES {
+                assert_eq!(g.lanes[l], LaneOutcome::Inactive, "cnt {cnt} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_metric_and_bad_weights_disable_the_tier() {
+        let (_, cols, params) = fixture();
+        let spatial = Params {
+            amplitude_metric: AmplitudeMetric::Spatial,
+            ..params.clone()
+        };
+        assert!(BatchQuery::build(&cols, &spatial).is_none());
+        let negative = Params {
+            wa: -1.0,
+            ..params.clone()
+        };
+        assert!(BatchQuery::build(&cols, &negative).is_none());
+        assert!(BatchQuery::build(&cols, &params).is_some());
+    }
+
+    #[test]
+    fn scoring_mode_parses_and_defaults() {
+        assert_eq!(ScoringMode::parse("auto"), Some(ScoringMode::Auto));
+        assert_eq!(ScoringMode::parse("scalar"), Some(ScoringMode::Scalar));
+        assert_eq!(ScoringMode::parse("batched"), Some(ScoringMode::Batched));
+        assert_eq!(ScoringMode::parse("simd"), None);
+        assert_eq!(ScoringMode::default(), ScoringMode::Auto);
+        assert!(!ScoringMode::Scalar.use_batched());
+        assert!(ScoringMode::Batched.use_batched());
+        for m in [ScoringMode::Auto, ScoringMode::Scalar, ScoringMode::Batched] {
+            assert_eq!(ScoringMode::parse(m.as_str()), Some(m));
+        }
+    }
+
+    /// The limit saturates (never prunes) instead of going inadmissible
+    /// when the bound or slack overflows f32.
+    #[test]
+    fn limit_saturates_to_never_prune() {
+        let (sf, cols, params) = fixture();
+        let bq = BatchQuery::build(&cols, &params).unwrap();
+        let lim = bq.lane_limit(&sf.mirror32, 0, cols.len(), f64::MAX);
+        assert_eq!(lim, f32::INFINITY);
+        // A negative bound clamps to zero: prune everything non-zero,
+        // admissibly (nothing has distance <= a negative bound).
+        let lim = bq.lane_limit(&sf.mirror32, 0, cols.len(), -5.0);
+        assert!(lim >= 0.0);
+    }
+}

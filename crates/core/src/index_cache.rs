@@ -133,7 +133,9 @@ impl CachedMatcher {
     }
 
     /// Pruned search through the cached index; identical results to the
-    /// plain scan.
+    /// plain scan. All of `options` flows through to the engine, including
+    /// the [`scoring`](SearchOptions::scoring) tier — a cached matcher
+    /// batches through the f32 kernel exactly like a direct pruned search.
     pub fn find_matches(&self, query: &QuerySubseq, options: &SearchOptions) -> Vec<MatchResult> {
         let metrics = self.metrics();
         let started = metrics.start();
@@ -189,6 +191,19 @@ mod tests {
         let b = cached.find_matches(&q, &opts);
         assert_eq!(a, b);
         assert_eq!(cached.cache().rebuild_count(), 1);
+
+        // Forcing either scoring tier through the cached path changes
+        // nothing about the results.
+        for scoring in [
+            crate::batch::ScoringMode::Scalar,
+            crate::batch::ScoringMode::Batched,
+        ] {
+            let forced = SearchOptions {
+                scoring,
+                ..opts.clone()
+            };
+            assert_eq!(a, cached.find_matches(&q, &forced), "{scoring:?}");
+        }
 
         // Second query of the same length: no rebuild.
         let view = store.resolve(SubseqRef::new(id, 3, 9)).unwrap();

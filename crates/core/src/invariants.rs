@@ -19,7 +19,11 @@
 //! * **Tally reconciliation** — a [`SearchTally`] always satisfies
 //!   `windows_scored == windows_abandoned + windows_completed` and the
 //!   candidate funnel `bucket ≥ amp_band ≥ dur_band`, including after
-//!   merging per-worker tallies at the parallel join point.
+//!   merging per-worker tallies at the parallel join point. The batched
+//!   f32 tier's counters reconcile with the scalar balance: every pruned
+//!   lane is an abandoned window, every lane the tier touched (pruned or
+//!   rescanned) is a scored window, and no group yields more than
+//!   [`LANES`](crate::batch::LANES) of them.
 //!
 //! The functions take already-computed values (not closures) because they
 //! are only called where those values are in scope anyway; the
@@ -148,6 +152,28 @@ pub fn tally_reconciled(t: &SearchTally) {
         t.bucket_candidates,
         t.amp_band_candidates,
         t.dur_band_candidates,
+    );
+    debug_assert!(
+        t.batch_lanes_abandoned <= t.windows_abandoned,
+        "batched lanes abandoned {} exceed windows abandoned {}",
+        t.batch_lanes_abandoned,
+        t.windows_abandoned,
+    );
+    debug_assert!(
+        t.batch_lanes_abandoned + t.f32_prune_rescans <= t.windows_scored,
+        "batched lane work (pruned {} + rescans {}) exceeds windows scored {}",
+        t.batch_lanes_abandoned,
+        t.f32_prune_rescans,
+        t.windows_scored,
+    );
+    debug_assert!(
+        t.batch_lanes_abandoned + t.f32_prune_rescans
+            <= (crate::batch::LANES as u64) * t.batch_groups_scored,
+        "batched lane work (pruned {} + rescans {}) exceeds {} lanes x {} groups",
+        t.batch_lanes_abandoned,
+        t.f32_prune_rescans,
+        crate::batch::LANES,
+        t.batch_groups_scored,
     );
 }
 

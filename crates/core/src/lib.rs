@@ -51,6 +51,7 @@
 //! assert!(!matches.is_empty());
 //! ```
 
+pub mod batch;
 pub mod cluster;
 pub mod correlate;
 pub mod drift;
@@ -75,6 +76,7 @@ pub mod tuning;
 
 /// Glob import of the most used types.
 pub mod prelude {
+    pub use crate::batch::{BatchQuery, BatchScorer, GroupResult, LaneOutcome, ScoringMode, LANES};
     pub use crate::cluster::{agglomerative, k_medoids, silhouette, DistanceMatrix};
     pub use crate::correlate::{discover_correlations, Association};
     pub use crate::drift::{DriftConfig, DriftMonitor, DriftReport};

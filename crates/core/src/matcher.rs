@@ -17,6 +17,9 @@
 //! indexed/pruned/parallel paths (which visit candidates in other orders)
 //! a deterministic tie-break.
 
+use crate::batch::{
+    BatchQuery, BatchScorer, GroupResult, LaneOutcome, RescanOutcome, ScoringMode, LANES,
+};
 use crate::invariants;
 use crate::metrics::{Counter, MetricsRegistry, SearchTally};
 use crate::params::Params;
@@ -196,6 +199,16 @@ impl Collector {
         }
     }
 
+    /// Pre-reserves room for `n` more unbounded results (top-k capped
+    /// collections size their heap by `k` already). Survivor counts give
+    /// the batched scan a per-stream upper bound, turning result-vector
+    /// growth into a handful of amortized reservations.
+    fn reserve(&mut self, n: usize) {
+        if self.cap.is_none() {
+            self.all.reserve(n);
+        }
+    }
+
     fn push(&mut self, m: MatchResult) {
         match self.cap {
             None => self.all.push(m),
@@ -233,6 +246,11 @@ pub struct SearchOptions {
     pub top_k: Option<usize>,
     /// Override the distance threshold δ for this search.
     pub delta_override: Option<f64>,
+    /// Which scoring tier to use. The default ([`ScoringMode::Auto`])
+    /// resolves once per process; results are bit-identical either way —
+    /// the batched f32 tier only *prunes*, and every survivor is
+    /// re-scored by the exact f64 scorer.
+    pub scoring: ScoringMode,
 }
 
 /// One search's worth of immutable context: the query's columns, the
@@ -248,6 +266,10 @@ struct Engine<'a> {
     delta: f64,
     q_first: f64,
     q_last: f64,
+    /// The batched f32 pruning tier, when this search uses it. `None`
+    /// under [`ScoringMode::Scalar`], or when the query cannot be
+    /// narrowed (spatial metric, non-finite f32 values).
+    batch: Option<BatchQuery>,
 }
 
 impl<'a> Engine<'a> {
@@ -260,6 +282,11 @@ impl<'a> Engine<'a> {
         let n = cols.len();
         let q_first = query.vertices.first()?.time;
         let q_last = query.vertices.last()?.time;
+        let batch = if options.scoring.use_batched() {
+            BatchQuery::build(&cols, &matcher.params)
+        } else {
+            None
+        };
         Some(Engine {
             params: &matcher.params,
             query,
@@ -269,6 +296,7 @@ impl<'a> Engine<'a> {
             delta: options.delta_override.unwrap_or(matcher.params.delta),
             q_first,
             q_last,
+            batch,
         })
     }
 
@@ -356,6 +384,14 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Whether a stream's windows may go through the batched f32 tier:
+    /// the tier must be on, the stream's mirror must be finite, and the
+    /// query's own stream stays scalar (its overlap exclusion is handled
+    /// inside [`Engine::score_window_at`], which the kernel bypasses).
+    fn stream_batchable(&self, sf: &StreamFeatures) -> bool {
+        self.batch.is_some() && sf.mirror32.finite && self.query.origin_stream != Some(sf.meta.id)
+    }
+
     /// Scans every window of the given streams (the per-worker unit of the
     /// parallel path).
     fn scan_streams(
@@ -365,6 +401,9 @@ impl<'a> Engine<'a> {
         coll: &mut Collector,
         tally: &mut SearchTally,
     ) {
+        let mut batcher = BatchScorer::new();
+        let mut starts: Vec<usize> = Vec::new();
+        let mut survivors: Vec<usize> = Vec::new();
         for sf in streams {
             if !self.allows(sf.meta.patient) {
                 continue;
@@ -375,8 +414,234 @@ impl<'a> Engine<'a> {
             }
             let relation = self.relation(&sf.meta);
             let ws = self.params.ws(relation);
-            for start in 0..=(nseg - self.n) {
-                self.score_window_at(sf, start, relation, ws, scorer, coll, tally);
+            if self.stream_batchable(sf) {
+                self.scan_stream_batched(
+                    &mut batcher,
+                    &mut starts,
+                    &mut survivors,
+                    sf,
+                    relation,
+                    ws,
+                    coll,
+                    tally,
+                );
+            } else {
+                for start in 0..=(nseg - self.n) {
+                    self.score_window_at(sf, start, relation, ws, scorer, coll, tally);
+                }
+            }
+        }
+    }
+
+    /// Scans one stream through the batched kernel: the whole-stream
+    /// state gate first rejects every misaligned window in one
+    /// vectorized pass, the surviving starts go through the f32 lane
+    /// kernel in groups of up to [`LANES`], and the f32 survivors are
+    /// finally re-scored in exact f64 — also [`LANES`] at a time, via
+    /// [`BatchScorer::rescore_exact`] — so no per-window call overhead
+    /// remains anywhere on the path. `starts_buf` and `surv_buf` are
+    /// caller scratch, reused across streams.
+    ///
+    /// The stream is never the query's own (see
+    /// [`Engine::stream_batchable`]), so the overlap exclusion the
+    /// scalar [`Engine::score_window_at`] performs is vacuous here.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_stream_batched(
+        &self,
+        batcher: &mut BatchScorer,
+        starts_buf: &mut Vec<usize>,
+        surv_buf: &mut Vec<usize>,
+        sf: &StreamFeatures,
+        relation: SourceRelation,
+        ws: f64,
+        coll: &mut Collector,
+        tally: &mut SearchTally,
+    ) {
+        // lint:allow(no-unwrap-in-lib): callers dispatch here only when
+        // the resolved mode is Batched, which requires a built batch query
+        let bq = self.batch.as_ref().expect("batched scan without a query");
+        let total = sf.num_segments() - self.n + 1;
+        let mask = batcher.match_mask(bq, sf);
+        starts_buf.clear();
+        starts_buf.extend((0..total).filter(|&j| mask[j] == 0));
+        tally.windows_state_mismatch += (total - starts_buf.len()) as u64;
+        if starts_buf.is_empty() {
+            return;
+        }
+        // One shared limit and one kernel sweep per stream. The bound is
+        // sampled once per stream rather than per group; a stale (looser)
+        // bound only prunes less, and the exact rescans below make every
+        // final accept/reject decision, so results are unaffected.
+        tally.batch_groups_scored += starts_buf.len().div_ceil(LANES) as u64;
+        let limit = bq.stream_limit(sf, ws, coll.bound());
+        surv_buf.clear();
+        let pruned = batcher.collect_survivors(bq, sf, starts_buf, limit, surv_buf);
+        // One tally update per stream, not per pruned lane.
+        tally.windows_scored += pruned;
+        tally.windows_abandoned += pruned;
+        tally.batch_lanes_abandoned += pruned;
+        tally.f32_prune_rescans += surv_buf.len() as u64;
+        coll.reserve(surv_buf.len());
+        for chunk in surv_buf.chunks(LANES) {
+            let outs = batcher.rescore_exact(&self.cols, self.params, sf, chunk, ws, coll.bound());
+            for (l, &start) in chunk.iter().enumerate() {
+                match outs[l] {
+                    RescanOutcome::Inactive => {
+                        debug_assert!(false, "inactive lane inside the survivor count");
+                    }
+                    RescanOutcome::Abandoned => {
+                        tally.windows_scored += 1;
+                        tally.windows_abandoned += 1;
+                    }
+                    RescanOutcome::Scored(d) => {
+                        tally.windows_scored += 1;
+                        tally.windows_completed += 1;
+                        if d <= self.delta {
+                            coll.push(MatchResult {
+                                subseq: SubseqRef::new(sf.meta.id, start, self.n),
+                                distance: d,
+                                ws,
+                                relation,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies one group's lane outcomes: prunes are tallied, survivors
+    /// are re-scored by the exact f64 scorer (which also pushes any
+    /// result), keeping the scalar balance equation
+    /// `windows_scored == windows_abandoned + windows_completed` intact.
+    #[allow(clippy::too_many_arguments)]
+    fn consume_group(
+        &self,
+        g: &GroupResult,
+        sf: &StreamFeatures,
+        starts: &[usize],
+        relation: SourceRelation,
+        ws: f64,
+        scorer: &mut WindowScorer,
+        coll: &mut Collector,
+        tally: &mut SearchTally,
+    ) {
+        tally.batch_groups_scored += 1;
+        let mut pruned = 0u64;
+        for (l, &start) in starts.iter().enumerate() {
+            match g.lanes[l] {
+                LaneOutcome::Inactive => {
+                    debug_assert!(false, "inactive lane inside the candidate count");
+                }
+                LaneOutcome::Pruned => pruned += 1,
+                LaneOutcome::Survivor => {
+                    tally.f32_prune_rescans += 1;
+                    self.score_window_at(sf, start, relation, ws, scorer, coll, tally);
+                }
+            }
+        }
+        // One tally update per group, not per pruned lane.
+        tally.windows_scored += pruned;
+        tally.windows_abandoned += pruned;
+        tally.batch_lanes_abandoned += pruned;
+    }
+
+    /// Scores the candidates the indexed path deferred for batching:
+    /// same-stream runs become lane groups of up to [`LANES`], f32-pruned
+    /// against the current bound, and survivors are re-scored exactly.
+    /// `cands` must already be grouped by stream (the state-order index
+    /// yields that order) and every candidate must match the query's
+    /// state order (the index is keyed by state signature, so that holds
+    /// by construction).
+    fn score_deferred_batched(
+        &self,
+        cands: &[(&Arc<StreamFeatures>, usize)],
+        scorer: &mut WindowScorer,
+        coll: &mut Collector,
+        tally: &mut SearchTally,
+    ) {
+        if cands.is_empty() {
+            return;
+        }
+        // lint:allow(no-unwrap-in-lib): callers dispatch here only when
+        // the resolved mode is Batched, which requires a built batch query
+        let bq = self.batch.as_ref().expect("batched flush without a query");
+        let mut batcher = BatchScorer::new();
+        let mut starts = [0usize; LANES];
+        let mut i = 0usize;
+        while i < cands.len() {
+            let sf = cands[i].0;
+            let relation = self.relation(&sf.meta);
+            let ws = self.params.ws(relation);
+            let mut cnt = 0usize;
+            while i < cands.len() && cnt < LANES && cands[i].0.meta.id == sf.meta.id {
+                starts[cnt] = cands[i].1;
+                cnt += 1;
+                i += 1;
+            }
+            let g = batcher.score_starts(bq, sf, &starts[..cnt], ws, coll.bound());
+            self.consume_group(&g, sf, &starts[..cnt], relation, ws, scorer, coll, tally);
+        }
+    }
+
+    /// Scores band-qualified deferred candidates with the batched exact
+    /// rescorer alone, skipping the f32 tier: amplitude/duration band
+    /// survivors are already plausible matches, so the f32 pass mostly
+    /// fails to prune and would only add its own cost on top of the
+    /// exact scoring it cannot avoid. `cands` must be grouped by stream
+    /// and state-gated, as in [`Engine::score_deferred_batched`].
+    fn score_deferred_exact(
+        &self,
+        cands: &[(&Arc<StreamFeatures>, usize)],
+        coll: &mut Collector,
+        tally: &mut SearchTally,
+    ) {
+        if cands.is_empty() {
+            return;
+        }
+        let mut batcher = BatchScorer::new();
+        let mut starts = [0usize; LANES];
+        let mut i = 0usize;
+        while i < cands.len() {
+            let sf = cands[i].0;
+            let relation = self.relation(&sf.meta);
+            let ws = self.params.ws(relation);
+            let mut cnt = 0usize;
+            while i < cands.len() && cnt < LANES && cands[i].0.meta.id == sf.meta.id {
+                starts[cnt] = cands[i].1;
+                cnt += 1;
+                i += 1;
+            }
+            let outs = batcher.rescore_exact(
+                &self.cols,
+                self.params,
+                sf,
+                &starts[..cnt],
+                ws,
+                coll.bound(),
+            );
+            for (l, &start) in starts[..cnt].iter().enumerate() {
+                match outs[l] {
+                    RescanOutcome::Inactive => {
+                        debug_assert!(false, "inactive lane inside the candidate count");
+                    }
+                    RescanOutcome::Abandoned => {
+                        tally.windows_scored += 1;
+                        tally.windows_abandoned += 1;
+                    }
+                    RescanOutcome::Scored(d) => {
+                        tally.windows_scored += 1;
+                        tally.windows_completed += 1;
+                        if d <= self.delta {
+                            coll.push(MatchResult {
+                                subseq: SubseqRef::new(sf.meta.id, start, self.n),
+                                distance: d,
+                                ws,
+                                relation,
+                            });
+                        }
+                    }
+                }
             }
         }
     }
@@ -560,6 +825,10 @@ impl Matcher {
         let mut scorer = WindowScorer::new();
         let mut coll = engine.collector();
         let mut tally = SearchTally::default();
+        // Batchable candidates are deferred into stream-grouped lane
+        // groups (the index yields them grouped by stream in ascending
+        // start order already); the rest are scored scalar in place.
+        let mut deferred: Vec<(&Arc<StreamFeatures>, usize)> = Vec::new();
         for r in index.candidates(sig) {
             tally.bucket_candidates += 1;
             let Some(sf) = features.stream(r.stream) else {
@@ -572,10 +841,15 @@ impl Matcher {
             if start + n > sf.num_segments() {
                 continue;
             }
+            if engine.stream_batchable(sf) {
+                deferred.push((sf, start));
+                continue;
+            }
             let relation = engine.relation(&sf.meta);
             let ws = self.params.ws(relation);
             engine.score_window_at(sf, start, relation, ws, &mut scorer, &mut coll, &mut tally);
         }
+        engine.score_deferred_batched(&deferred, &mut scorer, &mut coll, &mut tally);
         self.metrics.incr(Counter::Searches);
         self.metrics.record_search(&tally);
         let mut out = coll.into_vec();
@@ -606,7 +880,14 @@ impl Matcher {
         let features = self.store.segment_features(self.params.axis);
         invariants::features_snapshot_coherent(&features);
         let streams = features.streams();
-        let threads = threads.max(1).min(streams.len().max(1));
+        // Oversubscribing physical cores only adds spawn/join overhead —
+        // the workers are pure CPU with no blocking — so cap the worker
+        // count at the host's available parallelism. On a single-core host
+        // this degenerates to the serial (batched) scan.
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(usize::MAX);
+        let threads = threads.max(1).min(streams.len().max(1)).min(cores);
         if threads <= 1 {
             return self.find_matches_with(query, options);
         }
@@ -723,6 +1004,12 @@ impl Matcher {
             index.candidates_in_band_counted(sig, q_amp_sum, amp_band, q_duration, dur_band);
         tally.bucket_candidates += counts.bucket as u64;
         tally.amp_band_candidates += counts.amp_band as u64;
+        // Band entries arrive sorted by amplitude summary, interleaving
+        // streams; batchable candidates are deferred and regrouped into
+        // dense per-stream lane runs below (results are order-independent
+        // — only the bound's tightening path differs, and `finish` orders
+        // the output).
+        let mut deferred: Vec<(&Arc<StreamFeatures>, usize)> = Vec::new();
         for e in band {
             tally.dur_band_candidates += 1;
             let Some(sf) = features.stream(e.stream) else {
@@ -738,10 +1025,41 @@ impl Matcher {
             invariants::band_candidate_admissible(
                 e, sf, start, n, q_amp_sum, amp_band, q_duration, dur_band,
             );
+            if engine.stream_batchable(sf) {
+                deferred.push((sf, start));
+                continue;
+            }
             let relation = engine.relation(&sf.meta);
             let ws = self.params.ws(relation);
             engine.score_window_at(sf, start, relation, ws, &mut scorer, &mut coll, &mut tally);
         }
+        // Counting sort keyed on the (small, dense) stream id: at band
+        // selectivities of a few thousand candidates, a comparison sort
+        // costs as much as the exact scoring it enables, while this
+        // grouping pass is ~10x cheaper. Within-stream order stays the
+        // band's amplitude order, which is fine — lanes are independent.
+        if deferred.len() > 1 {
+            let max_id = deferred
+                .iter()
+                .map(|(sf, _)| sf.meta.id.0 as usize)
+                .max()
+                .unwrap_or(0);
+            let mut slots = vec![0u32; max_id + 2];
+            for (sf, _) in &deferred {
+                slots[sf.meta.id.0 as usize + 1] += 1;
+            }
+            for i in 1..slots.len() {
+                slots[i] += slots[i - 1];
+            }
+            let mut grouped = vec![deferred[0]; deferred.len()];
+            for &(sf, start) in &deferred {
+                let id = sf.meta.id.0 as usize;
+                grouped[slots[id] as usize] = (sf, start);
+                slots[id] += 1;
+            }
+            deferred = grouped;
+        }
+        engine.score_deferred_exact(&deferred, &mut coll, &mut tally);
         self.metrics.incr(Counter::Searches);
         self.metrics.record_search(&tally);
         let mut out = coll.into_vec();

@@ -14,6 +14,9 @@
 //! [`MetricsSnapshot::check_invariants`] and the test suite):
 //!
 //! * `match.windows_scored == match.windows_abandoned + match.windows_completed`
+//! * `match.batch_lanes_abandoned <= match.windows_abandoned`
+//! * `match.batch_lanes_abandoned + match.f32_prune_rescans <=
+//!   min(match.windows_scored, 8 · match.batch_groups_scored)`
 //! * `cache.hits + cache.misses == cache.lookups`
 //! * `session.predictions_served + session.predictions_abstained == session.ticks`
 //! * `session.abstained_unhealthy <= session.predictions_abstained`
@@ -115,9 +118,17 @@ pub enum Counter {
     SalvageStreamsRecovered,
     /// Streams lost (expected minus recovered) across salvage loads.
     SalvageStreamsLost,
+    /// Lane groups the batched f32 kernel scored (groups with at least
+    /// one state-matched lane).
+    BatchGroupsScored,
+    /// Lanes the f32 tier pruned admissibly (counted into
+    /// `match.windows_abandoned` as well — the lane *was* the abandon).
+    BatchLanesAbandoned,
+    /// f32-tier survivors re-scored by the exact f64 scorer.
+    F32PruneRescans,
 }
 
-const COUNTER_COUNT: usize = Counter::SalvageStreamsLost as usize + 1;
+const COUNTER_COUNT: usize = Counter::F32PruneRescans as usize + 1;
 
 const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
     "match.searches",
@@ -154,6 +165,9 @@ const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
     "store.salvage_loads",
     "store.salvage_streams_recovered",
     "store.salvage_streams_lost",
+    "match.batch_groups_scored",
+    "match.batch_lanes_abandoned",
+    "match.f32_prune_rescans",
 ];
 
 impl Counter {
@@ -255,6 +269,13 @@ pub struct SearchTally {
     pub amp_band_candidates: u64,
     /// Entries surviving the duration band too.
     pub dur_band_candidates: u64,
+    /// Lane groups the batched kernel scored (≥ 1 state-matched lane).
+    pub batch_groups_scored: u64,
+    /// Lanes the f32 tier pruned (each also counts as a scored+abandoned
+    /// window, so the scalar balance equation still holds).
+    pub batch_lanes_abandoned: u64,
+    /// f32-tier survivors handed to the exact f64 rescan.
+    pub f32_prune_rescans: u64,
 }
 
 impl SearchTally {
@@ -271,6 +292,9 @@ impl SearchTally {
         self.bucket_candidates += other.bucket_candidates;
         self.amp_band_candidates += other.amp_band_candidates;
         self.dur_band_candidates += other.dur_band_candidates;
+        self.batch_groups_scored += other.batch_groups_scored;
+        self.batch_lanes_abandoned += other.batch_lanes_abandoned;
+        self.f32_prune_rescans += other.f32_prune_rescans;
         crate::invariants::tally_reconciled(self);
     }
 }
@@ -374,6 +398,9 @@ impl MetricsRegistry {
         self.add(Counter::IndexBucketCandidates, t.bucket_candidates);
         self.add(Counter::IndexAmpBandCandidates, t.amp_band_candidates);
         self.add(Counter::IndexDurBandCandidates, t.dur_band_candidates);
+        self.add(Counter::BatchGroupsScored, t.batch_groups_scored);
+        self.add(Counter::BatchLanesAbandoned, t.batch_lanes_abandoned);
+        self.add(Counter::F32PruneRescans, t.f32_prune_rescans);
     }
 
     /// A point-in-time copy of every counter and histogram. A disabled
@@ -543,6 +570,25 @@ impl MetricsSnapshot {
         if scored != abandoned + completed {
             return Err(format!(
                 "windows_scored ({scored}) != abandoned ({abandoned}) + completed ({completed})"
+            ));
+        }
+        let groups = self.counter("match.batch_groups_scored");
+        let lanes_abandoned = self.counter("match.batch_lanes_abandoned");
+        let rescans = self.counter("match.f32_prune_rescans");
+        if lanes_abandoned > abandoned {
+            return Err(format!(
+                "batch_lanes_abandoned ({lanes_abandoned}) > windows_abandoned ({abandoned})"
+            ));
+        }
+        if lanes_abandoned + rescans > scored {
+            return Err(format!(
+                "batched lanes ({lanes_abandoned}) + rescans ({rescans}) > windows_scored ({scored})"
+            ));
+        }
+        if lanes_abandoned + rescans > 8 * groups {
+            return Err(format!(
+                "batched lanes ({lanes_abandoned}) + rescans ({rescans}) exceed \
+                 8 x batch_groups_scored ({groups})"
             ));
         }
         let lookups = self.counter("cache.lookups");

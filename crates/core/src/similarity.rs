@@ -134,7 +134,7 @@ pub fn offline_distance(
 /// most a few ULPs per term (n ≤ 60 terms), so a 1e-9 relative margin
 /// guarantees a window is abandoned only when its exact forward-computed
 /// distance provably exceeds the bound.
-const ABANDON_MARGIN: f64 = 1.0 + 1e-9;
+pub(crate) const ABANDON_MARGIN: f64 = 1.0 + 1e-9;
 
 /// The query side of the columnar scoring engine: per-segment features of
 /// the query laid out as flat arrays, plus the precomputed recency weights.

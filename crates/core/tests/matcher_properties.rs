@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+use tsm_core::batch::ScoringMode;
 use tsm_core::matcher::{Matcher, QuerySubseq, SearchOptions};
 use tsm_core::metrics::{MetricsRegistry, MetricsSnapshot};
 use tsm_core::predict::{predict_position, AlignMode};
@@ -140,6 +141,7 @@ proptest! {
             restrict_patients: restrict.then(|| {
                 store.patients().into_iter().take(1).collect()
             }),
+            ..Default::default()
         };
         let naive = matcher.find_matches_naive(&query, &opts);
         prop_assert!(naive.len() <= k);
@@ -198,6 +200,133 @@ proptest! {
                 "prediction {} outside envelope [{lo}, {hi}]",
                 p[0]
             );
+        }
+    }
+
+    /// The vectorized f32 tier is invisible in results: forcing
+    /// `ScoringMode::Batched` returns the bit-identical ordered top-k as
+    /// forcing `ScoringMode::Scalar` — which itself equals the naive
+    /// reference — on all four engine variants, across query cuts, k, δ
+    /// and thread counts. This is the lane-group admissibility proof at
+    /// the API boundary: a pruned lane may only ever be a window whose
+    /// exact distance exceeds the bound.
+    #[test]
+    fn batched_scoring_is_bit_identical_to_scalar(
+        amp in 6.0f64..18.0,
+        seed in 1u64..500,
+        start in 0usize..8,
+        len in 3usize..12,
+        k in 1usize..12,
+        delta in 0.3f64..10.0,
+        threads in 2usize..5,
+    ) {
+        let (store, id) = build_store(amp, 4.0, seed);
+        let matcher = Matcher::new(store.clone(), Params::default());
+        let index = StateOrderIndex::build(&store, len);
+        let feature_index = tsm_db::FeatureIndex::build(&store, len, 0);
+        let Some(view) = store.resolve(SubseqRef::new(id, start, len)) else {
+            return Ok(());
+        };
+        let query = QuerySubseq::from_view(&view);
+        let base = SearchOptions {
+            top_k: Some(k),
+            delta_override: Some(delta),
+            ..Default::default()
+        };
+        let scalar = SearchOptions { scoring: ScoringMode::Scalar, ..base.clone() };
+        let batched = SearchOptions { scoring: ScoringMode::Batched, ..base.clone() };
+        let naive = matcher.find_matches_naive(&query, &base);
+        prop_assert_eq!(&naive, &matcher.find_matches_with(&query, &scalar));
+        prop_assert_eq!(&naive, &matcher.find_matches_with(&query, &batched));
+        prop_assert_eq!(&naive, &matcher.find_matches_indexed(&query, &index, &batched));
+        prop_assert_eq!(&naive, &matcher.find_matches_pruned(&query, &feature_index, &batched));
+        prop_assert_eq!(&naive, &matcher.find_matches_parallel(&query, &batched, threads));
+        // Unbounded (no top-k) as well: the bound never tightens below δ,
+        // so the f32 tier prunes on δ alone.
+        let all_scalar = matcher.find_matches_with(&query, &SearchOptions {
+            top_k: None, ..scalar.clone()
+        });
+        let all_batched = matcher.find_matches_with(&query, &SearchOptions {
+            top_k: None, ..batched.clone()
+        });
+        prop_assert_eq!(&all_scalar, &all_batched);
+    }
+
+    /// Direct admissibility of the f32 lower-bound tier on random window
+    /// groups: a lane the kernel prunes at bound `b` always has exact f64
+    /// distance strictly greater than `b` (verified against the exact
+    /// scalar scorer), for consecutive and gathered lane layouts.
+    #[test]
+    fn f32_tier_never_prunes_an_admissible_window(
+        amp in 6.0f64..18.0,
+        seed in 1u64..500,
+        start in 0usize..8,
+        len in 3usize..10,
+        bound in 0.05f64..6.0,
+    ) {
+        use tsm_core::batch::{BatchQuery, BatchScorer, LaneOutcome, LANES};
+        use tsm_core::similarity::{QueryCols, ScoreOutcome, WindowCols, WindowScorer};
+
+        let (store, id) = build_store(amp, 4.0, seed);
+        let params = Params::default();
+        let Some(view) = store.resolve(SubseqRef::new(id, start, len)) else {
+            return Ok(());
+        };
+        let query = QuerySubseq::from_view(&view);
+        let Some(cols) = QueryCols::build(&query.vertices, &params) else {
+            return Ok(());
+        };
+        let n = cols.len();
+        let Some(bq) = BatchQuery::build(&cols, &params) else {
+            return Ok(());
+        };
+        let mut kernel = BatchScorer::new();
+        let mut exact = WindowScorer::new();
+        let features = store.segment_features(params.axis);
+        for sf in features.streams() {
+            if !sf.mirror32.finite || sf.num_segments() < n {
+                continue;
+            }
+            let total = sf.num_segments() - n + 1;
+            let matched: Vec<usize> = {
+                let mask = kernel.match_mask(&bq, sf);
+                prop_assert_eq!(mask.len(), total);
+                for (j, &m) in mask.iter().enumerate() {
+                    prop_assert_eq!(
+                        m == 0,
+                        sf.states[j..j + n] == cols.states[..],
+                        "gate disagreement: stream {:?} start {}",
+                        sf.meta.id, j,
+                    );
+                }
+                (0..total).filter(|&j| mask[j] == 0).collect()
+            };
+            for chunk in matched.chunks(LANES) {
+                let group = kernel.score_starts(&bq, sf, chunk, 1.0, bound);
+                for (l, &w) in chunk.iter().enumerate() {
+                    if !matches!(group.lanes[l], LaneOutcome::Pruned) {
+                        continue;
+                    }
+                    let cand = WindowCols {
+                        states: &sf.states[w..w + n],
+                        disp: &sf.disp[w..w + n],
+                        dvec: &sf.dvec[w..w + n],
+                        dur: &sf.dur[w..w + n],
+                    };
+                    let refutable = match exact.score_window_outcome(
+                        &cols, cand, &params, 1.0, bound,
+                    ) {
+                        ScoreOutcome::Scored(d) => d > bound,
+                        ScoreOutcome::Abandoned => true,
+                        ScoreOutcome::StateMismatch => false,
+                    };
+                    prop_assert!(
+                        refutable,
+                        "inadmissible f32 prune: stream {:?} start {} bound {}",
+                        sf.meta.id, w, bound,
+                    );
+                }
+            }
         }
     }
 

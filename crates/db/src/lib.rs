@@ -36,7 +36,7 @@ pub mod stream;
 pub mod subsequence;
 
 pub use feature_index::{BandCounts, FeatureEntry, FeatureIndex};
-pub use features::{SegmentFeatures, StreamFeatures};
+pub use features::{f32_above, Mirror32, SegmentFeatures, StreamFeatures};
 pub use ids::{PatientId, StreamId};
 pub use index::StateOrderIndex;
 pub use persist::{

@@ -12,7 +12,7 @@
 //! * [`rules`] — the rule registry: `no-unwrap-in-lib`,
 //!   `explicit-atomic-ordering`, `no-float-eq`,
 //!   `no-instant-now-in-hot-path`, `bounded-channel-only`,
-//!   `no-silent-result-drop`.
+//!   `no-silent-result-drop`, `no-unsafe-in-kernel`.
 //! * [`lint_workspace`] / [`lint_file`] — the drivers, walking every
 //!   `.rs` file outside `vendor/`, `target/`, and the lint's own test
 //!   fixtures.
@@ -71,12 +71,14 @@ pub fn classify(rel: &Path) -> Option<FileClass> {
     {
         return Some(FileClass::TestCode);
     }
-    for lib in [
-        "crates/core/src/",
-        "crates/db/src/",
-        "crates/model/src/",
-        "crates/signal/src/",
-    ] {
+    // The kernel crates carry the batch scoring hot path and its
+    // columnar mirrors; they are additionally barred from `unsafe`.
+    for kernel in ["crates/core/src/", "crates/db/src/"] {
+        if s.starts_with(kernel) {
+            return Some(FileClass::Kernel);
+        }
+    }
+    for lib in ["crates/model/src/", "crates/signal/src/"] {
         if s.starts_with(lib) {
             return Some(FileClass::CoreLib);
         }
@@ -175,10 +177,18 @@ mod tests {
     fn classification_map() {
         assert_eq!(
             classify(Path::new("crates/core/src/matcher.rs")),
-            Some(FileClass::CoreLib)
+            Some(FileClass::Kernel)
         );
         assert_eq!(
             classify(Path::new("crates/db/src/store.rs")),
+            Some(FileClass::Kernel)
+        );
+        assert_eq!(
+            classify(Path::new("crates/model/src/lib.rs")),
+            Some(FileClass::CoreLib)
+        );
+        assert_eq!(
+            classify(Path::new("crates/signal/src/lib.rs")),
             Some(FileClass::CoreLib)
         );
         assert_eq!(

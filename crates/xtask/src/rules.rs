@@ -21,8 +21,15 @@ use crate::scanner::ScannedFile;
 /// Where a file sits in the workspace, which decides rule applicability.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FileClass {
-    /// Library source of `tsm-core` / `tsm-db` / `tsm-model` /
-    /// `tsm-signal` — the crates whose hot paths must never panic.
+    /// Library source of `tsm-core` / `tsm-db` — the crates holding the
+    /// vectorized scoring kernel and the columnar mirrors it reads.
+    /// Everything [`FileClass::CoreLib`] demands, plus a ban on
+    /// `unsafe`: the batch kernel's whole safety story is that it is
+    /// plain safe Rust, so an `unsafe` block here needs a written
+    /// justification.
+    Kernel,
+    /// Library source of `tsm-model` / `tsm-signal` — the remaining
+    /// crates whose hot paths must never panic.
     CoreLib,
     /// Other first-party non-test code: CLI, baselines, bench harness,
     /// xtask itself.
@@ -30,6 +37,14 @@ pub enum FileClass {
     /// Tests, benches, examples, and lint fixtures: exempt from the
     /// panic and timing rules.
     TestCode,
+}
+
+impl FileClass {
+    /// True for the library classes ([`FileClass::Kernel`] and
+    /// [`FileClass::CoreLib`]) that the panic/timing/channel rules bind.
+    fn is_lib(self) -> bool {
+        matches!(self, FileClass::Kernel | FileClass::CoreLib)
+    }
 }
 
 /// One lint finding.
@@ -86,6 +101,11 @@ pub fn all_rules() -> &'static [Rule] {
             name: "no-silent-result-drop",
             description: "no `let _ = ...` in library code; handle the value or justify",
             check: no_silent_result_drop,
+        },
+        Rule {
+            name: "no-unsafe-in-kernel",
+            description: "no `unsafe` in tsm-core/tsm-db; the scoring kernel is safe Rust",
+            check: no_unsafe_in_kernel,
         },
     ]
 }
@@ -166,7 +186,7 @@ fn emit(
 // ---------------------------------------------------------------------------
 
 fn no_unwrap_in_lib(scanned: &ScannedFile, class: FileClass, out: &mut Vec<Finding>) {
-    if class != FileClass::CoreLib {
+    if !class.is_lib() {
         return;
     }
     for (needle, what) in [
@@ -385,7 +405,7 @@ fn is_floaty(token: &str) -> bool {
 // ---------------------------------------------------------------------------
 
 fn no_instant_now(scanned: &ScannedFile, class: FileClass, out: &mut Vec<Finding>) {
-    if class != FileClass::CoreLib {
+    if !class.is_lib() {
         return;
     }
     for needle in ["Instant::now()", "SystemTime::now()"] {
@@ -406,7 +426,7 @@ fn no_instant_now(scanned: &ScannedFile, class: FileClass, out: &mut Vec<Finding
 // ---------------------------------------------------------------------------
 
 fn bounded_channel_only(scanned: &ScannedFile, class: FileClass, out: &mut Vec<Finding>) {
-    if class != FileClass::CoreLib {
+    if !class.is_lib() {
         return;
     }
     for needle in ["mpsc::channel()", "mpsc::channel::<", "channel::unbounded("] {
@@ -433,7 +453,7 @@ fn bounded_channel_only(scanned: &ScannedFile, class: FileClass, out: &mut Vec<F
 /// code. An error silently dropped on a fault path is how degradation
 /// stops being graceful.
 fn no_silent_result_drop(scanned: &ScannedFile, class: FileClass, out: &mut Vec<Finding>) {
-    if class != FileClass::CoreLib {
+    if !class.is_lib() {
         return;
     }
     for needle in ["let _ =", "let _="] {
@@ -456,6 +476,45 @@ fn no_silent_result_drop(scanned: &ScannedFile, class: FileClass, out: &mut Vec<
                     .to_string(),
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-unsafe-in-kernel
+// ---------------------------------------------------------------------------
+
+/// The batch scoring kernel's portability and audit story rests on it
+/// being plain safe Rust — lane structs and iterator loops the compiler
+/// autovectorizes, never intrinsics or raw pointers. Any `unsafe` in the
+/// kernel crates therefore needs a written justification.
+fn no_unsafe_in_kernel(scanned: &ScannedFile, class: FileClass, out: &mut Vec<Finding>) {
+    if class != FileClass::Kernel {
+        return;
+    }
+    let bytes = scanned.code.as_bytes();
+    for (off, pat) in scanned.code.match_indices("unsafe") {
+        // `unsafe` must stand alone as a keyword: identifiers merely
+        // containing it (`unsafe_cell`, `is_unsafe`) don't fire.
+        if off > 0 {
+            let prev = bytes[off - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                continue;
+            }
+        }
+        if let Some(&next) = bytes.get(off + pat.len()) {
+            if next.is_ascii_alphanumeric() || next == b'_' {
+                continue;
+            }
+        }
+        emit(
+            scanned,
+            out,
+            "no-unsafe-in-kernel",
+            off,
+            "`unsafe` in a kernel crate; the scoring kernel is guaranteed safe Rust — \
+             restructure, or justify with lint:allow"
+                .to_string(),
+        );
     }
 }
 
@@ -547,6 +606,45 @@ mod tests {
         assert_eq!(hits[0].rule, "no-silent-result-drop");
         assert!(findings(src, FileClass::Tooling).is_empty());
         assert!(findings(src, FileClass::TestCode).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fires_only_in_kernel_crates() {
+        let src = "fn f(p: *const f32) -> f32 { unsafe { *p } }\n";
+        let hits = findings(src, FileClass::Kernel);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "no-unsafe-in-kernel");
+        assert!(findings(src, FileClass::CoreLib).is_empty());
+        assert!(findings(src, FileClass::Tooling).is_empty());
+        assert!(findings(src, FileClass::TestCode).is_empty());
+    }
+
+    #[test]
+    fn unsafe_keyword_boundaries_and_suppression() {
+        // Identifiers containing `unsafe` don't fire; neither do string
+        // literals or comments (masked by the scanner).
+        let ident = "fn f() { let unsafe_looking = 1; let is_unsafe = 2; }\n";
+        assert!(findings(ident, FileClass::Kernel).is_empty());
+        let masked = "fn f() { let s = \"unsafe\"; } // unsafe would be bad\n";
+        assert!(findings(masked, FileClass::Kernel).is_empty());
+        let suppressed = "fn f(p: *const f32) -> f32 {\n    \
+             // lint:allow(no-unsafe-in-kernel): pointer from a valid slice\n    \
+             unsafe { *p }\n}\n";
+        assert!(findings(suppressed, FileClass::Kernel).is_empty());
+        // `unsafe fn` and `unsafe impl` items fire like blocks do.
+        let item = "pub unsafe fn g() {}\n";
+        assert_eq!(findings(item, FileClass::Kernel).len(), 1);
+    }
+
+    #[test]
+    fn kernel_class_inherits_the_lib_rules() {
+        let src = "fn f() { x.unwrap(); let _ = send(); }\n";
+        let rules: Vec<_> = findings(src, FileClass::Kernel)
+            .iter()
+            .map(|f| f.rule)
+            .collect();
+        assert!(rules.contains(&"no-unwrap-in-lib"), "{rules:?}");
+        assert!(rules.contains(&"no-silent-result-drop"), "{rules:?}");
     }
 
     #[test]

@@ -1,0 +1,18 @@
+//! Fixture: the `unsafe` keyword is barred from the kernel crates.
+
+pub fn bad(p: *const f32) -> f32 {
+    unsafe { *p }
+}
+
+pub unsafe fn also_bad() {}
+
+pub fn justified(p: *const f32) -> f32 {
+    // lint:allow(no-unsafe-in-kernel): pointer comes from a live slice
+    unsafe { *p }
+}
+
+pub fn traps() {
+    let s = "unsafe in a string fires nothing";
+    let not_unsafe_ident = s.len(); // `unsafe` in a comment fires nothing
+    assert!(not_unsafe_ident > 0);
+}

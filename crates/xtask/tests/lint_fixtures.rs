@@ -106,6 +106,21 @@ fn silent_result_drop_fixture() {
 }
 
 #[test]
+fn unsafe_in_kernel_fixture() {
+    // Line 4: unsafe block. Line 7: unsafe fn item. The justified
+    // block, the string trap, the comment trap, and the identifier
+    // containing `unsafe` stay silent.
+    assert_eq!(
+        lint_fixture("unsafe_in_kernel.rs", FileClass::Kernel),
+        all("no-unsafe-in-kernel", &[4, 7])
+    );
+    // Only the kernel crates (tsm-core / tsm-db) are barred from unsafe.
+    assert!(lint_fixture("unsafe_in_kernel.rs", FileClass::CoreLib).is_empty());
+    assert!(lint_fixture("unsafe_in_kernel.rs", FileClass::Tooling).is_empty());
+    assert!(lint_fixture("unsafe_in_kernel.rs", FileClass::TestCode).is_empty());
+}
+
+#[test]
 fn fixtures_are_excluded_from_workspace_walks() {
     assert_eq!(
         classify(Path::new("crates/xtask/tests/fixtures/unwrap_in_lib.rs")),

@@ -45,9 +45,19 @@ trap 'rm -f "$raw"' EXIT
 echo "== building benches (release) =="
 cargo build --release -p tsm-bench --benches
 
-echo "== running matching + distances benches =="
+echo "== checking scalar/batched scoring equivalence (release) =="
+# The scoring numbers below are only comparable if both modes return the
+# same answers. Prove it before measuring: the property suite's
+# batched-vs-scalar bit-identity tests must pass in release mode (the
+# same optimization level the benches run at).
+cargo test --release -p tsm-core --test matcher_properties -- --quiet \
+    batched_scoring_is_bit_identical_to_scalar \
+    f32_tier_never_prunes_an_admissible_window
+
+echo "== running matching + distances + scoring benches =="
 CRITERION_SNAPSHOT="$raw" cargo bench -p tsm-bench --bench matching
 CRITERION_SNAPSHOT="$raw" cargo bench -p tsm-bench --bench distances
+CRITERION_SNAPSHOT="$raw" cargo bench -p tsm-bench --bench scoring
 
 python3 - "$raw" "$out" "$label" "$commit" <<'EOF'
 import json, sys, datetime
