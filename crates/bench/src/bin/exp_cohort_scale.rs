@@ -1,0 +1,342 @@
+//! Experiment: **cohort scale — ramp-to-saturation soak, sharded vs
+//! unsharded.**
+//!
+//! The sharded runtime exists because per-session concurrency does not
+//! survive cohort scale. Before the session layer was restructured, each
+//! live session owned its own worker and its own channel hops — a model
+//! that burns one OS thread per session and interleaves every session's
+//! working set through the scheduler. The sharded runtime routes
+//! sessions onto a fixed pool of shard workers (deterministic
+//! [`tsm_core::session::ShardRouter`] placement), batches tick
+//! processing per shard, and gives each shard its own index cache and
+//! metrics registry so the hot path shares nothing across workers.
+//!
+//! This binary ramps the concurrent-session count (1, 2, 4, … 128),
+//! replaying the same fixed-seed cohort at each point through three
+//! regimes, all instrumented (metrics on — the production posture) and
+//! all on *warm* engines:
+//!
+//! * **per-session** — the unsharded runtime with one worker per
+//!   session (`threads = N`): the concurrency model the session layer
+//!   had before sharding, and the baseline the ramp is measured against;
+//! * **pooled** — the unsharded runtime on a fixed worker pool
+//!   (`threads = W`), isolating what batching alone buys;
+//! * **sharded** — `shards = W`: worker pools *plus* per-shard cache
+//!   and registry ownership and the background maintenance worker.
+//!
+//! Per-session reports must be bit-identical across all three at every
+//! point — this is a throughput experiment, never a results one. The
+//! **saturation knee** is the last ramp point that still improved
+//! sharded throughput by ≥ 5% over the previous point: beyond it,
+//! adding sessions no longer buys aggregate throughput on this host.
+//!
+//! Run with `--release`; `--quick` shortens the ramp and the sessions;
+//! `--json <path>` writes the curve as a JSON document (consumed by
+//! `scripts/bench_snapshot.sh` into `BENCH_cohort.json`).
+
+use std::sync::Arc;
+use tsm_bench::report::{banner, table};
+use tsm_core::metrics::MetricsRegistry;
+use tsm_core::session::{CohortReport, CohortRuntime, SessionSpec};
+use tsm_core::{CachedMatcher, Matcher, Params};
+use tsm_db::{PatientAttributes, PatientId, SharedStore, StreamStore};
+use tsm_model::{segment_signal, PlrTrajectory, SegmenterConfig};
+use tsm_signal::{BreathingParams, SignalGenerator};
+
+const PATIENTS: u32 = 8;
+const STORE_SEED: u64 = 0xC0110;
+const LIVE_SEED: u64 = 0x5E55;
+
+/// A store with `PATIENTS` patients, each holding one 240 s base stream
+/// — long enough that every prediction tick's match scan does real work.
+fn seeded_store() -> SharedStore {
+    let store = StreamStore::new();
+    for i in 0..PATIENTS {
+        let patient = store.add_patient(PatientAttributes::new());
+        let samples = SignalGenerator::new(BreathingParams::default(), STORE_SEED + u64::from(i))
+            .generate(240.0);
+        let vertices = segment_signal(&samples, SegmenterConfig::clean());
+        let plr = PlrTrajectory::from_vertices(vertices).expect("seeded stream segments");
+        store.add_stream(patient, 0, plr, samples.len());
+    }
+    store.into_shared()
+}
+
+/// The full fixed-seed cohort; ramp points replay prefixes of it, so a
+/// session's identity (and therefore its home shard) never depends on
+/// the ramp point it first appears at.
+fn cohort_specs(n: usize, duration_s: f64) -> Vec<SessionSpec> {
+    (0..n)
+        .map(|i| {
+            let patient = PatientId(i as u32 % PATIENTS);
+            let session = (i / PATIENTS as usize) as u32 + 1;
+            let samples = SignalGenerator::new(BreathingParams::default(), LIVE_SEED + i as u64)
+                .generate(duration_s);
+            SessionSpec {
+                patient,
+                session,
+                samples,
+            }
+        })
+        .collect()
+}
+
+fn instrumented_engine(store: &SharedStore, params: &Params) -> Arc<CachedMatcher> {
+    Arc::new(CachedMatcher::new(
+        Matcher::new(store.clone(), params.clone()).with_metrics(MetricsRegistry::enabled()),
+    ))
+}
+
+struct Mode {
+    wall_s: f64,
+    pps: f64,
+}
+
+struct RampPoint {
+    sessions: usize,
+    predictions: usize,
+    per_session: Mode,
+    pooled: Mode,
+    sharded: Mode,
+}
+
+impl RampPoint {
+    /// Sharded throughput over the per-session (pre-refactor) baseline.
+    fn speedup(&self) -> f64 {
+        self.sharded.pps / self.per_session.pps
+    }
+}
+
+fn replay_point(runtime: &CohortRuntime, specs: &[SessionSpec]) -> CohortReport {
+    let report = runtime.replay(specs);
+    assert!(
+        report.sessions.iter().all(|s| s.complete),
+        "a session failed mid-soak"
+    );
+    report
+}
+
+/// Best-of-`reps` for every regime at one ramp point, with the regimes
+/// interleaved round-robin inside each repeat round: a transient host
+/// slowdown then hits all regimes alike instead of skewing whichever one
+/// it landed on, so the per-point speedup ratios stay honest. The
+/// reports are bit-identical across repeats and regimes (replay is
+/// deterministic), so repeats only de-noise the wall clock — keep each
+/// regime's fastest.
+fn replay_best_of(
+    runtimes: &[&CohortRuntime],
+    specs: &[SessionSpec],
+    reps: usize,
+) -> Vec<CohortReport> {
+    let mut best: Vec<CohortReport> = runtimes.iter().map(|rt| replay_point(rt, specs)).collect();
+    for _ in 1..reps {
+        for (slot, rt) in best.iter_mut().zip(runtimes) {
+            let next = replay_point(rt, specs);
+            assert_eq!(slot.sessions, next.sessions, "replay is not deterministic");
+            if next.wall < slot.wall {
+                *slot = next;
+            }
+        }
+    }
+    best
+}
+
+fn mode(report: &CohortReport) -> Mode {
+    Mode {
+        wall_s: report.wall.as_secs_f64(),
+        pps: report.predictions_per_sec(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    let ramp: &[usize] = if quick {
+        &[1, 2, 4, 8, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64, 128]
+    };
+    let duration_s = if quick { 20.0 } else { 40.0 };
+    // Best-of-N repeats de-noise each point; small points are cheap, so
+    // they get more repeats.
+    let reps_for = |n: usize| -> usize {
+        if quick {
+            2
+        } else if n <= 8 {
+            7
+        } else {
+            5
+        }
+    };
+
+    let store = seeded_store();
+    let params = Params {
+        min_matches: 1,
+        ..Params::default()
+    };
+    let specs = cohort_specs(*ramp.last().expect("non-empty ramp"), duration_s);
+
+    // Persistent engines: per-length feature indexes stay warm across
+    // ramp points, so the curve measures steady-state replay throughput,
+    // not cold index builds. The two unsharded regimes share one engine
+    // (they differ only in thread count); the sharded runtime forks its
+    // own per-shard engines from a second one.
+    let unsharded_engine = instrumented_engine(&store, &params);
+    let pooled = CohortRuntime::with_engine(unsharded_engine.clone())
+        .with_segmenter(SegmenterConfig::clean())
+        .with_threads(workers);
+    let sharded = CohortRuntime::with_engine(instrumented_engine(&store, &params))
+        .with_segmenter(SegmenterConfig::clean())
+        .with_shards(workers);
+
+    banner(&format!(
+        "Cohort scale: per-session (threads=N) vs pooled (threads={workers}) \
+         vs sharded (shards={workers}), instrumented"
+    ));
+
+    // Warmup: one small replay each, building every index the ramp will
+    // touch and paging the store.
+    let warm = specs.len().min(workers);
+    replay_point(&pooled, &specs[..warm]);
+    replay_point(&sharded, &specs[..warm]);
+
+    let mut points: Vec<RampPoint> = Vec::new();
+    for &n in ramp {
+        let slice = &specs[..n];
+        // The pre-refactor model: one worker thread per live session, on
+        // the shared (warm) unsharded engine.
+        let per_session_rt = CohortRuntime::with_engine(unsharded_engine.clone())
+            .with_segmenter(SegmenterConfig::clean())
+            .with_threads(n);
+        let reps = reps_for(n);
+        let mut reports =
+            replay_best_of(&[&per_session_rt, &pooled, &sharded], slice, reps).into_iter();
+        let (base, pool, shard) = (
+            reports.next().expect("per-session report"),
+            reports.next().expect("pooled report"),
+            reports.next().expect("sharded report"),
+        );
+        assert_eq!(
+            base.sessions, pool.sessions,
+            "pooled replay diverged at {n} sessions"
+        );
+        assert_eq!(
+            base.sessions, shard.sessions,
+            "sharded replay diverged at {n} sessions"
+        );
+        let predictions = base.total_predictions();
+        assert!(predictions > 0, "no predictions at {n} sessions");
+        points.push(RampPoint {
+            sessions: n,
+            predictions,
+            per_session: mode(&base),
+            pooled: mode(&pool),
+            sharded: mode(&shard),
+        });
+    }
+
+    // The knee: the last ramp point that still improved sharded
+    // throughput by >= 5% over the previous point.
+    let mut knee = points[0].sessions;
+    for pair in points.windows(2) {
+        if pair[1].sharded.pps >= pair[0].sharded.pps * 1.05 {
+            knee = pair[1].sessions;
+        }
+    }
+
+    table(
+        &[
+            "sessions",
+            "predictions",
+            "per-session p/s",
+            "pooled p/s",
+            "sharded p/s",
+            "speedup",
+        ],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.sessions.to_string(),
+                    p.predictions.to_string(),
+                    format!("{:.1}", p.per_session.pps),
+                    format!("{:.1}", p.pooled.pps),
+                    format!("{:.1}", p.sharded.pps),
+                    format!("{:.2}x", p.speedup()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!();
+    println!(
+        "saturation knee: {knee} sessions (last point with >= 5% gain over \
+         the previous sharded point)"
+    );
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if host_cpus < 2 {
+        println!(
+            "note: host exposes {host_cpus} CPU — shard workers time-slice \
+             one core, so the speedup over per-session concurrency is pure \
+             scheduling and working-set relief; cross-core contention \
+             relief needs a multicore capture"
+        );
+    }
+    if let Some(p) = points.iter().find(|p| p.sessions >= 64) {
+        println!(
+            "at {} sessions: sharded {:.1} p/s vs per-session {:.1} p/s \
+             ({:.2}x), pooled {:.1} p/s",
+            p.sessions,
+            p.sharded.pps,
+            p.per_session.pps,
+            p.speedup(),
+            p.pooled.pps,
+        );
+    }
+
+    if let Some(path) = json_path {
+        let mode_json = |m: &Mode| {
+            format!(
+                "{{ \"wall_s\": {:.6}, \"predictions_per_sec\": {:.3} }}",
+                m.wall_s, m.pps
+            )
+        };
+        let ramp_json: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{ \"sessions\": {}, \"predictions\": {}, \
+                     \"per_session\": {}, \"pooled\": {}, \"sharded\": {}, \
+                     \"speedup\": {:.4} }}",
+                    p.sessions,
+                    p.predictions,
+                    mode_json(&p.per_session),
+                    mode_json(&p.pooled),
+                    mode_json(&p.sharded),
+                    p.speedup()
+                )
+            })
+            .collect();
+        let speedup_at_tail = points.last().map(RampPoint::speedup).unwrap_or(1.0);
+        let json = format!(
+            "{{\n  \"workers\": {workers},\n  \"host_cpus\": {host_cpus},\n  \
+             \"quick\": {quick},\n  \
+             \"session_duration_s\": {duration_s},\n  \"ramp\": [\n{}\n  ],\n  \
+             \"knee_sessions\": {knee},\n  \"speedup_at_max_sessions\": {speedup_at_tail:.4}\n}}\n",
+            ramp_json.join(",\n")
+        );
+        std::fs::write(&path, json).expect("write json snapshot");
+        println!("wrote {path}");
+    }
+}

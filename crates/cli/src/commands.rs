@@ -39,15 +39,19 @@ USAGE:
                                        (auto probes once and chooses)
   tsm predict  --store FILE --patient ID [--duration SECS] [--dt SECS]
                [--seed X] [--delta D]  replay a fresh session, report error
-  tsm replay   --store FILE --sessions N [--threads T] [--duration SECS]
-               [--dt SECS] [--every K] [--seed X] [--metrics [FILE]]
-               [--faults SEED|PLANFILE]
+  tsm replay   --store FILE --sessions N [--threads T] [--shards S]
+               [--duration SECS] [--dt SECS] [--every K] [--seed X]
+               [--metrics [FILE]] [--faults SEED|PLANFILE]
                                        replay N concurrent sessions against
                                        one shared store, report throughput
-                                       (--metrics dumps an instrumentation
-                                       snapshot to FILE, or stdout;
-                                       --faults runs each session through
-                                       the deterministic fault injector)
+                                       (--shards S > 1 hashes sessions to S
+                                       shard workers with per-shard index
+                                       caches — same reports, less
+                                       contention; --metrics dumps an
+                                       instrumentation snapshot to FILE, or
+                                       stdout; --faults runs each session
+                                       through the deterministic fault
+                                       injector)
   tsm chaos    [--plans N] [--seed X] [--duration SECS] [--threads T]
                                        robustness soak: N fault-injected
                                        sessions must degrade gracefully,
@@ -411,6 +415,10 @@ pub fn replay(args: &Args) -> Result<(), String> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
+    let shards = args.num_flag("shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
     let duration = args.num_flag("duration", 60.0f64)?;
     let dt = args.num_flag("dt", 0.3f64)?;
     let every = args.num_flag("every", 30usize)?;
@@ -461,11 +469,24 @@ pub fn replay(args: &Args) -> Result<(), String> {
     let runtime = CohortRuntime::with_engine(engine)
         .with_horizon(dt)
         .with_cadence(every)
-        .with_threads(threads);
-    eprintln!(
-        "replaying {sessions} sessions x {duration:.0}s on {threads} threads (one shared store){} ...",
-        if faults.is_some() { " with fault injection" } else { "" }
-    );
+        .with_threads(threads)
+        .with_shards(shards);
+    if shards > 1 {
+        eprintln!(
+            "replaying {sessions} sessions x {duration:.0}s on {shards} shards \
+             (per-shard index caches){} ...",
+            if faults.is_some() {
+                " with fault injection"
+            } else {
+                ""
+            }
+        );
+    } else {
+        eprintln!(
+            "replaying {sessions} sessions x {duration:.0}s on {threads} threads (one shared store){} ...",
+            if faults.is_some() { " with fault injection" } else { "" }
+        );
+    }
     let report = runtime.replay(&specs);
 
     println!(
@@ -487,6 +508,17 @@ pub fn replay(args: &Args) -> Result<(), String> {
     for r in &report.sessions {
         if let Some(err) = &r.error {
             eprintln!("warning: session {} failed: {err}", r.session);
+        }
+    }
+    if !report.shards.is_empty() {
+        println!();
+        for shard in &report.shards {
+            println!(
+                "shard {:>2}: {:>3} sessions, {} index rebuilds",
+                shard.shard,
+                shard.sessions.len(),
+                shard.rebuilds
+            );
         }
     }
     println!(

@@ -8,6 +8,7 @@
 //! tsm match    --store cohort.tsmdb --stream 0 --start 4 --len 9
 //! tsm predict  --store cohort.tsmdb --patient 0 --duration 60 --dt 0.3
 //! tsm replay   --store cohort.tsmdb --sessions 4 --threads 4
+//! tsm replay   --store cohort.tsmdb --sessions 64 --shards 8   # sharded
 //! tsm chaos    --plans 8 --seed 99                 # fault-injection soak
 //! tsm cluster  --store cohort.tsmdb --k 4
 //! ```

@@ -284,6 +284,69 @@ fn replay_with_metrics_writes_a_reconciling_snapshot() {
 }
 
 #[test]
+fn replay_sharded_matches_unsharded_output() {
+    let store_path = small_store("sharded.tsmdb");
+    let store = store_path.to_str().unwrap();
+    let common = [
+        "replay",
+        "--store",
+        store,
+        "--sessions",
+        "4",
+        "--duration",
+        "20",
+        "--seed",
+        "7",
+    ];
+
+    let unsharded = tsm(&common);
+    assert!(unsharded.status.success(), "{}", stderr(&unsharded));
+
+    let mut sharded_args: Vec<&str> = common.to_vec();
+    sharded_args.extend_from_slice(&["--shards", "2"]);
+    let sharded = tsm(&sharded_args);
+    assert!(sharded.status.success(), "{}", stderr(&sharded));
+    assert!(
+        stderr(&sharded).contains("2 shards"),
+        "sharded banner missing: {}",
+        stderr(&sharded)
+    );
+    assert!(
+        stdout(&sharded).contains("shard "),
+        "shard attribution missing: {}",
+        stdout(&sharded)
+    );
+
+    // Same seeds, same store: the per-session table (every prediction,
+    // tick, vertex and health column) must match line for line. Only the
+    // wall-clock summary and shard attribution may differ.
+    let table = |out: &std::process::Output| -> Vec<String> {
+        stdout(out)
+            .lines()
+            .skip_while(|l| !l.starts_with("session"))
+            .take_while(|l| !l.is_empty())
+            .map(str::to_owned)
+            .collect()
+    };
+    let base_table = table(&unsharded);
+    assert!(
+        base_table.len() > 4,
+        "no session table: {}",
+        stdout(&unsharded)
+    );
+    assert_eq!(base_table, table(&sharded), "sharded replay diverged");
+
+    // --shards 0 is rejected like --threads 0.
+    let mut bad_args: Vec<&str> = common.to_vec();
+    bad_args.extend_from_slice(&["--shards", "0"]);
+    let bad = tsm(&bad_args);
+    assert!(!bad.status.success(), "--shards 0 must be rejected");
+    assert!(stderr(&bad).contains("--shards"), "{}", stderr(&bad));
+
+    std::fs::remove_file(&store_path).ok();
+}
+
+#[test]
 fn segment_reads_and_writes_csv() {
     let csv_path = tmpfile("signal.csv");
     let mut content = String::from("time,value\n");

@@ -3,7 +3,7 @@
 //! [`WindowScorer`](crate::similarity::WindowScorer) walks one candidate
 //! window at a time in f64. This module splits that work into two
 //! vectorizable passes over the [`tsm_db::Mirror32`] columns, using
-//! hand-rolled [`F32x8`] lane structs (plain `[f32; 8]` operations the
+//! hand-rolled `F32x8` lane structs (plain `[f32; 8]` operations the
 //! autovectorizer lowers to SIMD on stable Rust — no `std::simd`, no
 //! `unsafe`):
 //!

@@ -96,7 +96,7 @@ pub mod prelude {
     pub use crate::session::{
         CohortReport, CohortRuntime, DegradationPolicy, GatingController, PredictionLog,
         PredictionTick, SessionConfig, SessionConsumer, SessionHealth, SessionReport,
-        SessionRuntime, SessionSpec, TrackingController,
+        SessionRuntime, SessionSpec, ShardReport, ShardRouter, TrackingController,
     };
     pub use crate::similarity::{
         offline_distance, online_distance, vertex_weight, QueryCols, WindowCols, WindowScorer,

@@ -1,0 +1,167 @@
+//! Stock consumers: prediction logging, respiration gating, beam
+//! tracking — all driven by the shared per-tick prediction outcome.
+
+use super::health::SessionHealth;
+use super::runtime::{PredictionTick, SessionConsumer, SessionRuntime};
+use crate::gating::{GatingAccumulator, GatingStats, GatingWindow};
+use crate::pipeline::PredictionOutcome;
+use crate::tracking::TrackingStats;
+use std::any::Any;
+use tsm_model::{PlrTrajectory, Position};
+
+/// A consumer that records every prediction tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PredictionLog {
+    /// Every tick, in arrival order (including abstentions).
+    pub ticks: Vec<PredictionTick>,
+}
+
+impl PredictionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The non-abstaining outcomes, in tick order.
+    pub fn outcomes(&self) -> Vec<PredictionOutcome> {
+        self.ticks
+            .iter()
+            .filter_map(|t| t.outcome.clone())
+            .collect()
+    }
+
+    /// Number of ticks with an actual prediction.
+    pub fn predictions(&self) -> usize {
+        self.ticks.iter().filter(|t| t.outcome.is_some()).count()
+    }
+}
+
+impl SessionConsumer for PredictionLog {
+    fn on_tick(&mut self, _session: &SessionRuntime, tick: &PredictionTick) {
+        self.ticks.push(tick.clone());
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A gating controller driven by the shared prediction ticks: the beam is
+/// on iff the session is [`SessionHealth::Healthy`] *and* the predicted
+/// position lies in the gating window. Abstention keeps the beam off,
+/// and any degraded or still-recovering session fails safe to
+/// beam-hold — a prediction computed across a sensor fault must never
+/// turn the beam on. Each decision is scored
+/// against the ground-truth trajectory at the predicted-for instant with
+/// the same [`GatingAccumulator`] arithmetic as
+/// [`crate::gating::simulate_gating`].
+#[derive(Debug)]
+pub struct GatingController {
+    window: GatingWindow,
+    axis: usize,
+    truth: PlrTrajectory,
+    acc: GatingAccumulator,
+    decisions: Vec<bool>,
+}
+
+impl GatingController {
+    /// Creates a controller gating on `window` along `axis`, scored
+    /// against `truth`.
+    pub fn new(window: GatingWindow, axis: usize, truth: PlrTrajectory) -> Self {
+        GatingController {
+            window,
+            axis,
+            truth,
+            acc: GatingAccumulator::new(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Every beam decision made, in tick order.
+    pub fn decisions(&self) -> &[bool] {
+        &self.decisions
+    }
+
+    /// The accumulated gating statistics.
+    pub fn stats(&self) -> GatingStats {
+        self.acc.stats()
+    }
+}
+
+impl SessionConsumer for GatingController {
+    fn on_tick(&mut self, session: &SessionRuntime, tick: &PredictionTick) {
+        let Some(target) = tick.target_time else {
+            return;
+        };
+        // Fail safe: only a Healthy session may turn the beam on.
+        let beam = session.health() == SessionHealth::Healthy
+            && tick
+                .outcome
+                .as_ref()
+                .is_some_and(|o| self.window.contains(o.position[self.axis]));
+        let truth_in = self
+            .window
+            .contains(self.truth.position_at(target)[self.axis]);
+        self.acc.record(beam, truth_in);
+        self.decisions.push(beam);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A beam-tracking controller driven by the shared prediction ticks: a
+/// prediction re-aims the beam, an abstention holds the previous aim (a
+/// real MLC cannot vanish), and the instantaneous error against the
+/// ground truth at the predicted-for instant is recorded. Statistics use
+/// the same arithmetic as [`crate::tracking::simulate_tracking`]
+/// ([`TrackingStats::from_errors`]).
+#[derive(Debug)]
+pub struct TrackingController {
+    truth: PlrTrajectory,
+    axis: usize,
+    last_aim: Option<Position>,
+    errors: Vec<f64>,
+}
+
+impl TrackingController {
+    /// Creates a controller scored against `truth` along `axis`.
+    pub fn new(truth: PlrTrajectory, axis: usize) -> Self {
+        TrackingController {
+            truth,
+            axis,
+            last_aim: None,
+            errors: Vec::new(),
+        }
+    }
+
+    /// The recorded instantaneous errors, in tick order.
+    pub fn errors(&self) -> &[f64] {
+        &self.errors
+    }
+
+    /// The accumulated tracking statistics.
+    pub fn stats(&self) -> TrackingStats {
+        TrackingStats::from_errors(self.errors.clone())
+    }
+}
+
+impl SessionConsumer for TrackingController {
+    fn on_tick(&mut self, _session: &SessionRuntime, tick: &PredictionTick) {
+        if let Some(o) = &tick.outcome {
+            self.last_aim = Some(o.position);
+        }
+        let Some(target) = tick.target_time else {
+            return;
+        };
+        if let Some(aim) = self.last_aim {
+            let e = (aim[self.axis] - self.truth.position_at(target)[self.axis]).abs();
+            self.errors.push(e);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,40 +1,8 @@
-//! The session runtime: one streaming engine for prediction, gating and
-//! tracking.
-//!
-//! The paper's deployment scenario (Figure 1, Sections 4.3 and 5) is a
-//! *single* online loop: the tracking system delivers a sample every
-//! 33 ms, the signal is segmented once, and the same evolving PLR drives
-//! motion prediction, respiration gating and beam tracking. A
-//! [`SessionRuntime`] is that loop as a value — it owns one guarded
-//! segmenter pass ([`GuardedSegmenter`]) per live session and fans the resulting
-//! vertex and prediction events out to pluggable [`SessionConsumer`]s,
-//! all searching a shared [`SharedStore`] handle through one
-//! [`CachedMatcher`]. A prediction is computed **once** per tick and
-//! every consumer sees the same outcome; the legacy alternative — one
-//! full replay (segmentation + matching) per application — does the
-//! matching work as many times as there are applications.
-//!
-//! On top of a single session, a [`CohortRuntime`] replays N sessions
-//! against the same store on a small thread pool, streaming each
-//! session's prediction ticks over its own outcome channel. All sessions
-//! share one engine, so an index built for a query length benefits every
-//! session, and the monotone store version observed by any session agrees
-//! with every other.
-//!
-//! ## Ownership rules
-//!
-//! * The store is shared, never copied: every runtime holds the same
-//!   `Arc<StreamStore>` through its engine, and
-//!   [`SessionRuntime::shared_store`] hands the same handle out again.
-//! * Replays never mutate the store — [`CohortRuntime::replay`] is
-//!   read-only, so its results are a pure function of (store contents,
-//!   specs) and serial/parallel schedules cannot diverge.
-//! * Persistence is explicit and terminal:
-//!   [`SessionRuntime::finish_into_store`] appends the live stream once,
-//!   at end of session, bumping the store version for every other holder.
+//! The streaming runtime for one live session: one segmenter pass, one
+//! shared-store engine, many consumers.
 
+use super::health::{DegradationPolicy, SessionHealth};
 use crate::error::TsmError;
-use crate::gating::{GatingAccumulator, GatingStats, GatingWindow};
 use crate::index_cache::CachedMatcher;
 use crate::matcher::{Matcher, QuerySubseq, SearchOptions};
 use crate::metrics::{Counter, Hist, MetricsRegistry};
@@ -42,90 +10,10 @@ use crate::params::Params;
 use crate::pipeline::PredictionOutcome;
 use crate::predict::{predict_position, AlignMode};
 use crate::query::generate_query;
-use crate::tracking::TrackingStats;
 use std::any::Any;
-use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 use tsm_db::{PatientId, SharedStore, StreamId, StreamStore};
-use tsm_model::{
-    GuardedSegmenter, IngestFlag, IngestGuardConfig, PlrTrajectory, Position, Sample,
-    SegmenterConfig, Vertex,
-};
-
-/// Health of one live session, driven by the ingest guard's flags and
-/// the [`DegradationPolicy`].
-///
-/// ```text
-///           fault (gap, backwards time, duplicate burst,
-///                  stuck run, rejected sample)
-///  Healthy ────────────────────────────────────────▶ Degraded
-///     ▲                                                  │
-///     │ `recovery_predictions` served                    │ `recovery_vertices`
-///     │ predictions                                      │ fresh vertices
-///     └────────────────────────── Recovering ◀───────────┘
-/// ```
-///
-/// While **Degraded**, prediction ticks abstain outright — the
-/// post-discontinuity query is either stale (old epoch) or too short
-/// (new epoch) to trust. While **Recovering**, predictions are computed
-/// and reported, but safety consumers ([`GatingController`]) still fail
-/// safe to beam-hold until the session is Healthy again. Any new fault
-/// drops the session straight back to Degraded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SessionHealth {
-    /// Clean stream; predictions served, gating live.
-    Healthy,
-    /// A fault was observed recently; predictions abstain.
-    Degraded,
-    /// Enough fresh data accumulated; predictions serve again but
-    /// gating still holds the beam until recovery completes.
-    Recovering,
-}
-
-/// Thresholds driving the [`SessionHealth`] state machine and the
-/// ingest guard in front of the segmenter.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct DegradationPolicy {
-    /// Largest tolerated inter-sample gap (s) before a resync.
-    pub max_gap_s: f64,
-    /// Per-axis position tolerance (mm) for stuck-sensor detection.
-    pub stuck_epsilon_mm: f64,
-    /// Consecutive unchanged samples before a stuck run is flagged.
-    pub stuck_limit: usize,
-    /// Fresh post-fault vertices required to move Degraded → Recovering.
-    pub recovery_vertices: usize,
-    /// Served predictions required to move Recovering → Healthy.
-    pub recovery_predictions: usize,
-    /// Recoverable per-sample faults a cohort supervisor absorbs before
-    /// failing the session with
-    /// [`TsmError::FaultBudgetExhausted`](crate::error::CoreError::FaultBudgetExhausted).
-    pub fault_budget: usize,
-}
-
-impl Default for DegradationPolicy {
-    fn default() -> Self {
-        DegradationPolicy {
-            max_gap_s: 1.0,
-            stuck_epsilon_mm: 0.0,
-            stuck_limit: 90,
-            recovery_vertices: 6,
-            recovery_predictions: 3,
-            fault_budget: 64,
-        }
-    }
-}
-
-impl DegradationPolicy {
-    /// The ingest-guard thresholds this policy implies.
-    pub fn ingest_guard(&self) -> IngestGuardConfig {
-        IngestGuardConfig {
-            max_gap_s: self.max_gap_s,
-            stuck_epsilon_mm: self.stuck_epsilon_mm,
-            stuck_limit: self.stuck_limit,
-        }
-    }
-}
+use tsm_model::{GuardedSegmenter, IngestFlag, PlrTrajectory, Sample, SegmenterConfig, Vertex};
 
 /// Static configuration of one live session.
 #[derive(Debug, Clone)]
@@ -317,6 +205,13 @@ impl SessionRuntime {
             .params()
             .validate()
             .map_err(TsmError::InvalidParams)?;
+        // Every successfully started session counts, whether it is driven
+        // directly, through an `OnlinePredictor`, or by a cohort replay —
+        // so `cohort.sessions` reconciles with the sessions that actually
+        // ran (the old replay-level bulk add missed every directly-driven
+        // session, which is how BENCH_pipeline captures showed 4 sessions
+        // of work under `cohort.sessions: 0`).
+        engine.metrics().incr(Counter::CohortSessions);
         Ok(SessionRuntime {
             segmenter: GuardedSegmenter::new(
                 config.segmenter.clone(),
@@ -658,7 +553,9 @@ impl SessionRuntime {
     }
 
     /// The first attached consumer of concrete type `T`, for reading
-    /// results back out (e.g. a [`GatingController`]'s statistics).
+    /// results back out (e.g. a
+    /// [`GatingController`](crate::session::GatingController)'s
+    /// statistics).
     pub fn consumer<T: Any>(&self) -> Option<&T> {
         self.consumers.iter().find_map(|c| c.downcast_ref::<T>())
     }
@@ -669,588 +566,11 @@ impl SessionRuntime {
     }
 }
 
-/// A consumer that records every prediction tick.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct PredictionLog {
-    /// Every tick, in arrival order (including abstentions).
-    pub ticks: Vec<PredictionTick>,
-}
-
-impl PredictionLog {
-    /// An empty log.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// The non-abstaining outcomes, in tick order.
-    pub fn outcomes(&self) -> Vec<PredictionOutcome> {
-        self.ticks
-            .iter()
-            .filter_map(|t| t.outcome.clone())
-            .collect()
-    }
-
-    /// Number of ticks with an actual prediction.
-    pub fn predictions(&self) -> usize {
-        self.ticks.iter().filter(|t| t.outcome.is_some()).count()
-    }
-}
-
-impl SessionConsumer for PredictionLog {
-    fn on_tick(&mut self, _session: &SessionRuntime, tick: &PredictionTick) {
-        self.ticks.push(tick.clone());
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-}
-
-/// A gating controller driven by the shared prediction ticks: the beam is
-/// on iff the session is [`SessionHealth::Healthy`] *and* the predicted
-/// position lies in the gating window. Abstention keeps the beam off,
-/// and any degraded or still-recovering session fails safe to
-/// beam-hold — a prediction computed across a sensor fault must never
-/// turn the beam on. Each decision is scored
-/// against the ground-truth trajectory at the predicted-for instant with
-/// the same [`GatingAccumulator`] arithmetic as
-/// [`crate::gating::simulate_gating`].
-#[derive(Debug)]
-pub struct GatingController {
-    window: GatingWindow,
-    axis: usize,
-    truth: PlrTrajectory,
-    acc: GatingAccumulator,
-    decisions: Vec<bool>,
-}
-
-impl GatingController {
-    /// Creates a controller gating on `window` along `axis`, scored
-    /// against `truth`.
-    pub fn new(window: GatingWindow, axis: usize, truth: PlrTrajectory) -> Self {
-        GatingController {
-            window,
-            axis,
-            truth,
-            acc: GatingAccumulator::new(),
-            decisions: Vec::new(),
-        }
-    }
-
-    /// Every beam decision made, in tick order.
-    pub fn decisions(&self) -> &[bool] {
-        &self.decisions
-    }
-
-    /// The accumulated gating statistics.
-    pub fn stats(&self) -> GatingStats {
-        self.acc.stats()
-    }
-}
-
-impl SessionConsumer for GatingController {
-    fn on_tick(&mut self, session: &SessionRuntime, tick: &PredictionTick) {
-        let Some(target) = tick.target_time else {
-            return;
-        };
-        // Fail safe: only a Healthy session may turn the beam on.
-        let beam = session.health() == SessionHealth::Healthy
-            && tick
-                .outcome
-                .as_ref()
-                .is_some_and(|o| self.window.contains(o.position[self.axis]));
-        let truth_in = self
-            .window
-            .contains(self.truth.position_at(target)[self.axis]);
-        self.acc.record(beam, truth_in);
-        self.decisions.push(beam);
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-}
-
-/// A beam-tracking controller driven by the shared prediction ticks: a
-/// prediction re-aims the beam, an abstention holds the previous aim (a
-/// real MLC cannot vanish), and the instantaneous error against the
-/// ground truth at the predicted-for instant is recorded. Statistics use
-/// the same arithmetic as [`crate::tracking::simulate_tracking`]
-/// ([`TrackingStats::from_errors`]).
-#[derive(Debug)]
-pub struct TrackingController {
-    truth: PlrTrajectory,
-    axis: usize,
-    last_aim: Option<Position>,
-    errors: Vec<f64>,
-}
-
-impl TrackingController {
-    /// Creates a controller scored against `truth` along `axis`.
-    pub fn new(truth: PlrTrajectory, axis: usize) -> Self {
-        TrackingController {
-            truth,
-            axis,
-            last_aim: None,
-            errors: Vec::new(),
-        }
-    }
-
-    /// The recorded instantaneous errors, in tick order.
-    pub fn errors(&self) -> &[f64] {
-        &self.errors
-    }
-
-    /// The accumulated tracking statistics.
-    pub fn stats(&self) -> TrackingStats {
-        TrackingStats::from_errors(self.errors.clone())
-    }
-}
-
-impl SessionConsumer for TrackingController {
-    fn on_tick(&mut self, _session: &SessionRuntime, tick: &PredictionTick) {
-        if let Some(o) = &tick.outcome {
-            self.last_aim = Some(o.position);
-        }
-        let Some(target) = tick.target_time else {
-            return;
-        };
-        if let Some(aim) = self.last_aim {
-            let e = (aim[self.axis] - self.truth.position_at(target)[self.axis]).abs();
-            self.errors.push(e);
-        }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-}
-
-/// One session's worth of replay input for a [`CohortRuntime`].
-#[derive(Debug, Clone)]
-pub struct SessionSpec {
-    /// The patient the session belongs to.
-    pub patient: PatientId,
-    /// The session number.
-    pub session: u32,
-    /// The raw samples to stream through the session.
-    pub samples: Vec<Sample>,
-}
-
-/// What one replayed session produced.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SessionReport {
-    /// The patient the session belonged to.
-    pub patient: PatientId,
-    /// The session number.
-    pub session: u32,
-    /// Every prediction tick the session fired, in order.
-    pub ticks: Vec<PredictionTick>,
-    /// Vertices the live buffer held at the end.
-    pub vertices: usize,
-    /// Raw samples consumed.
-    pub samples: usize,
-    /// Whether the session ran to completion (`false` only if its worker
-    /// died mid-replay; the runtime then re-runs it serially).
-    pub complete: bool,
-    /// Why the session terminated early, if it did — a *structured*
-    /// error, so callers can distinguish recoverable input faults
-    /// ([`TsmError::is_recoverable`](crate::error::CoreError::is_recoverable))
-    /// from fatal ones. A failed session is *not* re-run — replaying the
-    /// same poisoned input would fail identically.
-    pub error: Option<TsmError>,
-    /// Final health of the session (Degraded for failed sessions).
-    pub health: SessionHealth,
-    /// Segmenter resyncs the session's ingest guard performed.
-    pub resyncs: u64,
-    /// Recoverable per-sample faults the supervisor absorbed.
-    pub recovered_faults: usize,
-}
-
-impl SessionReport {
-    /// Number of ticks with an actual prediction.
-    pub fn predictions(&self) -> usize {
-        self.ticks.iter().filter(|t| t.outcome.is_some()).count()
-    }
-
-    /// True when the session saw faults (absorbed samples or resyncs)
-    /// yet still ran to completion.
-    pub fn degraded_but_complete(&self) -> bool {
-        self.complete && (self.recovered_faults > 0 || self.resyncs > 0)
-    }
-}
-
-/// Aggregate outcome of a cohort replay.
-#[derive(Debug, Clone)]
-pub struct CohortReport {
-    /// Per-session reports, in spec order.
-    pub sessions: Vec<SessionReport>,
-    /// Wall-clock time of the whole replay.
-    pub wall: Duration,
-}
-
-impl CohortReport {
-    /// Total prediction ticks fired across all sessions.
-    pub fn total_ticks(&self) -> usize {
-        self.sessions.iter().map(|s| s.ticks.len()).sum()
-    }
-
-    /// Total actual predictions across all sessions.
-    pub fn total_predictions(&self) -> usize {
-        self.sessions.iter().map(|s| s.predictions()).sum()
-    }
-
-    /// Aggregate prediction throughput (predictions per wall-clock
-    /// second).
-    pub fn predictions_per_sec(&self) -> f64 {
-        let secs = self.wall.as_secs_f64();
-        if secs > 0.0 {
-            self.total_predictions() as f64 / secs
-        } else {
-            0.0
-        }
-    }
-
-    /// Sessions that terminated with an error (always fatal — the
-    /// supervisor absorbs recoverable faults).
-    pub fn fatal_sessions(&self) -> usize {
-        self.sessions.iter().filter(|s| s.error.is_some()).count()
-    }
-
-    /// Sessions that hit faults yet completed.
-    pub fn degraded_sessions(&self) -> usize {
-        self.sessions
-            .iter()
-            .filter(|s| s.degraded_but_complete())
-            .count()
-    }
-
-    /// Total recoverable faults absorbed across all sessions.
-    pub fn total_recovered_faults(&self) -> usize {
-        self.sessions.iter().map(|s| s.recovered_faults).sum()
-    }
-}
-
-/// Events a replaying session streams over its per-session channel.
-enum SessionEvent {
-    Tick(PredictionTick),
-    Done {
-        vertices: usize,
-        samples: usize,
-        health: SessionHealth,
-        resyncs: u64,
-        recovered: usize,
-    },
-    Failed(TsmError),
-}
-
-/// Streams each prediction tick into a per-session channel as it happens.
-struct ChannelConsumer {
-    tx: SyncSender<SessionEvent>,
-}
-
-impl SessionConsumer for ChannelConsumer {
-    fn on_tick(&mut self, _session: &SessionRuntime, tick: &PredictionTick) {
-        // lint:allow(no-silent-result-drop): a send fails only when the
-        // collector hung up, and then the whole session report is being
-        // discarded with it — there is nowhere to surface the error.
-        let _ = self.tx.send(SessionEvent::Tick(tick.clone()));
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-}
-
-/// Drives N patient sessions against one shared store: every session is a
-/// [`SessionRuntime`] over the *same* engine, so the store is searched
-/// through one set of per-length feature indexes, and each session
-/// streams its outcomes over its own channel. Replays are read-only — the
-/// store is never mutated, so serial and parallel schedules produce
-/// identical reports.
-pub struct CohortRuntime {
-    engine: Arc<CachedMatcher>,
-    segmenter: SegmenterConfig,
-    align: AlignMode,
-    options: SearchOptions,
-    horizon: f64,
-    predict_every: usize,
-    threads: usize,
-    policy: DegradationPolicy,
-}
-
-impl std::fmt::Debug for CohortRuntime {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CohortRuntime")
-            .field("horizon", &self.horizon)
-            .field("predict_every", &self.predict_every)
-            .field("threads", &self.threads)
-            .finish()
-    }
-}
-
-impl CohortRuntime {
-    /// Creates a cohort runtime with its own shared engine over `store`.
-    /// Defaults: default segmenter, 0.3 s horizon, a prediction tick
-    /// every 30 samples (~1 Hz at the paper's 30 Hz sampling), one
-    /// thread.
-    pub fn new(store: impl Into<SharedStore>, params: Params) -> Result<Self, TsmError> {
-        params.validate().map_err(TsmError::InvalidParams)?;
-        Ok(Self::with_engine(Arc::new(CachedMatcher::new(
-            Matcher::new(store, params),
-        ))))
-    }
-
-    /// Creates a cohort runtime over an existing shared engine.
-    pub fn with_engine(engine: Arc<CachedMatcher>) -> Self {
-        CohortRuntime {
-            engine,
-            segmenter: SegmenterConfig::default(),
-            align: AlignMode::default(),
-            options: SearchOptions::default(),
-            horizon: 0.3,
-            predict_every: 30,
-            threads: 1,
-            policy: DegradationPolicy::default(),
-        }
-    }
-
-    /// Overrides the segmenter configuration.
-    pub fn with_segmenter(mut self, segmenter: SegmenterConfig) -> Self {
-        self.segmenter = segmenter;
-        self
-    }
-
-    /// Overrides the prediction alignment mode.
-    pub fn with_align(mut self, align: AlignMode) -> Self {
-        self.align = align;
-        self
-    }
-
-    /// Restricts matching for every session.
-    pub fn with_options(mut self, options: SearchOptions) -> Self {
-        self.options = options;
-        self
-    }
-
-    /// Overrides the prediction horizon.
-    pub fn with_horizon(mut self, horizon: f64) -> Self {
-        self.horizon = horizon;
-        self
-    }
-
-    /// Overrides the prediction cadence (`0` disables ticks).
-    pub fn with_cadence(mut self, every: usize) -> Self {
-        self.predict_every = every;
-        self
-    }
-
-    /// Sets the worker-thread count for [`CohortRuntime::replay`].
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
-        self
-    }
-
-    /// Overrides the degradation policy every session runs under.
-    pub fn with_policy(mut self, policy: DegradationPolicy) -> Self {
-        self.policy = policy;
-        self
-    }
-
-    /// The shared matching engine.
-    pub fn engine(&self) -> &Arc<CachedMatcher> {
-        &self.engine
-    }
-
-    /// The underlying store handle.
-    pub fn store(&self) -> &StreamStore {
-        self.engine.matcher().store()
-    }
-
-    /// Replays every spec to completion and returns the per-session
-    /// reports in spec order. Sessions are distributed round-robin over
-    /// the worker threads; each streams its ticks over its own channel
-    /// and the calling thread drains them. A worker panic is contained:
-    /// its incomplete sessions are re-run serially.
-    pub fn replay(&self, specs: &[SessionSpec]) -> CohortReport {
-        // lint:allow(no-instant-now-in-hot-path): cohort wall-clock for
-        // the report, taken once per replay — not a per-window hot path.
-        let start = Instant::now();
-        let threads = self.threads.min(specs.len().max(1));
-        let mut sessions: Vec<SessionReport> = if threads <= 1 {
-            specs.iter().map(|spec| self.run_session(spec)).collect()
-        } else {
-            // Hand each sender straight to its batch as the channel is
-            // created, keeping only the receivers — no claimed/unclaimed
-            // bookkeeping to get wrong.
-            let mut receivers: Vec<Receiver<SessionEvent>> = Vec::with_capacity(specs.len());
-            let mut batches: Vec<Vec<(usize, SyncSender<SessionEvent>)>> =
-                (0..threads).map(|_| Vec::new()).collect();
-            for (i, spec) in specs.iter().enumerate() {
-                let (tx, rx) = Self::session_channel(spec);
-                receivers.push(rx);
-                batches[i % threads].push((i, tx));
-            }
-            // lint:allow(no-silent-result-drop): the scope result is Err
-            // only when a worker panicked; incomplete sessions are
-            // detected and re-run serially right below.
-            let _ = crossbeam::thread::scope(|scope| {
-                for batch in batches {
-                    scope.spawn(move |_| {
-                        for (i, tx) in batch {
-                            self.run_session_streaming(&specs[i], tx);
-                        }
-                    });
-                }
-                // Drain on the calling thread while workers stream. A
-                // receiver closes when its sender is dropped — at session
-                // end, or when a panicking worker unwinds.
-            });
-            receivers
-                .into_iter()
-                .zip(specs)
-                .map(|(rx, spec)| Self::collect(spec, rx))
-                .collect()
-        };
-        // Contain worker panics: re-run any incomplete session serially.
-        // Sessions that *failed* (bad input) are left as-is — their error
-        // is deterministic and already recorded.
-        for (i, report) in sessions.iter_mut().enumerate() {
-            if !report.complete && report.error.is_none() {
-                *report = self.run_session(&specs[i]);
-            }
-        }
-        let metrics = self.engine.metrics();
-        metrics.add(Counter::CohortSessions, sessions.len() as u64);
-        metrics.add(
-            Counter::CohortSessionsFailed,
-            sessions.iter().filter(|s| s.error.is_some()).count() as u64,
-        );
-        // Each session's channel can hold at most its ticks plus the
-        // terminal event before the calling thread drains it.
-        if let Some(hwm) = sessions.iter().map(|s| s.ticks.len() as u64 + 1).max() {
-            metrics.record_max(Counter::CohortBacklogHwm, hwm);
-        }
-        CohortReport {
-            sessions,
-            wall: start.elapsed(),
-        }
-    }
-
-    /// A bounded per-session channel that can never block its worker:
-    /// each sample push emits at most one tick, and the session sends
-    /// exactly one terminal event (`Done` or `Failed`), so the event
-    /// count is bounded by `samples + 1` even though the calling thread
-    /// only drains after the workers have joined.
-    fn session_channel(spec: &SessionSpec) -> (SyncSender<SessionEvent>, Receiver<SessionEvent>) {
-        std::sync::mpsc::sync_channel(spec.samples.len() + 1)
-    }
-
-    /// Runs one session to completion, collecting locally.
-    fn run_session(&self, spec: &SessionSpec) -> SessionReport {
-        let (tx, rx) = Self::session_channel(spec);
-        self.run_session_streaming(spec, tx);
-        Self::collect(spec, rx)
-    }
-
-    /// Runs one session, streaming events into `tx` (dropped at return,
-    /// which closes the session's channel).
-    fn run_session_streaming(&self, spec: &SessionSpec, tx: SyncSender<SessionEvent>) {
-        let config = SessionConfig::new(spec.patient, spec.session)
-            .with_segmenter(self.segmenter.clone())
-            .with_align(self.align)
-            .with_options(self.options.clone())
-            .with_horizon(self.horizon)
-            .with_cadence(self.predict_every)
-            .with_policy(self.policy);
-        // Parameters were validated when the engine was built.
-        let Ok(mut runtime) = SessionRuntime::with_engine(self.engine.clone(), config) else {
-            return;
-        };
-        runtime.add_consumer(Box::new(ChannelConsumer { tx: tx.clone() }));
-        // Per-session supervisor: recoverable faults (bad samples) are
-        // absorbed up to the policy's budget — the session degrades and
-        // keeps streaming instead of dying. Fatal errors, and a blown
-        // budget, still terminate the session with a structured error.
-        let mut recovered = 0usize;
-        for &s in &spec.samples {
-            match runtime.push(s) {
-                Ok(_) => {}
-                Err(e) if e.is_recoverable() && recovered < self.policy.fault_budget => {
-                    recovered += 1;
-                    self.engine.metrics().incr(Counter::CohortFaultsAbsorbed);
-                }
-                Err(e) => {
-                    let err = if e.is_recoverable() {
-                        TsmError::FaultBudgetExhausted {
-                            absorbed: recovered,
-                        }
-                    } else {
-                        e
-                    };
-                    // lint:allow(no-silent-result-drop): send fails only
-                    // when the collector hung up — nothing to report to.
-                    let _ = tx.send(SessionEvent::Failed(err));
-                    return;
-                }
-            }
-        }
-        runtime.finish();
-        // lint:allow(no-silent-result-drop): send fails only when the
-        // collector hung up — nothing to report to.
-        let _ = tx.send(SessionEvent::Done {
-            vertices: runtime.live_vertices().len(),
-            samples: runtime.samples_seen(),
-            health: runtime.health(),
-            resyncs: runtime.resyncs(),
-            recovered,
-        });
-    }
-
-    /// Drains one session's channel into its report.
-    fn collect(spec: &SessionSpec, rx: Receiver<SessionEvent>) -> SessionReport {
-        let mut report = SessionReport {
-            patient: spec.patient,
-            session: spec.session,
-            ticks: Vec::new(),
-            vertices: 0,
-            samples: 0,
-            complete: false,
-            error: None,
-            health: SessionHealth::Healthy,
-            resyncs: 0,
-            recovered_faults: 0,
-        };
-        for event in rx {
-            match event {
-                SessionEvent::Tick(t) => report.ticks.push(t),
-                SessionEvent::Done {
-                    vertices,
-                    samples,
-                    health,
-                    resyncs,
-                    recovered,
-                } => {
-                    report.vertices = vertices;
-                    report.samples = samples;
-                    report.health = health;
-                    report.resyncs = resyncs;
-                    report.recovered_faults = recovered;
-                    report.complete = true;
-                }
-                SessionEvent::Failed(err) => {
-                    report.error = Some(err);
-                    report.health = SessionHealth::Degraded;
-                }
-            }
-        }
-        report
-    }
-}
-
 #[cfg(test)]
 mod tests {
+    use super::super::consumers::{GatingController, PredictionLog};
     use super::*;
+    use crate::gating::GatingWindow;
     use tsm_db::PatientAttributes;
     use tsm_model::segment_signal;
     use tsm_signal::{BreathingParams, SignalGenerator};
@@ -1283,7 +603,7 @@ mod tests {
         );
         assert!(matches!(err, Err(TsmError::InvalidParams(_))));
         assert!(matches!(
-            CohortRuntime::new(store, params),
+            super::super::CohortRuntime::new(store, params),
             Err(TsmError::InvalidParams(_))
         ));
     }
@@ -1385,75 +705,6 @@ mod tests {
     }
 
     #[test]
-    fn cohort_replay_reports_per_session_and_never_mutates_the_store() {
-        let (store, patient) = seeded_store(28);
-        let shared = store.into_shared();
-        let params = Params {
-            min_matches: 1,
-            ..Params::default()
-        };
-        let runtime = CohortRuntime::new(shared.clone(), params)
-            .unwrap()
-            .with_segmenter(SegmenterConfig::clean());
-        let specs: Vec<SessionSpec> = (0..3)
-            .map(|i| SessionSpec {
-                patient,
-                session: i + 1,
-                samples: live_samples(29 + i as u64, 40.0),
-            })
-            .collect();
-        let v0 = shared.version();
-        let report = runtime.replay(&specs);
-        assert_eq!(shared.version(), v0, "replay must be read-only");
-        assert_eq!(report.sessions.len(), 3);
-        for (r, spec) in report.sessions.iter().zip(&specs) {
-            assert!(r.complete);
-            assert_eq!(r.session, spec.session);
-            assert_eq!(r.samples, spec.samples.len());
-            assert!(r.vertices > 0);
-            assert!(
-                r.predictions() > 0,
-                "session {} abstained always",
-                r.session
-            );
-        }
-        assert_eq!(
-            report.total_predictions(),
-            report
-                .sessions
-                .iter()
-                .map(|s| s.predictions())
-                .sum::<usize>()
-        );
-    }
-
-    #[test]
-    fn cohort_parallel_matches_serial() {
-        let (store, patient) = seeded_store(30);
-        let params = Params {
-            min_matches: 1,
-            ..Params::default()
-        };
-        let specs: Vec<SessionSpec> = (0..3)
-            .map(|i| SessionSpec {
-                patient,
-                session: i + 1,
-                samples: live_samples(31 + i as u64, 30.0),
-            })
-            .collect();
-        let serial = CohortRuntime::new(store.clone(), params.clone())
-            .unwrap()
-            .with_segmenter(SegmenterConfig::clean())
-            .replay(&specs);
-        let parallel = CohortRuntime::new(store, params)
-            .unwrap()
-            .with_segmenter(SegmenterConfig::clean())
-            .with_threads(3)
-            .replay(&specs);
-        assert_eq!(serial.sessions, parallel.sessions);
-    }
-
-    #[test]
     fn non_finite_tick_is_rejected_without_damaging_the_session() {
         let (store, patient) = seeded_store(32);
         let config = SessionConfig::new(patient, 1).with_segmenter(SegmenterConfig::clean());
@@ -1481,82 +732,6 @@ mod tests {
         }
         runtime.finish();
         assert!(runtime.live_vertices().len() >= vertices_before);
-    }
-
-    #[test]
-    fn one_poisoned_session_is_absorbed_by_the_supervisor() {
-        let (store, patient) = seeded_store(34);
-        let params = Params {
-            min_matches: 1,
-            ..Params::default()
-        };
-        let mut specs: Vec<SessionSpec> = (0..3)
-            .map(|i| SessionSpec {
-                patient,
-                session: i + 1,
-                samples: live_samples(35 + i as u64, 30.0),
-            })
-            .collect();
-        // Poison the middle session with a NaN partway through.
-        let mid = specs[1].samples.len() / 2;
-        specs[1].samples[mid] = Sample::new_1d(specs[1].samples[mid].time, f64::NAN);
-        for threads in [1, 3] {
-            let report = CohortRuntime::new(store.clone(), params.clone())
-                .unwrap()
-                .with_segmenter(SegmenterConfig::clean())
-                .with_threads(threads)
-                .replay(&specs);
-            assert_eq!(report.sessions.len(), 3);
-            // The bad sample is a *recoverable* fault: the supervisor
-            // absorbs it and the session still runs to completion.
-            let bad = &report.sessions[1];
-            assert!(bad.complete, "threads={threads}");
-            assert!(bad.error.is_none(), "threads={threads}: {:?}", bad.error);
-            assert_eq!(bad.recovered_faults, 1, "threads={threads}");
-            assert!(bad.degraded_but_complete());
-            for r in [&report.sessions[0], &report.sessions[2]] {
-                assert!(r.complete, "threads={threads}");
-                assert!(r.error.is_none());
-                assert_eq!(r.recovered_faults, 0);
-                assert!(r.vertices > 0);
-            }
-            assert_eq!(report.fatal_sessions(), 0);
-            assert_eq!(report.degraded_sessions(), 1);
-            assert_eq!(report.total_recovered_faults(), 1);
-        }
-    }
-
-    #[test]
-    fn exhausted_fault_budget_fails_with_a_structured_error() {
-        let (store, patient) = seeded_store(36);
-        let params = Params {
-            min_matches: 1,
-            ..Params::default()
-        };
-        let mut samples = live_samples(37, 30.0);
-        let mid = samples.len() / 2;
-        samples[mid] = Sample::new_1d(samples[mid].time, f64::NAN);
-        let specs = [SessionSpec {
-            patient,
-            session: 1,
-            samples,
-        }];
-        let report = CohortRuntime::new(store, params)
-            .unwrap()
-            .with_segmenter(SegmenterConfig::clean())
-            .with_policy(DegradationPolicy {
-                fault_budget: 0,
-                ..DegradationPolicy::default()
-            })
-            .replay(&specs);
-        let bad = &report.sessions[0];
-        assert!(!bad.complete);
-        assert_eq!(
-            bad.error,
-            Some(TsmError::FaultBudgetExhausted { absorbed: 0 })
-        );
-        assert_eq!(bad.health, SessionHealth::Degraded);
-        assert_eq!(report.fatal_sessions(), 1);
     }
 
     #[test]

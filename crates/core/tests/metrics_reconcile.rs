@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 use tsm_core::metrics::MetricsRegistry;
-use tsm_core::session::{CohortRuntime, SessionSpec};
+use tsm_core::session::{CohortRuntime, SessionConfig, SessionRuntime, SessionSpec};
 use tsm_core::{CachedMatcher, Matcher, Params, QuerySubseq, SearchOptions};
 use tsm_db::{PatientAttributes, PatientId, StreamStore, SubseqRef};
 use tsm_model::{segment_signal, PlrTrajectory, Sample, SegmenterConfig};
@@ -150,4 +150,96 @@ fn session_replay_counters_reconcile_and_diff() {
             .unwrap_or(0),
         report.total_ticks() as u64
     );
+}
+
+/// Regression: BENCH_pipeline captures showed `cohort.sessions: 0` while
+/// four directly-driven sessions ran and produced predictions — the
+/// counter was only bumped on the `CohortRuntime::replay` path. Session
+/// starts are now counted at runtime construction, so *every* driving
+/// style (direct `SessionRuntime`, replay, sharded replay) reconciles
+/// against the sessions that actually ran.
+#[test]
+fn directly_driven_sessions_count_into_cohort_sessions() {
+    let (store, patient) = seeded_store(64);
+    let params = Params {
+        min_matches: 1,
+        ..Params::default()
+    };
+    let metrics = MetricsRegistry::enabled();
+    let engine = Arc::new(CachedMatcher::new(
+        Matcher::new(store.into_shared(), params).with_metrics(metrics.clone()),
+    ));
+    let sessions_run = 4u64;
+    for i in 0..sessions_run {
+        let config = SessionConfig::new(patient, i as u32 + 1)
+            .with_segmenter(SegmenterConfig::clean())
+            .with_cadence(30);
+        let mut runtime = SessionRuntime::with_engine(engine.clone(), config)
+            .unwrap()
+            .with_consumer(Box::new(tsm_core::session::PredictionLog::new()));
+        for &s in &live_samples(65 + i, 20.0) {
+            runtime.push(s).unwrap();
+        }
+        runtime.finish();
+    }
+    let snap = metrics.snapshot();
+    snap.check_invariants().expect("counters reconcile");
+    assert_eq!(snap.counter("cohort.sessions"), sessions_run);
+    assert!(snap.counter("session.ticks") > 0);
+}
+
+/// The sharded replay records into per-shard registries and folds them
+/// back into the parent at the end — the parent interval must reconcile
+/// exactly like an unsharded one.
+#[test]
+fn sharded_replay_counters_reconcile_on_the_parent_registry() {
+    let (store, patient) = seeded_store(66);
+    let params = Params {
+        min_matches: 1,
+        ..Params::default()
+    };
+    let metrics = MetricsRegistry::enabled();
+    let engine = Arc::new(CachedMatcher::new(
+        Matcher::new(store.into_shared(), params).with_metrics(metrics.clone()),
+    ));
+    let runtime = CohortRuntime::with_engine(engine)
+        .with_segmenter(SegmenterConfig::clean())
+        .with_shards(2);
+    let specs: Vec<SessionSpec> = (0..4)
+        .map(|i| SessionSpec {
+            patient,
+            session: i + 1,
+            samples: live_samples(67 + i as u64, 30.0),
+        })
+        .collect();
+
+    let before = metrics.snapshot();
+    let report = runtime.replay(&specs);
+    let interval = metrics.snapshot().diff(&before);
+
+    interval
+        .check_invariants()
+        .expect("absorbed shard counters reconcile");
+    assert_eq!(
+        interval.counter("cohort.sessions"),
+        report.sessions.len() as u64
+    );
+    assert_eq!(interval.counter("cohort.sessions_failed"), 0);
+    assert_eq!(
+        interval.counter("session.ticks"),
+        report.total_ticks() as u64
+    );
+    assert_eq!(
+        interval.counter("session.predictions_served"),
+        report.total_predictions() as u64
+    );
+    let total_samples: u64 = specs.iter().map(|s| s.samples.len() as u64).sum();
+    assert_eq!(interval.counter("segment.samples"), total_samples);
+    let max_events = report
+        .sessions
+        .iter()
+        .map(|s| s.ticks.len() as u64 + 1)
+        .max()
+        .unwrap();
+    assert_eq!(interval.counter("cohort.backlog_hwm"), max_events);
 }

@@ -1,0 +1,226 @@
+//! Sharded ≡ unsharded: the sharding refactor changes scheduling and
+//! cache ownership, never results. Every scenario here replays one
+//! fixed-seed cohort — clean sessions, a gap-faulted session (resync +
+//! health machine) and a poisoned session (absorbed recoverable fault) —
+//! through the unsharded runtime (serial and parallel) and through
+//! `shards ∈ {1, 2, 4}`, and requires bit-identical per-session
+//! `SessionReport`s: same ticks, same predictions, same health
+//! transitions, same resync and fault accounting.
+//!
+//! This file is the CI sharded-soak stage's target (debug build, fixed
+//! seeds): `cargo test -p tsm-core --test session_equivalence`.
+
+use tsm_core::prelude::*;
+use tsm_db::{PatientAttributes, PatientId, StreamStore};
+use tsm_model::{segment_signal, PlrTrajectory, Sample, SegmenterConfig};
+use tsm_signal::{BreathingParams, SignalGenerator};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn live_samples(seed: u64, duration: f64) -> Vec<Sample> {
+    SignalGenerator::new(BreathingParams::default(), seed).generate(duration)
+}
+
+/// A store with `n` patients, each holding one 120 s base stream.
+fn seeded_store(n: u32, seed: u64) -> (StreamStore, Vec<PatientId>) {
+    let store = StreamStore::new();
+    let patients: Vec<PatientId> = (0..n)
+        .map(|i| {
+            let patient = store.add_patient(PatientAttributes::new());
+            let samples = SignalGenerator::new(BreathingParams::default(), seed + u64::from(i))
+                .generate(120.0);
+            let vertices = segment_signal(&samples, SegmenterConfig::clean());
+            let plr = PlrTrajectory::from_vertices(vertices).unwrap();
+            store.add_stream(patient, 0, plr, samples.len());
+            patient
+        })
+        .collect();
+    (store, patients)
+}
+
+/// The fixed-seed scenario cohort: clean, gap-faulted and poisoned
+/// sessions spread over several patients.
+fn scenario_specs(patients: &[PatientId], seed: u64) -> Vec<SessionSpec> {
+    let mut specs = Vec::new();
+    for (i, &patient) in patients.iter().enumerate() {
+        for session in 1..=3u32 {
+            let spec_seed = seed + (i as u64) * 10 + u64::from(session);
+            let mut samples = live_samples(spec_seed, 30.0);
+            match session {
+                // Session 2 of every patient: a 5 s acquisition dropout
+                // halfway — the ingest guard resyncs, the session
+                // degrades, then recovers.
+                2 => {
+                    let mid = samples.len() / 2;
+                    for s in &mut samples[mid..] {
+                        s.time += 5.0;
+                    }
+                }
+                // Session 3 of the first patient: one NaN sample — a
+                // recoverable fault the supervisor absorbs.
+                3 if i == 0 => {
+                    let mid = samples.len() / 2;
+                    samples[mid] = Sample::new_1d(samples[mid].time, f64::NAN);
+                }
+                _ => {}
+            }
+            specs.push(SessionSpec {
+                patient,
+                session,
+                samples,
+            });
+        }
+    }
+    specs
+}
+
+fn runtime(store: &StreamStore) -> CohortRuntime {
+    let params = Params {
+        min_matches: 1,
+        ..Params::default()
+    };
+    CohortRuntime::new(store.clone(), params)
+        .unwrap()
+        .with_segmenter(SegmenterConfig::clean())
+}
+
+#[test]
+fn sharded_replay_is_bit_identical_to_unsharded() {
+    let (store, patients) = seeded_store(3, 70);
+    let specs = scenario_specs(&patients, 100);
+    let baseline = runtime(&store).replay(&specs);
+
+    // The scenarios actually exercise the fault machinery.
+    assert!(baseline.sessions.iter().all(|s| s.complete));
+    assert!(baseline.sessions.iter().any(|s| s.resyncs > 0));
+    assert!(baseline.sessions.iter().any(|s| s.recovered_faults > 0));
+    assert!(baseline.total_predictions() > 0);
+
+    // Parallel unsharded: same reports.
+    let parallel = runtime(&store).with_threads(4).replay(&specs);
+    assert_eq!(baseline.sessions, parallel.sessions);
+
+    for shards in SHARD_COUNTS {
+        let sharded = runtime(&store).with_shards(shards).replay(&specs);
+        assert_eq!(
+            baseline.sessions, sharded.sessions,
+            "shards={shards} diverged from the unsharded replay"
+        );
+        if shards > 1 {
+            // Attribution covers every session exactly once, on its
+            // routed home shard.
+            let router = ShardRouter::new(shards);
+            let mut seen: Vec<usize> = Vec::new();
+            for shard in &sharded.shards {
+                for &i in &shard.sessions {
+                    assert_eq!(
+                        router.route(specs[i].patient, specs[i].session),
+                        shard.shard
+                    );
+                    seen.push(i);
+                }
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..specs.len()).collect::<Vec<_>>());
+        }
+    }
+}
+
+#[test]
+fn repeated_sharded_replays_are_stable() {
+    // Shard engines persist across replays (warm caches); placement and
+    // reports must not drift between calls on the same runtime.
+    let (store, patients) = seeded_store(2, 74);
+    let specs = scenario_specs(&patients, 140);
+    let rt = runtime(&store).with_shards(4);
+    let first = rt.replay(&specs);
+    let second = rt.replay(&specs);
+    assert_eq!(first.sessions, second.sessions);
+    for (a, b) in first.shards.iter().zip(&second.shards) {
+        assert_eq!(a.shard, b.shard);
+        assert_eq!(a.sessions, b.sessions, "placement drifted between replays");
+        // The first replay built each shard's indexes; the second runs
+        // entirely on warm caches.
+        assert_eq!(b.rebuilds, 0, "shard {} rebuilt on a warm replay", b.shard);
+    }
+}
+
+#[test]
+fn placement_is_a_pure_function_of_identity() {
+    // Property sweep: the route depends only on (patient, session,
+    // shard count) — never on the rest of the cohort, the order specs
+    // arrive in, or which router instance computes it. Mid-cohort pool
+    // resizing is unrepresentable (ShardRouter has no mutator), so the
+    // only way to re-home sessions is to build a new runtime.
+    for shards in SHARD_COUNTS {
+        let router = ShardRouter::new(shards);
+        assert_eq!(router.shards(), shards.max(1));
+        for p in 0..200u32 {
+            for s in 0..6u32 {
+                let home = router.route(PatientId(p), s);
+                assert!(home < shards.max(1));
+                assert_eq!(home, ShardRouter::new(shards).route(PatientId(p), s));
+            }
+        }
+    }
+
+    // Replay-level check: the same session keeps its home shard whether
+    // it replays inside the full cohort or a subset.
+    let (store, patients) = seeded_store(2, 78);
+    let specs = scenario_specs(&patients, 180);
+    let rt = runtime(&store).with_shards(4);
+    let full = rt.replay(&specs);
+    let subset: Vec<SessionSpec> = specs.iter().skip(2).cloned().collect();
+    let partial = rt.replay(&subset);
+    let home = |report: &CohortReport, patient: PatientId, session: u32, specs: &[SessionSpec]| {
+        report
+            .shards
+            .iter()
+            .find(|sh| {
+                sh.sessions
+                    .iter()
+                    .any(|&i| specs[i].patient == patient && specs[i].session == session)
+            })
+            .map(|sh| sh.shard)
+    };
+    for spec in &subset {
+        assert_eq!(
+            home(&full, spec.patient, spec.session, &specs),
+            home(&partial, spec.patient, spec.session, &subset),
+            "session ({:?}, {}) re-homed between cohorts",
+            spec.patient,
+            spec.session
+        );
+    }
+}
+
+#[test]
+fn fault_budget_exhaustion_is_identical_across_shard_counts() {
+    let (store, patients) = seeded_store(2, 82);
+    let mut specs = scenario_specs(&patients, 220);
+    // Poison one extra session so a zero budget fails it immediately.
+    let mid = specs[0].samples.len() / 3;
+    let t = specs[0].samples[mid].time;
+    specs[0].samples[mid] = Sample::new_1d(t, f64::NAN);
+    let zero_budget = DegradationPolicy {
+        fault_budget: 0,
+        ..DegradationPolicy::default()
+    };
+    let baseline = runtime(&store).with_policy(zero_budget).replay(&specs);
+    let failed = baseline.fatal_sessions();
+    assert!(failed >= 1, "no session exhausted the zero budget");
+    assert!(baseline.sessions[0].error.is_some());
+    assert!(!baseline.sessions[0].complete);
+    assert_eq!(baseline.sessions[0].health, SessionHealth::Degraded);
+    for shards in SHARD_COUNTS {
+        let sharded = runtime(&store)
+            .with_policy(zero_budget)
+            .with_shards(shards)
+            .replay(&specs);
+        assert_eq!(
+            baseline.sessions, sharded.sessions,
+            "shards={shards}: fault-budget semantics diverged"
+        );
+        assert_eq!(sharded.fatal_sessions(), failed);
+    }
+}

@@ -129,6 +129,42 @@ with open(out_path, "w") as fh:
 print(f"wrote pipeline throughput (speedup {doc['speedup']}x) to {out_path}")
 EOF
 
+echo "== running cohort-scale ramp soak (sharded vs unsharded) =="
+cohort_raw="$(mktemp)"
+trap 'rm -f "$raw" "$pipeline_raw" "$cohort_raw"' EXIT
+cargo run --release -p tsm-bench --bin exp_cohort_scale -- --json "$cohort_raw"
+
+python3 - "$cohort_raw" BENCH_cohort.json "$label" "$commit" <<'EOF'
+import json, sys, datetime
+
+raw_path, out_path, label, commit = sys.argv[1:5]
+with open(raw_path) as fh:
+    doc = json.load(fh)
+doc["captured"] = datetime.datetime.now(datetime.timezone.utc).strftime(
+    "%Y-%m-%dT%H:%M:%SZ"
+)
+doc["label"] = label
+doc["commit"] = commit
+
+# Same merge discipline as the other BENCH_* files: one capture per label.
+try:
+    with open(out_path) as fh:
+        prior = json.load(fh)
+    captures = [c for c in prior.get("captures", []) if c.get("label") != label]
+except (FileNotFoundError, json.JSONDecodeError):
+    captures = []
+captures.append(doc)
+with open(out_path, "w") as fh:
+    json.dump({"captures": captures}, fh, indent=2)
+    fh.write("\n")
+
+tail = doc["ramp"][-1]
+print(
+    f"wrote cohort ramp (knee {doc['knee_sessions']} sessions, "
+    f"{tail['sessions']}-session speedup {tail['speedup']}x) to {out_path}"
+)
+EOF
+
 echo "== checking metrics overhead =="
 # The exp_pipeline JSON carries `metrics_overhead`: the metrics-enabled
 # replay's throughput as a fraction of the disabled baseline. The

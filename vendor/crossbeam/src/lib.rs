@@ -31,6 +31,12 @@ pub mod thread {
         pub fn join(self) -> Result<T> {
             self.inner.join()
         }
+
+        /// The underlying thread handle (e.g. for `unpark`), matching
+        /// crossbeam's accessor.
+        pub fn thread(&self) -> &std_thread::Thread {
+            self.inner.thread()
+        }
     }
 
     impl<'scope, 'env> Scope<'scope, 'env> {
