@@ -61,19 +61,39 @@ impl Args {
             .ok_or_else(|| format!("missing required flag --{key}"))
     }
 
-    /// A numeric flag with a default.
+    /// A numeric flag with a default. A present-but-empty flag
+    /// (`--shards` with no value) and any unparseable value are
+    /// structured errors naming the flag — never a panic, never a silent
+    /// fallback to the default.
     pub fn num_flag<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
-        match self.flags.get(key) {
-            Some(v) if !v.is_empty() => v
-                .parse()
-                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
-            _ => Ok(default),
+        let Some(v) = self.flags.get(key) else {
+            return Ok(default);
+        };
+        if v.is_empty() {
+            return Err(format!("--{key} requires a numeric value"));
         }
+        v.parse()
+            .map_err(|_| format!("--{key}: {}", describe_numeric_error(v)))
     }
 
     /// Whether a boolean flag is present.
     pub fn bool_flag(&self, key: &str) -> bool {
         self.flags.contains_key(key)
+    }
+}
+
+/// Classifies why a numeric flag value failed to parse, without knowing
+/// the target type: anything a float can't read is not a number at all;
+/// otherwise the sign, a fractional part, or sheer magnitude is to blame.
+fn describe_numeric_error(v: &str) -> String {
+    if v.parse::<f64>().is_err() {
+        format!("'{v}' is not a number")
+    } else if v.trim_start().starts_with('-') {
+        format!("'{v}' must not be negative")
+    } else if v.contains(['.', 'e', 'E']) {
+        format!("'{v}' is not an integer")
+    } else {
+        format!("'{v}' is out of range")
     }
 }
 
@@ -117,5 +137,40 @@ mod tests {
         assert!(Args::parse(["--".to_string()]).is_err());
         let a = parse(&["--k", "x"]);
         assert!(a.num_flag("k", 0usize).is_err());
+    }
+
+    #[test]
+    fn num_flag_rejects_bad_values_with_structured_errors() {
+        // Non-numeric: named flag, named value.
+        let a = parse(&["--threads", "abc"]);
+        let err = a.num_flag("threads", 1usize).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        assert!(err.contains("'abc' is not a number"), "{err}");
+
+        // Negative into an unsigned target: blamed on the sign, not a
+        // generic parse failure.
+        let a = parse(&["--shards", "-1"]);
+        let err = a.num_flag("shards", 1usize).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        assert!(err.contains("must not be negative"), "{err}");
+        // ...but a signed target accepts it.
+        assert_eq!(parse(&["--dt", "-1"]).num_flag("dt", 0i64).unwrap(), -1);
+
+        // Fractional into an integer target.
+        let a = parse(&["--sessions", "2.5"]);
+        let err = a.num_flag("sessions", 1usize).unwrap_err();
+        assert!(err.contains("--sessions"), "{err}");
+        assert!(err.contains("is not an integer"), "{err}");
+
+        // Overflow: a value no u32 can hold.
+        let a = parse(&["--k", "99999999999999999999"]);
+        let err = a.num_flag("k", 1u32).unwrap_err();
+        assert!(err.contains("--k"), "{err}");
+        assert!(err.contains("out of range"), "{err}");
+
+        // Present but valueless: an error, never a silent default.
+        let a = parse(&["--shards", "--quick"]);
+        let err = a.num_flag("shards", 4usize).unwrap_err();
+        assert!(err.contains("--shards requires a numeric value"), "{err}");
     }
 }

@@ -57,6 +57,12 @@ USAGE:
                                        sessions must degrade gracefully,
                                        recover, and reconcile metrics
   tsm cluster  --store FILE [--k K]    cluster patients, find correlations
+  tsm serve    [--store FILE] [--addr HOST:PORT] [--sessions-max N]
+               [--workers W] [--ingest-queue Q] [--dt SECS]
+                                       HTTP front-end: POST /ingest/{{name}},
+                                       GET /query, /predict, /metrics,
+                                       /healthz; sheds load with 429/503 +
+                                       Retry-After when saturated
   tsm help                             this message
 
 Store-reading commands accept --salvage to recover the valid prefix of a
@@ -642,6 +648,60 @@ pub fn chaos(args: &Args) -> Result<(), String> {
     } else {
         Err(failures.join("; "))
     }
+}
+
+/// `tsm serve` — the HTTP front-end. Serves matching, prediction and
+/// live ingest over a real socket until interrupted. `--store` preloads
+/// a reference store for sessions to match against; without it the
+/// server starts on an empty in-memory store and learns only from what
+/// is ingested.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let defaults = tsm_serve::ServeConfig::default();
+    let config = tsm_serve::ServeConfig {
+        addr: args.str_flag("addr", &defaults.addr),
+        sessions_max: args.num_flag("sessions-max", defaults.sessions_max)?,
+        workers: args.num_flag("workers", defaults.workers)?,
+        ingest_queue: args.num_flag("ingest-queue", defaults.ingest_queue)?,
+        horizon: args.num_flag("dt", defaults.horizon)?,
+        ..defaults
+    };
+    if config.sessions_max == 0 {
+        return Err("--sessions-max must be at least 1".into());
+    }
+    if config.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if config.ingest_queue == 0 {
+        return Err("--ingest-queue must be at least 1".into());
+    }
+    if !(config.horizon.is_finite() && config.horizon > 0.0) {
+        return Err("--dt must be a positive horizon in seconds".into());
+    }
+
+    // The serve metrics funnel is always on: /metrics is an endpoint.
+    let metrics = MetricsRegistry::enabled();
+    let store = if args.flags.contains_key("store") {
+        load_with_metrics(args, &metrics)?
+    } else {
+        StreamStore::new()
+    };
+    let params = Params {
+        min_matches: 1,
+        ..Params::default()
+    };
+    let engine = Arc::new(CachedMatcher::new(
+        Matcher::new(store, params).with_metrics(metrics),
+    ));
+    let manager = Arc::new(tsm_serve::SessionManager::new(
+        engine,
+        config.sessions_max,
+        config.ingest_queue,
+        config.horizon,
+    ));
+    let server = tsm_serve::Server::start(manager, config).map_err(|e| format!("bind: {e}"))?;
+    eprintln!("tsm serve listening on {}", server.local_addr());
+    server.wait();
+    Ok(())
 }
 
 /// `tsm cluster`.

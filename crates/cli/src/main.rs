@@ -11,6 +11,7 @@
 //! tsm replay   --store cohort.tsmdb --sessions 64 --shards 8   # sharded
 //! tsm chaos    --plans 8 --seed 99                 # fault-injection soak
 //! tsm cluster  --store cohort.tsmdb --k 4
+//! tsm serve    --store cohort.tsmdb --addr 127.0.0.1:7878   # HTTP front-end
 //! ```
 
 mod args;
@@ -61,6 +62,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "replay" => commands::replay(&args),
         "chaos" => commands::chaos(&args),
         "cluster" => commands::cluster(&args),
+        "serve" => commands::serve(&args),
         "help" | "--help" | "-h" => {
             commands::help();
             Ok(())

@@ -29,7 +29,7 @@ fn help_lists_every_subcommand() {
     assert!(o.status.success());
     let text = stdout(&o);
     for cmd in [
-        "simulate", "info", "segment", "match", "predict", "replay", "cluster",
+        "simulate", "info", "segment", "match", "predict", "replay", "cluster", "serve",
     ] {
         assert!(text.contains(cmd), "help missing '{cmd}'");
     }
@@ -219,6 +219,73 @@ fn zero_valued_flags_are_rejected_cleanly() {
     ]);
     assert!(o.status.success(), "match --k 2 failed: {}", stderr(&o));
     assert!(stdout(&o).contains("matches within delta"));
+
+    std::fs::remove_file(&store_path).ok();
+}
+
+#[test]
+fn malformed_numeric_flags_are_rejected_with_the_flag_named() {
+    let store_path = small_store("badnum.tsmdb");
+    let store = store_path.to_str().unwrap();
+
+    // Negative into an unsigned flag: a structured error, not a panic or
+    // a silent fall-back to the default shard count.
+    let o = tsm(&["replay", "--store", store, "--shards", "-1"]);
+    assert!(!o.status.success(), "--shards -1 must be rejected");
+    let err = stderr(&o);
+    assert!(err.contains("--shards"), "{err}");
+    assert!(err.contains("must not be negative"), "{err}");
+
+    // Overflowing: a value no usize can hold.
+    let o = tsm(&[
+        "replay",
+        "--store",
+        store,
+        "--sessions",
+        "99999999999999999999999999",
+    ]);
+    assert!(
+        !o.status.success(),
+        "overflowing --sessions must be rejected"
+    );
+    let err = stderr(&o);
+    assert!(err.contains("--sessions"), "{err}");
+    assert!(err.contains("out of range"), "{err}");
+
+    // Non-numeric.
+    let o = tsm(&["replay", "--store", store, "--threads", "abc"]);
+    assert!(!o.status.success(), "--threads abc must be rejected");
+    let err = stderr(&o);
+    assert!(err.contains("--threads"), "{err}");
+    assert!(err.contains("is not a number"), "{err}");
+
+    // Fractional into an integer flag.
+    let o = tsm(&[
+        "match", "--store", store, "--stream", "0", "--start", "2", "--len", "9", "--k", "2.5",
+    ]);
+    assert!(!o.status.success(), "--k 2.5 must be rejected");
+    let err = stderr(&o);
+    assert!(err.contains("--k"), "{err}");
+    assert!(err.contains("is not an integer"), "{err}");
+
+    // Present-but-empty: `--k` swallowed no value because another flag
+    // follows; that used to silently fall back to the default.
+    let o = tsm(&[
+        "match",
+        "--store",
+        store,
+        "--stream",
+        "0",
+        "--start",
+        "2",
+        "--len",
+        "9",
+        "--k",
+        "--metrics",
+    ]);
+    assert!(!o.status.success(), "valueless --k must be rejected");
+    let err = stderr(&o);
+    assert!(err.contains("--k requires a numeric value"), "{err}");
 
     std::fs::remove_file(&store_path).ok();
 }

@@ -1,0 +1,312 @@
+//! Minimal JSON utilities for the hand-rendered output surfaces.
+//!
+//! The vendored `serde` is a no-op stand-in, so everything this
+//! workspace emits as JSON — [`crate::metrics::MetricsSnapshot::to_json`]
+//! and the `tsm-serve` endpoint bodies — is rendered by hand. This
+//! module centralizes the two pieces hand-rendering cannot safely skip:
+//!
+//! * [`escape_into`] / [`escaped`] — RFC 8259 string escaping, so a
+//!   hostile or merely unlucky key (quotes, backslashes, control
+//!   characters) can never break a document out of its string literal.
+//! * [`validate`] — a strict, allocation-light JSON parser used by tests
+//!   and CI probes to assert that rendered documents actually parse.
+//!   It accepts exactly one JSON value plus surrounding whitespace.
+
+/// Appends `s` to `out` as the *contents* of a JSON string literal
+/// (without the surrounding quotes), escaping everything RFC 8259
+/// requires: `"`, `\`, and all control characters below `0x20`.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// [`escape_into`] as an expression: the escaped contents of `s`.
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+/// Renders a complete JSON string literal (quotes included).
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Maximum nesting depth [`validate`] accepts before declaring the
+/// document hostile (a parser recursing on attacker-controlled depth is
+/// itself a stack-overflow vector).
+const MAX_DEPTH: usize = 128;
+
+/// Checks that `text` is exactly one well-formed JSON value (object,
+/// array, string, number, `true`, `false` or `null`) surrounded by
+/// nothing but whitespace. Returns the byte offset and a description of
+/// the first violation.
+pub fn validate(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, b"true"),
+        Some(b'f') => parse_literal(bytes, pos, b"false"),
+        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(b) if *b == b'-' || b.is_ascii_digit() => parse_number(bytes, pos),
+        Some(b) => Err(format!("unexpected byte 0x{b:02x} at {pos}")),
+        None => Err(format!("unexpected end of input at byte {pos}")),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &[u8]) -> Result<(), String> {
+    if bytes[*pos..].starts_with(word) {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos, depth + 1)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos, depth + 1)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '"'
+    loop {
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(());
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match bytes.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => {
+                                    return Err(format!("invalid \\u escape at byte {pos}"));
+                                }
+                            }
+                        }
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}")),
+                }
+            }
+            Some(b) if *b < 0x20 => {
+                return Err(format!("raw control byte 0x{b:02x} in string at {pos}"));
+            }
+            Some(_) => *pos += 1,
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: one digit, or a nonzero digit followed by more.
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b) if b.is_ascii_digit() => {
+            while bytes.get(*pos).is_some_and(|b| b.is_ascii_digit()) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(format!("invalid number at byte {start}")),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !bytes.get(*pos).is_some_and(|b| b.is_ascii_digit()) {
+            return Err(format!("invalid number at byte {start}"));
+        }
+        while bytes.get(*pos).is_some_and(|b| b.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !bytes.get(*pos).is_some_and(|b| b.is_ascii_digit()) {
+            return Err(format!("invalid number at byte {start}"));
+        }
+        while bytes.get(*pos).is_some_and(|b| b.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(escaped("plain.key"), "plain.key");
+        assert_eq!(escaped("a\"b"), "a\\\"b");
+        assert_eq!(escaped("a\\b"), "a\\\\b");
+        assert_eq!(escaped("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(escaped("\u{08}\u{0C}"), "\\b\\f");
+        assert_eq!(escaped("\u{01}\u{1F}"), "\\u0001\\u001f");
+        // Non-control unicode passes through unescaped.
+        assert_eq!(escaped("λ→μ"), "λ→μ");
+        assert_eq!(string("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            " false ",
+            "0",
+            "-12.5e-3",
+            "\"hi\"",
+            "\"a\\\"b\\\\c\\u00ff\"",
+            "{\"a\": [1, 2, {\"b\": null}], \"c\": \"d\"}",
+            "{\n  \"counters\": {\n    \"x\": 1\n  }\n}\n",
+        ] {
+            assert!(validate(ok).is_ok(), "{ok:?}: {:?}", validate(ok));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{\"a\": }",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "[1,]",
+            "[1 2]",
+            "\"unterminated",
+            "\"raw\ncontrol\"",
+            "\"bad\\xescape\"",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "{} trailing",
+            "--1",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} was accepted");
+        }
+    }
+
+    #[test]
+    fn validate_caps_nesting_depth() {
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(validate(&deep).is_err());
+        let fine = "[".repeat(64) + &"]".repeat(64);
+        assert!(validate(&fine).is_ok());
+    }
+
+    #[test]
+    fn escaped_output_round_trips_through_validate() {
+        let hostile = "evil\"key\\with\ncontrols\u{01}\t";
+        let doc = format!("{{{}: 1}}", string(hostile));
+        validate(&doc).unwrap();
+    }
+}

@@ -60,6 +60,7 @@ pub mod framework;
 pub mod gating;
 pub mod index_cache;
 pub mod invariants;
+pub mod json;
 pub mod matcher;
 pub mod metrics;
 pub mod params;
@@ -94,9 +95,10 @@ pub mod prelude {
     pub use crate::predict::{predict_position, predict_position_anchored, AlignMode};
     pub use crate::query::{generate_query, QueryOutcome};
     pub use crate::session::{
-        CohortReport, CohortRuntime, DegradationPolicy, GatingController, PredictionLog,
-        PredictionTick, SessionConfig, SessionConsumer, SessionHealth, SessionReport,
-        SessionRuntime, SessionSpec, ShardReport, ShardRouter, TrackingController,
+        external_session, CohortReport, CohortRuntime, DegradationPolicy, GatingController,
+        HandleRejection, PredictionLog, PredictionTick, QueryReply, SessionConfig, SessionConsumer,
+        SessionHandle, SessionHealth, SessionReport, SessionRuntime, SessionSpec, SessionStatus,
+        ShardReport, ShardRouter, TrackingController,
     };
     pub use crate::similarity::{
         offline_distance, online_distance, vertex_weight, QueryCols, WindowCols, WindowScorer,

@@ -24,6 +24,7 @@
 //! * `session.abstained_unhealthy <= session.predictions_abstained`
 //! * `session.health_recovered <= session.health_recovering <= session.health_degraded`
 //! * `segment.resyncs <= segment.smoother_resets`
+//! * `serve.rejected <= serve.requests`
 //! * salvage stream counters imply `store.salvage_loads > 0`
 //!
 //! [`MetricsSnapshot`] is a point-in-time copy: diffable (`later.diff
@@ -132,9 +133,20 @@ pub enum Counter {
     /// Index rebuilds performed by the maintenance worker (refresh of a
     /// stale entry off the search path), a subset of `cache.rebuilds`.
     CacheDaemonRebuilds,
+    /// HTTP requests the serve front-end answered (every response
+    /// written, including parse failures and requests shed by admission
+    /// control).
+    ServeRequests,
+    /// Requests shed by admission control or input validation (4xx/5xx
+    /// responses), a subset of `serve.requests`.
+    ServeRejected,
+    /// Request body bytes the serve front-end accepted.
+    ServeBytesIn,
+    /// Response body bytes the serve front-end wrote.
+    ServeBytesOut,
 }
 
-const COUNTER_COUNT: usize = Counter::CacheDaemonRebuilds as usize + 1;
+const COUNTER_COUNT: usize = Counter::ServeBytesOut as usize + 1;
 
 const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
     "match.searches",
@@ -175,6 +187,10 @@ const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
     "match.batch_lanes_abandoned",
     "match.f32_prune_rescans",
     "cache.daemon_rebuilds",
+    "serve.requests",
+    "serve.rejected",
+    "serve.bytes_in",
+    "serve.bytes_out",
 ];
 
 impl Counter {
@@ -194,14 +210,18 @@ pub enum Hist {
     ConsumerDispatch,
     /// Wall time of one whole matcher search.
     SearchLatency,
+    /// Wall time of one HTTP request in the serve front-end (parse
+    /// through response write).
+    ServeLatency,
 }
 
-const HIST_COUNT: usize = Hist::SearchLatency as usize + 1;
+const HIST_COUNT: usize = Hist::ServeLatency as usize + 1;
 
 const HIST_NAMES: [&str; HIST_COUNT] = [
     "session.tick_latency_ns",
     "session.consumer_dispatch_ns",
     "match.search_latency_ns",
+    "serve.request_latency_ns",
 ];
 
 impl Hist {
@@ -697,6 +717,13 @@ impl MetricsSnapshot {
                 "segment resyncs ({resyncs}) > smoother_resets ({smoother_resets})"
             ));
         }
+        let serve_requests = self.counter("serve.requests");
+        let serve_rejected = self.counter("serve.rejected");
+        if serve_rejected > serve_requests {
+            return Err(format!(
+                "serve rejected ({serve_rejected}) > requests ({serve_requests})"
+            ));
+        }
         let salvage_loads = self.counter("store.salvage_loads");
         let salvaged = self.counter("store.salvage_streams_recovered");
         let lost = self.counter("store.salvage_streams_lost");
@@ -709,7 +736,10 @@ impl MetricsSnapshot {
     }
 
     /// Renders the snapshot as a JSON document (hand-written — the
-    /// vendored serde is a no-op stand-in).
+    /// vendored serde is a no-op stand-in). Keys are escaped through
+    /// [`crate::json::escape_into`]: the built-in counter names are tame,
+    /// but merged snapshots can carry arbitrary keys, and `/metrics`
+    /// must never emit invalid JSON.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n  \"counters\": {");
         let mut first = true;
@@ -718,7 +748,9 @@ impl MetricsSnapshot {
                 s.push(',');
             }
             first = false;
-            s.push_str(&format!("\n    \"{k}\": {v}"));
+            s.push_str("\n    \"");
+            crate::json::escape_into(&mut s, k);
+            s.push_str(&format!("\": {v}"));
         }
         s.push_str("\n  },\n  \"histograms\": {");
         first = true;
@@ -727,9 +759,11 @@ impl MetricsSnapshot {
                 s.push(',');
             }
             first = false;
+            s.push_str("\n    \"");
+            crate::json::escape_into(&mut s, k);
             let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
             s.push_str(&format!(
-                "\n    \"{k}\": {{ \"count\": {}, \"sum\": {}, \"buckets\": [{}] }}",
+                "\": {{ \"count\": {}, \"sum\": {}, \"buckets\": [{}] }}",
                 h.count,
                 h.sum,
                 buckets.join(", ")
@@ -849,6 +883,48 @@ mod tests {
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_rendering_escapes_hostile_keys() {
+        // Built-in counter names are tame, but snapshots are a public
+        // monoid: merged-in keys can contain anything. The renderer must
+        // never let a key break out of its string literal.
+        let hostile = "evil\"key\\with\nnewline\tand\u{01}control";
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert(hostile.to_string(), 7);
+        snap.counters.insert("plain.key".to_string(), 1);
+        snap.histograms.insert(
+            hostile.to_string(),
+            HistogramSnapshot {
+                count: 2,
+                sum: 10,
+                buckets: vec![2],
+            },
+        );
+        let json = snap.to_json();
+        crate::json::validate(&json).expect("escaped snapshot must parse");
+        assert!(json.contains("evil\\\"key\\\\with\\nnewline\\tand\\u0001control"));
+        assert!(!json.contains(hostile), "raw hostile key leaked through");
+    }
+
+    #[test]
+    fn json_rendering_of_live_registry_parses() {
+        let m = MetricsRegistry::enabled();
+        m.incr(Counter::Searches);
+        m.incr(Counter::ServeRequests);
+        m.observe_ns(Hist::ServeLatency, 12_345);
+        crate::json::validate(&m.snapshot().to_json()).expect("snapshot JSON must parse");
+    }
+
+    #[test]
+    fn serve_rejected_exceeding_requests_violates_invariants() {
+        let m = MetricsRegistry::enabled();
+        m.add(Counter::ServeRequests, 2);
+        m.add(Counter::ServeRejected, 2);
+        assert!(m.snapshot().check_invariants().is_ok());
+        m.incr(Counter::ServeRejected);
+        assert!(m.snapshot().check_invariants().is_err());
     }
 
     #[test]

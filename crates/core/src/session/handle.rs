@@ -1,0 +1,545 @@
+//! Externally-driven sessions: a thread-owned [`SessionRuntime`] behind a
+//! bounded command channel.
+//!
+//! Replay ([`super::CohortRuntime`]) owns its session loops end to end;
+//! a network front-end does not — samples arrive whenever a client sends
+//! them, predictions are demanded out of band, and a slow session must
+//! shed load instead of wedging the thread that accepted the connection.
+//! A [`SessionHandle`] packages one [`SessionRuntime`] for that shape:
+//!
+//! * The runtime lives on its own worker thread and is fed through an
+//!   exact-capacity [`std::sync::mpsc::sync_channel`]. Every producer
+//!   call uses `try_send`: a full channel is an immediate
+//!   [`HandleRejection::Busy`], never a block — the admission-control
+//!   primitive the serve layer maps to HTTP `429`.
+//! * Per-sample faults ride the same supervisor contract as
+//!   [`super::CohortRuntime`]: recoverable errors are absorbed up to
+//!   [`super::DegradationPolicy::fault_budget`]
+//!   (`cohort.faults_absorbed`), after which the session is marked
+//!   failed (`cohort.sessions_failed`) and stops accepting ingest
+//!   ([`HandleRejection::Failed`] → HTTP `503`). Queries and predictions
+//!   keep working against the data already accumulated.
+//! * A lock-free [`SessionStatus`] mirror (health, sample/vertex/fault
+//!   tallies, queue depth) is refreshed by the worker after every
+//!   command, so `/healthz` never has to queue behind ingest.
+
+use super::health::SessionHealth;
+use super::runtime::SessionRuntime;
+use crate::error::TsmError;
+use crate::matcher::MatchResult;
+use crate::metrics::{Counter, MetricsRegistry};
+use crate::pipeline::PredictionOutcome;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why a [`SessionHandle`] call did not produce a result. The variants
+/// map one-to-one onto the serve layer's load-shedding responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandleRejection {
+    /// The session's command channel is full — retry shortly (HTTP 429).
+    Busy,
+    /// The session exhausted its fault budget and no longer accepts
+    /// ingest (HTTP 503).
+    Failed,
+    /// The session was finished (or its worker exited) — no further
+    /// commands are accepted.
+    Finished,
+    /// The worker did not answer within the caller's deadline; the
+    /// command may still complete in the background (HTTP 429).
+    Timeout,
+}
+
+impl std::fmt::Display for HandleRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandleRejection::Busy => write!(f, "session channel full"),
+            HandleRejection::Failed => write!(f, "session fault budget exhausted"),
+            HandleRejection::Finished => write!(f, "session finished"),
+            HandleRejection::Timeout => write!(f, "session worker timed out"),
+        }
+    }
+}
+
+impl HandleRejection {
+    /// Whether the caller may usefully retry after a short delay
+    /// (drives the serve layer's `Retry-After` and 429-vs-503 split).
+    pub fn is_retryable(self) -> bool {
+        matches!(self, HandleRejection::Busy | HandleRejection::Timeout)
+    }
+}
+
+/// A point-in-time, lock-free view of one handled session, refreshed by
+/// the worker after every command it processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// Current health of the session's ingest/prediction machinery.
+    pub health: SessionHealth,
+    /// Whether the fault budget is exhausted (ingest permanently
+    /// rejected).
+    pub failed: bool,
+    /// Raw samples the runtime has consumed.
+    pub samples: u64,
+    /// PLR vertices in the live buffer.
+    pub vertices: u64,
+    /// Segmenter resyncs (stream discontinuities) observed.
+    pub resyncs: u64,
+    /// Recoverable faults absorbed by the supervisor so far.
+    pub faults_absorbed: u64,
+    /// Commands currently queued to the worker (0..=capacity).
+    pub pending: u64,
+}
+
+/// The answer to a [`SessionHandle::query`] call.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    /// Segments in the dynamic query the matches were retrieved for.
+    pub query_len: usize,
+    /// The retrieved matches, best first.
+    pub matches: Vec<MatchResult>,
+}
+
+enum SessionCommand {
+    Ingest(Vec<tsm_model::Sample>),
+    Predict {
+        dt: f64,
+        reply: SyncSender<Option<PredictionOutcome>>,
+    },
+    Query {
+        top_k: Option<usize>,
+        reply: SyncSender<Option<QueryReply>>,
+    },
+    Finish {
+        reply: SyncSender<()>,
+    },
+}
+
+/// Shared between the handle (readers) and the worker (writer). All
+/// fields are advisory mirrors of worker-owned state, so Relaxed
+/// suffices throughout: no reader derives cross-field consistency.
+struct HandleState {
+    health: AtomicU8,
+    failed: AtomicBool,
+    samples: AtomicU64,
+    vertices: AtomicU64,
+    resyncs: AtomicU64,
+    faults_absorbed: AtomicU64,
+    pending: AtomicU64,
+}
+
+fn health_to_u8(h: SessionHealth) -> u8 {
+    match h {
+        SessionHealth::Healthy => 0,
+        SessionHealth::Degraded => 1,
+        SessionHealth::Recovering => 2,
+    }
+}
+
+fn health_from_u8(v: u8) -> SessionHealth {
+    match v {
+        1 => SessionHealth::Degraded,
+        2 => SessionHealth::Recovering,
+        _ => SessionHealth::Healthy,
+    }
+}
+
+/// A handle to a session driven from outside (e.g. by the serve layer):
+/// non-blocking ingest, deadline-bounded predict/query, lock-free status.
+///
+/// Dropping the handle finishes the session: the command channel closes
+/// and the worker thread is joined.
+pub struct SessionHandle {
+    tx: Option<SyncSender<SessionCommand>>,
+    state: Arc<HandleState>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    metrics: MetricsRegistry,
+}
+
+impl std::fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+impl SessionHandle {
+    /// Spawns the worker thread that owns `runtime` and returns the
+    /// handle. `capacity` bounds the command channel (admission control:
+    /// producers see [`HandleRejection::Busy`] when it is full); it is
+    /// clamped to at least 1.
+    pub fn spawn(runtime: SessionRuntime, capacity: usize) -> SessionHandle {
+        let metrics = runtime.metrics().clone();
+        let state = Arc::new(HandleState {
+            health: AtomicU8::new(health_to_u8(runtime.health())),
+            failed: AtomicBool::new(false),
+            samples: AtomicU64::new(runtime.samples_seen() as u64),
+            vertices: AtomicU64::new(runtime.live_vertices().len() as u64),
+            resyncs: AtomicU64::new(runtime.resyncs()),
+            faults_absorbed: AtomicU64::new(0),
+            pending: AtomicU64::new(0),
+        });
+        let (tx, rx) = sync_channel(capacity.max(1));
+        let worker_state = Arc::clone(&state);
+        let worker_metrics = metrics.clone();
+        let worker =
+            std::thread::spawn(move || worker_loop(runtime, rx, worker_state, worker_metrics));
+        SessionHandle {
+            tx: Some(tx),
+            state,
+            worker: Some(worker),
+            metrics,
+        }
+    }
+
+    /// The current advisory status (never blocks, never queues).
+    pub fn status(&self) -> SessionStatus {
+        // Relaxed throughout: advisory mirror of worker-owned state;
+        // readers tolerate a command's worth of skew between fields.
+        SessionStatus {
+            // Relaxed: see above.
+            health: health_from_u8(self.state.health.load(Ordering::Relaxed)),
+            failed: self.state.failed.load(Ordering::Relaxed), // Relaxed: see above.
+            samples: self.state.samples.load(Ordering::Relaxed), // Relaxed: see above.
+            vertices: self.state.vertices.load(Ordering::Relaxed), // Relaxed: see above.
+            resyncs: self.state.resyncs.load(Ordering::Relaxed), // Relaxed: see above.
+            // Relaxed: see above.
+            faults_absorbed: self.state.faults_absorbed.load(Ordering::Relaxed),
+            pending: self.state.pending.load(Ordering::Relaxed), // Relaxed: see above.
+        }
+    }
+
+    /// Whether the session's fault budget is exhausted.
+    pub fn is_failed(&self) -> bool {
+        // Relaxed: advisory flag (see `status`).
+        self.state.failed.load(Ordering::Relaxed)
+    }
+
+    fn send(&self, cmd: SessionCommand) -> Result<(), HandleRejection> {
+        let Some(tx) = &self.tx else {
+            return Err(HandleRejection::Finished);
+        };
+        // Count the command in *before* sending: the worker's decrement
+        // races a post-send increment and would wrap the gauge past zero.
+        // Relaxed: advisory queue-depth gauge (see `status`).
+        let depth = self.state.pending.fetch_add(1, Ordering::Relaxed) + 1;
+        match tx.try_send(cmd) {
+            Ok(()) => {
+                self.metrics.record_max(Counter::CohortBacklogHwm, depth);
+                Ok(())
+            }
+            Err(e) => {
+                // Relaxed: advisory queue-depth gauge (see `status`).
+                self.state.pending.fetch_sub(1, Ordering::Relaxed);
+                match e {
+                    TrySendError::Full(_) => Err(HandleRejection::Busy),
+                    TrySendError::Disconnected(_) => Err(HandleRejection::Finished),
+                }
+            }
+        }
+    }
+
+    /// Enqueues a batch of samples for ingest. Returns as soon as the
+    /// batch is queued — faults surface later through [`Self::status`].
+    /// Never blocks: a full channel is [`HandleRejection::Busy`], an
+    /// exhausted fault budget [`HandleRejection::Failed`].
+    pub fn try_ingest(&self, batch: Vec<tsm_model::Sample>) -> Result<(), HandleRejection> {
+        if self.is_failed() {
+            return Err(HandleRejection::Failed);
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.send(SessionCommand::Ingest(batch))
+    }
+
+    /// Predicts the position `dt` seconds past the last closed vertex,
+    /// waiting at most `timeout` for the worker. `Ok(None)` means the
+    /// predictor abstained (warm-up, too few matches, degraded health).
+    pub fn predict(
+        &self,
+        dt: f64,
+        timeout: Duration,
+    ) -> Result<Option<PredictionOutcome>, HandleRejection> {
+        let (reply, rx) = sync_channel(1);
+        self.send(SessionCommand::Predict { dt, reply })?;
+        rx.recv_timeout(timeout)
+            .map_err(|_| HandleRejection::Timeout)
+    }
+
+    /// Retrieves the current top-k matches for the session's dynamic
+    /// query, waiting at most `timeout` for the worker. `Ok(None)` means
+    /// no query can be generated yet (live buffer too short).
+    pub fn query(
+        &self,
+        top_k: Option<usize>,
+        timeout: Duration,
+    ) -> Result<Option<QueryReply>, HandleRejection> {
+        let (reply, rx) = sync_channel(1);
+        self.send(SessionCommand::Query { top_k, reply })?;
+        rx.recv_timeout(timeout)
+            .map_err(|_| HandleRejection::Timeout)
+    }
+
+    /// Finishes the session (flushes the segmenter tail) and joins the
+    /// worker, waiting at most `timeout` for commands already queued
+    /// ahead of the finish to drain.
+    pub fn finish(mut self, timeout: Duration) -> Result<(), HandleRejection> {
+        let (reply, rx) = sync_channel(1);
+        // A full queue must not make finish spin forever; one attempt,
+        // then the Drop path (channel close) finishes the session anyway.
+        self.send(SessionCommand::Finish { reply })?;
+        let outcome = rx
+            .recv_timeout(timeout)
+            .map_err(|_| HandleRejection::Timeout);
+        self.join();
+        outcome
+    }
+
+    fn join(&mut self) {
+        self.tx = None; // close the channel; the worker loop exits
+        if let Some(worker) = self.worker.take() {
+            // lint:allow(no-silent-result-drop): a panicked worker
+            // already recorded the session as failed; nothing to add.
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+fn worker_loop(
+    mut runtime: SessionRuntime,
+    rx: Receiver<SessionCommand>,
+    state: Arc<HandleState>,
+    metrics: MetricsRegistry,
+) {
+    let budget = runtime.config().policy.fault_budget;
+    let mut absorbed = 0usize;
+    let mut failed = false;
+    while let Ok(cmd) = rx.recv() {
+        // Relaxed: advisory queue-depth gauge (see SessionHandle::status).
+        state.pending.fetch_sub(1, Ordering::Relaxed);
+        match cmd {
+            SessionCommand::Ingest(batch) => {
+                if failed {
+                    continue;
+                }
+                for s in batch {
+                    match runtime.push(s) {
+                        Ok(_) => {}
+                        Err(e) if e.is_recoverable() && absorbed < budget => {
+                            // Same supervisor contract as CohortRuntime::
+                            // drive_session: absorb recoverable faults up
+                            // to the policy budget.
+                            absorbed += 1;
+                            metrics.incr(Counter::CohortFaultsAbsorbed);
+                        }
+                        Err(_) => {
+                            failed = true;
+                            metrics.incr(Counter::CohortSessionsFailed);
+                            // Relaxed: advisory flag (see status).
+                            state.failed.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            }
+            SessionCommand::Predict { dt, reply } => {
+                let outcome = runtime.predict(dt);
+                // lint:allow(no-silent-result-drop): the requester may
+                // have timed out and dropped the receiver.
+                let _ = reply.try_send(outcome);
+            }
+            SessionCommand::Query { top_k, reply } => {
+                let answer = runtime.current_query().map(|q| {
+                    let mut options = runtime.config().options.clone();
+                    if top_k.is_some() {
+                        options.top_k = top_k;
+                    }
+                    let matches = runtime.engine().find_matches(&q, &options);
+                    QueryReply {
+                        query_len: q.len(),
+                        matches,
+                    }
+                });
+                // lint:allow(no-silent-result-drop): the requester may
+                // have timed out and dropped the receiver.
+                let _ = reply.try_send(answer);
+            }
+            SessionCommand::Finish { reply } => {
+                runtime.finish();
+                publish_status(&runtime, &state, absorbed);
+                // lint:allow(no-silent-result-drop): the requester may
+                // have timed out and dropped the receiver.
+                let _ = reply.try_send(());
+                return;
+            }
+        }
+        publish_status(&runtime, &state, absorbed);
+    }
+    // Channel closed (handle dropped): flush the segmenter tail so
+    // consumers observe a finished session.
+    runtime.finish();
+    publish_status(&runtime, &state, absorbed);
+}
+
+fn publish_status(runtime: &SessionRuntime, state: &HandleState, absorbed: usize) {
+    // Relaxed throughout: advisory mirror (see SessionHandle::status).
+    let health = health_to_u8(runtime.health());
+    state.health.store(health, Ordering::Relaxed); // Relaxed: see above.
+    let samples = runtime.samples_seen() as u64;
+    state.samples.store(samples, Ordering::Relaxed); // Relaxed: see above.
+    let vertices = runtime.live_vertices().len() as u64;
+    state.vertices.store(vertices, Ordering::Relaxed); // Relaxed: see above.
+    state.resyncs.store(runtime.resyncs(), Ordering::Relaxed); // Relaxed: see above.
+    let faults = absorbed as u64;
+    state.faults_absorbed.store(faults, Ordering::Relaxed); // Relaxed: see above.
+}
+
+/// Builds a runtime for `handle`-style driving. Thin convenience used by
+/// the serve layer and tests: a shared-engine session with automatic
+/// ticks disabled (ticks assume a single in-band driver; an external
+/// driver predicts on demand instead, keeping the
+/// `session.ticks == served + abstained` reconciliation intact).
+pub fn external_session(
+    engine: Arc<crate::index_cache::CachedMatcher>,
+    config: super::runtime::SessionConfig,
+) -> Result<SessionRuntime, TsmError> {
+    let mut config = config;
+    config.predict_every = 0;
+    SessionRuntime::with_engine(engine, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index_cache::CachedMatcher;
+    use crate::matcher::Matcher;
+    use crate::params::Params;
+    use crate::session::runtime::SessionConfig;
+    use tsm_db::{PatientAttributes, PatientId, StreamStore};
+    use tsm_model::{segment_signal, PlrTrajectory, Sample, SegmenterConfig};
+    use tsm_signal::{BreathingParams, SignalGenerator};
+
+    const WAIT: Duration = Duration::from_secs(10);
+
+    fn seeded_store(seed: u64) -> (StreamStore, PatientId) {
+        let store = StreamStore::new();
+        let patient = store.add_patient(PatientAttributes::new());
+        let samples = SignalGenerator::new(BreathingParams::default(), seed).generate(120.0);
+        let vertices = segment_signal(&samples, SegmenterConfig::clean());
+        let plr = PlrTrajectory::from_vertices(vertices).unwrap();
+        store.add_stream(patient, 0, plr, samples.len());
+        (store, patient)
+    }
+
+    fn engine(store: StreamStore) -> Arc<CachedMatcher> {
+        let params = Params {
+            min_matches: 1,
+            ..Params::default()
+        };
+        Arc::new(CachedMatcher::new(
+            Matcher::new(store, params).with_metrics(MetricsRegistry::enabled()),
+        ))
+    }
+
+    #[test]
+    fn ingest_then_query_and_predict_round_trip() {
+        let (store, patient) = seeded_store(50);
+        let engine = engine(store);
+        let config = SessionConfig::new(patient, 1).with_segmenter(SegmenterConfig::clean());
+        let runtime = external_session(Arc::clone(&engine), config).unwrap();
+        let handle = SessionHandle::spawn(runtime, 64);
+        let samples = SignalGenerator::new(BreathingParams::default(), 51).generate(60.0);
+        let n = samples.len() as u64;
+        handle.try_ingest(samples).unwrap();
+        let reply = handle
+            .query(Some(5), WAIT)
+            .unwrap()
+            .expect("warm session must produce a query");
+        assert!(reply.query_len > 0);
+        assert!(!reply.matches.is_empty() && reply.matches.len() <= 5);
+        let outcome = handle.predict(0.3, WAIT).unwrap();
+        assert!(outcome.is_some(), "warm session must predict");
+        let status = handle.status();
+        assert_eq!(status.samples, n);
+        assert!(status.vertices > 0);
+        assert_eq!(status.health, SessionHealth::Healthy);
+        assert!(!status.failed);
+        handle.finish(WAIT).unwrap();
+        // On-demand predict/query never touch the tick counters, so the
+        // registry still reconciles.
+        engine.metrics().snapshot().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn full_channel_rejects_busy_instead_of_blocking() {
+        let (store, patient) = seeded_store(52);
+        let config = SessionConfig::new(patient, 1).with_segmenter(SegmenterConfig::clean());
+        let runtime = external_session(engine(store), config).unwrap();
+        let handle = SessionHandle::spawn(runtime, 1);
+        // A long batch occupies the worker; follow-ups overflow capacity 1.
+        let big = SignalGenerator::new(BreathingParams::default(), 53).generate(240.0);
+        handle.try_ingest(big).unwrap();
+        let mut saw_busy = false;
+        for _ in 0..10_000 {
+            if let Err(HandleRejection::Busy) = handle.try_ingest(vec![Sample::new_1d(1e6, 0.0)]) {
+                saw_busy = true;
+                break;
+            }
+        }
+        assert!(saw_busy, "capacity-1 channel never reported Busy");
+        assert!(HandleRejection::Busy.is_retryable());
+        assert!(!HandleRejection::Failed.is_retryable());
+    }
+
+    #[test]
+    fn fault_budget_exhaustion_marks_failed_and_rejects_ingest() {
+        let (store, patient) = seeded_store(54);
+        let engine = engine(store);
+        let mut config = SessionConfig::new(patient, 1).with_segmenter(SegmenterConfig::clean());
+        config.policy.fault_budget = 3;
+        let runtime = external_session(Arc::clone(&engine), config).unwrap();
+        let handle = SessionHandle::spawn(runtime, 64);
+        // NaN positions are recoverable InvalidInput faults; one more
+        // than the budget fails the session.
+        let poison: Vec<Sample> = (0..5).map(|i| Sample::new_1d(i as f64, f64::NAN)).collect();
+        handle.try_ingest(poison).unwrap();
+        // The failure is asynchronous; wait for the worker to flag it.
+        for _ in 0..1000 {
+            if handle.is_failed() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(handle.is_failed(), "budget exhaustion never surfaced");
+        assert_eq!(
+            handle.try_ingest(vec![Sample::new_1d(9.0, 1.0)]),
+            Err(HandleRejection::Failed)
+        );
+        let status = handle.status();
+        assert_eq!(status.faults_absorbed, 3);
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.counter("cohort.faults_absorbed"), 3);
+        assert_eq!(snap.counter("cohort.sessions_failed"), 1);
+        snap.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drop_finishes_the_session_cleanly() {
+        let (store, patient) = seeded_store(56);
+        let config = SessionConfig::new(patient, 1).with_segmenter(SegmenterConfig::clean());
+        let runtime = external_session(engine(store), config).unwrap();
+        let handle = SessionHandle::spawn(runtime, 8);
+        handle
+            .try_ingest(SignalGenerator::new(BreathingParams::default(), 57).generate(10.0))
+            .unwrap();
+        drop(handle); // must not hang or panic
+    }
+}

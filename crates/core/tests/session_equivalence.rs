@@ -195,6 +195,76 @@ fn placement_is_a_pure_function_of_identity() {
 }
 
 #[test]
+fn more_shards_than_sessions_keeps_empty_shards_sane() {
+    use std::sync::Arc;
+    use tsm_core::index_cache::CachedMatcher;
+    use tsm_core::matcher::Matcher;
+    use tsm_core::metrics::MetricsRegistry;
+
+    let (store, patients) = seeded_store(2, 86);
+    // Three sessions over eight shards: most shards receive nothing.
+    let specs: Vec<SessionSpec> = scenario_specs(&patients, 260).into_iter().take(3).collect();
+    let baseline = runtime(&store).replay(&specs);
+
+    let params = Params {
+        min_matches: 1,
+        ..Params::default()
+    };
+    let metrics = MetricsRegistry::enabled();
+    let engine = Arc::new(CachedMatcher::new(
+        Matcher::new(store.clone(), params).with_metrics(metrics.clone()),
+    ));
+    let rt = CohortRuntime::with_engine(engine)
+        .with_segmenter(SegmenterConfig::clean())
+        .with_shards(8);
+    let sharded = rt.replay(&specs);
+
+    // Per-session reports are unchanged by the pathological shard count.
+    assert_eq!(baseline.sessions, sharded.sessions);
+
+    // The attribution table has one row per shard, covers every session
+    // exactly once on its routed home, and the zero-session rows are
+    // real, sane entries — not artifacts or omissions.
+    assert_eq!(sharded.shards.len(), 8);
+    assert!(
+        sharded.shards.iter().any(|s| s.sessions.is_empty()),
+        "3 sessions over 8 shards must leave empty shards"
+    );
+    let router = ShardRouter::new(8);
+    let mut seen: Vec<usize> = Vec::new();
+    for row in &sharded.shards {
+        for &i in &row.sessions {
+            assert_eq!(router.route(specs[i].patient, specs[i].session), row.shard);
+            seen.push(i);
+        }
+        if row.sessions.is_empty() {
+            assert_eq!(
+                row.rebuilds, 0,
+                "idle shard {} rebuilt its index",
+                row.shard
+            );
+        }
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, (0..specs.len()).collect::<Vec<_>>());
+
+    // The absorb merge folded idle shard registries into the parent
+    // without breaking the ledger.
+    let snapshot = rt.engine().metrics().snapshot();
+    if let Err(msg) = snapshot.check_invariants() {
+        panic!("absorbed snapshot does not reconcile: {msg}");
+    }
+    assert!(snapshot.counter("cohort.sessions") >= specs.len() as u64);
+
+    // An empty cohort over many shards is a no-op, not a hang: a full
+    // attribution table of empty rows and no sessions.
+    let empty = rt.replay(&[]);
+    assert!(empty.sessions.is_empty());
+    assert_eq!(empty.shards.len(), 8);
+    assert!(empty.shards.iter().all(|s| s.sessions.is_empty()));
+}
+
+#[test]
 fn fault_budget_exhaustion_is_identical_across_shard_counts() {
     let (store, patients) = seeded_store(2, 82);
     let mut specs = scenario_specs(&patients, 220);

@@ -1,0 +1,428 @@
+//! A deliberately small HTTP/1.1 subset over blocking sockets.
+//!
+//! The container has no async stack and the vendor tree ships no HTTP
+//! crate, so the serve layer speaks the protocol by hand — but only the
+//! slice it needs: one request per connection (`Connection: close`),
+//! `Content-Length` or `chunked` bodies, and hard caps on head and body
+//! size so a hostile peer cannot make a worker allocate without bound.
+//! Read timeouts are enforced by the socket (`set_read_timeout` at the
+//! connection layer); a timed-out read surfaces as [`HttpError::Timeout`]
+//! and becomes a `408` before the connection closes.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+/// Why a request could not be read. Each variant maps to one response
+/// status (or, for [`HttpError::Io`], to silently closing a connection
+/// that is already gone).
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or body framing → `400`.
+    BadRequest(String),
+    /// Head or body exceeded the configured cap → `413`.
+    TooLarge(String),
+    /// The socket read timed out mid-request → `408`.
+    Timeout,
+    /// The peer vanished; nothing to respond to.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+/// Size caps applied while reading one request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum body bytes (after de-chunking).
+    pub max_body_bytes: usize,
+}
+
+/// One parsed request. Header names are lowercased; the query string is
+/// split and percent-decoded into `query`.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path without the query string (e.g. `/ingest/s1`).
+    pub path: String,
+    /// Percent-decoded query parameters, last occurrence wins.
+    pub query: BTreeMap<String, String>,
+    /// Lowercased header name → value.
+    pub headers: BTreeMap<String, String>,
+    /// The (de-chunked) body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A query parameter by name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(|s| s.as_str())
+    }
+}
+
+fn read_line_capped<R: BufRead>(
+    reader: &mut R,
+    head_budget: &mut usize,
+) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(HttpError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed",
+                    )));
+                }
+                break;
+            }
+            Ok(_) => {
+                if *head_budget == 0 {
+                    return Err(HttpError::TooLarge("request head too large".into()));
+                }
+                *head_budget -= 1;
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::BadRequest("non-UTF-8 request head".into()))
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(raw: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for pair in raw.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.insert(percent_decode(k), percent_decode(v));
+    }
+    out
+}
+
+/// Reads and parses one request from `reader` under `limits`. The caller
+/// is expected to have armed a socket read timeout; timeouts surface as
+/// [`HttpError::Timeout`].
+pub fn read_request<R: BufRead>(reader: &mut R, limits: Limits) -> Result<Request, HttpError> {
+    let mut head_budget = limits.max_head_bytes;
+    let request_line = read_line_capped(reader, &mut head_budget)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line '{request_line}'"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol '{version}'"
+        )));
+    }
+    if method.is_empty() || !method.chars().all(|c| c.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest(format!("bad method '{method}'")));
+    }
+    let (raw_path, raw_query) = target.split_once('?').unwrap_or((target, ""));
+    if !raw_path.starts_with('/') {
+        return Err(HttpError::BadRequest(format!("bad target '{target}'")));
+    }
+
+    let mut headers = BTreeMap::new();
+    loop {
+        let line = read_line_capped(reader, &mut head_budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header '{line}'")));
+        };
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let body = read_body(reader, &headers, limits.max_body_bytes)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: percent_decode(raw_path),
+        query: parse_query(raw_query),
+        headers,
+        body,
+    })
+}
+
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    headers: &BTreeMap<String, String>,
+    max_body: usize,
+) -> Result<Vec<u8>, HttpError> {
+    let chunked = headers
+        .get("transfer-encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
+    if chunked {
+        return read_chunked_body(reader, max_body);
+    }
+    let length = match headers.get("content-length") {
+        None => return Ok(Vec::new()),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length '{v}'")))?,
+    };
+    if length > max_body {
+        return Err(HttpError::TooLarge(format!(
+            "body of {length} bytes exceeds the {max_body}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+fn read_chunked_body<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Vec<u8>, HttpError> {
+    let mut body = Vec::new();
+    loop {
+        // Chunk-size lines ride the body cap too (a hostile peer could
+        // otherwise stream size lines forever).
+        let mut line_budget = 64usize;
+        let size_line = read_line_capped(reader, &mut line_budget)?;
+        let size_str = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| HttpError::BadRequest(format!("bad chunk size '{size_line}'")))?;
+        if size == 0 {
+            // Trailer section: consume lines until the terminating blank.
+            loop {
+                let mut trailer_budget = 1024usize;
+                if read_line_capped(reader, &mut trailer_budget)?.is_empty() {
+                    break;
+                }
+            }
+            return Ok(body);
+        }
+        if body.len() + size > max_body {
+            return Err(HttpError::TooLarge(format!(
+                "chunked body exceeds the {max_body}-byte limit"
+            )));
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(HttpError::BadRequest("chunk not CRLF-terminated".into()));
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// One response, rendered with `Connection: close` (the serve layer
+/// handles exactly one request per connection).
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the synthesized ones.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error response: `{"error": "<message>"}` with escaping.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            format!("{{\"error\": {}}}\n", tsm_core::json::string(message)),
+        )
+    }
+
+    /// A load-shedding response carrying `Retry-After` (429/503).
+    pub fn shed(status: u16, message: &str, retry_after_s: u32) -> Response {
+        Response::error(status, message).with_header("Retry-After", &retry_after_s.to_string())
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes head + body onto `w` (one write buffer, one syscall in
+    /// the common case).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        w.write_all(&out)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMITS: Limits = Limits {
+        max_head_bytes: 1024,
+        max_body_bytes: 4096,
+    };
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut std::io::BufReader::new(raw), LIMITS)
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let req = parse(b"GET /query?session=s%201&k=5&flag HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.param("session"), Some("s 1"));
+        assert_eq!(req.param("k"), Some("5"));
+        assert_eq!(req.param("flag"), Some(""));
+        assert_eq!(req.headers.get("host").map(String::as_str), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_content_length_body() {
+        let req = parse(b"POST /ingest/a HTTP/1.1\r\nContent-Length: 8\r\n\r\n0.0,1.25").unwrap();
+        assert_eq!(req.body, b"0.0,1.25");
+    }
+
+    #[test]
+    fn parses_a_chunked_body() {
+        let raw = b"POST /ingest/a HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    4\r\n0.0,\r\n3\r\n1.5\r\n0\r\n\r\n";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.body, b"0.0,1.5");
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::BadRequest(_))),
+                "{:?} accepted",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn caps_head_and_body_size() {
+        let long_header = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(2048));
+        assert!(matches!(
+            parse(long_header.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+        let big_body = b"POST /x HTTP/1.1\r\nContent-Length: 100000\r\n\r\n";
+        assert!(matches!(parse(big_body), Err(HttpError::TooLarge(_))));
+        let big_chunk = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nffffff\r\n";
+        assert!(matches!(parse(big_chunk), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn renders_responses_with_retry_after() {
+        let mut out = Vec::new();
+        Response::shed(429, "busy \"now\"", 2)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        tsm_core::json::validate(body).unwrap();
+    }
+}

@@ -1,0 +1,40 @@
+//! # tsm-serve
+//!
+//! A std-only HTTP/1.1 front-end over the subsequence-matching engine:
+//! the network boundary for the paper's online loop. No async runtime,
+//! no HTTP crate — a hand-rolled listener ([`server`]) with a small
+//! worker pool over `TcpListener`, a minimal protocol reader ([`http`])
+//! with hard head/body caps and socket read timeouts, and a session
+//! table ([`sessions`]) of externally-driven
+//! [`tsm_core::SessionHandle`]s.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Purpose |
+//! |---|---|
+//! | `POST /ingest/{session}` | Stream `time,x[,y[,z]]` sample lines into a session (creates it on first use). Body may be `Content-Length` or chunked. Returns `202`. |
+//! | `GET /query?session=S[&k=K]` | Top-k matches for the session's current dynamic query. |
+//! | `GET /predict?session=S[&dt=T]` | Predicted position `dt` seconds ahead (abstains with `"prediction": null`). |
+//! | `GET /metrics[?check=1]` | The engine's [`tsm_core::MetricsSnapshot`] as JSON; `check=1` runs `check_invariants` first (500 on violation). |
+//! | `GET /healthz` | Per-session [`tsm_core::SessionHealth`] and fault tallies. |
+//!
+//! ## Backpressure
+//!
+//! Admission control rides the exact-capacity bounded channels the
+//! session layer already uses — nothing in the request path blocks:
+//!
+//! * connection queue full → the **acceptor** itself answers `503` +
+//!   `Retry-After` and closes;
+//! * a session's command channel full → `429` + `Retry-After`;
+//! * session fault budget exhausted → `503` + `Retry-After` (the session
+//!   stops ingesting; queries still work);
+//! * session table at `--sessions-max` → `503` + `Retry-After`;
+//! * request head/body over the caps → `413`; idle mid-request past the
+//!   read timeout → `408`; malformed requests → `400`.
+
+pub mod http;
+pub mod server;
+pub mod sessions;
+
+pub use server::{ServeConfig, Server};
+pub use sessions::{SessionError, SessionManager};

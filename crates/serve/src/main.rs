@@ -1,0 +1,58 @@
+//! Standalone `tsm-serve` binary: serve an empty in-memory store. The
+//! richer entry point is `tsm serve`, which can preload a store snapshot
+//! and wire cohort parameters; this binary exists for quick manual runs
+//! and container health checks.
+
+use std::sync::Arc;
+use tsm_core::index_cache::CachedMatcher;
+use tsm_core::matcher::Matcher;
+use tsm_core::{MetricsRegistry, Params};
+use tsm_db::StreamStore;
+use tsm_serve::{ServeConfig, Server, SessionManager};
+
+fn main() {
+    let mut config = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                if let Some(v) = args.next() {
+                    config.addr = v;
+                }
+            }
+            "--sessions-max" => {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    config.sessions_max = v;
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: tsm-serve [--addr HOST:PORT] [--sessions-max N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let engine = Arc::new(CachedMatcher::new(
+        Matcher::new(StreamStore::new(), Params::default())
+            .with_metrics(MetricsRegistry::enabled()),
+    ));
+    let manager = Arc::new(SessionManager::new(
+        engine,
+        config.sessions_max,
+        config.ingest_queue,
+        config.horizon,
+    ));
+    match Server::start(manager, config) {
+        Ok(server) => {
+            eprintln!("tsm-serve listening on {}", server.local_addr());
+            server.wait();
+        }
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

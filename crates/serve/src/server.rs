@@ -1,0 +1,490 @@
+//! The listener, worker pool and request routing.
+//!
+//! One acceptor thread owns the `TcpListener` and does nothing but hand
+//! accepted connections to an exact-capacity bounded channel; a fixed
+//! pool of workers drains it. When every worker is busy and the channel
+//! is full, the acceptor answers `503` + `Retry-After` inline and closes
+//! the connection — load is shed at the door, the acceptor never blocks
+//! on a slow request. Per-connection socket read timeouts and the
+//! [`crate::http::Limits`] caps keep a slow or hostile client from
+//! wedging a worker.
+
+use crate::http::{read_request, HttpError, Limits, Request, Response};
+use crate::sessions::{SessionError, SessionManager};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tsm_core::json;
+use tsm_core::metrics::{Counter, Hist};
+use tsm_core::session::{HandleRejection, SessionStatus};
+use tsm_core::SessionHealth;
+
+/// Serving configuration (see `tsm serve --help` for the CLI surface).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks an ephemeral
+    /// port; see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Live session cap (the table sheds with `503` beyond it).
+    pub sessions_max: usize,
+    /// Per-session command-channel depth (full → `429`).
+    pub ingest_queue: usize,
+    /// Maximum request body bytes (beyond → `413`).
+    pub max_body_bytes: usize,
+    /// Maximum request head bytes (beyond → `413`).
+    pub max_head_bytes: usize,
+    /// Socket read timeout per connection, ms (idle mid-request → `408`).
+    pub read_timeout_ms: u64,
+    /// How long a worker waits for a session's reply to a query or
+    /// predict command before shedding with `429`, ms.
+    pub reply_timeout_ms: u64,
+    /// Default prediction horizon Δt (s) for `/predict`.
+    pub horizon: f64,
+    /// `Retry-After` value (s) on shed responses.
+    pub retry_after_s: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 4,
+            sessions_max: 64,
+            ingest_queue: 32,
+            max_body_bytes: 1 << 20,
+            max_head_bytes: 16 << 10,
+            read_timeout_ms: 5_000,
+            reply_timeout_ms: 10_000,
+            horizon: 0.3,
+            retry_after_s: 1,
+        }
+    }
+}
+
+/// A running server: the acceptor, its worker pool, and the session
+/// table. Dropping (or [`Server::shutdown`]) stops the acceptor, drains
+/// the workers and finishes every live session.
+pub struct Server {
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    manager: Arc<SessionManager>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts the acceptor and worker pool over
+    /// `manager`'s engine.
+    pub fn start(manager: Arc<SessionManager>, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers_n = config.workers.max(1);
+        // Exact capacity: one in-flight connection per worker plus one
+        // waiting; anything beyond is shed at the acceptor.
+        let (tx, rx) = sync_channel::<TcpStream>(workers_n * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let config = Arc::new(config);
+        let mut workers = Vec::with_capacity(workers_n);
+        for _ in 0..workers_n {
+            let rx = Arc::clone(&rx);
+            let manager = Arc::clone(&manager);
+            let config = Arc::clone(&config);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&rx, &manager, &config)
+            }));
+        }
+        let acceptor_stop = Arc::clone(&stop);
+        let acceptor_manager = Arc::clone(&manager);
+        let retry_after = config.retry_after_s;
+        let acceptor = std::thread::spawn(move || {
+            accept_loop(listener, tx, &acceptor_stop, &acceptor_manager, retry_after)
+        });
+        Ok(Server {
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+            manager,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// The session table this server serves.
+    pub fn manager(&self) -> &Arc<SessionManager> {
+        &self.manager
+    }
+
+    /// Blocks until the acceptor exits (i.e. until another thread calls
+    /// [`Server::shutdown`] or the process dies).
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            // lint:allow(no-silent-result-drop): a panicked acceptor is
+            // already fatal for serving; join is for lifecycle only.
+            let _ = acceptor.join();
+        }
+    }
+
+    /// Stops accepting, drains the worker pool and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        // Relaxed: the self-connection below is the actual wake-up edge;
+        // the flag only needs to eventually be seen.
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the acceptor out of accept() by connecting to ourselves.
+        // lint:allow(no-silent-result-drop): if the connect fails the
+        // listener is already gone, which is what we wanted.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            // lint:allow(no-silent-result-drop): join is lifecycle only.
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            // lint:allow(no-silent-result-drop): a panicked worker has
+            // already lost its one connection; join is lifecycle only.
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: SyncSender<TcpStream>,
+    stop: &AtomicBool,
+    manager: &SessionManager,
+    retry_after_s: u32,
+) {
+    for stream in listener.incoming() {
+        // Relaxed: see Server::stop_and_join — the wake connection, not
+        // the flag, provides the synchronization edge.
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = stream else {
+            continue; // transient accept failure; keep serving
+        };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => {
+                // Every worker busy and the queue full: shed at the door
+                // rather than block the acceptor behind a slow request.
+                shed_at_acceptor(stream, manager, retry_after_s);
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn shed_at_acceptor(mut stream: TcpStream, manager: &SessionManager, retry_after_s: u32) {
+    let metrics = manager.engine().metrics();
+    metrics.incr(Counter::ServeRequests);
+    metrics.incr(Counter::ServeRejected);
+    let resp = Response::shed(503, "server at capacity", retry_after_s);
+    // A full send buffer must not stall the acceptor either.
+    // lint:allow(no-silent-result-drop): best-effort shed; the client
+    // sees a closed connection at worst.
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    metrics.add(Counter::ServeBytesOut, resp.body.len() as u64);
+    // lint:allow(no-silent-result-drop): best-effort shed (see above).
+    let _ = resp.write_to(&mut stream);
+}
+
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    manager: &Arc<SessionManager>,
+    config: &ServeConfig,
+) {
+    loop {
+        let stream = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, manager, config),
+            Err(_) => return, // channel closed: shutdown
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, manager: &SessionManager, config: &ServeConfig) {
+    let metrics = manager.engine().metrics().clone();
+    let started = metrics.start();
+    // lint:allow(no-silent-result-drop): a socket so broken it cannot
+    // take a timeout will fail the first read with the same error.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms.max(1))));
+    // lint:allow(no-silent-result-drop): see read timeout above.
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(config.read_timeout_ms.max(1))));
+    let limits = Limits {
+        max_head_bytes: config.max_head_bytes,
+        max_body_bytes: config.max_body_bytes,
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return, // connection already dead
+    });
+    let response = match read_request(&mut reader, limits) {
+        Ok(req) => {
+            metrics.add(Counter::ServeBytesIn, req.body.len() as u64);
+            route(&req, manager, config)
+        }
+        Err(HttpError::BadRequest(msg)) => Response::error(400, &msg),
+        Err(HttpError::TooLarge(msg)) => Response::error(413, &msg),
+        Err(HttpError::Timeout) => Response::error(408, "request timed out"),
+        Err(HttpError::Io(_)) => return, // peer vanished; nothing to say
+    };
+    metrics.incr(Counter::ServeRequests);
+    if response.status >= 400 {
+        metrics.incr(Counter::ServeRejected);
+    }
+    metrics.add(Counter::ServeBytesOut, response.body.len() as u64);
+    // lint:allow(no-silent-result-drop): the peer may have closed before
+    // reading the response; there is no one left to tell.
+    let _ = response.write_to(&mut stream);
+    metrics.observe_since(Hist::ServeLatency, started);
+}
+
+fn shed_status(r: HandleRejection) -> u16 {
+    if r.is_retryable() {
+        429
+    } else {
+        503
+    }
+}
+
+fn session_error_response(e: &SessionError, retry_after_s: u32) -> Response {
+    match e {
+        SessionError::TableFull { .. } => Response::shed(503, &e.to_string(), retry_after_s),
+        SessionError::Unknown(_) => Response::error(404, &e.to_string()),
+        SessionError::BadName(_) => Response::error(400, &e.to_string()),
+        SessionError::Runtime(_) => Response::error(500, &e.to_string()),
+        SessionError::Rejected(r) => Response::shed(shed_status(*r), &e.to_string(), retry_after_s),
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    // JSON has no NaN/inf literal; render them as null.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn route(req: &Request, manager: &SessionManager, config: &ServeConfig) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", path) if path.starts_with("/ingest/") => {
+            ingest(req, &path["/ingest/".len()..], manager, config)
+        }
+        ("GET", "/query") => query(req, manager, config),
+        ("GET", "/predict") => predict(req, manager, config),
+        ("GET", "/metrics") => metrics_endpoint(req, manager),
+        ("GET", "/healthz") => healthz(manager),
+        (_, "/query" | "/predict" | "/metrics" | "/healthz") => {
+            Response::error(405, &format!("{} not allowed here", req.method))
+        }
+        (_, path) if path.starts_with("/ingest/") => {
+            Response::error(405, &format!("{} not allowed here", req.method))
+        }
+        (_, path) => Response::error(404, &format!("no route for '{path}'")),
+    }
+}
+
+fn ingest(req: &Request, name: &str, manager: &SessionManager, config: &ServeConfig) -> Response {
+    let samples = match tsm_model::csv::read_samples_csv(req.body.as_slice()) {
+        Ok(s) => s,
+        Err(e) => return Response::error(400, &format!("ingest body: {e}")),
+    };
+    let handle = match manager.get_or_create(name) {
+        Ok(h) => h,
+        Err(e) => return session_error_response(&e, config.retry_after_s),
+    };
+    let accepted = samples.len();
+    match handle.try_ingest(samples) {
+        Ok(()) => Response::json(
+            202,
+            format!(
+                "{{\"session\": {}, \"accepted\": {accepted}}}\n",
+                json::string(name)
+            ),
+        ),
+        Err(r) => session_error_response(&SessionError::Rejected(r), config.retry_after_s),
+    }
+}
+
+fn reply_timeout(config: &ServeConfig) -> Duration {
+    Duration::from_millis(config.reply_timeout_ms.max(1))
+}
+
+fn query(req: &Request, manager: &SessionManager, config: &ServeConfig) -> Response {
+    let Some(name) = req.param("session") else {
+        return Response::error(400, "missing 'session' parameter");
+    };
+    let top_k = match req.param("k") {
+        None => None,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) if k > 0 => Some(k),
+            _ => return Response::error(400, &format!("bad 'k' value '{raw}'")),
+        },
+    };
+    let handle = match manager.get(name) {
+        Ok(h) => h,
+        Err(e) => return session_error_response(&e, config.retry_after_s),
+    };
+    match handle.query(top_k, reply_timeout(config)) {
+        Err(r) => session_error_response(&SessionError::Rejected(r), config.retry_after_s),
+        Ok(None) => Response::json(
+            200,
+            format!(
+                "{{\"session\": {}, \"query_len\": 0, \"matches\": []}}\n",
+                json::string(name)
+            ),
+        ),
+        Ok(Some(reply)) => {
+            let mut body = format!(
+                "{{\"session\": {}, \"query_len\": {}, \"matches\": [",
+                json::string(name),
+                reply.query_len
+            );
+            for (i, m) in reply.matches.iter().enumerate() {
+                if i > 0 {
+                    body.push_str(", ");
+                }
+                body.push_str(&format!(
+                    "{{\"stream\": {}, \"start\": {}, \"len\": {}, \"distance\": {}, \
+                     \"ws\": {}, \"relation\": {}}}",
+                    m.subseq.stream.0,
+                    m.subseq.start,
+                    m.subseq.len,
+                    json_f64(m.distance),
+                    json_f64(m.ws),
+                    json::string(&format!("{:?}", m.relation)),
+                ));
+            }
+            body.push_str("]}\n");
+            Response::json(200, body)
+        }
+    }
+}
+
+fn predict(req: &Request, manager: &SessionManager, config: &ServeConfig) -> Response {
+    let Some(name) = req.param("session") else {
+        return Response::error(400, "missing 'session' parameter");
+    };
+    let dt = match req.param("dt") {
+        None => manager.horizon(),
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(dt) if dt.is_finite() && dt > 0.0 => dt,
+            _ => return Response::error(400, &format!("bad 'dt' value '{raw}'")),
+        },
+    };
+    let handle = match manager.get(name) {
+        Ok(h) => h,
+        Err(e) => return session_error_response(&e, config.retry_after_s),
+    };
+    match handle.predict(dt, reply_timeout(config)) {
+        Err(r) => session_error_response(&SessionError::Rejected(r), config.retry_after_s),
+        Ok(None) => Response::json(
+            200,
+            format!(
+                "{{\"session\": {}, \"dt\": {}, \"prediction\": null}}\n",
+                json::string(name),
+                json_f64(dt)
+            ),
+        ),
+        Ok(Some(outcome)) => {
+            let coords: Vec<String> = outcome
+                .position
+                .coords()
+                .iter()
+                .map(|&c| json_f64(c))
+                .collect();
+            Response::json(
+                200,
+                format!(
+                    "{{\"session\": {}, \"dt\": {}, \"prediction\": {{\"position\": [{}], \
+                     \"num_matches\": {}, \"query_len\": {}, \"query_stable\": {}}}}}\n",
+                    json::string(name),
+                    json_f64(dt),
+                    coords.join(", "),
+                    outcome.num_matches,
+                    outcome.query_len,
+                    outcome.query_stable,
+                ),
+            )
+        }
+    }
+}
+
+fn metrics_endpoint(req: &Request, manager: &SessionManager) -> Response {
+    let snapshot = manager.engine().metrics().snapshot();
+    if req.param("check").is_some_and(|v| v != "0") {
+        // Opt-in reconciliation (CI probes it at quiescence; a live
+        // in-flight request could skew cross-counter sums transiently).
+        if let Err(violation) = snapshot.check_invariants() {
+            return Response::error(500, &format!("metrics invariant violated: {violation}"));
+        }
+    }
+    Response::json(200, snapshot.to_json())
+}
+
+fn health_label(h: SessionHealth) -> &'static str {
+    match h {
+        SessionHealth::Healthy => "healthy",
+        SessionHealth::Degraded => "degraded",
+        SessionHealth::Recovering => "recovering",
+    }
+}
+
+fn healthz(manager: &SessionManager) -> Response {
+    let statuses = manager.statuses();
+    let all_ok = statuses
+        .iter()
+        .all(|(_, s)| !s.failed && s.health == SessionHealth::Healthy);
+    let mut body = format!(
+        "{{\"status\": \"{}\", \"sessions\": {{",
+        if all_ok { "ok" } else { "degraded" }
+    );
+    for (i, (name, s)) in statuses.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&format!("{}: {}", json::string(name), status_json(s)));
+    }
+    body.push_str("}}\n");
+    Response::json(200, body)
+}
+
+fn status_json(s: &SessionStatus) -> String {
+    format!(
+        "{{\"health\": \"{}\", \"failed\": {}, \"samples\": {}, \"vertices\": {}, \
+         \"resyncs\": {}, \"faults_absorbed\": {}, \"pending\": {}}}",
+        health_label(s.health),
+        s.failed,
+        s.samples,
+        s.vertices,
+        s.resyncs,
+        s.faults_absorbed,
+        s.pending
+    )
+}

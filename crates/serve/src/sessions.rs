@@ -1,0 +1,247 @@
+//! The server-side session table: named, externally-driven sessions over
+//! one shared engine.
+//!
+//! Each session name maps to a [`SessionHandle`] whose worker owns the
+//! actual [`tsm_core::SessionRuntime`]. Admission control is layered:
+//! the table caps the number of live sessions (`sessions_max` → HTTP
+//! `503` when full) and each handle's bounded command channel sheds
+//! per-session overload ([`tsm_core::HandleRejection::Busy`] → `429`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use tsm_core::index_cache::CachedMatcher;
+use tsm_core::session::{external_session, HandleRejection, SessionConfig, SessionHandle};
+use tsm_core::TsmError;
+use tsm_db::{PatientAttributes, PatientId};
+
+/// Why the manager refused to act on a session.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The session table is at `sessions_max` (HTTP 503).
+    TableFull {
+        /// The configured cap that was hit.
+        max: usize,
+    },
+    /// No session with that name exists (HTTP 404).
+    Unknown(String),
+    /// The session name is not `[A-Za-z0-9._-]{1,64}` (HTTP 400).
+    BadName(String),
+    /// Creating the runtime failed (HTTP 500).
+    Runtime(TsmError),
+    /// The session's handle refused the command (429/503 by
+    /// [`HandleRejection::is_retryable`]).
+    Rejected(HandleRejection),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::TableFull { max } => {
+                write!(f, "session table full ({max} live sessions)")
+            }
+            SessionError::Unknown(name) => write!(f, "unknown session '{name}'"),
+            SessionError::BadName(name) => write!(
+                f,
+                "bad session name '{name}' (want 1-64 chars of [A-Za-z0-9._-])"
+            ),
+            SessionError::Runtime(e) => write!(f, "session runtime: {e}"),
+            SessionError::Rejected(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+/// The table of live serving sessions.
+pub struct SessionManager {
+    engine: Arc<CachedMatcher>,
+    sessions: Mutex<BTreeMap<String, Arc<SessionHandle>>>,
+    /// All serve-created sessions belong to one store patient, created
+    /// lazily on first ingest; live sessions are numbered from it.
+    patient: Mutex<Option<PatientId>>,
+    next_session: AtomicU32,
+    sessions_max: usize,
+    ingest_queue: usize,
+    horizon: f64,
+}
+
+impl SessionManager {
+    /// A manager over `engine`, admitting at most `sessions_max` live
+    /// sessions, each with an `ingest_queue`-deep command channel and a
+    /// default prediction horizon of `horizon` seconds.
+    pub fn new(
+        engine: Arc<CachedMatcher>,
+        sessions_max: usize,
+        ingest_queue: usize,
+        horizon: f64,
+    ) -> SessionManager {
+        SessionManager {
+            engine,
+            sessions: Mutex::new(BTreeMap::new()),
+            patient: Mutex::new(None),
+            next_session: AtomicU32::new(1),
+            sessions_max: sessions_max.max(1),
+            ingest_queue: ingest_queue.max(1),
+            horizon,
+        }
+    }
+
+    /// The shared engine (for `/metrics` and `/query` without a session).
+    pub fn engine(&self) -> &Arc<CachedMatcher> {
+        &self.engine
+    }
+
+    /// The default prediction horizon (s).
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<SessionHandle>>> {
+        // A worker that panicked while holding the table lock has already
+        // failed its request; the table itself (insert/lookup/remove of
+        // Arc handles) cannot be left half-written.
+        match self.sessions.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn serve_patient(&self) -> PatientId {
+        let mut slot = match self.patient.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *slot.get_or_insert_with(|| {
+            self.engine
+                .matcher()
+                .store()
+                .add_patient(PatientAttributes::new())
+        })
+    }
+
+    /// The handle for `name`, creating (and admitting) the session on
+    /// first use.
+    pub fn get_or_create(&self, name: &str) -> Result<Arc<SessionHandle>, SessionError> {
+        if !valid_name(name) {
+            return Err(SessionError::BadName(name.to_string()));
+        }
+        if let Some(h) = self.lock_sessions().get(name) {
+            return Ok(Arc::clone(h));
+        }
+        // Build the runtime outside the table lock (parameter validation
+        // and patient creation do real work), then re-check under it.
+        let patient = self.serve_patient();
+        // Relaxed: session numbers only need uniqueness, not ordering.
+        let session_no = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let config = SessionConfig::new(patient, session_no).with_horizon(self.horizon);
+        let runtime =
+            external_session(Arc::clone(&self.engine), config).map_err(SessionError::Runtime)?;
+        let mut table = self.lock_sessions();
+        if let Some(h) = table.get(name) {
+            // Lost the creation race; the spare runtime is dropped.
+            return Ok(Arc::clone(h));
+        }
+        if table.len() >= self.sessions_max {
+            return Err(SessionError::TableFull {
+                max: self.sessions_max,
+            });
+        }
+        let handle = Arc::new(SessionHandle::spawn(runtime, self.ingest_queue));
+        table.insert(name.to_string(), Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    /// The handle for an existing session.
+    pub fn get(&self, name: &str) -> Result<Arc<SessionHandle>, SessionError> {
+        if !valid_name(name) {
+            return Err(SessionError::BadName(name.to_string()));
+        }
+        self.lock_sessions()
+            .get(name)
+            .map(Arc::clone)
+            .ok_or_else(|| SessionError::Unknown(name.to_string()))
+    }
+
+    /// Name → status snapshot for every live session (for `/healthz`).
+    pub fn statuses(&self) -> Vec<(String, tsm_core::session::SessionStatus)> {
+        self.lock_sessions()
+            .iter()
+            .map(|(name, h)| (name.clone(), h.status()))
+            .collect()
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.lock_sessions().len()
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsm_core::matcher::Matcher;
+    use tsm_core::{MetricsRegistry, Params};
+    use tsm_db::StreamStore;
+
+    fn manager(max: usize) -> SessionManager {
+        let engine = Arc::new(CachedMatcher::new(
+            Matcher::new(StreamStore::new(), Params::default())
+                .with_metrics(MetricsRegistry::enabled()),
+        ));
+        SessionManager::new(engine, max, 4, 0.3)
+    }
+
+    #[test]
+    fn names_are_validated() {
+        let m = manager(4);
+        assert!(matches!(
+            m.get_or_create("../etc/passwd"),
+            Err(SessionError::BadName(_))
+        ));
+        assert!(matches!(m.get_or_create(""), Err(SessionError::BadName(_))));
+        let long = "x".repeat(65);
+        assert!(matches!(
+            m.get_or_create(&long),
+            Err(SessionError::BadName(_))
+        ));
+        assert!(m.get_or_create("ok-name_1.2").is_ok());
+    }
+
+    #[test]
+    fn table_cap_rejects_new_sessions_but_keeps_existing() {
+        let m = manager(2);
+        m.get_or_create("a").unwrap();
+        m.get_or_create("b").unwrap();
+        assert!(matches!(
+            m.get_or_create("c"),
+            Err(SessionError::TableFull { max: 2 })
+        ));
+        // Existing names still resolve (idempotent create).
+        m.get_or_create("a").unwrap();
+        m.get("b").unwrap();
+        assert!(matches!(m.get("c"), Err(SessionError::Unknown(_))));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn statuses_cover_every_live_session() {
+        let m = manager(4);
+        m.get_or_create("a").unwrap();
+        m.get_or_create("b").unwrap();
+        let statuses = m.statuses();
+        assert_eq!(statuses.len(), 2);
+        assert!(statuses.iter().all(|(_, s)| !s.failed));
+    }
+}

@@ -78,7 +78,11 @@ pub fn classify(rel: &Path) -> Option<FileClass> {
             return Some(FileClass::Kernel);
         }
     }
-    for lib in ["crates/model/src/", "crates/signal/src/"] {
+    for lib in [
+        "crates/model/src/",
+        "crates/signal/src/",
+        "crates/serve/src/",
+    ] {
         if s.starts_with(lib) {
             return Some(FileClass::CoreLib);
         }
@@ -190,6 +194,14 @@ mod tests {
         assert_eq!(
             classify(Path::new("crates/signal/src/lib.rs")),
             Some(FileClass::CoreLib)
+        );
+        assert_eq!(
+            classify(Path::new("crates/serve/src/server.rs")),
+            Some(FileClass::CoreLib)
+        );
+        assert_eq!(
+            classify(Path::new("crates/serve/tests/serve_e2e.rs")),
+            Some(FileClass::TestCode)
         );
         assert_eq!(
             classify(Path::new("crates/cli/src/main.rs")),
