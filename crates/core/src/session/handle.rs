@@ -262,6 +262,7 @@ impl SessionHandle {
         dt: f64,
         timeout: Duration,
     ) -> Result<Option<PredictionOutcome>, HandleRejection> {
+        // Capacity 1: exactly one reply ever crosses this channel.
         let (reply, rx) = sync_channel(1);
         self.send(SessionCommand::Predict { dt, reply })?;
         rx.recv_timeout(timeout)
@@ -276,6 +277,7 @@ impl SessionHandle {
         top_k: Option<usize>,
         timeout: Duration,
     ) -> Result<Option<QueryReply>, HandleRejection> {
+        // Capacity 1: exactly one reply ever crosses this channel.
         let (reply, rx) = sync_channel(1);
         self.send(SessionCommand::Query { top_k, reply })?;
         rx.recv_timeout(timeout)
@@ -286,6 +288,7 @@ impl SessionHandle {
     /// worker, waiting at most `timeout` for commands already queued
     /// ahead of the finish to drain.
     pub fn finish(mut self, timeout: Duration) -> Result<(), HandleRejection> {
+        // Capacity 1: exactly one reply ever crosses this channel.
         let (reply, rx) = sync_channel(1);
         // A full queue must not make finish spin forever; one attempt,
         // then the Drop path (channel close) finishes the session anyway.

@@ -1,13 +1,17 @@
 //! The listener, worker pool and request routing.
 //!
 //! One acceptor thread owns the `TcpListener` and does nothing but hand
-//! accepted connections to an exact-capacity bounded channel; a fixed
-//! pool of workers drains it. When every worker is busy and the channel
-//! is full, the acceptor answers `503` + `Retry-After` inline and closes
+//! accepted connections to the workers: each worker owns its own small
+//! bounded queue, and the acceptor round-robins `try_send` across them,
+//! starting one past the last queue that accepted. When every queue is
+//! full, the acceptor answers `503` + `Retry-After` inline and closes
 //! the connection — load is shed at the door, the acceptor never blocks
-//! on a slow request. Per-connection socket read timeouts and the
-//! [`crate::http::Limits`] caps keep a slow or hostile client from
-//! wedging a worker.
+//! on a slow request. Per-worker queues (rather than one shared channel
+//! behind a mutex) keep the pool free of blocking-under-lock hazards:
+//! a worker parked in `recv()` holds nothing another thread needs
+//! (`cargo xtask hazard` gates exactly that pattern). Per-connection
+//! socket read timeouts and the [`crate::http::Limits`] caps keep a
+//! slow or hostile client from wedging a worker.
 
 use crate::http::{read_request, HttpError, Limits, Request, Response};
 use crate::sessions::{SessionError, SessionManager};
@@ -15,7 +19,7 @@ use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 use tsm_core::json;
 use tsm_core::metrics::{Counter, Hist};
@@ -85,25 +89,32 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let workers_n = config.workers.max(1);
-        // Exact capacity: one in-flight connection per worker plus one
-        // waiting; anything beyond is shed at the acceptor.
-        let (tx, rx) = sync_channel::<TcpStream>(workers_n * 2);
-        let rx = Arc::new(Mutex::new(rx));
         let config = Arc::new(config);
         let mut workers = Vec::with_capacity(workers_n);
+        let mut senders = Vec::with_capacity(workers_n);
         for _ in 0..workers_n {
-            let rx = Arc::clone(&rx);
+            // Capacity 2 per worker — one connection in flight, one
+            // queued — preserving the old shared pool's aggregate depth
+            // of workers*2; anything beyond is shed at the acceptor.
+            let (tx, rx) = sync_channel::<TcpStream>(2);
+            senders.push(tx);
             let manager = Arc::clone(&manager);
             let config = Arc::clone(&config);
             workers.push(std::thread::spawn(move || {
-                worker_loop(&rx, &manager, &config)
+                worker_loop(rx, &manager, &config)
             }));
         }
         let acceptor_stop = Arc::clone(&stop);
         let acceptor_manager = Arc::clone(&manager);
         let retry_after = config.retry_after_s;
         let acceptor = std::thread::spawn(move || {
-            accept_loop(listener, tx, &acceptor_stop, &acceptor_manager, retry_after)
+            accept_loop(
+                listener,
+                senders,
+                &acceptor_stop,
+                &acceptor_manager,
+                retry_after,
+            )
         });
         Ok(Server {
             local_addr,
@@ -167,11 +178,14 @@ impl Drop for Server {
 
 fn accept_loop(
     listener: TcpListener,
-    tx: SyncSender<TcpStream>,
+    senders: Vec<SyncSender<TcpStream>>,
     stop: &AtomicBool,
     manager: &SessionManager,
     retry_after_s: u32,
 ) {
+    // Round-robin cursor: the worker after the last one that accepted,
+    // so bursts spread across the pool instead of piling on worker 0.
+    let mut next = 0usize;
     for stream in listener.incoming() {
         // Relaxed: see Server::stop_and_join — the wake connection, not
         // the flag, provides the synchronization edge.
@@ -181,14 +195,23 @@ fn accept_loop(
         let Ok(stream) = stream else {
             continue; // transient accept failure; keep serving
         };
-        match tx.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(stream)) => {
-                // Every worker busy and the queue full: shed at the door
-                // rather than block the acceptor behind a slow request.
-                shed_at_acceptor(stream, manager, retry_after_s);
+        let mut conn = Some(stream);
+        for k in 0..senders.len() {
+            let Some(stream) = conn.take() else { break };
+            let slot = (next + k) % senders.len();
+            match senders[slot].try_send(stream) {
+                Ok(()) => next = (slot + 1) % senders.len(),
+                // A dead (panicked) worker's queue reports Disconnected;
+                // skip it and offer the connection to the next worker.
+                Err(TrySendError::Full(back)) | Err(TrySendError::Disconnected(back)) => {
+                    conn = Some(back);
+                }
             }
-            Err(TrySendError::Disconnected(_)) => return,
+        }
+        if let Some(stream) = conn {
+            // Every worker busy and every queue full: shed at the door
+            // rather than block the acceptor behind a slow request.
+            shed_at_acceptor(stream, manager, retry_after_s);
         }
     }
 }
@@ -207,23 +230,12 @@ fn shed_at_acceptor(mut stream: TcpStream, manager: &SessionManager, retry_after
     let _ = resp.write_to(&mut stream);
 }
 
-fn worker_loop(
-    rx: &Arc<Mutex<Receiver<TcpStream>>>,
-    manager: &Arc<SessionManager>,
-    config: &ServeConfig,
-) {
-    loop {
-        let stream = {
-            let guard = match rx.lock() {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            guard.recv()
-        };
-        match stream {
-            Ok(stream) => handle_connection(stream, manager, config),
-            Err(_) => return, // channel closed: shutdown
-        }
+fn worker_loop(rx: Receiver<TcpStream>, manager: &Arc<SessionManager>, config: &ServeConfig) {
+    // The worker owns its queue outright; blocking here holds no lock.
+    // `recv` errors exactly when the acceptor has exited and dropped
+    // the sending side: shutdown.
+    while let Ok(stream) = rx.recv() {
+        handle_connection(stream, manager, config);
     }
 }
 

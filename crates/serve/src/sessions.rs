@@ -135,17 +135,31 @@ impl SessionManager {
         if let Some(h) = self.lock_sessions().get(name) {
             return Ok(Arc::clone(h));
         }
-        // Build the runtime outside the table lock (parameter validation
-        // and patient creation do real work), then re-check under it.
+        // Optimistic cap check so a full table sheds before paying for
+        // a runtime and a worker thread; the authoritative check runs
+        // under the lock below.
+        if self.lock_sessions().len() >= self.sessions_max {
+            return Err(SessionError::TableFull {
+                max: self.sessions_max,
+            });
+        }
+        // Build the runtime AND spawn the worker outside the table lock
+        // (parameter validation, patient creation and thread spawn all
+        // do real work), then re-check under it. Stalling the table
+        // lock on a thread spawn would stall every other request's
+        // session lookup behind it.
         let patient = self.serve_patient();
         // Relaxed: session numbers only need uniqueness, not ordering.
         let session_no = self.next_session.fetch_add(1, Ordering::Relaxed);
         let config = SessionConfig::new(patient, session_no).with_horizon(self.horizon);
         let runtime =
             external_session(Arc::clone(&self.engine), config).map_err(SessionError::Runtime)?;
+        let handle = Arc::new(SessionHandle::spawn(runtime, self.ingest_queue));
         let mut table = self.lock_sessions();
         if let Some(h) = table.get(name) {
-            // Lost the creation race; the spare runtime is dropped.
+            // Lost the creation race: the spare handle is dropped after
+            // `table` (locals drop in reverse declaration order), so its
+            // worker join never happens under the lock.
             return Ok(Arc::clone(h));
         }
         if table.len() >= self.sessions_max {
@@ -153,7 +167,6 @@ impl SessionManager {
                 max: self.sessions_max,
             });
         }
-        let handle = Arc::new(SessionHandle::spawn(runtime, self.ingest_queue));
         table.insert(name.to_string(), Arc::clone(&handle));
         Ok(handle)
     }

@@ -5,26 +5,36 @@
 //! no proc-macro parsing, no network, no external crates — so it runs
 //! in the offline build image and in CI as a hard gate.
 //!
-//! Three pieces:
+//! Five pieces:
 //!
 //! * [`scanner`] — comment/string-aware masking of Rust source, the
 //!   precision layer every rule builds on.
-//! * [`rules`] — the rule registry: `no-unwrap-in-lib`,
+//! * [`rules`] — the line-lint rule registry: `no-unwrap-in-lib`,
 //!   `explicit-atomic-ordering`, `no-float-eq`,
 //!   `no-instant-now-in-hot-path`, `bounded-channel-only`,
 //!   `no-silent-result-drop`, `no-unsafe-in-kernel`.
-//! * [`lint_workspace`] / [`lint_file`] — the drivers, walking every
-//!   `.rs` file outside `vendor/`, `target/`, and the lint's own test
-//!   fixtures.
+//! * [`model`] — the concurrency-model extraction pass: lock classes
+//!   and guard-hold spans, channel endpoints and capacities, blocking
+//!   call sites, thread sites.
+//! * [`hazard`] — the analyses over that model (`cargo xtask
+//!   hazard`): lock-ordering cycle detection, blocking-under-lock,
+//!   and the channel-topology audit.
+//! * [`lint_workspace`] / [`hazard_workspace`] — the drivers, walking
+//!   every `.rs` file outside `vendor/`, `target/`, and the lint's
+//!   own test fixtures.
 //!
 //! Suppressions are per line: `// lint:allow(rule-name): reason` on
-//! the offending line or the line above. See DESIGN.md §"Static
-//! analysis & invariants" for the policy.
+//! the offending line or the line above; `--strict` flags stale
+//! annotations. See DESIGN.md §"Static analysis & invariants" and
+//! §"Concurrency-hazard analysis" for the policy.
 
+pub mod hazard;
+pub mod model;
 pub mod rules;
 pub mod scanner;
 
-use rules::{check_file, FileClass, Finding};
+use hazard::{HazardSummary, SourceFile};
+use rules::{check_file_with, FileClass, Finding};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -71,6 +81,12 @@ pub fn classify(rel: &Path) -> Option<FileClass> {
     {
         return Some(FileClass::TestCode);
     }
+    // Binary entrypoints are tooling regardless of which crate they
+    // live in: `crates/serve/src/main.rs` parses flags and calls the
+    // library, so the library-only panic/channel rules do not bind.
+    if s.starts_with("crates/") && s.ends_with("/src/main.rs") {
+        return Some(FileClass::Tooling);
+    }
     // The kernel crates carry the batch scoring hot path and its
     // columnar mirrors; they are additionally barred from `unsafe`.
     for kernel in ["crates/core/src/", "crates/db/src/"] {
@@ -92,11 +108,16 @@ pub fn classify(rel: &Path) -> Option<FileClass> {
 
 /// Lints one file, classifying it relative to `root` when possible.
 pub fn lint_file(root: &Path, path: &Path) -> io::Result<Vec<FileFinding>> {
+    lint_file_with(root, path, false)
+}
+
+/// Lints one file; `strict` additionally flags unused suppressions.
+pub fn lint_file_with(root: &Path, path: &Path, strict: bool) -> io::Result<Vec<FileFinding>> {
     let rel = path.strip_prefix(root).unwrap_or(path);
     let Some(class) = classify(rel) else {
         return Ok(Vec::new());
     };
-    lint_source_at(rel, &fs::read_to_string(path)?, class)
+    lint_source_with(rel, &fs::read_to_string(path)?, class, strict)
 }
 
 /// Lints in-memory source under an explicit classification.
@@ -105,8 +126,18 @@ pub fn lint_source_at(
     source: &str,
     class: FileClass,
 ) -> io::Result<Vec<FileFinding>> {
+    lint_source_with(reported_path, source, class, false)
+}
+
+/// Lints in-memory source; `strict` flags unused suppressions.
+pub fn lint_source_with(
+    reported_path: &Path,
+    source: &str,
+    class: FileClass,
+    strict: bool,
+) -> io::Result<Vec<FileFinding>> {
     let scanned = scanner::scan(source);
-    Ok(check_file(&scanned, class)
+    Ok(check_file_with(&scanned, class, strict)
         .into_iter()
         .map(|finding| FileFinding {
             file: reported_path.to_path_buf(),
@@ -119,14 +150,50 @@ pub fn lint_source_at(
 ///
 /// Findings are sorted by path, then line.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<FileFinding>> {
+    lint_workspace_with(root, false)
+}
+
+/// Workspace lint with optional `--strict` unused-suppression checks.
+pub fn lint_workspace_with(root: &Path, strict: bool) -> io::Result<Vec<FileFinding>> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
     let mut findings = Vec::new();
     for file in files {
-        findings.extend(lint_file(root, &file)?);
+        findings.extend(lint_file_with(root, &file, strict)?);
     }
     Ok(findings)
+}
+
+/// Walks the workspace at `root` and runs the concurrency-hazard
+/// analysis over every eligible non-test `.rs` file.
+///
+/// Test code is exempt for the same reason it is exempt from the
+/// panic/timing lints: tests may block, park, and build throwaway
+/// channels at will. Findings are sorted by path, then line.
+pub fn hazard_workspace(
+    root: &Path,
+    strict: bool,
+) -> io::Result<(Vec<FileFinding>, HazardSummary)> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths)?;
+    paths.sort();
+    let mut inputs = Vec::new();
+    for path in paths {
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let Some(class) = classify(rel) else {
+            continue;
+        };
+        if class == FileClass::TestCode {
+            continue;
+        }
+        inputs.push(SourceFile {
+            path: rel.to_path_buf(),
+            class,
+            source: fs::read_to_string(&path)?,
+        });
+    }
+    Ok(hazard::analyze(&inputs, strict))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -202,6 +269,11 @@ mod tests {
         assert_eq!(
             classify(Path::new("crates/serve/tests/serve_e2e.rs")),
             Some(FileClass::TestCode)
+        );
+        // Binary entrypoints are tooling even inside library crates.
+        assert_eq!(
+            classify(Path::new("crates/serve/src/main.rs")),
+            Some(FileClass::Tooling)
         );
         assert_eq!(
             classify(Path::new("crates/cli/src/main.rs")),

@@ -2,29 +2,42 @@
 //!
 //! Commands:
 //!
-//! * `lint [PATH...]` — run the static-analysis pass over the whole
-//!   workspace (default) or just the named files/directories. Exits
-//!   non-zero when any finding survives suppression, so CI can use it
-//!   as a hard gate.
-//! * `lint --rules` — print the rule table.
+//! * `lint [--strict] [PATH...]` — run the line-lint pass over the
+//!   whole workspace (default) or just the named files/directories.
+//!   `--strict` additionally flags `lint:allow` annotations that
+//!   suppress nothing. Exits non-zero when any finding survives
+//!   suppression, so CI can use it as a hard gate.
+//! * `hazard [--strict]` — run the concurrency-hazard analyzer
+//!   (lock-order cycles, blocking-under-lock, channel topology) over
+//!   the workspace and print the coverage summary line.
+//! * `lint --rules` / `hazard --rules` — print the rule tables.
+//!
+//! Both commands print their runtime so CI logs track analyzer cost.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("hazard") => hazard(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown command `{other}`");
-            eprintln!("usage: cargo xtask lint [--rules] [PATH...]");
+            usage();
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint [--rules] [PATH...]");
+            usage();
             ExitCode::from(2)
         }
     }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask lint [--rules] [--strict] [PATH...]");
+    eprintln!("       cargo xtask hazard [--rules] [--strict]");
 }
 
 fn lint(args: &[String]) -> ExitCode {
@@ -34,6 +47,8 @@ fn lint(args: &[String]) -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    let strict = args.iter().any(|a| a == "--strict");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let root = match xtask::workspace_root() {
         Ok(root) => root,
         Err(e) => {
@@ -41,12 +56,13 @@ fn lint(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let result = if args.is_empty() {
-        xtask::lint_workspace(&root)
+    let started = Instant::now();
+    let result = if paths.is_empty() {
+        xtask::lint_workspace_with(&root, strict)
     } else {
         let mut findings = Vec::new();
         let mut err = None;
-        for arg in args {
+        for arg in paths {
             let path = PathBuf::from(arg);
             let path = if path.is_absolute() {
                 path
@@ -56,9 +72,9 @@ fn lint(args: &[String]) -> ExitCode {
             let r = if path.is_dir() {
                 // Reuse the workspace walker rooted at the directory,
                 // but classify against the workspace root.
-                walk_dir(&root, &path)
+                walk_dir(&root, &path, strict)
             } else {
-                xtask::lint_file(&root, &path)
+                xtask::lint_file_with(&root, &path, strict)
             };
             match r {
                 Ok(f) => findings.extend(f),
@@ -76,16 +92,20 @@ fn lint(args: &[String]) -> ExitCode {
             None => Ok(findings),
         }
     };
+    let elapsed_ms = started.elapsed().as_millis();
     match result {
         Ok(findings) if findings.is_empty() => {
-            println!("xtask lint: clean");
+            println!("xtask lint: clean in {elapsed_ms} ms");
             ExitCode::SUCCESS
         }
         Ok(findings) => {
             for f in &findings {
                 println!("{f}");
             }
-            eprintln!("xtask lint: {} finding(s)", findings.len());
+            eprintln!(
+                "xtask lint: {} finding(s) in {elapsed_ms} ms",
+                findings.len()
+            );
             ExitCode::FAILURE
         }
         Err(e) => {
@@ -95,9 +115,51 @@ fn lint(args: &[String]) -> ExitCode {
     }
 }
 
+fn hazard(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--rules") {
+        for (name, description) in xtask::hazard::HAZARD_RULES {
+            println!("{:<30} {}", name, description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let strict = args.iter().any(|a| a == "--strict");
+    let root = match xtask::workspace_root() {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("xtask hazard: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let started = Instant::now();
+    match xtask::hazard_workspace(&root, strict) {
+        Ok((findings, summary)) => {
+            let elapsed_ms = started.elapsed().as_millis();
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("{summary}");
+            if findings.is_empty() {
+                println!("xtask hazard: clean in {elapsed_ms} ms");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "xtask hazard: {} finding(s) in {elapsed_ms} ms",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask hazard: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn walk_dir(
     root: &std::path::Path,
     dir: &std::path::Path,
+    strict: bool,
 ) -> std::io::Result<Vec<xtask::FileFinding>> {
     let mut findings = Vec::new();
     let mut stack = vec![dir.to_path_buf()];
@@ -108,7 +170,7 @@ fn walk_dir(
             if entry.file_type()?.is_dir() {
                 stack.push(path);
             } else if path.extension().is_some_and(|e| e == "rs") {
-                findings.extend(xtask::lint_file(root, &path)?);
+                findings.extend(xtask::lint_file_with(root, &path, strict)?);
             }
         }
     }

@@ -1,0 +1,1162 @@
+//! Workspace concurrency-model extraction.
+//!
+//! This is the first pass of `cargo xtask hazard`: a lexical (but
+//! comment/string-aware, via [`crate::scanner`]) extraction of the
+//! concurrency-relevant surface of every first-party file —
+//!
+//! * **lock classes** — `Mutex<...>` / `RwLock<...>` declarations
+//!   (fields, params, statics, and `Mutex::new` bindings), keyed by
+//!   `(file, name)` so two crates may both call a field `inner`
+//!   without aliasing;
+//! * **acquisitions** — `.lock()` / `.read()` / `.write()` call sites
+//!   whose receiver resolves to a declared lock class, each with a
+//!   computed *hold span* (where the guard dies);
+//! * **channel endpoints** — `sync_channel` creation sites with their
+//!   capacity expression, unbounded-constructor sites, and the
+//!   workspace-wide sets of sender/receiver binding names;
+//! * **blocking call sites** — `send`/`recv`/`recv_timeout`/`join`/
+//!   `park`/`sleep` (plus non-blocking `try_recv`, kept because a
+//!   receiver draining under a lock matters to the topology audit);
+//! * **thread sites** — spawn counts for the coverage summary.
+//!
+//! Guard-hold spans follow Rust drop rules closely enough for a lint:
+//! a `let`-bound guard lives to the end of its enclosing block (or an
+//! explicit `drop(name)`); a temporary guard lives to the end of the
+//! statement, extended to the close of the following block when the
+//! call is a block header scrutinee (`if let` / `while let` / `match`,
+//! whose temporaries live for the whole block in Rust 2021).
+//!
+//! Everything here is heuristic; resolution errs toward *silence*
+//! (an unresolvable receiver produces no acquisition) because the
+//! analyzer is a CI hard gate and false positives would train people
+//! to sprinkle suppressions.
+
+use crate::scanner::ScannedFile;
+use std::collections::BTreeSet;
+
+/// What flavour of lock a class is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockKind {
+    /// `std::sync::Mutex` or `parking_lot::Mutex`.
+    Mutex,
+    /// `std::sync::RwLock` or `parking_lot::RwLock`.
+    RwLock,
+}
+
+/// A lock *class*: one declared `Mutex`/`RwLock` name in one file.
+#[derive(Clone, Debug)]
+pub struct LockClass {
+    /// Index of the declaring file in the analysis input.
+    pub file: usize,
+    /// Declared field/binding/static name (last path segment).
+    pub name: String,
+    /// Mutex or RwLock.
+    pub kind: LockKind,
+    /// 1-based declaration line (for messages).
+    pub line: usize,
+}
+
+/// How a guard was taken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcquireMode {
+    /// `.lock()` on a Mutex (or a guard-returning wrapper call).
+    Lock,
+    /// `.read()` on an RwLock.
+    Read,
+    /// `.write()` on an RwLock.
+    Write,
+}
+
+/// One acquisition site with its computed hold span.
+#[derive(Clone, Debug)]
+pub struct Acquisition {
+    /// Index into [`WorkspaceModel::locks`].
+    pub class: usize,
+    /// Byte offset of the call in the code mask.
+    pub offset: usize,
+    /// 1-based line / column of the call.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Mode of the acquisition.
+    pub mode: AcquireMode,
+    /// Byte offset (exclusive) where the guard is dead.
+    pub hold_end: usize,
+}
+
+/// The call-site classification for blocking (and near-blocking) ops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockingKind {
+    /// `.send(` on a known channel sender (blocks when full).
+    Send,
+    /// `.recv()` (blocks until a message or disconnect).
+    Recv,
+    /// `.recv_timeout(` (blocks up to the timeout).
+    RecvTimeout,
+    /// `.try_recv()` — NOT blocking; recorded because a receiver that
+    /// drains under a lock makes that lock receiver-side for the
+    /// channel-topology audit.
+    TryRecv,
+    /// `.join()` on a thread handle.
+    Join,
+    /// `thread::park()` / `thread::park_timeout(`.
+    Park,
+    /// `thread::sleep(`.
+    Sleep,
+}
+
+impl BlockingKind {
+    /// Whether the call can block the current thread indefinitely (or
+    /// for a caller-visible duration).
+    pub fn is_blocking(self) -> bool {
+        !matches!(self, BlockingKind::TryRecv)
+    }
+
+    /// Short human name for messages.
+    pub fn describe(self) -> &'static str {
+        match self {
+            BlockingKind::Send => "send()",
+            BlockingKind::Recv => "recv()",
+            BlockingKind::RecvTimeout => "recv_timeout()",
+            BlockingKind::TryRecv => "try_recv()",
+            BlockingKind::Join => "join()",
+            BlockingKind::Park => "thread::park()",
+            BlockingKind::Sleep => "thread::sleep()",
+        }
+    }
+}
+
+/// One blocking (or `try_recv`) call site.
+#[derive(Clone, Debug)]
+pub struct BlockingCall {
+    /// What kind of call this is.
+    pub kind: BlockingKind,
+    /// Byte offset of the call in the code mask.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// The capacity expression of a channel creation site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Capacity {
+    /// A bare integer literal, e.g. `sync_channel(8)`.
+    Literal(String),
+    /// A derived expression, e.g. `sync_channel(workers * 2)`.
+    Derived(String),
+    /// An unbounded constructor (`mpsc::channel()` et al.).
+    Unbounded,
+}
+
+/// One channel creation site.
+#[derive(Clone, Debug)]
+pub struct ChannelSite {
+    /// Byte offset of the constructor in the code mask.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Capacity classification.
+    pub capacity: Capacity,
+    /// Whether a comment sits on the line or the contiguous comment
+    /// block above it (a *provenanced* capacity).
+    pub commented: bool,
+}
+
+/// One function body and everything extracted from it.
+#[derive(Clone, Debug, Default)]
+pub struct FnModel {
+    /// Function name (for messages).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Acquisitions inside the body, in source order.
+    pub acquisitions: Vec<Acquisition>,
+    /// Blocking-ish calls inside the body, in source order.
+    pub blocking: Vec<BlockingCall>,
+}
+
+/// Everything extracted from one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileModel {
+    /// Functions with at least one acquisition or blocking call.
+    pub functions: Vec<FnModel>,
+    /// Channel creation sites.
+    pub channels: Vec<ChannelSite>,
+    /// Count of `thread::spawn` / `scope.spawn` sites (summary only).
+    pub spawns: usize,
+}
+
+/// The whole-workspace concurrency model.
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceModel {
+    /// All lock classes, in (file, declaration) order.
+    pub locks: Vec<LockClass>,
+    /// Per-input-file models, parallel to the analysis input.
+    pub files: Vec<FileModel>,
+}
+
+/// Global declaration index built in the first phase.
+#[derive(Debug, Default)]
+struct DeclIndex {
+    /// All lock classes found so far.
+    locks: Vec<LockClass>,
+    /// Guard-returning wrapper functions: (file, fn name, lock class).
+    wrappers: Vec<(usize, String, usize)>,
+    /// Binding names known to be channel senders.
+    sender_names: BTreeSet<String>,
+    /// Binding names known to be channel receivers.
+    receiver_names: BTreeSet<String>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn is_path_byte(b: u8) -> bool {
+    is_ident_byte(b) || b == b':'
+}
+
+/// All match offsets of `needle` in `hay`.
+fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    hay.match_indices(needle).map(|(o, _)| o).collect()
+}
+
+/// The identifier ending at byte `end` (exclusive), if any.
+fn ident_ending_at(code: &str, end: usize) -> Option<(usize, String)> {
+    let bytes = code.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    Some((start, code[start..end].to_string()))
+}
+
+/// Skips backward over ASCII whitespace, returning the new exclusive end.
+fn skip_ws_back(code: &str, mut end: usize) -> usize {
+    let bytes = code.as_bytes();
+    while end > 0 && bytes[end - 1].is_ascii_whitespace() {
+        end -= 1;
+    }
+    end
+}
+
+/// Skips forward over ASCII whitespace.
+fn skip_ws(code: &str, mut i: usize) -> usize {
+    let bytes = code.as_bytes();
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// The byte offset of the `)` matching the `(` at `open`, scanning the
+/// code mask (strings/comments are already blanked).
+pub(crate) fn matching_paren(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    debug_assert_eq!(bytes[open], b'(');
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The byte offset of the `}` matching the `{` at `open`.
+fn matching_brace(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    debug_assert_eq!(bytes[open], b'{');
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The receiver identifier of a method call whose `.` sits at `dot`:
+/// the last path segment before the dot, skipping whitespace so
+/// multi-line chains (`self.inner\n.read()`) resolve. Returns `None`
+/// when the receiver is not a plain identifier (e.g. a call result).
+fn receiver_name(code: &str, dot: usize) -> Option<String> {
+    let end = skip_ws_back(code, dot);
+    ident_ending_at(code, end).map(|(_, name)| name)
+}
+
+/// The declared name to the *left* of a type needle match: walks back
+/// over the type path (`std::sync::Mutex<` → before `std`), strips
+/// wrapper generics (`Arc<`, `Option<`, ...), then requires a single
+/// `:` introducing a field/param/static declaration and returns the
+/// identifier before it.
+fn decl_name(code: &str, type_start: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = type_start;
+    loop {
+        // Skip the (possibly qualified) type path we just matched.
+        while i > 0 && is_path_byte(bytes[i - 1]) {
+            i -= 1;
+        }
+        i = skip_ws_back(code, i);
+        // Unwrap one layer of wrapper generics: `Arc<Mutex<...` —
+        // step inside the `<` and continue with the wrapper's path.
+        if i > 0 && bytes[i - 1] == b'<' {
+            i -= 1;
+            i = skip_ws_back(code, i);
+            continue;
+        }
+        break;
+    }
+    // Allow a reference declaration (`&Mutex<...>` params).
+    while i > 0 && (bytes[i - 1] == b'&' || bytes[i - 1] == b'\'') {
+        i -= 1;
+        i = skip_ws_back(code, i);
+    }
+    // A declaration introduces the type with a single `:` (reject `::`
+    // — that is a path expression, not a declaration).
+    if i == 0 || bytes[i - 1] != b':' || (i >= 2 && bytes[i - 2] == b':') {
+        return None;
+    }
+    let end = skip_ws_back(code, i - 1);
+    let (start, name) = ident_ending_at(code, end)?;
+    // `mut name: Mutex<..>` and lifetimes never matter here; just make
+    // sure we did not walk into a keyword.
+    if name == "mut" || start == end {
+        return None;
+    }
+    Some(name)
+}
+
+/// The start of the statement containing `offset`: one past the
+/// nearest `;`, `{`, or `}` scanning backward.
+fn stmt_start(code: &str, offset: usize) -> usize {
+    let bytes = code.as_bytes();
+    let mut i = offset;
+    while i > 0 {
+        match bytes[i - 1] {
+            b';' | b'{' | b'}' => return i,
+            _ => i -= 1,
+        }
+    }
+    0
+}
+
+/// The binding name of a `let NAME = ...` statement text, if the
+/// statement is a simple binding.
+fn let_binding_name(stmt: &str) -> Option<String> {
+    let pos = stmt.find("let ")?;
+    // Require a word boundary on the left ("complet e" never happens,
+    // but "valet " could in principle).
+    if pos > 0 && is_ident_byte(stmt.as_bytes()[pos - 1]) {
+        return None;
+    }
+    let mut rest = stmt[pos + 4..].trim_start();
+    if let Some(r) = rest.strip_prefix("mut ") {
+        rest = r.trim_start();
+    }
+    let end = rest
+        .as_bytes()
+        .iter()
+        .position(|&b| !is_ident_byte(b))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None; // pattern binding like `let (a, b) = ...`
+    }
+    let name = &rest[..end];
+    if name == "_" {
+        return None; // `let _ = guard` drops at statement end
+    }
+    Some(name.to_string())
+}
+
+/// Guard-preserving adapters: a chain of these after the acquisition
+/// still yields the guard (`.lock().unwrap()`,
+/// `.lock().expect("...")`).
+fn skip_guard_adapters(code: &str, mut i: usize) -> usize {
+    let bytes = code.as_bytes();
+    loop {
+        let j = skip_ws(code, i);
+        if j < bytes.len() && bytes[j] == b'.' {
+            let rest = &code[j..];
+            if rest.starts_with(".unwrap()") {
+                i = j + ".unwrap()".len();
+                continue;
+            }
+            if rest.starts_with(".expect(") {
+                if let Some(close) = matching_paren(code, j + ".expect(".len() - 1) {
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        return i;
+    }
+}
+
+/// Computes the hold span of a guard produced by the call whose
+/// closing `)` is at `call_close`. Returns the exclusive byte offset
+/// where the guard is dead, clamped to `body_end`.
+fn hold_end(code: &str, call_close: usize, body_end: usize) -> usize {
+    let after = skip_guard_adapters(code, call_close + 1);
+    let start = stmt_start(code, call_close);
+    let stmt = &code[start..call_close.min(code.len())];
+    let binding = if stmt.contains("let ") {
+        let next = skip_ws(code, after);
+        let next_byte = code.as_bytes().get(next).copied();
+        // `let g = x.lock();` or `let g = match x.lock() { ... }` bind
+        // the guard itself; `let n = x.lock().len();` does not.
+        if matches!(next_byte, Some(b';') | Some(b'{')) {
+            let_binding_name(stmt)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    if let Some(name) = binding {
+        // Binding: lives to the close of the enclosing block, or an
+        // explicit `drop(name)`.
+        let bytes = code.as_bytes();
+        let mut depth = 0isize;
+        let mut i = after;
+        while i < body_end {
+            match bytes[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    if depth == 0 {
+                        return i;
+                    }
+                    depth -= 1;
+                }
+                b'd' if code[i..].starts_with("drop") => {
+                    let prev_ok = i == 0 || !is_ident_byte(bytes[i - 1]);
+                    let j = skip_ws(code, i + 4);
+                    if prev_ok && bytes.get(j) == Some(&b'(') {
+                        if let Some(close) = matching_paren(code, j) {
+                            if code[j + 1..close].trim() == name {
+                                return i;
+                            }
+                            i = close;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        return body_end;
+    }
+
+    // Temporary: dies at the end of the statement — except when the
+    // call is a block-header scrutinee (`if let` / `while let` /
+    // `match`), where Rust 2021 extends the temporary to the close of
+    // the block.
+    let bytes = code.as_bytes();
+    let mut paren = 0isize;
+    let mut brace = 0isize;
+    let mut i = after;
+    while i < body_end {
+        match bytes[i] {
+            b'(' | b'[' => paren += 1,
+            b')' | b']' => paren -= 1,
+            b'{' => {
+                if paren <= 0 && brace == 0 {
+                    // Header scrutinee: guard lives to the block close.
+                    return matching_brace(code, i)
+                        .map(|c| c.min(body_end))
+                        .unwrap_or(body_end);
+                }
+                brace += 1;
+            }
+            b'}' => {
+                if brace == 0 && paren <= 0 {
+                    return i; // tail expression of the enclosing block
+                }
+                brace -= 1;
+            }
+            b';' if paren <= 0 && brace == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    body_end
+}
+
+/// A function span in the code mask: name plus body byte range.
+#[derive(Clone, Debug)]
+struct FnSpan {
+    name: String,
+    line: usize,
+    sig_start: usize,
+    body: std::ops::Range<usize>,
+}
+
+/// Top-level (non-nested) function spans of a file. Nested `fn` items
+/// inside a body are folded into the outer span, which is the right
+/// granularity for hold-span analysis.
+fn function_spans(scanned: &ScannedFile) -> Vec<FnSpan> {
+    let code = &scanned.code;
+    let bytes = code.as_bytes();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = code[i..].find("fn ") {
+        let at = i + pos;
+        // Word boundary on the left (`pub fn`, not `often `).
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            i = at + 3;
+            continue;
+        }
+        let name_start = skip_ws(code, at + 3);
+        let mut name_end = name_start;
+        while name_end < bytes.len() && is_ident_byte(bytes[name_end]) {
+            name_end += 1;
+        }
+        if name_end == name_start {
+            i = at + 3; // `fn(` pointer type
+            continue;
+        }
+        // Find the body `{` at bracket depth 0, stopping at `;` (trait
+        // method declarations have no body).
+        let mut j = name_end;
+        let mut depth = 0isize;
+        let mut body_open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' | b'[' | b'<' => depth += 1,
+                b')' | b']' | b'>' => depth -= 1,
+                b'{' if depth <= 0 => {
+                    body_open = Some(j);
+                    break;
+                }
+                b';' if depth <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else {
+            i = name_end;
+            continue;
+        };
+        let close = matching_brace(code, open).unwrap_or(bytes.len() - 1);
+        spans.push(FnSpan {
+            name: code[name_start..name_end].to_string(),
+            line: scanned.line_of(at),
+            sig_start: at,
+            body: open..close + 1,
+        });
+        i = close + 1;
+    }
+    spans
+}
+
+/// Whether the contiguous comment scope of `line` (the line itself or
+/// the comment block ending just above it) carries any comment text.
+fn has_adjacent_comment(scanned: &ScannedFile, line: usize) -> bool {
+    if !scanned.comment_line(line).trim().is_empty() {
+        return true;
+    }
+    line > 1 && !scanned.comment_line(line - 1).trim().is_empty()
+}
+
+/// Registers lock declarations, wrapper candidates, and channel
+/// endpoint names from one scanned file into the global index.
+fn index_declarations(file: usize, scanned: &ScannedFile, index: &mut DeclIndex) {
+    let code = &scanned.code;
+    // Type-position declarations: `name: Mutex<..>` / `name: RwLock<..>`
+    // (fields, params, statics), possibly behind Arc/Box/etc wrappers.
+    for (needle, kind) in [("Mutex<", LockKind::Mutex), ("RwLock<", LockKind::RwLock)] {
+        for off in find_all(code, needle) {
+            // Left boundary must not extend the identifier (this also
+            // rejects `RwLock<` matching inside `...RwLock<`-suffixed
+            // names; `Mutex<` cannot match inside `MutexGuard<`).
+            if off > 0 && is_ident_byte(code.as_bytes()[off - 1]) {
+                continue;
+            }
+            if let Some(name) = decl_name(code, off) {
+                register_lock(index, file, name, kind, scanned.line_of(off));
+            }
+        }
+    }
+    // Binding declarations: `let table = Mutex::new(...)`.
+    for (needle, kind) in [
+        ("Mutex::new(", LockKind::Mutex),
+        ("RwLock::new(", LockKind::RwLock),
+    ] {
+        for off in find_all(code, needle) {
+            if off > 0 && is_ident_byte(code.as_bytes()[off - 1]) {
+                continue;
+            }
+            let stmt = &code[stmt_start(code, off)..off];
+            if let Some(name) = let_binding_name(stmt) {
+                register_lock(index, file, name, kind, scanned.line_of(off));
+            }
+        }
+    }
+    // Channel endpoint names from destructuring bindings:
+    // `let (tx, rx) = sync_channel(...)` (and the unbounded `channel`).
+    for needle in ["sync_channel", "mpsc::channel", "unbounded"] {
+        for off in find_all(code, needle) {
+            // Only reject identifier extensions (`make_sync_channel`);
+            // a path prefix (`mpsc::sync_channel`) is the same call.
+            if off > 0 && is_ident_byte(code.as_bytes()[off - 1]) {
+                continue;
+            }
+            let stmt = &code[stmt_start(code, off)..off];
+            let Some(pos) = stmt.find("let ") else {
+                continue;
+            };
+            let rest = stmt[pos + 4..].trim_start();
+            let Some(rest) = rest.strip_prefix('(') else {
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let names: Vec<&str> = rest[..close].split(',').map(str::trim).collect();
+            if names.len() == 2 {
+                let tx = names[0].trim_start_matches("mut ").trim();
+                let rx = names[1].trim_start_matches("mut ").trim();
+                if !tx.is_empty() && tx != "_" {
+                    index.sender_names.insert(tx.to_string());
+                }
+                if !rx.is_empty() && rx != "_" {
+                    index.receiver_names.insert(rx.to_string());
+                }
+            }
+        }
+    }
+    // Channel endpoint names from typed declarations:
+    // `feed: SyncSender<u64>`, `rx: &Receiver<TcpStream>`.
+    for (needle, sender) in [("Sender<", true), ("Receiver<", false)] {
+        for off in find_all(code, needle) {
+            // `Sender<` also matches inside `SyncSender<`; decl_name
+            // walks the whole path, so just take the name.
+            if let Some(name) = decl_name(code, off) {
+                if sender {
+                    index.sender_names.insert(name);
+                } else {
+                    index.receiver_names.insert(name);
+                }
+            }
+        }
+    }
+}
+
+fn register_lock(index: &mut DeclIndex, file: usize, name: String, kind: LockKind, line: usize) {
+    if index.locks.iter().any(|l| l.file == file && l.name == name) {
+        return;
+    }
+    index.locks.push(LockClass {
+        file,
+        name,
+        kind,
+        line,
+    });
+}
+
+/// Resolves a lock receiver name: same-file class first, then a
+/// globally unique name, else `None`.
+fn resolve_lock(index: &DeclIndex, file: usize, name: &str) -> Option<usize> {
+    let mut global = None;
+    let mut global_hits = 0;
+    for (i, l) in index.locks.iter().enumerate() {
+        if l.name != name {
+            continue;
+        }
+        if l.file == file {
+            return Some(i);
+        }
+        global = Some(i);
+        global_hits += 1;
+    }
+    if global_hits == 1 {
+        global
+    } else {
+        None
+    }
+}
+
+/// Extracts the per-function model of one file against the global
+/// declaration index.
+fn extract_file(file: usize, scanned: &ScannedFile, index: &DeclIndex) -> FileModel {
+    let code = &scanned.code;
+    let bytes = code.as_bytes();
+    let mut model = FileModel::default();
+
+    for span in function_spans(scanned) {
+        let mut f = FnModel {
+            name: span.name.clone(),
+            line: span.line,
+            ..FnModel::default()
+        };
+        let body = &code[span.body.clone()];
+        let base = span.body.start;
+        let body_end = span.body.end;
+
+        // Direct acquisitions.
+        for (needle, mode) in [
+            (".lock()", AcquireMode::Lock),
+            (".read()", AcquireMode::Read),
+            (".write()", AcquireMode::Write),
+        ] {
+            for off in find_all(body, needle) {
+                let dot = base + off;
+                let Some(name) = receiver_name(code, dot) else {
+                    continue;
+                };
+                let Some(class) = resolve_lock(index, file, &name) else {
+                    continue;
+                };
+                let mode = match (mode, index.locks[class].kind) {
+                    (AcquireMode::Lock, LockKind::Mutex) => AcquireMode::Lock,
+                    (AcquireMode::Read, LockKind::RwLock) => AcquireMode::Read,
+                    (AcquireMode::Write, LockKind::RwLock) => AcquireMode::Write,
+                    // `.lock()` on an RwLock name (or `.read()` on a
+                    // Mutex) is a different API — not an acquisition.
+                    _ => continue,
+                };
+                let close = dot + needle.len() - 1;
+                let close = if bytes[close] == b')' {
+                    close
+                } else {
+                    matching_paren(code, dot + needle.len() - 1).unwrap_or(close)
+                };
+                f.acquisitions.push(Acquisition {
+                    class,
+                    offset: dot,
+                    line: scanned.line_of(dot),
+                    col: scanned.col_of(dot),
+                    mode,
+                    hold_end: hold_end(code, close, body_end),
+                });
+            }
+        }
+
+        // Wrapper-call acquisitions: `self.lock_sessions()`.
+        for (_, wrapper, class) in index.wrappers.iter().filter(|(wf, _, _)| *wf == file) {
+            let needle = format!("{wrapper}()");
+            for off in find_all(body, &needle) {
+                let at = base + off;
+                if at > 0 && is_ident_byte(bytes[at - 1]) && bytes[at - 1] != b'.' {
+                    continue;
+                }
+                // Skip the definition site (`fn lock_sessions(` has
+                // arguments, so `name()` cannot match it; still guard
+                // against zero-arg free functions defined here).
+                let before = skip_ws_back(code, at);
+                if code[..before].ends_with("fn") {
+                    continue;
+                }
+                let close = at + needle.len() - 1;
+                f.acquisitions.push(Acquisition {
+                    class: *class,
+                    offset: at,
+                    line: scanned.line_of(at),
+                    col: scanned.col_of(at),
+                    mode: AcquireMode::Lock,
+                    hold_end: hold_end(code, close, body_end),
+                });
+            }
+        }
+        f.acquisitions.sort_by_key(|a| a.offset);
+
+        // Blocking-ish calls.
+        for (needle, kind, needs_sender) in [
+            (".send(", BlockingKind::Send, true),
+            (".recv()", BlockingKind::Recv, false),
+            (".recv_timeout(", BlockingKind::RecvTimeout, false),
+            (".try_recv()", BlockingKind::TryRecv, false),
+            (".join()", BlockingKind::Join, false),
+        ] {
+            for off in find_all(body, needle) {
+                let at = base + off;
+                if needs_sender {
+                    let Some(name) = receiver_name(code, at) else {
+                        continue;
+                    };
+                    if !index.sender_names.contains(&name) {
+                        continue;
+                    }
+                }
+                f.blocking.push(BlockingCall {
+                    kind,
+                    offset: at,
+                    line: scanned.line_of(at),
+                    col: scanned.col_of(at),
+                });
+            }
+        }
+        for (needle, kind) in [
+            ("thread::park()", BlockingKind::Park),
+            ("park_timeout(", BlockingKind::Park),
+            ("thread::sleep(", BlockingKind::Sleep),
+        ] {
+            for off in find_all(body, needle) {
+                let at = base + off;
+                if at > 0 && is_ident_byte(bytes[at - 1]) {
+                    continue; // e.g. `unpark_timeout` (hypothetical)
+                }
+                f.blocking.push(BlockingCall {
+                    kind,
+                    offset: at,
+                    line: scanned.line_of(at),
+                    col: scanned.col_of(at),
+                });
+            }
+        }
+        f.blocking.sort_by_key(|b| b.offset);
+
+        if !f.acquisitions.is_empty() || !f.blocking.is_empty() {
+            model.functions.push(f);
+        }
+    }
+
+    // Channel creation sites (bounded + unbounded).
+    for off in find_all(code, "sync_channel") {
+        // Path prefixes (`mpsc::sync_channel`) are the same call; only
+        // identifier extensions are a different name.
+        if off > 0 && is_ident_byte(bytes[off - 1]) {
+            continue;
+        }
+        let mut j = off + "sync_channel".len();
+        // Skip a turbofish: `sync_channel::<(usize, Report)>(...)`.
+        if code[j..].starts_with("::<") {
+            let mut depth = 0isize;
+            let mut k = j + 2;
+            while k < bytes.len() {
+                match bytes[k] {
+                    b'<' => depth += 1,
+                    b'>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k;
+        }
+        let j = skip_ws(code, j);
+        if bytes.get(j) != Some(&b'(') {
+            continue; // a `use` import or doc reference
+        }
+        let Some(close) = matching_paren(code, j) else {
+            continue;
+        };
+        let expr = code[j + 1..close].trim().to_string();
+        let capacity = if expr.is_empty() {
+            continue;
+        } else if expr.bytes().all(|b| b.is_ascii_digit() || b == b'_') {
+            Capacity::Literal(expr)
+        } else {
+            Capacity::Derived(expr)
+        };
+        let line = scanned.line_of(off);
+        model.channels.push(ChannelSite {
+            offset: off,
+            line,
+            col: scanned.col_of(off),
+            capacity,
+            commented: has_adjacent_comment(scanned, line),
+        });
+    }
+    for needle in ["mpsc::channel()", "mpsc::channel::<", "channel::unbounded("] {
+        for off in find_all(code, needle) {
+            let line = scanned.line_of(off);
+            model.channels.push(ChannelSite {
+                offset: off,
+                line,
+                col: scanned.col_of(off),
+                capacity: Capacity::Unbounded,
+                commented: has_adjacent_comment(scanned, line),
+            });
+        }
+    }
+    model.channels.sort_by_key(|c| c.offset);
+
+    // Thread spawn sites (coverage summary only). `.spawn(` catches
+    // `scope.spawn(` and `Builder::new().spawn(`; it cannot double
+    // count with `thread::spawn(`, whose `spawn` follows `::` not `.`.
+    for needle in ["thread::spawn(", ".spawn("] {
+        for off in find_all(code, needle) {
+            if off > 0 && is_ident_byte(bytes[off - 1]) {
+                continue;
+            }
+            model.spawns += 1;
+        }
+    }
+
+    model
+}
+
+/// Registers guard-returning wrapper functions: a fn whose signature
+/// mentions `Guard` in its return type and whose body's first
+/// acquisition resolves to a known lock.
+fn index_wrappers(file: usize, scanned: &ScannedFile, index: &mut DeclIndex) {
+    let code = &scanned.code;
+    for span in function_spans(scanned) {
+        let sig = &code[span.sig_start..span.body.start];
+        let Some(arrow) = sig.find("->") else {
+            continue;
+        };
+        if !sig[arrow..].contains("Guard") {
+            continue;
+        }
+        let body = &code[span.body.clone()];
+        for needle in [".lock()", ".read()", ".write()"] {
+            if let Some(off) = body.find(needle) {
+                let dot = span.body.start + off;
+                if let Some(name) = receiver_name(code, dot) {
+                    if let Some(class) = resolve_lock(index, file, &name) {
+                        index.wrappers.push((file, span.name.clone(), class));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the workspace model over pre-scanned files. The `scans`
+/// slice must be parallel to the caller's file list; indices into it
+/// are used as file ids throughout the model.
+pub fn build_model(scans: &[ScannedFile]) -> WorkspaceModel {
+    let mut index = DeclIndex::default();
+    for (i, scanned) in scans.iter().enumerate() {
+        index_declarations(i, scanned, &mut index);
+    }
+    for (i, scanned) in scans.iter().enumerate() {
+        index_wrappers(i, scanned, &mut index);
+    }
+    let files = scans
+        .iter()
+        .enumerate()
+        .map(|(i, scanned)| extract_file(i, scanned, &index))
+        .collect();
+    WorkspaceModel {
+        locks: index.locks,
+        files,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn model_of(source: &str) -> WorkspaceModel {
+        build_model(&[scan(source)])
+    }
+
+    #[test]
+    fn lock_decls_fields_and_bindings() {
+        let m = model_of(
+            "struct S { inner: Mutex<u64>, map: std::sync::RwLock<u8> }\n\
+             fn f() { let table = Mutex::new(0u64); let _ = table.lock(); }\n",
+        );
+        let names: Vec<&str> = m.locks.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, vec!["inner", "map", "table"]);
+        assert_eq!(m.locks[1].kind, LockKind::RwLock);
+    }
+
+    #[test]
+    fn wrapped_decl_resolves_through_arc() {
+        let m = model_of("struct S { inner: Arc<RwLock<Inner>> }\n");
+        assert_eq!(m.locks.len(), 1);
+        assert_eq!(m.locks[0].name, "inner");
+        assert_eq!(m.locks[0].kind, LockKind::RwLock);
+    }
+
+    #[test]
+    fn guard_binding_holds_to_block_end() {
+        let src = "struct S { a: Mutex<u64> }\n\
+                   impl S {\n\
+                   fn f(&self, rx: &Receiver<u64>) {\n\
+                       let g = self.a.lock().unwrap();\n\
+                       let _ = rx.recv();\n\
+                   }\n\
+                   }\n";
+        let m = model_of(src);
+        let f = &m.files[0].functions[0];
+        assert_eq!(f.acquisitions.len(), 1);
+        let recv = f.blocking.iter().find(|b| b.kind == BlockingKind::Recv);
+        let recv = recv.expect("recv modeled");
+        assert!(
+            f.acquisitions[0].hold_end > recv.offset,
+            "guard covers recv"
+        );
+    }
+
+    #[test]
+    fn scoped_guard_releases_before_following_code() {
+        let src = "struct S { a: Mutex<u64> }\n\
+                   impl S {\n\
+                   fn f(&self, rx: &Receiver<u64>) {\n\
+                       let v = {\n\
+                           let g = self.a.lock().unwrap();\n\
+                           *g\n\
+                       };\n\
+                       let _ = rx.recv();\n\
+                       let _ = v;\n\
+                   }\n\
+                   }\n";
+        let m = model_of(src);
+        let f = &m.files[0].functions[0];
+        let recv = f.blocking.iter().find(|b| b.kind == BlockingKind::Recv);
+        let recv = recv.expect("recv modeled");
+        assert!(
+            f.acquisitions[0].hold_end < recv.offset,
+            "scoped guard released before recv"
+        );
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement() {
+        let src = "struct S { a: Mutex<Vec<u64>> }\n\
+                   impl S {\n\
+                   fn f(&self, rx: &Receiver<u64>) {\n\
+                       let n = self.a.lock().unwrap().len();\n\
+                       let _ = rx.recv();\n\
+                       let _ = n;\n\
+                   }\n\
+                   }\n";
+        let m = model_of(src);
+        let f = &m.files[0].functions[0];
+        let recv = f.blocking.iter().find(|b| b.kind == BlockingKind::Recv);
+        let recv = recv.expect("recv modeled");
+        assert!(f.acquisitions[0].hold_end < recv.offset);
+    }
+
+    #[test]
+    fn drop_releases_binding_early() {
+        let src = "struct S { a: Mutex<u64> }\n\
+                   impl S {\n\
+                   fn f(&self, rx: &Receiver<u64>) {\n\
+                       let g = self.a.lock().unwrap();\n\
+                       drop(g);\n\
+                       let _ = rx.recv();\n\
+                   }\n\
+                   }\n";
+        let m = model_of(src);
+        let f = &m.files[0].functions[0];
+        let recv = f
+            .blocking
+            .iter()
+            .find(|b| b.kind == BlockingKind::Recv)
+            .unwrap();
+        assert!(f.acquisitions[0].hold_end < recv.offset);
+    }
+
+    #[test]
+    fn match_header_guard_lives_for_the_match() {
+        let src = "struct S { a: Mutex<u64> }\n\
+                   impl S {\n\
+                   fn f(&self, rx: &Receiver<u64>) {\n\
+                       match self.a.lock() {\n\
+                           Ok(_) => { let _ = rx.recv(); }\n\
+                           Err(_) => {}\n\
+                       }\n\
+                   }\n\
+                   }\n";
+        let m = model_of(src);
+        let f = &m.files[0].functions[0];
+        let recv = f
+            .blocking
+            .iter()
+            .find(|b| b.kind == BlockingKind::Recv)
+            .unwrap();
+        assert!(f.acquisitions[0].hold_end > recv.offset);
+    }
+
+    #[test]
+    fn send_requires_known_sender_name() {
+        let src = "fn f(s: &Committer) { s.send(1); }\n\
+                   fn g() { let (tx, rx) = sync_channel(4); tx.send(1); let _ = rx; }\n";
+        let m = model_of(src);
+        let sends: usize = m.files[0]
+            .functions
+            .iter()
+            .flat_map(|f| &f.blocking)
+            .filter(|b| b.kind == BlockingKind::Send)
+            .count();
+        assert_eq!(sends, 1, "only tx.send counts; s is not a channel sender");
+    }
+
+    #[test]
+    fn channel_capacity_classification() {
+        let src = "fn f(n: usize) {\n\
+                   let (a, b) = sync_channel(8);\n\
+                   // Two slots per worker: one in flight, one queued.\n\
+                   let (c, d) = sync_channel(2);\n\
+                   let (e, f) = sync_channel::<(usize, u64)>(n * 2);\n\
+                   let (g, h) = mpsc::channel();\n\
+                   }\n";
+        let m = model_of(src);
+        let caps: Vec<&Capacity> = m.files[0].channels.iter().map(|c| &c.capacity).collect();
+        assert_eq!(
+            caps,
+            vec![
+                &Capacity::Literal("8".into()),
+                &Capacity::Literal("2".into()),
+                &Capacity::Derived("n * 2".into()),
+                &Capacity::Unbounded,
+            ]
+        );
+        assert!(!m.files[0].channels[0].commented);
+        assert!(m.files[0].channels[1].commented);
+    }
+
+    #[test]
+    fn wrapper_fn_counts_as_acquisition() {
+        let src = "struct S { sessions: Mutex<u64> }\n\
+                   impl S {\n\
+                   fn lock_sessions(&self) -> MutexGuard<'_, u64> {\n\
+                       match self.sessions.lock() { Ok(g) => g, Err(p) => p.into_inner() }\n\
+                   }\n\
+                   fn f(&self, rx: &Receiver<u64>) {\n\
+                       let g = self.lock_sessions();\n\
+                       let _ = rx.recv();\n\
+                       let _ = g;\n\
+                   }\n\
+                   }\n";
+        let m = model_of(src);
+        let f = m.files[0]
+            .functions
+            .iter()
+            .find(|f| f.name == "f")
+            .expect("fn f modeled");
+        assert_eq!(f.acquisitions.len(), 1, "wrapper call resolved");
+        let recv = f
+            .blocking
+            .iter()
+            .find(|b| b.kind == BlockingKind::Recv)
+            .unwrap();
+        assert!(f.acquisitions[0].hold_end > recv.offset);
+    }
+}

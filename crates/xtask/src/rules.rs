@@ -17,6 +17,7 @@
 //! match.
 
 use crate::scanner::ScannedFile;
+use std::collections::BTreeSet;
 
 /// Where a file sits in the workspace, which decides rule applicability.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,7 +43,7 @@ pub enum FileClass {
 impl FileClass {
     /// True for the library classes ([`FileClass::Kernel`] and
     /// [`FileClass::CoreLib`]) that the panic/timing/channel rules bind.
-    fn is_lib(self) -> bool {
+    pub(crate) fn is_lib(self) -> bool {
         matches!(self, FileClass::Kernel | FileClass::CoreLib)
     }
 }
@@ -113,15 +114,33 @@ pub fn all_rules() -> &'static [Rule] {
 /// Runs every applicable rule over one scanned file, honouring
 /// suppressions, and returns the surviving findings.
 pub fn check_file(scanned: &ScannedFile, class: FileClass) -> Vec<Finding> {
+    check_file_with(scanned, class, false)
+}
+
+/// Like [`check_file`], but in `strict` mode additionally reports
+/// `lint:allow` comments that name a lint rule yet suppress nothing
+/// (rule `unused-suppression`), so stale justifications cannot
+/// accumulate.
+pub fn check_file_with(scanned: &ScannedFile, class: FileClass, strict: bool) -> Vec<Finding> {
     let mut findings = Vec::new();
+    let mut used_allows: BTreeSet<usize> = BTreeSet::new();
     for rule in all_rules() {
         let mut raw = Vec::new();
         (rule.check)(scanned, class, &mut raw);
         for f in raw {
-            if !scanned.is_test_line(f.line) && !is_suppressed(scanned, rule.name, f.line) {
-                findings.push(f);
+            if scanned.is_test_line(f.line) {
+                continue;
             }
+            if let Some(allow) = suppression_line(scanned, rule.name, f.line) {
+                used_allows.insert(allow);
+                continue;
+            }
+            findings.push(f);
         }
+    }
+    if strict {
+        let names: Vec<&str> = all_rules().iter().map(|r| r.name).collect();
+        findings.extend(unused_suppressions(scanned, &used_allows, &names));
     }
     findings.sort_by_key(|f| (f.line, f.col));
     findings
@@ -147,22 +166,63 @@ fn comment_scope(scanned: &ScannedFile, line: usize) -> Vec<usize> {
     scope
 }
 
-/// True when the comment scope of `line` carries `lint:allow(rule)`.
-fn is_suppressed(scanned: &ScannedFile, rule: &str, line: usize) -> bool {
-    comment_scope(scanned, line).into_iter().any(|l| {
+/// The line carrying a `lint:allow(rule)` in the comment scope of
+/// `line`, if any — used both to suppress the finding and to mark the
+/// annotation as *used* for `--strict` accounting.
+pub(crate) fn suppression_line(scanned: &ScannedFile, rule: &str, line: usize) -> Option<usize> {
+    comment_scope(scanned, line).into_iter().find(|&l| {
         if l == 0 || l > scanned.line_count() {
             return false;
         }
-        let comment = scanned.comment_line(l);
-        let Some(pos) = comment.find("lint:allow(") else {
-            return false;
-        };
-        let rest = &comment[pos + "lint:allow(".len()..];
-        let Some(end) = rest.find(')') else {
-            return false;
-        };
-        rest[..end].split(',').any(|r| r.trim() == rule)
+        match allow_rules(scanned.comment_line(l)) {
+            Some(named) => named.split(',').any(|r| r.trim() == rule),
+            None => false,
+        }
     })
+}
+
+/// The rule list inside a `lint:allow(...)` on a comment line, if any.
+fn allow_rules(comment: &str) -> Option<&str> {
+    let pos = comment.find("lint:allow(")?;
+    let rest = &comment[pos + "lint:allow(".len()..];
+    let end = rest.find(')')?;
+    Some(&rest[..end])
+}
+
+/// Findings for `lint:allow` annotations that name a rule in `rules`
+/// but did not suppress anything (`used` holds the annotation lines
+/// that did). Annotations naming only unknown rules are ignored: the
+/// lint and hazard passes account for their own rule sets separately,
+/// and doc-comment *mentions* of the syntax never name a real rule.
+pub(crate) fn unused_suppressions(
+    scanned: &ScannedFile,
+    used: &BTreeSet<usize>,
+    rules: &[&str],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for line in 1..=scanned.line_count() {
+        if scanned.is_test_line(line) || used.contains(&line) {
+            continue;
+        }
+        let comment = scanned.comment_line(line);
+        let Some(named) = allow_rules(comment) else {
+            continue;
+        };
+        if !named.split(',').any(|n| rules.contains(&n.trim())) {
+            continue;
+        }
+        let col = comment.find("lint:allow(").map(|p| p + 1).unwrap_or(1);
+        out.push(Finding {
+            rule: "unused-suppression",
+            line,
+            col,
+            message: format!(
+                "lint:allow({}) suppresses nothing in its scope; remove the stale annotation",
+                named.trim()
+            ),
+        });
+    }
+    out
 }
 
 /// Emits a finding at a byte offset of the code mask.

@@ -1,0 +1,19 @@
+//! Hazard fixture: channel-topology audit.
+use std::sync::mpsc;
+
+pub fn unbounded_pipe() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    mpsc::channel()
+}
+
+pub fn bare_capacity() -> (mpsc::SyncSender<u64>, mpsc::Receiver<u64>) {
+    mpsc::sync_channel(7)
+}
+
+pub fn provenanced() -> (mpsc::SyncSender<u64>, mpsc::Receiver<u64>) {
+    // Capacity 2: one message in flight, one queued.
+    mpsc::sync_channel(2)
+}
+
+pub fn derived(workers: usize) -> (mpsc::SyncSender<u64>, mpsc::Receiver<u64>) {
+    mpsc::sync_channel(workers * 2)
+}

@@ -1,0 +1,38 @@
+//! Hazard fixture: a clean concurrent module — consistent lock order,
+//! scoped guards, provenanced channels, blocking only outside locks.
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Mutex;
+
+pub struct Engine {
+    state: Mutex<u64>,
+    journal: Mutex<Vec<u64>>,
+    feed: SyncSender<u64>,
+}
+
+impl Engine {
+    pub fn record(&self, v: u64) {
+        let mut s = self.state.lock().unwrap();
+        let mut j = self.journal.lock().unwrap();
+        *s += v;
+        j.push(v);
+    }
+
+    pub fn publish(&self, v: u64) {
+        {
+            let mut s = self.state.lock().unwrap();
+            *s += v;
+        }
+        self.feed.send(v).unwrap();
+    }
+
+    pub fn drain(&self, rx: &Receiver<u64>) {
+        let batch: Vec<u64> = rx.try_iter().collect();
+        let mut j = self.journal.lock().unwrap();
+        j.extend(batch);
+    }
+
+    pub fn pipeline() -> (SyncSender<u64>, Receiver<u64>) {
+        // Capacity 8: one batch per in-flight producer, eight max.
+        std::sync::mpsc::sync_channel(8)
+    }
+}

@@ -1,0 +1,38 @@
+//! Hazard fixture: inconsistent lock nesting order.
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga - *gb
+    }
+
+    /// No edge: the first guard dies at its scope's close before the
+    /// second lock is taken.
+    pub fn scoped(&self) -> u64 {
+        let hi = {
+            let ga = self.a.lock().unwrap();
+            *ga
+        };
+        let gb = self.b.lock().unwrap();
+        hi + *gb
+    }
+
+    pub fn recursive(&self) -> u64 {
+        let first = self.a.lock().unwrap();
+        let second = self.a.lock().unwrap();
+        *first + *second
+    }
+}

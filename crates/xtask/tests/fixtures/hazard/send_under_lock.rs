@@ -1,0 +1,44 @@
+//! Hazard fixture: blocking calls while a guard is live.
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Funnel {
+    state: Mutex<u64>,
+    feed: SyncSender<u64>,
+}
+
+impl Funnel {
+    /// The sender blocks on a full channel holding `state`, which the
+    /// receiver side (`drain_under_state`) needs: a two-thread wedge.
+    pub fn send_while_held(&self, v: u64) {
+        let mut g = self.state.lock().unwrap();
+        *g += 1;
+        self.feed.send(v).unwrap();
+    }
+
+    /// The drain takes the same lock around its try_recv loop, which
+    /// makes `state` a receiver-side lock for the audit (try_recv
+    /// itself never blocks and is not flagged).
+    pub fn drain_under_state(&self, rx: &Receiver<u64>) {
+        let mut g = self.state.lock().unwrap();
+        while let Ok(v) = rx.try_recv() {
+            *g += v;
+        }
+    }
+
+    pub fn wait_while_held(&self, rx: &Receiver<u64>, worker: std::thread::JoinHandle<()>) {
+        let g = self.state.lock().unwrap();
+        let _ = rx.recv_timeout(Duration::from_millis(5));
+        worker.join().unwrap();
+        drop(g);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    pub fn suppressed_send(&self, v: u64) {
+        let _g = self.state.lock().unwrap();
+        // lint:allow(channel-send-blocks-receiver): fixture — this path
+        // never runs concurrently with the drain loop.
+        self.feed.send(v).unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+//! Lint fixture: `--strict` unused-suppression detection.
+
+pub fn stale() -> u64 {
+    // lint:allow(no-float-eq): stale — nothing below compares floats
+    42
+}
+
+pub fn used(x: f64) -> bool {
+    // lint:allow(no-float-eq): exact sentinel comparison is intended
+    x == 0.25
+}
+
+pub fn unknown_rule() -> u64 {
+    // lint:allow(rule-name): doc-style mention of the syntax, ignored
+    7
+}

@@ -8,7 +8,7 @@
 
 use std::path::{Path, PathBuf};
 use xtask::rules::FileClass;
-use xtask::{classify, lint_source_at, lint_workspace};
+use xtask::{classify, lint_source_at, lint_source_with, lint_workspace_with};
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -121,6 +121,32 @@ fn unsafe_in_kernel_fixture() {
 }
 
 #[test]
+fn unused_allow_fixture_fires_only_in_strict_mode() {
+    let path = fixture_dir().join("unused_allow.rs");
+    let source = std::fs::read_to_string(&path).unwrap();
+    // Line 4: allow naming a real rule that fires nowhere in scope.
+    // The used allow (line 9) and the unknown-rule mention (line 14)
+    // stay silent.
+    let strict: Vec<(usize, String)> = lint_source_with(
+        Path::new("unused_allow.rs"),
+        &source,
+        FileClass::CoreLib,
+        true,
+    )
+    .unwrap()
+    .into_iter()
+    .map(|f| (f.finding.line, f.finding.rule.to_string()))
+    .collect();
+    assert_eq!(strict, all("unused-suppression", &[4]));
+    assert!(
+        lint_source_at(Path::new("unused_allow.rs"), &source, FileClass::CoreLib)
+            .unwrap()
+            .is_empty(),
+        "non-strict mode must not flag unused allows"
+    );
+}
+
+#[test]
 fn fixtures_are_excluded_from_workspace_walks() {
     assert_eq!(
         classify(Path::new("crates/xtask/tests/fixtures/unwrap_in_lib.rs")),
@@ -128,8 +154,56 @@ fn fixtures_are_excluded_from_workspace_walks() {
     );
 }
 
-/// The workspace itself must lint clean — the same gate CI enforces via
-/// `cargo xtask lint`.
+/// Every first-party `.rs` file must map to a class: classification by
+/// path prefix has already mis-filed `crates/serve/src/main.rs` once,
+/// and an unclassified file silently escapes every rule.
+#[test]
+fn every_workspace_rs_file_is_classified() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    let mut stack = vec![root.clone()];
+    let mut seen = 0usize;
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let entry = entry.unwrap();
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy().to_string();
+            if entry.file_type().unwrap().is_dir() {
+                if name == "target" || name == ".git" || name == "vendor" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                seen += 1;
+                let rel = path.strip_prefix(&root).unwrap();
+                let class = classify(rel);
+                if rel.starts_with("crates/xtask/tests/fixtures") {
+                    assert_eq!(class, None, "fixtures must stay out of walks: {rel:?}");
+                } else {
+                    assert!(class.is_some(), "unclassified workspace file: {rel:?}");
+                }
+            }
+        }
+    }
+    assert!(seen > 50, "walk looks broken: only {seen} .rs files found");
+    // The two classifications the prefix rules used to get wrong.
+    assert_eq!(
+        classify(Path::new("crates/serve/src/main.rs")),
+        Some(FileClass::Tooling)
+    );
+    assert_eq!(
+        classify(Path::new("crates/serve/tests/serve_e2e.rs")),
+        Some(FileClass::TestCode)
+    );
+}
+
+/// The workspace itself must lint clean — including strict-mode
+/// unused-suppression accounting — the same gate CI enforces via
+/// `cargo xtask lint --strict`.
 #[test]
 fn workspace_self_lint_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -138,7 +212,7 @@ fn workspace_self_lint_is_clean() {
         .unwrap()
         .to_path_buf();
     assert!(root.join("Cargo.toml").is_file(), "bad root {root:?}");
-    let findings = lint_workspace(&root).unwrap();
+    let findings = lint_workspace_with(&root, true).unwrap();
     let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
     assert!(
         rendered.is_empty(),
