@@ -59,10 +59,23 @@ USAGE:
   tsm cluster  --store FILE [--k K]    cluster patients, find correlations
   tsm serve    [--store FILE] [--addr HOST:PORT] [--sessions-max N]
                [--workers W] [--ingest-queue Q] [--dt SECS]
+               [--wal DIR] [--checkpoint-every N] [--idle-timeout SECS]
                                        HTTP front-end: POST /ingest/{{name}},
                                        GET /query, /predict, /metrics,
                                        /healthz; sheds load with 429/503 +
-                                       Retry-After when saturated
+                                       Retry-After when saturated; --wal
+                                       makes ingest durable (fsync before
+                                       ack, recovery on restart),
+                                       --checkpoint-every compacts the log
+                                       into snapshots every N appends, and
+                                       --idle-timeout seals sessions idle
+                                       that long into the store
+  tsm recover  --wal DIR [--store FILE] [--out FILE] [--metrics [FILE]]
+                                       replay a write-ahead log over its
+                                       latest snapshot (torn tails are
+                                       truncated, never fatal) and report
+                                       what came back; --out saves the
+                                       recovered store
   tsm help                             this message
 
 Store-reading commands accept --salvage to recover the valid prefix of a
@@ -650,11 +663,129 @@ pub fn chaos(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Opens `--wal DIR` as a file backend and recovers from it, replaying
+/// the log over the latest snapshot (and over `base`, for anything the
+/// snapshot does not cover). Records the recovery counters.
+fn recover_wal(
+    dir: &str,
+    base: Option<StreamStore>,
+    metrics: &MetricsRegistry,
+) -> Result<tsm_db::WalRecovery, String> {
+    let backend: Arc<dyn tsm_db::DurableBackend> =
+        Arc::new(tsm_db::FileBackend::open(dir).map_err(|e| format!("{dir}: {e}"))?);
+    let rec = tsm_db::recover_with_base(backend, tsm_db::WalConfig::default(), base)
+        .map_err(|e| format!("{dir}: {e}"))?;
+    metrics.incr(Counter::WalRecoveries);
+    metrics.add(Counter::WalReplayedRecords, rec.report.replayed_records);
+    if rec.report.truncated_tail {
+        metrics.incr(Counter::RecoveryTruncatedTail);
+    }
+    Ok(rec)
+}
+
+/// `tsm recover` — replays a write-ahead log directory over its latest
+/// snapshot (and an optional `--store` base image) and reports what came
+/// back. `--out` saves the recovered store as a plain store file.
+pub fn recover(args: &Args) -> Result<(), String> {
+    let dir = args.require("wal")?;
+    let metrics = metrics_registry(args);
+    let base = if args.flags.contains_key("store") {
+        Some(load_with_metrics(args, &metrics)?)
+    } else {
+        None
+    };
+    let rec = recover_wal(&dir, base, &metrics)?;
+    println!("{dir}: {}", rec.report);
+    if let Some(snap) = &rec.report.snapshot_store {
+        eprintln!("snapshot image: {snap}");
+    }
+    // Machine-readable tail for harnesses (the crash soak greps these to
+    // check every acknowledged sequence number survived).
+    println!(
+        "last_seq={} records={} vertices={} truncated_tail={} streams={}",
+        rec.report.last_seq,
+        rec.report.replayed_records,
+        rec.report.replayed_vertices,
+        rec.report.truncated_tail,
+        rec.store.num_streams(),
+    );
+    if let Some(out) = args.flags.get("out").filter(|v| !v.is_empty()) {
+        save_store_to_path(&rec.store, out).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!(
+            "wrote {out}: {} patients, {} streams",
+            rec.store.num_patients(),
+            rec.store.num_streams()
+        );
+    }
+    emit_metrics(args, &metrics)?;
+    Ok(())
+}
+
+/// `tsm wal-soak` — a crash-soak ingest worker (intentionally absent
+/// from `tsm help`): appends segmented synthetic vertices to a WAL in
+/// small fsynced batches and prints one flushed `ACK seq=N` line per
+/// committed batch. A harness SIGKILLs it mid-run, then runs
+/// `tsm recover` and checks that every printed seq survived (RPO = 0).
+pub fn wal_soak(args: &Args) -> Result<(), String> {
+    use std::io::Write as _;
+    let dir = args.require("wal")?;
+    let seed = args.num_flag("seed", 7u64)?;
+    let duration = args.num_flag("duration", 600.0f64)?;
+    let batch = args.num_flag("batch", 4usize)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let rec = recover_wal(&dir, None, &MetricsRegistry::disabled())?;
+    let writer = rec.writer;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let emit = |out: &mut std::io::StdoutLock<'_>, line: String| -> Result<(), String> {
+        // Flush per line: an ACK the harness read must already be
+        // durable, so buffering here would fake a lost write.
+        writeln!(out, "{line}")
+            .and_then(|()| out.flush())
+            .map_err(|e| e.to_string())
+    };
+    emit(
+        &mut out,
+        format!(
+            "RECOVERED last_seq={} records={} truncated_tail={}",
+            rec.report.last_seq, rec.report.replayed_records, rec.report.truncated_tail
+        ),
+    )?;
+    let mut generator =
+        tsm_signal::SignalGenerator::new(tsm_signal::BreathingParams::default(), seed)
+            .with_noise(tsm_signal::NoiseParams::typical());
+    let samples = generator.generate(duration);
+    let vertices = segment_signal(&samples, SegmenterConfig::clean());
+    let mut seen = 0u64;
+    for chunk in vertices.chunks(batch) {
+        seen += chunk.len() as u64;
+        let receipt = writer
+            .append_batch(0, 1, 0, seen, chunk)
+            .map_err(|e| e.to_string())?;
+        emit(
+            &mut out,
+            format!("ACK seq={} vertices={}", receipt.seq, chunk.len()),
+        )?;
+    }
+    writer
+        .append_end(0, 1, seen, true)
+        .map_err(|e| e.to_string())?;
+    emit(&mut out, format!("DONE vertices={seen}"))?;
+    Ok(())
+}
+
 /// `tsm serve` — the HTTP front-end. Serves matching, prediction and
 /// live ingest over a real socket until interrupted. `--store` preloads
 /// a reference store for sessions to match against; without it the
 /// server starts on an empty in-memory store and learns only from what
-/// is ingested.
+/// is ingested. `--wal DIR` makes ingest durable: the server recovers
+/// the directory on startup (so a restart resumes where the last run
+/// crashed), every acknowledged `/ingest` batch is fsynced to the log
+/// first, and `--checkpoint-every N` compacts the log into snapshots on
+/// the maintenance worker. `--idle-timeout SECS` seals sessions idle
+/// that long into the store and drops them from the table.
 pub fn serve(args: &Args) -> Result<(), String> {
     let defaults = tsm_serve::ServeConfig::default();
     let config = tsm_serve::ServeConfig {
@@ -663,6 +794,8 @@ pub fn serve(args: &Args) -> Result<(), String> {
         workers: args.num_flag("workers", defaults.workers)?,
         ingest_queue: args.num_flag("ingest-queue", defaults.ingest_queue)?,
         horizon: args.num_flag("dt", defaults.horizon)?,
+        idle_timeout_ms: (args.num_flag("idle-timeout", 0.0f64)? * 1000.0) as u64,
+        checkpoint_every: args.num_flag("checkpoint-every", 0u64)?,
         ..defaults
     };
     if config.sessions_max == 0 {
@@ -677,13 +810,25 @@ pub fn serve(args: &Args) -> Result<(), String> {
     if !(config.horizon.is_finite() && config.horizon > 0.0) {
         return Err("--dt must be a positive horizon in seconds".into());
     }
+    if config.checkpoint_every > 0 && !args.flags.contains_key("wal") {
+        return Err("--checkpoint-every needs --wal DIR".into());
+    }
 
     // The serve metrics funnel is always on: /metrics is an endpoint.
     let metrics = MetricsRegistry::enabled();
-    let store = if args.flags.contains_key("store") {
+    let base = if args.flags.contains_key("store") {
         load_with_metrics(args, &metrics)?
     } else {
         StreamStore::new()
+    };
+    // With a WAL, the serving store is the recovered one: the base image
+    // plus everything a previous run acknowledged but never sealed.
+    let (store, wal) = if let Some(dir) = args.flags.get("wal").filter(|v| !v.is_empty()) {
+        let rec = recover_wal(dir, Some(base), &metrics)?;
+        eprintln!("{dir}: {}", rec.report);
+        (rec.store, Some(Arc::new(rec.writer)))
+    } else {
+        (base, None)
     };
     let params = Params {
         min_matches: 1,
@@ -692,13 +837,17 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let engine = Arc::new(CachedMatcher::new(
         Matcher::new(store, params).with_metrics(metrics),
     ));
-    let manager = Arc::new(tsm_serve::SessionManager::new(
+    let mut manager = tsm_serve::SessionManager::new(
         engine,
         config.sessions_max,
         config.ingest_queue,
         config.horizon,
-    ));
-    let server = tsm_serve::Server::start(manager, config).map_err(|e| format!("bind: {e}"))?;
+    );
+    if let Some(wal) = wal {
+        manager = manager.with_wal(wal);
+    }
+    let server =
+        tsm_serve::Server::start(Arc::new(manager), config).map_err(|e| format!("bind: {e}"))?;
     eprintln!("tsm serve listening on {}", server.local_addr());
     server.wait();
     Ok(())

@@ -12,6 +12,8 @@
 //! tsm chaos    --plans 8 --seed 99                 # fault-injection soak
 //! tsm cluster  --store cohort.tsmdb --k 4
 //! tsm serve    --store cohort.tsmdb --addr 127.0.0.1:7878   # HTTP front-end
+//! tsm serve    --wal wal/ --checkpoint-every 256 --idle-timeout 300   # durable
+//! tsm recover  --wal wal/ --out recovered.tsmdb   # replay a crashed log
 //! ```
 
 mod args;
@@ -63,6 +65,9 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "chaos" => commands::chaos(&args),
         "cluster" => commands::cluster(&args),
         "serve" => commands::serve(&args),
+        "recover" => commands::recover(&args),
+        // Deliberately undocumented: the crash-soak ingest worker.
+        "wal-soak" => commands::wal_soak(&args),
         "help" | "--help" | "-h" => {
             commands::help();
             Ok(())

@@ -30,6 +30,11 @@ pub enum CoreError {
         /// Recoverable faults absorbed before the budget ran out.
         absorbed: usize,
     },
+    /// The durability layer failed (WAL append/fsync error): the
+    /// session can no longer guarantee its acknowledged data survives
+    /// a crash, so it must stop rather than keep accepting ingest.
+    /// Never recoverable — retrying cannot un-tear a log.
+    Durability(String),
 }
 
 impl CoreError {
@@ -63,6 +68,7 @@ impl fmt::Display for CoreError {
                     "fault budget exhausted after absorbing {absorbed} recoverable faults"
                 )
             }
+            CoreError::Durability(msg) => write!(f, "durability failure: {msg}"),
         }
     }
 }
@@ -102,5 +108,6 @@ mod tests {
         assert!(!CoreError::EmptyQuery.is_recoverable());
         assert!(!CoreError::InvalidParams("k=0".into()).is_recoverable());
         assert!(!CoreError::FaultBudgetExhausted { absorbed: 1 }.is_recoverable());
+        assert!(!CoreError::Durability("wal fsync failed".into()).is_recoverable());
     }
 }

@@ -144,9 +144,25 @@ pub enum Counter {
     ServeBytesIn,
     /// Response body bytes the serve front-end wrote.
     ServeBytesOut,
+    /// Records appended to the write-ahead log.
+    WalAppends,
+    /// WAL appends that fsynced before acknowledging (the RPO = 0
+    /// contract; a subset of `wal.appends`).
+    WalFsyncs,
+    /// WAL records applied during crash recovery.
+    WalReplayedRecords,
+    /// Crash-recovery passes performed.
+    WalRecoveries,
+    /// Streams captured in published snapshot images.
+    SnapshotRecords,
+    /// Snapshot checkpoints published.
+    SnapshotCheckpoints,
+    /// Recoveries that truncated a torn WAL tail (a subset of
+    /// `wal.recoveries`).
+    RecoveryTruncatedTail,
 }
 
-const COUNTER_COUNT: usize = Counter::ServeBytesOut as usize + 1;
+const COUNTER_COUNT: usize = Counter::RecoveryTruncatedTail as usize + 1;
 
 const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
     "match.searches",
@@ -191,6 +207,13 @@ const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
     "serve.rejected",
     "serve.bytes_in",
     "serve.bytes_out",
+    "wal.appends",
+    "wal.fsyncs",
+    "wal.replayed_records",
+    "wal.recoveries",
+    "snapshot.records",
+    "snapshot.checkpoints",
+    "recovery.truncated_tail",
 ];
 
 impl Counter {
@@ -730,6 +753,34 @@ impl MetricsSnapshot {
         if salvage_loads == 0 && salvaged + lost > 0 {
             return Err(format!(
                 "salvage streams recorded ({salvaged} + {lost}) without a salvage load"
+            ));
+        }
+        let wal_appends = self.counter("wal.appends");
+        let wal_fsyncs = self.counter("wal.fsyncs");
+        if wal_fsyncs > wal_appends {
+            return Err(format!(
+                "wal fsyncs ({wal_fsyncs}) > appends ({wal_appends})"
+            ));
+        }
+        let recoveries = self.counter("wal.recoveries");
+        let replayed = self.counter("wal.replayed_records");
+        let truncated = self.counter("recovery.truncated_tail");
+        if recoveries == 0 && replayed + truncated > 0 {
+            return Err(format!(
+                "wal replay activity ({replayed} replayed, {truncated} truncations) without a \
+                 recovery pass"
+            ));
+        }
+        if truncated > recoveries {
+            return Err(format!(
+                "truncated tails ({truncated}) > recovery passes ({recoveries})"
+            ));
+        }
+        let checkpoints = self.counter("snapshot.checkpoints");
+        let snapshot_records = self.counter("snapshot.records");
+        if checkpoints == 0 && snapshot_records > 0 {
+            return Err(format!(
+                "snapshot records ({snapshot_records}) without a checkpoint"
             ));
         }
         Ok(())

@@ -159,7 +159,16 @@ pub struct CohortRuntime {
     pub(super) threads: usize,
     pub(super) policy: DegradationPolicy,
     pub(super) shards: Option<ShardSet>,
+    pub(super) wal: Option<Arc<tsm_db::WalWriter>>,
+    pub(super) checkpoint_every: u64,
 }
+
+/// How many samples a replayed session streams between WAL group
+/// commits (~8.5 s of signal at the paper's 30 Hz). Replay is a batch
+/// workload with no acknowledgement contract, so commits only bound how
+/// much a crash can lose — one fsync per sample would serialize the
+/// whole cohort on the log.
+const REPLAY_WAL_COMMIT_EVERY: usize = 256;
 
 impl std::fmt::Debug for CohortRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -196,6 +205,52 @@ impl CohortRuntime {
             threads: 1,
             policy: DegradationPolicy::default(),
             shards: None,
+            wal: None,
+            checkpoint_every: 0,
+        }
+    }
+
+    /// Attaches a write-ahead log: every replayed session group-commits
+    /// its vertices periodically (and at session end), then writes a
+    /// `stored: false` end record — replay never mutates the store, so
+    /// recovery treats replayed sessions as discarded rather than
+    /// materializing them. A commit failure terminates the session with
+    /// the non-recoverable [`TsmError::Durability`].
+    pub fn with_wal(mut self, wal: Arc<tsm_db::WalWriter>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// Checkpoints the WAL into a snapshot whenever at least `every`
+    /// appends have accumulated since the last one (`0` disables — the
+    /// default). Sharded replays check on the background maintenance
+    /// worker, off the session hot path; every replay also checks once
+    /// at the end.
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Runs a WAL checkpoint when the configured append threshold has
+    /// been reached. Cheap no-op otherwise (two atomic-ish reads under
+    /// the writer's state lock).
+    pub(super) fn maybe_checkpoint(&self) {
+        let Some(wal) = &self.wal else { return };
+        if self.checkpoint_every == 0 || wal.appends_since_checkpoint() < self.checkpoint_every {
+            return;
+        }
+        let metrics = self.engine.metrics();
+        match wal.checkpoint(self.store()) {
+            Ok(Some(report)) => {
+                metrics.incr(Counter::SnapshotCheckpoints);
+                metrics.add(Counter::SnapshotRecords, report.snapshot_streams);
+            }
+            // None: another checkpointer got there first — nothing to do.
+            Ok(None) => {}
+            // A failed checkpoint is retried at the next threshold
+            // crossing; the WAL segments it would have compacted stay on
+            // disk, so durability is unaffected.
+            Err(_) => {}
         }
     }
 
@@ -282,6 +337,9 @@ impl CohortRuntime {
         if let Some(hwm) = sessions.iter().map(|s| s.ticks.len() as u64 + 1).max() {
             metrics.record_max(Counter::CohortBacklogHwm, hwm);
         }
+        // End-of-replay checkpoint check (the sharded maintenance worker
+        // also checks in-flight).
+        self.maybe_checkpoint();
         CohortReport {
             sessions,
             shards,
@@ -361,9 +419,13 @@ impl CohortRuntime {
         let Ok(mut runtime) = SessionRuntime::with_engine(engine.clone(), config) else {
             return report;
         };
+        if let Some(wal) = &self.wal {
+            runtime = runtime.with_wal(Arc::clone(wal));
+        }
         runtime.add_consumer(Box::new(PredictionLog::new()));
         let mut recovered = 0usize;
         let mut error = None;
+        let mut since_commit = 0usize;
         for &s in &spec.samples {
             match runtime.push(s) {
                 Ok(_) => {}
@@ -382,9 +444,36 @@ impl CohortRuntime {
                     break;
                 }
             }
+            since_commit += 1;
+            if self.wal.is_some() && since_commit >= REPLAY_WAL_COMMIT_EVERY {
+                since_commit = 0;
+                if let Err(e) = runtime.wal_commit() {
+                    error = Some(e);
+                    break;
+                }
+            }
         }
         if error.is_none() {
             runtime.finish();
+            // Commit the flushed tail, then mark the session closed as
+            // *discarded*: replay never adds streams to the store, so a
+            // recovery must not materialize it either.
+            match runtime.wal_commit() {
+                Ok(_) => {
+                    if let Some(wal) = &self.wal {
+                        // lint:allow(no-silent-result-drop): a missing end
+                        // record only pins WAL segments; the next recovery
+                        // reconciles it.
+                        let _ = wal.append_end(
+                            spec.patient.0,
+                            spec.session,
+                            runtime.samples_seen() as u64,
+                            false,
+                        );
+                    }
+                }
+                Err(e) => error = Some(e),
+            }
         }
         report.ticks = runtime
             .consumer::<PredictionLog>()
@@ -574,6 +663,77 @@ mod tests {
         );
         assert_eq!(bad.health, SessionHealth::Degraded);
         assert_eq!(report.fatal_sessions(), 1);
+    }
+
+    #[test]
+    fn replayed_sessions_log_as_discarded_not_stored() {
+        let (store, patient) = seeded_store(60);
+        let backend: Arc<dyn tsm_db::DurableBackend> = Arc::new(tsm_db::MemBackend::new());
+        let wal = Arc::new(
+            tsm_db::recover(Arc::clone(&backend), tsm_db::WalConfig::default())
+                .unwrap()
+                .writer,
+        );
+        let params = Params {
+            min_matches: 1,
+            ..Params::default()
+        };
+        let runtime = CohortRuntime::new(store, params)
+            .unwrap()
+            .with_segmenter(SegmenterConfig::clean())
+            .with_wal(Arc::clone(&wal));
+        let specs: Vec<SessionSpec> = (0..2)
+            .map(|i| SessionSpec {
+                patient,
+                session: i + 1,
+                samples: live_samples(61 + i as u64, 40.0),
+            })
+            .collect();
+        let report = runtime.replay(&specs);
+        assert!(report.sessions.iter().all(|s| s.complete));
+        drop((runtime, wal));
+        // Replay is read-only, so recovery must see the sessions closed
+        // as discarded and materialize nothing.
+        let rec = tsm_db::recover(backend, tsm_db::WalConfig::default()).unwrap();
+        assert_eq!(rec.report.sessions_discarded, 2, "{}", rec.report);
+        assert_eq!(rec.report.sessions_recovered, 0);
+        assert_eq!(rec.store.num_streams(), 0);
+        assert!(rec.report.last_seq > 0);
+    }
+
+    #[test]
+    fn end_of_replay_checkpoint_compacts_the_log() {
+        let (store, patient) = seeded_store(64);
+        let backend: Arc<dyn tsm_db::DurableBackend> = Arc::new(tsm_db::MemBackend::new());
+        let wal = Arc::new(
+            tsm_db::recover(Arc::clone(&backend), tsm_db::WalConfig::default())
+                .unwrap()
+                .writer,
+        );
+        let params = Params {
+            min_matches: 1,
+            ..Params::default()
+        };
+        let runtime = CohortRuntime::new(store, params)
+            .unwrap()
+            .with_segmenter(SegmenterConfig::clean())
+            .with_wal(Arc::clone(&wal))
+            .with_checkpoint_every(1);
+        let specs = [SessionSpec {
+            patient,
+            session: 1,
+            samples: live_samples(65, 40.0),
+        }];
+        runtime.replay(&specs);
+        drop((runtime, wal));
+        // All sessions ended before the end-of-replay checkpoint, so the
+        // snapshot covers everything: recovery starts from it and replays
+        // no records — but the store image (the seeded stream) survives.
+        let rec = tsm_db::recover(backend, tsm_db::WalConfig::default()).unwrap();
+        assert!(rec.report.snapshot_seq.is_some(), "{}", rec.report);
+        assert_eq!(rec.report.replayed_records, 0);
+        assert_eq!(rec.store.num_streams(), 1);
+        assert!(rec.report.features_verified);
     }
 
     #[test]

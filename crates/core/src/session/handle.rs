@@ -101,7 +101,13 @@ pub struct QueryReply {
 }
 
 enum SessionCommand {
-    Ingest(Vec<tsm_model::Sample>),
+    Ingest {
+        batch: Vec<tsm_model::Sample>,
+        /// When present the worker commits the batch to the session's WAL
+        /// and reports the outcome *before* the caller acknowledges —
+        /// the durable-ingest path. `None` is fire-and-forget.
+        reply: Option<SyncSender<Result<Option<u64>, TsmError>>>,
+    },
     Predict {
         dt: f64,
         reply: SyncSender<Option<PredictionOutcome>>,
@@ -112,6 +118,9 @@ enum SessionCommand {
     },
     Finish {
         reply: SyncSender<()>,
+    },
+    Seal {
+        reply: SyncSender<Option<tsm_db::StreamId>>,
     },
 }
 
@@ -251,7 +260,56 @@ impl SessionHandle {
         if batch.is_empty() {
             return Ok(());
         }
-        self.send(SessionCommand::Ingest(batch))
+        self.send(SessionCommand::Ingest { batch, reply: None })
+    }
+
+    /// Enqueues a batch of samples and waits (at most `timeout`) until
+    /// the worker has pushed it *and committed it to the session's WAL* —
+    /// the acknowledgement contract of a durable front-end: when this
+    /// returns `Ok(Ok(..))` the batch survives a crash.
+    ///
+    /// The outer `Err` is admission control (busy/failed/finished/
+    /// timeout, same as [`Self::try_ingest`]); the inner result is the
+    /// commit outcome — `Ok(Some(seq))` with the WAL sequence number,
+    /// `Ok(None)` when the batch closed no new vertices (or no WAL is
+    /// attached), and `Err(TsmError::Durability)` when the log could not
+    /// be written, after which the session stops accepting ingest.
+    pub fn ingest_durable(
+        &self,
+        batch: Vec<tsm_model::Sample>,
+        timeout: Duration,
+    ) -> Result<Result<Option<u64>, TsmError>, HandleRejection> {
+        if self.is_failed() {
+            return Err(HandleRejection::Failed);
+        }
+        if batch.is_empty() {
+            return Ok(Ok(None));
+        }
+        // Capacity 1: exactly one reply ever crosses this channel.
+        let (reply, rx) = sync_channel(1);
+        self.send(SessionCommand::Ingest {
+            batch,
+            reply: Some(reply),
+        })?;
+        rx.recv_timeout(timeout)
+            .map_err(|_| HandleRejection::Timeout)
+    }
+
+    /// Ends the session, persists its live stream into the shared store
+    /// (with the WAL tail commit and session-end record when a WAL is
+    /// attached), and joins the worker. This is the eviction/teardown
+    /// path: unlike [`Self::finish`], the session's history survives in
+    /// the store and a re-created session can match against it.
+    /// `Ok(None)` means the live stream never produced a valid PLR.
+    pub fn seal(mut self, timeout: Duration) -> Result<Option<tsm_db::StreamId>, HandleRejection> {
+        // Capacity 1: exactly one reply ever crosses this channel.
+        let (reply, rx) = sync_channel(1);
+        self.send(SessionCommand::Seal { reply })?;
+        let outcome = rx
+            .recv_timeout(timeout)
+            .map_err(|_| HandleRejection::Timeout);
+        self.join();
+        outcome
     }
 
     /// Predicts the position `dt` seconds past the last closed vertex,
@@ -329,8 +387,13 @@ fn worker_loop(
         // Relaxed: advisory queue-depth gauge (see SessionHandle::status).
         state.pending.fetch_sub(1, Ordering::Relaxed);
         match cmd {
-            SessionCommand::Ingest(batch) => {
+            SessionCommand::Ingest { batch, reply } => {
                 if failed {
+                    if let Some(reply) = reply {
+                        // lint:allow(no-silent-result-drop): the requester
+                        // may have timed out and dropped the receiver.
+                        let _ = reply.try_send(Err(TsmError::FaultBudgetExhausted { absorbed }));
+                    }
                     continue;
                 }
                 for s in batch {
@@ -351,6 +414,23 @@ fn worker_loop(
                             break;
                         }
                     }
+                }
+                // Group commit: one WAL append (and one fsync) covers the
+                // whole batch, not one per sample. Only then may a durable
+                // caller acknowledge.
+                let committed = runtime.wal_commit();
+                if committed.is_err() && !failed {
+                    // The log is torn: acknowledged data can no longer be
+                    // extended durably, so the session must stop.
+                    failed = true;
+                    metrics.incr(Counter::CohortSessionsFailed);
+                    // Relaxed: advisory flag (see status).
+                    state.failed.store(true, Ordering::Relaxed);
+                }
+                if let Some(reply) = reply {
+                    // lint:allow(no-silent-result-drop): the requester may
+                    // have timed out and dropped the receiver.
+                    let _ = reply.try_send(committed);
                 }
             }
             SessionCommand::Predict { dt, reply } => {
@@ -381,6 +461,16 @@ fn worker_loop(
                 // lint:allow(no-silent-result-drop): the requester may
                 // have timed out and dropped the receiver.
                 let _ = reply.try_send(());
+                return;
+            }
+            SessionCommand::Seal { reply } => {
+                publish_status(&runtime, &state, absorbed);
+                // Consumes the runtime (persists the stream + WAL end
+                // record), so the worker exits here.
+                let id = runtime.finish_into_store();
+                // lint:allow(no-silent-result-drop): the requester may
+                // have timed out and dropped the receiver.
+                let _ = reply.try_send(id);
                 return;
             }
         }
@@ -532,6 +622,52 @@ mod tests {
         assert_eq!(snap.counter("cohort.faults_absorbed"), 3);
         assert_eq!(snap.counter("cohort.sessions_failed"), 1);
         snap.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn durable_ingest_acks_only_after_the_wal_commit() {
+        let (store, patient) = seeded_store(58);
+        let engine = engine(store.clone());
+        let backend = Arc::new(tsm_db::MemBackend::new());
+        let dyn_backend: Arc<dyn tsm_db::DurableBackend> = backend.clone();
+        let wal = Arc::new(
+            tsm_db::recover(Arc::clone(&dyn_backend), tsm_db::WalConfig::default())
+                .unwrap()
+                .writer,
+        );
+        let config = SessionConfig::new(patient, 3).with_segmenter(SegmenterConfig::clean());
+        let runtime = external_session(Arc::clone(&engine), config)
+            .unwrap()
+            .with_wal(Arc::clone(&wal));
+        let handle = SessionHandle::spawn(runtime, 64);
+        let samples = SignalGenerator::new(BreathingParams::default(), 59).generate(60.0);
+        let seq = handle
+            .ingest_durable(samples, WAIT)
+            .expect("admitted")
+            .expect("committed");
+        assert!(seq.is_some(), "a minute of signal must close vertices");
+        // The acknowledged batch is already fsynced in the backend — the
+        // op log must show a sync after the record append.
+        let ops = backend.ops();
+        assert!(
+            ops.iter().any(|op| op.starts_with("sync(wal-")),
+            "no segment fsync before the ack: {ops:?}"
+        );
+        // Sealing persists the stream into the shared store...
+        let id = handle
+            .seal(WAIT)
+            .expect("sealed")
+            .expect("stream persisted");
+        assert_eq!(store.stream(id).unwrap().meta.session, 3);
+        drop(wal);
+        // ...and recovery sees the whole acknowledged session as stored.
+        let rec = tsm_db::recover(dyn_backend, tsm_db::WalConfig::default()).unwrap();
+        assert_eq!(rec.report.sessions_recovered, 1, "{}", rec.report);
+        assert_eq!(rec.store.num_streams(), 1);
+        engine.metrics().snapshot().check_invariants().unwrap();
+        let snap = engine.metrics().snapshot();
+        assert!(snap.counter("wal.appends") >= 1);
+        assert_eq!(snap.counter("wal.appends"), snap.counter("wal.fsyncs"));
     }
 
     #[test]

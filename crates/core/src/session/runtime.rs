@@ -164,6 +164,10 @@ pub struct SessionRuntime {
     vertices_since_fault: usize,
     /// Predictions served while Recovering (recovery gate).
     served_in_recovery: usize,
+    /// Write-ahead log this session commits its vertices to, if any.
+    wal: Option<Arc<tsm_db::WalWriter>>,
+    /// Index into `live` up to which vertices are committed to the WAL.
+    wal_logged: usize,
 }
 
 impl std::fmt::Debug for SessionRuntime {
@@ -229,7 +233,67 @@ impl SessionRuntime {
             epoch_start: 0,
             vertices_since_fault: 0,
             served_in_recovery: 0,
+            wal: None,
+            wal_logged: 0,
         })
+    }
+
+    /// Attaches a write-ahead log (builder form): from now on
+    /// [`SessionRuntime::wal_commit`] appends the uncommitted tail of the
+    /// live buffer to `wal`, and [`SessionRuntime::finish_into_store`]
+    /// writes the session-end record after persisting the stream.
+    ///
+    /// The runtime never commits implicitly on `push` — the driver
+    /// (session worker, cohort replay) chooses the commit boundary so one
+    /// fsync can cover a whole ingest batch.
+    pub fn with_wal(mut self, wal: Arc<tsm_db::WalWriter>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Arc<tsm_db::WalWriter>> {
+        self.wal.as_ref()
+    }
+
+    /// Live vertices not yet committed to the WAL.
+    pub fn wal_pending(&self) -> usize {
+        self.live.len().saturating_sub(self.wal_logged)
+    }
+
+    /// Commits the uncommitted tail of the live buffer to the WAL as one
+    /// record and returns its sequence number (`Ok(None)` when no WAL is
+    /// attached or nothing new has closed). The append is fsynced before
+    /// this returns, so an acknowledgement sent after a successful commit
+    /// guarantees the data survives a crash.
+    ///
+    /// A failed commit poisons the underlying writer and surfaces as the
+    /// non-recoverable [`TsmError::Durability`]: the session must stop
+    /// acknowledging ingest, because retrying cannot restore the torn log.
+    pub fn wal_commit(&mut self) -> Result<Option<u64>, TsmError> {
+        let Some(wal) = &self.wal else {
+            return Ok(None);
+        };
+        if self.wal_logged >= self.live.len() {
+            return Ok(None);
+        }
+        let batch = &self.live[self.wal_logged..];
+        let receipt = wal
+            .append_batch(
+                self.config.patient.0,
+                self.config.session,
+                self.seg_resyncs_seen as u32,
+                self.samples_seen as u64,
+                batch,
+            )
+            .map_err(|e| TsmError::Durability(e.to_string()))?;
+        self.wal_logged = self.live.len();
+        let metrics = self.engine.metrics();
+        metrics.incr(Counter::WalAppends);
+        if receipt.fsynced {
+            metrics.incr(Counter::WalFsyncs);
+        }
+        Ok(Some(receipt.seq))
     }
 
     /// The metrics registry the session records into (the engine's —
@@ -534,17 +598,42 @@ impl SessionRuntime {
     /// store mutation a session performs; it bumps the store version seen
     /// by every other holder). Returns `None` when the live stream never
     /// produced a valid PLR.
+    /// When a WAL is attached, the segmenter tail flushed by `finish` is
+    /// committed first, then — after the store accepted (or rejected) the
+    /// stream — a session-end record marks the session closed so future
+    /// checkpoints no longer need to retain its log records. WAL failures
+    /// here are swallowed: everything *acknowledged* was already committed
+    /// per-batch (drivers that must observe commit errors call
+    /// [`SessionRuntime::wal_commit`] before sealing), and a missing end
+    /// record merely pins WAL segments until the next recovery.
     pub fn finish_into_store(mut self) -> Option<StreamId> {
         self.finish();
-        let plr = PlrTrajectory::from_vertices(std::mem::take(&mut self.live)).ok()?;
-        self.store()
-            .try_add_stream(
-                self.config.patient,
-                self.config.session,
-                plr,
-                self.samples_seen,
-            )
+        // lint:allow(no-silent-result-drop): best-effort flush — every
+        // acknowledged batch was already committed by the per-batch path
+        let _ = self.wal_commit();
+        let id = PlrTrajectory::from_vertices(std::mem::take(&mut self.live))
             .ok()
+            .and_then(|plr| {
+                self.store()
+                    .try_add_stream(
+                        self.config.patient,
+                        self.config.session,
+                        plr,
+                        self.samples_seen,
+                    )
+                    .ok()
+            });
+        if let Some(wal) = &self.wal {
+            // lint:allow(no-silent-result-drop): a lost end record only
+            // pins WAL segments until the next recovery pass (doc above)
+            let _ = wal.append_end(
+                self.config.patient.0,
+                self.config.session,
+                self.samples_seen as u64,
+                id.is_some(),
+            );
+        }
+        id
     }
 
     /// The attached consumers.
@@ -702,6 +791,47 @@ mod tests {
         assert_eq!(a.store().num_streams(), streams_before + 1);
         assert!(a.store().version() > v0);
         assert_eq!(a.store().version(), shared.version());
+    }
+
+    #[test]
+    fn durable_session_recovers_bit_identically_from_the_wal() {
+        let (store, patient) = seeded_store(90);
+        let backend: Arc<dyn tsm_db::DurableBackend> = Arc::new(tsm_db::MemBackend::new());
+        let wal = Arc::new(
+            tsm_db::recover(Arc::clone(&backend), tsm_db::WalConfig::default())
+                .unwrap()
+                .writer,
+        );
+        let params = Params {
+            min_matches: 1,
+            ..Params::default()
+        };
+        let config = SessionConfig::new(patient, 7).with_segmenter(SegmenterConfig::clean());
+        let mut runtime = SessionRuntime::new(store.clone(), params, config)
+            .unwrap()
+            .with_wal(Arc::clone(&wal));
+        for s in live_samples(91, 60.0) {
+            runtime.push(s).unwrap();
+        }
+        assert!(runtime.wal_pending() > 0, "no vertices closed");
+        let seq = runtime.wal_commit().unwrap();
+        assert!(seq.is_some(), "commit with pending vertices must append");
+        assert_eq!(runtime.wal_pending(), 0);
+        // Committing again with nothing new appends no empty record.
+        assert_eq!(runtime.wal_commit().unwrap(), None);
+        let id = runtime.finish_into_store().expect("stream persisted");
+        let live = store.stream(id).unwrap();
+        drop(wal);
+        // Recover from the log alone: the acknowledged session comes back
+        // bit-identical to what the live store accepted.
+        let rec = tsm_db::recover(backend, tsm_db::WalConfig::default()).unwrap();
+        assert_eq!(rec.report.sessions_recovered, 1, "{}", rec.report);
+        assert!(!rec.report.truncated_tail);
+        assert_eq!(rec.store.num_streams(), 1);
+        let recovered = &rec.store.streams()[0];
+        assert_eq!(recovered.meta.session, 7);
+        assert_eq!(recovered.plr, live.plr);
+        assert_eq!(recovered.raw_len, live.raw_len);
     }
 
     #[test]

@@ -204,6 +204,10 @@ impl CohortRuntime {
                         } else {
                             interval = (interval * 2).min(MAX_INTERVAL);
                         }
+                        // WAL checkpointing shares the maintenance worker:
+                        // snapshot compaction runs off the session hot
+                        // path, just like index repair.
+                        self.maybe_checkpoint();
                         std::thread::park_timeout(interval);
                     }
                 });

@@ -1,0 +1,484 @@
+//! Pluggable storage backends for the durability subsystem.
+//!
+//! The write-ahead log and snapshot machinery ([`crate::wal`]) never
+//! touches the filesystem directly: every storage operation goes through
+//! the [`DurableBackend`] trait, a KV-style layer of named append-only
+//! objects in one flat root. Two implementations ship here:
+//!
+//! * [`FileBackend`] — the default: one directory, one file per object,
+//!   with the full fsync discipline (object data via `sync_all`, object
+//!   *names* via a directory fsync — a rename is not durable on ext4
+//!   until the parent directory is synced).
+//! * [`MemBackend`] — an in-memory double that models crash semantics
+//!   precisely: bytes appended but not yet synced are lost by
+//!   [`MemBackend::crash`], and object names created or renamed without
+//!   a [`DurableBackend::sync_root`] revert. It also records the exact
+//!   operation sequence, so tests can assert ordering contracts (e.g.
+//!   "the directory is synced *after* the rename") instead of hoping.
+//!
+//! Fault injection composes from the outside: `tsm-signal` wraps any
+//! backend in a seeded fault plan (fail / short write / reorder at
+//! scheduled operation indices), mirroring the sample-stream
+//! `FaultPlan` idiom.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// A flat namespace of named, append-only byte objects with explicit
+/// durability points. All operations are atomic at the call level; the
+/// durability *contract* is:
+///
+/// * appended bytes are durable only after [`DurableBackend::sync`] on
+///   that object returns;
+/// * object names (creations, renames, removals) are durable only after
+///   [`DurableBackend::sync_root`] returns.
+///
+/// Object names must be flat file names: path separators and `..` are
+/// rejected with [`io::ErrorKind::InvalidInput`].
+pub trait DurableBackend: Send + Sync + std::fmt::Debug {
+    /// Every object name in the root, sorted ascending.
+    fn list(&self) -> io::Result<Vec<String>>;
+
+    /// Size of `name` in bytes, or `None` when no such object exists.
+    fn size(&self, name: &str) -> io::Result<Option<u64>>;
+
+    /// The full contents of `name`.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+
+    /// Appends `bytes` to `name`, creating the object if missing. The
+    /// bytes are *not* durable until [`DurableBackend::sync`].
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Makes every byte previously appended to `name` durable.
+    fn sync(&self, name: &str) -> io::Result<()>;
+
+    /// Truncates `name` to `len` bytes (torn-tail repair during
+    /// recovery).
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to`, replacing any existing `to`.
+    /// The new *name* is not durable until [`DurableBackend::sync_root`].
+    fn rename(&self, from: &str, to: &str) -> io::Result<()>;
+
+    /// Removes `name`.
+    fn remove(&self, name: &str) -> io::Result<()>;
+
+    /// Makes the current set of object names durable (the directory
+    /// fsync of the file backend).
+    fn sync_root(&self) -> io::Result<()>;
+
+    /// Atomically publishes a complete object: write to a sibling
+    /// `.tmp`, sync the data, rename over `name`, then sync the root so
+    /// the rename survives a crash. This is the snapshot write path; a
+    /// crash at any point leaves either the old object or the complete
+    /// new one, never a torn mix.
+    fn publish(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let tmp = format!("{name}.tmp");
+        if self.size(&tmp)?.is_some() {
+            self.remove(&tmp)?;
+        }
+        self.append(&tmp, bytes)?;
+        self.sync(&tmp)?;
+        self.rename(&tmp, name)?;
+        self.sync_root()
+    }
+}
+
+fn validate_name(name: &str) -> io::Result<()> {
+    let flat = !name.is_empty()
+        && name != ".."
+        && !name.contains('/')
+        && !name.contains('\\')
+        && !name.contains('\0');
+    if flat {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("backend object name must be a flat file name, got {name:?}"),
+        ))
+    }
+}
+
+/// The default [`DurableBackend`]: one directory, one file per object.
+#[derive(Debug)]
+pub struct FileBackend {
+    root: PathBuf,
+}
+
+impl FileBackend {
+    /// Opens (creating if needed) `root` as a backend directory.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<FileBackend> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(FileBackend { root })
+    }
+
+    /// The backend's root directory.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> io::Result<PathBuf> {
+        validate_name(name)?;
+        Ok(self.root.join(name))
+    }
+}
+
+impl DurableBackend for FileBackend {
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn size(&self, name: &str) -> io::Result<Option<u64>> {
+        match std::fs::metadata(self.path(name)?) {
+            Ok(m) => Ok(Some(m.len())),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.path(name)?)
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name)?)?;
+        f.write_all(bytes)
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        std::fs::OpenOptions::new()
+            .read(true)
+            .open(self.path(name)?)?
+            .sync_all()
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name)?)?;
+        f.set_len(len)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        std::fs::rename(self.path(from)?, self.path(to)?)
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        std::fs::remove_file(self.path(name)?)
+    }
+
+    fn sync_root(&self) -> io::Result<()> {
+        fsync_dir(&self.root)
+    }
+}
+
+/// Fsyncs a directory, making renames/creations/removals inside it
+/// durable. On platforms where directories cannot be opened for sync
+/// (e.g. Windows), this degrades to a no-op — the rename is still
+/// atomic, just not guaranteed durable across power loss.
+pub fn fsync_dir(dir: &std::path::Path) -> io::Result<()> {
+    match std::fs::File::open(dir) {
+        Ok(d) => d.sync_all().or(Ok(())),
+        Err(_) => Ok(()),
+    }
+}
+
+/// One object in a [`MemBackend`].
+#[derive(Debug, Default, Clone)]
+struct MemObject {
+    data: Vec<u8>,
+    /// Bytes guaranteed to survive a crash (advanced by `sync`).
+    synced: usize,
+    /// Whether this *name* survives a crash (set by `sync_root`).
+    name_durable: bool,
+    /// The durable name this object reverts to on crash when its
+    /// current name is not yet durable (set by `rename`).
+    revert_to: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct MemState {
+    objects: BTreeMap<String, MemObject>,
+    ops: Vec<String>,
+}
+
+/// An in-memory [`DurableBackend`] with precise crash semantics and an
+/// operation log, for tests. See the module docs.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    state: Mutex<MemState>,
+}
+
+impl MemBackend {
+    /// An empty in-memory backend.
+    pub fn new() -> MemBackend {
+        MemBackend::default()
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, MemState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The operations performed so far, in order, rendered as
+    /// `op(args)` strings — the substrate for ordering assertions.
+    pub fn ops(&self) -> Vec<String> {
+        self.lock_state().ops.clone()
+    }
+
+    /// Simulates a crash: unsynced bytes vanish, and objects whose
+    /// current name was never made durable either revert to their
+    /// pre-rename name or disappear entirely.
+    pub fn crash(&self) {
+        let mut state = self.lock_state();
+        let names: Vec<String> = state.objects.keys().cloned().collect();
+        for name in names {
+            let Some(mut obj) = state.objects.remove(&name) else {
+                continue;
+            };
+            obj.data.truncate(obj.synced);
+            if obj.name_durable {
+                obj.revert_to = None;
+                state.objects.insert(name, obj);
+            } else if let Some(old) = obj.revert_to.take() {
+                obj.name_durable = true;
+                // The pre-rename name was durable; its data was fully
+                // synced under the old name before the rename.
+                state.objects.entry(old).or_insert(obj);
+            }
+            // Neither durable nor renamed from a durable name: gone.
+        }
+        state.ops.push("crash".into());
+    }
+}
+
+impl DurableBackend for MemBackend {
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self.lock_state().objects.keys().cloned().collect())
+    }
+
+    fn size(&self, name: &str) -> io::Result<Option<u64>> {
+        validate_name(name)?;
+        Ok(self
+            .lock_state()
+            .objects
+            .get(name)
+            .map(|o| o.data.len() as u64))
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        validate_name(name)?;
+        self.lock_state()
+            .objects
+            .get(name)
+            .map(|o| o.data.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        validate_name(name)?;
+        let mut state = self.lock_state();
+        state.ops.push(format!("append({name},{})", bytes.len()));
+        state
+            .objects
+            .entry(name.to_string())
+            .or_default()
+            .data
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        validate_name(name)?;
+        let mut state = self.lock_state();
+        state.ops.push(format!("sync({name})"));
+        match state.objects.get_mut(name) {
+            Some(o) => {
+                o.synced = o.data.len();
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, name.to_string())),
+        }
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        validate_name(name)?;
+        let mut state = self.lock_state();
+        state.ops.push(format!("truncate({name},{len})"));
+        match state.objects.get_mut(name) {
+            Some(o) => {
+                o.data.truncate(len as usize);
+                o.synced = o.synced.min(o.data.len());
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, name.to_string())),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        validate_name(from)?;
+        validate_name(to)?;
+        let mut state = self.lock_state();
+        state.ops.push(format!("rename({from},{to})"));
+        let Some(mut obj) = state.objects.remove(from) else {
+            return Err(io::Error::new(io::ErrorKind::NotFound, from.to_string()));
+        };
+        // The new name is not durable until sync_root; remember where a
+        // crash rolls back to. A chain of renames before any sync_root
+        // keeps the original durable name.
+        if obj.name_durable {
+            obj.revert_to = Some(from.to_string());
+        }
+        obj.name_durable = false;
+        state.objects.insert(to.to_string(), obj);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        validate_name(name)?;
+        let mut state = self.lock_state();
+        state.ops.push(format!("remove({name})"));
+        match state.objects.remove(name) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, name.to_string())),
+        }
+    }
+
+    fn sync_root(&self) -> io::Result<()> {
+        let mut state = self.lock_state();
+        state.ops.push("sync_root".into());
+        for obj in state.objects.values_mut() {
+            obj.name_durable = true;
+            obj.revert_to = None;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_append_read_roundtrip() {
+        let b = MemBackend::new();
+        b.append("a.log", b"hello ").unwrap();
+        b.append("a.log", b"world").unwrap();
+        assert_eq!(b.read("a.log").unwrap(), b"hello world");
+        assert_eq!(b.size("a.log").unwrap(), Some(11));
+        assert_eq!(b.size("missing").unwrap(), None);
+        assert_eq!(b.list().unwrap(), vec!["a.log".to_string()]);
+    }
+
+    #[test]
+    fn names_must_be_flat() {
+        let b = MemBackend::new();
+        for bad in ["../x", "a/b", "", "..", "a\\b"] {
+            assert!(b.append(bad, b"x").is_err(), "{bad:?} accepted");
+        }
+        let f = FileBackend::open(std::env::temp_dir().join("tsm_backend_name_test")).unwrap();
+        assert!(f.read("../etc/passwd").is_err());
+    }
+
+    #[test]
+    fn crash_drops_unsynced_bytes() {
+        let b = MemBackend::new();
+        b.append("w.log", b"durable").unwrap();
+        b.sync("w.log").unwrap();
+        b.sync_root().unwrap();
+        b.append("w.log", b" torn tail").unwrap();
+        b.crash();
+        assert_eq!(b.read("w.log").unwrap(), b"durable");
+    }
+
+    #[test]
+    fn crash_reverts_unsynced_renames_and_drops_unsynced_names() {
+        let b = MemBackend::new();
+        b.append("old", b"v1").unwrap();
+        b.sync("old").unwrap();
+        b.sync_root().unwrap();
+        // Rename without a root sync: the crash rolls the name back.
+        b.rename("old", "new").unwrap();
+        b.crash();
+        assert_eq!(b.list().unwrap(), vec!["old".to_string()]);
+        assert_eq!(b.read("old").unwrap(), b"v1");
+        // A brand-new object without a root sync disappears wholesale,
+        // even when its bytes were synced.
+        b.append("ghost", b"data").unwrap();
+        b.sync("ghost").unwrap();
+        b.crash();
+        assert_eq!(b.list().unwrap(), vec!["old".to_string()]);
+        // With the root synced, both the rename and the new name stick.
+        b.rename("old", "new2").unwrap();
+        b.append("kept", b"data").unwrap();
+        b.sync("kept").unwrap();
+        b.sync_root().unwrap();
+        b.crash();
+        assert_eq!(
+            b.list().unwrap(),
+            vec!["kept".to_string(), "new2".to_string()]
+        );
+    }
+
+    #[test]
+    fn publish_is_crash_atomic_and_syncs_root_after_rename() {
+        let b = MemBackend::new();
+        b.publish("snap", b"v1").unwrap();
+        // Ordering contract: data sync, then rename, then root sync.
+        let ops = b.ops();
+        let sync_ix = ops.iter().position(|o| o == "sync(snap.tmp)").unwrap();
+        let ren_ix = ops
+            .iter()
+            .position(|o| o == "rename(snap.tmp,snap)")
+            .unwrap();
+        let root_ix = ops.iter().rposition(|o| o == "sync_root").unwrap();
+        assert!(sync_ix < ren_ix && ren_ix < root_ix, "ops: {ops:?}");
+        // A crash right after publish keeps the complete object.
+        b.crash();
+        assert_eq!(b.read("snap").unwrap(), b"v1");
+        // Republishing replaces atomically; crash keeps the new version.
+        b.publish("snap", b"v2-longer").unwrap();
+        b.crash();
+        assert_eq!(b.read("snap").unwrap(), b"v2-longer");
+    }
+
+    #[test]
+    fn file_backend_roundtrip_and_truncate() {
+        let dir = std::env::temp_dir().join("tsm_file_backend_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let b = FileBackend::open(&dir).unwrap();
+        b.append("seg.log", b"0123456789").unwrap();
+        b.sync("seg.log").unwrap();
+        b.truncate("seg.log", 4).unwrap();
+        assert_eq!(b.read("seg.log").unwrap(), b"0123");
+        b.publish("snap", b"image").unwrap();
+        assert_eq!(b.read("snap").unwrap(), b"image");
+        let names = b.list().unwrap();
+        assert_eq!(names, vec!["seg.log".to_string(), "snap".to_string()]);
+        b.remove("seg.log").unwrap();
+        b.sync_root().unwrap();
+        assert_eq!(b.size("seg.log").unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -25,6 +25,7 @@
 //!   hash lookup (the paper lists indexing as future work; see the
 //!   `index_vs_scan` bench for its effect).
 
+pub mod backend;
 pub mod feature_index;
 pub mod features;
 pub mod ids;
@@ -34,7 +35,9 @@ pub mod stats;
 pub mod store;
 pub mod stream;
 pub mod subsequence;
+pub mod wal;
 
+pub use backend::{fsync_dir, DurableBackend, FileBackend, MemBackend};
 pub use feature_index::{BandCounts, FeatureEntry, FeatureIndex};
 pub use features::{f32_above, Mirror32, SegmentFeatures, StreamFeatures};
 pub use ids::{PatientId, StreamId};
@@ -47,3 +50,7 @@ pub use stats::{StoreStats, StreamStats};
 pub use store::{PatientAttributes, SharedStore, SourceRelation, StoreError, StreamStore};
 pub use stream::{MotionStream, StreamMeta};
 pub use subsequence::{SubseqRef, SubseqView};
+pub use wal::{
+    recover, recover_with_base, AppendReceipt, CheckpointReport, WalConfig, WalRecord,
+    WalRecordKind, WalRecovery, WalRecoveryReport, WalWriter,
+};

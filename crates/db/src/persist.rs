@@ -69,18 +69,22 @@ impl From<io::Error> for PersistError {
 }
 
 /// FNV-1a, updated incrementally as bytes pass through the writer/reader.
+/// Shared with the WAL record/snapshot formats ([`crate::wal`]).
 #[derive(Debug, Clone, Copy)]
-struct Fnv(u64);
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf29ce484222325)
     }
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x100000001b3);
         }
+    }
+    pub(crate) fn value(self) -> u64 {
+        self.0
     }
 }
 
@@ -443,11 +447,16 @@ fn sibling_tmp_path(path: &Path) -> std::path::PathBuf {
     path.with_file_name(name)
 }
 
-/// Saves the store to a file, atomically: bytes go to a sibling `.tmp`
-/// file, which is fsynced and then renamed over the target. A crash or
-/// write error mid-save can never leave a truncated/corrupt store at
-/// `path` — the target either keeps its previous contents or holds the
-/// complete new ones. On error the temp file is removed (best effort).
+/// Saves the store to a file, atomically *and durably*: bytes go to a
+/// sibling `.tmp` file, which is fsynced and then renamed over the
+/// target, and finally the parent directory is fsynced — on ext4 (and
+/// POSIX generally) the rename itself is not durable until the
+/// directory entry is, so without that last sync a crash shortly after
+/// a "successful" save could resurface the old file or none at all. A
+/// crash or write error mid-save can never leave a truncated/corrupt
+/// store at `path` — the target either keeps its previous contents or
+/// holds the complete new ones. On error the temp file is removed
+/// (best effort).
 pub fn save_store_to_path(store: &StreamStore, path: impl AsRef<Path>) -> Result<(), PersistError> {
     let path = path.as_ref();
     let tmp = sibling_tmp_path(path);
@@ -457,7 +466,11 @@ pub fn save_store_to_path(store: &StreamStore, path: impl AsRef<Path>) -> Result
         f.sync_all()?;
         Ok(())
     };
-    let result = write_and_sync().and_then(|()| Ok(std::fs::rename(&tmp, path)?));
+    let result = write_and_sync().and_then(|()| {
+        std::fs::rename(&tmp, path)?;
+        let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+        Ok(crate::backend::fsync_dir(parent.unwrap_or(Path::new(".")))?)
+    });
     if result.is_err() {
         // lint:allow(no-silent-result-drop): best-effort cleanup; the
         // write error already on its way out is the one that matters.

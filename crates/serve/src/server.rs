@@ -51,6 +51,13 @@ pub struct ServeConfig {
     pub horizon: f64,
     /// `Retry-After` value (s) on shed responses.
     pub retry_after_s: u32,
+    /// Seal sessions idle (no request touched them) for this many
+    /// milliseconds; `0` disables eviction. Evicted sessions persist
+    /// their stream into the store, so their history stays queryable.
+    pub idle_timeout_ms: u64,
+    /// Checkpoint the WAL into a snapshot after this many appends;
+    /// `0` disables. Only meaningful with a WAL-attached manager.
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +73,8 @@ impl Default for ServeConfig {
             reply_timeout_ms: 10_000,
             horizon: 0.3,
             retry_after_s: 1,
+            idle_timeout_ms: 0,
+            checkpoint_every: 0,
         }
     }
 }
@@ -78,6 +87,7 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    maintenance: Option<std::thread::JoinHandle<()>>,
     manager: Arc<SessionManager>,
 }
 
@@ -116,11 +126,20 @@ impl Server {
                 retry_after,
             )
         });
+        let maintenance = (config.idle_timeout_ms > 0
+            || (config.checkpoint_every > 0 && manager.is_durable()))
+        .then(|| {
+            let stop = Arc::clone(&stop);
+            let manager = Arc::clone(&manager);
+            let config = Arc::clone(&config);
+            std::thread::spawn(move || maintenance_loop(&stop, &manager, &config))
+        });
         Ok(Server {
             local_addr,
             stop,
             acceptor: Some(acceptor),
             workers,
+            maintenance,
             manager,
         })
     }
@@ -166,6 +185,11 @@ impl Server {
             // lint:allow(no-silent-result-drop): a panicked worker has
             // already lost its one connection; join is lifecycle only.
             let _ = w.join();
+        }
+        if let Some(m) = self.maintenance.take() {
+            m.thread().unpark();
+            // lint:allow(no-silent-result-drop): join is lifecycle only.
+            let _ = m.join();
         }
     }
 }
@@ -228,6 +252,47 @@ fn shed_at_acceptor(mut stream: TcpStream, manager: &SessionManager, retry_after
     metrics.add(Counter::ServeBytesOut, resp.body.len() as u64);
     // lint:allow(no-silent-result-drop): best-effort shed (see above).
     let _ = resp.write_to(&mut stream);
+}
+
+/// The serve-side maintenance worker: seals idle sessions and
+/// checkpoints the WAL into snapshots, both off the request path (the
+/// same duty split as the cohort runtime's maintenance daemon). Parks
+/// between rounds so shutdown can wake it immediately.
+fn maintenance_loop(stop: &AtomicBool, manager: &SessionManager, config: &ServeConfig) {
+    let idle = Duration::from_millis(config.idle_timeout_ms);
+    let seal_timeout = Duration::from_millis(config.reply_timeout_ms.max(1));
+    // Check often enough that an eviction lands within ~an interval of
+    // the deadline, but never spin: at least every 50 ms, at most 1 s.
+    let interval = if config.idle_timeout_ms > 0 {
+        Duration::from_millis((config.idle_timeout_ms / 4).clamp(50, 1000))
+    } else {
+        Duration::from_millis(1000)
+    };
+    let metrics = manager.engine().metrics().clone();
+    // Relaxed: pure stop signal; the join in stop_and_join synchronizes.
+    while !stop.load(Ordering::Relaxed) {
+        if config.idle_timeout_ms > 0 {
+            manager.evict_idle(idle, seal_timeout);
+        }
+        if config.checkpoint_every > 0 {
+            if let Some(wal) = manager.wal() {
+                if wal.appends_since_checkpoint() >= config.checkpoint_every {
+                    match wal.checkpoint(manager.engine().matcher().store()) {
+                        Ok(Some(report)) => {
+                            metrics.incr(Counter::SnapshotCheckpoints);
+                            metrics.add(Counter::SnapshotRecords, report.snapshot_streams);
+                        }
+                        // None: lost the checkpoint race — nothing to do.
+                        Ok(None) => {}
+                        // Retried at the next threshold crossing; the
+                        // uncompacted segments keep durability intact.
+                        Err(_) => {}
+                    }
+                }
+            }
+        }
+        std::thread::park_timeout(interval);
+    }
 }
 
 fn worker_loop(rx: Receiver<TcpStream>, manager: &Arc<SessionManager>, config: &ServeConfig) {
@@ -332,6 +397,23 @@ fn ingest(req: &Request, name: &str, manager: &SessionManager, config: &ServeCon
         Err(e) => return session_error_response(&e, config.retry_after_s),
     };
     let accepted = samples.len();
+    if manager.is_durable() {
+        // The durable contract: push + WAL fsync complete before the
+        // acknowledgement leaves, so a `200` here survives a crash.
+        return match handle.ingest_durable(samples, reply_timeout(config)) {
+            Ok(Ok(seq)) => Response::json(
+                200,
+                format!(
+                    "{{\"session\": {}, \"accepted\": {accepted}, \"durable\": true, \
+                     \"wal_seq\": {}}}\n",
+                    json::string(name),
+                    seq.map_or("null".into(), |s| s.to_string()),
+                ),
+            ),
+            Ok(Err(e)) => Response::error(500, &format!("durable ingest: {e}")),
+            Err(r) => session_error_response(&SessionError::Rejected(r), config.retry_after_s),
+        };
+    }
     match handle.try_ingest(samples) {
         Ok(()) => Response::json(
             202,

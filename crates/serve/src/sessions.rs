@@ -10,10 +10,11 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use tsm_core::index_cache::CachedMatcher;
 use tsm_core::session::{external_session, HandleRejection, SessionConfig, SessionHandle};
 use tsm_core::TsmError;
-use tsm_db::{PatientAttributes, PatientId};
+use tsm_db::{PatientAttributes, PatientId, WalWriter};
 
 /// Why the manager refused to act on a session.
 #[derive(Debug)]
@@ -59,10 +60,18 @@ fn valid_name(name: &str) -> bool {
             .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
 }
 
+/// One table slot: the handle plus the idle-eviction clock.
+struct SessionEntry {
+    handle: Arc<SessionHandle>,
+    /// Refreshed on every lookup; [`SessionManager::evict_idle`] seals
+    /// sessions whose clock has gone stale.
+    last_used: Instant,
+}
+
 /// The table of live serving sessions.
 pub struct SessionManager {
     engine: Arc<CachedMatcher>,
-    sessions: Mutex<BTreeMap<String, Arc<SessionHandle>>>,
+    sessions: Mutex<BTreeMap<String, SessionEntry>>,
     /// All serve-created sessions belong to one store patient, created
     /// lazily on first ingest; live sessions are numbered from it.
     patient: Mutex<Option<PatientId>>,
@@ -70,6 +79,9 @@ pub struct SessionManager {
     sessions_max: usize,
     ingest_queue: usize,
     horizon: f64,
+    /// When present every created session commits to this log and
+    /// `/ingest` acknowledges only after the fsync (the durable path).
+    wal: Option<Arc<WalWriter>>,
 }
 
 impl SessionManager {
@@ -90,7 +102,25 @@ impl SessionManager {
             sessions_max: sessions_max.max(1),
             ingest_queue: ingest_queue.max(1),
             horizon,
+            wal: None,
         }
+    }
+
+    /// Attaches a write-ahead log (builder form): every session created
+    /// from now on commits its ingest to `wal` before acknowledging.
+    pub fn with_wal(mut self, wal: Arc<WalWriter>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Arc<WalWriter>> {
+        self.wal.as_ref()
+    }
+
+    /// Whether ingest runs on the durable (WAL-acknowledged) path.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
     }
 
     /// The shared engine (for `/metrics` and `/query` without a session).
@@ -103,7 +133,7 @@ impl SessionManager {
         self.horizon
     }
 
-    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<SessionHandle>>> {
+    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, SessionEntry>> {
         // A worker that panicked while holding the table lock has already
         // failed its request; the table itself (insert/lookup/remove of
         // Arc handles) cannot be left half-written.
@@ -132,8 +162,11 @@ impl SessionManager {
         if !valid_name(name) {
             return Err(SessionError::BadName(name.to_string()));
         }
-        if let Some(h) = self.lock_sessions().get(name) {
-            return Ok(Arc::clone(h));
+        if let Some(e) = self.lock_sessions().get_mut(name) {
+            // lint:allow(no-instant-now-in-hot-path): one clock read per
+            // session lookup, for idle eviction — not a per-window loop.
+            e.last_used = Instant::now();
+            return Ok(Arc::clone(&e.handle));
         }
         // Optimistic cap check so a full table sheds before paying for
         // a runtime and a worker thread; the authoritative check runs
@@ -152,22 +185,35 @@ impl SessionManager {
         // Relaxed: session numbers only need uniqueness, not ordering.
         let session_no = self.next_session.fetch_add(1, Ordering::Relaxed);
         let config = SessionConfig::new(patient, session_no).with_horizon(self.horizon);
-        let runtime =
+        let mut runtime =
             external_session(Arc::clone(&self.engine), config).map_err(SessionError::Runtime)?;
+        if let Some(wal) = &self.wal {
+            runtime = runtime.with_wal(Arc::clone(wal));
+        }
         let handle = Arc::new(SessionHandle::spawn(runtime, self.ingest_queue));
         let mut table = self.lock_sessions();
-        if let Some(h) = table.get(name) {
+        if let Some(e) = table.get_mut(name) {
             // Lost the creation race: the spare handle is dropped after
             // `table` (locals drop in reverse declaration order), so its
             // worker join never happens under the lock.
-            return Ok(Arc::clone(h));
+            // lint:allow(no-instant-now-in-hot-path): idle clock (see
+            // the lookup above).
+            e.last_used = Instant::now();
+            return Ok(Arc::clone(&e.handle));
         }
         if table.len() >= self.sessions_max {
             return Err(SessionError::TableFull {
                 max: self.sessions_max,
             });
         }
-        table.insert(name.to_string(), Arc::clone(&handle));
+        table.insert(
+            name.to_string(),
+            SessionEntry {
+                handle: Arc::clone(&handle),
+                // lint:allow(no-instant-now-in-hot-path): idle clock.
+                last_used: Instant::now(),
+            },
+        );
         Ok(handle)
     }
 
@@ -176,17 +222,70 @@ impl SessionManager {
         if !valid_name(name) {
             return Err(SessionError::BadName(name.to_string()));
         }
-        self.lock_sessions()
-            .get(name)
-            .map(Arc::clone)
-            .ok_or_else(|| SessionError::Unknown(name.to_string()))
+        let mut table = self.lock_sessions();
+        let Some(e) = table.get_mut(name) else {
+            return Err(SessionError::Unknown(name.to_string()));
+        };
+        // lint:allow(no-instant-now-in-hot-path): idle clock (see
+        // get_or_create).
+        e.last_used = Instant::now();
+        Ok(Arc::clone(&e.handle))
+    }
+
+    /// Seals every session that has been idle (no lookup) for at least
+    /// `idle` and removes it from the table, returning how many were
+    /// evicted. Sealing is the durable teardown: the session's live
+    /// stream is persisted into the shared store (and its WAL tail
+    /// committed), so a re-created session of the same name can match
+    /// against the evicted history.
+    ///
+    /// A ripe session whose handle is still borrowed by an in-flight
+    /// request is *not* evicted — it goes back into the table with a
+    /// fresh clock.
+    pub fn evict_idle(&self, idle: Duration, seal_timeout: Duration) -> usize {
+        let ripe: Vec<(String, SessionEntry)> = {
+            let mut table = self.lock_sessions();
+            let names: Vec<String> = table
+                .iter()
+                .filter(|(_, e)| e.last_used.elapsed() >= idle)
+                .map(|(name, _)| name.clone())
+                .collect();
+            names
+                .into_iter()
+                .filter_map(|name| table.remove(&name).map(|e| (name, e)))
+                .collect()
+        };
+        let mut evicted = 0;
+        for (name, entry) in ripe {
+            match Arc::try_unwrap(entry.handle) {
+                Ok(handle) => {
+                    // lint:allow(no-silent-result-drop): an eviction seal
+                    // that sheds (worker busy) leaves the WAL as the
+                    // durable copy; the next recovery reconciles it.
+                    let _ = handle.seal(seal_timeout);
+                    evicted += 1;
+                }
+                Err(handle) => {
+                    // An in-flight request still holds the handle. If the
+                    // name was re-created meanwhile, the new session wins
+                    // and this handle just drops (finish, no store write).
+                    self.lock_sessions().entry(name).or_insert(SessionEntry {
+                        handle,
+                        // lint:allow(no-instant-now-in-hot-path): idle
+                        // clock reset, eviction path only.
+                        last_used: Instant::now(),
+                    });
+                }
+            }
+        }
+        evicted
     }
 
     /// Name → status snapshot for every live session (for `/healthz`).
     pub fn statuses(&self) -> Vec<(String, tsm_core::session::SessionStatus)> {
         self.lock_sessions()
             .iter()
-            .map(|(name, h)| (name.clone(), h.status()))
+            .map(|(name, e)| (name.clone(), e.handle.status()))
             .collect()
     }
 

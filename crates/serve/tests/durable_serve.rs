@@ -1,0 +1,208 @@
+//! Durable serving: `/ingest` over a WAL-attached session table, idle
+//! eviction sealing sessions into the store, and crash-style recovery of
+//! everything the server acknowledged.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use tsm_core::index_cache::CachedMatcher;
+use tsm_core::matcher::Matcher;
+use tsm_core::{MetricsRegistry, Params};
+use tsm_db::{recover, DurableBackend, MemBackend, PatientAttributes, StreamStore, WalConfig};
+use tsm_model::{segment_signal, PlrTrajectory, SegmenterConfig};
+use tsm_serve::{ServeConfig, Server, SessionManager};
+use tsm_signal::{BreathingParams, SignalGenerator};
+
+fn seeded_engine(seed: u64) -> Arc<CachedMatcher> {
+    let store = StreamStore::new();
+    let patient = store.add_patient(PatientAttributes::new());
+    let samples = SignalGenerator::new(BreathingParams::default(), seed).generate(120.0);
+    let vertices = segment_signal(&samples, SegmenterConfig::clean());
+    let plr = PlrTrajectory::from_vertices(vertices).unwrap();
+    store.add_stream(patient, 0, plr, samples.len());
+    let params = Params {
+        min_matches: 1,
+        ..Params::default()
+    };
+    Arc::new(CachedMatcher::new(
+        Matcher::new(store, params).with_metrics(MetricsRegistry::enabled()),
+    ))
+}
+
+/// Starts a durable server over a fresh in-memory backend; returns the
+/// server and the backend (for post-crash recovery assertions).
+fn start_durable(seed: u64, config: ServeConfig) -> (Server, Arc<MemBackend>) {
+    let backend = Arc::new(MemBackend::new());
+    let dyn_backend: Arc<dyn DurableBackend> = backend.clone();
+    let wal = Arc::new(
+        recover(dyn_backend, WalConfig::default())
+            .expect("fresh backend recovers clean")
+            .writer,
+    );
+    let engine = seeded_engine(seed);
+    let manager = Arc::new(
+        SessionManager::new(
+            engine,
+            config.sessions_max,
+            config.ingest_queue,
+            config.horizon,
+        )
+        .with_wal(wal),
+    );
+    let mut config = config;
+    config.addr = "127.0.0.1:0".into();
+    let server = Server::start(manager, config).expect("ephemeral bind");
+    (server, backend)
+}
+
+fn csv_body(seed: u64, duration: f64) -> String {
+    let samples = SignalGenerator::new(BreathingParams::default(), seed).generate(duration);
+    let mut body = String::new();
+    for s in &samples {
+        body.push_str(&format!("{:.6},{:.6}\n", s.time, s.position[0]));
+    }
+    body
+}
+
+fn send_raw(addr: std::net::SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let _ = stream.write_all(raw);
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) if !buf.is_empty() => break,
+            Err(e) => panic!("no response at all: {e}"),
+        }
+    }
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {text:?}"));
+    (status, text)
+}
+
+fn get(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
+    let (status, text) = send_raw(
+        addr,
+        format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+    );
+    (status, body_of(&text))
+}
+
+fn post(addr: std::net::SocketAddr, target: &str, body: &str) -> (u16, String) {
+    let raw = format!(
+        "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, text) = send_raw(addr, raw.as_bytes());
+    (status, body_of(&text))
+}
+
+fn body_of(response: &str) -> String {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default()
+}
+
+#[test]
+fn durable_ingest_acks_after_fsync_and_recovers_after_a_crash() {
+    let (server, backend) = start_durable(80, ServeConfig::default());
+    let addr = server.local_addr();
+
+    let body = csv_body(81, 60.0);
+    let n = body.lines().count();
+    let (status, reply) = post(addr, "/ingest/room-a", &body);
+    // Durable ingest answers 200 (done), not 202 (queued).
+    assert_eq!(status, 200, "{reply}");
+    tsm_core::json::validate(&reply).unwrap();
+    assert!(reply.contains("\"durable\": true"), "{reply}");
+    assert!(reply.contains(&format!("\"accepted\": {n}")), "{reply}");
+    assert!(reply.contains("\"wal_seq\": "), "{reply}");
+    assert!(!reply.contains("\"wal_seq\": null"), "{reply}");
+
+    // The acknowledged batch is already synced in the backend.
+    assert!(
+        backend.ops().iter().any(|op| op.starts_with("sync(wal-")),
+        "ack before any segment fsync"
+    );
+
+    // Ingested sessions are queryable in place (ROADMAP open item 1:
+    // serve-side ingest feeds real session state, not a black hole).
+    let (status, reply) = get(addr, "/query?session=room-a&k=3");
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"matches\": [{"), "{reply}");
+
+    // "Crash": tear the server down without sealing, then recover from
+    // the backend alone. The session was never closed, so it comes back
+    // as a partial (open-at-crash) stream with every acked vertex.
+    server.shutdown();
+    let dyn_backend: Arc<dyn DurableBackend> = backend;
+    let rec = recover(dyn_backend, WalConfig::default()).unwrap();
+    assert_eq!(rec.report.sessions_recovered, 1, "{}", rec.report);
+    assert_eq!(rec.report.sessions_partial, 1, "{}", rec.report);
+    assert_eq!(rec.store.num_streams(), 1);
+    assert!(rec.store.streams()[0].plr.vertices().len() > 2);
+}
+
+#[test]
+fn idle_sessions_seal_into_the_store_and_history_survives() {
+    let config = ServeConfig {
+        idle_timeout_ms: 200,
+        ..ServeConfig::default()
+    };
+    let (server, _backend) = start_durable(84, config);
+    let addr = server.local_addr();
+    let store = server.manager().engine().matcher().shared_store();
+    assert_eq!(store.num_streams(), 1, "only the seed stream at start");
+
+    let body = csv_body(85, 60.0);
+    let (status, reply) = post(addr, "/ingest/room-x", &body);
+    assert_eq!(status, 200, "{reply}");
+
+    // Leave the session idle: the maintenance worker must seal it into
+    // the store and drop it from the table.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while store.num_streams() < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle session was never sealed into the store"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // The table no longer lists it...
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let (status, health) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        if !health.contains("room-x") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "evicted session still listed: {health}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // ...but a querying client sees a 404, not a crash.
+    assert_eq!(get(addr, "/query?session=room-x").0, 404);
+
+    // Regression: a re-created session of the same name matches against
+    // the sealed history — the evicted stream is in the shared store.
+    let (status, reply) = post(addr, "/ingest/room-x", &csv_body(86, 30.0));
+    assert_eq!(status, 200, "{reply}");
+    let (status, reply) = get(addr, "/query?session=room-x&k=20");
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"matches\": [{"), "{reply}");
+    assert_eq!(store.num_streams(), 2);
+    server.shutdown();
+}

@@ -35,6 +35,7 @@ pub mod irregular;
 pub mod noise;
 pub mod patient;
 pub mod rng;
+pub mod storage;
 
 pub use breath::{BreathingParams, SignalGenerator};
 pub use cohort::{CohortConfig, SyntheticCohort, SyntheticPatient, SyntheticSession};
@@ -42,3 +43,4 @@ pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use irregular::{EpisodeKind, EpisodePlan};
 pub use noise::NoiseParams;
 pub use patient::{PatientProfile, Phenotype, Sex, TumorSite};
+pub use storage::{FaultedBackend, StorageFaultEvent, StorageFaultKind, StorageFaultPlan};

@@ -12,7 +12,8 @@
 //! * [`rules`] — the line-lint rule registry: `no-unwrap-in-lib`,
 //!   `explicit-atomic-ordering`, `no-float-eq`,
 //!   `no-instant-now-in-hot-path`, `bounded-channel-only`,
-//!   `no-silent-result-drop`, `no-unsafe-in-kernel`.
+//!   `no-silent-result-drop`, `no-unsafe-in-kernel`,
+//!   `no-unsynced-persist`.
 //! * [`model`] — the concurrency-model extraction pass: lock classes
 //!   and guard-hold spans, channel endpoints and capacities, blocking
 //!   call sites, thread sites.

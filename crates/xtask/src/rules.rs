@@ -108,6 +108,11 @@ pub fn all_rules() -> &'static [Rule] {
             description: "no `unsafe` in tsm-core/tsm-db; the scoring kernel is safe Rust",
             check: no_unsafe_in_kernel,
         },
+        Rule {
+            name: "no-unsynced-persist",
+            description: "persistence writes must reach sync_all/sync_data before any rename",
+            check: no_unsynced_persist,
+        },
     ]
 }
 
@@ -578,6 +583,88 @@ fn no_unsafe_in_kernel(scanned: &ScannedFile, class: FileClass, out: &mut Vec<Fi
     }
 }
 
+// ---------------------------------------------------------------------------
+// no-unsynced-persist
+// ---------------------------------------------------------------------------
+
+/// Markers that make a library file "persistence-classified": it opens
+/// real files for writing, syncs them, or implements the durable
+/// backend surface. A socket-only module (`write_all` on a TcpStream)
+/// carries none of these and stays exempt.
+fn is_persistence_module(scanned: &ScannedFile) -> bool {
+    [
+        "File::create(",
+        "OpenOptions::new(",
+        "sync_all(",
+        "sync_data(",
+        "DurableBackend",
+    ]
+    .iter()
+    .any(|marker| scanned.code.contains(marker))
+}
+
+/// A rename is only durable once the written data is synced: `create
+/// tmp → write → rename` without an fsync can surface as an empty or
+/// torn file after power loss even though the rename "succeeded" (this
+/// exact bug shipped in `save_store_to_path`). The check is lexical
+/// like every rule here: each file-open site must be followed, in code
+/// order, by a `sync_all`/`sync_data` that comes before the next
+/// `rename(`; a file opened for writing and never synced at all is
+/// flagged too, as is a `write_all` with no reachable sync after it.
+fn no_unsynced_persist(scanned: &ScannedFile, class: FileClass, out: &mut Vec<Finding>) {
+    if !class.is_lib() || !is_persistence_module(scanned) {
+        return;
+    }
+    let next_of = |needles: &[&str], from: usize| -> Option<usize> {
+        needles
+            .iter()
+            .filter_map(|n| scanned.code[from..].find(n).map(|i| from + i))
+            .min()
+    };
+    const SYNCS: &[&str] = &["sync_all(", "sync_data("];
+    for needle in ["File::create(", "OpenOptions::new("] {
+        for (off, _) in scanned.code.match_indices(needle) {
+            let from = off + needle.len();
+            let sync = next_of(SYNCS, from);
+            let rename = next_of(&["rename("], from);
+            match (sync, rename) {
+                (None, _) => emit(
+                    scanned,
+                    out,
+                    "no-unsynced-persist",
+                    off,
+                    "file opened for writing with no reachable sync_all/sync_data; \
+                     unsynced data can vanish at power loss"
+                        .to_string(),
+                ),
+                (Some(s), Some(r)) if r < s => emit(
+                    scanned,
+                    out,
+                    "no-unsynced-persist",
+                    off,
+                    "file renamed before its data is synced; the rename can survive a \
+                     crash the data does not — sync_all/sync_data first"
+                        .to_string(),
+                ),
+                _ => {}
+            }
+        }
+    }
+    for (off, _) in scanned.code.match_indices("write_all(") {
+        if next_of(SYNCS, off + "write_all(".len()).is_none() {
+            emit(
+                scanned,
+                out,
+                "no-unsynced-persist",
+                off,
+                "write_all with no reachable sync_all/sync_data after it; an \
+                 acknowledgement here would have RPO > 0"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,6 +792,41 @@ mod tests {
             .collect();
         assert!(rules.contains(&"no-unwrap-in-lib"), "{rules:?}");
         assert!(rules.contains(&"no-silent-result-drop"), "{rules:?}");
+    }
+
+    #[test]
+    fn unsynced_persist_fires_on_rename_before_sync() {
+        let bad = "fn f() -> std::io::Result<()> {\n    let f = std::fs::File::create(\"t.tmp\")?;\n    f.write_all(b\"x\")?;\n    std::fs::rename(\"t.tmp\", \"t\")?;\n    f.sync_all()?;\n    Ok(())\n}\n";
+        let hits = findings(bad, FileClass::CoreLib);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "no-unsynced-persist");
+        assert_eq!(hits[0].line, 2, "anchored at the open site");
+        let good = "fn f() -> std::io::Result<()> {\n    let f = std::fs::File::create(\"t.tmp\")?;\n    f.write_all(b\"x\")?;\n    f.sync_all()?;\n    std::fs::rename(\"t.tmp\", \"t\")?;\n    Ok(())\n}\n";
+        assert!(findings(good, FileClass::CoreLib).is_empty());
+        assert!(findings(bad, FileClass::Tooling).is_empty());
+        assert!(findings(bad, FileClass::TestCode).is_empty());
+    }
+
+    #[test]
+    fn unsynced_persist_fires_when_never_synced() {
+        let src = "fn f() -> std::io::Result<()> {\n    let f = std::fs::File::create(\"out\")?;\n    f.write_all(b\"x\")?;\n    Ok(())\n}\n";
+        let rules: Vec<_> = findings(src, FileClass::CoreLib)
+            .iter()
+            .map(|f| (f.line, f.rule))
+            .collect();
+        // Both the open (line 2) and the unsynced write (line 3) fire.
+        assert_eq!(
+            rules,
+            vec![(2, "no-unsynced-persist"), (3, "no-unsynced-persist")]
+        );
+    }
+
+    #[test]
+    fn unsynced_persist_exempts_non_persistence_modules() {
+        // A socket write: write_all with no file markers anywhere in
+        // the module stays silent — this is not persistence code.
+        let src = "fn f(s: &mut std::net::TcpStream, out: &[u8]) -> std::io::Result<()> {\n    use std::io::Write;\n    s.write_all(out)\n}\n";
+        assert!(findings(src, FileClass::CoreLib).is_empty());
     }
 
     #[test]

@@ -121,6 +121,26 @@ fn unsafe_in_kernel_fixture() {
 }
 
 #[test]
+fn unsynced_persist_fixture() {
+    // Line 12: File::create whose data is renamed (line 14) before the
+    // sync (line 15). Line 20: opened and never synced. Line 21: the
+    // matching unsynced write_all. The clean publish sequence, the
+    // suppressed scratch file, the string trap, and the `#[cfg(test)]`
+    // module stay silent.
+    assert_eq!(
+        lint_fixture("unsynced_persist.rs", FileClass::CoreLib),
+        all("no-unsynced-persist", &[12, 20, 21])
+    );
+    assert_eq!(
+        lint_fixture("unsynced_persist.rs", FileClass::Kernel),
+        all("no-unsynced-persist", &[12, 20, 21])
+    );
+    // Only library code is bound; tooling and tests are exempt.
+    assert!(lint_fixture("unsynced_persist.rs", FileClass::Tooling).is_empty());
+    assert!(lint_fixture("unsynced_persist.rs", FileClass::TestCode).is_empty());
+}
+
+#[test]
 fn unused_allow_fixture_fires_only_in_strict_mode() {
     let path = fixture_dir().join("unused_allow.rs");
     let source = std::fs::read_to_string(&path).unwrap();

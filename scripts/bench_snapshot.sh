@@ -165,6 +165,47 @@ print(
 )
 EOF
 
+echo "== running durability bench (WAL append / replay / checkpoint) =="
+persist_raw="$(mktemp)"
+trap 'rm -f "$raw" "$pipeline_raw" "$cohort_raw" "$persist_raw"' EXIT
+cargo run --release -p tsm-bench --bin exp_persistence -- --json "$persist_raw"
+
+python3 - "$persist_raw" BENCH_persistence.json "$label" "$commit" <<'EOF'
+import json, sys, datetime
+
+raw_path, out_path, label, commit = sys.argv[1:5]
+with open(raw_path) as fh:
+    doc = json.load(fh)
+doc["captured"] = datetime.datetime.now(datetime.timezone.utc).strftime(
+    "%Y-%m-%dT%H:%M:%SZ"
+)
+doc["label"] = label
+doc["commit"] = commit
+
+# The experiment binary already asserted bit-identity and RPO = 0;
+# re-check the recorded number so a stale capture can never claim it.
+if doc["rpo_lost_records"] != 0:
+    sys.exit(f"durability bench recorded rpo_lost_records={doc['rpo_lost_records']}")
+
+# Same merge discipline as the other BENCH_* files: one capture per label.
+try:
+    with open(out_path) as fh:
+        prior = json.load(fh)
+    captures = [c for c in prior.get("captures", []) if c.get("label") != label]
+except (FileNotFoundError, json.JSONDecodeError):
+    captures = []
+captures.append(doc)
+with open(out_path, "w") as fh:
+    json.dump({"captures": captures}, fh, indent=2)
+    fh.write("\n")
+
+append = doc["wal_append_ns"]
+print(
+    f"wrote durability capture (append p50 {append['p50']} ns, "
+    f"replay {doc['wal_replay_ms']} ms, RPO 0) to {out_path}"
+)
+EOF
+
 echo "== checking metrics overhead =="
 # The exp_pipeline JSON carries `metrics_overhead`: the metrics-enabled
 # replay's throughput as a fraction of the disabled baseline. The

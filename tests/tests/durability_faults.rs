@@ -1,0 +1,178 @@
+//! Cross-crate durability suite: the seeded storage fault matrix (every
+//! plan a different disk failure mid-workload, power loss, restart) and
+//! the equivalence check that a recovered store is bit-identical to the
+//! uncrashed run's acknowledged prefix.
+
+use std::sync::Arc;
+use tsm_db::{
+    recover, save_store, DurableBackend, MemBackend, PatientAttributes, PatientId, StreamStore,
+    WalConfig,
+};
+use tsm_model::{segment_signal, PlrTrajectory, SegmenterConfig, Vertex};
+use tsm_signal::{
+    BreathingParams, FaultedBackend, SignalGenerator, StorageFaultKind, StorageFaultPlan,
+};
+
+/// A realistic vertex workload: one synthetic session, segmented, split
+/// into commit-sized batches.
+fn batches(seed: u64) -> Vec<Vec<Vertex>> {
+    let samples = SignalGenerator::new(BreathingParams::default(), seed).generate(90.0);
+    segment_signal(&samples, SegmenterConfig::clean())
+        .chunks(5)
+        .map(<[Vertex]>::to_vec)
+        .collect()
+}
+
+#[test]
+fn storage_fault_matrix_recovers_every_acknowledged_append() {
+    let all = batches(0xFA17);
+    for seed in 0..48u64 {
+        let plan = StorageFaultPlan::random(seed, 40);
+        // SilentSync deliberately breaks the fsync contract (the device
+        // lies), so acked-implies-recovered cannot hold under it; the
+        // weaker prefix property below still must.
+        let lying_disk = plan
+            .events
+            .iter()
+            .any(|e| e.kind == StorageFaultKind::SilentSync);
+        let mem = Arc::new(MemBackend::new());
+        let faulted: Arc<dyn DurableBackend> =
+            Arc::new(FaultedBackend::with_mem(mem.clone(), &plan));
+        let Ok(rec) = recover(faulted, WalConfig::default()) else {
+            // The fault hit the opening recovery itself; nothing was
+            // ever acknowledged, so there is nothing to check.
+            continue;
+        };
+        let writer = rec.writer;
+        let mut acked = 0usize;
+        let mut samples = 0u64;
+        for batch in &all {
+            samples += batch.len() as u64;
+            match writer.append_batch(1, 4, 0, samples, batch) {
+                Ok(receipt) => {
+                    assert!(receipt.fsynced, "seed {seed}");
+                    acked += 1;
+                }
+                // Any append-path fault permanently poisons the writer.
+                Err(_) => break,
+            }
+        }
+
+        // Power loss, then restart on healthy hardware.
+        mem.crash();
+        let dyn_mem: Arc<dyn DurableBackend> = mem;
+        let rec = recover(dyn_mem, WalConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: post-crash recovery hard-errored: {e}"));
+        let k = rec.report.replayed_records as usize;
+        assert!(k <= all.len(), "seed {seed}: invented records");
+        if !lying_disk {
+            assert!(
+                k >= acked,
+                "seed {seed}: acked {acked} batches but recovered {k} ({})",
+                rec.report
+            );
+        }
+        // Whatever came back is an exact prefix of the appended batches.
+        if k == 0 {
+            assert_eq!(rec.store.num_streams(), 0, "seed {seed}");
+        } else {
+            let plr = PlrTrajectory::from_vertices(all[..k].concat()).unwrap();
+            assert_eq!(rec.store.num_streams(), 1, "seed {seed}");
+            assert_eq!(rec.store.streams()[0].plr, plr, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn recovered_store_is_bit_identical_to_the_acknowledged_prefix() {
+    let all = batches(0xB17);
+    let mem = Arc::new(MemBackend::new());
+    let dyn_mem: Arc<dyn DurableBackend> = mem.clone();
+    let writer = recover(dyn_mem.clone(), WalConfig::default())
+        .unwrap()
+        .writer;
+    let mut samples = 0u64;
+    for batch in &all {
+        samples += batch.len() as u64;
+        writer.append_batch(2, 9, 0, samples, batch).unwrap();
+    }
+    writer.append_end(2, 9, samples, true).unwrap();
+
+    // Everything above was acknowledged after an fsync, so power loss
+    // right here must lose nothing at all.
+    mem.crash();
+    let rec = recover(dyn_mem, WalConfig::default()).unwrap();
+    assert_eq!(rec.report.sessions_recovered, 1, "{}", rec.report);
+    assert_eq!(rec.report.sessions_partial, 0, "{}", rec.report);
+
+    // The store an uncrashed run would have produced.
+    let reference = StreamStore::new();
+    for _ in 0..3 {
+        reference.add_patient(PatientAttributes::new());
+    }
+    let plr = PlrTrajectory::from_vertices(all.concat()).unwrap();
+    reference.add_stream(PatientId(2), 9, plr, samples as usize);
+
+    let (mut recovered_image, mut reference_image) = (Vec::new(), Vec::new());
+    save_store(&rec.store, &mut recovered_image).unwrap();
+    save_store(&reference, &mut reference_image).unwrap();
+    assert_eq!(
+        recovered_image, reference_image,
+        "recovered store image differs from the uncrashed reference"
+    );
+}
+
+#[test]
+fn snapshots_survive_power_loss_and_ordering_is_sync_rename_syncroot() {
+    let all = batches(0x5A9);
+    let mem = Arc::new(MemBackend::new());
+    let dyn_mem: Arc<dyn DurableBackend> = mem.clone();
+    let writer = recover(dyn_mem.clone(), WalConfig::default())
+        .unwrap()
+        .writer;
+    let mut samples = 0u64;
+    for batch in &all {
+        samples += batch.len() as u64;
+        writer.append_batch(0, 1, 0, samples, batch).unwrap();
+    }
+    writer.append_end(0, 1, samples, true).unwrap();
+    let store = recover(dyn_mem.clone(), WalConfig::default())
+        .unwrap()
+        .store;
+    writer
+        .checkpoint(&store)
+        .unwrap()
+        .expect("first checkpoint publishes");
+
+    // Regression (the save_store_to_path fix): a tmp-file rename is only
+    // durable once the directory itself is synced, so the publish path
+    // must order data-sync before rename before root-sync.
+    let ops = mem.ops();
+    let tmp_sync = ops
+        .iter()
+        .position(|op| op.starts_with("sync(snap-") && op.contains(".tmp"))
+        .expect("snapshot tmp file synced");
+    let rename = ops
+        .iter()
+        .position(|op| op.starts_with("rename(snap-"))
+        .expect("snapshot renamed into place");
+    let root_sync = ops
+        .iter()
+        .rposition(|op| op == "sync_root")
+        .expect("root synced");
+    assert!(
+        tmp_sync < rename && rename < root_sync,
+        "publish ordering broken: {ops:?}"
+    );
+
+    // And the proof: power loss after the checkpoint returns loses
+    // neither the snapshot nor any covered record.
+    mem.crash();
+    let rec = recover(dyn_mem, WalConfig::default()).unwrap();
+    assert!(rec.report.snapshot_seq.is_some(), "{}", rec.report);
+    assert_eq!(rec.store.num_streams(), 1);
+    assert_eq!(
+        rec.store.streams()[0].plr,
+        PlrTrajectory::from_vertices(all.concat()).unwrap()
+    );
+}
